@@ -1,0 +1,99 @@
+// Runtime-design ablations beyond the paper's figures: the binary-tree
+// pressure benchmark (Fig. 6's workload) across
+//   * all five schedulers (LFQ, LL, LLP, GD, AP),
+//   * successor bundling on/off (Sec. IV-C's sorted-chain insertion),
+//   * task inlining depth (the Sec. V-E future-work extension),
+// at a fixed small task size where management overhead dominates.
+//
+//   ./bench_ablation_runtime [--height=N] [--threads=N] [--cycles=N]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "common/busy_wait.hpp"
+#include "common/cycle_clock.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+double run_tree(const ttg::Config& rt, int height, std::uint64_t cycles) {
+  ttg::World world(rt);
+  ttg::Edge<int, ttg::Void> e("tree");
+  const int num_nodes = (1 << (height + 1)) - 1;
+  auto tt = ttg::make_tt<int>(
+      [num_nodes, cycles](const int& k, const ttg::Void&, auto& outs) {
+        ttg::busy_wait_cycles(cycles);
+        const int left = 2 * k + 1;
+        if (left + 1 < num_nodes) {
+          ttg::sendk<0>(left, outs);
+          ttg::sendk<0>(left + 1, outs);
+        }
+      },
+      ttg::edges(e), ttg::edges(e), "node", world);
+  world.execute();  // warm-up
+  tt->sendk_input<0>(num_nodes - 2);
+  world.fence();
+  world.execute();
+  ttg::WallTimer timer;
+  tt->sendk_input<0>(0);
+  world.fence();
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const int height = static_cast<int>(args.get_int("height", 14));
+  const int threads = static_cast<int>(
+      args.get_int("threads", bench::default_max_threads()));
+  const std::uint64_t cycles =
+      static_cast<std::uint64_t>(args.get_int("cycles", 500));
+  const int tasks = (1 << (height + 1)) - 1;
+
+  std::printf("# Runtime ablations: binary tree height %d (%d tasks), "
+              "%llu-cycle tasks, %d threads\n",
+              height, tasks, static_cast<unsigned long long>(cycles),
+              threads);
+  std::printf("variant,seconds,ns_per_task\n");
+
+  auto report = [&](const char* name, const ttg::Config& rt) {
+    const double s = run_tree(rt, height, cycles);
+    std::printf("%s,%.4f,%.1f\n", name, s, s / tasks * 1e9);
+  };
+
+  // Scheduler sweep (all else optimized, bundling on).
+  for (auto sched :
+       {ttg::SchedulerType::kLFQ, ttg::SchedulerType::kLL,
+        ttg::SchedulerType::kLLP, ttg::SchedulerType::kGD,
+        ttg::SchedulerType::kAP}) {
+    ttg::Config rt = ttg::Config::optimized();
+    rt.num_threads = threads;
+    rt.scheduler = sched;
+    report(("sched_" + std::string(ttg::to_string(sched))).c_str(), rt);
+  }
+
+  // Bundling off.
+  {
+    ttg::Config rt = ttg::Config::optimized();
+    rt.num_threads = threads;
+    rt.bundle_successors = false;
+    report("llp_no_bundling", rt);
+  }
+
+  // Inlining depths.
+  for (int depth : {1, 8, 64}) {
+    ttg::Config rt = ttg::Config::optimized();
+    rt.num_threads = threads;
+    rt.inline_max_depth = depth;
+    report(("llp_inline_" + std::to_string(depth)).c_str(), rt);
+  }
+
+  // Hierarchical steal domains (meaningful at higher thread counts).
+  for (int dom : {2, 4}) {
+    ttg::Config rt = ttg::Config::optimized();
+    rt.num_threads = threads;
+    rt.steal_domain_size = dom;
+    report(("llp_steal_domain_" + std::to_string(dom)).c_str(), rt);
+  }
+  return 0;
+}

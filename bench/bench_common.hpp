@@ -1,0 +1,75 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench binary runs with no arguments using scaled-down defaults
+// (this is a single-core CI-sized environment) and accepts --key=value
+// flags to reach the paper's full sizes; --paper selects the paper's
+// parameters wholesale. Output is CSV-like series: one header line per
+// plotted series and one row per x-point, so the figures can be
+// regenerated directly from the captured stdout.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace bench {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool has_flag(const std::string& name) const {
+    return find(name) != nullptr;
+  }
+
+  std::int64_t get_int(const std::string& name, std::int64_t dflt) const {
+    const char* v = find(name);
+    return v != nullptr ? std::atoll(v) : dflt;
+  }
+
+  double get_double(const std::string& name, double dflt) const {
+    const char* v = find(name);
+    return v != nullptr ? std::atof(v) : dflt;
+  }
+
+  std::string get_string(const std::string& name,
+                         const std::string& dflt) const {
+    const char* v = find(name);
+    return v != nullptr ? std::string(v) : dflt;
+  }
+
+ private:
+  const char* find(const std::string& name) const {
+    const std::string prefix = "--" + name;
+    for (const auto& a : args_) {
+      if (a == prefix) return "";  // bare flag
+      if (a.rfind(prefix + "=", 0) == 0) {
+        return a.c_str() + prefix.size() + 1;
+      }
+    }
+    return nullptr;
+  }
+
+  std::vector<std::string> args_;
+};
+
+/// Thread counts to sweep: 1,2,4,...,max (always including max).
+inline std::vector<int> thread_sweep(int max_threads) {
+  std::vector<int> out;
+  for (int t = 1; t < max_threads; t *= 2) out.push_back(t);
+  out.push_back(max_threads);
+  return out;
+}
+
+inline int default_max_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace bench

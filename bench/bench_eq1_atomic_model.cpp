@@ -1,0 +1,96 @@
+// Equation (1): measured atomic RMW operations per task vs the paper's
+// model N_A = (N_ID + N_RC + N_HB) * N_i + N_OD + N_S = 4 * N_i + 4,
+// using the runtime's per-category accounting on a serial chain whose
+// tasks move (reuse) their N_i inputs.
+//
+//   ./bench_eq1_atomic_model [--tasks=N]
+#include <cstdio>
+#include <tuple>
+#include <utility>
+
+#include "atomics/op_counter.hpp"
+#include "bench_common.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+template <std::size_t NFlows>
+ttg::AtomicOpSnapshot run_chain(int tasks) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 1;
+  ttg::World world(cfg);
+  auto edge_tuple = [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+    return std::make_tuple(
+        ttg::Edge<int, std::uint64_t>("flow" + std::to_string(Is))...);
+  }(std::make_index_sequence<NFlows>{});
+
+  auto body = [tasks](const int& k, auto&... rest) {
+    auto& outs = std::get<sizeof...(rest) - 1>(std::tie(rest...));
+    if (k < tasks) {
+      [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+        auto vals = std::tie(rest...);
+        (ttg::send<Is>(k + 1, std::move(std::get<Is>(vals)), outs), ...);
+      }(std::make_index_sequence<NFlows>{});
+    }
+  };
+  auto tt = std::apply(
+      [&](auto&... edges) {
+        return ttg::make_tt<int>(body, ttg::edges(edges...),
+                                 ttg::edges(edges...), "chain", world);
+      },
+      edge_tuple);
+
+  auto seed = [&] {
+    [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+      (tt->template send_input<Is>(0, std::uint64_t{Is}), ...);
+    }(std::make_index_sequence<NFlows>{});
+  };
+  world.execute();
+  seed();
+  world.fence();  // warm-up epoch
+  world.execute();
+  ttg::atomic_ops::set_enabled(true);
+  ttg::atomic_ops::reset();
+  seed();
+  world.fence();
+  ttg::atomic_ops::set_enabled(false);
+  return ttg::atomic_ops::snapshot();
+}
+
+void report(int n_inputs, const ttg::AtomicOpSnapshot& snap, int tasks) {
+  using C = ttg::AtomicOpCategory;
+  const double t = tasks + 1;
+  const double n_id = static_cast<double>(snap[C::kInputCount]) / t;
+  const double n_hb = static_cast<double>(snap[C::kBucketLock]) / t;
+  const double n_rc = static_cast<double>(snap[C::kRefCount]) / t;
+  const double n_od = static_cast<double>(snap[C::kMemPool]) / t;
+  const double n_s = static_cast<double>(snap[C::kScheduler]) / t;
+  const double measured = n_id + n_hb + n_rc + n_od + n_s;
+  const double model = n_inputs >= 2 ? 4.0 * n_inputs + 4.0
+                                     : 2.0 + 2.0 + 2.0;  // single input
+  std::printf("%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%.0f\n", n_inputs, n_id,
+              n_hb, n_rc, n_od, n_s, measured, model);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const int tasks = static_cast<int>(args.get_int("tasks", 50000));
+
+  std::printf("# Equation (1): measured atomic RMW per task (move/reuse "
+              "chain of %d tasks)\n",
+              tasks);
+  std::printf("# model: per input 1 input-count + 1 bucket-lock + 2 "
+              "refcount; plus 2 mempool + 2 scheduler\n");
+  std::printf(
+      "n_inputs,input_count,bucket_lock,refcount,mempool,scheduler,"
+      "measured_total,model_total\n");
+  report(1, run_chain<1>(tasks), tasks);
+  report(2, run_chain<2>(tasks), tasks);
+  report(3, run_chain<3>(tasks), tasks);
+  report(4, run_chain<4>(tasks), tasks);
+  report(5, run_chain<5>(tasks), tasks);
+  report(6, run_chain<6>(tasks), tasks);
+  return 0;
+}

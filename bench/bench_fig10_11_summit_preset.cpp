@@ -1,0 +1,44 @@
+// Figures 10 & 11: the Summit (Power9) runs of Task-Bench — the same
+// harness as Figs. 7/8 "albeit with a reduced set of task granularities
+// and variants" (paper Sec. V-D3), at 1 core (Fig. 10) and at the full
+// socket's 22 threads (Fig. 11).
+//
+// This build runs on one machine, so the Summit figures map to a preset
+// of the same benchmark: the reduced granularity set, 1 core and
+// min(22, hardware) threads. The paper's shape on both machines is the
+// same three groups: MPI fastest, TTG/PaRSEC/OpenMP-for in the middle,
+// OpenMP tasks trailing.
+//
+//   ./bench_fig10_11_summit_preset [--threads=N] [--steps=N]
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "taskbench_sweep.hpp"
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const int steps = static_cast<int>(args.get_int("steps", 100));
+  // Summit nodes have 22 cores per socket.
+  const int threads = static_cast<int>(args.get_int(
+      "threads", std::min(22, bench::default_max_threads())));
+  // The reduced granularity set of Figs. 10/11 (1e6 .. 1e3).
+  const std::vector<std::uint64_t> flops = {1000000, 100000, 10000, 1000};
+
+  std::printf("# Figure 10: Task-Bench 1D stencil, 1 core (Summit "
+              "preset), steps=%d\n",
+              steps);
+  double baseline =
+      bench::best_single_core_rate(flops.front(), /*width=*/1, steps);
+  auto series = bench::run_taskbench_sweep(flops, /*width=*/1, steps, 1);
+  bench::print_sweep(series, baseline, 1);
+
+  std::printf("# Figure 11: Task-Bench 1D stencil, %d threads (Summit "
+              "preset), steps=%d\n",
+              threads, steps);
+  baseline =
+      bench::best_single_core_rate(flops.front(), threads, steps);
+  series = bench::run_taskbench_sweep(flops, threads, steps, threads);
+  bench::print_sweep(series, baseline, threads);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 12: MRA time-to-solution with the original and the optimized
+// TTG/runtime, for several batches of concurrently-computed Gaussians,
+// across a thread sweep; each point also reports the speedup over the
+// 1-thread run of the same configuration.
+//
+// Paper shape (64/128/256 functions, exponent 3e4, eps 1e-8): the
+// original runtime saturates near 5x speedup; the optimized one reaches
+// ~20x at 48 threads for 256 functions. Defaults here are scaled for a
+// small machine; --paper restores the paper's parameters.
+//
+//   ./bench_fig12_mra [--functions=a,b,c] [--k=N] [--thresh=X]
+//                     [--expnt=X] [--max-threads=N] [--paper]
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mra/mra.hpp"
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const bool paper = args.has_flag("paper");
+
+  mra::MraParams params;
+  params.k = static_cast<std::size_t>(args.get_int("k", paper ? 10 : 6));
+  params.thresh = args.get_double("thresh", paper ? 1e-8 : 1e-4);
+  const double expnt = args.get_double("expnt", paper ? 30000.0 : 400.0);
+  const int max_threads = static_cast<int>(
+      args.get_int("max-threads", bench::default_max_threads()));
+
+  std::vector<int> function_counts;
+  {
+    const std::string spec =
+        args.get_string("functions", paper ? "64,128,256" : "4,8,16");
+    std::stringstream ss(spec);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      function_counts.push_back(std::atoi(item.c_str()));
+    }
+  }
+
+  std::printf("# Figure 12: MRA time-to-solution (k=%zu thresh=%.0e "
+              "exponent=%.0f)\n",
+              params.k, params.thresh, expnt);
+  std::printf(
+      "config,functions,threads,seconds,speedup,leaves,tasks_total\n");
+  for (const bool optimized : {false, true}) {
+    ttg::Config rt =
+        optimized ? ttg::Config::optimized() : ttg::Config::original();
+    for (int nfuncs : function_counts) {
+      const auto functions =
+          mra::random_gaussians(nfuncs, expnt, /*seed=*/42, params);
+      double t1 = 0;
+      for (int threads : bench::thread_sweep(max_threads)) {
+        rt.num_threads = threads;
+        const auto r = mra::run_mra(params, functions, rt);
+        if (threads == 1) t1 = r.seconds;
+        const std::uint64_t total =
+            r.project_tasks + r.compress_tasks + r.reconstruct_tasks;
+        std::printf("%s,%d,%d,%.4f,%.2f,%llu,%llu\n",
+                    optimized ? "optimized" : "original", nfuncs, threads,
+                    r.seconds, t1 > 0 ? t1 / r.seconds : 1.0,
+                    static_cast<unsigned long long>(r.leaves),
+                    static_cast<unsigned long long>(total));
+      }
+    }
+  }
+  return 0;
+}

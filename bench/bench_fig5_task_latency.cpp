@@ -1,0 +1,231 @@
+// Figure 5: minimum task latency on a serial chain, for 0..6 data flows
+// (TTG) / task dependencies (OpenMP) between consecutive tasks.
+//
+// Series: TTG (move), TTG (copy), TaskFlow-mini (control flow only, so
+// a single x=0 point), and OpenMP task dependencies when available. The
+// paper's shape: TTG control flow ~75ns beating OpenMP/TaskFlow >200ns;
+// TTG latency grows with flows (hash table enters at 2 flows) and meets
+// OpenMP around 4 flows.
+//
+//   ./bench_fig5_task_latency [--tasks=N]
+#include <cstdio>
+#include <tuple>
+#include <utility>
+
+#include "baselines/taskflow_mini.hpp"
+#include "bench_common.hpp"
+#include "common/cycle_clock.hpp"
+#include "ttg/ttg.hpp"
+
+#if defined(TTG_SMALLTASK_HAVE_OPENMP)
+#include <omp.h>
+
+#include <chrono>
+#include <thread>
+#endif
+
+namespace {
+
+ttg::Config serial_config() {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 1;
+  return cfg;
+}
+
+/// TTG chain with zero flows: pure control flow along a Void edge.
+/// `inline_depth` > 0 additionally exercises the task-inlining extension
+/// (the paper's Sec. V-E future-work item).
+double run_ttg_chain0(int tasks, int inline_depth = 0) {
+  ttg::Config cfg = serial_config();
+  cfg.inline_max_depth = inline_depth;
+  ttg::World world(cfg);
+  ttg::Edge<int, ttg::Void> e("ctl");
+  auto tt = ttg::make_tt<int>(
+      [tasks](const int& k, const ttg::Void&, auto& outs) {
+        if (k < tasks) ttg::sendk<0>(k + 1, outs);
+      },
+      ttg::edges(e), ttg::edges(e), "chain", world);
+  world.execute();  // warm-up epoch
+  tt->sendk_input<0>(tasks - 100 > 0 ? tasks - 100 : 0);
+  world.fence();
+  world.execute();
+  ttg::WallTimer timer;
+  tt->sendk_input<0>(0);
+  world.fence();
+  return timer.seconds() / tasks * 1e9;
+}
+
+template <std::size_t NFlows>
+double run_ttg_chain(int tasks, bool move_data) {
+  ttg::World world(serial_config());
+  auto edge_tuple = [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+    return std::make_tuple(
+        ttg::Edge<int, std::uint64_t>("flow" + std::to_string(Is))...);
+  }(std::make_index_sequence<NFlows>{});
+
+  auto body = [tasks, move_data](const int& k, auto&... rest) {
+    auto& outs = std::get<sizeof...(rest) - 1>(std::tie(rest...));
+    if (k < tasks) {
+      [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+        auto vals = std::tie(rest...);
+        if (move_data) {
+          (ttg::send<Is>(k + 1, std::move(std::get<Is>(vals)), outs), ...);
+        } else {
+          (ttg::send<Is>(
+               k + 1,
+               static_cast<const std::uint64_t&>(std::get<Is>(vals)),
+               outs),
+           ...);
+        }
+      }(std::make_index_sequence<NFlows>{});
+    }
+  };
+  auto tt = std::apply(
+      [&](auto&... edges) {
+        return ttg::make_tt<int>(body, ttg::edges(edges...),
+                                 ttg::edges(edges...), "chain", world);
+      },
+      edge_tuple);
+
+  auto seed = [&] {
+    [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+      (tt->template send_input<Is>(0, std::uint64_t{Is}), ...);
+    }(std::make_index_sequence<NFlows>{});
+  };
+  world.execute();  // warm-up epoch (pools, hash table)
+  seed();
+  world.fence();
+  world.execute();
+  ttg::WallTimer timer;
+  seed();
+  world.fence();
+  return timer.seconds() / tasks * 1e9;
+}
+
+double run_taskflow_chain(int tasks) {
+  tfm::Taskflow flow;
+  tfm::Task prev = flow.emplace([] {});
+  for (int i = 1; i < tasks; ++i) {
+    tfm::Task cur = flow.emplace([] {});
+    prev.precede(cur);
+    prev = cur;
+  }
+  tfm::Executor exec(1);
+  ttg::WallTimer timer;
+  exec.run(flow);
+  return timer.seconds() / tasks * 1e9;
+}
+
+#if defined(TTG_SMALLTASK_HAVE_OPENMP)
+double run_omp_chain(int tasks, int ndeps) {
+  // The paper's trick: run 2 threads and block one so the OpenMP runtime
+  // cannot inline tasks as it could with a single thread.
+  double seconds = 0;
+  omp_set_num_threads(2);
+  volatile std::uint64_t sink = 0;
+  static std::uint64_t d[6];
+  (void)d;  // only named inside depend clauses
+#pragma omp parallel
+  {
+#pragma omp single nowait
+    {
+      ttg::WallTimer timer;
+      // Even the zero-flow point is a *serialized* chain of tasks (the
+      // figure's x axis counts data flows, not ordering edges), so the
+      // OpenMP variant always carries at least one inout dependence.
+      for (int i = 0; i < tasks; ++i) {
+        switch (ndeps) {
+          case 0:
+          case 1:
+#pragma omp task depend(inout : d[0])
+            { }
+            break;
+          case 2:
+#pragma omp task depend(inout : d[0], d[1])
+            { }
+            break;
+          case 3:
+#pragma omp task depend(inout : d[0], d[1], d[2])
+            { }
+            break;
+          case 4:
+#pragma omp task depend(inout : d[0], d[1], d[2], d[3])
+            { }
+            break;
+          case 5:
+#pragma omp task depend(inout : d[0], d[1], d[2], d[3], d[4])
+            { }
+            break;
+          default:
+#pragma omp task depend(inout : d[0], d[1], d[2], d[3], d[4], d[5])
+            { }
+            break;
+        }
+      }
+#pragma omp taskwait
+      seconds = timer.seconds();
+    }
+    // The other thread parks briefly instead of helping, as in the paper.
+    if (omp_get_thread_num() != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  (void)sink;
+  return seconds / tasks * 1e9;
+}
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const int tasks = static_cast<int>(args.get_int("tasks", 200000));
+
+  std::printf("# Figure 5: task latency (ns/task), chain of %d tasks\n",
+              tasks);
+  std::printf("flows,ttg_move,ttg_copy,taskflow_mini,omp_taskdeps\n");
+  std::printf("# extension: TTG control-flow chain with task inlining "
+              "(depth 64): %.1f ns/task\n",
+              run_ttg_chain0(tasks, 64));
+  for (int flows = 0; flows <= 6; ++flows) {
+    double ttg_move = 0, ttg_copy = 0;
+    switch (flows) {
+      case 0:
+        ttg_move = ttg_copy = run_ttg_chain0(tasks);
+        break;
+      case 1:
+        ttg_move = run_ttg_chain<1>(tasks, true);
+        ttg_copy = run_ttg_chain<1>(tasks, false);
+        break;
+      case 2:
+        ttg_move = run_ttg_chain<2>(tasks, true);
+        ttg_copy = run_ttg_chain<2>(tasks, false);
+        break;
+      case 3:
+        ttg_move = run_ttg_chain<3>(tasks, true);
+        ttg_copy = run_ttg_chain<3>(tasks, false);
+        break;
+      case 4:
+        ttg_move = run_ttg_chain<4>(tasks, true);
+        ttg_copy = run_ttg_chain<4>(tasks, false);
+        break;
+      case 5:
+        ttg_move = run_ttg_chain<5>(tasks, true);
+        ttg_copy = run_ttg_chain<5>(tasks, false);
+        break;
+      default:
+        ttg_move = run_ttg_chain<6>(tasks, true);
+        ttg_copy = run_ttg_chain<6>(tasks, false);
+        break;
+    }
+    const double tf = flows == 0 ? run_taskflow_chain(tasks) : -1;
+#if defined(TTG_SMALLTASK_HAVE_OPENMP)
+    const double omp = run_omp_chain(tasks, flows);
+#else
+    const double omp = -1;
+#endif
+    std::printf("%d,%.1f,%.1f,%.1f,%.1f\n", flows, ttg_move, ttg_copy, tf,
+                omp);
+  }
+  return 0;
+}

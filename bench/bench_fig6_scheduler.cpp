@@ -1,0 +1,111 @@
+// Figure 6: LFQ vs LLP under pressure — a binary tree of tasks passing a
+// single token from the root to the leaves, one input per task (so the
+// hash table is bypassed and all pressure lands on the scheduler).
+//
+//  * overhead mode (Fig. 6a): relative overhead 100 * t_0 / t_c for task
+//    durations c, per scheduler and thread count. Paper shape: LLP drops
+//    below 1% near 40k cycles even at full thread count; LFQ stays high
+//    because almost every schedule operation hits the global FIFO lock.
+//  * speedup mode (Fig. 6b): speedup over 1 thread for task sizes
+//    {0, 500, 10k, 100k} cycles. Paper shape: LLP near-linear for >= 10k
+//    cycles, LFQ poor for all but the largest tasks.
+//
+//   ./bench_fig6_scheduler [--height=N] [--mode=overhead|speedup|both]
+//                          [--max-threads=N]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/busy_wait.hpp"
+#include "common/cycle_clock.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+/// Runs the binary-tree benchmark; returns seconds.
+double run_tree(ttg::SchedulerType sched, int threads, int height,
+                std::uint64_t cycles) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.scheduler = sched;
+  cfg.num_threads = threads;
+  ttg::World world(cfg);
+
+  ttg::Edge<int, ttg::Void> e("tree");
+  const int num_nodes = (1 << (height + 1)) - 1;
+  auto tt = ttg::make_tt<int>(
+      [num_nodes, cycles](const int& k, const ttg::Void&, auto& outs) {
+        ttg::busy_wait_cycles(cycles);
+        const int left = 2 * k + 1;
+        if (left + 1 < num_nodes) {
+          ttg::sendk<0>(left, outs);
+          ttg::sendk<0>(left + 1, outs);
+        }
+      },
+      ttg::edges(e), ttg::edges(e), "node", world);
+
+  // Warm-up epoch populates the task pools.
+  world.execute();
+  tt->sendk_input<0>(num_nodes - 2);
+  world.fence();
+
+  world.execute();
+  ttg::WallTimer timer;
+  tt->sendk_input<0>(0);
+  world.fence();
+  return timer.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const int height = static_cast<int>(
+      args.get_int("height", args.has_flag("paper") ? 22 : 15));
+  const int max_threads = static_cast<int>(
+      args.get_int("max-threads", bench::default_max_threads()));
+  const std::string mode = args.get_string("mode", "both");
+  const int num_tasks = (1 << (height + 1)) - 1;
+
+  const ttg::SchedulerType scheds[] = {ttg::SchedulerType::kLFQ,
+                                       ttg::SchedulerType::kLLP};
+
+  if (mode == "overhead" || mode == "both") {
+    std::printf("# Figure 6a: relative overhead [%%] (tree height %d, %d "
+                "tasks)\n",
+                height, num_tasks);
+    std::printf("scheduler,threads,cycles,seconds,overhead_pct\n");
+    const std::uint64_t durations[] = {0,     1000,  5000,  10000, 20000,
+                                       40000, 60000, 80000, 100000};
+    for (auto sched : scheds) {
+      for (int t : bench::thread_sweep(max_threads)) {
+        const double t0 = run_tree(sched, t, height, 0);
+        for (std::uint64_t c : durations) {
+          const double tc = c == 0 ? t0 : run_tree(sched, t, height, c);
+          std::printf("%s,%d,%llu,%.4f,%.3f\n",
+                      std::string(ttg::to_string(sched)).c_str(), t,
+                      static_cast<unsigned long long>(c), tc,
+                      100.0 * t0 / tc);
+        }
+      }
+    }
+  }
+
+  if (mode == "speedup" || mode == "both") {
+    std::printf("# Figure 6b: speedup over 1 thread\n");
+    std::printf("scheduler,cycles,threads,seconds,speedup\n");
+    const std::uint64_t durations[] = {0, 500, 10000, 100000};
+    for (auto sched : scheds) {
+      for (std::uint64_t c : durations) {
+        const double t1 = run_tree(sched, 1, height, c);
+        for (int t : bench::thread_sweep(max_threads)) {
+          const double tc = t == 1 ? t1 : run_tree(sched, t, height, c);
+          std::printf("%s,%llu,%d,%.4f,%.2f\n",
+                      std::string(ttg::to_string(sched)).c_str(),
+                      static_cast<unsigned long long>(c), t, tc, t1 / tc);
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 7: Task-Bench on a single core — average core time per task
+// (7a) and efficiency under decreasing flops-per-task (7b), 1D stencil,
+// one point per core, 1000 timesteps (scaled down by default).
+//
+// Paper shape: MPI lowest per-task time (no task handling at all), then
+// TTG ~ OpenMP worksharing, then PaRSEC PTG, then OpenMP tasks;
+// METG(50%) ~ 6k flops for MPI, 20-25k for TTG / OpenMP-for, >100k for
+// OpenMP tasks.
+//
+//   ./bench_fig7_taskbench_1core [--steps=N] [--width=N] [--paper]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "taskbench_sweep.hpp"
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const bool paper = args.has_flag("paper");
+  const int steps =
+      static_cast<int>(args.get_int("steps", paper ? 1000 : 200));
+  const int width = static_cast<int>(args.get_int("width", 1));
+  const auto flops = bench::default_flops_sweep(paper);
+
+  std::printf("# Figure 7: Task-Bench 1D stencil, 1 core, width=%d "
+              "steps=%d\n",
+              width, steps);
+  const double baseline = bench::best_single_core_rate(flops.front(),
+                                                       width, steps);
+  std::printf("# efficiency baseline: %.3e flops/s (best single-core)\n",
+              baseline);
+  const auto series =
+      bench::run_taskbench_sweep(flops, width, steps, /*threads=*/1);
+  bench::print_sweep(series, baseline, /*threads=*/1);
+  return 0;
+}

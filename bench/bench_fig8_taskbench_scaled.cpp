@@ -1,0 +1,37 @@
+// Figure 8: Task-Bench at full thread count (64 cores in the paper) —
+// average core time per task (8a) and efficiency relative to the best
+// single-core rate x threads (8b).
+//
+// Paper shape: TTG and the optimized PaRSEC PTG on par with the best
+// OpenMP worksharing runtime; OpenMP tasks markedly worse; METG(50%) of
+// TTG ~60k flops vs ~1M for OpenMP worksharing.
+//
+//   ./bench_fig8_taskbench_scaled [--threads=N] [--steps=N] [--paper]
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "taskbench_sweep.hpp"
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const bool paper = args.has_flag("paper");
+  const int threads = static_cast<int>(
+      args.get_int("threads", bench::default_max_threads()));
+  const int steps =
+      static_cast<int>(args.get_int("steps", paper ? 1000 : 100));
+  // "One task per core per timestep".
+  const int width = static_cast<int>(args.get_int("width", threads));
+  const auto flops = bench::default_flops_sweep(paper);
+
+  std::printf("# Figure 8: Task-Bench 1D stencil, %d threads, width=%d "
+              "steps=%d\n",
+              threads, width, steps);
+  const double baseline = bench::best_single_core_rate(flops.front(),
+                                                       width, steps);
+  std::printf("# efficiency baseline: %.3e flops/s x %d threads\n",
+              baseline, threads);
+  const auto series =
+      bench::run_taskbench_sweep(flops, width, steps, threads);
+  bench::print_sweep(series, baseline, threads);
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 9: breakdown of the individual optimizations on Task-Bench —
+// four-counter (process-atomic) termination detection vs thread-local
+// termination detection vs thread-local + biased reader-writer lock,
+// all on the LLP scheduler at full thread count.
+//
+// Paper shape: each optimization peels off part of the small-task
+// overhead; the combination is required for the best curve ("any
+// bottleneck will inevitably limit scalability").
+//
+//   ./bench_fig9_ablation [--threads=N] [--steps=N] [--paper]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "taskbench_sweep.hpp"
+#include "ttg/ttg.hpp"
+
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  const bool paper = args.has_flag("paper");
+  const int threads = static_cast<int>(
+      args.get_int("threads", bench::default_max_threads()));
+  const int steps =
+      static_cast<int>(args.get_int("steps", paper ? 1000 : 100));
+  const int width = static_cast<int>(args.get_int("width", threads));
+  const auto flops = bench::default_flops_sweep(paper);
+
+  struct Variant {
+    std::string name;
+    ttg::Config cfg;
+  };
+  std::vector<Variant> variants;
+  {
+    // All variants use LLP + relaxed ordering so the plot isolates the
+    // termination-detection and rwlock contributions, as in Fig. 9.
+    ttg::Config base = ttg::Config::optimized();
+    Variant four_counter{"fourcounter_termdet", base};
+    four_counter.cfg.termdet = ttg::TermDetMode::kProcessAtomic;
+    four_counter.cfg.biased_rwlock = false;
+    Variant thread_local_td{"threadlocal_termdet", base};
+    thread_local_td.cfg.biased_rwlock = false;
+    Variant full{"threadlocal_termdet_biased_rwlock", base};
+    variants = {four_counter, thread_local_td, full};
+  }
+
+  std::printf("# Figure 9: optimization breakdown, %d threads, width=%d "
+              "steps=%d\n",
+              threads, width, steps);
+  std::printf("variant,flops_per_task,core_time_per_task_s,checksum_ok\n");
+  for (const auto& v : variants) {
+    for (std::uint64_t f : flops) {
+      taskbench::BenchConfig cfg;
+      cfg.pattern = taskbench::Pattern::kStencil1D;
+      cfg.width = width;
+      cfg.steps = steps;
+      cfg.iterations = taskbench::flops_to_iterations(f);
+      const auto r = taskbench::run_ttg_with(cfg, threads, v.cfg);
+      std::printf("%s,%llu,%.3e,%d\n", v.name.c_str(),
+                  static_cast<unsigned long long>(f),
+                  r.seconds * threads / static_cast<double>(r.tasks),
+                  r.checksum_ok ? 1 : 0);
+    }
+  }
+  return 0;
+}

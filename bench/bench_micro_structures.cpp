@@ -1,0 +1,192 @@
+// Microbenchmarks of the runtime's building blocks (google-benchmark):
+// the atomic LIFO, the bounded priority buffer, the global FIFO, the
+// scalable hash table, the BRAVO vs plain reader-writer lock, the
+// memory pool, the schedulers and the termination-detection modes.
+// These are the component-level ablations behind the figure benches.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "structures/bounded_buffer.hpp"
+#include "structures/fifo.hpp"
+#include "structures/hash_table.hpp"
+#include "structures/lifo.hpp"
+#include "structures/mempool.hpp"
+#include "sync/bravo.hpp"
+#include "sync/bucket_lock.hpp"
+#include "sync/rwlock.hpp"
+#include "termdet/termdet.hpp"
+
+namespace {
+
+struct Node : ttg::LifoNode {
+  std::uint64_t payload = 0;
+};
+
+void BM_LifoPushPop(benchmark::State& state) {
+  ttg::AtomicLifo lifo;
+  Node node;
+  for (auto _ : state) {
+    lifo.push(&node);
+    benchmark::DoNotOptimize(lifo.pop());
+  }
+}
+BENCHMARK(BM_LifoPushPop);
+
+void BM_LifoDetachAttach(benchmark::State& state) {
+  ttg::AtomicLifo lifo;
+  std::vector<Node> nodes(16);
+  for (auto& n : nodes) lifo.push(&n);
+  for (auto _ : state) {
+    ttg::LifoNode* list = lifo.detach();
+    lifo.attach(list);
+  }
+  while (lifo.pop() != nullptr) {
+  }
+}
+BENCHMARK(BM_LifoDetachAttach);
+
+void BM_BoundedBufferPushPop(benchmark::State& state) {
+  ttg::BoundedPriorityBuffer<8> buf;
+  Node node;
+  node.priority = 1;
+  for (auto _ : state) {
+    buf.push(&node);
+    benchmark::DoNotOptimize(buf.pop_best());
+  }
+}
+BENCHMARK(BM_BoundedBufferPushPop);
+
+void BM_GlobalFifoPushPop(benchmark::State& state) {
+  ttg::LockedFifo fifo;
+  Node node;
+  for (auto _ : state) {
+    fifo.push(&node);
+    benchmark::DoNotOptimize(fifo.pop());
+  }
+}
+BENCHMARK(BM_GlobalFifoPushPop);
+
+void BM_BucketLock(benchmark::State& state) {
+  ttg::BucketLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_BucketLock);
+
+void BM_RWLockReader(benchmark::State& state) {
+  ttg::RWSpinLock lock;
+  for (auto _ : state) {
+    lock.read_lock();
+    lock.read_unlock();
+  }
+}
+BENCHMARK(BM_RWLockReader);
+
+void BM_BravoReaderFastPath(benchmark::State& state) {
+  ttg::set_bravo_enabled(true);
+  ttg::BravoRWLock<> lock(64);
+  for (auto _ : state) {
+    auto token = lock.read_lock();
+    lock.read_unlock(token);
+  }
+}
+BENCHMARK(BM_BravoReaderFastPath);
+
+struct Item : ttg::HashItemBase {
+  std::uint64_t key;
+};
+
+void BM_HashTableInsertFindRemove(benchmark::State& state) {
+  ttg::ScalableHashTable table(8);
+  Item item;
+  item.key = 42;
+  item.hash = 0xabcdef;
+  const auto eq = [](const ttg::HashItemBase* it) {
+    return static_cast<const Item*>(it)->key == 42;
+  };
+  for (auto _ : state) {
+    {
+      auto acc = table.lock_key(item.hash);
+      acc.insert(&item);
+    }
+    {
+      auto acc = table.lock_key(item.hash);
+      benchmark::DoNotOptimize(acc.find(eq));
+      acc.remove(eq);
+    }
+  }
+}
+BENCHMARK(BM_HashTableInsertFindRemove);
+
+void BM_MemPoolAllocFree(benchmark::State& state) {
+  ttg::MemoryPool pool(128);
+  for (auto _ : state) {
+    void* p = pool.allocate();
+    benchmark::DoNotOptimize(p);
+    pool.deallocate(p);
+  }
+}
+BENCHMARK(BM_MemPoolAllocFree);
+
+void BM_MallocFreeReference(benchmark::State& state) {
+  for (auto _ : state) {
+    void* p = std::malloc(128);
+    benchmark::DoNotOptimize(p);
+    std::free(p);
+  }
+}
+BENCHMARK(BM_MallocFreeReference);
+
+void BM_SchedulerPushPop(benchmark::State& state) {
+  const auto type = static_cast<ttg::SchedulerType>(state.range(0));
+  auto sched = ttg::make_scheduler(type, 1);
+  Node node;
+  node.priority = 1;
+  for (auto _ : state) {
+    sched->push(0, &node);
+    benchmark::DoNotOptimize(sched->pop(0));
+  }
+  state.SetLabel(std::string(ttg::to_string(type)));
+}
+BENCHMARK(BM_SchedulerPushPop)
+    ->Arg(static_cast<int>(ttg::SchedulerType::kLFQ))
+    ->Arg(static_cast<int>(ttg::SchedulerType::kLL))
+    ->Arg(static_cast<int>(ttg::SchedulerType::kLLP));
+
+void BM_TermDetDiscoverComplete(benchmark::State& state) {
+  const auto mode = state.range(0) == 0 ? ttg::TermDetMode::kProcessAtomic
+                                        : ttg::TermDetMode::kThreadLocal;
+  ttg::TerminationDetector det(1, mode);
+  det.thread_attach(0);
+  for (auto _ : state) {
+    det.on_discovered();
+    det.on_completed();
+  }
+  state.SetLabel(state.range(0) == 0 ? "process-atomic" : "thread-local");
+}
+BENCHMARK(BM_TermDetDiscoverComplete)->Arg(0)->Arg(1);
+
+void BM_OrderingModes(benchmark::State& state) {
+  // The cost of one lock/unlock cycle under seq_cst vs acquire/release
+  // orderings (Sec. IV-A).
+  ttg::set_ordering_mode(state.range(0) == 0 ? ttg::OrderingMode::kSeqCst
+                                             : ttg::OrderingMode::kOptimized);
+  ttg::BucketLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+  ttg::set_ordering_mode(ttg::OrderingMode::kOptimized);
+  state.SetLabel(state.range(0) == 0 ? "seq_cst" : "acq-rel");
+}
+BENCHMARK(BM_OrderingModes)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

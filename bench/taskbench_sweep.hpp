@@ -1,0 +1,129 @@
+// Shared sweep driver for the Task-Bench figures (7, 8, 10, 11).
+//
+// Runs every registered implementation over a flops-per-task sweep on
+// the 1D stencil (the paper's configuration: one point per core, 1000
+// timesteps) and prints, per x-point:
+//   - average core time per task  (Figs. 7a/8a/10a/11a)
+//   - efficiency vs the best single-core flops rate scaled by the
+//     thread count (Figs. 7b/8b/10b/11b)
+// plus a METG(50%) summary per implementation.
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "taskbench/taskbench.hpp"
+
+namespace bench {
+
+struct SweepPoint {
+  std::uint64_t flops;
+  double core_time_per_task;  // seconds
+  double flops_rate;          // flops/s (aggregate)
+  bool ok;
+};
+
+struct SweepSeries {
+  std::string name;
+  std::vector<SweepPoint> points;
+};
+
+inline std::vector<SweepSeries> run_taskbench_sweep(
+    const std::vector<std::uint64_t>& flops_list, int width, int steps,
+    int threads) {
+  std::vector<SweepSeries> series;
+  for (const auto& impl : taskbench::implementations()) {
+    SweepSeries s;
+    s.name = impl.name;
+    for (std::uint64_t flops : flops_list) {
+      taskbench::BenchConfig cfg;
+      cfg.pattern = taskbench::Pattern::kStencil1D;
+      cfg.width = width;
+      cfg.steps = steps;
+      cfg.iterations = taskbench::flops_to_iterations(flops);
+      const auto r = impl.run(cfg, threads);
+      SweepPoint p;
+      p.flops = flops;
+      p.core_time_per_task =
+          r.seconds * threads / static_cast<double>(r.tasks);
+      const double total_flops = static_cast<double>(
+          cfg.iterations * taskbench::kFlopsPerIteration * r.tasks);
+      p.flops_rate = r.seconds > 0 ? total_flops / r.seconds : 0;
+      p.ok = r.checksum_ok;
+      s.points.push_back(p);
+    }
+    series.push_back(std::move(s));
+  }
+  return series;
+}
+
+/// Best single-core flops rate at the largest task size — the paper's
+/// efficiency baseline ("the highest performance observed on a single
+/// core").
+inline double best_single_core_rate(std::uint64_t flops, int width,
+                                    int steps) {
+  double best = 0;
+  for (const auto& impl : taskbench::implementations()) {
+    taskbench::BenchConfig cfg;
+    cfg.pattern = taskbench::Pattern::kStencil1D;
+    cfg.width = width;
+    cfg.steps = steps;
+    cfg.iterations = taskbench::flops_to_iterations(flops);
+    cfg.verify = false;
+    const auto r = impl.run(cfg, 1);
+    const double total_flops = static_cast<double>(
+        cfg.iterations * taskbench::kFlopsPerIteration * r.tasks);
+    if (r.seconds > 0) best = std::max(best, total_flops / r.seconds);
+  }
+  return best;
+}
+
+inline void print_sweep(const std::vector<SweepSeries>& series,
+                        double baseline_rate, int threads) {
+  std::printf("impl,flops_per_task,core_time_per_task_s,efficiency_pct,"
+              "checksum_ok\n");
+  for (const auto& s : series) {
+    for (const auto& p : s.points) {
+      const double eff =
+          baseline_rate > 0
+              ? 100.0 * p.flops_rate / (baseline_rate * threads)
+              : 0.0;
+      std::printf("%s,%llu,%.3e,%.1f,%d\n", s.name.c_str(),
+                  static_cast<unsigned long long>(p.flops),
+                  p.core_time_per_task, eff, p.ok ? 1 : 0);
+    }
+  }
+  // METG(50%): the smallest flops-per-task still reaching 50% efficiency.
+  std::printf("# METG(50%%) per implementation (flops/task; - = never)\n");
+  for (const auto& s : series) {
+    std::uint64_t metg = 0;
+    bool found = false;
+    for (const auto& p : s.points) {
+      const double eff =
+          baseline_rate > 0
+              ? 100.0 * p.flops_rate / (baseline_rate * threads)
+              : 0.0;
+      if (eff >= 50.0) {
+        metg = p.flops;  // sweep is descending; keep the smallest
+        found = true;
+      }
+    }
+    if (found) {
+      std::printf("# METG(50%%) %s = %llu\n", s.name.c_str(),
+                  static_cast<unsigned long long>(metg));
+    } else {
+      std::printf("# METG(50%%) %s = -\n", s.name.c_str());
+    }
+  }
+}
+
+inline std::vector<std::uint64_t> default_flops_sweep(bool paper) {
+  if (paper) {
+    return {100000000, 10000000, 1000000, 100000, 10000, 1000, 100};
+  }
+  return {1000000, 100000, 10000, 1000, 100};
+}
+
+}  // namespace bench

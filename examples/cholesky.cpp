@@ -1,0 +1,201 @@
+// Tiled Cholesky factorization as a template task graph.
+//
+// The classic dense linear-algebra dataflow (POTRF / TRSM / UPDATE)
+// expressed in TTG: each tile of the lower-triangular matrix flows
+// through a sequence of update tasks keyed by (k, i, j); the factor
+// panels are broadcast along the edges instead of being looked up in
+// shared state. Priorities push the critical path (small k first).
+//
+//   ./build/examples/cholesky [num_tiles [tile_size]]
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <tuple>
+#include <vector>
+
+#include "common/cycle_clock.hpp"
+#include "common/rng.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+using Tile = std::vector<double>;
+using KI = std::pair<int, int>;            // (k, i)
+using KIJ = std::tuple<int, int, int>;     // (k, i, j)
+
+// ----------------------------------------------------------- tile kernels
+
+/// In-place lower Cholesky of a b x b tile.
+void potrf(int b, Tile& a) {
+  for (int j = 0; j < b; ++j) {
+    double d = a[j * b + j];
+    for (int m = 0; m < j; ++m) d -= a[j * b + m] * a[j * b + m];
+    d = std::sqrt(d);
+    a[j * b + j] = d;
+    for (int i = j + 1; i < b; ++i) {
+      double v = a[i * b + j];
+      for (int m = 0; m < j; ++m) v -= a[i * b + m] * a[j * b + m];
+      a[i * b + j] = v / d;
+    }
+    for (int i = 0; i < j; ++i) a[i * b + j] = 0.0;  // zero upper part
+  }
+}
+
+/// X = A * L^{-T} for lower-triangular L (the TRSM of the panel).
+void trsm(int b, const Tile& lkk, Tile& a) {
+  for (int c = 0; c < b; ++c) {
+    for (int r = 0; r < b; ++r) {
+      double v = a[r * b + c];
+      for (int m = 0; m < c; ++m) v -= a[r * b + m] * lkk[c * b + m];
+      a[r * b + c] = v / lkk[c * b + c];
+    }
+  }
+}
+
+/// C -= A * B^T (the SYRK/GEMM trailing update).
+void gemm_nt(int b, const Tile& a, const Tile& bt, Tile& c) {
+  for (int i = 0; i < b; ++i) {
+    for (int j = 0; j < b; ++j) {
+      double v = 0;
+      for (int m = 0; m < b; ++m) v += a[i * b + m] * bt[j * b + m];
+      c[i * b + j] -= v;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int nt = argc > 1 ? std::atoi(argv[1]) : 8;   // tiles per side
+  const int b = argc > 2 ? std::atoi(argv[2]) : 24;   // tile size
+  const int n = nt * b;
+
+  // SPD input: A = M M^T + n*I, kept tiled (lower part only).
+  std::vector<double> dense(static_cast<std::size_t>(n) * n);
+  {
+    ttg::SplitMix64 rng(2022);
+    std::vector<double> m(static_cast<std::size_t>(n) * n);
+    for (auto& v : m) v = rng.next_double() - 0.5;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        double s = (i == j) ? n : 0.0;
+        for (int p = 0; p < n; ++p) s += m[i * n + p] * m[j * n + p];
+        dense[static_cast<std::size_t>(i) * n + j] = s;
+      }
+    }
+  }
+  auto load_tile = [&](int ti, int tj) {
+    Tile t(static_cast<std::size_t>(b) * b);
+    for (int i = 0; i < b; ++i) {
+      for (int j = 0; j < b; ++j) {
+        t[i * b + j] =
+            dense[static_cast<std::size_t>(ti * b + i) * n + tj * b + j];
+      }
+    }
+    return t;
+  };
+
+  ttg::World world(ttg::Config::optimized());
+
+  ttg::Edge<int, Tile> potrf_in("potrf");
+  ttg::Edge<KI, Tile> trsm_panel("trsm_panel");  // L_kk broadcast
+  ttg::Edge<KI, Tile> trsm_tile("trsm_tile");
+  ttg::Edge<KIJ, Tile> up_row("up_row"), up_col("up_col"),
+      up_tile("up_tile");
+
+  // Factor tiles land here; each slot has exactly one writer.
+  std::vector<Tile> result(static_cast<std::size_t>(nt) * nt);
+
+  auto potrf_tt = ttg::make_tt<int>(
+      [&, nt, b](const int& k, Tile& tile, auto& outs) {
+        potrf(b, tile);
+        result[static_cast<std::size_t>(k) * nt + k] = tile;
+        std::vector<KI> consumers;
+        for (int i = k + 1; i < nt; ++i) consumers.push_back(KI{k, i});
+        if (!consumers.empty()) {
+          ttg::broadcast<0>(consumers, tile, outs);
+        }
+      },
+      ttg::edges(potrf_in), ttg::edges(trsm_panel), "POTRF", world);
+  potrf_tt->set_priority_fn([nt](const int& k) { return 3 * (nt - k); });
+
+  auto trsm_tt = ttg::make_tt<KI>(
+      [&, nt, b](const KI& key, Tile& lkk, Tile& tile, auto& outs) {
+        const auto [k, i] = key;
+        trsm(b, lkk, tile);
+        result[static_cast<std::size_t>(i) * nt + k] = tile;
+        // L_ik feeds the trailing updates of row i and column i.
+        std::vector<KIJ> rows, cols;
+        for (int j = k + 1; j <= i; ++j) rows.push_back(KIJ{k, i, j});
+        for (int ii = i; ii < nt; ++ii) cols.push_back(KIJ{k, ii, i});
+        if (!rows.empty()) ttg::broadcast<0>(rows, tile, outs);
+        if (!cols.empty()) ttg::broadcast<1>(cols, tile, outs);
+      },
+      ttg::edges(trsm_panel, trsm_tile), ttg::edges(up_row, up_col),
+      "TRSM", world);
+  trsm_tt->set_priority_fn(
+      [nt](const KI& key) { return 3 * (nt - key.first) - 1; });
+
+  auto update_tt = ttg::make_tt<KIJ>(
+      [&, nt, b](const KIJ& key, Tile& lik, Tile& ljk, Tile& tile,
+                 auto& outs) {
+        const auto [k, i, j] = key;
+        gemm_nt(b, lik, ljk, tile);
+        if (j == k + 1) {
+          // The tile's final factorization step comes next.
+          if (i == j) {
+            ttg::send<0>(k + 1, std::move(tile), outs);
+          } else {
+            ttg::send<1>(KI{k + 1, i}, std::move(tile), outs);
+          }
+        } else {
+          ttg::send<2>(KIJ{k + 1, i, j}, std::move(tile), outs);
+        }
+      },
+      ttg::edges(up_row, up_col, up_tile),
+      ttg::edges(potrf_in, trsm_tile, up_tile), "UPDATE", world);
+  update_tt->set_priority_fn(
+      [nt](const KIJ& key) { return 3 * (nt - std::get<0>(key)) - 2; });
+
+  ttg::WallTimer timer;
+  world.execute();
+  // Seed: every lower tile enters its first operation.
+  potrf_tt->send_input<0>(0, load_tile(0, 0));
+  for (int i = 1; i < nt; ++i) {
+    trsm_tt->send_input<1>(KI{0, i}, load_tile(i, 0));
+  }
+  for (int j = 1; j < nt; ++j) {
+    for (int i = j; i < nt; ++i) {
+      update_tt->send_input<2>(KIJ{0, i, j}, load_tile(i, j));
+    }
+  }
+  world.fence();
+  const double dt = timer.seconds();
+
+  // Verify: max |(L L^T)_ij - A_ij| over the lower triangle.
+  auto lval = [&](int i, int j) -> double {
+    if (j > i) return 0.0;
+    const Tile& t = result[static_cast<std::size_t>(i / b) * nt + (j / b)];
+    return t.empty() ? 0.0 : t[(i % b) * b + (j % b)];
+  };
+  double max_err = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      double s = 0;
+      for (int m = 0; m <= j; ++m) s += lval(i, m) * lval(j, m);
+      max_err = std::max(
+          max_err,
+          std::abs(s - dense[static_cast<std::size_t>(i) * n + j]));
+    }
+  }
+
+  const double gflops = (n / 3.0 * n * n) / dt / 1e9;
+  std::printf(
+      "cholesky %dx%d (tiles %dx%d of %d): %.3fs %.2f GF/s, "
+      "max |LL^T - A| = %.2e (%s)\n",
+      n, n, nt, nt, b, dt, gflops, max_err,
+      max_err < 1e-8 * n ? "ok" : "MISMATCH");
+  return max_err < 1e-8 * n ? 0 : 1;
+}

@@ -1,0 +1,52 @@
+#include "atomics/op_counter.hpp"
+
+namespace ttg {
+
+std::string_view to_string(AtomicOpCategory c) {
+  switch (c) {
+    case AtomicOpCategory::kMemPool: return "mempool";
+    case AtomicOpCategory::kInputCount: return "input-count";
+    case AtomicOpCategory::kRefCount: return "refcount";
+    case AtomicOpCategory::kBucketLock: return "bucket-lock";
+    case AtomicOpCategory::kScheduler: return "scheduler";
+    case AtomicOpCategory::kRWLock: return "rwlock";
+    case AtomicOpCategory::kTermDet: return "termdet";
+    case AtomicOpCategory::kOther: return "other";
+    case AtomicOpCategory::kCount_: break;
+  }
+  return "?";
+}
+
+namespace atomic_ops {
+
+namespace detail {
+ThreadCounters g_counters[kMaxThreads];
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool enabled) {
+  detail::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+AtomicOpSnapshot snapshot() {
+  AtomicOpSnapshot s;
+  const int n = this_thread::id_count();
+  for (int t = 0; t < n; ++t) {
+    for (std::size_t i = 0; i < kAtomicOpCategories; ++i) {
+      s.counts[i] += detail::g_counters[t].counts[i];
+    }
+  }
+  return s;
+}
+
+void reset() {
+  const int n = this_thread::id_count();
+  for (int t = 0; t < n; ++t) {
+    detail::g_counters[t].counts.fill(0);
+  }
+}
+
+}  // namespace atomic_ops
+}  // namespace ttg

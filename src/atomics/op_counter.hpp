@@ -1,0 +1,92 @@
+// Atomic-operation accounting (paper Sec. IV-E).
+//
+// The paper models the number of atomic RMW operations in the lifetime of
+// a task as N_A = 4*N_i + 4 (Eq. 1): per input one input-counter update,
+// two data-copy refcount updates and one hash-bucket lock; plus two
+// mempool operations and two scheduler operations per task. To validate
+// that model empirically (bench_eq1_atomic_model and the property tests),
+// every atomic RMW in the runtime reports itself here, tagged with a
+// category.
+//
+// Counting is per-thread and non-atomic (a thread only increments its own
+// slot), so enabling it does not add contention; reading a snapshot sums
+// over all registered threads.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+#include "common/cache.hpp"
+#include "common/thread_id.hpp"
+
+namespace ttg {
+
+enum class AtomicOpCategory : int {
+  kMemPool = 0,     ///< free-list pool push/pop (N_OD)
+  kInputCount,      ///< task input-satisfaction counter (N_ID)
+  kRefCount,        ///< data-copy reference count retain/release (N_RC)
+  kBucketLock,      ///< hash-table bucket lock acquire (N_HB)
+  kScheduler,       ///< scheduler push/pop CAS (N_S)
+  kRWLock,          ///< reader-writer lock (eliminated by BRAVO fast path)
+  kTermDet,         ///< termination-detection counter updates
+  kOther,
+  kCount_,
+};
+
+constexpr std::size_t kAtomicOpCategories =
+    static_cast<std::size_t>(AtomicOpCategory::kCount_);
+
+std::string_view to_string(AtomicOpCategory c);
+
+/// One snapshot of counts summed over all threads.
+struct AtomicOpSnapshot {
+  std::array<std::uint64_t, kAtomicOpCategories> counts{};
+
+  std::uint64_t operator[](AtomicOpCategory c) const {
+    return counts[static_cast<std::size_t>(c)];
+  }
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (auto v : counts) t += v;
+    return t;
+  }
+  AtomicOpSnapshot operator-(const AtomicOpSnapshot& rhs) const {
+    AtomicOpSnapshot d;
+    for (std::size_t i = 0; i < kAtomicOpCategories; ++i)
+      d.counts[i] = counts[i] - rhs.counts[i];
+    return d;
+  }
+};
+
+namespace atomic_ops {
+
+/// Globally enables/disables accounting. Disabled by default; the counter
+/// increment is guarded by one relaxed bool load.
+void set_enabled(bool enabled);
+bool enabled();
+
+namespace detail {
+struct alignas(kCacheLineSize) ThreadCounters {
+  std::array<std::uint64_t, kAtomicOpCategories> counts{};
+};
+extern ThreadCounters g_counters[kMaxThreads];
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Records `n` atomic RMW operations of category `c` on this thread.
+inline void count(AtomicOpCategory c, std::uint64_t n = 1) {
+  if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+  detail::g_counters[this_thread::id()]
+      .counts[static_cast<std::size_t>(c)] += n;
+}
+
+/// Sums all threads' counters.
+AtomicOpSnapshot snapshot();
+
+/// Zeroes all threads' counters.
+void reset();
+
+}  // namespace atomic_ops
+}  // namespace ttg

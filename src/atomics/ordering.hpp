@@ -1,0 +1,82 @@
+// Runtime-selectable atomic memory ordering (paper Sec. IV-A).
+//
+// The "original" runtime used sequentially-consistent atomics everywhere;
+// one of the paper's optimizations is switching locks to acquire/release
+// and everything else to relaxed (with explicit fences where acq/rel is
+// genuinely needed). To let one binary run both the original and the
+// optimized configuration (Fig. 9 ablation), every atomic in the runtime
+// asks this module for its ordering instead of hard-coding it.
+//
+// The mode is read with a relaxed atomic load; on x86 that compiles to a
+// plain load, so the indirection itself does not perturb the experiment.
+#pragma once
+
+#include <atomic>
+
+namespace ttg {
+
+enum class OrderingMode {
+  kSeqCst,     ///< every atomic op uses memory_order_seq_cst ("original")
+  kOptimized,  ///< acq/rel for locks, relaxed elsewhere (Sec. IV-A)
+};
+
+namespace detail {
+inline std::atomic<OrderingMode> g_ordering{OrderingMode::kOptimized};
+}  // namespace detail
+
+inline void set_ordering_mode(OrderingMode m) {
+  detail::g_ordering.store(m, std::memory_order_relaxed);
+}
+
+inline OrderingMode ordering_mode() {
+  return detail::g_ordering.load(std::memory_order_relaxed);
+}
+
+/// Ordering for lock-acquire style RMW operations.
+inline std::memory_order ord_acquire() {
+  return ordering_mode() == OrderingMode::kSeqCst
+             ? std::memory_order_seq_cst
+             : std::memory_order_acquire;
+}
+
+/// Ordering for lock-release style stores. In the optimized mode this is
+/// the key win on x86-TSO: a release store is a plain store.
+inline std::memory_order ord_release() {
+  return ordering_mode() == OrderingMode::kSeqCst
+             ? std::memory_order_seq_cst
+             : std::memory_order_release;
+}
+
+/// Ordering for counter-style RMWs that carry no synchronization.
+inline std::memory_order ord_relaxed() {
+  return ordering_mode() == OrderingMode::kSeqCst
+             ? std::memory_order_seq_cst
+             : std::memory_order_relaxed;
+}
+
+/// Ordering for RMWs that both acquire and release (CAS on list heads).
+inline std::memory_order ord_acq_rel() {
+  return ordering_mode() == OrderingMode::kSeqCst
+             ? std::memory_order_seq_cst
+             : std::memory_order_acq_rel;
+}
+
+/// Plain load / store orderings.
+inline std::memory_order ord_load() {
+  return ordering_mode() == OrderingMode::kSeqCst
+             ? std::memory_order_seq_cst
+             : std::memory_order_relaxed;
+}
+inline std::memory_order ord_store() {
+  return ordering_mode() == OrderingMode::kSeqCst
+             ? std::memory_order_seq_cst
+             : std::memory_order_relaxed;
+}
+
+/// Explicit fences used where a relaxed RMW needs to publish or observe
+/// data (Sec. IV-A: "we use acquire and release memory barriers using
+/// atomic_thread_fence" for e.g. LIFO CAS loops).
+inline void fence_acquire() { std::atomic_thread_fence(std::memory_order_acquire); }
+inline void fence_release() { std::atomic_thread_fence(std::memory_order_release); }
+
+}  // namespace ttg

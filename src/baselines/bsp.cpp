@@ -1,0 +1,75 @@
+#include "baselines/bsp.hpp"
+
+#include <algorithm>
+
+namespace bsp {
+
+Communicator::Communicator(int nranks) : nranks_(nranks) {
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int i = 0; i < nranks; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+void Communicator::run(const std::function<void(Rank&)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    threads.emplace_back([this, r, &body] {
+      Rank rank;
+      rank.comm_ = this;
+      rank.id_ = r;
+      rank.size_ = nranks_;
+      body(rank);
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void Rank::barrier() {
+  auto& b = comm_->barrier_;
+  std::unique_lock<std::mutex> lock(b.mutex);
+  const std::uint64_t gen = b.generation;
+  if (++b.count == comm_->nranks_) {
+    b.count = 0;
+    ++b.generation;
+    b.cv.notify_all();
+  } else {
+    b.cv.wait(lock, [&] { return b.generation != gen; });
+  }
+}
+
+void Rank::send_bytes(int dest, int tag, const void* data,
+                      std::size_t bytes) {
+  auto& box = *comm_->mailboxes_[dest];
+  Communicator::Message msg;
+  msg.src = id_;
+  msg.tag = tag;
+  msg.payload.resize(bytes);
+  std::memcpy(msg.payload.data(), data, bytes);
+  {
+    std::lock_guard<std::mutex> guard(box.mutex);
+    box.messages.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+void Rank::recv_bytes(int src, int tag, void* data, std::size_t bytes) {
+  auto& box = *comm_->mailboxes_[id_];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    auto it = std::find_if(box.messages.begin(), box.messages.end(),
+                           [&](const Communicator::Message& m) {
+                             return m.src == src && m.tag == tag;
+                           });
+    if (it != box.messages.end()) {
+      std::memcpy(data, it->payload.data(),
+                  std::min(bytes, it->payload.size()));
+      box.messages.erase(it);
+      return;
+    }
+    box.cv.wait(lock);
+  }
+}
+
+}  // namespace bsp

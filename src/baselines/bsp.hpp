@@ -1,0 +1,104 @@
+// BSP executor: the MPI stand-in (see DESIGN.md substitutions).
+//
+// The paper's Task-Bench comparison includes a pure-MPI variant whose
+// advantage on one node is precisely that it has *no task handling*: each
+// rank runs a loop of compute / exchange / barrier. This module provides
+// that execution model with threads as ranks: SPMD launch, barriers, and
+// two-sided tagged point-to-point messages through per-rank mailboxes.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bsp {
+
+class Communicator;
+
+/// The per-rank handle passed to the SPMD body.
+class Rank {
+ public:
+  int id() const { return id_; }
+  int size() const { return size_; }
+
+  /// Blocks until every rank reached the barrier.
+  void barrier();
+
+  /// Sends `count` elements of trivially-copyable T to `dest` with `tag`.
+  template <typename T>
+  void send(int dest, int tag, const T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, data, count * sizeof(T));
+  }
+  template <typename T>
+  void send(int dest, int tag, const T& value) {
+    send(dest, tag, &value, 1);
+  }
+
+  /// Blocks until a message with `tag` from `src` arrives; copies it out.
+  template <typename T>
+  void recv(int src, int tag, T* data, std::size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    recv_bytes(src, tag, data, count * sizeof(T));
+  }
+  template <typename T>
+  T recv(int src, int tag) {
+    T v;
+    recv(src, tag, &v, 1);
+    return v;
+  }
+
+ private:
+  friend class Communicator;
+  void send_bytes(int dest, int tag, const void* data, std::size_t bytes);
+  void recv_bytes(int src, int tag, void* data, std::size_t bytes);
+
+  Communicator* comm_ = nullptr;
+  int id_ = 0;
+  int size_ = 0;
+};
+
+class Communicator {
+ public:
+  explicit Communicator(int nranks);
+
+  int size() const { return nranks_; }
+
+  /// Runs `body(rank)` on nranks threads SPMD-style; returns when all
+  /// ranks finished.
+  void run(const std::function<void(Rank&)>& body);
+
+ private:
+  friend class Rank;
+
+  struct Message {
+    int src;
+    int tag;
+    std::vector<std::uint8_t> payload;
+  };
+
+  struct Mailbox {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> messages;
+  };
+
+  struct Barrier {
+    std::mutex mutex;
+    std::condition_variable cv;
+    int count = 0;
+    std::uint64_t generation = 0;
+  };
+
+  int nranks_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  Barrier barrier_;
+};
+
+}  // namespace bsp

@@ -1,0 +1,106 @@
+#include "baselines/taskflow_mini.hpp"
+
+#include <mutex>
+
+namespace tfm {
+
+Task& Task::precede(Task& next) {
+  node_->successors.push_back(next.node_);
+  ++next.node_->num_dependents;
+  return next;
+}
+
+struct Executor::Queue {
+  std::mutex mutex;
+  std::vector<detail::Node*> items;  // LIFO
+};
+
+Executor::Executor(int num_threads) : num_threads_(num_threads) {
+  queues_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<Queue>());
+  }
+  threads_.reserve(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+Executor::~Executor() {
+  stop_.store(true, std::memory_order_release);
+  signal_.fetch_add(1, std::memory_order_release);
+  signal_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void Executor::push(int worker, detail::Node* node) {
+  Queue& q = *queues_[worker];
+  {
+    std::lock_guard<std::mutex> guard(q.mutex);
+    q.items.push_back(node);
+  }
+  signal_.fetch_add(1, std::memory_order_release);
+  if (sleepers_.load(std::memory_order_acquire) > 0) signal_.notify_all();
+}
+
+detail::Node* Executor::pop(int worker) {
+  for (int i = 0; i < num_threads_; ++i) {
+    Queue& q = *queues_[(worker + i) % num_threads_];
+    std::lock_guard<std::mutex> guard(q.mutex);
+    if (!q.items.empty()) {
+      detail::Node* node = q.items.back();
+      q.items.pop_back();
+      return node;
+    }
+  }
+  return nullptr;
+}
+
+void Executor::execute_node(int worker, detail::Node* node) {
+  node->work();
+  for (detail::Node* succ : node->successors) {
+    if (succ->join_counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      push(worker, succ);
+    }
+  }
+  remaining_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Executor::run(Taskflow& flow) {
+  for (auto& node : flow.nodes_) {
+    node->join_counter.store(node->num_dependents,
+                             std::memory_order_relaxed);
+  }
+  remaining_.store(static_cast<std::int64_t>(flow.num_tasks()),
+                   std::memory_order_release);
+  int next = 0;
+  for (auto& node : flow.nodes_) {
+    if (node->num_dependents == 0) {
+      push(next % num_threads_, node.get());
+      ++next;
+    }
+  }
+  while (remaining_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::yield();
+  }
+}
+
+void Executor::worker_main(int index) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (detail::Node* node = pop(index); node != nullptr) {
+      execute_node(index, node);
+      continue;
+    }
+    const std::uint64_t v = signal_.load(std::memory_order_acquire);
+    if (detail::Node* node = pop(index); node != nullptr) {
+      execute_node(index, node);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    sleepers_.fetch_add(1, std::memory_order_acq_rel);
+    signal_.wait(v, std::memory_order_acquire);
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace tfm

@@ -1,0 +1,95 @@
+// taskflow_mini: a small TaskFlow-style control-flow task library.
+//
+// Stands in for TaskFlow in the Fig. 5 minimum-task-latency comparison
+// (see DESIGN.md substitutions). Like TaskFlow it supports only control
+// flow between tasks — no data flows along edges and "multiple flows
+// between the two same tasks" are not supported — which is exactly the
+// property the paper exercises: a serial chain of trivially dependent
+// tasks measuring per-task overhead.
+//
+// Model: a static DAG of nodes with join counters, executed by a
+// work-stealing pool of worker threads.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace tfm {
+
+class Taskflow;
+class Executor;
+
+namespace detail {
+struct Node {
+  std::function<void()> work;
+  std::vector<Node*> successors;
+  std::uint32_t num_dependents = 0;
+  std::atomic<std::uint32_t> join_counter{0};
+};
+}  // namespace detail
+
+/// Lightweight handle to a node inside a Taskflow.
+class Task {
+ public:
+  /// Declares that this task runs before `next`.
+  Task& precede(Task& next);
+  Task& name(const char*) { return *this; }  // API-compat no-op
+
+ private:
+  friend class Taskflow;
+  friend class Executor;
+  explicit Task(detail::Node* node) : node_(node) {}
+  detail::Node* node_;
+};
+
+/// A static task graph: emplace tasks, wire them with precede().
+class Taskflow {
+ public:
+  template <typename F>
+  Task emplace(F&& f) {
+    nodes_.push_back(std::make_unique<detail::Node>());
+    nodes_.back()->work = std::forward<F>(f);
+    return Task(nodes_.back().get());
+  }
+
+  std::size_t num_tasks() const { return nodes_.size(); }
+
+ private:
+  friend class Executor;
+  std::vector<std::unique_ptr<detail::Node>> nodes_;
+};
+
+/// Executes Taskflows on a pool of worker threads with work stealing.
+class Executor {
+ public:
+  explicit Executor(int num_threads = 1);
+  ~Executor();
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Runs the graph to completion; blocks the calling thread.
+  void run(Taskflow& flow);
+
+  int num_threads() const { return num_threads_; }
+
+ private:
+  struct Queue;  // per-worker LIFO + lock
+  void worker_main(int index);
+  void push(int worker, detail::Node* node);
+  detail::Node* pop(int worker);
+  void execute_node(int worker, detail::Node* node);
+
+  int num_threads_;
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::int64_t> remaining_{0};
+  std::atomic<std::uint64_t> signal_{0};
+  std::atomic<int> sleepers_{0};
+};
+
+}  // namespace tfm

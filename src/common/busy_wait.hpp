@@ -1,0 +1,51 @@
+// Busy-wait primitives.
+//
+// Fig. 6 of the paper blocks each task "until a given number of cycles
+// has passed (using the rdtsc counter)". busy_wait_cycles() reproduces
+// that exactly. Backoff is the standard exponential pause used inside
+// spin loops.
+#pragma once
+
+#include <cstdint>
+
+#include "common/cycle_clock.hpp"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <immintrin.h>
+#endif
+
+namespace ttg {
+
+/// CPU pause hint for spin loops.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  _mm_pause();
+#endif
+}
+
+/// Spins until `cycles` TSC ticks have elapsed. cycles == 0 returns
+/// immediately (the "empty task" configuration).
+inline void busy_wait_cycles(std::uint64_t cycles) noexcept {
+  if (cycles == 0) return;
+  const std::uint64_t start = rdtsc();
+  while (rdtsc() - start < cycles) {
+    cpu_relax();
+  }
+}
+
+/// Exponential backoff for contended CAS loops: spins with pause, and
+/// doubles the spin count up to a cap on every invocation.
+class Backoff {
+ public:
+  void pause() noexcept {
+    for (std::uint32_t i = 0; i < spins_; ++i) cpu_relax();
+    if (spins_ < kMaxSpins) spins_ *= 2;
+  }
+  void reset() noexcept { spins_ = 1; }
+
+ private:
+  static constexpr std::uint32_t kMaxSpins = 1024;
+  std::uint32_t spins_ = 1;
+};
+
+}  // namespace ttg

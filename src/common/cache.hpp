@@ -1,0 +1,32 @@
+// Cache-line geometry and padding helpers.
+//
+// Almost every shared data structure in the runtime pads its per-thread
+// state to a cache line to avoid false sharing (the paper allocates "at
+// least one cache-line per thread" in the BRAVO visible-reader tables,
+// Sec. IV-D). These helpers centralize that.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace ttg {
+
+/// Cache-line size assumed throughout the runtime. std::hardware_
+/// destructive_interference_size is not reliably defined on all
+/// toolchains, so we pin the common x86-64 / POWER value.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Wraps a T so that consecutive array elements never share a cache line.
+template <typename T>
+struct alignas(kCacheLineSize) CachePadded {
+  T value{};
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+};
+
+static_assert(sizeof(CachePadded<char>) == kCacheLineSize);
+
+}  // namespace ttg

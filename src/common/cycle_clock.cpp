@@ -1,0 +1,32 @@
+#include "common/cycle_clock.hpp"
+
+namespace ttg {
+
+namespace {
+
+double calibrate() {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  const std::uint64_t c0 = rdtsc();
+  // Spin for ~10ms of wall time; long enough to average out scheduling
+  // noise, short enough to be invisible at startup.
+  while (std::chrono::duration<double>(clock::now() - t0).count() < 0.01) {
+  }
+  const std::uint64_t c1 = rdtsc();
+  const auto t1 = clock::now();
+  const double ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count();
+  double rate = static_cast<double>(c1 - c0) / ns;
+  // Guard against a non-invariant TSC or fallback clock reporting ~1.
+  if (rate <= 0.0) rate = 1.0;
+  return rate;
+}
+
+}  // namespace
+
+double cycles_per_ns() {
+  static const double rate = calibrate();
+  return rate;
+}
+
+}  // namespace ttg

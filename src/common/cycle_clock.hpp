@@ -1,0 +1,61 @@
+// Cycle-granularity timing.
+//
+// The paper's scheduler benchmarks (Fig. 6) parameterize task duration in
+// *cycles* measured with rdtsc. We expose the TSC directly on x86-64 and
+// fall back to steady_clock-derived pseudo-cycles elsewhere, plus a
+// one-time calibration of cycles-per-nanosecond so results can be
+// reported in either unit.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace ttg {
+
+/// Reads the timestamp counter. Monotonic on any post-2010 x86-64 part
+/// (invariant TSC); the fallback uses the steady clock at ns resolution.
+inline std::uint64_t rdtsc() noexcept {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Cycles per nanosecond, measured once at first use by timing the TSC
+/// against the steady clock for ~10 ms.
+double cycles_per_ns();
+
+/// Converts a cycle count to nanoseconds using the calibrated rate.
+inline double cycles_to_ns(std::uint64_t cycles) {
+  return static_cast<double>(cycles) / cycles_per_ns();
+}
+
+/// Converts nanoseconds to cycles using the calibrated rate.
+inline std::uint64_t ns_to_cycles(double ns) {
+  return static_cast<std::uint64_t>(ns * cycles_per_ns());
+}
+
+/// Simple wall-clock stopwatch used by benches and tests.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace ttg

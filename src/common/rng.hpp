@@ -1,0 +1,45 @@
+// Small deterministic RNGs for workload generation and tests.
+//
+// Benchmarks must be reproducible run-to-run, so all workload generators
+// (MRA Gaussian centers, Task-Bench random patterns, stress tests) seed
+// explicitly and use these engines instead of std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace ttg {
+
+/// SplitMix64: tiny, fast, passes BigCrush for seeding purposes.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return next() % bound;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Mixes a 64-bit value; used as the default hash finalizer for task IDs.
+inline std::uint64_t mix64(std::uint64_t z) noexcept {
+  z = (z ^ (z >> 33)) * 0xff51afd7ed558ccdULL;
+  z = (z ^ (z >> 33)) * 0xc4ceb9fe1a85ec53ULL;
+  return z ^ (z >> 33);
+}
+
+}  // namespace ttg

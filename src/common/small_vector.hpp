@@ -1,0 +1,114 @@
+// Minimal small-size-optimized vector.
+//
+// Used for per-task bounded collections that are almost always tiny (the
+// copies gathered by an aggregator terminal, successor-key lists) where a
+// heap allocation per task would dominate the task overhead this project
+// exists to minimize.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ttg {
+
+template <typename T, std::size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is restricted to trivially copyable types");
+
+ public:
+  SmallVector() = default;
+  SmallVector(const SmallVector& other) { *this = other; }
+  SmallVector& operator=(const SmallVector& other) {
+    clear();
+    reserve(other.size_);
+    std::memcpy(data(), other.data(), other.size_ * sizeof(T));
+    size_ = other.size_;
+    return *this;
+  }
+  SmallVector(SmallVector&& other) noexcept { *this = std::move(other); }
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    clear();
+    if (other.heap_ != nullptr) {
+      heap_ = other.heap_;
+      capacity_ = other.capacity_;
+      other.heap_ = nullptr;
+      other.capacity_ = N;
+    } else {
+      std::memcpy(inline_storage(), other.inline_storage(),
+                  other.size_ * sizeof(T));
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+    return *this;
+  }
+  ~SmallVector() { clear(); }
+
+  void push_back(const T& v) {
+    if (size_ == capacity_) grow();
+    data()[size_++] = v;
+  }
+
+  void clear() noexcept {
+    ::operator delete[](heap_);
+    heap_ = nullptr;
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  void reserve(std::size_t n) {
+    while (capacity_ < n) grow();
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T* data() noexcept {
+    return heap_ != nullptr ? heap_ : inline_storage();
+  }
+  const T* data() const noexcept {
+    return heap_ != nullptr ? heap_ : inline_storage();
+  }
+
+  T& operator[](std::size_t i) noexcept {
+    assert(i < size_);
+    return data()[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < size_);
+    return data()[i];
+  }
+
+  T* begin() noexcept { return data(); }
+  T* end() noexcept { return data() + size_; }
+  const T* begin() const noexcept { return data(); }
+  const T* end() const noexcept { return data() + size_; }
+
+ private:
+  T* inline_storage() noexcept {
+    return reinterpret_cast<T*>(inline_bytes_);
+  }
+  const T* inline_storage() const noexcept {
+    return reinterpret_cast<const T*>(inline_bytes_);
+  }
+
+  void grow() {
+    const std::size_t new_cap = capacity_ * 2;
+    T* heap = static_cast<T*>(::operator new[](new_cap * sizeof(T)));
+    std::memcpy(heap, data(), size_ * sizeof(T));
+    ::operator delete[](heap_);
+    heap_ = heap;
+    capacity_ = new_cap;
+  }
+
+  alignas(T) unsigned char inline_bytes_[N * sizeof(T)];
+  T* heap_ = nullptr;
+  std::size_t capacity_ = N;
+  std::size_t size_ = 0;
+};
+
+}  // namespace ttg

@@ -1,0 +1,31 @@
+#include "common/thread_id.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ttg::this_thread {
+
+namespace {
+std::atomic<int> g_next_id{0};
+
+int allocate_id() {
+  const int id = g_next_id.fetch_add(1, std::memory_order_relaxed);
+  if (id >= kMaxThreads) {
+    std::fprintf(stderr,
+                 "ttg-smalltask: more than %d threads used the runtime\n",
+                 kMaxThreads);
+    std::abort();
+  }
+  return id;
+}
+}  // namespace
+
+int id() {
+  thread_local const int tid = allocate_id();
+  return tid;
+}
+
+int id_count() { return g_next_id.load(std::memory_order_relaxed); }
+
+}  // namespace ttg::this_thread

@@ -1,0 +1,28 @@
+// Dense per-thread integer identifiers.
+//
+// The BRAVO visible-reader tables (Sec. IV-D) and the per-thread
+// termination-detection counters (Sec. IV-B) both need a dense small
+// integer per OS thread, assigned on first use and stable for the
+// thread's lifetime.
+#pragma once
+
+#include <cstdint>
+
+namespace ttg {
+
+/// Hard upper bound on threads that may ever touch the runtime in one
+/// process; sizes the per-lock BRAVO tables and per-thread counter
+/// arrays. 256 comfortably covers the paper's 64-core machines.
+inline constexpr int kMaxThreads = 256;
+
+namespace this_thread {
+
+/// Returns this thread's dense id in [0, kMaxThreads). Assigned on first
+/// call; aborts if more than kMaxThreads distinct threads ask.
+int id();
+
+/// Number of ids handed out so far (an upper bound on live threads).
+int id_count();
+
+}  // namespace this_thread
+}  // namespace ttg

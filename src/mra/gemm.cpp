@@ -1,0 +1,73 @@
+#include "mra/gemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace mra {
+
+void gemm(std::size_t m, std::size_t n, std::size_t k, const double* a,
+          const double* b, double* c) {
+  std::memset(c, 0, m * n * sizeof(double));
+  gemm_acc(m, n, k, a, b, c);
+}
+
+void gemm_acc(std::size_t m, std::size_t n, std::size_t k, const double* a,
+              const double* b, double* c) {
+  // ikj loop order: unit-stride inner loop over both B and C rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    double* ci = c + i * n;
+    for (std::size_t p = 0; p < k; ++p) {
+      const double aip = a[i * k + p];
+      if (aip == 0.0) continue;
+      const double* bp = b + p * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        ci[j] += aip * bp[j];
+      }
+    }
+  }
+}
+
+void transform3d(const double* t, std::size_t n_in, const double* m,
+                 std::size_t n_out, double* result, double* work) {
+  // Each pass contracts the *leading* dimension with M and cycles that
+  // axis to the back, so after three passes all dimensions are
+  // transformed and the axes are back in their original order.
+  //
+  // One pass as GEMM: view the tensor as (lead) x (rest), compute
+  // R = M * T -> (n_out) x (rest), then transpose R from [i', (j,l)]
+  // to [(j,l), i'].
+  const std::size_t nmax = std::max(n_in, n_out);
+  const std::size_t cap = nmax * nmax * nmax;
+  // src is either `t` or `pong`; gemm always writes `ping`, so a pass
+  // never clobbers its own input, and the transpose may reuse `pong`
+  // (the gemm already consumed it).
+  double* ping = work;        // GEMM output of the current pass
+  double* pong = work + cap;  // transposed output, the next pass's input
+
+  const double* src = t;
+  std::size_t lead = n_in;           // size of the contracted dimension
+  std::size_t d1 = n_in, d2 = n_in;  // trailing dimension sizes
+  for (int pass = 0; pass < 3; ++pass) {
+    const std::size_t rest = d1 * d2;
+    gemm(n_out, rest, lead, m, src, ping);
+    for (std::size_t i = 0; i < n_out; ++i) {
+      for (std::size_t jl = 0; jl < rest; ++jl) {
+        pong[jl * n_out + i] = ping[i * rest + jl];
+      }
+    }
+    src = pong;
+    lead = d1;
+    d1 = d2;
+    d2 = n_out;
+  }
+  std::memcpy(result, src, n_out * n_out * n_out * sizeof(double));
+}
+
+double norm2(const double* v, std::size_t n) {
+  double s = 0;
+  for (std::size_t i = 0; i < n; ++i) s += v[i] * v[i];
+  return std::sqrt(s);
+}
+
+}  // namespace mra

@@ -1,0 +1,33 @@
+// Minimal dense double-precision GEMM and 3D tensor transforms.
+//
+// The MRA mini-app's per-node work is "a GEMM on 20^2 double precision
+// matrices" (paper Sec. V-E): the two-scale filter applies a k x 2k
+// matrix (2k = 20 for the order-10 basis) along each dimension of a
+// child-assembled coefficient tensor. These kernels are deliberately
+// simple — the benchmark measures task management, not BLAS — but they
+// are real computations with tested numerics.
+#pragma once
+
+#include <cstddef>
+
+namespace mra {
+
+/// C(m x n) = A(m x k) * B(k x n), row-major, C overwritten.
+void gemm(std::size_t m, std::size_t n, std::size_t k, const double* a,
+          const double* b, double* c);
+
+/// C(m x n) += A(m x k) * B(k x n).
+void gemm_acc(std::size_t m, std::size_t n, std::size_t k, const double* a,
+              const double* b, double* c);
+
+/// Applies the same matrix M (n_out x n_in, row-major) along each of the
+/// three dimensions of the cube tensor `t` (n_in^3):
+///   result[i,j,l] = sum_{p,q,r} M[i,p] M[j,q] M[l,r] t[p,q,r]
+/// `work` must hold 2 * max(n_out,n_in)^3 doubles; `result` n_out^3.
+void transform3d(const double* t, std::size_t n_in, const double* m,
+                 std::size_t n_out, double* result, double* work);
+
+/// Frobenius norm of `n` doubles.
+double norm2(const double* v, std::size_t n);
+
+}  // namespace mra

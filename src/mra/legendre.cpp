@@ -1,0 +1,56 @@
+#include "mra/legendre.hpp"
+
+#include <cmath>
+
+namespace mra {
+
+void legendre(double x, std::size_t k, double* p) {
+  if (k == 0) return;
+  p[0] = 1.0;
+  if (k == 1) return;
+  p[1] = x;
+  for (std::size_t n = 1; n + 1 < k; ++n) {
+    // (n+1) P_{n+1} = (2n+1) x P_n - n P_{n-1}
+    p[n + 1] = ((2.0 * n + 1.0) * x * p[n] - n * p[n - 1]) / (n + 1.0);
+  }
+}
+
+void scaling_functions(double x, std::size_t k, double* p) {
+  legendre(2.0 * x - 1.0, k, p);
+  for (std::size_t i = 0; i < k; ++i) {
+    p[i] *= std::sqrt(2.0 * i + 1.0);
+  }
+}
+
+Quadrature gauss_legendre(std::size_t n) {
+  Quadrature q;
+  q.x.resize(n);
+  q.w.resize(n);
+  // Newton iteration from the Chebyshev-based initial guess; nodes of
+  // P_n on [-1,1], then mapped to [0,1].
+  for (std::size_t i = 0; i < n; ++i) {
+    double x = std::cos(M_PI * (static_cast<double>(i) + 0.75) /
+                        (static_cast<double>(n) + 0.5));
+    double dp = 0;
+    for (int it = 0; it < 100; ++it) {
+      // Evaluate P_n and P_n' at x.
+      double p0 = 1.0, p1 = x;
+      for (std::size_t m = 1; m < n; ++m) {
+        const double p2 =
+            ((2.0 * m + 1.0) * x * p1 - m * p0) / (m + 1.0);
+        p0 = p1;
+        p1 = p2;
+      }
+      dp = n * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / dp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    // Map node/weight from [-1,1] to [0,1] (ascending order).
+    q.x[n - 1 - i] = 0.5 * (x + 1.0);
+    q.w[n - 1 - i] = 1.0 / ((1.0 - x * x) * dp * dp);
+  }
+  return q;
+}
+
+}  // namespace mra

@@ -1,0 +1,30 @@
+// Legendre polynomials, Gauss-Legendre quadrature, and the normalized
+// scaling functions of the multiwavelet basis (Alpert et al., JCP 2002).
+//
+// The order-k basis on [0,1] is phi_i(x) = sqrt(2i+1) P_i(2x - 1),
+// i = 0..k-1, an orthonormal polynomial basis on the unit interval. All
+// quadratures here integrate polynomials of the occurring degrees
+// exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mra {
+
+/// Evaluates P_0..P_{k-1} (standard Legendre on [-1,1]) at `x` into p.
+void legendre(double x, std::size_t k, double* p);
+
+/// Evaluates the normalized scaling functions phi_0..phi_{k-1} on [0,1]
+/// at `x` into p.
+void scaling_functions(double x, std::size_t k, double* p);
+
+/// Gauss-Legendre nodes and weights on [0,1]; exact for polynomials of
+/// degree <= 2n-1.
+struct Quadrature {
+  std::vector<double> x;
+  std::vector<double> w;
+};
+Quadrature gauss_legendre(std::size_t n);
+
+}  // namespace mra

@@ -1,0 +1,123 @@
+// Multi-resolution analysis mini-app (paper Sec. V-E).
+//
+// Computes the order-k multiwavelet representation of 3D Gaussian
+// functions on an adaptively refined octree, as three dataflow phases
+// that overlap freely under TTG:
+//   projection     — top-down: project f onto each box's scaling basis;
+//                    refine while the wavelet residual exceeds thresh
+//   compression    — bottom-up: filter children into parents, storing
+//                    the difference (wavelet) coefficients per box
+//   reconstruction — top-down: unfilter parents + differences back into
+//                    leaf scaling coefficients (exactly inverting
+//                    compression)
+// Each interior-node transform applies the k x 2k two-scale filter along
+// the three dimensions of a (2k)^3 child tensor — the "GEMM on 20^2
+// matrices" workload for the paper's k = 10.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "runtime/config.hpp"
+
+namespace mra {
+
+struct MraParams {
+  std::size_t k = 10;        ///< polynomial order (paper: 10)
+  double thresh = 1e-4;      ///< truncation threshold (paper: 1e-8)
+  int initial_level = 2;     ///< projection starts on this uniform level
+  int max_level = 20;        ///< refinement safety stop
+  double lo = -6.0;          ///< simulation cell [lo, hi]^3 (paper: [-6,6]^3)
+  double hi = 6.0;
+};
+
+/// An L2-normalized (up to truncation) Gaussian coeff * exp(-a |r - c|^2).
+struct Gaussian {
+  double cx, cy, cz;
+  double expnt;
+  double coeff;
+
+  double operator()(double x, double y, double z) const;
+
+  /// coeff chosen so the R^3 L2 norm is exactly 1.
+  static Gaussian normalized(double cx, double cy, double cz, double expnt);
+};
+
+/// `count` normalized Gaussians with centers uniformly random in the
+/// inner half of the cell (so the tails stay inside), fixed exponent.
+std::vector<Gaussian> random_gaussians(int count, double expnt,
+                                       std::uint64_t seed,
+                                       const MraParams& params);
+
+struct MraResult {
+  double seconds = 0;            ///< wall time of the full pipeline
+  std::uint64_t project_tasks = 0;
+  std::uint64_t compress_tasks = 0;
+  std::uint64_t reconstruct_tasks = 0;
+  std::uint64_t leaves = 0;      ///< leaf boxes across all functions
+  std::vector<double> norms;     ///< per-function L2 norm from the leaves
+  /// Per-function L2 norm computed from the *compressed* representation:
+  /// ||f||^2 = ||s_root||^2 + sum over interior boxes of ||d||^2
+  /// (Parseval for the orthonormal multiwavelet basis). Must match
+  /// `norms` to rounding — a strong internal-consistency check.
+  std::vector<double> norms_compressed;
+};
+
+/// Runs projection + compression + reconstruction for all functions
+/// concurrently on a TTG world configured by `rt`.
+MraResult run_mra(const MraParams& params,
+                  const std::vector<Gaussian>& functions,
+                  const ttg::Config& rt);
+
+/// A function in its compressed multiwavelet form: root scaling
+/// coefficients plus difference (wavelet) coefficients per interior box.
+/// Because the multiwavelet basis is orthonormal across levels, linear
+/// algebra on functions reduces to algebra on these coefficient sets.
+struct BoxId {
+  int n, x, y, z;
+  friend auto operator<=>(const BoxId&, const BoxId&) = default;
+};
+
+struct CompressedFunction {
+  std::size_t k = 0;
+  std::vector<double> s_root;              ///< k^3 root coefficients
+  std::map<BoxId, std::vector<double>> diffs;  ///< (2k)^3 per interior box
+
+  /// L2 norm via Parseval: ||f||^2 = ||s_root||^2 + sum ||d_b||^2.
+  double norm() const;
+};
+
+/// Projects and compresses one function on a TTG pipeline, harvesting
+/// the compressed tree.
+CompressedFunction compress_function(const MraParams& params,
+                                     const Gaussian& g,
+                                     const ttg::Config& rt);
+
+/// <f | g>: coefficients of boxes absent from one tree are zero, so the
+/// inner product is the dot product over the root plus the tree
+/// intersection.
+double inner(const CompressedFunction& f, const CompressedFunction& g);
+
+/// a*f + b*g in the compressed representation (union tree) — MADNESS's
+/// gaxpy.
+CompressedFunction gaxpy(double a, const CompressedFunction& f, double b,
+                         const CompressedFunction& g);
+
+/// Serial single-box helpers, exposed for tests.
+namespace detail {
+
+/// Projects f onto box (n; lx,ly,lz) of the unit-cube tree in simulation
+/// coordinates; returns k^3 scaling coefficients.
+std::vector<double> project_box(const MraParams& params, const Gaussian& g,
+                                int n, int lx, int ly, int lz);
+
+/// Filters a (2k)^3 child tensor to parent coefficients (k^3).
+std::vector<double> filter(std::size_t k, const std::vector<double>& child);
+
+/// Unfilters parent coefficients (k^3) back to the child tensor ((2k)^3).
+std::vector<double> unfilter(std::size_t k,
+                             const std::vector<double>& parent);
+
+}  // namespace detail
+}  // namespace mra

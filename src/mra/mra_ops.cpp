@@ -1,0 +1,617 @@
+#include "mra/mra.hpp"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "common/rng.hpp"
+#include "mra/gemm.hpp"
+#include "mra/legendre.hpp"
+#include "mra/twoscale.hpp"
+#include "structures/concurrent_map.hpp"
+#include "ttg/ttg.hpp"
+
+namespace mra {
+
+double Gaussian::operator()(double x, double y, double z) const {
+  const double dx = x - cx, dy = y - cy, dz = z - cz;
+  return coeff * std::exp(-expnt * (dx * dx + dy * dy + dz * dz));
+}
+
+Gaussian Gaussian::normalized(double cx, double cy, double cz,
+                              double expnt) {
+  // ||exp(-a r^2)||_2^2 = (pi / (2a))^(3/2)  =>  coeff = (2a/pi)^(3/4).
+  const double coeff = std::pow(2.0 * expnt / M_PI, 0.75);
+  return Gaussian{cx, cy, cz, expnt, coeff};
+}
+
+std::vector<Gaussian> random_gaussians(int count, double expnt,
+                                       std::uint64_t seed,
+                                       const MraParams& params) {
+  ttg::SplitMix64 rng(seed);
+  std::vector<Gaussian> out;
+  out.reserve(static_cast<std::size_t>(count));
+  const double span = params.hi - params.lo;
+  for (int i = 0; i < count; ++i) {
+    // Inner half of the cell keeps the Gaussian mass inside the domain.
+    const double cx = params.lo + span * (0.25 + 0.5 * rng.next_double());
+    const double cy = params.lo + span * (0.25 + 0.5 * rng.next_double());
+    const double cz = params.lo + span * (0.25 + 0.5 * rng.next_double());
+    out.push_back(Gaussian::normalized(cx, cy, cz, expnt));
+  }
+  return out;
+}
+
+/// Box identifier: function id, level, translation. Namespace-scoped (not
+/// anonymous) so ttg::KeyHash can be specialized for it.
+struct BoxKey {
+  std::int32_t f;
+  std::int32_t n;
+  std::int32_t x, y, z;
+
+  friend bool operator==(const BoxKey&, const BoxKey&) = default;
+
+  BoxKey parent() const { return BoxKey{f, n - 1, x / 2, y / 2, z / 2}; }
+  int child_index() const { return ((x & 1) << 2) | ((y & 1) << 1) | (z & 1); }
+  BoxKey child(int a, int b, int c) const {
+    return BoxKey{f, n + 1, 2 * x + a, 2 * y + b, 2 * z + c};
+  }
+};
+
+struct BoxKeyHash {
+  std::uint64_t operator()(const BoxKey& k) const {
+    std::uint64_t h = static_cast<std::uint32_t>(k.f);
+    h = ttg::mix64(h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(k.n));
+    h = ttg::mix64(h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(k.x));
+    h = ttg::mix64(h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(k.y));
+    h = ttg::mix64(h * 0x9e3779b97f4a7c15ULL + static_cast<std::uint32_t>(k.z));
+    return h;
+  }
+};
+
+}  // namespace mra
+
+namespace ttg {
+/// Task-ID hashing for MRA box keys.
+template <>
+struct KeyHash<mra::BoxKey> {
+  std::uint64_t operator()(const mra::BoxKey& k) const {
+    return mra::BoxKeyHash{}(k);
+  }
+};
+}  // namespace ttg
+
+namespace mra {
+
+namespace {
+
+/// Immutable per-k tables, built once: quadrature and the
+/// quadrature-to-coefficient matrix A[i][q] = w_q phi_i(x_q), so that
+/// s = 2^(-3n/2) (A (x) A (x) A) f_samples.
+struct ProjectTables {
+  Quadrature quad;
+  std::vector<double> q2c;
+};
+
+const ProjectTables& project_tables(std::size_t k) {
+  static std::mutex mutex;
+  static std::map<std::size_t, ProjectTables> cache;
+  std::lock_guard<std::mutex> guard(mutex);
+  auto it = cache.find(k);
+  if (it == cache.end()) {
+    ProjectTables t;
+    t.quad = gauss_legendre(k);
+    t.q2c.resize(k * k);
+    std::vector<double> phi(k);
+    for (std::size_t qi = 0; qi < k; ++qi) {
+      scaling_functions(t.quad.x[qi], k, phi.data());
+      for (std::size_t i = 0; i < k; ++i) {
+        t.q2c[i * k + qi] = t.quad.w[qi] * phi[i];
+      }
+    }
+    it = cache.emplace(k, std::move(t)).first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::vector<double> project_box(const MraParams& params, const Gaussian& g,
+                                int n, int lx, int ly, int lz) {
+  const std::size_t k = params.k;
+  const ProjectTables& tables = project_tables(k);
+  const Quadrature& q = tables.quad;
+  const double scale = std::ldexp(1.0, -n);  // box width in u-space
+  const double span = params.hi - params.lo;
+
+  // Sample g on the tensor quadrature grid of the box.
+  std::vector<double> fx(k), fy(k), fz(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    fx[i] = params.lo + span * scale * (lx + q.x[i]);
+    fy[i] = params.lo + span * scale * (ly + q.x[i]);
+    fz[i] = params.lo + span * scale * (lz + q.x[i]);
+  }
+  std::vector<double> samples(k * k * k);
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t r = 0; r < k; ++r) {
+      for (std::size_t s = 0; s < k; ++s) {
+        samples[(p * k + r) * k + s] = g(fx[p], fy[r], fz[s]);
+      }
+    }
+  }
+
+  // s = 2^(-3n/2) (A (x) A (x) A) samples.
+  static thread_local std::vector<double> work;
+  work.resize(2 * k * k * k);
+  std::vector<double> coeffs(k * k * k);
+  transform3d(samples.data(), k, tables.q2c.data(), k, coeffs.data(),
+              work.data());
+  const double factor = std::pow(2.0, -1.5 * n);
+  for (double& c : coeffs) c *= factor;
+  return coeffs;
+}
+
+std::vector<double> filter(std::size_t k, const std::vector<double>& child) {
+  const TwoScale& ts = two_scale(k);
+  static thread_local std::vector<double> work;
+  const std::size_t kk = 2 * k;
+  work.resize(2 * kk * kk * kk);
+  std::vector<double> parent(k * k * k);
+  transform3d(child.data(), kk, ts.h.data(), k, parent.data(), work.data());
+  return parent;
+}
+
+std::vector<double> unfilter(std::size_t k,
+                             const std::vector<double>& parent) {
+  const TwoScale& ts = two_scale(k);
+  static thread_local std::vector<double> work;
+  const std::size_t kk = 2 * k;
+  work.resize(2 * kk * kk * kk);
+  std::vector<double> child(kk * kk * kk);
+  transform3d(parent.data(), k, ts.ht.data(), kk, child.data(),
+              work.data());
+  return child;
+}
+
+}  // namespace detail
+
+namespace {
+
+/// Copies child block (a,b,c) of a (2k)^3 tensor from/to a k^3 tensor.
+void put_child_block(std::size_t k, std::vector<double>& tensor, int a,
+                     int b, int c, const std::vector<double>& block) {
+  const std::size_t kk = 2 * k;
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      std::memcpy(&tensor[((a * k + i) * kk + (b * k + j)) * kk + c * k],
+                  &block[(i * k + j) * k], k * sizeof(double));
+    }
+  }
+}
+
+std::vector<double> get_child_block(std::size_t k,
+                                    const std::vector<double>& tensor,
+                                    int a, int b, int c) {
+  const std::size_t kk = 2 * k;
+  std::vector<double> block(k * k * k);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      std::memcpy(&block[(i * k + j) * k],
+                  &tensor[((a * k + i) * kk + (b * k + j)) * kk + c * k],
+                  k * sizeof(double));
+    }
+  }
+  return block;
+}
+
+using Coeffs = std::vector<double>;
+
+struct ChildContrib {
+  int child_index;
+  Coeffs s;
+};
+
+}  // namespace
+
+MraResult run_mra(const MraParams& params,
+                  const std::vector<Gaussian>& functions,
+                  const ttg::Config& rt) {
+  const std::size_t k = params.k;
+  ttg::World world(rt);
+
+  ttg::Edge<BoxKey, ttg::Void> project_in("project");
+  ttg::Edge<BoxKey, ChildContrib> compress_in("compress");
+  ttg::Edge<BoxKey, Coeffs> recon_in("reconstruct");
+
+  // Wavelet (difference) coefficients of interior boxes, consumed by
+  // reconstruction.
+  ttg::ConcurrentMap<BoxKey, Coeffs, BoxKeyHash> differences;
+
+  std::atomic<std::uint64_t> project_tasks{0}, compress_tasks{0},
+      reconstruct_tasks{0}, leaves{0};
+  std::vector<std::atomic<double>> norm2_acc(functions.size());
+  std::vector<std::atomic<double>> norm2_compressed(functions.size());
+  for (auto& a : norm2_acc) a.store(0.0);
+  for (auto& a : norm2_compressed) a.store(0.0);
+
+  // Forward-declared Outs shapes make the TT types mutually reachable
+  // through the shared edges; sends go through the edges, so definition
+  // order does not matter.
+
+  // A coarse box can be blind to a narrow Gaussian: every quadrature
+  // point may miss the bump, making the wavelet residual spuriously
+  // tiny. Boxes containing the function's center are therefore forced to
+  // refine until the box width resolves the Gaussian's standard
+  // deviation (the equivalent of MADNESS's special-points refinement).
+  const double span = params.hi - params.lo;
+  auto must_refine = [&](const BoxKey& key, const Gaussian& g) {
+    const double width = span * std::ldexp(1.0, -key.n);
+    const double x0 = params.lo + width * key.x;
+    const double y0 = params.lo + width * key.y;
+    const double z0 = params.lo + width * key.z;
+    const bool contains_center =
+        g.cx >= x0 && g.cx <= x0 + width && g.cy >= y0 &&
+        g.cy <= y0 + width && g.cz >= z0 && g.cz <= z0 + width;
+    if (!contains_center) return false;
+    const double sigma_width = std::sqrt(2.0 / std::max(g.expnt, 1e-30));
+    return width > sigma_width;
+  };
+
+  // --- Projection: top-down adaptive refinement. -----------------------
+  auto project_tt = ttg::make_tt<BoxKey>(
+      [&](const BoxKey& key, const ttg::Void&, auto& outs) {
+        project_tasks.fetch_add(1, std::memory_order_relaxed);
+        const Gaussian& g = functions[static_cast<std::size_t>(key.f)];
+        // Project all 8 children and assemble the (2k)^3 tensor.
+        Coeffs child_tensor(8 * k * k * k);
+        for (int a = 0; a < 2; ++a) {
+          for (int b = 0; b < 2; ++b) {
+            for (int c = 0; c < 2; ++c) {
+              Coeffs s = detail::project_box(params, g, key.n + 1,
+                                             2 * key.x + a, 2 * key.y + b,
+                                             2 * key.z + c);
+              put_child_block(k, child_tensor, a, b, c, s);
+            }
+          }
+        }
+        Coeffs s_box = detail::filter(k, child_tensor);
+        // Wavelet residual = child tensor minus its parent-scale part.
+        Coeffs back = detail::unfilter(k, s_box);
+        double dn2 = 0;
+        for (std::size_t i = 0; i < child_tensor.size(); ++i) {
+          const double d = child_tensor[i] - back[i];
+          dn2 += d * d;
+        }
+        const bool refine = (std::sqrt(dn2) > params.thresh ||
+                             must_refine(key, g)) &&
+                            key.n < params.max_level;
+        if (!refine) {
+          // Accurate at this scale: `key` is a leaf with coefficients
+          // s_box. Feed it to the bottom-up compression (or straight to
+          // reconstruction if the whole function fit in the root box).
+          leaves.fetch_add(1, std::memory_order_relaxed);
+          if (key.n == 0) {
+            const double n2 = norm2(s_box.data(), s_box.size());
+            norm2_compressed[static_cast<std::size_t>(key.f)].fetch_add(
+                n2 * n2, std::memory_order_relaxed);
+            ttg::send<1>(key, std::move(s_box), outs);
+          } else {
+            ttg::send<0>(key.parent(),
+                         ChildContrib{key.child_index(), std::move(s_box)},
+                         outs);
+          }
+        } else {
+          for (int a = 0; a < 2; ++a) {
+            for (int b = 0; b < 2; ++b) {
+              for (int c = 0; c < 2; ++c) {
+                ttg::sendk<2>(key.child(a, b, c), outs);
+              }
+            }
+          }
+        }
+      },
+      ttg::edges(project_in),
+      ttg::edges(compress_in, recon_in, project_in), "Project", world);
+  // Deeper boxes first: depth-first unfolding bounds the frontier.
+  project_tt->set_priority_fn([](const BoxKey& key) { return key.n; });
+
+  // --- Compression: bottom-up filtering, 8 children per box. -----------
+  auto compress_count = [](const BoxKey&) -> std::int32_t { return 8; };
+  auto compress_tt = ttg::make_tt<BoxKey>(
+      [&](const BoxKey& key, const ttg::Aggregator<ChildContrib>& contribs,
+          auto& outs) {
+        compress_tasks.fetch_add(1, std::memory_order_relaxed);
+        Coeffs child_tensor(8 * k * k * k);
+        for (const ChildContrib& cc : contribs) {
+          const int a = (cc.child_index >> 2) & 1;
+          const int b = (cc.child_index >> 1) & 1;
+          const int c = cc.child_index & 1;
+          put_child_block(k, child_tensor, a, b, c, cc.s);
+        }
+        Coeffs s_box = detail::filter(k, child_tensor);
+        Coeffs resid = detail::unfilter(k, s_box);
+        for (std::size_t i = 0; i < resid.size(); ++i) {
+          resid[i] = child_tensor[i] - resid[i];
+        }
+        // Parseval: the difference coefficients carry exactly the norm
+        // lost when filtering to the parent scale.
+        const double dn = norm2(resid.data(), resid.size());
+        norm2_compressed[static_cast<std::size_t>(key.f)].fetch_add(
+            dn * dn, std::memory_order_relaxed);
+        differences.insert(key, std::move(resid));
+        if (key.n == 0) {
+          const double sn = norm2(s_box.data(), s_box.size());
+          norm2_compressed[static_cast<std::size_t>(key.f)].fetch_add(
+              sn * sn, std::memory_order_relaxed);
+          ttg::send<1>(key, std::move(s_box), outs);
+        } else {
+          ttg::send<0>(key.parent(),
+                       ChildContrib{key.child_index(), std::move(s_box)},
+                       outs);
+        }
+      },
+      ttg::edges(ttg::make_aggregator(compress_in, compress_count)),
+      ttg::edges(compress_in, recon_in), "Compress", world);
+  compress_tt->set_priority_fn([](const BoxKey& key) { return -key.n; });
+
+  // --- Reconstruction: top-down unfiltering. ----------------------------
+  auto recon_tt = ttg::make_tt<BoxKey>(
+      [&](const BoxKey& key, Coeffs& s, auto& outs) {
+        reconstruct_tasks.fetch_add(1, std::memory_order_relaxed);
+        if (auto resid = differences.take(key); resid.has_value()) {
+          Coeffs child_tensor = detail::unfilter(k, s);
+          for (std::size_t i = 0; i < child_tensor.size(); ++i) {
+            child_tensor[i] += (*resid)[i];
+          }
+          for (int a = 0; a < 2; ++a) {
+            for (int b = 0; b < 2; ++b) {
+              for (int c = 0; c < 2; ++c) {
+                ttg::send<0>(key.child(a, b, c),
+                             get_child_block(k, child_tensor, a, b, c),
+                             outs);
+              }
+            }
+          }
+        } else {
+          // Leaf: accumulate the function's norm (coefficients are in an
+          // orthonormal basis, so the L2 norm is the coefficient norm).
+          const double n2 =
+              norm2(s.data(), s.size()) * norm2(s.data(), s.size());
+          norm2_acc[static_cast<std::size_t>(key.f)].fetch_add(
+              n2, std::memory_order_relaxed);
+        }
+      },
+      ttg::edges(recon_in), ttg::edges(recon_in), "Reconstruct", world);
+
+  ttg::WallTimer timer;
+  world.execute();
+  // Seed the projection on a uniform level: boxes above it are interior
+  // by construction and get their coefficients from compression.
+  const int n0 = params.initial_level;
+  const int boxes_per_dim = 1 << n0;
+  for (std::size_t f = 0; f < functions.size(); ++f) {
+    for (int x = 0; x < boxes_per_dim; ++x) {
+      for (int y = 0; y < boxes_per_dim; ++y) {
+        for (int z = 0; z < boxes_per_dim; ++z) {
+          project_tt->sendk_input<0>(
+              BoxKey{static_cast<std::int32_t>(f), n0, x, y, z});
+        }
+      }
+    }
+  }
+  world.fence();
+
+  MraResult result;
+  result.seconds = timer.seconds();
+  result.project_tasks = project_tasks.load();
+  result.compress_tasks = compress_tasks.load();
+  result.reconstruct_tasks = reconstruct_tasks.load();
+  result.leaves = leaves.load();
+  result.norms.reserve(functions.size());
+  for (auto& a : norm2_acc) result.norms.push_back(std::sqrt(a.load()));
+  result.norms_compressed.reserve(functions.size());
+  for (auto& a : norm2_compressed) {
+    result.norms_compressed.push_back(std::sqrt(a.load()));
+  }
+  (void)recon_tt;
+  return result;
+}
+
+}  // namespace mra
+
+// ---------------------------------------------------------------------------
+// Compressed-function algebra (MADNESS-style gaxpy / inner products).
+// ---------------------------------------------------------------------------
+
+namespace mra {
+
+double CompressedFunction::norm() const {
+  double n2 = 0;
+  if (!s_root.empty()) {
+    const double n = norm2(s_root.data(), s_root.size());
+    n2 += n * n;
+  }
+  for (const auto& [id, d] : diffs) {
+    const double n = norm2(d.data(), d.size());
+    n2 += n * n;
+  }
+  return std::sqrt(n2);
+}
+
+CompressedFunction compress_function(const MraParams& params,
+                                     const Gaussian& g,
+                                     const ttg::Config& rt) {
+  const std::size_t k = params.k;
+  ttg::World world(rt);
+
+  ttg::Edge<BoxKey, ttg::Void> project_in("project");
+  ttg::Edge<BoxKey, ChildContrib> compress_in("compress");
+  ttg::Edge<BoxKey, Coeffs> root_out("root");
+
+  CompressedFunction result;
+  result.k = k;
+  ttg::ConcurrentMap<BoxKey, Coeffs, BoxKeyHash> differences;
+
+  const double span = params.hi - params.lo;
+  auto must_refine = [&](const BoxKey& key) {
+    const double width = span * std::ldexp(1.0, -key.n);
+    const double x0 = params.lo + width * key.x;
+    const double y0 = params.lo + width * key.y;
+    const double z0 = params.lo + width * key.z;
+    const bool contains_center =
+        g.cx >= x0 && g.cx <= x0 + width && g.cy >= y0 &&
+        g.cy <= y0 + width && g.cz >= z0 && g.cz <= z0 + width;
+    if (!contains_center) return false;
+    return width > std::sqrt(2.0 / std::max(g.expnt, 1e-30));
+  };
+
+  auto project_tt = ttg::make_tt<BoxKey>(
+      [&](const BoxKey& key, const ttg::Void&, auto& outs) {
+        Coeffs child_tensor(8 * k * k * k);
+        for (int a = 0; a < 2; ++a) {
+          for (int b = 0; b < 2; ++b) {
+            for (int c = 0; c < 2; ++c) {
+              Coeffs s = detail::project_box(params, g, key.n + 1,
+                                             2 * key.x + a, 2 * key.y + b,
+                                             2 * key.z + c);
+              put_child_block(k, child_tensor, a, b, c, s);
+            }
+          }
+        }
+        Coeffs s_box = detail::filter(k, child_tensor);
+        Coeffs back = detail::unfilter(k, s_box);
+        double dn2 = 0;
+        for (std::size_t i = 0; i < child_tensor.size(); ++i) {
+          const double d = child_tensor[i] - back[i];
+          dn2 += d * d;
+        }
+        const bool refine =
+            (std::sqrt(dn2) > params.thresh || must_refine(key)) &&
+            key.n < params.max_level;
+        if (!refine) {
+          if (key.n == 0) {
+            ttg::send<1>(key, std::move(s_box), outs);
+          } else {
+            ttg::send<0>(key.parent(),
+                         ChildContrib{key.child_index(), std::move(s_box)},
+                         outs);
+          }
+        } else {
+          for (int a = 0; a < 2; ++a) {
+            for (int b = 0; b < 2; ++b) {
+              for (int c = 0; c < 2; ++c) {
+                ttg::sendk<2>(key.child(a, b, c), outs);
+              }
+            }
+          }
+        }
+      },
+      ttg::edges(project_in),
+      ttg::edges(compress_in, root_out, project_in), "Project", world);
+  project_tt->set_priority_fn([](const BoxKey& key) { return key.n; });
+
+  auto compress_tt = ttg::make_tt<BoxKey>(
+      [&](const BoxKey& key, const ttg::Aggregator<ChildContrib>& contribs,
+          auto& outs) {
+        Coeffs child_tensor(8 * k * k * k);
+        for (const ChildContrib& cc : contribs) {
+          put_child_block(k, child_tensor, (cc.child_index >> 2) & 1,
+                          (cc.child_index >> 1) & 1, cc.child_index & 1,
+                          cc.s);
+        }
+        Coeffs s_box = detail::filter(k, child_tensor);
+        Coeffs resid = detail::unfilter(k, s_box);
+        for (std::size_t i = 0; i < resid.size(); ++i) {
+          resid[i] = child_tensor[i] - resid[i];
+        }
+        differences.insert(key, std::move(resid));
+        if (key.n == 0) {
+          ttg::send<1>(key, std::move(s_box), outs);
+        } else {
+          ttg::send<0>(key.parent(),
+                       ChildContrib{key.child_index(), std::move(s_box)},
+                       outs);
+        }
+      },
+      ttg::edges(ttg::make_aggregator(compress_in,
+                                      [](const BoxKey&) { return 8; })),
+      ttg::edges(compress_in, root_out), "Compress", world);
+
+  auto capture_tt = ttg::make_tt<BoxKey>(
+      [&result](const BoxKey&, Coeffs& s, auto&) {
+        result.s_root = std::move(s);
+      },
+      ttg::edges(root_out), ttg::edges(), "CaptureRoot", world);
+
+  world.execute();
+  const int n0 = params.initial_level;
+  for (int x = 0; x < (1 << n0); ++x) {
+    for (int y = 0; y < (1 << n0); ++y) {
+      for (int z = 0; z < (1 << n0); ++z) {
+        project_tt->sendk_input<0>(BoxKey{0, n0, x, y, z});
+      }
+    }
+  }
+  world.fence();
+
+  differences.for_each_exclusive([&result](const BoxKey& key, Coeffs& d) {
+    result.diffs.emplace(BoxId{key.n, key.x, key.y, key.z}, std::move(d));
+  });
+  (void)compress_tt;
+  (void)capture_tt;
+  return result;
+}
+
+double inner(const CompressedFunction& f, const CompressedFunction& g) {
+  assert(f.k == g.k);
+  double sum = 0;
+  for (std::size_t i = 0; i < f.s_root.size(); ++i) {
+    sum += f.s_root[i] * g.s_root[i];
+  }
+  // Wavelets of boxes present in only one tree meet zero coefficients in
+  // the other; only the intersection contributes.
+  auto it_f = f.diffs.begin();
+  auto it_g = g.diffs.begin();
+  while (it_f != f.diffs.end() && it_g != g.diffs.end()) {
+    if (it_f->first < it_g->first) {
+      ++it_f;
+    } else if (it_g->first < it_f->first) {
+      ++it_g;
+    } else {
+      const auto& a = it_f->second;
+      const auto& b = it_g->second;
+      for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+      ++it_f;
+      ++it_g;
+    }
+  }
+  return sum;
+}
+
+CompressedFunction gaxpy(double a, const CompressedFunction& f, double b,
+                         const CompressedFunction& g) {
+  assert(f.k == g.k);
+  CompressedFunction out;
+  out.k = f.k;
+  out.s_root.assign(f.s_root.size(), 0.0);
+  for (std::size_t i = 0; i < f.s_root.size(); ++i) {
+    out.s_root[i] = a * f.s_root[i] + b * g.s_root[i];
+  }
+  for (const auto& [id, d] : f.diffs) {
+    auto& dst = out.diffs[id];
+    dst.assign(d.size(), 0.0);
+    for (std::size_t i = 0; i < d.size(); ++i) dst[i] = a * d[i];
+  }
+  for (const auto& [id, d] : g.diffs) {
+    auto& dst = out.diffs[id];
+    if (dst.empty()) dst.assign(d.size(), 0.0);
+    for (std::size_t i = 0; i < d.size(); ++i) dst[i] += b * d[i];
+  }
+  return out;
+}
+
+}  // namespace mra

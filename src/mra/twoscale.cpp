@@ -1,0 +1,79 @@
+#include "mra/twoscale.hpp"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "mra/legendre.hpp"
+
+namespace mra {
+
+TwoScale make_two_scale(std::size_t k) {
+  TwoScale ts;
+  ts.k = k;
+  ts.h0.assign(k * k, 0.0);
+  ts.h1.assign(k * k, 0.0);
+
+  // Integrands are polynomials of degree <= 2k-2; a (k)-point rule on
+  // each half interval (degree 2k-1) is exact.
+  const Quadrature q = gauss_legendre(k);
+  std::vector<double> phi_parent(k);
+  std::vector<double> phi_child(k);
+  const double sqrt2 = std::sqrt(2.0);
+
+  for (std::size_t qi = 0; qi < k; ++qi) {
+    // Left half: x in [0, 1/2], child coordinate 2x.
+    {
+      const double x = 0.5 * q.x[qi];
+      const double w = 0.5 * q.w[qi];
+      scaling_functions(x, k, phi_parent.data());
+      scaling_functions(2.0 * x, k, phi_child.data());
+      for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k; ++j) {
+          ts.h0[i * k + j] += sqrt2 * w * phi_parent[i] * phi_child[j];
+        }
+      }
+    }
+    // Right half: x in [1/2, 1], child coordinate 2x - 1.
+    {
+      const double x = 0.5 * q.x[qi] + 0.5;
+      const double w = 0.5 * q.w[qi];
+      scaling_functions(x, k, phi_parent.data());
+      scaling_functions(2.0 * x - 1.0, k, phi_child.data());
+      for (std::size_t i = 0; i < k; ++i) {
+        for (std::size_t j = 0; j < k; ++j) {
+          ts.h1[i * k + j] += sqrt2 * w * phi_parent[i] * phi_child[j];
+        }
+      }
+    }
+  }
+
+  // Assemble H = [h0 h1] and H^T.
+  ts.h.assign(k * 2 * k, 0.0);
+  ts.ht.assign(2 * k * k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      ts.h[i * 2 * k + j] = ts.h0[i * k + j];
+      ts.h[i * 2 * k + k + j] = ts.h1[i * k + j];
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < 2 * k; ++j) {
+      ts.ht[j * k + i] = ts.h[i * 2 * k + j];
+    }
+  }
+  return ts;
+}
+
+const TwoScale& two_scale(std::size_t k) {
+  static std::mutex mutex;
+  static std::map<std::size_t, TwoScale> cache;
+  std::lock_guard<std::mutex> guard(mutex);
+  auto it = cache.find(k);
+  if (it == cache.end()) {
+    it = cache.emplace(k, make_two_scale(k)).first;
+  }
+  return it->second;
+}
+
+}  // namespace mra

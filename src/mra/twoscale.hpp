@@ -1,0 +1,33 @@
+// Two-scale (filter) relations of the multiwavelet basis.
+//
+// h0[i][j] = sqrt(2) * int_0^(1/2) phi_i(x) phi_j(2x)   dx
+// h1[i][j] = sqrt(2) * int_(1/2)^1 phi_i(x) phi_j(2x-1) dx
+//
+// With H = [h0 h1] (k x 2k), the scaling coefficients of a parent box
+// are s_parent = H applied to the stacked child coefficients, and
+// H^T s_parent reconstructs the component of the children representable
+// at the parent scale; the residual is the wavelet (difference) part
+// used both for truncation decisions and for exact reconstruction.
+// The rows of H are orthonormal: H H^T = I_k.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mra {
+
+struct TwoScale {
+  std::size_t k;
+  std::vector<double> h0;  // k x k, row-major
+  std::vector<double> h1;  // k x k
+  std::vector<double> h;   // k x 2k: [h0 h1]
+  std::vector<double> ht;  // 2k x k: H^T
+};
+
+/// Computes the exact filter matrices for order-k scaling functions.
+TwoScale make_two_scale(std::size_t k);
+
+/// Per-process cache (filters are immutable once built).
+const TwoScale& two_scale(std::size_t k);
+
+}  // namespace mra

@@ -1,0 +1,199 @@
+// A minimal Parameterized Task Graph (PTG) front-end.
+//
+// PaRSEC's PTG DSL — the strongest task-based comparator in the paper's
+// Task-Bench results — expresses a task's dependences *algebraically*:
+// given a task's key, its predecessor and successor keys are computable
+// without executing anything, so no discovery hash table and no data-
+// copy tracking are needed. This module provides that model on top of
+// the same runtime the TTG layer uses, for apples-to-apples comparisons:
+//
+//   ptg::ParameterizedGraph<Key, Value> g(ctx,
+//       /*num_deps=*/   [](const Key& k) { ... },   // in-degree of k
+//       /*successors=*/ [](const Key& k) { ... },   // keys k unlocks
+//       /*body=*/       [](const Key& k, auto&& input_of) -> Value {...});
+//   ctx.begin();
+//   g.seed(root_key);            // tasks with num_deps == 0
+//   ctx.fence();
+//   const Value* v = g.find(some_key);
+//
+// The body receives `input_of(pred_key)` to read any completed
+// predecessor's output. Outputs are retained in a concurrent store for
+// the graph's lifetime (like PTG's data versions, simplified to
+// write-once values).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "runtime/context.hpp"
+#include "structures/hash_table.hpp"
+#include "structures/mempool.hpp"
+#include "ttg/keys.hpp"
+
+namespace ptg {
+
+template <typename Key, typename Value, typename Hash = ttg::KeyHash<Key>>
+class ParameterizedGraph {
+ public:
+  using NumDepsFn = std::function<int(const Key&)>;
+  using SuccessorsFn = std::function<std::vector<Key>(const Key&)>;
+  /// input_of(pred_key) -> const Value& (predecessor must have completed,
+  /// which the dependence structure guarantees).
+  class InputFetcher;
+  using BodyFn = std::function<Value(const Key&, const InputFetcher&)>;
+
+  ParameterizedGraph(ttg::Context& ctx, NumDepsFn num_deps,
+                     SuccessorsFn successors, BodyFn body)
+      : ctx_(&ctx),
+        num_deps_(std::move(num_deps)),
+        successors_(std::move(successors)),
+        body_(std::move(body)),
+        task_pool_(sizeof(PtgTask)) {}
+
+  ParameterizedGraph(const ParameterizedGraph&) = delete;
+  ParameterizedGraph& operator=(const ParameterizedGraph&) = delete;
+
+  ~ParameterizedGraph() {
+    values_.for_each_exclusive(
+        [](ttg::HashItemBase* item) { delete static_cast<ValueItem*>(item); });
+    counters_.for_each_exclusive([](ttg::HashItemBase* item) {
+      delete static_cast<CounterItem*>(item);
+    });
+  }
+
+  /// Reads a completed task's output from inside a body.
+  class InputFetcher {
+   public:
+    const Value& operator()(const Key& pred) const {
+      const Value* v = graph_->find(pred);
+      assert(v != nullptr && "predecessor has not produced a value");
+      return *v;
+    }
+
+   private:
+    friend class ParameterizedGraph;
+    explicit InputFetcher(const ParameterizedGraph* g) : graph_(g) {}
+    const ParameterizedGraph* graph_;
+  };
+
+  /// Schedules a dependence-free task (num_deps(key) must be 0). Must be
+  /// called between ctx.begin() and ctx.fence().
+  void seed(const Key& key) {
+    assert(num_deps_(key) == 0 && "seeded task has unsatisfied deps");
+    spawn(key);
+  }
+
+  /// Looks up the output of a completed task; nullptr if absent. Safe
+  /// from task bodies (for predecessors) and after the fence.
+  const Value* find(const Key& key) const {
+    auto* self = const_cast<ParameterizedGraph*>(this);
+    const std::uint64_t h = Hash{}(key);
+    auto acc = self->values_.lock_key(h);
+    auto* item = static_cast<ValueItem*>(acc.find(value_eq(key)));
+    return item != nullptr ? &item->value : nullptr;
+  }
+
+  std::uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct ValueItem : ttg::HashItemBase {
+    Key key;
+    Value value;
+    ValueItem(const Key& k, Value&& v) : key(k), value(std::move(v)) {}
+  };
+
+  struct CounterItem : ttg::HashItemBase {
+    Key key;
+    int remaining;
+    CounterItem(const Key& k, int r) : key(k), remaining(r) {}
+  };
+
+  struct PtgTask : ttg::TaskBase {
+    ParameterizedGraph* graph;
+    Key key;
+    PtgTask(ParameterizedGraph* g, const Key& k) : graph(g), key(k) {}
+  };
+
+  static auto value_eq(const Key& key) {
+    return [&key](const ttg::HashItemBase* item) {
+      return static_cast<const ValueItem*>(item)->key == key;
+    };
+  }
+  static auto counter_eq(const Key& key) {
+    return [&key](const ttg::HashItemBase* item) {
+      return static_cast<const CounterItem*>(item)->key == key;
+    };
+  }
+
+  void spawn(const Key& key) {
+    auto* task = new (task_pool_.allocate()) PtgTask(this, key);
+    task->execute = &ParameterizedGraph::execute_task;
+    task->pool = &task_pool_;
+    ctx_->on_discovered(1);
+    ctx_->schedule_or_inline(task);
+  }
+
+  static void execute_task(ttg::TaskBase* base, ttg::Worker&) {
+    auto* task = static_cast<PtgTask*>(base);
+    ParameterizedGraph* graph = task->graph;
+    const Key key = task->key;
+    ttg::MemoryPool* pool = task->pool;
+    task->~PtgTask();
+    pool->deallocate(task);
+    graph->run(key);
+  }
+
+  void run(const Key& key) {
+    Value out = body_(key, InputFetcher(this));
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+    // Publish the output before releasing any successor.
+    {
+      const std::uint64_t h = Hash{}(key);
+      auto acc = values_.lock_key(h);
+      assert(acc.find(value_eq(key)) == nullptr && "task ran twice");
+      auto* item = new ValueItem(key, std::move(out));
+      item->hash = h;
+      acc.insert(item);
+    }
+    for (const Key& succ : successors_(key)) {
+      if (satisfy_one(succ)) spawn(succ);
+    }
+  }
+
+  /// Decrements `succ`'s remaining-dependences counter (creating it on
+  /// first touch); true when it reaches zero.
+  bool satisfy_one(const Key& succ) {
+    const std::uint64_t h = Hash{}(succ);
+    auto acc = counters_.lock_key(h);
+    auto* item = static_cast<CounterItem*>(acc.find(counter_eq(succ)));
+    if (item == nullptr) {
+      item = new CounterItem(succ, num_deps_(succ));
+      item->hash = h;
+      acc.insert(item);
+    }
+    if (--item->remaining == 0) {
+      acc.remove(counter_eq(succ));
+      acc.release();
+      delete item;
+      return true;
+    }
+    return false;
+  }
+
+  ttg::Context* ctx_;
+  NumDepsFn num_deps_;
+  SuccessorsFn successors_;
+  BodyFn body_;
+  ttg::MemoryPool task_pool_;
+  ttg::ScalableHashTable values_{/*initial_log2_buckets=*/8};
+  ttg::ScalableHashTable counters_{/*initial_log2_buckets=*/8};
+  std::atomic<std::uint64_t> tasks_executed_{0};
+};
+
+}  // namespace ptg

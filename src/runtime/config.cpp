@@ -1,0 +1,45 @@
+#include "runtime/config.hpp"
+
+#include <sstream>
+
+#include "sync/bravo.hpp"
+
+namespace ttg {
+
+Config Config::original() {
+  Config c;
+  c.scheduler = SchedulerType::kLFQ;
+  c.termdet = TermDetMode::kProcessAtomic;
+  c.biased_rwlock = false;
+  c.ordering = OrderingMode::kSeqCst;
+  return c;
+}
+
+Config Config::optimized() {
+  Config c;
+  c.scheduler = SchedulerType::kLLP;
+  c.termdet = TermDetMode::kThreadLocal;
+  c.biased_rwlock = true;
+  c.ordering = OrderingMode::kOptimized;
+  return c;
+}
+
+void Config::apply_globals() const {
+  set_ordering_mode(ordering);
+  set_bravo_enabled(biased_rwlock);
+}
+
+std::string Config::describe() const {
+  std::ostringstream os;
+  os << "threads=" << threads() << " sched=" << to_string(scheduler)
+     << " termdet="
+     << (termdet == TermDetMode::kThreadLocal ? "thread-local"
+                                              : "process-atomic")
+     << " rwlock=" << (biased_rwlock ? "bravo" : "plain") << " ordering="
+     << (ordering == OrderingMode::kOptimized ? "relaxed" : "seq_cst");
+  if (!bundle_successors) os << " bundling=off";
+  if (inline_max_depth > 0) os << " inline=" << inline_max_depth;
+  return os.str();
+}
+
+}  // namespace ttg

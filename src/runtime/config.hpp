@@ -1,0 +1,63 @@
+// Runtime configuration: every optimization from the paper is an
+// independent switch, so the "original" and "optimized" systems (and all
+// Fig. 9 ablation points) are configurations of the same binary.
+#pragma once
+
+#include <string>
+#include <thread>
+
+#include "atomics/ordering.hpp"
+#include "sched/scheduler.hpp"
+#include "termdet/termdet.hpp"
+
+namespace ttg {
+
+struct Config {
+  int num_threads = 0;  ///< 0 = std::thread::hardware_concurrency()
+  SchedulerType scheduler = SchedulerType::kLLP;
+  /// Workers per steal domain (cache/NUMA group): thieves prefer their
+  /// domain siblings before walking the rest of the node (Sec. III-B).
+  /// <= 1 means a flat steal order.
+  int steal_domain_size = 0;
+  TermDetMode termdet = TermDetMode::kThreadLocal;
+  bool biased_rwlock = true;            ///< BRAVO wrapper (Sec. IV-D)
+  OrderingMode ordering = OrderingMode::kOptimized;  ///< Sec. IV-A
+
+  /// Successor bundling (Sec. IV-C): tasks made eligible while a task
+  /// body runs are collected per worker and handed to the scheduler as
+  /// one descending-priority-sorted chain when the body returns, so the
+  /// LLP slow path pays a single detach/merge/reattach for the whole
+  /// batch instead of one insertion per task.
+  bool bundle_successors = true;
+
+  /// Task inlining (the paper's Sec. V-E future-work item): when a task
+  /// becomes eligible on a worker thread, execute it immediately in that
+  /// worker instead of round-tripping through the scheduler, up to this
+  /// nesting depth. 0 disables inlining. Inlined tasks skip the
+  /// scheduler's priority ordering — a deliberate trade of ordering
+  /// freedom for latency on very short tasks.
+  int inline_max_depth = 0;
+
+  /// The system as analyzed in Sec. III: LFQ scheduler, per-process
+  /// atomic termination counters, plain reader-writer lock, seq_cst.
+  static Config original();
+
+  /// The system with all four Sec. IV optimizations.
+  static Config optimized();
+
+  /// Resolved worker count.
+  int threads() const {
+    if (num_threads > 0) return num_threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+
+  /// Applies the process-global pieces (memory-ordering mode, BRAVO
+  /// enablement). Contexts with different global pieces must not run
+  /// concurrently in one process.
+  void apply_globals() const;
+
+  std::string describe() const;
+};
+
+}  // namespace ttg

@@ -1,0 +1,82 @@
+// Reference-counted data copies (paper Sec. IV-E).
+//
+// Data flowing along TTG edges is held in DataCopy objects managed by the
+// runtime, not by user code. A copy is shared read-only between any
+// number of consumer tasks via its reference count ("two additional
+// atomic operations are required on the reference count of the copy ...
+// one while retaining the copy and one while releasing it"). A new copy
+// is only materialized when the data must be assumed mutable by two
+// different tasks — the runtime applies the paper's ownership-move
+// optimization when the sender is the final owner.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <utility>
+
+#include "atomics/op_counter.hpp"
+#include "atomics/ordering.hpp"
+
+namespace ttg {
+
+class DataCopyBase {
+ public:
+  DataCopyBase() = default;
+  DataCopyBase(const DataCopyBase&) = delete;
+  DataCopyBase& operator=(const DataCopyBase&) = delete;
+  virtual ~DataCopyBase() = default;
+
+  /// Adds `n` references. One atomic RMW regardless of n.
+  void retain(std::int32_t n = 1) noexcept {
+    atomic_ops::count(AtomicOpCategory::kRefCount);
+    refcount_.fetch_add(n, ord_relaxed());
+  }
+
+  /// Drops one reference and destroys the copy when it was the last.
+  void release() noexcept {
+    atomic_ops::count(AtomicOpCategory::kRefCount);
+    if (refcount_.fetch_sub(1, ord_acq_rel()) == 1) {
+      fence_acquire();
+      delete this;
+    }
+  }
+
+  /// True if the caller holds the only reference — the precondition for
+  /// the zero-copy ownership move ("certain optimizations are applied if
+  /// the current task is the final owner").
+  bool unique() const noexcept {
+    return refcount_.load(std::memory_order_acquire) == 1;
+  }
+
+  std::int32_t use_count() const noexcept {
+    return refcount_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int32_t> refcount_{1};
+};
+
+/// Typed copy. Created with refcount 1, owned by whoever holds that
+/// reference.
+template <typename T>
+class DataCopy final : public DataCopyBase {
+ public:
+  template <typename... Args>
+  explicit DataCopy(Args&&... args) : value_(std::forward<Args>(args)...) {}
+
+  T& value() noexcept { return value_; }
+  const T& value() const noexcept { return value_; }
+
+ private:
+  T value_;
+};
+
+/// Allocates a fresh copy holding `value`. The underlying `new` is the
+/// "at least one atomic operation in the underlying system allocator"
+/// the paper charges to copy creation.
+template <typename T, typename U>
+DataCopy<T>* make_copy(U&& value) {
+  return new DataCopy<T>(std::forward<U>(value));
+}
+
+}  // namespace ttg

@@ -1,0 +1,25 @@
+// Pool-allocated task objects.
+//
+// A TaskBase is what flows through the schedulers: an intrusive LifoNode
+// plus a function pointer. Concrete task types (the TTG layer's typed
+// tasks, raw-runtime tasks in benchmarks) extend it with their payload
+// and are allocated from per-thread MemoryPools (Sec. IV-E: task
+// create + destroy = two atomic operations, both in the pool).
+#pragma once
+
+#include "structures/lifo.hpp"
+#include "structures/mempool.hpp"
+
+namespace ttg {
+
+class Worker;
+
+struct TaskBase : LifoNode {
+  /// Runs the task and is responsible for releasing it (normally back to
+  /// `pool`). Function pointer rather than a virtual to keep the object
+  /// trivially poolable and one indirection cheaper.
+  void (*execute)(TaskBase*, Worker&) = nullptr;
+  MemoryPool* pool = nullptr;
+};
+
+}  // namespace ttg

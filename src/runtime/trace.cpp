@@ -1,0 +1,137 @@
+#include "runtime/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "common/cycle_clock.hpp"
+#include "common/thread_id.hpp"
+
+namespace ttg::trace {
+
+std::string_view to_string(EventKind k) {
+  switch (k) {
+    case EventKind::kTaskBegin: return "task_begin";
+    case EventKind::kTaskEnd: return "task_end";
+    case EventKind::kIdleBegin: return "idle_begin";
+    case EventKind::kIdleEnd: return "idle_end";
+    case EventKind::kMessageSent: return "msg_sent";
+    case EventKind::kMessageReceived: return "msg_recv";
+  }
+  return "?";
+}
+
+namespace {
+
+struct ThreadRing {
+  std::unique_ptr<Event[]> events;
+  std::size_t capacity = 0;
+  std::size_t count = 0;  // total recorded (wraps logically, not stored)
+};
+
+ThreadRing g_rings[kMaxThreads];
+std::atomic<bool> g_enabled{false};
+std::size_t g_capacity = 0;
+
+}  // namespace
+
+void enable(std::size_t events_per_thread) {
+  g_enabled.store(false, std::memory_order_relaxed);
+  g_capacity = events_per_thread;
+  for (auto& ring : g_rings) {
+    ring.events.reset();
+    ring.capacity = 0;
+    ring.count = 0;
+  }
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void disable() { g_enabled.store(false, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void record(EventKind kind, std::uint32_t arg) {
+  if (!enabled()) return;
+  const int tid = this_thread::id();
+  ThreadRing& ring = g_rings[tid];
+  if (ring.capacity == 0) {
+    // First event on this thread since enable(): allocate lazily so
+    // uninvolved threads cost nothing.
+    ring.events = std::make_unique<Event[]>(g_capacity);
+    ring.capacity = g_capacity;
+    ring.count = 0;
+  }
+  Event& e = ring.events[ring.count % ring.capacity];
+  e.tsc = rdtsc();
+  e.arg = arg;
+  e.thread = static_cast<std::uint16_t>(tid);
+  e.kind = kind;
+  ++ring.count;
+}
+
+std::vector<Event> snapshot() {
+  std::vector<Event> out;
+  const int n = this_thread::id_count();
+  for (int t = 0; t < n; ++t) {
+    const ThreadRing& ring = g_rings[t];
+    const std::size_t kept = std::min(ring.count, ring.capacity);
+    for (std::size_t i = 0; i < kept; ++i) {
+      out.push_back(ring.events[i]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.tsc < b.tsc; });
+  return out;
+}
+
+void dump_csv(std::ostream& os) {
+  os << "tsc,thread,kind,arg\n";
+  for (const Event& e : snapshot()) {
+    os << e.tsc << ',' << e.thread << ',' << to_string(e.kind) << ','
+       << e.arg << '\n';
+  }
+}
+
+std::vector<ThreadSummary> summarize() {
+  const auto events = snapshot();
+  std::vector<ThreadSummary> per_thread(
+      static_cast<std::size_t>(this_thread::id_count()));
+  std::vector<std::uint64_t> task_begin(per_thread.size(), 0);
+  std::vector<std::uint64_t> idle_begin(per_thread.size(), 0);
+  for (std::size_t i = 0; i < per_thread.size(); ++i) {
+    per_thread[i].thread = static_cast<int>(i);
+  }
+  for (const Event& e : events) {
+    ThreadSummary& s = per_thread[e.thread];
+    switch (e.kind) {
+      case EventKind::kTaskBegin:
+        task_begin[e.thread] = e.tsc;
+        break;
+      case EventKind::kTaskEnd:
+        if (task_begin[e.thread] != 0) {
+          ++s.tasks;
+          s.busy_cycles += e.tsc - task_begin[e.thread];
+          task_begin[e.thread] = 0;
+        }
+        break;
+      case EventKind::kIdleBegin:
+        idle_begin[e.thread] = e.tsc;
+        break;
+      case EventKind::kIdleEnd:
+        if (idle_begin[e.thread] != 0) {
+          s.idle_cycles += e.tsc - idle_begin[e.thread];
+          idle_begin[e.thread] = 0;
+        }
+        break;
+      case EventKind::kMessageSent:
+        ++s.messages_sent;
+        break;
+      case EventKind::kMessageReceived:
+        ++s.messages_received;
+        break;
+    }
+  }
+  return per_thread;
+}
+
+}  // namespace ttg::trace

@@ -1,0 +1,67 @@
+// Lightweight event tracing (in the spirit of PaRSEC's PINS modules).
+//
+// When enabled, workers record task begin/end, idle transitions, and
+// active-message traffic into per-thread ring buffers — no locks, no
+// atomics beyond one relaxed enable check, so tracing a small-task run
+// perturbs it minimally. Snapshots merge and time-sort all threads'
+// events for offline analysis (CSV export) and a summary reports
+// per-thread busy fractions and task statistics.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+namespace ttg::trace {
+
+enum class EventKind : std::uint8_t {
+  kTaskBegin = 0,
+  kTaskEnd,
+  kIdleBegin,
+  kIdleEnd,
+  kMessageSent,
+  kMessageReceived,
+};
+
+std::string_view to_string(EventKind k);
+
+struct Event {
+  std::uint64_t tsc;      ///< rdtsc timestamp
+  std::uint32_t arg;      ///< event-specific payload (e.g. target rank)
+  std::uint16_t thread;   ///< dense thread id
+  EventKind kind;
+};
+
+/// Enables tracing with a per-thread ring capacity (events; older events
+/// are overwritten on wrap). Clears previously recorded events.
+void enable(std::size_t events_per_thread = 1 << 16);
+
+/// Disables tracing; recorded events remain readable via snapshot().
+void disable();
+
+bool enabled();
+
+/// Records one event on the calling thread (no-op when disabled).
+void record(EventKind kind, std::uint32_t arg = 0);
+
+/// Collects all threads' events, sorted by timestamp. Call while the
+/// traced workload is quiescent.
+std::vector<Event> snapshot();
+
+/// Writes snapshot() as CSV: tsc,thread,kind,arg.
+void dump_csv(std::ostream& os);
+
+/// Per-thread aggregates derived from a snapshot.
+struct ThreadSummary {
+  int thread = 0;
+  std::uint64_t tasks = 0;
+  std::uint64_t busy_cycles = 0;   ///< sum of task begin->end spans
+  std::uint64_t idle_cycles = 0;   ///< sum of idle begin->end spans
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_received = 0;
+};
+
+std::vector<ThreadSummary> summarize();
+
+}  // namespace ttg::trace

@@ -1,0 +1,87 @@
+// Two more of PaRSEC's stock schedulers, for comparison with LFQ/LL/LLP:
+//
+//  * GD — "global dequeue": one shared FIFO behind one lock. The
+//    simplest possible scheduler; every operation contends on the
+//    global lock, making it the worst case the paper's analysis warns
+//    about.
+//  * AP — "absolute priority": one shared binary heap behind one lock.
+//    Priorities are strict and global — the property LFQ/LLP trade away
+//    for locality — at the price of a fully serialized scheduler.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "structures/fifo.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ttg {
+
+class GdScheduler final : public Scheduler {
+ public:
+  explicit GdScheduler(int num_workers) : Scheduler(num_workers) {}
+
+  void push(int /*worker*/, LifoNode* task) override {
+    global_.push(task);
+  }
+
+  LifoNode* pop(int /*worker*/) override { return global_.pop(); }
+
+  SchedulerType type() const override { return SchedulerType::kGD; }
+
+ private:
+  LockedFifo global_;
+};
+
+class ApScheduler final : public Scheduler {
+ public:
+  explicit ApScheduler(int num_workers) : Scheduler(num_workers) {}
+
+  void push(int /*worker*/, LifoNode* task) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    heap_.push_back(task);
+    sift_up(heap_.size() - 1);
+  }
+
+  LifoNode* pop(int /*worker*/) override {
+    std::lock_guard<std::mutex> guard(mutex_);
+    if (heap_.empty()) return nullptr;
+    LifoNode* top = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return top;
+  }
+
+  SchedulerType type() const override { return SchedulerType::kAP; }
+
+ private:
+  // Max-heap on priority; FIFO tie-breaking is not guaranteed (matches
+  // PaRSEC's ap scheduler, which only orders by priority).
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (heap_[parent]->priority >= heap_[i]->priority) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t best = i;
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      if (l < n && heap_[l]->priority > heap_[best]->priority) best = l;
+      if (r < n && heap_[r]->priority > heap_[best]->priority) best = r;
+      if (best == i) return;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::mutex mutex_;
+  std::vector<LifoNode*> heap_;
+};
+
+}  // namespace ttg

@@ -1,0 +1,36 @@
+#include "sched/lfq.hpp"
+
+namespace ttg {
+
+LfqScheduler::LfqScheduler(int num_workers, int steal_domain_size)
+    : Scheduler(num_workers),
+      local_(std::make_unique<CachePadded<LocalBuffer>[]>(
+          static_cast<std::size_t>(num_workers))),
+      steal_order_(num_workers, steal_domain_size) {}
+
+void LfqScheduler::push(int worker, LifoNode* task) {
+  if (worker == kExternalWorker) {
+    global_.push(task);
+    return;
+  }
+  // Keep the highest-priority tasks in the local bounded buffer; route
+  // the displaced (or unplaceable) task to the global overflow FIFO.
+  if (LifoNode* overflow = local_[worker]->push(task); overflow != nullptr) {
+    global_.push(overflow);
+  }
+}
+
+LifoNode* LfqScheduler::pop(int worker) {
+  if (worker != kExternalWorker) {
+    if (LifoNode* t = local_[worker]->pop_best(); t != nullptr) return t;
+    // Steal from other workers' bounded buffers, domain siblings first
+    // (the cache/NUMA hierarchy walk of Sec. III-B).
+    for (int victim : steal_order_.victims(worker)) {
+      if (LifoNode* t = local_[victim]->steal(); t != nullptr) return t;
+    }
+  }
+  // Last resort: the globally-locked overflow FIFO.
+  return global_.pop();
+}
+
+}  // namespace ttg

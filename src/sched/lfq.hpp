@@ -1,0 +1,34 @@
+// LFQ: local flat queues — PaRSEC's default scheduler (paper Sec. III-B).
+#pragma once
+
+#include <memory>
+
+#include "common/cache.hpp"
+#include "structures/bounded_buffer.hpp"
+#include "structures/fifo.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ttg {
+
+class LfqScheduler final : public Scheduler {
+ public:
+  static constexpr std::size_t kLocalCapacity = 8;
+
+  explicit LfqScheduler(int num_workers, int steal_domain_size = 0);
+
+  void push(int worker, LifoNode* task) override;
+  LifoNode* pop(int worker) override;
+  SchedulerType type() const override { return SchedulerType::kLFQ; }
+
+  /// Test hook: number of tasks currently parked in the overflow FIFO.
+  std::uint64_t overflow_size() const { return global_.approx_size(); }
+
+ private:
+  using LocalBuffer = BoundedPriorityBuffer<kLocalCapacity>;
+
+  std::unique_ptr<CachePadded<LocalBuffer>[]> local_;
+  StealOrder steal_order_;
+  LockedFifo global_;
+};
+
+}  // namespace ttg

@@ -1,0 +1,31 @@
+#include "sched/ll.hpp"
+
+namespace ttg {
+
+LlScheduler::LlScheduler(int num_workers, int steal_domain_size)
+    : Scheduler(num_workers),
+      local_(std::make_unique<CachePadded<AtomicLifo>[]>(
+          static_cast<std::size_t>(num_workers))),
+      steal_order_(num_workers, steal_domain_size) {}
+
+void LlScheduler::push(int worker, LifoNode* task) {
+  if (worker == kExternalWorker) {
+    ingress_.push(task);
+    return;
+  }
+  // A plain LIFO cannot honor priorities (Sec. III-B): tasks are pushed
+  // to and popped from the head regardless of task->priority.
+  local_[worker]->push(task);
+}
+
+LifoNode* LlScheduler::pop(int worker) {
+  if (worker != kExternalWorker) {
+    if (LifoNode* t = local_[worker]->pop(); t != nullptr) return t;
+    for (int victim : steal_order_.victims(worker)) {
+      if (LifoNode* t = local_[victim]->pop(); t != nullptr) return t;
+    }
+  }
+  return ingress_.pop();
+}
+
+}  // namespace ttg

@@ -1,0 +1,26 @@
+// LL: local LIFOs with stealing, no priority support (paper Sec. III-B).
+#pragma once
+
+#include <memory>
+
+#include "common/cache.hpp"
+#include "structures/lifo.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ttg {
+
+class LlScheduler final : public Scheduler {
+ public:
+  explicit LlScheduler(int num_workers, int steal_domain_size = 0);
+
+  void push(int worker, LifoNode* task) override;
+  LifoNode* pop(int worker) override;
+  SchedulerType type() const override { return SchedulerType::kLL; }
+
+ private:
+  std::unique_ptr<CachePadded<AtomicLifo>[]> local_;
+  StealOrder steal_order_;
+  AtomicLifo ingress_;  // external submissions (MPSC, any thread)
+};
+
+}  // namespace ttg

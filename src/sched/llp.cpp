@@ -1,0 +1,81 @@
+#include "sched/llp.hpp"
+
+namespace ttg {
+
+LlpScheduler::LlpScheduler(int num_workers, int steal_domain_size)
+    : Scheduler(num_workers),
+      local_(std::make_unique<CachePadded<AtomicLifo>[]>(
+          static_cast<std::size_t>(num_workers))),
+      steal_order_(num_workers, steal_domain_size) {}
+
+LifoNode* LlpScheduler::merge_sorted(LifoNode* list, LifoNode* chain) {
+  LifoNode head_sentinel;
+  LifoNode* tail = &head_sentinel;
+  // Chain elements win ties: they are newer and their data is hotter.
+  while (list != nullptr && chain != nullptr) {
+    if (chain->priority >= list->priority) {
+      tail->next = chain;
+      chain = chain->next;
+    } else {
+      tail->next = list;
+      list = list->next;
+    }
+    tail = tail->next;
+  }
+  tail->next = (list != nullptr) ? list : chain;
+  return head_sentinel.next;
+}
+
+void LlpScheduler::push(int worker, LifoNode* task) {
+  if (worker == kExternalWorker) {
+    ingress_.push(task);
+    return;
+  }
+  AtomicLifo& lifo = local_[worker].value;
+  std::int32_t head_prio;
+  if (!lifo.head_priority(head_prio) || task->priority >= head_prio) {
+    // Fast path: one CAS on the head pointer.
+    lifo.push(task);
+    return;
+  }
+  // Slow path: detach (stealers observe an empty LIFO), insert into the
+  // private list, reattach with a release store.
+  LifoNode* list = lifo.detach();
+  task->next = nullptr;
+  lifo.attach(merge_sorted(list, task));
+}
+
+void LlpScheduler::push_chain(int worker, LifoNode* first) {
+  if (first == nullptr) return;
+  if (worker == kExternalWorker) {
+    LifoNode* last = first;
+    while (last->next != nullptr) last = last->next;
+    ingress_.push_chain(first, last);
+    return;
+  }
+  AtomicLifo& lifo = local_[worker].value;
+  std::int32_t head_prio;
+  if (!lifo.head_priority(head_prio)) {
+    // LIFO appears empty: a detach+attach merge is just an attach of the
+    // already-sorted chain, but stealers may race a pop, so go through
+    // the regular chain push.
+    LifoNode* last = first;
+    while (last->next != nullptr) last = last->next;
+    lifo.push_chain(first, last);
+    return;
+  }
+  LifoNode* list = lifo.detach();
+  lifo.attach(merge_sorted(list, first));
+}
+
+LifoNode* LlpScheduler::pop(int worker) {
+  if (worker != kExternalWorker) {
+    if (LifoNode* t = local_[worker]->pop(); t != nullptr) return t;
+    for (int victim : steal_order_.victims(worker)) {
+      if (LifoNode* t = local_[victim]->pop(); t != nullptr) return t;
+    }
+  }
+  return ingress_.pop();
+}
+
+}  // namespace ttg

@@ -1,0 +1,47 @@
+// LLP: Local LIFO with Priorities — the paper's scheduler (Sec. IV-C).
+//
+// Every worker owns a LIFO; other workers may steal from its head. Two
+// observations make priorities affordable: (i) only the owning thread
+// pushes into its queue, and (ii) a LIFO is a singly-linked list whose
+// head is changed atomically.
+//
+//  * Fast path: if the new task's priority is >= the head's, push with a
+//    single CAS. (">=" implements "new tasks will be inserted before old
+//    tasks that have the same priority", favoring cache-warm data.)
+//  * Slow path: detach the head (one atomic exchange, the LIFO reads as
+//    empty), insert into the now-private list in O(n), and reattach with
+//    a single release store.
+//  * Bulk: freshly discovered tasks are bundled into a sorted chain and
+//    merged in one detach/merge/reattach pass (Sec. IV-C "we mitigate
+//    this by bundling new tasks into sorted lists").
+#pragma once
+
+#include <memory>
+
+#include "common/cache.hpp"
+#include "structures/lifo.hpp"
+#include "sched/scheduler.hpp"
+
+namespace ttg {
+
+class LlpScheduler final : public Scheduler {
+ public:
+  explicit LlpScheduler(int num_workers, int steal_domain_size = 0);
+
+  void push(int worker, LifoNode* task) override;
+  void push_chain(int worker, LifoNode* first) override;
+  LifoNode* pop(int worker) override;
+  SchedulerType type() const override { return SchedulerType::kLLP; }
+
+ private:
+  /// Merges `chain` (sorted by descending priority) into `list` (ditto),
+  /// placing chain elements before list elements of equal priority.
+  /// Returns the merged head.
+  static LifoNode* merge_sorted(LifoNode* list, LifoNode* chain);
+
+  std::unique_ptr<CachePadded<AtomicLifo>[]> local_;
+  StealOrder steal_order_;
+  AtomicLifo ingress_;  // external submissions (MPSC, any thread)
+};
+
+}  // namespace ttg

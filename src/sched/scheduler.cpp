@@ -1,0 +1,69 @@
+#include "sched/scheduler.hpp"
+
+#include <algorithm>
+
+#include "sched/gd_ap.hpp"
+#include "sched/lfq.hpp"
+#include "sched/ll.hpp"
+#include "sched/llp.hpp"
+
+namespace ttg {
+
+StealOrder::StealOrder(int num_workers, int domain_size) {
+  orders_.resize(static_cast<std::size_t>(num_workers));
+  const int d = domain_size > 1 ? domain_size : num_workers;
+  for (int w = 0; w < num_workers; ++w) {
+    auto& order = orders_[static_cast<std::size_t>(w)];
+    const int dom_begin = (w / d) * d;
+    const int dom_end = std::min(dom_begin + d, num_workers);
+    // Domain siblings first, ring-wise within the domain...
+    for (int i = 1; i < dom_end - dom_begin; ++i) {
+      order.push_back(dom_begin + (w - dom_begin + i) % (dom_end - dom_begin));
+    }
+    // ... then everyone else, ring-wise from the next domain.
+    for (int i = 1; i < num_workers; ++i) {
+      const int v = (w + i) % num_workers;
+      if (v < dom_begin || v >= dom_end) order.push_back(v);
+    }
+  }
+}
+
+std::string_view to_string(SchedulerType t) {
+  switch (t) {
+    case SchedulerType::kLFQ: return "LFQ";
+    case SchedulerType::kLL: return "LL";
+    case SchedulerType::kLLP: return "LLP";
+    case SchedulerType::kGD: return "GD";
+    case SchedulerType::kAP: return "AP";
+  }
+  return "?";
+}
+
+void Scheduler::push_chain(int worker, LifoNode* first) {
+  while (first != nullptr) {
+    LifoNode* next = first->next;
+    first->next = nullptr;
+    push(worker, first);
+    first = next;
+  }
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerType type,
+                                          int num_workers,
+                                          int steal_domain_size) {
+  switch (type) {
+    case SchedulerType::kLFQ:
+      return std::make_unique<LfqScheduler>(num_workers, steal_domain_size);
+    case SchedulerType::kLL:
+      return std::make_unique<LlScheduler>(num_workers, steal_domain_size);
+    case SchedulerType::kLLP:
+      return std::make_unique<LlpScheduler>(num_workers, steal_domain_size);
+    case SchedulerType::kGD:
+      return std::make_unique<GdScheduler>(num_workers);
+    case SchedulerType::kAP:
+      return std::make_unique<ApScheduler>(num_workers);
+  }
+  return nullptr;
+}
+
+}  // namespace ttg

@@ -1,0 +1,96 @@
+// Scheduler interface (paper Sec. III-B).
+//
+// "At the heart of every task-based runtime system is a scheduler mapping
+// eligible tasks to a set of worker threads ... The scheduler is
+// typically a passive element: threads continuously query a data
+// structure for eligible tasks." TTG needs (i) low-contention
+// distribution (thread-local queues with stealing) and (ii) priorities.
+//
+// Three implementations reproduce the paper's comparison:
+//  * LFQ  — PaRSEC's default local-flat-queues: per-thread bounded
+//           priority buffers plus a globally-locked overflow FIFO; the
+//           FIFO's lock is the Fig. 6 bottleneck.
+//  * LL   — local LIFOs with stealing; low contention, no priorities.
+//  * LLP  — the paper's contribution (Sec. IV-C): local LIFOs *with*
+//           priorities via a CAS fast path and a detach/insert/reattach
+//           slow path.
+//
+// Tasks are addressed as LifoNode* (the intrusive base of TaskBase).
+// `worker` is the caller's worker index, or kExternalWorker for threads
+// outside the pool (e.g. the application's main thread seeding a graph):
+// external pushes land in a shared MPSC ingress queue that workers drain.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "structures/lifo.hpp"
+
+namespace ttg {
+
+enum class SchedulerType {
+  kLFQ,  ///< PaRSEC default: local bounded buffers + global overflow FIFO
+  kLL,   ///< local LIFOs with stealing, no priorities
+  kLLP,  ///< the paper's scheduler: local LIFOs *with* priorities
+  kGD,   ///< global dequeue: one locked FIFO (worst-case contention)
+  kAP,   ///< absolute priority: one locked global heap (strict order)
+};
+
+std::string_view to_string(SchedulerType t);
+
+inline constexpr int kExternalWorker = -1;
+
+/// Victim orders for work stealing. "The real PaRSEC walks the cache and
+/// NUMA hierarchy" (Sec. III-B): with a domain size D, a worker first
+/// tries the other workers of its domain (its cache/NUMA siblings), then
+/// the remaining workers ring-wise. domain_size <= 1 yields the flat
+/// ring order.
+class StealOrder {
+ public:
+  StealOrder(int num_workers, int domain_size);
+
+  /// Victims for `worker`, in preference order (excluding itself).
+  const std::vector<int>& victims(int worker) const {
+    return orders_[static_cast<std::size_t>(worker)];
+  }
+
+ private:
+  std::vector<std::vector<int>> orders_;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Makes one task eligible. `worker` is the pushing thread's worker
+  /// index or kExternalWorker.
+  virtual void push(int worker, LifoNode* task) = 0;
+
+  /// Makes a chain of tasks eligible in one operation. The chain is
+  /// linked through LifoNode::next and sorted by descending priority
+  /// (highest first). Default: push one by one.
+  virtual void push_chain(int worker, LifoNode* first);
+
+  /// Returns the next task for `worker` (local work, then stealing, then
+  /// shared queues), or nullptr if none was found.
+  virtual LifoNode* pop(int worker) = 0;
+
+  virtual SchedulerType type() const = 0;
+
+  int num_workers() const { return num_workers_; }
+
+ protected:
+  explicit Scheduler(int num_workers) : num_workers_(num_workers) {}
+
+  const int num_workers_;
+};
+
+/// Factory for the scheduler implementations. `steal_domain_size`
+/// controls the hierarchical steal order of the stealing schedulers
+/// (LFQ/LL/LLP); <= 1 means flat.
+std::unique_ptr<Scheduler> make_scheduler(SchedulerType type,
+                                          int num_workers,
+                                          int steal_domain_size = 0);
+
+}  // namespace ttg

@@ -1,0 +1,119 @@
+// Per-thread bounded task buffer with priorities — the local half of the
+// LFQ scheduler (Sec. III-B).
+//
+// Each worker owns one of these; other workers may steal from it. Slots
+// are individually atomic so that push (owner), pop-best (owner) and
+// steal (thief) proceed without a per-buffer lock. "Tasks with the
+// highest priority are kept to fill up the bounded buffer, and tasks with
+// the lowest priority are enqueued into the [overflow FIFO], if
+// necessary."
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "atomics/op_counter.hpp"
+#include "atomics/ordering.hpp"
+#include "structures/lifo.hpp"
+
+namespace ttg {
+
+template <std::size_t N = 8>
+class BoundedPriorityBuffer {
+ public:
+  BoundedPriorityBuffer() {
+    for (auto& s : slots_) s.store(nullptr, std::memory_order_relaxed);
+  }
+  BoundedPriorityBuffer(const BoundedPriorityBuffer&) = delete;
+  BoundedPriorityBuffer& operator=(const BoundedPriorityBuffer&) = delete;
+
+  static constexpr std::size_t capacity() { return N; }
+
+  /// Tries to place `node`, keeping the N highest-priority tasks local.
+  /// Returns nullptr on success, `node` itself if the buffer was full of
+  /// higher-priority work, or a displaced lower-priority task that the
+  /// caller must route to the overflow queue.
+  LifoNode* push(LifoNode* node) noexcept {
+    // Pass 1: free slot.
+    for (auto& slot : slots_) {
+      LifoNode* expected = nullptr;
+      if (slot.load(std::memory_order_relaxed) != nullptr) continue;
+      atomic_ops::count(AtomicOpCategory::kScheduler);
+      if (slot.compare_exchange_strong(expected, node, ord_acq_rel(),
+                                       std::memory_order_relaxed)) {
+        return nullptr;
+      }
+    }
+    // Pass 2: evict the lowest-priority resident if it is lower than ours.
+    std::atomic<LifoNode*>* victim = nullptr;
+    LifoNode* victim_task = nullptr;
+    for (auto& slot : slots_) {
+      LifoNode* t = slot.load(std::memory_order_relaxed);
+      if (t == nullptr) continue;
+      if (victim_task == nullptr || t->priority < victim_task->priority) {
+        victim = &slot;
+        victim_task = t;
+      }
+    }
+    if (victim_task != nullptr && victim_task->priority < node->priority) {
+      atomic_ops::count(AtomicOpCategory::kScheduler);
+      if (victim->compare_exchange_strong(victim_task, node, ord_acq_rel(),
+                                          std::memory_order_relaxed)) {
+        return victim_task;  // displaced task goes to the overflow FIFO
+      }
+    }
+    return node;  // buffer stays as-is; caller overflows `node`
+  }
+
+  /// Removes and returns the highest-priority task, or nullptr.
+  LifoNode* pop_best() noexcept {
+    for (;;) {
+      std::atomic<LifoNode*>* best = nullptr;
+      LifoNode* best_task = nullptr;
+      for (auto& slot : slots_) {
+        LifoNode* t = slot.load(std::memory_order_relaxed);
+        if (t == nullptr) continue;
+        if (best_task == nullptr || t->priority > best_task->priority) {
+          best = &slot;
+          best_task = t;
+        }
+      }
+      if (best_task == nullptr) return nullptr;
+      atomic_ops::count(AtomicOpCategory::kScheduler);
+      if (best->compare_exchange_strong(best_task, nullptr, ord_acq_rel(),
+                                        std::memory_order_relaxed)) {
+        fence_acquire();
+        return best_task;
+      }
+      // Lost a race with a thief; rescan.
+    }
+  }
+
+  /// Steals any one task (thief side). Takes the first occupied slot.
+  LifoNode* steal() noexcept {
+    for (auto& slot : slots_) {
+      LifoNode* t = slot.load(std::memory_order_relaxed);
+      if (t == nullptr) continue;
+      atomic_ops::count(AtomicOpCategory::kScheduler);
+      if (slot.compare_exchange_strong(t, nullptr, ord_acq_rel(),
+                                       std::memory_order_relaxed)) {
+        fence_acquire();
+        return t;
+      }
+    }
+    return nullptr;
+  }
+
+  bool empty() const noexcept {
+    for (const auto& slot : slots_) {
+      if (slot.load(std::memory_order_relaxed) != nullptr) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::array<std::atomic<LifoNode*>, N> slots_;
+};
+
+}  // namespace ttg

@@ -1,0 +1,104 @@
+// Concurrent key-value map built on the scalable hash table.
+//
+// Thin typed wrapper used where the runtime or an application needs a
+// thread-safe associative store with the same locking discipline as the
+// TTG task tables (bucket locks + BRAVO reader lock) — e.g. the MRA
+// mini-app's per-box difference-coefficient store.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "structures/hash_table.hpp"
+#include "ttg/keys.hpp"
+
+namespace ttg {
+
+template <typename Key, typename T, typename Hash = KeyHash<Key>>
+class ConcurrentMap {
+ public:
+  explicit ConcurrentMap(int initial_log2_buckets = 6)
+      : table_(initial_log2_buckets) {}
+
+  ConcurrentMap(const ConcurrentMap&) = delete;
+  ConcurrentMap& operator=(const ConcurrentMap&) = delete;
+
+  ~ConcurrentMap() {
+    table_.for_each_exclusive([](HashItemBase* item) {
+      delete static_cast<Item*>(item);
+    });
+  }
+
+  /// Inserts (key -> value); returns false if the key was present.
+  template <typename U>
+  bool insert(const Key& key, U&& value) {
+    const std::uint64_t h = Hash{}(key);
+    auto acc = table_.lock_key(h);
+    if (acc.find(key_eq(key)) != nullptr) return false;
+    auto* item = new Item(key, std::forward<U>(value));
+    item->hash = h;
+    acc.insert(item);
+    return true;
+  }
+
+  /// Removes the key and returns its value, if present.
+  std::optional<T> take(const Key& key) {
+    const std::uint64_t h = Hash{}(key);
+    auto acc = table_.lock_key(h);
+    HashItemBase* found = acc.remove(key_eq(key));
+    acc.release();
+    if (found == nullptr) return std::nullopt;
+    auto* item = static_cast<Item*>(found);
+    std::optional<T> out(std::move(item->value));
+    delete item;
+    return out;
+  }
+
+  /// Calls `f(T&)` on the value under the bucket lock; returns whether
+  /// the key was present.
+  template <typename F>
+  bool with(const Key& key, F&& f) {
+    const std::uint64_t h = Hash{}(key);
+    auto acc = table_.lock_key(h);
+    if (HashItemBase* found = acc.find(key_eq(key)); found != nullptr) {
+      f(static_cast<Item*>(found)->value);
+      return true;
+    }
+    return false;
+  }
+
+  bool contains(const Key& key) {
+    return with(key, [](const T&) {});
+  }
+
+  std::size_t size() { return table_.size(); }
+
+  /// Visits every (key, value) pair under the writer lock. Not for hot
+  /// paths; the callback must not mutate the map.
+  template <typename F>
+  void for_each_exclusive(F&& f) {
+    table_.for_each_exclusive([&f](HashItemBase* item) {
+      auto* it = static_cast<Item*>(item);
+      f(static_cast<const Key&>(it->key), it->value);
+    });
+  }
+
+ private:
+  struct Item : HashItemBase {
+    Key key;
+    T value;
+    template <typename U>
+    Item(const Key& k, U&& v) : key(k), value(std::forward<U>(v)) {}
+  };
+
+  static auto key_eq(const Key& key) {
+    return [&key](const HashItemBase* item) {
+      return static_cast<const Item*>(item)->key == key;
+    };
+  }
+
+  ScalableHashTable table_;
+};
+
+}  // namespace ttg

@@ -1,0 +1,69 @@
+// Lock-protected intrusive FIFO.
+//
+// This is the *global overflow queue* of the LFQ scheduler (Sec. III-B):
+// "a global FIFO shared between all threads serves as overflow queue ...
+// [it] may quickly become a bottleneck due to the global lock used to
+// ensure consistency." We reproduce it faithfully, global lock included,
+// because demonstrating that bottleneck is half of Fig. 6.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "structures/lifo.hpp"
+#include "sync/bucket_lock.hpp"
+
+namespace ttg {
+
+class LockedFifo {
+ public:
+  explicit LockedFifo(AtomicOpCategory cat = AtomicOpCategory::kScheduler)
+      : category_(cat) {}
+  LockedFifo(const LockedFifo&) = delete;
+  LockedFifo& operator=(const LockedFifo&) = delete;
+
+  /// Racy emptiness probe; lets idle threads skip the global lock.
+  bool empty() const noexcept {
+    return size_.load(std::memory_order_relaxed) == 0;
+  }
+
+  void push(LifoNode* node) noexcept {
+    node->next = nullptr;
+    lock_.lock(category_);
+    if (tail_ == nullptr) {
+      head_ = tail_ = node;
+    } else {
+      tail_->next = node;
+      tail_ = node;
+    }
+    size_.fetch_add(1, std::memory_order_relaxed);
+    lock_.unlock();
+  }
+
+  LifoNode* pop() noexcept {
+    if (empty()) return nullptr;
+    lock_.lock(category_);
+    LifoNode* node = head_;
+    if (node != nullptr) {
+      head_ = node->next;
+      if (head_ == nullptr) tail_ = nullptr;
+      node->next = nullptr;
+      size_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    lock_.unlock();
+    return node;
+  }
+
+  std::uint64_t approx_size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  BucketLock lock_;
+  LifoNode* head_ = nullptr;  // guarded by lock_
+  LifoNode* tail_ = nullptr;  // guarded by lock_
+  std::atomic<std::uint64_t> size_{0};
+  const AtomicOpCategory category_;
+};
+
+}  // namespace ttg

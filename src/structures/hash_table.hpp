@@ -1,0 +1,342 @@
+// Scalable chained hash table (paper Sec. III-C, Fig. 3).
+//
+// Each TTG template task stores its not-yet-eligible discovered tasks in
+// one of these. The table grows by *chaining*: when a bucket of the main
+// table exceeds a fill threshold, a new main table with twice the buckets
+// is allocated and the previous main becomes the head of a list of "old"
+// tables. New entries go to the new main table; lookups and removals
+// traverse the chain, and an entry found in an old table is migrated into
+// the main table to speed up the next search. Old tables drain over time
+// (tasks stay in the table only while waiting for inputs) and are retired
+// once empty, eventually leaving a single table again.
+//
+// Locking (Sec. III-C2 + IV-D): threads lock individual buckets with a
+// one-word spinlock and hold a table-wide *reader* lock for the duration
+// of the access; resizing and retiring old tables take the *writer* lock.
+// The reader lock is a BRAVO-wrapped reader-writer lock, so in the fast
+// path the only atomic RMW per access is the bucket lock itself.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "atomics/op_counter.hpp"
+#include "atomics/ordering.hpp"
+#include "sync/bravo.hpp"
+#include "sync/bucket_lock.hpp"
+#include "sync/rwlock.hpp"
+
+namespace ttg {
+
+/// Intrusive base for anything stored in a ScalableHashTable.
+struct HashItemBase {
+  HashItemBase* next = nullptr;
+  std::uint64_t hash = 0;
+};
+
+class ScalableHashTable {
+ private:
+  struct Bucket {
+    BucketLock lock;
+    HashItemBase* head = nullptr;  // guarded by lock
+    // Modified only under `lock` (plain load+store, never an RMW), but
+    // read racily by the table_is_drained() retirement hint — hence
+    // atomic with relaxed ordering.
+    std::atomic<std::int32_t> length{0};
+
+    void bump_length(std::int32_t d) noexcept {
+      length.store(length.load(std::memory_order_relaxed) + d,
+                   std::memory_order_relaxed);
+    }
+  };
+
+  struct Table {
+    explicit Table(std::size_t n, Table* o)
+        : nbuckets(n), mask(n - 1), older(o),
+          buckets(std::make_unique<Bucket[]>(n)) {}
+    const std::size_t nbuckets;
+    const std::size_t mask;
+    Table* older;
+    std::unique_ptr<Bucket[]> buckets;
+  };
+
+ public:
+  /// `initial_log2_buckets`: main table starts with 2^n buckets.
+  /// `fill_threshold`: a bucket reaching this length triggers a resize.
+  explicit ScalableHashTable(int initial_log2_buckets = 4,
+                             int fill_threshold = 16,
+                             int max_threads = kMaxThreads)
+      : rw_(max_threads), fill_threshold_(fill_threshold) {
+    main_.store(allocate_table(std::size_t{1} << initial_log2_buckets,
+                               nullptr),
+                std::memory_order_relaxed);
+  }
+
+  ScalableHashTable(const ScalableHashTable&) = delete;
+  ScalableHashTable& operator=(const ScalableHashTable&) = delete;
+
+  ~ScalableHashTable() {
+    Table* t = main_.load(std::memory_order_relaxed);
+    while (t != nullptr) {
+      Table* older = t->older;
+      delete t;
+      t = older;
+    }
+  }
+
+  /// Exclusive access to the chain position of one hash value. Typical
+  /// TTG pattern: lock the key's bucket, find-or-insert / remove, unlock.
+  class Accessor {
+   public:
+    Accessor(Accessor&& other) noexcept
+        : ht_(other.ht_), hash_(other.hash_), token_(other.token_),
+          table_(other.table_), bucket_(other.bucket_),
+          resize_needed_(other.resize_needed_), gc_needed_(other.gc_needed_) {
+      other.ht_ = nullptr;
+    }
+    Accessor(const Accessor&) = delete;
+    Accessor& operator=(const Accessor&) = delete;
+
+    ~Accessor() { release(); }
+
+    /// Finds the item matching this hash and predicate, migrating it to
+    /// the main table if it was found in an old one. Returns nullptr if
+    /// absent. `pred(const HashItemBase*)` disambiguates full-key
+    /// collisions.
+    template <typename Pred>
+    HashItemBase* find(Pred&& pred) {
+      // Main-table bucket: we hold its lock.
+      for (HashItemBase* it = bucket_->head; it != nullptr; it = it->next) {
+        if (it->hash == hash_ && pred(const_cast<const HashItemBase*>(it))) {
+          return it;
+        }
+      }
+      // Old tables: lock each table's own bucket while searching it.
+      for (Table* t = table_->older; t != nullptr; t = t->older) {
+        Bucket& ob = t->buckets[hash_ & t->mask];
+        BucketGuard guard(ob.lock);
+        HashItemBase* prev = nullptr;
+        for (HashItemBase* it = ob.head; it != nullptr;
+             prev = it, it = it->next) {
+          if (it->hash == hash_ &&
+              pred(const_cast<const HashItemBase*>(it))) {
+            // Unlink from the old table ...
+            if (prev == nullptr) {
+              ob.head = it->next;
+            } else {
+              prev->next = it->next;
+            }
+            ob.bump_length(-1);
+            if (ob.length.load(std::memory_order_relaxed) == 0 &&
+                table_is_drained(*t)) {
+              gc_needed_ = true;
+            }
+            // ... and migrate into the main bucket we already hold.
+            it->next = bucket_->head;
+            bucket_->head = it;
+            bucket_->bump_length(+1);
+            return it;
+          }
+        }
+      }
+      return nullptr;
+    }
+
+    /// Inserts `item` (hash must already be set to this accessor's hash).
+    /// The caller is responsible for uniqueness (find first).
+    void insert(HashItemBase* item) {
+      assert(item->hash == hash_);
+      item->next = bucket_->head;
+      bucket_->head = item;
+      bucket_->bump_length(+1);
+      if (bucket_->length.load(std::memory_order_relaxed) >=
+          ht_->fill_threshold_) {
+        resize_needed_ = true;
+      }
+    }
+
+    /// Finds, unlinks, and returns the matching item, or nullptr.
+    template <typename Pred>
+    HashItemBase* remove(Pred&& pred) {
+      HashItemBase* prev = nullptr;
+      for (HashItemBase* it = bucket_->head; it != nullptr;
+           prev = it, it = it->next) {
+        if (it->hash == hash_ && pred(const_cast<const HashItemBase*>(it))) {
+          if (prev == nullptr) {
+            bucket_->head = it->next;
+          } else {
+            prev->next = it->next;
+          }
+          bucket_->bump_length(-1);
+          it->next = nullptr;
+          return it;
+        }
+      }
+      // Not in the main table: find() would migrate, so search old tables
+      // directly and unlink in place.
+      for (Table* t = table_->older; t != nullptr; t = t->older) {
+        Bucket& ob = t->buckets[hash_ & t->mask];
+        BucketGuard guard(ob.lock);
+        prev = nullptr;
+        for (HashItemBase* it = ob.head; it != nullptr;
+             prev = it, it = it->next) {
+          if (it->hash == hash_ &&
+              pred(const_cast<const HashItemBase*>(it))) {
+            if (prev == nullptr) {
+              ob.head = it->next;
+            } else {
+              prev->next = it->next;
+            }
+            ob.bump_length(-1);
+            if (ob.length.load(std::memory_order_relaxed) == 0 &&
+                table_is_drained(*t)) {
+              gc_needed_ = true;
+            }
+            it->next = nullptr;
+            return it;
+          }
+        }
+      }
+      return nullptr;
+    }
+
+    /// Releases the bucket and reader locks; runs any deferred resize or
+    /// old-table retirement. Idempotent (also run by the destructor).
+    void release() {
+      if (ht_ == nullptr) return;
+      bucket_->lock.unlock();
+      ht_->rw_.read_unlock(token_);
+      ScalableHashTable* ht = ht_;
+      Table* observed = table_;
+      const bool resize = resize_needed_;
+      const bool gc = gc_needed_;
+      ht_ = nullptr;
+      if (resize) ht->grow(observed);
+      if (gc) ht->retire_empty_tables();
+    }
+
+   private:
+    friend class ScalableHashTable;
+    Accessor(ScalableHashTable* ht, std::uint64_t hash) : ht_(ht),
+                                                          hash_(hash) {
+      token_ = ht_->rw_.read_lock();
+      table_ = ht_->main_.load(ord_acquire());
+      bucket_ = &table_->buckets[hash_ & table_->mask];
+      bucket_->lock.lock();
+    }
+
+    ScalableHashTable* ht_;
+    std::uint64_t hash_;
+    BravoRWLock<RWSpinLock>::ReaderToken token_;
+    Table* table_ = nullptr;
+    Bucket* bucket_ = nullptr;
+    bool resize_needed_ = false;
+    bool gc_needed_ = false;
+  };
+
+  /// Locks the bucket for `hash` (taking the reader lock first) and
+  /// returns an accessor for find/insert/remove under that lock.
+  Accessor lock_key(std::uint64_t hash) { return Accessor(this, hash); }
+
+  /// Total number of stored items; takes the writer lock (test hook, not
+  /// meant for hot paths).
+  std::size_t size() {
+    rw_.write_lock();
+    std::size_t n = 0;
+    for (Table* t = main_.load(std::memory_order_relaxed); t != nullptr;
+         t = t->older) {
+      for (std::size_t b = 0; b < t->nbuckets; ++b) {
+        n += static_cast<std::size_t>(
+            t->buckets[b].length.load(std::memory_order_relaxed));
+      }
+    }
+    rw_.write_unlock();
+    return n;
+  }
+
+  /// Number of tables currently chained (1 == fully consolidated).
+  int num_tables() {
+    rw_.write_lock();
+    int n = 0;
+    for (Table* t = main_.load(std::memory_order_relaxed); t != nullptr;
+         t = t->older) {
+      ++n;
+    }
+    rw_.write_unlock();
+    return n;
+  }
+
+  std::size_t main_table_buckets() {
+    return main_.load(std::memory_order_acquire)->nbuckets;
+  }
+
+  /// Visits every stored item under the writer lock (excludes all other
+  /// access). For teardown and diagnostics, not hot paths. The callback
+  /// must not mutate the table.
+  template <typename F>
+  void for_each_exclusive(F&& f) {
+    rw_.write_lock();
+    for (Table* t = main_.load(std::memory_order_relaxed); t != nullptr;
+         t = t->older) {
+      for (std::size_t b = 0; b < t->nbuckets; ++b) {
+        HashItemBase* it = t->buckets[b].head;
+        while (it != nullptr) {
+          // Read the successor first: the callback may destroy `it`.
+          HashItemBase* next = it->next;
+          f(it);
+          it = next;
+        }
+      }
+    }
+    rw_.write_unlock();
+  }
+
+  /// Forces retirement of drained old tables (normally lazy). Test hook.
+  void retire_empty_tables() {
+    rw_.write_lock();
+    Table* t = main_.load(std::memory_order_relaxed);
+    while (t->older != nullptr) {
+      Table* old = t->older;
+      if (table_is_drained(*old)) {
+        t->older = old->older;
+        delete old;
+      } else {
+        t = old;
+      }
+    }
+    rw_.write_unlock();
+  }
+
+ private:
+  static Table* allocate_table(std::size_t nbuckets, Table* older) {
+    return new Table(nbuckets, older);
+  }
+
+  /// Racy scan used as a retirement hint; retire_empty_tables() verifies
+  /// under the writer lock before actually freeing anything.
+  static bool table_is_drained(const Table& t) {
+    for (std::size_t b = 0; b < t.nbuckets; ++b) {
+      if (t.buckets[b].length.load(std::memory_order_relaxed) != 0)
+        return false;
+    }
+    return true;
+  }
+
+  /// Doubles the main table if `observed` is still the current main.
+  void grow(Table* observed) {
+    rw_.write_lock();
+    Table* cur = main_.load(std::memory_order_relaxed);
+    if (cur == observed) {
+      main_.store(allocate_table(cur->nbuckets * 2, cur), ord_release());
+    }
+    rw_.write_unlock();
+  }
+
+  BravoRWLock<RWSpinLock> rw_;
+  std::atomic<Table*> main_;
+  const int fill_threshold_;
+};
+
+}  // namespace ttg

@@ -1,0 +1,155 @@
+// Atomic LIFO (Treiber stack) with a tagged head pointer.
+//
+// This is the building block of the LL and LLP schedulers (Sec. IV-C) and
+// of the per-thread free-list memory pools (Sec. IV-E). The head packs a
+// 48-bit pointer and a 16-bit ABA tag into one 64-bit word so that every
+// operation is a single-word CAS; the tag is bumped on every successful
+// pop, which is the only operation vulnerable to ABA.
+//
+// Memory-ordering discipline follows Sec. IV-A: in the optimized mode the
+// CAS itself is relaxed and publication/observation of node contents is
+// handled with explicit thread fences.
+//
+// Node lifetime requirement: a popped node may still be *read* (its next
+// pointer) by a concurrent pop that loses the CAS race, so node memory
+// must stay readable while any thread can be inside an operation. The
+// runtime guarantees this by recycling nodes through pools that never
+// return memory to the OS mid-run.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+
+#include "atomics/op_counter.hpp"
+#include "atomics/ordering.hpp"
+#include "common/busy_wait.hpp"
+
+namespace ttg {
+
+/// Intrusive hook. Anything stored in an AtomicLifo (tasks, free-list
+/// slots) embeds or overlays one of these.
+///
+/// `next` is atomic because of the classic Treiber-stack property: a pop
+/// that loses the CAS race has already read the (then-stale) next
+/// pointer of a node another thread may be re-linking. The algorithm
+/// discards the stale value via the ABA tag, but the *read* itself must
+/// be atomic to be defined behavior. Single-owner structural code can
+/// keep using plain `a->next = b` syntax through the atomic's operators.
+struct LifoNode {
+  std::atomic<LifoNode*> next{nullptr};
+  std::int32_t priority = 0;
+};
+
+class AtomicLifo {
+ public:
+  explicit AtomicLifo(AtomicOpCategory cat = AtomicOpCategory::kScheduler)
+      : category_(cat) {}
+  AtomicLifo(const AtomicLifo&) = delete;
+  AtomicLifo& operator=(const AtomicLifo&) = delete;
+
+  bool empty() const noexcept {
+    return unpack_ptr(head_.load(std::memory_order_relaxed)) == nullptr;
+  }
+
+  /// Pushes one node (any thread). One CAS in the uncontended case.
+  void push(LifoNode* node) noexcept {
+    fence_release();  // publish *node before it becomes reachable
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      node->next.store(unpack_ptr(h), std::memory_order_relaxed);
+      atomic_ops::count(category_);
+      if (head_.compare_exchange_weak(h, pack(node, tag_of(h)), ord_acq_rel(),
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+      cpu_relax();
+    }
+  }
+
+  /// Pushes a pre-linked chain [first..last] in one CAS.
+  void push_chain(LifoNode* first, LifoNode* last) noexcept {
+    fence_release();
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      last->next.store(unpack_ptr(h), std::memory_order_relaxed);
+      atomic_ops::count(category_);
+      if (head_.compare_exchange_weak(h, pack(first, tag_of(h)), ord_acq_rel(),
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+      cpu_relax();
+    }
+  }
+
+  /// Pops the head node, or nullptr if empty (any thread).
+  LifoNode* pop() noexcept {
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      LifoNode* p = unpack_ptr(h);
+      if (p == nullptr) return nullptr;
+      atomic_ops::count(category_);
+      // Relaxed read: may be stale if we lose the race, in which case the
+      // tagged CAS below fails and the value is discarded.
+      LifoNode* next = p->next.load(std::memory_order_relaxed);
+      if (head_.compare_exchange_weak(h, pack(next, tag_of(h) + 1),
+                                      ord_acq_rel(),
+                                      std::memory_order_relaxed)) {
+        fence_acquire();  // observe node contents published by push
+        p->next.store(nullptr, std::memory_order_relaxed);
+        return p;
+      }
+      cpu_relax();
+    }
+  }
+
+  /// Detaches the whole list in one atomic exchange, leaving the LIFO
+  /// empty. Concurrent pops observe an empty LIFO. Returns the old head.
+  LifoNode* detach() noexcept {
+    atomic_ops::count(category_);
+    const std::uint64_t h =
+        head_.exchange(pack(nullptr, current_tag() + 1), ord_acq_rel());
+    fence_acquire();
+    return unpack_ptr(h);
+  }
+
+  /// Reattaches a list built by the owner after detach(). The paper's key
+  /// observation (Sec. IV-C): since only the owner pushes and the list is
+  /// currently empty, a single release store suffices.
+  void attach(LifoNode* list) noexcept {
+    head_.store(pack(list, current_tag() + 1), ord_release());
+  }
+
+  /// Peeks at the head's priority without popping; only meaningful to the
+  /// owning thread (others may race). Returns false if empty.
+  bool head_priority(std::int32_t& prio_out) const noexcept {
+    LifoNode* p = unpack_ptr(head_.load(std::memory_order_relaxed));
+    if (p == nullptr) return false;
+    prio_out = p->priority;
+    return true;
+  }
+
+ private:
+  static constexpr std::uint64_t kPtrMask = 0x0000FFFFFFFFFFFFULL;
+  static constexpr int kTagShift = 48;
+
+  static LifoNode* unpack_ptr(std::uint64_t v) noexcept {
+    return reinterpret_cast<LifoNode*>(v & kPtrMask);
+  }
+  static std::uint64_t tag_of(std::uint64_t v) noexcept {
+    return v >> kTagShift;
+  }
+  static std::uint64_t pack(LifoNode* p, std::uint64_t tag) noexcept {
+    const auto raw = reinterpret_cast<std::uint64_t>(p);
+    assert((raw & ~kPtrMask) == 0 && "pointer exceeds 48 bits");
+    return raw | (tag << kTagShift);
+  }
+  std::uint64_t current_tag() const noexcept {
+    return tag_of(head_.load(std::memory_order_relaxed));
+  }
+
+  std::atomic<std::uint64_t> head_{0};
+  const AtomicOpCategory category_;
+};
+
+}  // namespace ttg

@@ -1,0 +1,119 @@
+// Per-thread free-list memory pool (paper Sec. IV-E).
+//
+// "To manage these [task] objects, TTG employs a free-list that contains
+// a per-thread memory pool. Allocated elements are returned to the
+// thread's memory pool from which they were allocated, to avoid
+// imbalances between allocating and deallocating threads. Thus, the
+// creation and destruction of a task involves two atomic operations."
+//
+// Each thread owns an AtomicLifo free list. Allocation pops from the
+// calling thread's own list (one atomic); deallocation pushes onto the
+// *owning* thread's list (one atomic), where the owner is recorded in a
+// header in front of each object. When a thread's list is empty it carves
+// objects out of a thread-private bump chunk without any atomics beyond
+// the underlying malloc. Chunk memory is only released when the pool is
+// destroyed, which also satisfies the AtomicLifo node-lifetime rule.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <vector>
+
+#include "common/cache.hpp"
+#include "common/thread_id.hpp"
+#include "structures/lifo.hpp"
+
+namespace ttg {
+
+class MemoryPool {
+ public:
+  /// Creates a pool of fixed-size objects. `object_size` is rounded up so
+  /// an object can always be overlaid with a LifoNode while free.
+  explicit MemoryPool(std::size_t object_size,
+                      std::size_t objects_per_chunk = 64)
+      : object_size_(round_up(std::max(object_size, sizeof(LifoNode)),
+                              alignof(std::max_align_t))),
+        header_size_(round_up(sizeof(Header), alignof(std::max_align_t))),
+        slot_size_(object_size_ + header_size_),
+        objects_per_chunk_(objects_per_chunk) {}
+
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  ~MemoryPool() {
+    for (void* chunk : chunks_) std::free(chunk);
+  }
+
+  /// Allocates one object (uninitialized storage).
+  void* allocate() {
+    ThreadState& ts = threads_[this_thread::id()].value;
+    // 1 atomic: pop from our own free list (remote frees land here too).
+    if (LifoNode* node = ts.freelist.pop(); node != nullptr) {
+      return node;
+    }
+    // Bump-allocate from the thread-private chunk.
+    if (ts.bump_remaining == 0) {
+      refill(ts);
+    }
+    std::byte* slot = ts.bump;
+    ts.bump += slot_size_;
+    --ts.bump_remaining;
+    auto* header = reinterpret_cast<Header*>(slot);
+    header->owner = static_cast<std::uint32_t>(this_thread::id());
+    return slot + header_size_;
+  }
+
+  /// Returns an object to the pool of the thread that allocated it.
+  void deallocate(void* obj) noexcept {
+    auto* header = reinterpret_cast<Header*>(static_cast<std::byte*>(obj) -
+                                             header_size_);
+    ThreadState& owner = threads_[header->owner].value;
+    // 1 atomic: push onto the owner's free list (MPSC-safe).
+    owner.freelist.push(new (obj) LifoNode{});
+  }
+
+  std::size_t object_size() const noexcept { return object_size_; }
+
+ private:
+  struct Header {
+    std::uint32_t owner;
+  };
+
+  struct alignas(kCacheLineSize) ThreadState {
+    ThreadState() : freelist(AtomicOpCategory::kMemPool) {}
+    AtomicLifo freelist;
+    std::byte* bump = nullptr;
+    std::size_t bump_remaining = 0;
+  };
+
+  static std::size_t round_up(std::size_t v, std::size_t a) noexcept {
+    return (v + a - 1) / a * a;
+  }
+
+  void refill(ThreadState& ts) {
+    const std::size_t bytes = slot_size_ * objects_per_chunk_;
+    void* chunk = std::malloc(bytes);
+    if (chunk == nullptr) throw std::bad_alloc();
+    {
+      std::lock_guard<std::mutex> guard(chunks_mutex_);
+      chunks_.push_back(chunk);
+    }
+    ts.bump = static_cast<std::byte*>(chunk);
+    ts.bump_remaining = objects_per_chunk_;
+  }
+
+  const std::size_t object_size_;
+  const std::size_t header_size_;
+  const std::size_t slot_size_;
+  const std::size_t objects_per_chunk_;
+  CachePadded<ThreadState> threads_[kMaxThreads];
+  std::mutex chunks_mutex_;
+  std::vector<void*> chunks_;
+};
+
+}  // namespace ttg

@@ -1,0 +1,8 @@
+#include "sync/bravo.hpp"
+
+namespace ttg {
+
+// Anchor the common instantiation so its code is shared across TUs.
+template class BravoRWLock<RWSpinLock>;
+
+}  // namespace ttg

@@ -1,0 +1,85 @@
+// Counter-based reader-writer spinlock.
+//
+// This is the "underlying reader-writer lock" that BRAVO (Sec. IV-D)
+// wraps: readers atomically increment a shared counter, so under heavy
+// read traffic it is exactly the contended atomic the paper wants to
+// eliminate from the hash-table fast path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "atomics/op_counter.hpp"
+#include "atomics/ordering.hpp"
+#include "common/busy_wait.hpp"
+
+namespace ttg {
+
+class RWSpinLock {
+ public:
+  RWSpinLock() = default;
+  RWSpinLock(const RWSpinLock&) = delete;
+  RWSpinLock& operator=(const RWSpinLock&) = delete;
+
+  void read_lock() noexcept {
+    Backoff backoff;
+    for (;;) {
+      std::int32_t s = state_.load(std::memory_order_relaxed);
+      if (s >= 0) {
+        atomic_ops::count(AtomicOpCategory::kRWLock);
+        if (state_.compare_exchange_weak(s, s + 1, ord_acquire(),
+                                         std::memory_order_relaxed)) {
+          return;
+        }
+      }
+      backoff.pause();
+    }
+  }
+
+  bool try_read_lock() noexcept {
+    std::int32_t s = state_.load(std::memory_order_relaxed);
+    if (s < 0) return false;
+    atomic_ops::count(AtomicOpCategory::kRWLock);
+    return state_.compare_exchange_strong(s, s + 1, ord_acquire(),
+                                          std::memory_order_relaxed);
+  }
+
+  void read_unlock() noexcept {
+    atomic_ops::count(AtomicOpCategory::kRWLock);
+    state_.fetch_sub(1, ord_release());
+  }
+
+  void write_lock() noexcept {
+    Backoff backoff;
+    for (;;) {
+      std::int32_t expected = 0;
+      atomic_ops::count(AtomicOpCategory::kRWLock);
+      if (state_.compare_exchange_weak(expected, kWriter, ord_acquire(),
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+      backoff.pause();
+    }
+  }
+
+  bool try_write_lock() noexcept {
+    std::int32_t expected = 0;
+    atomic_ops::count(AtomicOpCategory::kRWLock);
+    return state_.compare_exchange_strong(expected, kWriter, ord_acquire(),
+                                          std::memory_order_relaxed);
+  }
+
+  void write_unlock() noexcept { state_.store(0, ord_release()); }
+
+  /// True if any reader or a writer currently holds the lock. Test hook.
+  bool is_held() const noexcept {
+    return state_.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  static constexpr std::int32_t kWriter = -1;
+  // >= 0: number of readers; kWriter: write-locked.
+  std::atomic<std::int32_t> state_{0};
+};
+
+}  // namespace ttg

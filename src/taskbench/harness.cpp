@@ -1,0 +1,31 @@
+#include "taskbench/taskbench.hpp"
+
+namespace taskbench {
+
+const std::vector<Implementation>& implementations() {
+  static const std::vector<Implementation> impls = [] {
+    std::vector<Implementation> v;
+    v.push_back({"ttg", &run_ttg});
+    v.push_back({"ttg_original", &run_ttg_original});
+    v.push_back({"ptg", &run_raw_ptg});
+    v.push_back({"ptg_dsl", &run_ptg_dsl});
+    v.push_back({"ptg_original", &run_raw_ptg_original});
+    v.push_back({"mpi_bsp", &run_bsp});
+    v.push_back({"taskflow_mini", &run_taskflow});
+#if defined(TTG_SMALLTASK_HAVE_OPENMP)
+    v.push_back({"omp_for", &run_omp_for});
+    v.push_back({"omp_tasks", &run_omp_tasks});
+#endif
+    return v;
+  }();
+  return impls;
+}
+
+const Implementation* find_implementation(const std::string& name) {
+  for (const auto& impl : implementations()) {
+    if (impl.name == name) return &impl;
+  }
+  return nullptr;
+}
+
+}  // namespace taskbench

@@ -1,0 +1,124 @@
+// Task-Bench over the BSP executor — the MPI stand-in.
+//
+// Each rank owns a contiguous block of points; a timestep is compute +
+// neighbor exchange (for the local stencil patterns) or an all-to-all
+// exchange (for the non-local patterns), with no task management at all —
+// which is exactly why the paper's MPI variant shows the lowest per-task
+// time on one core.
+#include <algorithm>
+#include <vector>
+
+#include "baselines/bsp.hpp"
+#include "common/cycle_clock.hpp"
+#include "taskbench/taskbench.hpp"
+
+namespace taskbench {
+
+namespace {
+
+bool pattern_is_local(Pattern p) {
+  return p == Pattern::kTrivial || p == Pattern::kNoComm ||
+         p == Pattern::kStencil1D;
+}
+
+}  // namespace
+
+RunResult run_bsp(const BenchConfig& cfg, int threads) {
+  const int nranks = std::min(threads, cfg.width);
+  bsp::Communicator comm(nranks);
+
+  std::vector<std::uint64_t> final_row(static_cast<std::size_t>(cfg.width));
+  const bool local = pattern_is_local(cfg.pattern);
+
+  ttg::WallTimer timer;
+  comm.run([&](bsp::Rank& rank) {
+    const int r = rank.id();
+    // Block distribution of columns.
+    const int base = cfg.width / nranks;
+    const int extra = cfg.width % nranks;
+    const int x0 = r * base + std::min(r, extra);
+    const int nx = base + (r < extra ? 1 : 0);
+
+    if (local) {
+      // prev/cur hold the owned block plus one halo column on each side.
+      std::vector<std::uint64_t> prev(static_cast<std::size_t>(nx) + 2);
+      std::vector<std::uint64_t> cur(static_cast<std::size_t>(nx) + 2);
+      for (int i = 0; i < nx; ++i) prev[i + 1] = seed_value(x0 + i);
+      std::uint64_t vals[8];
+      for (int t = 1; t <= cfg.steps; ++t) {
+        if (cfg.pattern == Pattern::kStencil1D) {
+          // Halo exchange with direct neighbors.
+          if (r > 0) rank.send(r - 1, t, prev[1]);
+          if (r < nranks - 1) rank.send(r + 1, t, prev[nx]);
+          if (r > 0) prev[0] = rank.recv<std::uint64_t>(r - 1, t);
+          if (r < nranks - 1) {
+            prev[nx + 1] = rank.recv<std::uint64_t>(r + 1, t);
+          }
+        }
+        for (int i = 0; i < nx; ++i) {
+          const int x = x0 + i;
+          std::size_t n = 0;
+          switch (cfg.pattern) {
+            case Pattern::kTrivial:
+              break;
+            case Pattern::kNoComm:
+              vals[n++] = prev[i + 1];
+              break;
+            default:  // kStencil1D
+              for (int dx = -1; dx <= 1; ++dx) {
+                if (x + dx >= 0 && x + dx < cfg.width) {
+                  vals[n++] = prev[i + 1 + dx];
+                }
+              }
+              break;
+          }
+          run_kernel(cfg, t, x);
+          cur[i + 1] = combine(t, x, vals, n);
+        }
+        std::swap(prev, cur);
+      }
+      for (int i = 0; i < nx; ++i) final_row[x0 + i] = prev[i + 1];
+      rank.barrier();
+    } else {
+      // Non-local pattern: every rank keeps the full previous row,
+      // refreshed by an all-gather each step.
+      std::vector<std::uint64_t> prev(static_cast<std::size_t>(cfg.width));
+      std::vector<std::uint64_t> mine(static_cast<std::size_t>(nx));
+      for (int x = 0; x < cfg.width; ++x) prev[x] = seed_value(x);
+      std::uint64_t vals[8];
+      for (int t = 1; t <= cfg.steps; ++t) {
+        for (int i = 0; i < nx; ++i) {
+          const int x = x0 + i;
+          const auto deps = dependencies(cfg, t, x);
+          std::size_t n = 0;
+          for (int d : deps) vals[n++] = prev[d];
+          run_kernel(cfg, t, x);
+          mine[i] = combine(t, x, vals, n);
+        }
+        // All-gather: broadcast the owned block, collect the others.
+        for (int o = 0; o < nranks; ++o) {
+          if (o != r) rank.send(o, t, mine.data(), mine.size());
+        }
+        for (int i = 0; i < nx; ++i) prev[x0 + i] = mine[i];
+        for (int o = 0; o < nranks; ++o) {
+          if (o == r) continue;
+          const int ox0 = o * base + std::min(o, extra);
+          const int onx = base + (o < extra ? 1 : 0);
+          rank.recv(o, t, prev.data() + ox0, static_cast<std::size_t>(onx));
+        }
+      }
+      for (int i = 0; i < nx; ++i) final_row[x0 + i] = prev[x0 + i];
+      rank.barrier();
+    }
+  });
+
+  RunResult r;
+  r.seconds = timer.seconds();
+  r.tasks = static_cast<std::uint64_t>(cfg.width) *
+            static_cast<std::uint64_t>(cfg.steps);
+  r.checksum = fold_checksum(final_row);
+  r.checksum_ok = !cfg.verify || r.checksum == reference_checksum(cfg);
+  return r;
+}
+
+}  // namespace taskbench

@@ -1,0 +1,104 @@
+// Task-Bench over OpenMP: the two variants the paper compares against.
+//
+//  * omp_for  — worksharing: one `parallel for` per timestep with an
+//    implicit barrier (the "OpenMP Parallel For" lines of Fig. 7/8).
+//  * omp_tasks — task-based: one task per point with `depend` clauses on
+//    the grid cells (the "OpenMP Tasks" lines). The depend list is
+//    padded by repeating the first dependency, since OpenMP depend
+//    clauses are static; all patterns used here have at most 3.
+#include <omp.h>
+
+#include <vector>
+
+#include "common/cycle_clock.hpp"
+#include "taskbench/taskbench.hpp"
+
+namespace taskbench {
+
+RunResult run_omp_for(const BenchConfig& cfg, int threads) {
+  std::vector<std::uint64_t> prev(static_cast<std::size_t>(cfg.width));
+  std::vector<std::uint64_t> cur(static_cast<std::size_t>(cfg.width));
+  for (int x = 0; x < cfg.width; ++x) prev[x] = seed_value(x);
+
+  ttg::WallTimer timer;
+  omp_set_num_threads(threads);
+#pragma omp parallel
+  {
+    std::uint64_t vals[8];
+    for (int t = 1; t <= cfg.steps; ++t) {
+#pragma omp for schedule(static)
+      for (int x = 0; x < cfg.width; ++x) {
+        const auto deps = dependencies(cfg, t, x);
+        std::size_t n = 0;
+        for (int d : deps) vals[n++] = prev[d];
+        run_kernel(cfg, t, x);
+        cur[x] = combine(t, x, vals, n);
+      }
+      // The implicit barrier of `omp for` ordered the writes; a single
+      // thread swaps the rows, and the next barrier republishes.
+#pragma omp single
+      std::swap(prev, cur);
+    }
+  }
+
+  RunResult r;
+  r.seconds = timer.seconds();
+  r.tasks = static_cast<std::uint64_t>(cfg.width) *
+            static_cast<std::uint64_t>(cfg.steps);
+  r.checksum = fold_checksum(prev);
+  r.checksum_ok = !cfg.verify || r.checksum == reference_checksum(cfg);
+  return r;
+}
+
+RunResult run_omp_tasks(const BenchConfig& cfg, int threads) {
+  std::vector<std::uint64_t> grid(
+      static_cast<std::size_t>(cfg.width) * (cfg.steps + 1));
+  std::uint64_t* g = grid.data();
+  const int w = cfg.width;
+  for (int x = 0; x < w; ++x) g[x] = seed_value(x);
+
+  ttg::WallTimer timer;
+  omp_set_num_threads(threads);
+#pragma omp parallel
+#pragma omp single
+  {
+    for (int t = 1; t <= cfg.steps; ++t) {
+      for (int x = 0; x < w; ++x) {
+        const auto deps = dependencies(cfg, t, x);
+        // Pad the (static) depend list by repeating the first entry.
+        const int d0 = deps.empty() ? x : deps[0];
+        const int d1 = deps.size() > 1 ? deps[1] : d0;
+        const int d2 = deps.size() > 2 ? deps[2] : d1;
+#pragma omp task firstprivate(t, x, d0, d1, d2)                       \
+    depend(in : g[(t - 1) * w + d0], g[(t - 1) * w + d1],             \
+               g[(t - 1) * w + d2])                                   \
+    depend(out : g[t * w + x])
+        {
+          const auto tdeps = dependencies(cfg, t, x);
+          std::uint64_t vals[8];
+          std::size_t n = 0;
+          for (int d : tdeps) {
+            vals[n++] = g[static_cast<std::size_t>(t - 1) * w + d];
+          }
+          run_kernel(cfg, t, x);
+          g[static_cast<std::size_t>(t) * w + x] = combine(t, x, vals, n);
+        }
+      }
+    }
+#pragma omp taskwait
+  }
+
+  RunResult r;
+  r.seconds = timer.seconds();
+  r.tasks = static_cast<std::uint64_t>(cfg.width) *
+            static_cast<std::uint64_t>(cfg.steps);
+  std::vector<std::uint64_t> last(static_cast<std::size_t>(cfg.width));
+  for (int x = 0; x < w; ++x) {
+    last[x] = g[static_cast<std::size_t>(cfg.steps) * w + x];
+  }
+  r.checksum = fold_checksum(last);
+  r.checksum_ok = !cfg.verify || r.checksum == reference_checksum(cfg);
+  return r;
+}
+
+}  // namespace taskbench

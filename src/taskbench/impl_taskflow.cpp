@@ -1,0 +1,77 @@
+// Task-Bench over taskflow_mini (control flow only): the full W x T task
+// DAG is built statically with precede() edges; values travel through a
+// shared grid whose write-before-read order is enforced by the control
+// edges, matching how a TaskFlow user would write this benchmark.
+#include <vector>
+
+#include "baselines/taskflow_mini.hpp"
+#include "common/cycle_clock.hpp"
+#include "taskbench/taskbench.hpp"
+
+namespace taskbench {
+
+RunResult run_taskflow(const BenchConfig& cfg, int threads) {
+  std::vector<std::uint64_t> grid(
+      static_cast<std::size_t>(cfg.width) * (cfg.steps + 1));
+  const auto at = [&](int t, int x) -> std::uint64_t& {
+    return grid[static_cast<std::size_t>(t) * cfg.width + x];
+  };
+  for (int x = 0; x < cfg.width; ++x) at(0, x) = seed_value(x);
+
+  tfm::Taskflow flow;
+  std::vector<tfm::Task> prev_row;
+  std::vector<tfm::Task> cur_row;
+  prev_row.reserve(static_cast<std::size_t>(cfg.width));
+  cur_row.reserve(static_cast<std::size_t>(cfg.width));
+
+  // Row 0 exists as no-op source tasks so every later row can wire
+  // backward uniformly.
+  for (int x = 0; x < cfg.width; ++x) {
+    prev_row.push_back(flow.emplace([] {}));
+  }
+  for (int t = 1; t <= cfg.steps; ++t) {
+    cur_row.clear();
+    for (int x = 0; x < cfg.width; ++x) {
+      const auto deps = dependencies(cfg, t, x);
+      tfm::Task task = flow.emplace([&cfg, &grid, t, x] {
+        const auto deps = dependencies(cfg, t, x);
+        std::uint64_t vals[8];
+        std::size_t n = 0;
+        for (int d : deps) {
+          vals[n++] = grid[static_cast<std::size_t>(t - 1) * cfg.width + d];
+        }
+        run_kernel(cfg, t, x);
+        grid[static_cast<std::size_t>(t) * cfg.width + x] =
+            combine(t, x, vals, n);
+      });
+      if (deps.empty()) {
+        // Keep the DAG connected so the row ordering holds even for the
+        // trivial pattern.
+        prev_row[static_cast<std::size_t>(x)].precede(task);
+      } else {
+        for (int d : deps) {
+          prev_row[static_cast<std::size_t>(d)].precede(task);
+        }
+      }
+      cur_row.push_back(task);
+    }
+    std::swap(prev_row, cur_row);
+  }
+  (void)at;
+
+  tfm::Executor executor(threads);
+  ttg::WallTimer timer;
+  executor.run(flow);
+
+  RunResult r;
+  r.seconds = timer.seconds();
+  r.tasks = static_cast<std::uint64_t>(cfg.width) *
+            static_cast<std::uint64_t>(cfg.steps);
+  std::vector<std::uint64_t> last(static_cast<std::size_t>(cfg.width));
+  for (int x = 0; x < cfg.width; ++x) last[x] = at(cfg.steps, x);
+  r.checksum = fold_checksum(last);
+  r.checksum_ok = !cfg.verify || r.checksum == reference_checksum(cfg);
+  return r;
+}
+
+}  // namespace taskbench

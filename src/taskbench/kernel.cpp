@@ -1,0 +1,91 @@
+#include "taskbench/taskbench.hpp"
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace taskbench {
+
+std::string to_string(Kernel k) {
+  switch (k) {
+    case Kernel::kEmpty: return "empty";
+    case Kernel::kComputeBound: return "compute_bound";
+    case Kernel::kMemoryBound: return "memory_bound";
+    case Kernel::kImbalance: return "load_imbalance";
+  }
+  return "?";
+}
+
+namespace {
+constexpr int kWorkingSet = 64;
+}
+
+std::uint64_t kernel_compute(std::uint64_t iterations) noexcept {
+  // The Task-Bench compute-bound kernel: repeated fused multiply-adds on
+  // a small working set that stays in L1. 2 flops per element per
+  // iteration -> kFlopsPerIteration = 2 * 64 = 128 flops per iteration.
+  if (iterations == 0) return 0;
+  double a[kWorkingSet];
+  for (int i = 0; i < kWorkingSet; ++i) {
+    a[i] = 1.0 + 1e-9 * static_cast<double>(i);
+  }
+  const double b = 1.0 + 1e-12;
+  const double c = 1e-15;
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    for (int i = 0; i < kWorkingSet; ++i) {
+      a[i] = a[i] * b + c;
+    }
+  }
+  // Fold the buffer so the loop cannot be optimized away.
+  double s = 0;
+  for (int i = 0; i < kWorkingSet; ++i) s += a[i];
+  std::uint64_t bits;
+  __builtin_memcpy(&bits, &s, sizeof(bits));
+  return bits;
+}
+
+std::uint64_t kernel_memory(std::uint64_t iterations) noexcept {
+  if (iterations == 0) return 0;
+  // Per-thread buffer of kBytesPerIteration bytes: large enough to leave
+  // L1/L2 so each pass streams from farther out in the hierarchy.
+  constexpr std::size_t kElems = kBytesPerIteration / sizeof(double);
+  static thread_local std::vector<double> buf;
+  if (buf.size() != kElems) {
+    buf.assign(kElems, 1.0);
+  }
+  double s = 0;
+  for (std::uint64_t it = 0; it < iterations; ++it) {
+    double* a = buf.data();
+    for (std::size_t i = 0; i < kElems; ++i) {
+      a[i] = a[i] * 1.0000001 + 1e-9;
+    }
+    s += a[it % kElems];
+  }
+  std::uint64_t bits;
+  __builtin_memcpy(&bits, &s, sizeof(bits));
+  return bits;
+}
+
+std::uint64_t run_kernel(const BenchConfig& cfg, int t, int x) noexcept {
+  switch (cfg.kernel) {
+    case Kernel::kEmpty:
+      return 0;
+    case Kernel::kComputeBound:
+      return kernel_compute(cfg.iterations);
+    case Kernel::kMemoryBound:
+      return kernel_memory(cfg.iterations);
+    case Kernel::kImbalance: {
+      // Deterministic per-task scale in [0, 2): average work matches the
+      // compute-bound kernel, the spread exercises stealing.
+      const std::uint64_t h =
+          ttg::mix64((static_cast<std::uint64_t>(t) << 32) ^
+                     static_cast<std::uint64_t>(x));
+      const double scale = 2.0 * static_cast<double>(h >> 11) * 0x1.0p-53;
+      return kernel_compute(
+          static_cast<std::uint64_t>(scale * cfg.iterations));
+    }
+  }
+  return 0;
+}
+
+}  // namespace taskbench

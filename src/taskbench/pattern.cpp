@@ -1,0 +1,170 @@
+#include "taskbench/taskbench.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/rng.hpp"
+
+namespace taskbench {
+
+std::string to_string(Pattern p) {
+  switch (p) {
+    case Pattern::kTrivial: return "trivial";
+    case Pattern::kNoComm: return "no_comm";
+    case Pattern::kStencil1D: return "stencil_1d";
+    case Pattern::kStencil1DPeriodic: return "stencil_1d_periodic";
+    case Pattern::kFFT: return "fft";
+    case Pattern::kTree: return "tree";
+  }
+  return "?";
+}
+
+namespace {
+
+int log2_floor(int v) {
+  int l = 0;
+  while ((1 << (l + 1)) <= v) ++l;
+  return l;
+}
+
+}  // namespace
+
+std::vector<int> dependencies(const BenchConfig& cfg, int t, int x) {
+  assert(x >= 0 && x < cfg.width);
+  std::vector<int> deps;
+  if (t == 0) return deps;
+  switch (cfg.pattern) {
+    case Pattern::kTrivial:
+      break;
+    case Pattern::kNoComm:
+      deps.push_back(x);
+      break;
+    case Pattern::kStencil1D:
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int nx = x + dx;
+        if (nx >= 0 && nx < cfg.width) deps.push_back(nx);
+      }
+      break;
+    case Pattern::kStencil1DPeriodic:
+      if (cfg.width == 1) {
+        deps.push_back(0);
+      } else if (cfg.width == 2) {
+        deps.push_back(0);
+        deps.push_back(1);
+      } else {
+        deps.push_back((x - 1 + cfg.width) % cfg.width);
+        deps.push_back(x);
+        deps.push_back((x + 1) % cfg.width);
+        std::sort(deps.begin(), deps.end());
+      }
+      break;
+    case Pattern::kFFT: {
+      deps.push_back(x);
+      const int stages = std::max(1, log2_floor(cfg.width));
+      const int partner = x ^ (1 << ((t - 1) % stages));
+      if (partner != x && partner < cfg.width) deps.push_back(partner);
+      std::sort(deps.begin(), deps.end());
+      break;
+    }
+    case Pattern::kTree: {
+      deps.push_back(x);
+      const int stride = 1 << std::min(t - 1, 30);
+      if ((x % (2 * stride)) == 0 && x + stride < cfg.width) {
+        deps.push_back(x + stride);
+      }
+      std::sort(deps.begin(), deps.end());
+      break;
+    }
+  }
+  return deps;
+}
+
+std::vector<int> reverse_dependencies(const BenchConfig& cfg, int t, int x) {
+  if (t >= cfg.steps) return {};
+  // All patterns here are sparse and local; the generic inverse (scan the
+  // candidate neighborhood at t+1) is exact and cheap.
+  std::vector<int> out;
+  const auto consumes = [&](int nx) {
+    const auto deps = dependencies(cfg, t + 1, nx);
+    return std::binary_search(deps.begin(), deps.end(), x);
+  };
+  switch (cfg.pattern) {
+    case Pattern::kTrivial:
+      break;
+    case Pattern::kNoComm:
+      out.push_back(x);
+      break;
+    case Pattern::kStencil1D:
+    case Pattern::kStencil1DPeriodic:
+      for (int dx = -1; dx <= 1; ++dx) {
+        int nx = x + dx;
+        if (cfg.pattern == Pattern::kStencil1DPeriodic) {
+          nx = (nx + cfg.width) % cfg.width;
+        }
+        if (nx >= 0 && nx < cfg.width && consumes(nx)) out.push_back(nx);
+      }
+      std::sort(out.begin(), out.end());
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+      break;
+    case Pattern::kFFT: {
+      out.push_back(x);
+      const int stages = std::max(1, log2_floor(cfg.width));
+      const int partner = x ^ (1 << (t % stages));
+      if (partner != x && partner < cfg.width && consumes(partner)) {
+        out.push_back(partner);
+      }
+      std::sort(out.begin(), out.end());
+      break;
+    }
+    case Pattern::kTree: {
+      if (consumes(x)) out.push_back(x);
+      const int stride = 1 << std::min(t, 30);
+      const int parent = x - stride;
+      if (parent >= 0 && (parent % (2 * stride)) == 0 && consumes(parent)) {
+        out.push_back(parent);
+      }
+      std::sort(out.begin(), out.end());
+      break;
+    }
+  }
+  return out;
+}
+
+std::uint64_t combine(int t, int x, const std::uint64_t* dep_values,
+                      std::size_t n) {
+  std::uint64_t h = ttg::mix64((static_cast<std::uint64_t>(t) << 32) ^
+                               static_cast<std::uint64_t>(x));
+  for (std::size_t i = 0; i < n; ++i) {
+    h = ttg::mix64(h * 0x9e3779b97f4a7c15ULL + dep_values[i]);
+  }
+  return h;
+}
+
+std::uint64_t seed_value(int x) {
+  return ttg::mix64(0xdeadbeefULL + static_cast<std::uint64_t>(x));
+}
+
+std::uint64_t fold_checksum(const std::vector<std::uint64_t>& last_row) {
+  std::uint64_t h = 0x1234567887654321ULL;
+  for (std::uint64_t v : last_row) h = ttg::mix64(h ^ v);
+  return h;
+}
+
+std::uint64_t reference_checksum(const BenchConfig& cfg) {
+  std::vector<std::uint64_t> prev(static_cast<std::size_t>(cfg.width));
+  std::vector<std::uint64_t> cur(static_cast<std::size_t>(cfg.width));
+  for (int x = 0; x < cfg.width; ++x) prev[x] = seed_value(x);
+  std::vector<std::uint64_t> vals;
+  for (int t = 1; t <= cfg.steps; ++t) {
+    for (int x = 0; x < cfg.width; ++x) {
+      const auto deps = dependencies(cfg, t, x);
+      vals.clear();
+      for (int d : deps) vals.push_back(prev[d]);
+      cur[x] = combine(t, x, vals.data(), vals.size());
+    }
+    std::swap(prev, cur);
+  }
+  return fold_checksum(prev);
+}
+
+}  // namespace taskbench

@@ -1,0 +1,133 @@
+// Parameterized Task-Bench (paper Sec. V-D, after Slaughter et al. SC'20).
+//
+// Task-Bench runs a grid of `width` points for `steps` timesteps; the
+// task at (t, x) consumes the outputs of a pattern-defined set of points
+// at t-1 and runs a compute-bound kernel of a configurable number of
+// iterations (flops). The paper's figures use the 1D stencil pattern
+// (2+1 dependencies) with one point per core and 1000 timesteps,
+// sweeping flops-per-task to find each runtime's minimum effective task
+// granularity (METG).
+//
+// Every implementation here computes the same value recurrence so that
+// results can be cross-checked: value(t, x) folds the values of the
+// dependencies (ordered by origin x) with the point's coordinates; the
+// run's checksum folds the last row.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/config.hpp"
+
+namespace taskbench {
+
+enum class Pattern {
+  kTrivial,            ///< no dependencies
+  kNoComm,             ///< (t-1, x)
+  kStencil1D,          ///< (t-1, {x-1, x, x+1}) clipped at the borders
+  kStencil1DPeriodic,  ///< same, wrapping around
+  kFFT,                ///< butterfly: (t-1, x) and (t-1, x ^ 2^{(t-1)%log2(W)})
+  kTree,               ///< binary reduction: (t-1, x) and (t-1, x + 2^{t-1}) when valid
+};
+
+std::string to_string(Pattern p);
+
+/// The per-task workload kind (the real Task-Bench's kernel set).
+enum class Kernel {
+  kEmpty,        ///< no work: pure task-management overhead
+  kComputeBound, ///< FMAs on an L1-resident working set (the paper's)
+  kMemoryBound,  ///< streaming triad over a cache-busting buffer
+  kImbalance,    ///< compute-bound, scaled per task by a deterministic
+                 ///< pseudo-random factor in [0, 2)
+};
+
+std::string to_string(Kernel k);
+
+struct BenchConfig {
+  Pattern pattern = Pattern::kStencil1D;
+  Kernel kernel = Kernel::kComputeBound;
+  int width = 4;             ///< points per timestep ("one per core")
+  int steps = 1000;          ///< timesteps
+  std::uint64_t iterations = 0;  ///< kernel iterations per task
+  bool verify = true;        ///< compute/compare checksums
+};
+
+/// Points at t-1 whose output feeds (t, x); sorted ascending, empty for
+/// t == 0. (The "backward" query of the Task-Bench core API.)
+std::vector<int> dependencies(const BenchConfig& cfg, int t, int x);
+
+/// Points at t+1 that consume (t, x)'s output; sorted ascending, empty
+/// for the last step. (The "forward" query TTG needs, Sec. V-D.)
+std::vector<int> reverse_dependencies(const BenchConfig& cfg, int t, int x);
+
+/// The compute-bound kernel: `iterations` passes of fused multiply-adds
+/// over a 64-double working set (kFlopsPerIteration flops per pass).
+inline constexpr std::uint64_t kFlopsPerIteration = 128;
+std::uint64_t kernel_compute(std::uint64_t iterations) noexcept;
+
+/// The memory-bound kernel: `iterations` triad passes over a per-thread
+/// buffer larger than L2 (kBytesPerIteration bytes moved per pass).
+inline constexpr std::uint64_t kBytesPerIteration = 1 << 20;
+std::uint64_t kernel_memory(std::uint64_t iterations) noexcept;
+
+/// Dispatches the configured kernel for task (t, x). The imbalance
+/// kernel derives its per-task scale from (t, x) deterministically.
+std::uint64_t run_kernel(const BenchConfig& cfg, int t, int x) noexcept;
+
+/// Converts a target flops-per-task to kernel iterations (rounds up so 0
+/// flops stays 0 iterations).
+inline std::uint64_t flops_to_iterations(std::uint64_t flops) {
+  return (flops + kFlopsPerIteration - 1) / kFlopsPerIteration;
+}
+
+/// The value recurrence: dep_values must be ordered by the origin x of
+/// the dependency (ascending).
+std::uint64_t combine(int t, int x, const std::uint64_t* dep_values,
+                      std::size_t n);
+
+/// Value of point (t, x) at t == 0 (seed row).
+std::uint64_t seed_value(int x);
+
+/// Folds the final row into a run checksum.
+std::uint64_t fold_checksum(const std::vector<std::uint64_t>& last_row);
+
+/// Serial reference: returns the expected checksum.
+std::uint64_t reference_checksum(const BenchConfig& cfg);
+
+struct RunResult {
+  double seconds = 0;
+  std::uint64_t checksum = 0;
+  std::uint64_t tasks = 0;
+  bool checksum_ok = true;
+};
+
+/// One implementation of the benchmark.
+struct Implementation {
+  std::string name;
+  RunResult (*run)(const BenchConfig& cfg, int threads);
+};
+
+/// All implementations compiled into this build, in presentation order.
+const std::vector<Implementation>& implementations();
+
+/// Looks up an implementation by name; nullptr if absent.
+const Implementation* find_implementation(const std::string& name);
+
+// Individual entry points (also reachable via implementations()).
+RunResult run_ttg(const BenchConfig& cfg, int threads);
+RunResult run_ttg_original(const BenchConfig& cfg, int threads);
+/// TTG with an arbitrary runtime configuration (Fig. 9 ablation).
+RunResult run_ttg_with(const BenchConfig& cfg, int threads,
+                       const ttg::Config& rt);
+RunResult run_raw_ptg(const BenchConfig& cfg, int threads);
+RunResult run_ptg_dsl(const BenchConfig& cfg, int threads);
+RunResult run_raw_ptg_original(const BenchConfig& cfg, int threads);
+RunResult run_bsp(const BenchConfig& cfg, int threads);
+RunResult run_taskflow(const BenchConfig& cfg, int threads);
+#if defined(TTG_SMALLTASK_HAVE_OPENMP)
+RunResult run_omp_for(const BenchConfig& cfg, int threads);
+RunResult run_omp_tasks(const BenchConfig& cfg, int threads);
+#endif
+
+}  // namespace taskbench

@@ -1,0 +1,223 @@
+#include "termdet/termdet.hpp"
+
+#include <cassert>
+
+#include "atomics/op_counter.hpp"
+#include "atomics/ordering.hpp"
+
+namespace ttg {
+
+TerminationDetector::TerminationDetector(int nranks, TermDetMode mode)
+    : nranks_(nranks), mode_(mode) {
+  assert(nranks >= 1 && nranks <= 64);
+}
+
+void TerminationDetector::thread_attach(int rank) {
+  assert(rank >= 0 && rank < nranks_);
+  ThreadState& ts = threads_[this_thread::id()];
+  ts.rank = rank;
+  ts.active = true;
+  atomic_ops::count(AtomicOpCategory::kTermDet);
+  ranks_[rank].active_threads.fetch_add(1, ord_relaxed());
+}
+
+void TerminationDetector::on_discovered(std::int64_t n) {
+  ThreadState& ts = threads_[this_thread::id()];
+  assert(ts.rank >= 0 && "thread_attach() missing");
+  ts.stat_discovered += n;
+  if (mode_ == TermDetMode::kProcessAtomic) {
+    atomic_ops::count(AtomicOpCategory::kTermDet);
+    ranks_[ts.rank].pending.fetch_add(n, ord_relaxed());
+  } else {
+    ts.local_pending += n;
+  }
+}
+
+void TerminationDetector::on_completed() {
+  ThreadState& ts = threads_[this_thread::id()];
+  ts.stat_completed += 1;
+  if (mode_ == TermDetMode::kProcessAtomic) {
+    atomic_ops::count(AtomicOpCategory::kTermDet);
+    ranks_[ts.rank].pending.fetch_sub(1, ord_relaxed());
+  } else {
+    ts.local_pending -= 1;
+  }
+}
+
+void TerminationDetector::on_message_sent() {
+  ThreadState& ts = threads_[this_thread::id()];
+  if (mode_ == TermDetMode::kProcessAtomic) {
+    atomic_ops::count(AtomicOpCategory::kTermDet);
+    ranks_[ts.rank].sent.fetch_add(1, ord_relaxed());
+  } else {
+    ts.local_sent += 1;
+  }
+}
+
+void TerminationDetector::on_message_received() {
+  ThreadState& ts = threads_[this_thread::id()];
+  if (mode_ == TermDetMode::kProcessAtomic) {
+    atomic_ops::count(AtomicOpCategory::kTermDet);
+    ranks_[ts.rank].received.fetch_add(1, ord_relaxed());
+  } else {
+    ts.local_received += 1;
+  }
+}
+
+void TerminationDetector::flush_thread(ThreadState& ts) {
+  RankState& r = ranks_[ts.rank];
+  if (ts.local_pending != 0) {
+    atomic_ops::count(AtomicOpCategory::kTermDet);
+    r.pending.fetch_add(ts.local_pending, ord_acq_rel());
+    ts.local_pending = 0;
+  }
+  if (ts.local_sent != 0) {
+    atomic_ops::count(AtomicOpCategory::kTermDet);
+    r.sent.fetch_add(ts.local_sent, ord_acq_rel());
+    ts.local_sent = 0;
+  }
+  if (ts.local_received != 0) {
+    atomic_ops::count(AtomicOpCategory::kTermDet);
+    r.received.fetch_add(ts.local_received, ord_acq_rel());
+    ts.local_received = 0;
+  }
+}
+
+bool TerminationDetector::rank_quiet(const RankState& r) const {
+  // A rank is quiet when no tasks are pending *and* no thread of the rank
+  // is active. The active-thread gate matters in both modes: in the
+  // thread-local mode an active thread may hold unflushed discoveries; in
+  // either mode an active producer (e.g. the application thread between
+  // execute() and fence()) is still allowed to submit work, so announcing
+  // termination under it would be premature.
+  if (r.pending.load(std::memory_order_acquire) != 0) return false;
+  if (r.active_threads.load(std::memory_order_acquire) != 0) return false;
+  return true;
+}
+
+void TerminationDetector::on_idle() {
+  ThreadState& ts = threads_[this_thread::id()];
+  assert(ts.rank >= 0 && "thread_attach() missing");
+  flush_thread(ts);
+  if (ts.active) {
+    ts.active = false;
+    atomic_ops::count(AtomicOpCategory::kTermDet);
+    ranks_[ts.rank].active_threads.fetch_sub(1, ord_acq_rel());
+  }
+  if (!terminated()) advance_wave();
+}
+
+void TerminationDetector::on_resume() {
+  ThreadState& ts = threads_[this_thread::id()];
+  if (!ts.active) {
+    ts.active = true;
+    atomic_ops::count(AtomicOpCategory::kTermDet);
+    ranks_[ts.rank].active_threads.fetch_add(1, ord_acq_rel());
+  }
+}
+
+void TerminationDetector::advance_wave() {
+  if (terminated()) return;
+  // The wave is a cold path ("the communication of local termination
+  // typically occurs infrequently", Sec. III-A), so a try-lock keeps it
+  // simple and race-free: at most one thread advances the wave at a time
+  // and everyone else just goes back to looking for work.
+  if (!wave_lock_.try_lock(AtomicOpCategory::kTermDet)) return;
+
+  const std::uint32_t round = round_.load(std::memory_order_relaxed);
+  bool closed_round = false;
+  for (int rank = 0; rank < nranks_; ++rank) {
+    RankState& r = ranks_[rank];
+    if (!rank_quiet(r)) continue;
+    if (r.contributed_round.load(std::memory_order_relaxed) >= round) {
+      continue;  // this rank already contributed to the open round
+    }
+    r.contributed_round.store(round, std::memory_order_relaxed);
+    round_sent_.fetch_add(r.sent.load(std::memory_order_acquire),
+                          std::memory_order_relaxed);
+    round_recv_.fetch_add(r.received.load(std::memory_order_acquire),
+                          std::memory_order_relaxed);
+    if (contributions_.fetch_add(1, std::memory_order_relaxed) + 1 ==
+        nranks_) {
+      closed_round = true;
+    }
+  }
+
+  if (closed_round) {
+    // This thread closes the round and acts as the wave's root.
+    const std::int64_t sent = round_sent_.load(std::memory_order_relaxed);
+    const std::int64_t recv = round_recv_.load(std::memory_order_relaxed);
+
+    bool all_quiet = true;
+    for (int i = 0; i < nranks_; ++i) {
+      if (!rank_quiet(ranks_[i])) {
+        all_quiet = false;
+        break;
+      }
+    }
+
+    const bool stable = sent == recv &&
+                        sent == last_sent_.load(std::memory_order_relaxed) &&
+                        recv == last_recv_.load(std::memory_order_relaxed);
+    if (stable && all_quiet) {
+      terminated_.store(true, std::memory_order_release);
+    } else {
+      // Start the next round.
+      last_sent_.store(sent, std::memory_order_relaxed);
+      last_recv_.store(recv, std::memory_order_relaxed);
+      round_sent_.store(0, std::memory_order_relaxed);
+      round_recv_.store(0, std::memory_order_relaxed);
+      contributions_.store(0, std::memory_order_relaxed);
+      round_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  wave_lock_.unlock();
+}
+
+void TerminationDetector::reset() {
+  // Per-thread local counters are NOT touched: a rank can only have been
+  // quiet (and hence the epoch terminated) after every thread flushed,
+  // so they are all zero already — and idle workers may concurrently be
+  // in on_idle() re-flushing their (zero) deltas.
+  //
+  // The wave lock serializes against a worker that read terminated() as
+  // false just before the final announcement and is still inside
+  // advance_wave() for the dead epoch.
+  wave_lock_.lock(AtomicOpCategory::kTermDet);
+  for (int i = 0; i < nranks_; ++i) {
+    ranks_[i].pending.store(0, std::memory_order_relaxed);
+    ranks_[i].sent.store(0, std::memory_order_relaxed);
+    ranks_[i].received.store(0, std::memory_order_relaxed);
+    ranks_[i].contributed_round.store(0, std::memory_order_relaxed);
+    // active_threads intentionally preserved: attached threads stay
+    // attached across epochs.
+  }
+  last_sent_.store(-1, std::memory_order_relaxed);
+  last_recv_.store(-1, std::memory_order_relaxed);
+  round_sent_.store(0, std::memory_order_relaxed);
+  round_recv_.store(0, std::memory_order_relaxed);
+  contributions_.store(0, std::memory_order_relaxed);
+  round_.fetch_add(1, std::memory_order_relaxed);
+  terminated_.store(false, std::memory_order_release);
+  wave_lock_.unlock();
+}
+
+std::int64_t TerminationDetector::rank_pending(int rank) const {
+  return ranks_[rank].pending.load(std::memory_order_acquire);
+}
+
+std::int64_t TerminationDetector::total_discovered() const {
+  std::int64_t n = 0;
+  const int t = this_thread::id_count();
+  for (int i = 0; i < t; ++i) n += threads_[i].stat_discovered;
+  return n;
+}
+
+std::int64_t TerminationDetector::total_completed() const {
+  std::int64_t n = 0;
+  const int t = this_thread::id_count();
+  for (int i = 0; i < t; ++i) n += threads_[i].stat_completed;
+  return n;
+}
+
+}  // namespace ttg

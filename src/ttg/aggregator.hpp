@@ -1,0 +1,98 @@
+// Aggregator terminals (paper Sec. V-D1, Listing 1).
+//
+// An aggregator wraps an input edge so that a task fires only after a
+// *number* of values has arrived on that edge — fixed, or computed per
+// key by a callback (compute_num_inputs in the paper's Listing 1).
+// Unlike the older streaming terminals, the aggregated values remain
+// reference-counted DataCopy objects under TTG's management, "reducing
+// the number of copies needed": tasks iterate the aggregate in place and
+// may forward the copies without duplication.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/small_vector.hpp"
+#include "runtime/data_copy.hpp"
+#include "ttg/edge.hpp"
+
+namespace ttg {
+
+/// The view a task body receives for an aggregated input: an in-order-of-
+/// arrival range of the collected values. Arrival order is unspecified
+/// ("there is no guaranteed order of the inputs in the aggregator") —
+/// bodies that need an order must sort, as Listing 1 does.
+template <typename Value>
+class Aggregator {
+ public:
+  explicit Aggregator(const SmallVector<DataCopy<Value>*, 4>& copies)
+      : copies_(&copies) {}
+
+  class const_iterator {
+   public:
+    const_iterator(DataCopy<Value>* const* p) : p_(p) {}
+    const Value& operator*() const { return (*p_)->value(); }
+    const_iterator& operator++() {
+      ++p_;
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const { return p_ != o.p_; }
+    bool operator==(const const_iterator& o) const { return p_ == o.p_; }
+
+   private:
+    DataCopy<Value>* const* p_;
+  };
+
+  const_iterator begin() const { return const_iterator(copies_->data()); }
+  const_iterator end() const {
+    return const_iterator(copies_->data() + copies_->size());
+  }
+  std::size_t size() const { return copies_->size(); }
+
+  /// Access by arrival index.
+  const Value& operator[](std::size_t i) const { return (*copies_)[i]->value(); }
+
+ private:
+  const SmallVector<DataCopy<Value>*, 4>* copies_;
+};
+
+/// An Edge wrapped with an input-count policy; recognized by make_tt.
+template <typename Key, typename Value>
+class AggregatorEdge {
+ public:
+  using key_type = Key;
+  using value_type = Value;
+  using count_fn_type = std::function<std::int32_t(const Key&)>;
+
+  AggregatorEdge(const Edge<Key, Value>& edge, count_fn_type count_fn)
+      : edge_(edge), count_fn_(std::move(count_fn)) {}
+
+  AggregatorEdge(const Edge<Key, Value>& edge, std::int32_t fixed_count)
+      : edge_(edge),
+        count_fn_([fixed_count](const Key&) { return fixed_count; }) {}
+
+  EdgeImpl<Key, Value>* impl() const { return edge_.impl(); }
+  const count_fn_type& count_fn() const { return count_fn_; }
+
+ private:
+  Edge<Key, Value> edge_;
+  count_fn_type count_fn_;
+};
+
+/// Paper Listing 1: "the call to ttg::make_aggregator wraps an input
+/// edge such that an aggregate of inputs will be passed to the task".
+template <typename Key, typename Value, typename CountFn>
+AggregatorEdge<Key, Value> make_aggregator(const Edge<Key, Value>& edge,
+                                           CountFn&& count_fn) {
+  return AggregatorEdge<Key, Value>(
+      edge, typename AggregatorEdge<Key, Value>::count_fn_type(
+                std::forward<CountFn>(count_fn)));
+}
+
+template <typename Key, typename Value>
+AggregatorEdge<Key, Value> make_aggregator(const Edge<Key, Value>& edge,
+                                           std::int32_t fixed_count) {
+  return AggregatorEdge<Key, Value>(edge, fixed_count);
+}
+
+}  // namespace ttg

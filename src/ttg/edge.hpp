@@ -1,0 +1,206 @@
+// Edges and terminals: the wiring of a template task graph.
+//
+// An Edge<Key, Value> connects the output terminals of producer TTs to
+// the input terminals of consumer TTs. Edges are cheap handles to a
+// shared implementation; consumers register themselves when a TT is
+// constructed (make_tt), producers resolve the consumer list at send
+// time. Data travels as reference-counted DataCopy objects; Void-typed
+// edges carry pure control flow with no copy management at all.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "runtime/data_copy.hpp"
+#include "ttg/keys.hpp"
+
+namespace ttg {
+
+/// Interface of a TT's input terminal as seen by producers. deliver()
+/// transfers one reference on `copy` to the terminal (copy is nullptr
+/// for Void edges).
+template <typename Key, typename Value>
+class InTerminalBase {
+ public:
+  virtual ~InTerminalBase() = default;
+  virtual void deliver(const Key& key, DataCopy<Value>* copy) = 0;
+};
+
+template <typename Key, typename Value>
+struct EdgeImpl {
+  std::string name;
+  std::vector<InTerminalBase<Key, Value>*> consumers;
+};
+
+template <typename Key, typename Value>
+class Edge {
+ public:
+  using key_type = Key;
+  using value_type = Value;
+
+  explicit Edge(std::string name = "")
+      : impl_(std::make_shared<EdgeImpl<Key, Value>>()) {
+    impl_->name = std::move(name);
+  }
+
+  const std::string& name() const { return impl_->name; }
+  EdgeImpl<Key, Value>* impl() const { return impl_.get(); }
+
+ private:
+  std::shared_ptr<EdgeImpl<Key, Value>> impl_;
+};
+
+namespace detail {
+
+/// Registration of the running task's input copies: maps the address of
+/// each input value to its DataCopy so rvalue sends can recognize "this
+/// is my input, move it along" and reuse the copy (Sec. IV-E's
+/// ownership-move optimization) instead of materializing a new one.
+class TaskCopyContext {
+ public:
+  static constexpr int kMaxInputs = 16;
+
+  void register_input(const void* value_ptr, DataCopyBase* copy) noexcept {
+    assert(n_ < kMaxInputs);
+    regs_[n_].value_ptr = value_ptr;
+    regs_[n_].copy = copy;
+    ++n_;
+  }
+
+  DataCopyBase* lookup(const void* value_ptr) const noexcept {
+    for (int i = 0; i < n_; ++i) {
+      if (regs_[i].value_ptr == value_ptr) return regs_[i].copy;
+    }
+    return nullptr;
+  }
+
+  void clear() noexcept { n_ = 0; }
+
+ private:
+  struct Reg {
+    const void* value_ptr;
+    DataCopyBase* copy;
+  };
+  Reg regs_[kMaxInputs];
+  int n_ = 0;
+};
+
+inline thread_local TaskCopyContext t_task_copies;
+
+}  // namespace detail
+
+/// Output terminal: the send-side handle a task body uses (through
+/// ttg::send<i> / ttg::broadcast<i> on the task's `outs` tuple).
+template <typename Key, typename Value>
+class Out {
+ public:
+  using key_type = Key;
+  using value_type = Value;
+
+  Out() = default;
+  explicit Out(EdgeImpl<Key, Value>* edge) : edge_(edge) {}
+
+  /// Moving send. If `v` is an input copy of the running task and the
+  /// task holds the only reference, ownership moves to the successors
+  /// with a single refcount retain and no data copy.
+  void send(const Key& key, Value&& v) const {
+    const auto& consumers = edge_->consumers;
+    const auto n = consumers.size();
+    assert(n > 0 && "send into an edge with no consumer TT");
+    if (DataCopyBase* reg = detail::t_task_copies.lookup(&v);
+        reg != nullptr && reg->unique()) {
+      auto* copy = static_cast<DataCopy<Value>*>(reg);
+      copy->retain(static_cast<std::int32_t>(n));
+      for (auto* c : consumers) c->deliver(key, copy);
+      return;
+    }
+    auto* copy = make_copy<Value>(std::move(v));
+    if (n > 1) copy->retain(static_cast<std::int32_t>(n - 1));
+    for (auto* c : consumers) c->deliver(key, copy);
+  }
+
+  /// Copying send: always materializes a new copy (the Fig. 5 "TTG
+  /// (copy)" behaviour).
+  void send(const Key& key, const Value& v) const {
+    const auto& consumers = edge_->consumers;
+    const auto n = consumers.size();
+    assert(n > 0 && "send into an edge with no consumer TT");
+    auto* copy = make_copy<Value>(v);
+    if (n > 1) copy->retain(static_cast<std::int32_t>(n - 1));
+    for (auto* c : consumers) c->deliver(key, copy);
+  }
+
+  /// Control-flow-only send (Void edges): no copy is created.
+  void sendk(const Key& key) const {
+    static_assert(std::is_same_v<Value, Void>,
+                  "sendk() requires a Void-typed edge");
+    for (auto* c : edge_->consumers) c->deliver(key, nullptr);
+  }
+
+  /// Sends one value to many keys, sharing a single copy between all of
+  /// them ("the data remains under the management of TTG").
+  template <typename KeyRange>
+  void broadcast(const KeyRange& keys, const Value& v) const {
+    const auto& consumers = edge_->consumers;
+    const auto per_key = consumers.size();
+    assert(per_key > 0 && "broadcast into an edge with no consumer TT");
+    const auto total =
+        static_cast<std::int32_t>(per_key * std::size(keys));
+    if (total == 0) return;
+    DataCopy<Value>* copy;
+    if (DataCopyBase* reg = detail::t_task_copies.lookup(&v);
+        reg != nullptr && reg->unique()) {
+      copy = static_cast<DataCopy<Value>*>(reg);
+      copy->retain(total);
+    } else {
+      copy = make_copy<Value>(v);
+      if (total > 1) copy->retain(total - 1);
+    }
+    for (const Key& key : keys) {
+      for (auto* c : consumers) c->deliver(key, copy);
+    }
+  }
+
+  /// Broadcast for Void edges.
+  template <typename KeyRange>
+  void broadcastk(const KeyRange& keys) const {
+    static_assert(std::is_same_v<Value, Void>,
+                  "broadcastk() requires a Void-typed edge");
+    for (const Key& key : keys) {
+      for (auto* c : edge_->consumers) c->deliver(key, nullptr);
+    }
+  }
+
+  std::size_t num_consumers() const { return edge_->consumers.size(); }
+
+ private:
+  EdgeImpl<Key, Value>* edge_ = nullptr;
+};
+
+/// Free functions mirroring the TTG API: address an output terminal of
+/// the running task's `outs` tuple by index.
+template <std::size_t I, typename Key, typename Value, typename Outs>
+void send(const Key& key, Value&& value, Outs& outs) {
+  std::get<I>(outs).send(key, std::forward<Value>(value));
+}
+
+template <std::size_t I, typename Key, typename Outs>
+void sendk(const Key& key, Outs& outs) {
+  std::get<I>(outs).sendk(key);
+}
+
+template <std::size_t I, typename KeyRange, typename Value, typename Outs>
+void broadcast(const KeyRange& keys, const Value& value, Outs& outs) {
+  std::get<I>(outs).broadcast(keys, value);
+}
+
+template <std::size_t I, typename KeyRange, typename Outs>
+void broadcastk(const KeyRange& keys, Outs& outs) {
+  std::get<I>(outs).broadcastk(keys);
+}
+
+}  // namespace ttg

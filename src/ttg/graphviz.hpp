@@ -1,0 +1,81 @@
+// Graphviz (DOT) rendering of a template task graph — the static graph
+// of TTs and edges (the paper's Fig. 2a), not the unrolled task DAG.
+#pragma once
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ttg/tt.hpp"
+
+namespace ttg {
+
+/// Renders the template task graph spanned by `tts` as DOT. Producers
+/// and consumers are matched by edge identity; edges whose producer or
+/// consumer is outside `tts` get a dangling annotation (graph inputs /
+/// outputs).
+inline std::string graphviz(const std::vector<const TTBase*>& tts,
+                            const std::string& graph_name = "ttg") {
+  std::ostringstream os;
+  os << "digraph \"" << graph_name << "\" {\n";
+  os << "  node [shape=box, style=rounded];\n";
+
+  std::map<const TTBase*, std::string> node_ids;
+  int next = 0;
+  for (const TTBase* tt : tts) {
+    const std::string id = "tt" + std::to_string(next++);
+    node_ids[tt] = id;
+    os << "  " << id << " [label=\"" << tt->name() << "\"];\n";
+  }
+
+  // edge identity -> producers / consumers among `tts`.
+  std::map<const void*, std::vector<const TTBase*>> producers;
+  std::map<const void*, std::vector<const TTBase*>> consumers;
+  std::map<const void*, std::string> edge_names;
+  for (const TTBase* tt : tts) {
+    for (const auto& port : tt->output_ports()) {
+      producers[port.edge].push_back(tt);
+      edge_names[port.edge] = port.edge_name;
+    }
+    for (const auto& port : tt->input_ports()) {
+      consumers[port.edge].push_back(tt);
+      edge_names[port.edge] = port.edge_name;
+    }
+  }
+
+  int ext = 0;
+  for (const auto& [edge, name] : edge_names) {
+    const auto& prod = producers[edge];
+    const auto& cons = consumers[edge];
+    if (prod.empty() && !cons.empty()) {
+      // Graph input (seeded from outside).
+      const std::string in_id = "in" + std::to_string(ext++);
+      os << "  " << in_id << " [shape=plaintext, label=\"" << name
+         << "\"];\n";
+      for (const TTBase* c : cons) {
+        os << "  " << in_id << " -> " << node_ids[c] << ";\n";
+      }
+      continue;
+    }
+    if (cons.empty() && !prod.empty()) {
+      const std::string out_id = "out" + std::to_string(ext++);
+      os << "  " << out_id << " [shape=plaintext, label=\"" << name
+         << "\"];\n";
+      for (const TTBase* p : prod) {
+        os << "  " << node_ids[p] << " -> " << out_id << ";\n";
+      }
+      continue;
+    }
+    for (const TTBase* p : prod) {
+      for (const TTBase* c : cons) {
+        os << "  " << node_ids[p] << " -> " << node_ids[c] << " [label=\""
+           << name << "\"];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ttg

@@ -1,0 +1,62 @@
+// Task IDs ("keys") and their hashing.
+//
+// "Tasks are uniquely identified through task IDs (or keys), which can be
+// any user-provided data type, e.g., an integer or a tuple uniquely
+// describing the task." Keys need operator== and a 64-bit hash; KeyHash
+// provides good defaults for integers, pairs and tuples of integers, and
+// anything with a std::hash specialization.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <tuple>
+#include <type_traits>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace ttg {
+
+/// Empty payload for control-flow-only edges (no data moves, only the
+/// dependency). Equivalent to TTG's pure control flow / sendk().
+struct Void {
+  friend bool operator==(const Void&, const Void&) { return true; }
+};
+
+template <typename Key, typename Enable = void>
+struct KeyHash {
+  std::uint64_t operator()(const Key& k) const {
+    return mix64(static_cast<std::uint64_t>(std::hash<Key>{}(k)));
+  }
+};
+
+template <typename Key>
+struct KeyHash<Key, std::enable_if_t<std::is_integral_v<Key>>> {
+  std::uint64_t operator()(const Key& k) const {
+    return mix64(static_cast<std::uint64_t>(k));
+  }
+};
+
+template <typename A, typename B>
+struct KeyHash<std::pair<A, B>> {
+  std::uint64_t operator()(const std::pair<A, B>& k) const {
+    return mix64(KeyHash<A>{}(k.first) * 0x9e3779b97f4a7c15ULL +
+                 KeyHash<B>{}(k.second));
+  }
+};
+
+template <typename... Ts>
+struct KeyHash<std::tuple<Ts...>> {
+  std::uint64_t operator()(const std::tuple<Ts...>& k) const {
+    std::uint64_t h = 0x243f6a8885a308d3ULL;
+    std::apply(
+        [&h](const Ts&... parts) {
+          ((h = mix64(h * 0x9e3779b97f4a7c15ULL + KeyHash<Ts>{}(parts))),
+           ...);
+        },
+        k);
+    return h;
+  }
+};
+
+}  // namespace ttg

@@ -1,0 +1,68 @@
+// Reducing input terminals.
+//
+// TTG's third kind of input: where an aggregator terminal *collects* a
+// per-key number of values (Sec. V-D1), a reducing terminal *folds* them
+// into a single accumulator as they arrive — the task body then receives
+// one plain value. Only one data copy stays alive per key: the first
+// arrival's copy becomes the accumulator and later contributions are
+// folded into it under the key's bucket lock and released immediately.
+// This is the TTG input-reducer used for e.g. tree reductions and the
+// norm accumulations in MRA-style applications.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+#include "ttg/edge.hpp"
+
+namespace ttg {
+
+template <typename Key, typename Value>
+class ReducingEdge {
+ public:
+  using key_type = Key;
+  using value_type = Value;
+  using count_fn_type = std::function<std::int32_t(const Key&)>;
+  /// Folds `in` into the accumulator `acc`.
+  using reduce_fn_type = std::function<void(Value& acc, Value&& in)>;
+
+  ReducingEdge(const Edge<Key, Value>& edge, reduce_fn_type reduce,
+               count_fn_type count_fn)
+      : edge_(edge),
+        reduce_(std::move(reduce)),
+        count_fn_(std::move(count_fn)) {}
+
+  EdgeImpl<Key, Value>* impl() const { return edge_.impl(); }
+  const count_fn_type& count_fn() const { return count_fn_; }
+  const reduce_fn_type& reduce_fn() const { return reduce_; }
+
+ private:
+  Edge<Key, Value> edge_;
+  reduce_fn_type reduce_;
+  count_fn_type count_fn_;
+};
+
+/// Wraps an input edge with a reducer: the task for key k fires once
+/// `count(k)` contributions have been folded into one value.
+template <typename Key, typename Value, typename ReduceFn, typename CountFn>
+ReducingEdge<Key, Value> make_reducing(const Edge<Key, Value>& edge,
+                                       ReduceFn&& reduce,
+                                       CountFn&& count_fn) {
+  return ReducingEdge<Key, Value>(
+      edge,
+      typename ReducingEdge<Key, Value>::reduce_fn_type(
+          std::forward<ReduceFn>(reduce)),
+      typename ReducingEdge<Key, Value>::count_fn_type(
+          std::forward<CountFn>(count_fn)));
+}
+
+template <typename Key, typename Value, typename ReduceFn>
+ReducingEdge<Key, Value> make_reducing(const Edge<Key, Value>& edge,
+                                       ReduceFn&& reduce,
+                                       std::int32_t fixed_count) {
+  return make_reducing(edge, std::forward<ReduceFn>(reduce),
+                       [fixed_count](const Key&) { return fixed_count; });
+}
+
+}  // namespace ttg

@@ -1,0 +1,534 @@
+// The Template Task (TT) — the core abstraction of TTG (paper Sec. II).
+//
+// A TT is a factory of task instances, connected to other TTs through
+// typed edges. During execution the template task graph unfolds
+// dynamically: sending a datum to a key (k) of a TT either creates a new
+// pending task record (stored in the TT's scalable hash table) or
+// completes an existing one; once all inputs of a record are satisfied
+// the record *is* the task object and is handed to the scheduler.
+//
+// Hot-path accounting, matching Eq. (1) of the paper for a task with N_i
+// reused-data inputs:
+//   * record allocation + release:   2 pool atomics            (N_OD = 2)
+//   * per input: bucket lock         1 atomic                  (N_HB = 1)
+//               input counter        1 atomic                  (N_ID = 1)
+//               copy retain+release  2 atomics                 (N_RC = 2)
+//   * schedule push + pop:           2 atomics                 (N_S  = 2)
+// Single-input, non-aggregated TTs skip the hash table entirely ("access
+// to the hash table can be eliminated because a newly discovered task
+// can be scheduled immediately", Sec. V-C).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+#include <type_traits>
+#include <utility>
+
+#include "atomics/op_counter.hpp"
+#include "atomics/ordering.hpp"
+#include "common/small_vector.hpp"
+#include "runtime/context.hpp"
+#include "runtime/data_copy.hpp"
+#include "runtime/task.hpp"
+#include "structures/hash_table.hpp"
+#include "structures/mempool.hpp"
+#include "ttg/aggregator.hpp"
+#include "ttg/reducing.hpp"
+#include "ttg/edge.hpp"
+#include "ttg/keys.hpp"
+#include "ttg/world.hpp"
+
+namespace ttg {
+
+/// Type-erased base of all TTs; useful for graph-wide bookkeeping and
+/// for rendering the template task graph (ttg::graphviz).
+class TTBase {
+ public:
+  virtual ~TTBase() = default;
+  const std::string& name() const { return name_; }
+
+  /// A terminal's wiring: the identity of the edge it connects to plus
+  /// the edge's display name.
+  struct PortInfo {
+    const void* edge;
+    std::string edge_name;
+  };
+
+  const std::vector<PortInfo>& input_ports() const { return in_ports_; }
+  const std::vector<PortInfo>& output_ports() const { return out_ports_; }
+
+ protected:
+  explicit TTBase(std::string name) : name_(std::move(name)) {}
+  std::string name_;
+  std::vector<PortInfo> in_ports_;
+  std::vector<PortInfo> out_ports_;
+};
+
+namespace detail {
+
+template <typename E>
+struct input_trait;
+
+template <typename K, typename V>
+struct input_trait<Edge<K, V>> {
+  using key_type = K;
+  using value_type = V;
+  static constexpr bool aggregated = false;
+  static constexpr bool reduced = false;
+  static constexpr bool is_void = std::is_same_v<V, Void>;
+  using slot_type = DataCopy<V>*;
+};
+
+template <typename K, typename V>
+struct input_trait<AggregatorEdge<K, V>> {
+  using key_type = K;
+  using value_type = V;
+  static constexpr bool aggregated = true;
+  static constexpr bool reduced = false;
+  static constexpr bool is_void = false;
+  using slot_type = SmallVector<DataCopy<V>*, 4>;
+};
+
+template <typename K, typename V>
+struct input_trait<ReducingEdge<K, V>> {
+  using key_type = K;
+  using value_type = V;
+  static constexpr bool aggregated = false;
+  static constexpr bool reduced = true;
+  static constexpr bool is_void = false;
+  using slot_type = DataCopy<V>*;
+};
+
+template <typename E>
+struct out_terminal_of;
+
+template <typename K, typename V>
+struct out_terminal_of<Edge<K, V>> {
+  using type = Out<K, V>;
+};
+
+}  // namespace detail
+
+template <typename Key, typename Fn, typename InEdgesTuple,
+          typename OutEdgesTuple>
+class TT;
+
+template <typename Key, typename Fn, typename... InEdges,
+          typename... OutEdges>
+class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
+    : public TTBase {
+ public:
+  static constexpr std::size_t kNumIns = sizeof...(InEdges);
+  static_assert(kNumIns >= 1, "a TT needs at least one input edge");
+  static_assert(kNumIns <= detail::TaskCopyContext::kMaxInputs);
+
+  using Outs =
+      std::tuple<typename detail::out_terminal_of<OutEdges>::type...>;
+  template <std::size_t I>
+  using trait =
+      detail::input_trait<std::tuple_element_t<I, std::tuple<InEdges...>>>;
+  template <std::size_t I>
+  using value_t = typename trait<I>::value_type;
+
+  static constexpr bool kAnyAggregated =
+      (detail::input_trait<InEdges>::aggregated || ...);
+  static constexpr bool kAnyReduced =
+      (detail::input_trait<InEdges>::reduced || ...);
+  static constexpr bool kUsesHashTable =
+      kNumIns > 1 || kAnyAggregated || kAnyReduced;
+
+  TT(Fn fn, const std::tuple<InEdges...>& ins,
+     const std::tuple<OutEdges...>& outs, std::string name, World& world)
+      : TTBase(std::move(name)),
+        world_(&world),
+        fn_(std::move(fn)),
+        pool_(sizeof(TaskRec)),
+        table_(/*initial_log2_buckets=*/8, /*fill_threshold=*/16) {
+    wire_inputs(ins, std::index_sequence_for<InEdges...>{});
+    wire_outputs(outs, std::index_sequence_for<OutEdges...>{});
+  }
+
+  /// Routes tasks to ranks. Default: all local on single-rank worlds,
+  /// hash(key) % nranks otherwise.
+  void set_keymap(std::function<int(const Key&)> keymap) {
+    keymap_ = std::move(keymap);
+  }
+
+  /// Assigns scheduling priorities to task instances (Sec. III-B: "the
+  /// scheduler must support priorities in order to fully support the
+  /// semantics of TTG").
+  void set_priority_fn(std::function<std::int32_t(const Key&)> prio) {
+    priority_fn_ = std::move(prio);
+  }
+
+  /// Value-aware priorities: computed from the key and the value arriving
+  /// on input terminal 0 (e.g. prioritize small tentative distances in a
+  /// shortest-path relaxation). Overrides set_priority_fn when the
+  /// input-0 value is present.
+  void set_priority_fn(
+      std::function<std::int32_t(const Key&, const value_t<0>&)> prio) {
+    priority_value_fn_ = std::move(prio);
+  }
+
+  Outs& outs() { return outs_; }
+  World& world() { return *world_; }
+
+  /// Injects a value into input terminal I from outside a task (graph
+  /// seeding). The value is copied into a fresh DataCopy.
+  template <std::size_t I, typename V>
+  void send_input(const Key& key, V&& value) {
+    static_assert(!trait<I>::is_void, "use sendk_input for Void inputs");
+    input_arrived<I>(key,
+                     make_copy<value_t<I>>(std::forward<V>(value)));
+  }
+
+  /// Injects a pure control-flow token into (Void-typed) input I.
+  template <std::size_t I>
+  void sendk_input(const Key& key) {
+    static_assert(trait<I>::is_void, "sendk_input requires a Void input");
+    input_arrived<I>(key, nullptr);
+  }
+
+  /// Convenience: satisfies all (non-aggregated) inputs of `key` at once.
+  template <typename... Vs>
+  void invoke(const Key& key, Vs&&... values) {
+    static_assert(sizeof...(Vs) == kNumIns);
+    static_assert(!kAnyAggregated && !kAnyReduced,
+                  "invoke() cannot satisfy aggregator/reducing inputs");
+    invoke_impl(key, std::index_sequence_for<Vs...>{},
+                std::forward<Vs>(values)...);
+  }
+
+  /// Test hook: number of pending (partially satisfied) task records.
+  std::size_t num_pending() { return table_.size(); }
+
+  /// Test hook: the TT's hash table, for structural assertions.
+  ScalableHashTable& hash_table() { return table_; }
+
+ private:
+  /// A pending-task record and the eventual task object are one pooled
+  /// allocation, like PaRSEC's task structs: while inputs accumulate it
+  /// lives in the hash table (HashItemBase), once eligible it goes to
+  /// the scheduler (TaskBase/LifoNode).
+  struct TaskRec : TaskBase, HashItemBase {
+    TT* tt;
+    Key key;
+    std::atomic<std::int32_t> satisfied{0};
+    std::int32_t expected{0};
+    std::tuple<typename detail::input_trait<InEdges>::slot_type...> slots{};
+
+    TaskRec(TT* tt_, const Key& key_) : tt(tt_), key(key_) {}
+  };
+
+  template <std::size_t I>
+  struct Terminal final : InTerminalBase<Key, value_t<I>> {
+    TT* tt = nullptr;
+    void deliver(const Key& key, DataCopy<value_t<I>>* copy) override {
+      tt->template input_arrived<I>(key, copy);
+    }
+  };
+
+  template <typename Seq>
+  struct terminals_tuple;
+  template <std::size_t... Is>
+  struct terminals_tuple<std::index_sequence<Is...>> {
+    using type = std::tuple<Terminal<Is>...>;
+  };
+  using Terminals =
+      typename terminals_tuple<std::make_index_sequence<kNumIns>>::type;
+
+  template <std::size_t... Is>
+  void wire_inputs(const std::tuple<InEdges...>& ins,
+                   std::index_sequence<Is...>) {
+    ((std::get<Is>(terminals_).tt = this), ...);
+    (std::get<Is>(ins).impl()->consumers.push_back(&std::get<Is>(terminals_)),
+     ...);
+    // Capture aggregator count callbacks.
+    (capture_count_fn<Is>(std::get<Is>(ins)), ...);
+    (in_ports_.push_back(PortInfo{std::get<Is>(ins).impl(),
+                                  std::get<Is>(ins).impl()->name}),
+     ...);
+  }
+
+  template <std::size_t I, typename E>
+  void capture_count_fn(const E& edge) {
+    if constexpr (detail::input_trait<E>::aggregated ||
+                  detail::input_trait<E>::reduced) {
+      count_fns_[I] = edge.count_fn();
+    }
+    if constexpr (detail::input_trait<E>::reduced) {
+      std::get<I>(reduce_fns_) = edge.reduce_fn();
+    }
+  }
+
+  template <std::size_t... Is>
+  void wire_outputs(const std::tuple<OutEdges...>& outs,
+                    std::index_sequence<Is...>) {
+    ((std::get<Is>(outs_) =
+          typename detail::out_terminal_of<
+              std::tuple_element_t<Is, std::tuple<OutEdges...>>>::type(
+              std::get<Is>(outs).impl())),
+     ...);
+    (out_ports_.push_back(PortInfo{std::get<Is>(outs).impl(),
+                                   std::get<Is>(outs).impl()->name}),
+     ...);
+  }
+
+  int owner_rank(const Key& key) const {
+    if (keymap_) return keymap_(key);
+    const int nranks = world_->num_ranks();
+    if (nranks == 1) return 0;
+    return static_cast<int>(KeyHash<Key>{}(key) % nranks);
+  }
+
+  template <std::size_t I>
+  void input_arrived(const Key& key, DataCopy<value_t<I>>* copy) {
+    const int target = owner_rank(key);
+    if (target != world_->current_rank()) {
+      forward_remote<I>(target, key, copy);
+      return;
+    }
+    local_arrived<I>(key, copy);
+  }
+
+  /// Simulated cross-rank transfer: serialize (deep-copy) the value into
+  /// an active message; a worker of the target rank re-materializes the
+  /// copy and runs the normal local path.
+  template <std::size_t I>
+  void forward_remote(int target, const Key& key,
+                      DataCopy<value_t<I>>* copy) {
+    if constexpr (trait<I>::is_void) {
+      (void)copy;
+      world_->post_message(target, [this, key] {
+        this->template local_arrived<I>(key, nullptr);
+      });
+    } else {
+      value_t<I> value = copy->value();  // "serialization"
+      copy->release();                   // the ref handed to us
+      world_->post_message(
+          target, [this, key, value = std::move(value)]() mutable {
+            this->template local_arrived<I>(
+                key, make_copy<value_t<I>>(std::move(value)));
+          });
+    }
+  }
+
+  template <std::size_t I>
+  void local_arrived(const Key& key, DataCopy<value_t<I>>* copy) {
+    Context& ctx = world_->context(world_->current_rank());
+    if constexpr (!kUsesHashTable) {
+      // Single-input fast path: the task is born eligible.
+      TaskRec* rec = create_record(ctx, key);
+      apply_value_priority<I>(*rec, key, copy);
+      std::get<I>(rec->slots) = copy;
+      ctx.schedule_or_inline(rec);
+      return;
+    } else {
+      const std::uint64_t h = KeyHash<Key>{}(key);
+      auto acc = table_.lock_key(h);
+      const auto key_eq = [&key](const HashItemBase* item) {
+        return static_cast<const TaskRec*>(item)->key == key;
+      };
+      TaskRec* rec;
+      if (HashItemBase* item = acc.find(key_eq); item != nullptr) {
+        rec = static_cast<TaskRec*>(item);
+      } else {
+        rec = create_record(ctx, key);
+        rec->hash = h;
+        rec->expected = compute_expected(key);
+        acc.insert(rec);
+      }
+      apply_value_priority<I>(*rec, key, copy);
+      store_input<I>(*rec, copy);
+      atomic_ops::count(AtomicOpCategory::kInputCount);
+      const std::int32_t sat =
+          rec->satisfied.fetch_add(1, ord_relaxed()) + 1;
+      if (sat == rec->expected) {
+        acc.remove(key_eq);
+        acc.release();
+        ctx.schedule_or_inline(rec);
+      }
+    }
+  }
+
+  template <std::size_t I>
+  void store_input(TaskRec& rec, DataCopy<value_t<I>>* copy) {
+    if constexpr (trait<I>::aggregated) {
+      std::get<I>(rec.slots).push_back(copy);
+    } else if constexpr (trait<I>::reduced) {
+      // Fold under the key's bucket lock: the first arrival's copy is
+      // the accumulator, later contributions are folded and released.
+      DataCopy<value_t<I>>*& slot = std::get<I>(rec.slots);
+      if (slot == nullptr) {
+        slot = copy;
+      } else {
+        std::get<I>(reduce_fns_)(slot->value(), std::move(copy->value()));
+        copy->release();
+      }
+    } else {
+      assert(std::get<I>(rec.slots) == nullptr &&
+             "duplicate input for the same task (key reuse?)");
+      std::get<I>(rec.slots) = copy;
+    }
+  }
+
+  template <std::size_t I>
+  void apply_value_priority(TaskRec& rec, const Key& key,
+                            DataCopy<value_t<I>>* copy) {
+    if constexpr (I == 0 && !trait<0>::is_void) {
+      if (priority_value_fn_ && copy != nullptr) {
+        rec.priority = priority_value_fn_(key, copy->value());
+      }
+    }
+  }
+
+  TaskRec* create_record(Context& ctx, const Key& key) {
+    void* mem = pool_.allocate();
+    auto* rec = new (mem) TaskRec(this, key);
+    rec->execute = &TT::execute_task;
+    rec->pool = &pool_;
+    rec->priority = priority_fn_ ? priority_fn_(key) : 0;
+    // The task is now *discovered*; account before it can be scheduled
+    // (and before it becomes findable in the hash table).
+    ctx.on_discovered(1);
+    return rec;
+  }
+
+  std::int32_t compute_expected(const Key& key) const {
+    std::int32_t n = 0;
+    [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+      ((n += (trait<Is>::aggregated || trait<Is>::reduced)
+                 ? count_fns_[Is](key)
+                 : 1),
+       ...);
+    }(std::make_index_sequence<kNumIns>{});
+    return n;
+  }
+
+  static void execute_task(TaskBase* base, Worker& worker) {
+    (void)worker;
+    auto* rec = static_cast<TaskRec*>(base);
+    rec->tt->run(rec);
+  }
+
+  void run(TaskRec* rec) {
+    run_impl(rec, std::make_index_sequence<kNumIns>{});
+  }
+
+  template <std::size_t... Is>
+  void run_impl(TaskRec* rec, std::index_sequence<Is...>) {
+    // Save the caller's input-copy registrations: with task inlining a
+    // task can execute in the middle of its producer's sends, and the
+    // producer's registrations must survive the nested execution.
+    detail::TaskCopyContext saved = detail::t_task_copies;
+    detail::t_task_copies.clear();
+    // Register input copies so rvalue sends can move them along.
+    (register_input<Is>(*rec), ...);
+    fn_(static_cast<const Key&>(rec->key), make_arg<Is>(*rec)..., outs_);
+    detail::t_task_copies = saved;
+    (release_input<Is>(*rec), ...);
+    rec->~TaskRec();
+    pool_.deallocate(rec);
+  }
+
+  template <std::size_t I>
+  void register_input(TaskRec& rec) {
+    if constexpr (!trait<I>::aggregated && !trait<I>::is_void) {
+      DataCopy<value_t<I>>* copy = std::get<I>(rec.slots);
+      detail::t_task_copies.register_input(&copy->value(), copy);
+    }
+  }
+
+  template <std::size_t I>
+  decltype(auto) make_arg(TaskRec& rec) {
+    if constexpr (trait<I>::aggregated) {
+      return Aggregator<value_t<I>>(std::get<I>(rec.slots));
+    } else if constexpr (trait<I>::is_void) {
+      static const Void kVoid{};
+      return (kVoid);  // const Void&
+    } else {
+      return (std::get<I>(rec.slots)->value());  // value_t<I>&
+    }
+  }
+
+  template <std::size_t I>
+  void release_input(TaskRec& rec) {
+    if constexpr (trait<I>::aggregated) {
+      for (DataCopy<value_t<I>>* c : std::get<I>(rec.slots)) c->release();
+    } else if constexpr (!trait<I>::is_void) {
+      std::get<I>(rec.slots)->release();
+    }
+  }
+
+  template <std::size_t... Is, typename... Vs>
+  void invoke_impl(const Key& key, std::index_sequence<Is...>,
+                   Vs&&... values) {
+    (seed_one<Is>(key, std::forward<Vs>(values)), ...);
+  }
+
+  template <std::size_t I, typename V>
+  void seed_one(const Key& key, V&& value) {
+    if constexpr (trait<I>::is_void) {
+      (void)value;
+      input_arrived<I>(key, nullptr);
+    } else {
+      input_arrived<I>(key,
+                       make_copy<value_t<I>>(std::forward<V>(value)));
+    }
+  }
+
+  World* world_;
+  Fn fn_;
+  Outs outs_{};
+  Terminals terminals_{};
+  std::array<std::function<std::int32_t(const Key&)>, kNumIns> count_fns_{};
+
+  template <typename E>
+  struct reduce_slot {
+    struct None {};
+    using type = std::conditional_t<
+        detail::input_trait<E>::reduced,
+        std::function<void(typename detail::input_trait<E>::value_type&,
+                           typename detail::input_trait<E>::value_type&&)>,
+        None>;
+  };
+  std::tuple<typename reduce_slot<InEdges>::type...> reduce_fns_{};
+  std::function<int(const Key&)> keymap_;
+  std::function<std::int32_t(const Key&)> priority_fn_;
+  std::function<std::int32_t(const Key&, const value_t<0>&)>
+      priority_value_fn_;
+  MemoryPool pool_;
+  ScalableHashTable table_;
+};
+
+/// Builds a TT from a callable and its input/output edge tuples.
+/// The callable's signature is
+///   fn(const Key&, <arg per input>..., TT::Outs& outs)
+/// where a plain input of type V arrives as V& (move it onward with
+/// std::move to trigger the zero-copy ownership transfer), a Void input
+/// as const Void&, and an aggregated input as const Aggregator<V>&.
+template <typename Key, typename Fn, typename... InEdges,
+          typename... OutEdges>
+auto make_tt(Fn&& fn, const std::tuple<InEdges...>& ins,
+             const std::tuple<OutEdges...>& outs, std::string name,
+             World& world) {
+  return std::make_unique<
+      TT<Key, std::decay_t<Fn>, std::tuple<InEdges...>,
+         std::tuple<OutEdges...>>>(std::forward<Fn>(fn), ins, outs,
+                                   std::move(name), world);
+}
+
+/// Groups edges for make_tt, mirroring the TTG API.
+template <typename... Es>
+std::tuple<Es...> edges(Es... es) {
+  return std::tuple<Es...>(std::move(es)...);
+}
+
+}  // namespace ttg

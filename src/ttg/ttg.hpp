@@ -1,0 +1,25 @@
+// Umbrella header for the ttg-smalltask public API.
+//
+// Quickstart:
+//   #include "ttg/ttg.hpp"
+//
+//   ttg::World world(ttg::Config::optimized());
+//   ttg::Edge<int, double> e("chain");
+//   auto tt = ttg::make_tt<int>(
+//       [](const int& k, double& v, auto& outs) {
+//         if (k < 100) ttg::send<0>(k + 1, std::move(v), outs);
+//       },
+//       ttg::edges(e), ttg::edges(e), "step", world);
+//   world.execute();
+//   tt->send_input<0>(0, 3.14);
+//   world.fence();
+#pragma once
+
+#include "runtime/config.hpp"
+#include "runtime/context.hpp"
+#include "ttg/aggregator.hpp"
+#include "ttg/edge.hpp"
+#include "ttg/keys.hpp"
+#include "ttg/reducing.hpp"
+#include "ttg/tt.hpp"
+#include "ttg/world.hpp"

@@ -1,0 +1,90 @@
+#include "ttg/world.hpp"
+
+#include <cassert>
+
+#include "runtime/trace.hpp"
+
+namespace ttg {
+
+World::World(const Config& config, int nranks)
+    : config_(config), nranks_(nranks) {
+  assert(nranks >= 1);
+  config_.apply_globals();
+  detector_ = std::make_unique<TerminationDetector>(nranks, config_.termdet);
+  // Attach the application thread (rank 0's producer) *before* workers
+  // exist: an attached active thread keeps its rank non-quiet, so the
+  // wave cannot declare termination while the world is still being set
+  // up or before the first fence.
+  detector_->thread_attach(0);
+  queues_.reserve(static_cast<std::size_t>(nranks));
+  contexts_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    queues_.push_back(std::make_unique<MessageQueue>(this));
+  }
+  for (int r = 0; r < nranks; ++r) {
+    contexts_.push_back(
+        std::make_unique<Context>(config_, detector_.get(), r));
+    contexts_.back()->set_progress_source(queues_[r].get());
+  }
+}
+
+World::~World() {
+  // Contexts join their workers before the queues they poll disappear.
+  contexts_.clear();
+  queues_.clear();
+}
+
+int World::current_rank() const {
+  if (Worker* w = Context::current_worker(); w != nullptr) return w->rank();
+  return 0;
+}
+
+void World::execute() {
+  // Resume the producer *before* resetting the detector: once rank 0 has
+  // an active thread again, the freshly-reset wave cannot re-announce
+  // termination in the window before the first task is submitted.
+  context(0).begin();
+  if (needs_reset_) {
+    detector_->reset();
+    needs_reset_ = false;
+  }
+  epoch_open_ = true;
+}
+
+void World::fence() {
+  assert(epoch_open_ && "fence() without execute()");
+  context(0).fence();
+  epoch_open_ = false;
+  needs_reset_ = true;
+}
+
+void World::post_message(int target_rank, std::function<void()> deliver) {
+  assert(target_rank >= 0 && target_rank < nranks_);
+  detector_->on_message_sent();
+  trace::record(trace::EventKind::kMessageSent,
+                static_cast<std::uint32_t>(target_rank));
+  auto* msg = new Message;
+  msg->deliver = std::move(deliver);
+  queues_[target_rank]->push(msg);
+  contexts_[target_rank]->notify_work();
+}
+
+std::uint64_t World::total_tasks_executed() const {
+  std::uint64_t n = 0;
+  for (const auto& c : contexts_) n += c->total_tasks_executed();
+  return n;
+}
+
+void World::MessageQueue::drain(Worker& worker) {
+  while (LifoNode* node = queue_.pop()) {
+    auto* msg = static_cast<Message*>(node);
+    world_->detector_->on_message_received();
+    trace::record(trace::EventKind::kMessageReceived,
+                  static_cast<std::uint32_t>(worker.rank()));
+    msg->deliver();
+    world_->messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+    delete msg;
+  }
+}
+
+}  // namespace ttg

@@ -1,0 +1,95 @@
+// World: the execution environment of a template task graph.
+//
+// A World bundles one termination detector and one or more Contexts —
+// one per *simulated rank*. Shared-memory runs (everything in the
+// paper's evaluation) use a single rank; the multi-rank mode partitions
+// keys across ranks via each TT's keymap and moves data between ranks
+// through per-rank active-message queues, exercising the same
+// communication accounting (messages sent/received) that feeds the
+// four-counter termination wave in distributed TTG.
+//
+// Substitution note (see DESIGN.md): real TTG sends serialized data over
+// MPI between processes; here a cross-rank send deep-copies the value
+// into a message delivered by a worker of the target rank. The control
+// flow, copy semantics and termination protocol match; the wire is a
+// queue instead of a NIC.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "runtime/context.hpp"
+#include "structures/fifo.hpp"
+#include "termdet/termdet.hpp"
+
+namespace ttg {
+
+class World {
+ public:
+  /// Creates a world with `nranks` simulated ranks, each owning a worker
+  /// pool configured by `config` (config.threads() workers per rank).
+  explicit World(const Config& config, int nranks = 1);
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  ~World();
+
+  int num_ranks() const { return nranks_; }
+  Context& context(int rank = 0) { return *contexts_[rank]; }
+  TerminationDetector& detector() { return *detector_; }
+  const Config& config() const { return config_; }
+
+  /// Rank of the calling thread: its worker's rank, or 0 for external
+  /// threads (the application thread acts as rank 0's producer).
+  int current_rank() const;
+
+  /// Starts (or resumes after fence) an execution epoch.
+  void execute();
+
+  /// Blocks until all discovered tasks on all ranks have executed and no
+  /// messages are in flight.
+  void fence();
+
+  /// Posts an active message to `target_rank`; a worker of that rank
+  /// will invoke `deliver`. Accounts one message sent on the calling
+  /// thread's rank and one received on the target.
+  void post_message(int target_rank, std::function<void()> deliver);
+
+  /// Total tasks executed across all ranks.
+  std::uint64_t total_tasks_executed() const;
+
+  /// Messages delivered so far (diagnostics).
+  std::uint64_t messages_delivered() const {
+    return messages_delivered_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Message : LifoNode {
+    std::function<void()> deliver;
+  };
+
+  /// Per-rank active-message queue, drained by that rank's workers.
+  class MessageQueue final : public Context::ProgressSource {
+   public:
+    explicit MessageQueue(World* world) : world_(world) {}
+    bool empty() override { return queue_.empty(); }
+    void drain(Worker& worker) override;
+    void push(Message* m) { queue_.push(m); }
+
+   private:
+    World* world_;
+    LockedFifo queue_{AtomicOpCategory::kOther};
+  };
+
+  Config config_;
+  int nranks_;
+  std::unique_ptr<TerminationDetector> detector_;
+  std::vector<std::unique_ptr<MessageQueue>> queues_;
+  std::vector<std::unique_ptr<Context>> contexts_;
+  std::atomic<std::uint64_t> messages_delivered_{0};
+  bool epoch_open_ = false;
+  bool needs_reset_ = false;
+};
+
+}  // namespace ttg

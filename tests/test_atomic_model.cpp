@@ -1,0 +1,204 @@
+// Validates the paper's Eq. (1) atomic-operation model (Sec. IV-E):
+//
+//   N_A = (N_ID + N_RC + N_HB) * N_i + N_OD + N_S = 4 * N_i + 4
+//
+// for a task with N_i inputs whose data is reused (moved, not copied),
+// in the fully optimized configuration. The runtime's per-category
+// atomic accounting lets us check each term separately, not just the
+// total.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <tuple>
+#include <vector>
+
+#include "atomics/op_counter.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+using ttg::AtomicOpCategory;
+
+ttg::Config model_config() {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 1;  // serial chain; no stealing noise
+  return cfg;
+}
+
+/// Runs a chain of `tasks` tasks with `NFlows` data flows between
+/// consecutive tasks and returns the per-category atomic counts per
+/// task (averaged over the chain).
+template <std::size_t NFlows>
+ttg::AtomicOpSnapshot run_chain(int tasks) {
+  ttg::World world(model_config());
+
+  // NFlows edges all connecting the TT to itself.
+  auto make_edges = [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+    return std::make_tuple(
+        ttg::Edge<int, std::uint64_t>("flow" + std::to_string(Is))...);
+  };
+  auto edge_tuple = make_edges(std::make_index_sequence<NFlows>{});
+
+  std::atomic<int> executed{0};
+  auto body = [&executed, tasks](const int& k, auto&... rest) {
+    executed.fetch_add(1);
+    auto& outs = std::get<sizeof...(rest) - 1>(std::tie(rest...));
+    if (k < tasks) {
+      [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+        // Move every input onward: the reused-data case of Eq. (1).
+        (ttg::send<Is>(
+             k + 1,
+             std::move(std::get<Is>(std::tie(rest...))),
+             outs),
+         ...);
+      }(std::make_index_sequence<NFlows>{});
+    }
+  };
+  auto tt = std::apply(
+      [&](auto&... edges) {
+        return ttg::make_tt<int>(body, ttg::edges(edges...),
+                                 ttg::edges(edges...), "chain", world);
+      },
+      edge_tuple);
+
+  world.execute();
+  // Warm up pools and the hash table so steady-state counts are clean.
+  [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+    (tt->template send_input<Is>(0, std::uint64_t{Is}), ...);
+  }(std::make_index_sequence<NFlows>{});
+  world.fence();
+
+  const int warmup = executed.load();
+  world.execute();
+  ttg::atomic_ops::set_enabled(true);
+  ttg::atomic_ops::reset();
+  [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+    (tt->template send_input<Is>(0, std::uint64_t{Is}), ...);
+  }(std::make_index_sequence<NFlows>{});
+  world.fence();
+  ttg::atomic_ops::set_enabled(false);
+  EXPECT_EQ(executed.load() - warmup, tasks + 1);
+
+  return ttg::atomic_ops::snapshot();
+}
+
+class AtomicModelTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AtomicModelTest, PerCategoryCountsMatchEquationOne) {
+  const int n_inputs = GetParam();
+  constexpr int kTasks = 2000;
+  ttg::AtomicOpSnapshot snap;
+  switch (n_inputs) {
+    case 2: snap = run_chain<2>(kTasks); break;
+    case 3: snap = run_chain<3>(kTasks); break;
+    case 4: snap = run_chain<4>(kTasks); break;
+    case 6: snap = run_chain<6>(kTasks); break;
+    default: FAIL() << "unsupported flow count";
+  }
+
+  const double tasks = kTasks + 1;
+  // Per-task, per-category averages. The fence/termination machinery and
+  // the seeding from the main thread add a constant number of operations
+  // per *run*, so per-task averages converge to the model as the chain
+  // grows; 5% covers that O(1/kTasks) tail.
+  const double n_id =
+      static_cast<double>(snap[AtomicOpCategory::kInputCount]) / tasks;
+  const double n_hb =
+      static_cast<double>(snap[AtomicOpCategory::kBucketLock]) / tasks;
+  const double n_rc =
+      static_cast<double>(snap[AtomicOpCategory::kRefCount]) / tasks;
+  const double n_od =
+      static_cast<double>(snap[AtomicOpCategory::kMemPool]) / tasks;
+  const double n_s =
+      static_cast<double>(snap[AtomicOpCategory::kScheduler]) / tasks;
+
+  const double ni = n_inputs;
+  EXPECT_NEAR(n_id, ni, 0.05 * ni) << "input-count updates per task";
+  EXPECT_NEAR(n_hb, ni, 0.05 * ni) << "bucket locks per task";
+  EXPECT_NEAR(n_rc, 2 * ni, 0.05 * 2 * ni) << "refcount ops per task";
+  EXPECT_NEAR(n_od, 2.0, 0.1) << "mempool ops per task";
+  EXPECT_NEAR(n_s, 2.0, 0.15) << "scheduler ops per task";
+
+  // Eq. (1): the categories the model covers sum to 4*N_i + 4.
+  const double model_total = n_id + n_hb + n_rc + n_od + n_s;
+  EXPECT_NEAR(model_total, 4.0 * ni + 4.0, 0.05 * (4.0 * ni + 4.0));
+
+  // The BRAVO fast path keeps the reader-writer lock off the per-input
+  // cost: rwlock RMWs must be O(1) per run, not O(N_i) per task.
+  EXPECT_LT(static_cast<double>(snap[AtomicOpCategory::kRWLock]) / tasks,
+            0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Flows, AtomicModelTest,
+                         ::testing::Values(2, 3, 4, 6));
+
+TEST(AtomicModel, SingleInputSkipsHashTable) {
+  // Sec. V-C: single-input TTs bypass the hash table, so no bucket locks
+  // and no input counters appear at all.
+  ttg::World world(model_config());
+  ttg::Edge<int, std::uint64_t> e("flow");
+  constexpr int kTasks = 2000;
+  auto tt = ttg::make_tt<int>(
+      [](const int& k, std::uint64_t& v, auto& outs) {
+        if (k < kTasks) ttg::send<0>(k + 1, std::move(v), outs);
+      },
+      ttg::edges(e), ttg::edges(e), "chain1", world);
+
+  world.execute();
+  tt->send_input<0>(0, 1);  // warm-up epoch
+  world.fence();
+
+  world.execute();
+  ttg::atomic_ops::set_enabled(true);
+  ttg::atomic_ops::reset();
+  tt->send_input<0>(0, 1);
+  world.fence();
+  ttg::atomic_ops::set_enabled(false);
+  const auto snap = ttg::atomic_ops::snapshot();
+
+  EXPECT_EQ(snap[AtomicOpCategory::kBucketLock], 0u);
+  EXPECT_EQ(snap[AtomicOpCategory::kInputCount], 0u);
+  const double tasks = kTasks + 1;
+  // refcount: retain + release per hop; pool: 2; scheduler: 2.
+  EXPECT_NEAR(static_cast<double>(snap[AtomicOpCategory::kRefCount]) / tasks,
+              2.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(snap[AtomicOpCategory::kMemPool]) / tasks,
+              2.0, 0.1);
+}
+
+TEST(AtomicModel, CopyVariantAllocatesPerHop) {
+  // The Fig. 5 "TTG (copy)" variant: sending by lvalue materializes a
+  // new copy per hop, so the refcount traffic drops to release-only
+  // (the fresh copy is born with the consumer's reference).
+  ttg::World world(model_config());
+  ttg::Edge<int, std::uint64_t> a("a"), b("b");
+  constexpr int kTasks = 1000;
+  auto tt = ttg::make_tt<int>(
+      [](const int& k, std::uint64_t& x, std::uint64_t& y, auto& outs) {
+        if (k < kTasks) {
+          ttg::send<0>(k + 1, x, outs);  // lvalue: copy
+          ttg::send<1>(k + 1, y, outs);
+        }
+      },
+      ttg::edges(a, b), ttg::edges(a, b), "copychain", world);
+  world.execute();
+  tt->send_input<0>(0, 1);
+  tt->send_input<1>(0, 2);
+  world.fence();
+
+  world.execute();
+  ttg::atomic_ops::set_enabled(true);
+  ttg::atomic_ops::reset();
+  tt->send_input<0>(0, 1);
+  tt->send_input<1>(0, 2);
+  world.fence();
+  ttg::atomic_ops::set_enabled(false);
+  const auto snap = ttg::atomic_ops::snapshot();
+  const double tasks = kTasks + 1;
+  // One release per input per task; no retains (copies are created with
+  // their single consumer's reference).
+  EXPECT_NEAR(static_cast<double>(snap[AtomicOpCategory::kRefCount]) / tasks,
+              2.0, 0.05);
+}
+
+}  // namespace

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "baselines/bsp.hpp"
+#include "baselines/taskflow_mini.hpp"
+
+namespace {
+
+// ------------------------------------------------------------ taskflow_mini
+
+TEST(TaskflowMini, RunsIndependentTasks) {
+  tfm::Taskflow flow;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    flow.emplace([&count] { count.fetch_add(1); });
+  }
+  tfm::Executor exec(2);
+  exec.run(flow);
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(TaskflowMini, PrecedeEnforcesOrder) {
+  tfm::Taskflow flow;
+  std::atomic<int> stage{0};
+  auto a = flow.emplace([&] {
+    EXPECT_EQ(stage.load(), 0);
+    stage.store(1);
+  });
+  auto b = flow.emplace([&] {
+    EXPECT_EQ(stage.load(), 1);
+    stage.store(2);
+  });
+  auto c = flow.emplace([&] {
+    EXPECT_EQ(stage.load(), 2);
+    stage.store(3);
+  });
+  a.precede(b);
+  b.precede(c);
+  tfm::Executor exec(2);
+  exec.run(flow);
+  EXPECT_EQ(stage.load(), 3);
+}
+
+TEST(TaskflowMini, DiamondJoinWaitsForBothBranches) {
+  tfm::Taskflow flow;
+  std::atomic<int> branches{0};
+  std::atomic<int> join_saw{-1};
+  auto src = flow.emplace([] {});
+  auto l = flow.emplace([&] { branches.fetch_add(1); });
+  auto r = flow.emplace([&] { branches.fetch_add(1); });
+  auto join = flow.emplace([&] { join_saw.store(branches.load()); });
+  src.precede(l);
+  src.precede(r);
+  l.precede(join);
+  r.precede(join);
+  tfm::Executor exec(4);
+  exec.run(flow);
+  EXPECT_EQ(join_saw.load(), 2);
+}
+
+TEST(TaskflowMini, LongSerialChain) {
+  tfm::Taskflow flow;
+  constexpr int kLen = 5000;
+  std::atomic<int> last{-1};
+  std::vector<tfm::Task> tasks;
+  for (int i = 0; i < kLen; ++i) {
+    tasks.push_back(flow.emplace([&last, i] {
+      EXPECT_EQ(last.load(), i - 1);
+      last.store(i);
+    }));
+    if (i > 0) tasks[i - 1].precede(tasks[i]);
+  }
+  tfm::Executor exec(2);
+  exec.run(flow);
+  EXPECT_EQ(last.load(), kLen - 1);
+}
+
+// ------------------------------------------------------------------- bsp
+
+TEST(Bsp, RanksSeeTheirIds) {
+  bsp::Communicator comm(4);
+  std::atomic<int> id_sum{0};
+  comm.run([&](bsp::Rank& rank) {
+    EXPECT_EQ(rank.size(), 4);
+    id_sum.fetch_add(rank.id());
+  });
+  EXPECT_EQ(id_sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(Bsp, PointToPointMessage) {
+  bsp::Communicator comm(2);
+  comm.run([&](bsp::Rank& rank) {
+    if (rank.id() == 0) {
+      rank.send(1, /*tag=*/7, 12345);
+    } else {
+      EXPECT_EQ(rank.recv<int>(0, 7), 12345);
+    }
+  });
+}
+
+TEST(Bsp, TagsDisambiguateMessages) {
+  bsp::Communicator comm(2);
+  comm.run([&](bsp::Rank& rank) {
+    if (rank.id() == 0) {
+      rank.send(1, /*tag=*/1, 100);
+      rank.send(1, /*tag=*/2, 200);
+    } else {
+      // Receive out of order by tag.
+      EXPECT_EQ(rank.recv<int>(0, 2), 200);
+      EXPECT_EQ(rank.recv<int>(0, 1), 100);
+    }
+  });
+}
+
+TEST(Bsp, ArrayPayload) {
+  bsp::Communicator comm(2);
+  comm.run([&](bsp::Rank& rank) {
+    if (rank.id() == 0) {
+      std::vector<double> data(64);
+      std::iota(data.begin(), data.end(), 0.0);
+      rank.send(1, 0, data.data(), data.size());
+    } else {
+      std::vector<double> data(64, -1.0);
+      rank.recv(0, 0, data.data(), data.size());
+      for (int i = 0; i < 64; ++i) EXPECT_DOUBLE_EQ(data[i], i);
+    }
+  });
+}
+
+TEST(Bsp, BarrierSynchronizesPhases) {
+  constexpr int kRanks = 4;
+  constexpr int kPhases = 50;
+  bsp::Communicator comm(kRanks);
+  std::atomic<int> phase_counts[kPhases];
+  for (auto& c : phase_counts) c.store(0);
+  std::atomic<bool> violation{false};
+  comm.run([&](bsp::Rank& rank) {
+    for (int p = 0; p < kPhases; ++p) {
+      phase_counts[p].fetch_add(1);
+      rank.barrier();
+      // After the barrier, every rank must have entered this phase.
+      if (phase_counts[p].load() != kRanks) violation.store(true);
+      rank.barrier();
+    }
+  });
+  EXPECT_FALSE(violation.load());
+}
+
+TEST(Bsp, RingPass) {
+  constexpr int kRanks = 4;
+  bsp::Communicator comm(kRanks);
+  std::atomic<int> final_value{0};
+  comm.run([&](bsp::Rank& rank) {
+    int token = 1;
+    if (rank.id() == 0) {
+      rank.send(1, 0, token);
+      token = rank.recv<int>(kRanks - 1, 0);
+      final_value.store(token);
+    } else {
+      token = rank.recv<int>(rank.id() - 1, 0);
+      rank.send((rank.id() + 1) % kRanks, 0, token + 1);
+    }
+  });
+  EXPECT_EQ(final_value.load(), kRanks);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/busy_wait.hpp"
+#include "common/cache.hpp"
+#include "common/cycle_clock.hpp"
+#include "common/rng.hpp"
+#include "common/thread_id.hpp"
+
+namespace {
+
+TEST(CachePadded, ElementsDoNotShareCacheLines) {
+  ttg::CachePadded<int> arr[4];
+  for (int i = 0; i < 3; ++i) {
+    const auto a = reinterpret_cast<std::uintptr_t>(&arr[i].value);
+    const auto b = reinterpret_cast<std::uintptr_t>(&arr[i + 1].value);
+    EXPECT_GE(b - a, ttg::kCacheLineSize);
+  }
+}
+
+TEST(CycleClock, Monotonic) {
+  const std::uint64_t a = ttg::rdtsc();
+  const std::uint64_t b = ttg::rdtsc();
+  EXPECT_GE(b, a);
+}
+
+TEST(CycleClock, CalibrationIsPositiveAndStable) {
+  const double r1 = ttg::cycles_per_ns();
+  const double r2 = ttg::cycles_per_ns();
+  EXPECT_GT(r1, 0.0);
+  EXPECT_DOUBLE_EQ(r1, r2);  // cached after first call
+}
+
+TEST(CycleClock, RoundTripConversion) {
+  const std::uint64_t cycles = ttg::ns_to_cycles(1000.0);
+  const double ns = ttg::cycles_to_ns(cycles);
+  EXPECT_NEAR(ns, 1000.0, 10.0);
+}
+
+TEST(BusyWait, WaitsAtLeastRequestedCycles) {
+  const std::uint64_t target = 100000;
+  const std::uint64_t start = ttg::rdtsc();
+  ttg::busy_wait_cycles(target);
+  EXPECT_GE(ttg::rdtsc() - start, target);
+}
+
+TEST(BusyWait, ZeroCyclesReturnsImmediately) {
+  ttg::busy_wait_cycles(0);  // must not hang
+  SUCCEED();
+}
+
+TEST(Backoff, PausesWithoutCrashing) {
+  ttg::Backoff b;
+  for (int i = 0; i < 20; ++i) b.pause();
+  b.reset();
+  b.pause();
+  SUCCEED();
+}
+
+TEST(ThreadId, StableWithinThread) {
+  const int a = ttg::this_thread::id();
+  const int b = ttg::this_thread::id();
+  EXPECT_EQ(a, b);
+  EXPECT_GE(a, 0);
+  EXPECT_LT(a, ttg::kMaxThreads);
+}
+
+TEST(ThreadId, DistinctAcrossThreads) {
+  const int mine = ttg::this_thread::id();
+  std::set<int> ids;
+  std::mutex m;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      const int id = ttg::this_thread::id();
+      std::lock_guard<std::mutex> g(m);
+      ids.insert(id);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ids.size(), 8u);
+  EXPECT_EQ(ids.count(mine), 0u);
+}
+
+TEST(Rng, SplitMixDeterministic) {
+  ttg::SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  ttg::SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  ttg::SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, Mix64IsBijectiveish) {
+  // Distinct inputs must map to distinct outputs on a decent sample.
+  std::set<std::uint64_t> outs;
+  for (std::uint64_t i = 0; i < 10000; ++i) outs.insert(ttg::mix64(i));
+  EXPECT_EQ(outs.size(), 10000u);
+}
+
+}  // namespace

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <tuple>
+
+#include "runtime/context.hpp"
+#include "structures/mempool.hpp"
+
+namespace {
+
+struct CountingTask : ttg::TaskBase {
+  std::atomic<int>* counter;
+};
+
+void count_and_free(ttg::TaskBase* base, ttg::Worker&) {
+  auto* task = static_cast<CountingTask*>(base);
+  task->counter->fetch_add(1);
+  ttg::MemoryPool* pool = task->pool;
+  task->~CountingTask();
+  pool->deallocate(task);
+}
+
+struct TreeTask : ttg::TaskBase {
+  std::atomic<int>* counter;
+  int depth;
+};
+
+void tree_execute(ttg::TaskBase* base, ttg::Worker& worker) {
+  auto* task = static_cast<TreeTask*>(base);
+  task->counter->fetch_add(1);
+  if (task->depth > 0) {
+    ttg::Context& ctx = worker.context();
+    for (int i = 0; i < 2; ++i) {
+      auto* child = new (task->pool->allocate()) TreeTask;
+      child->execute = &tree_execute;
+      child->pool = task->pool;
+      child->counter = task->counter;
+      child->depth = task->depth - 1;
+      child->priority = child->depth;
+      ctx.spawn(child);
+    }
+  }
+  ttg::MemoryPool* pool = task->pool;
+  task->~TreeTask();
+  pool->deallocate(task);
+}
+
+class ContextConfigTest
+    : public ::testing::TestWithParam<std::tuple<ttg::SchedulerType, int>> {
+ protected:
+  ttg::Config make_config() {
+    ttg::Config cfg = ttg::Config::optimized();
+    cfg.scheduler = std::get<0>(GetParam());
+    cfg.num_threads = std::get<1>(GetParam());
+    return cfg;
+  }
+};
+
+TEST_P(ContextConfigTest, ExecutesAllSpawnedTasks) {
+  ttg::Context ctx(make_config());
+  ttg::MemoryPool pool(sizeof(CountingTask));
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 5000;
+  ctx.begin();
+  for (int i = 0; i < kTasks; ++i) {
+    auto* task = new (pool.allocate()) CountingTask;
+    task->execute = &count_and_free;
+    task->pool = &pool;
+    task->counter = &counter;
+    ctx.spawn(task);
+  }
+  ctx.fence();
+  EXPECT_EQ(counter.load(), kTasks);
+  EXPECT_EQ(ctx.total_tasks_executed(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST_P(ContextConfigTest, RecursiveBinaryTreeCompletes) {
+  ttg::Context ctx(make_config());
+  ttg::MemoryPool pool(sizeof(TreeTask));
+  std::atomic<int> counter{0};
+  constexpr int kDepth = 12;  // 2^13 - 1 tasks
+  ctx.begin();
+  auto* root = new (pool.allocate()) TreeTask;
+  root->execute = &tree_execute;
+  root->pool = &pool;
+  root->counter = &counter;
+  root->depth = kDepth;
+  ctx.spawn(root);
+  ctx.fence();
+  EXPECT_EQ(counter.load(), (1 << (kDepth + 1)) - 1);
+}
+
+TEST_P(ContextConfigTest, MultipleEpochsReuseWorkers) {
+  ttg::Context ctx(make_config());
+  ttg::MemoryPool pool(sizeof(CountingTask));
+  std::atomic<int> counter{0};
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    ctx.begin();
+    for (int i = 0; i < 100; ++i) {
+      auto* task = new (pool.allocate()) CountingTask;
+      task->execute = &count_and_free;
+      task->pool = &pool;
+      task->counter = &counter;
+      ctx.spawn(task);
+    }
+    ctx.fence();
+    EXPECT_EQ(counter.load(), (epoch + 1) * 100);
+    ctx.reset_epoch();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, ContextConfigTest,
+    ::testing::Combine(::testing::Values(ttg::SchedulerType::kLFQ,
+                                         ttg::SchedulerType::kLL,
+                                         ttg::SchedulerType::kLLP),
+                       ::testing::Values(1, 2, 4)),
+    [](const auto& info) {
+      return std::string(ttg::to_string(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param)) + "threads";
+    });
+
+TEST(Context, FenceWithNoWorkReturns) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 2;
+  ttg::Context ctx(cfg);
+  ctx.begin();
+  ctx.fence();  // must not hang
+  SUCCEED();
+}
+
+TEST(Context, OriginalConfigAlsoRuns) {
+  ttg::Config cfg = ttg::Config::original();
+  cfg.num_threads = 2;
+  ttg::Context ctx(cfg);
+  ttg::MemoryPool pool(sizeof(CountingTask));
+  std::atomic<int> counter{0};
+  ctx.begin();
+  for (int i = 0; i < 500; ++i) {
+    auto* task = new (pool.allocate()) CountingTask;
+    task->execute = &count_and_free;
+    task->pool = &pool;
+    task->counter = &counter;
+    ctx.spawn(task);
+  }
+  ctx.fence();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(Context, CurrentWorkerVisibleInsideTasks) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 2;
+  ttg::Context ctx(cfg);
+  ttg::MemoryPool pool(sizeof(CountingTask));
+  std::atomic<int> ok{0};
+  struct ProbeTask : ttg::TaskBase {
+    std::atomic<int>* ok;
+    ttg::Context* expect_ctx;
+  };
+  auto* task = new (pool.allocate()) ProbeTask;
+  task->execute = [](ttg::TaskBase* base, ttg::Worker& worker) {
+    auto* t = static_cast<ProbeTask*>(base);
+    ttg::Worker* current = ttg::Context::current_worker();
+    if (current == &worker && &worker.context() == t->expect_ctx &&
+        worker.index() >= 0) {
+      t->ok->fetch_add(1);
+    }
+    ttg::MemoryPool* pool = t->pool;
+    t->~ProbeTask();
+    pool->deallocate(t);
+  };
+  task->pool = &pool;
+  task->ok = &ok;
+  task->expect_ctx = &ctx;
+  ctx.begin();
+  ctx.spawn(task);
+  ctx.fence();
+  EXPECT_EQ(ok.load(), 1);
+  EXPECT_EQ(ttg::Context::current_worker(), nullptr);  // main thread
+}
+
+}  // namespace

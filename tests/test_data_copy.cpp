@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "runtime/data_copy.hpp"
+
+namespace {
+
+struct TrackedValue {
+  static inline int live = 0;
+  int payload = 0;
+  explicit TrackedValue(int p) : payload(p) { ++live; }
+  TrackedValue(const TrackedValue& o) : payload(o.payload) { ++live; }
+  TrackedValue(TrackedValue&& o) noexcept : payload(o.payload) { ++live; }
+  ~TrackedValue() { --live; }
+};
+
+TEST(DataCopy, StartsUnique) {
+  auto* copy = ttg::make_copy<int>(42);
+  EXPECT_TRUE(copy->unique());
+  EXPECT_EQ(copy->use_count(), 1);
+  EXPECT_EQ(copy->value(), 42);
+  copy->release();
+}
+
+TEST(DataCopy, RetainReleaseCounts) {
+  auto* copy = ttg::make_copy<std::string>(std::string("hello"));
+  copy->retain(2);
+  EXPECT_EQ(copy->use_count(), 3);
+  EXPECT_FALSE(copy->unique());
+  copy->release();
+  copy->release();
+  EXPECT_TRUE(copy->unique());
+  copy->release();  // destroys
+}
+
+TEST(DataCopy, LastReleaseDestroysValue) {
+  TrackedValue::live = 0;
+  auto* copy = ttg::make_copy<TrackedValue>(TrackedValue(7));
+  EXPECT_EQ(TrackedValue::live, 1);
+  copy->retain();
+  copy->release();
+  EXPECT_EQ(TrackedValue::live, 1);  // still one reference
+  copy->release();
+  EXPECT_EQ(TrackedValue::live, 0);  // destroyed with the copy
+}
+
+TEST(DataCopy, HoldsMoveOnlyConstructibleValues) {
+  auto* copy =
+      ttg::make_copy<std::vector<int>>(std::vector<int>{1, 2, 3});
+  EXPECT_EQ(copy->value().size(), 3u);
+  // Mutable access, like a task body modifying its input in place.
+  copy->value().push_back(4);
+  EXPECT_EQ(copy->value()[3], 4);
+  copy->release();
+}
+
+TEST(DataCopy, RefcountAtomicsAreAccounted) {
+  ttg::atomic_ops::set_enabled(true);
+  ttg::atomic_ops::reset();
+  auto* copy = ttg::make_copy<int>(1);
+  copy->retain(3);  // 1 RMW regardless of count
+  copy->release();
+  copy->release();
+  copy->release();
+  copy->release();
+  const auto snap = ttg::atomic_ops::snapshot();
+  EXPECT_EQ(snap[ttg::AtomicOpCategory::kRefCount], 5u);
+  ttg::atomic_ops::set_enabled(false);
+}
+
+}  // namespace

@@ -1,0 +1,198 @@
+// Edge cases and less-traveled paths across modules.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "runtime/config.hpp"
+#include "structures/hash_table.hpp"
+#include "sync/bravo.hpp"
+#include "ttg/keys.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+// ----------------------------------------------------------------- config
+
+TEST(Config, DescribeMentionsEveryKnob) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 3;
+  cfg.inline_max_depth = 5;
+  cfg.bundle_successors = false;
+  const std::string d = cfg.describe();
+  EXPECT_NE(d.find("threads=3"), std::string::npos);
+  EXPECT_NE(d.find("sched=LLP"), std::string::npos);
+  EXPECT_NE(d.find("thread-local"), std::string::npos);
+  EXPECT_NE(d.find("bravo"), std::string::npos);
+  EXPECT_NE(d.find("relaxed"), std::string::npos);
+  EXPECT_NE(d.find("inline=5"), std::string::npos);
+  EXPECT_NE(d.find("bundling=off"), std::string::npos);
+}
+
+TEST(Config, OriginalDescribesTheBaseline) {
+  const std::string d = ttg::Config::original().describe();
+  EXPECT_NE(d.find("sched=LFQ"), std::string::npos);
+  EXPECT_NE(d.find("process-atomic"), std::string::npos);
+  EXPECT_NE(d.find("plain"), std::string::npos);
+  EXPECT_NE(d.find("seq_cst"), std::string::npos);
+}
+
+TEST(Config, ZeroThreadsResolvesToHardware) {
+  ttg::Config cfg;
+  cfg.num_threads = 0;
+  EXPECT_GE(cfg.threads(), 1);
+}
+
+// ------------------------------------------------------------------ BRAVO
+
+TEST(Bravo, BiasReArmsAfterCooldown) {
+  ttg::set_bravo_enabled(true);
+  ttg::BravoRWLock<> lock(8);
+  // Revoke the bias with a write.
+  lock.write_lock();
+  lock.write_unlock();
+  ASSERT_FALSE(lock.reader_biased());
+  // Keep taking read locks; once the cool-down passes, a reader re-arms
+  // the bias and subsequent readers take the fast path again.
+  bool rearmed = false;
+  for (int i = 0; i < 2000000 && !rearmed; ++i) {
+    auto token = lock.read_lock();
+    lock.read_unlock(token);
+    rearmed = lock.reader_biased();
+  }
+  EXPECT_TRUE(rearmed);
+  auto token = lock.read_lock();
+  EXPECT_NE(token.slot, nullptr);
+  lock.read_unlock(token);
+}
+
+// -------------------------------------------------------------- hash table
+
+TEST(HashTable, AccessorMoveTransfersOwnership) {
+  ttg::ScalableHashTable table(4);
+  struct Item : ttg::HashItemBase {
+    int v = 0;
+  } item;
+  item.hash = 0x42;
+  {
+    auto acc = table.lock_key(0x42);
+    auto moved = std::move(acc);  // the moved-to accessor releases
+    moved.insert(&item);
+  }
+  {
+    auto acc = table.lock_key(0x42);
+    EXPECT_NE(acc.find([](const ttg::HashItemBase*) { return true; }),
+              nullptr);
+    acc.remove([](const ttg::HashItemBase*) { return true; });
+  }
+}
+
+TEST(HashTable, ExplicitReleaseThenDestructorIsSafe) {
+  ttg::ScalableHashTable table(4);
+  auto acc = table.lock_key(7);
+  acc.release();
+  acc.release();  // idempotent
+}
+
+// -------------------------------------------------------------------- keys
+
+TEST(KeyHash, TupleAndPairHashesSpread) {
+  ttg::KeyHash<std::pair<int, int>> ph;
+  EXPECT_NE(ph({1, 2}), ph({2, 1}));
+  ttg::KeyHash<std::tuple<int, int, int>> th;
+  EXPECT_NE(th({1, 2, 3}), th({3, 2, 1}));
+  EXPECT_EQ(th({1, 2, 3}), th({1, 2, 3}));
+}
+
+TEST(KeyHash, StringKeysHash) {
+  ttg::KeyHash<std::string> h;
+  EXPECT_NE(h("alpha"), h("beta"));
+}
+
+TEST(KeyHash, VoidComparesEqual) {
+  EXPECT_TRUE(ttg::Void{} == ttg::Void{});
+}
+
+// --------------------------------------------------------------- terminals
+
+TEST(OutTerminal, ReportsConsumerCount) {
+  ttg::World world(ttg::Config::optimized());
+  ttg::Edge<int, int> e("e");
+  auto a = ttg::make_tt<int>([](const int&, int&, auto&) {},
+                             ttg::edges(e), ttg::edges(), "a", world);
+  auto b = ttg::make_tt<int>([](const int&, int&, auto&) {},
+                             ttg::edges(e), ttg::edges(), "b", world);
+  ttg::Edge<int, ttg::Void> go("go");
+  auto src = ttg::make_tt<int>(
+      [](const int&, const ttg::Void&, auto& outs) {
+        EXPECT_EQ(std::get<0>(outs).num_consumers(), 2u);
+      },
+      ttg::edges(go), ttg::edges(e), "src", world);
+  world.execute();
+  src->sendk_input<0>(0);
+  world.fence();
+  (void)a;
+  (void)b;
+}
+
+TEST(OutTerminal, BroadcastkFansOutControlFlow) {
+  ttg::World world(ttg::Config::optimized());
+  ttg::Edge<int, ttg::Void> work("work"), go("go");
+  std::atomic<int> fired{0};
+  auto leaf = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) { fired.fetch_add(1); },
+      ttg::edges(work), ttg::edges(), "leaf", world);
+  auto src = ttg::make_tt<int>(
+      [](const int&, const ttg::Void&, auto& outs) {
+        const std::vector<int> keys{1, 2, 3, 4, 5};
+        ttg::broadcastk<0>(keys, outs);
+      },
+      ttg::edges(go), ttg::edges(work), "src", world);
+  world.execute();
+  src->sendk_input<0>(0);
+  world.fence();
+  EXPECT_EQ(fired.load(), 5);
+  (void)leaf;
+}
+
+// ------------------------------------------------------------- empty graph
+
+TEST(EdgeCase, ZeroWidthAggregate) {
+  // An aggregator whose count callback returns 0 for a key never fires —
+  // and never blocks termination because no record is created without at
+  // least one arrival.
+  ttg::World world(ttg::Config::optimized());
+  ttg::Edge<int, int> in("in");
+  std::atomic<int> fired{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Aggregator<int>&, auto&) {
+        fired.fetch_add(1);
+      },
+      ttg::edges(ttg::make_aggregator(in, 2)), ttg::edges(), "agg",
+      world);
+  world.execute();
+  tt->send_input<0>(0, 1);  // 1 of 2: stays pending through the fence?
+  tt->send_input<0>(0, 2);  // completes
+  world.fence();
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(EdgeCase, ManySmallEpochs) {
+  ttg::World world(ttg::Config::optimized());
+  ttg::Edge<int, ttg::Void> e("e");
+  std::atomic<int> n{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) { n.fetch_add(1); },
+      ttg::edges(e), ttg::edges(), "leaf", world);
+  for (int epoch = 0; epoch < 50; ++epoch) {
+    world.execute();
+    tt->sendk_input<0>(epoch);
+    world.fence();
+  }
+  EXPECT_EQ(n.load(), 50);
+}
+
+}  // namespace

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "structures/bounded_buffer.hpp"
+#include "structures/fifo.hpp"
+
+namespace {
+
+struct Node : ttg::LifoNode {
+  int id = 0;
+};
+
+// ------------------------------------------------------------- LockedFifo
+
+TEST(LockedFifo, FifoOrder) {
+  ttg::LockedFifo fifo;
+  Node nodes[3];
+  for (int i = 0; i < 3; ++i) {
+    nodes[i].id = i;
+    fifo.push(&nodes[i]);
+  }
+  EXPECT_EQ(static_cast<Node*>(fifo.pop())->id, 0);
+  EXPECT_EQ(static_cast<Node*>(fifo.pop())->id, 1);
+  EXPECT_EQ(static_cast<Node*>(fifo.pop())->id, 2);
+  EXPECT_EQ(fifo.pop(), nullptr);
+}
+
+TEST(LockedFifo, SizeTracksPushPop) {
+  ttg::LockedFifo fifo;
+  Node nodes[5];
+  EXPECT_TRUE(fifo.empty());
+  for (auto& n : nodes) fifo.push(&n);
+  EXPECT_EQ(fifo.approx_size(), 5u);
+  fifo.pop();
+  EXPECT_EQ(fifo.approx_size(), 4u);
+}
+
+TEST(LockedFifo, ConcurrentProducersConsumers) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  ttg::LockedFifo fifo;
+  std::vector<Node> nodes(kThreads * kPerThread);
+  std::atomic<int> consumed{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        fifo.push(&nodes[static_cast<std::size_t>(t) * kPerThread + i]);
+      }
+    });
+  }
+  std::thread consumer([&] {
+    while (!done.load() || !fifo.empty()) {
+      if (fifo.pop() != nullptr) consumed.fetch_add(1);
+    }
+  });
+  for (auto& t : producers) t.join();
+  done.store(true);
+  consumer.join();
+  EXPECT_EQ(consumed.load(), kThreads * kPerThread);
+}
+
+// -------------------------------------------------- BoundedPriorityBuffer
+
+TEST(BoundedBuffer, PushUntilFullThenOverflow) {
+  ttg::BoundedPriorityBuffer<4> buf;
+  Node nodes[5];
+  for (int i = 0; i < 4; ++i) {
+    nodes[i].priority = 10;
+    EXPECT_EQ(buf.push(&nodes[i]), nullptr);
+  }
+  // Equal priority: the newcomer is the overflow victim.
+  nodes[4].priority = 10;
+  EXPECT_EQ(buf.push(&nodes[4]), &nodes[4]);
+}
+
+TEST(BoundedBuffer, HigherPriorityEvictsLowest) {
+  ttg::BoundedPriorityBuffer<2> buf;
+  Node low, mid, high;
+  low.priority = 1;
+  mid.priority = 5;
+  high.priority = 9;
+  EXPECT_EQ(buf.push(&low), nullptr);
+  EXPECT_EQ(buf.push(&mid), nullptr);
+  // Full; high evicts low, which must be routed to the overflow queue.
+  EXPECT_EQ(buf.push(&high), &low);
+  EXPECT_EQ(static_cast<Node*>(buf.pop_best()), &high);
+  EXPECT_EQ(static_cast<Node*>(buf.pop_best()), &mid);
+  EXPECT_EQ(buf.pop_best(), nullptr);
+}
+
+TEST(BoundedBuffer, PopBestIsPriorityOrdered) {
+  ttg::BoundedPriorityBuffer<8> buf;
+  Node nodes[5];
+  const int prios[5] = {3, 9, 1, 7, 5};
+  for (int i = 0; i < 5; ++i) {
+    nodes[i].priority = prios[i];
+    buf.push(&nodes[i]);
+  }
+  int last = 100;
+  for (int i = 0; i < 5; ++i) {
+    Node* n = static_cast<Node*>(buf.pop_best());
+    ASSERT_NE(n, nullptr);
+    EXPECT_LE(n->priority, last);
+    last = n->priority;
+  }
+}
+
+TEST(BoundedBuffer, StealTakesOne) {
+  ttg::BoundedPriorityBuffer<4> buf;
+  Node a, b;
+  buf.push(&a);
+  buf.push(&b);
+  EXPECT_NE(buf.steal(), nullptr);
+  EXPECT_NE(buf.steal(), nullptr);
+  EXPECT_EQ(buf.steal(), nullptr);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(BoundedBuffer, ConcurrentOwnersAndThieves) {
+  constexpr int kNodes = 20000;
+  ttg::BoundedPriorityBuffer<8> buf;
+  std::vector<Node> nodes(kNodes);
+  std::vector<std::atomic<int>> seen(kNodes);
+  for (auto& s : seen) s.store(0);
+  std::atomic<int> total{0};
+  std::atomic<bool> done{false};
+
+  std::thread thief([&] {
+    while (!done.load() || !buf.empty()) {
+      if (ttg::LifoNode* p = buf.steal(); p != nullptr) {
+        seen[static_cast<Node*>(p)->id].fetch_add(1);
+        total.fetch_add(1);
+      }
+    }
+  });
+  for (int i = 0; i < kNodes; ++i) {
+    nodes[i].id = i;
+    nodes[i].priority = i % 13;
+    ttg::LifoNode* overflow = buf.push(&nodes[i]);
+    if (overflow != nullptr) {
+      // Account overflowed tasks as immediately consumed.
+      seen[static_cast<Node*>(overflow)->id].fetch_add(1);
+      total.fetch_add(1);
+    }
+  }
+  done.store(true);
+  thief.join();
+  while (ttg::LifoNode* p = buf.pop_best()) {
+    seen[static_cast<Node*>(p)->id].fetch_add(1);
+    total.fetch_add(1);
+  }
+  EXPECT_EQ(total.load(), kNodes);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+}  // namespace

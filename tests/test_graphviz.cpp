@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ttg/graphviz.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+TEST(Graphviz, RendersTaskBenchShapedGraph) {
+  // The paper's Fig. 2a: Init -> Point (self-loop) -> WriteBack.
+  ttg::World world(ttg::Config::optimized());
+  ttg::Edge<int, int> p2p("P2P"), p2w("P2W");
+  ttg::Edge<int, ttg::Void> i2p("I2P");
+
+  auto init = ttg::make_tt<int>(
+      [](const int& k, const ttg::Void&, auto& outs) {
+        ttg::send<0>(k, 0, outs);
+      },
+      ttg::edges(i2p), ttg::edges(p2p), "Init", world);
+  auto point = ttg::make_tt<int>(
+      [](const int& k, int& v, auto& outs) {
+        if (k > 0) {
+          ttg::send<0>(k - 1, v + 0, outs);
+        } else {
+          ttg::send<1>(k, v + 0, outs);
+        }
+      },
+      ttg::edges(p2p), ttg::edges(p2p, p2w), "Point", world);
+  auto wb = ttg::make_tt<int>([](const int&, int&, auto&) {},
+                              ttg::edges(p2w), ttg::edges(), "WriteBack",
+                              world);
+
+  const std::string dot =
+      ttg::graphviz({init.get(), point.get(), wb.get()}, "taskbench");
+
+  EXPECT_NE(dot.find("digraph \"taskbench\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"Init\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"Point\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"WriteBack\""), std::string::npos);
+  // Init -> Point and Point -> Point (self loop) over P2P.
+  EXPECT_NE(dot.find("tt0 -> tt1 [label=\"P2P\"]"), std::string::npos);
+  EXPECT_NE(dot.find("tt1 -> tt1 [label=\"P2P\"]"), std::string::npos);
+  // Point -> WriteBack over P2W.
+  EXPECT_NE(dot.find("tt1 -> tt2 [label=\"P2W\"]"), std::string::npos);
+  // The I2P edge has no producer TT: rendered as a graph input.
+  EXPECT_NE(dot.find("label=\"I2P\""), std::string::npos);
+  EXPECT_NE(dot.find("in0 -> tt0"), std::string::npos);
+
+  // The graph still executes after rendering.
+  world.execute();
+  init->sendk_input<0>(5);
+  world.fence();
+  EXPECT_EQ(world.total_tasks_executed(), 8u);  // 1 init + 6 points + 1 wb
+}
+
+TEST(Graphviz, PortsRecordWiring) {
+  ttg::World world(ttg::Config::optimized());
+  ttg::Edge<int, int> a("a"), b("b");
+  auto tt = ttg::make_tt<int>([](const int&, int&, int&, auto&) {},
+                              ttg::edges(a, b), ttg::edges(), "join",
+                              world);
+  ASSERT_EQ(tt->input_ports().size(), 2u);
+  EXPECT_EQ(tt->input_ports()[0].edge_name, "a");
+  EXPECT_EQ(tt->input_ports()[1].edge_name, "b");
+  EXPECT_EQ(tt->input_ports()[0].edge, a.impl());
+  EXPECT_TRUE(tt->output_ports().empty());
+}
+
+}  // namespace

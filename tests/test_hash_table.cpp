@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "structures/hash_table.hpp"
+
+namespace {
+
+struct Item : ttg::HashItemBase {
+  std::uint64_t key = 0;
+  int payload = 0;
+};
+
+auto key_eq(std::uint64_t key) {
+  return [key](const ttg::HashItemBase* item) {
+    return static_cast<const Item*>(item)->key == key;
+  };
+}
+
+Item* make_item(std::uint64_t key, int payload = 0) {
+  auto* item = new Item;
+  item->key = key;
+  item->hash = ttg::mix64(key);
+  item->payload = payload;
+  return item;
+}
+
+void insert_item(ttg::ScalableHashTable& table, Item* item) {
+  auto acc = table.lock_key(item->hash);
+  acc.insert(item);
+}
+
+Item* find_item(ttg::ScalableHashTable& table, std::uint64_t key) {
+  auto acc = table.lock_key(ttg::mix64(key));
+  return static_cast<Item*>(acc.find(key_eq(key)));
+}
+
+Item* remove_item(ttg::ScalableHashTable& table, std::uint64_t key) {
+  auto acc = table.lock_key(ttg::mix64(key));
+  return static_cast<Item*>(acc.remove(key_eq(key)));
+}
+
+TEST(HashTable, InsertFindRemove) {
+  ttg::ScalableHashTable table(4);
+  Item* item = make_item(42, 7);
+  insert_item(table, item);
+  EXPECT_EQ(table.size(), 1u);
+  Item* found = find_item(table, 42);
+  ASSERT_EQ(found, item);
+  EXPECT_EQ(found->payload, 7);
+  Item* removed = remove_item(table, 42);
+  EXPECT_EQ(removed, item);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(find_item(table, 42), nullptr);
+  delete item;
+}
+
+TEST(HashTable, MissingKeyIsAbsent) {
+  ttg::ScalableHashTable table(4);
+  EXPECT_EQ(find_item(table, 9999), nullptr);
+  EXPECT_EQ(remove_item(table, 9999), nullptr);
+}
+
+TEST(HashTable, HashCollisionsResolvedByPredicate) {
+  ttg::ScalableHashTable table(2);
+  // Two items with identical hash but different keys.
+  auto* a = new Item;
+  auto* b = new Item;
+  a->key = 1;
+  b->key = 2;
+  a->hash = b->hash = 0x1234;
+  a->payload = 10;
+  b->payload = 20;
+  {
+    auto acc = table.lock_key(0x1234);
+    acc.insert(a);
+    acc.insert(b);
+  }
+  {
+    auto acc = table.lock_key(0x1234);
+    auto* f1 = static_cast<Item*>(acc.find(key_eq(1)));
+    auto* f2 = static_cast<Item*>(acc.find(key_eq(2)));
+    ASSERT_NE(f1, nullptr);
+    ASSERT_NE(f2, nullptr);
+    EXPECT_EQ(f1->payload, 10);
+    EXPECT_EQ(f2->payload, 20);
+  }
+  delete remove_item(table, 1);
+  delete remove_item(table, 2);
+}
+
+TEST(HashTable, GrowsByChainingTables) {
+  // Tiny table + low threshold: inserting many keys must chain new main
+  // tables (Fig. 3) rather than rehashing in place.
+  ttg::ScalableHashTable table(/*initial_log2_buckets=*/1,
+                               /*fill_threshold=*/4);
+  constexpr int kN = 256;
+  std::vector<Item*> items;
+  for (int i = 0; i < kN; ++i) {
+    items.push_back(make_item(static_cast<std::uint64_t>(i), i));
+    insert_item(table, items.back());
+  }
+  EXPECT_EQ(table.size(), static_cast<std::size_t>(kN));
+  EXPECT_GT(table.num_tables(), 1);
+  EXPECT_GT(table.main_table_buckets(), 2u);
+  // Every key stays findable across the chain.
+  for (int i = 0; i < kN; ++i) {
+    Item* f = find_item(table, static_cast<std::uint64_t>(i));
+    ASSERT_NE(f, nullptr) << "key " << i;
+    EXPECT_EQ(f->payload, i);
+  }
+  for (auto* item : items) {
+    EXPECT_EQ(remove_item(table, item->key), item);
+    delete item;
+  }
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(HashTable, FindMigratesFromOldTables) {
+  ttg::ScalableHashTable table(1, 4);
+  std::vector<Item*> items;
+  for (int i = 0; i < 64; ++i) {
+    items.push_back(make_item(static_cast<std::uint64_t>(i)));
+    insert_item(table, items.back());
+  }
+  ASSERT_GT(table.num_tables(), 1);
+  // Touch every key: finds migrate entries into the main table, draining
+  // old tables, which then get retired.
+  for (auto* item : items) {
+    EXPECT_NE(find_item(table, item->key), nullptr);
+  }
+  table.retire_empty_tables();
+  EXPECT_EQ(table.num_tables(), 1);
+  EXPECT_EQ(table.size(), items.size());
+  for (auto* item : items) {
+    delete remove_item(table, item->key);
+  }
+}
+
+TEST(HashTable, RemoveDrainsOldTablesAndRetires) {
+  ttg::ScalableHashTable table(1, 4);
+  std::vector<Item*> items;
+  for (int i = 0; i < 64; ++i) {
+    items.push_back(make_item(static_cast<std::uint64_t>(i)));
+    insert_item(table, items.back());
+  }
+  ASSERT_GT(table.num_tables(), 1);
+  for (auto* item : items) {
+    delete remove_item(table, item->key);
+  }
+  EXPECT_EQ(table.size(), 0u);
+  table.retire_empty_tables();
+  EXPECT_EQ(table.num_tables(), 1);
+}
+
+TEST(HashTable, ForEachVisitsEverything) {
+  ttg::ScalableHashTable table(1, 4);
+  std::vector<Item*> items;
+  for (int i = 0; i < 40; ++i) {
+    items.push_back(make_item(static_cast<std::uint64_t>(i)));
+    insert_item(table, items.back());
+  }
+  std::uint64_t key_sum = 0;
+  int count = 0;
+  table.for_each_exclusive([&](ttg::HashItemBase* item) {
+    key_sum += static_cast<Item*>(item)->key;
+    ++count;
+  });
+  EXPECT_EQ(count, 40);
+  EXPECT_EQ(key_sum, 40u * 39u / 2u);
+  for (auto* item : items) delete remove_item(table, item->key);
+}
+
+struct StressParams {
+  int threads;
+  int keys_per_thread;
+};
+
+class HashTableStressTest
+    : public ::testing::TestWithParam<StressParams> {};
+
+TEST_P(HashTableStressTest, ConcurrentInsertFindRemove) {
+  const auto [nthreads, nkeys] = GetParam();
+  ttg::ScalableHashTable table(2, 8);
+  std::atomic<int> found_errors{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread owns a disjoint key range and hammers the typical
+      // TTG pattern: lock key -> find -> insert/remove -> unlock.
+      const std::uint64_t base =
+          static_cast<std::uint64_t>(t) * 1000000ULL;
+      std::vector<Item*> mine;
+      for (int i = 0; i < nkeys; ++i) {
+        Item* item = make_item(base + i, i);
+        {
+          auto acc = table.lock_key(item->hash);
+          if (acc.find(key_eq(item->key)) != nullptr) {
+            found_errors.fetch_add(1);
+          }
+          acc.insert(item);
+        }
+        mine.push_back(item);
+        // Periodically remove half of what we inserted.
+        if (i % 2 == 1) {
+          Item* victim = mine[mine.size() - 2];
+          auto acc = table.lock_key(victim->hash);
+          auto* removed =
+              static_cast<Item*>(acc.remove(key_eq(victim->key)));
+          acc.release();
+          if (removed != victim) {
+            found_errors.fetch_add(1);
+          } else {
+            delete removed;
+          }
+          mine.erase(mine.end() - 2);
+        }
+      }
+      // Everything we still own must be present with the right payload.
+      for (Item* item : mine) {
+        auto acc = table.lock_key(item->hash);
+        auto* f = static_cast<Item*>(acc.find(key_eq(item->key)));
+        if (f != item) found_errors.fetch_add(1);
+      }
+      for (Item* item : mine) {
+        auto acc = table.lock_key(item->hash);
+        auto* removed = static_cast<Item*>(acc.remove(key_eq(item->key)));
+        acc.release();
+        if (removed == item) {
+          delete removed;
+        } else {
+          found_errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(found_errors.load(), 0);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Load, HashTableStressTest,
+    ::testing::Values(StressParams{1, 2000}, StressParams{2, 2000},
+                      StressParams{4, 1500}, StressParams{8, 800}));
+
+}  // namespace

@@ -1,0 +1,163 @@
+// Tests for the task-inlining extension (the paper's Sec. V-E
+// future-work item): eligible tasks execute directly in the discovering
+// worker up to a configurable nesting depth.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "ttg/ttg.hpp"
+
+namespace {
+
+ttg::Config inline_config(int depth, int threads = 1) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = threads;
+  cfg.inline_max_depth = depth;
+  return cfg;
+}
+
+TEST(InlineTasks, ChainResultsUnchanged) {
+  for (int depth : {0, 1, 8, 64}) {
+    ttg::World world(inline_config(depth));
+    ttg::Edge<int, long> e("chain");
+    std::atomic<long> last{-1};
+    auto tt = ttg::make_tt<int>(
+        [&](const int& k, long& v, auto& outs) {
+          if (k < 500) {
+            ttg::send<0>(k + 1, v + k, outs);
+          } else {
+            last.store(v);
+          }
+        },
+        ttg::edges(e), ttg::edges(e), "step", world);
+    world.execute();
+    tt->send_input<0>(0, 0L);
+    world.fence();
+    long expect = 0;
+    for (int k = 0; k < 500; ++k) expect += k;
+    EXPECT_EQ(last.load(), expect) << "depth " << depth;
+    EXPECT_EQ(world.total_tasks_executed(), 501u) << "depth " << depth;
+  }
+}
+
+TEST(InlineTasks, DepthIsBounded) {
+  // A deep fan-out must not recurse past the limit: observe the worker's
+  // inline depth from inside tasks.
+  constexpr int kLimit = 4;
+  ttg::World world(inline_config(kLimit));
+  ttg::Edge<int, ttg::Void> e("tree");
+  std::atomic<int> max_depth{0};
+  std::atomic<int> tasks{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int& k, const ttg::Void&, auto& outs) {
+        tasks.fetch_add(1);
+        ttg::Worker* w = ttg::Context::current_worker();
+        ASSERT_NE(w, nullptr);
+        int prev = max_depth.load();
+        while (prev < w->inline_depth() &&
+               !max_depth.compare_exchange_weak(prev, w->inline_depth())) {
+        }
+        EXPECT_LE(w->inline_depth(), kLimit);
+        if (2 * k + 2 < 2047) {
+          ttg::sendk<0>(2 * k + 1, outs);
+          ttg::sendk<0>(2 * k + 2, outs);
+        }
+      },
+      ttg::edges(e), ttg::edges(e), "node", world);
+  world.execute();
+  tt->sendk_input<0>(0);
+  world.fence();
+  EXPECT_EQ(tasks.load(), 2047);
+  EXPECT_EQ(max_depth.load(), kLimit);
+}
+
+TEST(InlineTasks, ExternalSeedsAreNeverInlined) {
+  // Sends from the application thread must go through the scheduler (the
+  // main thread is not a worker), regardless of the inline setting.
+  ttg::World world(inline_config(16));
+  ttg::Edge<int, ttg::Void> e("in");
+  std::atomic<int> on_worker{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) {
+        if (ttg::Context::current_worker() != nullptr) {
+          on_worker.fetch_add(1);
+        }
+      },
+      ttg::edges(e), ttg::edges(), "leaf", world);
+  world.execute();
+  for (int k = 0; k < 10; ++k) tt->sendk_input<0>(k);
+  world.fence();
+  EXPECT_EQ(on_worker.load(), 10);
+}
+
+TEST(InlineTasks, ProducerMoveSurvivesNestedExecution) {
+  // The inlined consumer runs in the middle of the producer's sends; the
+  // producer's later zero-copy moves must still work (the thread-local
+  // input-copy registrations are saved and restored around inlining).
+  ttg::World world(inline_config(8));
+  ttg::Edge<int, std::vector<int>> first("first"), second("second");
+  std::atomic<int> consumed{0};
+  std::atomic<const void*> producer_buf{nullptr};
+  std::atomic<int> second_same{-1};
+
+  auto sink1 = ttg::make_tt<int>(
+      [&](const int&, std::vector<int>& v, auto&) {
+        (void)v;
+        consumed.fetch_add(1);
+      },
+      ttg::edges(first), ttg::edges(), "sink1", world);
+  auto sink2 = ttg::make_tt<int>(
+      [&](const int&, std::vector<int>& v, auto&) {
+        second_same.store(v.data() == producer_buf.load() ? 1 : 0);
+        consumed.fetch_add(1);
+      },
+      ttg::edges(second), ttg::edges(), "sink2", world);
+
+  ttg::Edge<int, std::vector<int>> in("in");
+  auto producer = ttg::make_tt<int>(
+      [&](const int&, std::vector<int>& v, auto& outs) {
+        producer_buf.store(v.data());
+        // This send may execute sink1 inline ...
+        ttg::send<0>(0, std::vector<int>{1, 2}, outs);
+        // ... and this move must still recognize v as our input copy.
+        ttg::send<1>(0, std::move(v), outs);
+      },
+      ttg::edges(in), ttg::edges(first, second), "producer", world);
+
+  world.execute();
+  producer->send_input<0>(0, std::vector<int>{7, 8, 9});
+  world.fence();
+  EXPECT_EQ(consumed.load(), 2);
+  EXPECT_EQ(second_same.load(), 1)
+      << "zero-copy move must survive an inlined nested task";
+  (void)sink1;
+  (void)sink2;
+}
+
+TEST(InlineTasks, MultiInputJoinsInlineToo) {
+  ttg::World world(inline_config(8, 2));
+  ttg::Edge<int, int> a("a"), b("b");
+  ttg::Edge<int, ttg::Void> go("go");
+  std::atomic<long> sum{0};
+  auto join = ttg::make_tt<int>(
+      [&](const int&, int& x, int& y, auto&) { sum.fetch_add(x * y); },
+      ttg::edges(a, b), ttg::edges(), "join", world);
+  auto src = ttg::make_tt<int>(
+      [&](const int& k, const ttg::Void&, auto& outs) {
+        ttg::send<0>(k, k, outs);
+        ttg::send<1>(k, k + 1, outs);  // completes the join: may inline
+      },
+      ttg::edges(go), ttg::edges(a, b), "src", world);
+  world.execute();
+  long expect = 0;
+  for (int k = 0; k < 100; ++k) {
+    src->sendk_input<0>(k);
+    expect += static_cast<long>(k) * (k + 1);
+  }
+  world.fence();
+  EXPECT_EQ(sum.load(), expect);
+  (void)join;
+}
+
+}  // namespace

@@ -1,0 +1,147 @@
+// Cross-feature integration: combinations of the runtime's features that
+// interact in non-obvious ways (simulated ranks x reducing terminals,
+// inlining x bundling x priorities, ablation configs x real graphs).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <vector>
+
+#include "mra/mra.hpp"
+#include "taskbench/taskbench.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+TEST(Integration, ReducingTerminalAcrossRanks) {
+  // Contributions to a reduction arrive from tasks running on different
+  // simulated ranks; the fold happens at the key's owner.
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 1;
+  ttg::World world(cfg, 3);
+
+  ttg::Edge<int, long> contribute("contribute");
+  ttg::Edge<int, ttg::Void> go("go");
+  std::atomic<long> result{0};
+
+  constexpr int kContribs = 30;
+  auto sum_tt = ttg::make_tt<int>(
+      [&](const int&, long& total, auto&) { result.store(total); },
+      ttg::edges(ttg::make_reducing(
+          contribute, [](long& a, long&& b) { a += b; }, kContribs)),
+      ttg::edges(), "sum", world);
+  sum_tt->set_keymap([](const int&) { return 1; });  // owner: rank 1
+
+  auto producer = ttg::make_tt<int>(
+      [&](const int& k, const ttg::Void&, auto& outs) {
+        ttg::send<0>(0, static_cast<long>(k), outs);
+      },
+      ttg::edges(go), ttg::edges(contribute), "produce", world);
+  producer->set_keymap([](const int& k) { return k % 3; });
+
+  world.execute();
+  for (int k = 0; k < kContribs; ++k) producer->sendk_input<0>(k);
+  world.fence();
+  EXPECT_EQ(result.load(), kContribs * (kContribs - 1) / 2);
+  EXPECT_GT(world.messages_delivered(), 0u);
+}
+
+TEST(Integration, InliningWithMultipleRanks) {
+  // Inlining only applies within a rank; cross-rank sends still travel
+  // through messages. Results are identical either way.
+  auto run = [](int inline_depth) {
+    ttg::Config cfg = ttg::Config::optimized();
+    cfg.num_threads = 1;
+    cfg.inline_max_depth = inline_depth;
+    ttg::World world(cfg, 2);
+    ttg::Edge<int, long> e("chain");
+    std::atomic<long> last{-1};
+    auto tt = ttg::make_tt<int>(
+        [&](const int& k, long& v, auto& outs) {
+          if (k < 100) {
+            ttg::send<0>(k + 1, v + k, outs);
+          } else {
+            last.store(v);
+          }
+        },
+        ttg::edges(e), ttg::edges(e), "step", world);
+    world.execute();
+    tt->send_input<0>(0, 0L);
+    world.fence();
+    return last.load();
+  };
+  EXPECT_EQ(run(0), run(16));
+}
+
+TEST(Integration, TaskbenchUnderEveryScheduler) {
+  for (auto sched :
+       {ttg::SchedulerType::kLFQ, ttg::SchedulerType::kLL,
+        ttg::SchedulerType::kLLP, ttg::SchedulerType::kGD,
+        ttg::SchedulerType::kAP}) {
+    ttg::Config rt = ttg::Config::optimized();
+    rt.scheduler = sched;
+    rt.num_threads = 2;
+    taskbench::BenchConfig cfg;
+    cfg.width = 3;
+    cfg.steps = 25;
+    const auto r = taskbench::run_ttg_with(cfg, 2, rt);
+    EXPECT_TRUE(r.checksum_ok) << ttg::to_string(sched);
+  }
+}
+
+TEST(Integration, TaskbenchWithInliningAndNoBundling) {
+  ttg::Config rt = ttg::Config::optimized();
+  rt.inline_max_depth = 8;
+  rt.bundle_successors = false;
+  taskbench::BenchConfig cfg;
+  cfg.width = 4;
+  cfg.steps = 30;
+  const auto r = taskbench::run_ttg_with(cfg, 2, rt);
+  EXPECT_TRUE(r.checksum_ok);
+}
+
+TEST(Integration, MraUnderAblationConfigs) {
+  // The MRA pipeline must produce the identical tree and norms under
+  // every ablation point of Fig. 9.
+  mra::MraParams params;
+  params.k = 5;
+  params.thresh = 1e-3;
+  const auto gs = mra::random_gaussians(2, 120.0, 21, params);
+
+  std::vector<ttg::Config> configs;
+  {
+    ttg::Config a = ttg::Config::optimized();
+    a.termdet = ttg::TermDetMode::kProcessAtomic;
+    a.biased_rwlock = false;
+    ttg::Config b = ttg::Config::optimized();
+    b.biased_rwlock = false;
+    ttg::Config c = ttg::Config::optimized();
+    c.inline_max_depth = 8;
+    configs = {ttg::Config::original(), a, b, c,
+               ttg::Config::optimized()};
+  }
+  for (auto& cfg : configs) cfg.num_threads = 2;
+
+  const auto reference = mra::run_mra(params, gs, configs.back());
+  for (const auto& cfg : configs) {
+    const auto r = mra::run_mra(params, gs, cfg);
+    EXPECT_EQ(r.leaves, reference.leaves) << cfg.describe();
+    for (std::size_t f = 0; f < r.norms.size(); ++f) {
+      EXPECT_NEAR(r.norms[f], reference.norms[f], 1e-12)
+          << cfg.describe();
+    }
+  }
+}
+
+TEST(Integration, StealDomainsPreserveResults) {
+  ttg::Config rt = ttg::Config::optimized();
+  rt.num_threads = 4;
+  rt.steal_domain_size = 2;
+  taskbench::BenchConfig cfg;
+  cfg.width = 4;
+  cfg.steps = 40;
+  const auto r = taskbench::run_ttg_with(cfg, 4, rt);
+  EXPECT_TRUE(r.checksum_ok);
+}
+
+}  // namespace

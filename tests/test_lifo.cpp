@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "structures/lifo.hpp"
+
+namespace {
+
+struct Node : ttg::LifoNode {
+  int id = 0;
+};
+
+TEST(AtomicLifo, StartsEmpty) {
+  ttg::AtomicLifo lifo;
+  EXPECT_TRUE(lifo.empty());
+  EXPECT_EQ(lifo.pop(), nullptr);
+}
+
+TEST(AtomicLifo, LifoOrder) {
+  ttg::AtomicLifo lifo;
+  Node nodes[3];
+  for (int i = 0; i < 3; ++i) {
+    nodes[i].id = i;
+    lifo.push(&nodes[i]);
+  }
+  EXPECT_EQ(static_cast<Node*>(lifo.pop())->id, 2);
+  EXPECT_EQ(static_cast<Node*>(lifo.pop())->id, 1);
+  EXPECT_EQ(static_cast<Node*>(lifo.pop())->id, 0);
+  EXPECT_TRUE(lifo.empty());
+}
+
+TEST(AtomicLifo, PushChain) {
+  ttg::AtomicLifo lifo;
+  Node nodes[4];
+  for (int i = 0; i < 4; ++i) nodes[i].id = i;
+  nodes[0].next = &nodes[1];
+  nodes[1].next = &nodes[2];
+  nodes[2].next = nullptr;
+  lifo.push(&nodes[3]);
+  lifo.push_chain(&nodes[0], &nodes[2]);
+  EXPECT_EQ(static_cast<Node*>(lifo.pop())->id, 0);
+  EXPECT_EQ(static_cast<Node*>(lifo.pop())->id, 1);
+  EXPECT_EQ(static_cast<Node*>(lifo.pop())->id, 2);
+  EXPECT_EQ(static_cast<Node*>(lifo.pop())->id, 3);
+}
+
+TEST(AtomicLifo, DetachTakesEverything) {
+  ttg::AtomicLifo lifo;
+  Node nodes[3];
+  for (auto& n : nodes) lifo.push(&n);
+  ttg::LifoNode* list = lifo.detach();
+  EXPECT_TRUE(lifo.empty());
+  int count = 0;
+  for (ttg::LifoNode* p = list; p != nullptr; p = p->next) ++count;
+  EXPECT_EQ(count, 3);
+}
+
+TEST(AtomicLifo, AttachRestoresList) {
+  ttg::AtomicLifo lifo;
+  Node nodes[3];
+  for (int i = 0; i < 3; ++i) {
+    nodes[i].id = i;
+    lifo.push(&nodes[i]);
+  }
+  ttg::LifoNode* list = lifo.detach();
+  lifo.attach(list);
+  EXPECT_EQ(static_cast<Node*>(lifo.pop())->id, 2);
+  EXPECT_EQ(static_cast<Node*>(lifo.pop())->id, 1);
+  EXPECT_EQ(static_cast<Node*>(lifo.pop())->id, 0);
+}
+
+TEST(AtomicLifo, HeadPriorityReflectsHead) {
+  ttg::AtomicLifo lifo;
+  std::int32_t prio = -1;
+  EXPECT_FALSE(lifo.head_priority(prio));
+  Node n;
+  n.priority = 42;
+  lifo.push(&n);
+  EXPECT_TRUE(lifo.head_priority(prio));
+  EXPECT_EQ(prio, 42);
+}
+
+class LifoStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LifoStressTest, ConcurrentPushPopLosesNothing) {
+  const int nthreads = GetParam();
+  constexpr int kPerThread = 5000;
+  ttg::AtomicLifo lifo;
+  // Preallocate all nodes; they stay alive for the whole test, honoring
+  // the LIFO's node-lifetime rule.
+  std::vector<Node> nodes(static_cast<std::size_t>(nthreads) * kPerThread);
+  std::atomic<int> popped{0};
+  std::vector<std::atomic<int>> seen(nodes.size());
+  for (auto& s : seen) s.store(0);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Node& n = nodes[static_cast<std::size_t>(t) * kPerThread + i];
+        n.id = t * kPerThread + i;
+        lifo.push(&n);
+        if (ttg::LifoNode* p = lifo.pop(); p != nullptr) {
+          seen[static_cast<Node*>(p)->id].fetch_add(1);
+          popped.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Drain leftovers.
+  while (ttg::LifoNode* p = lifo.pop()) {
+    seen[static_cast<Node*>(p)->id].fetch_add(1);
+    popped.fetch_add(1);
+  }
+  EXPECT_EQ(popped.load(), nthreads * kPerThread);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);  // exactly once
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, LifoStressTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(AtomicLifo, DetachUnderConcurrentPops) {
+  // The LLP slow path: the owner detaches/reattaches while thieves pop.
+  // Every node must still be popped exactly once.
+  constexpr int kNodes = 20000;
+  ttg::AtomicLifo lifo;
+  std::vector<Node> nodes(kNodes);
+  std::vector<std::atomic<int>> seen(kNodes);
+  for (auto& s : seen) s.store(0);
+  std::atomic<bool> done{false};
+  std::atomic<int> total{0};
+
+  std::thread thief([&] {
+    while (!done.load() || !lifo.empty()) {
+      if (ttg::LifoNode* p = lifo.pop(); p != nullptr) {
+        seen[static_cast<Node*>(p)->id].fetch_add(1);
+        total.fetch_add(1);
+      }
+    }
+  });
+
+  for (int i = 0; i < kNodes; ++i) {
+    nodes[i].id = i;
+    nodes[i].priority = i % 7;
+    // Alternate fast pushes with detach/merge/reattach cycles.
+    if (i % 3 == 0) {
+      ttg::LifoNode* list = lifo.detach();
+      nodes[i].next = list;
+      lifo.attach(&nodes[i]);
+    } else {
+      lifo.push(&nodes[i]);
+    }
+  }
+  done.store(true);
+  thief.join();
+  while (ttg::LifoNode* p = lifo.pop()) {
+    seen[static_cast<Node*>(p)->id].fetch_add(1);
+    total.fetch_add(1);
+  }
+  EXPECT_EQ(total.load(), kNodes);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "structures/mempool.hpp"
+
+namespace {
+
+TEST(MemoryPool, AllocateReturnsDistinctAlignedStorage) {
+  ttg::MemoryPool pool(64);
+  std::set<void*> ptrs;
+  for (int i = 0; i < 100; ++i) {
+    void* p = pool.allocate();
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) %
+                  alignof(std::max_align_t),
+              0u);
+    EXPECT_TRUE(ptrs.insert(p).second) << "duplicate allocation";
+  }
+  for (void* p : ptrs) pool.deallocate(p);
+}
+
+TEST(MemoryPool, RecyclesFreedObjects) {
+  ttg::MemoryPool pool(32);
+  void* a = pool.allocate();
+  pool.deallocate(a);
+  void* b = pool.allocate();
+  EXPECT_EQ(a, b);  // LIFO free list returns the hot object
+  pool.deallocate(b);
+}
+
+TEST(MemoryPool, ObjectSizeRoundedToFitFreeListNode) {
+  ttg::MemoryPool pool(1);
+  EXPECT_GE(pool.object_size(), sizeof(ttg::LifoNode));
+  void* p = pool.allocate();
+  std::memset(p, 0xab, pool.object_size());  // fully writable
+  pool.deallocate(p);
+}
+
+TEST(MemoryPool, RemoteFreeReturnsToOwner) {
+  ttg::MemoryPool pool(64);
+  void* p = pool.allocate();
+  std::thread other([&] { pool.deallocate(p); });
+  other.join();
+  // The object went back to *this* thread's pool (we allocated it), so
+  // we get it again immediately.
+  void* q = pool.allocate();
+  EXPECT_EQ(p, q);
+  pool.deallocate(q);
+}
+
+TEST(MemoryPool, ManyObjectsAcrossChunks) {
+  ttg::MemoryPool pool(128, /*objects_per_chunk=*/8);
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 1000; ++i) ptrs.push_back(pool.allocate());
+  std::set<void*> unique(ptrs.begin(), ptrs.end());
+  EXPECT_EQ(unique.size(), ptrs.size());
+  for (void* p : ptrs) pool.deallocate(p);
+}
+
+class MemPoolStressTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemPoolStressTest, ProducerConsumerChurn) {
+  // Allocation on one thread, deallocation on another: the paper's
+  // free-list design returns objects to the allocating thread's pool.
+  const int nthreads = GetParam();
+  ttg::MemoryPool pool(96);
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < nthreads; ++t) {
+    threads.emplace_back([&] {
+      std::vector<void*> live;
+      for (int i = 0; i < 20000; ++i) {
+        void* p = pool.allocate();
+        if (p == nullptr) {
+          errors.fetch_add(1);
+          continue;
+        }
+        // Touch the object to catch overlapping allocations under ASan.
+        std::memset(p, i & 0xff, 96);
+        live.push_back(p);
+        if (live.size() > 32) {
+          pool.deallocate(live.front());
+          live.erase(live.begin());
+        }
+      }
+      for (void* p : live) pool.deallocate(p);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(errors.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, MemPoolStressTest,
+                         ::testing::Values(1, 2, 4));
+
+}  // namespace

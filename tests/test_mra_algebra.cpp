@@ -1,0 +1,110 @@
+// Compressed-function algebra: inner products and gaxpy on multiwavelet
+// trees, validated against analytic Gaussian integrals.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mra/mra.hpp"
+
+namespace {
+
+ttg::Config test_config() {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 2;
+  return cfg;
+}
+
+mra::MraParams algebra_params() {
+  mra::MraParams p;
+  p.k = 8;
+  p.thresh = 1e-6;
+  p.max_level = 12;
+  return p;
+}
+
+/// Analytic <f|g> of two *normalized* Gaussians with equal exponent a:
+/// exp(-a |c_f - c_g|^2 / 2), scaled to the tree's u-space by 1/L^3.
+double analytic_inner(const mra::MraParams& p, const mra::Gaussian& f,
+                      const mra::Gaussian& g) {
+  const double dx = f.cx - g.cx, dy = f.cy - g.cy, dz = f.cz - g.cz;
+  const double d2 = dx * dx + dy * dy + dz * dz;
+  const double span = p.hi - p.lo;
+  return std::exp(-f.expnt * d2 / 2.0) / (span * span * span);
+}
+
+TEST(MraAlgebra, SelfInnerEqualsNormSquared) {
+  const auto params = algebra_params();
+  const auto g = mra::Gaussian::normalized(0.3, -0.7, 0.2, 120.0);
+  const auto cf = mra::compress_function(params, g, test_config());
+  EXPECT_GT(cf.diffs.size(), 0u);
+  EXPECT_EQ(cf.s_root.size(), params.k * params.k * params.k);
+  const double n = cf.norm();
+  EXPECT_NEAR(mra::inner(cf, cf), n * n, 1e-12 * n * n);
+  // And the norm matches the analytic value.
+  const double span = params.hi - params.lo;
+  EXPECT_NEAR(n * n, 1.0 / (span * span * span), 1e-4 / (span * span * span));
+}
+
+TEST(MraAlgebra, CrossInnerMatchesAnalyticOverlap) {
+  const auto params = algebra_params();
+  const auto f = mra::Gaussian::normalized(0.10, 0.20, -0.10, 150.0);
+  const auto g = mra::Gaussian::normalized(0.25, 0.05, 0.00, 150.0);
+  const auto cf = mra::compress_function(params, f, test_config());
+  const auto cg = mra::compress_function(params, g, test_config());
+  const double expect = analytic_inner(params, f, g);
+  const double got = mra::inner(cf, cg);
+  EXPECT_NEAR(got, expect, 5e-3 * expect);
+  // Symmetry.
+  EXPECT_DOUBLE_EQ(got, mra::inner(cg, cf));
+}
+
+TEST(MraAlgebra, DistantGaussiansNearlyOrthogonal) {
+  const auto params = algebra_params();
+  const auto f = mra::Gaussian::normalized(-3.0, -3.0, -3.0, 200.0);
+  const auto g = mra::Gaussian::normalized(3.0, 3.0, 3.0, 200.0);
+  const auto cf = mra::compress_function(params, f, test_config());
+  const auto cg = mra::compress_function(params, g, test_config());
+  EXPECT_NEAR(mra::inner(cf, cg), 0.0, 1e-10);
+}
+
+TEST(MraAlgebra, GaxpyNormIdentity) {
+  // ||a f + b g||^2 = a^2 <f,f> + 2ab <f,g> + b^2 <g,g>.
+  const auto params = algebra_params();
+  const auto f = mra::Gaussian::normalized(0.10, 0.20, -0.10, 150.0);
+  const auto g = mra::Gaussian::normalized(0.25, 0.05, 0.00, 150.0);
+  const auto cf = mra::compress_function(params, f, test_config());
+  const auto cg = mra::compress_function(params, g, test_config());
+  const double a = 2.0, b = -0.5;
+  const auto sum = mra::gaxpy(a, cf, b, cg);
+  const double expect = a * a * mra::inner(cf, cf) +
+                        2 * a * b * mra::inner(cf, cg) +
+                        b * b * mra::inner(cg, cg);
+  EXPECT_NEAR(sum.norm() * sum.norm(), expect, 1e-10 * std::abs(expect));
+  // The union tree covers both refinement regions.
+  EXPECT_GE(sum.diffs.size(), std::max(cf.diffs.size(), cg.diffs.size()));
+}
+
+TEST(MraAlgebra, SelfCancellationIsExact) {
+  const auto params = algebra_params();
+  const auto g = mra::Gaussian::normalized(0.0, 0.5, -0.5, 100.0);
+  const auto cf = mra::compress_function(params, g, test_config());
+  const auto zero = mra::gaxpy(1.0, cf, -1.0, cf);
+  EXPECT_NEAR(zero.norm(), 0.0, 1e-14);
+}
+
+TEST(MraAlgebra, LinearityOfInner) {
+  // <a f + b g | h> = a <f|h> + b <g|h>.
+  const auto params = algebra_params();
+  const auto f = mra::Gaussian::normalized(0.1, 0.1, 0.1, 130.0);
+  const auto g = mra::Gaussian::normalized(-0.2, 0.3, 0.0, 130.0);
+  const auto h = mra::Gaussian::normalized(0.0, 0.0, 0.2, 130.0);
+  const auto cf = mra::compress_function(params, f, test_config());
+  const auto cg = mra::compress_function(params, g, test_config());
+  const auto ch = mra::compress_function(params, h, test_config());
+  const auto lin = mra::gaxpy(1.5, cf, -2.0, cg);
+  const double lhs = mra::inner(lin, ch);
+  const double rhs = 1.5 * mra::inner(cf, ch) - 2.0 * mra::inner(cg, ch);
+  EXPECT_NEAR(lhs, rhs, 1e-10 * std::max(1e-6, std::abs(rhs)));
+}
+
+}  // namespace

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mra/gemm.hpp"
+#include "mra/legendre.hpp"
+#include "mra/mra.hpp"
+#include "mra/twoscale.hpp"
+
+namespace {
+
+// ------------------------------------------------------------------- gemm
+
+TEST(Gemm, SmallKnownProduct) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+  const double a[4] = {1, 2, 3, 4};
+  const double b[4] = {5, 6, 7, 8};
+  double c[4];
+  mra::gemm(2, 2, 2, a, b, c);
+  EXPECT_DOUBLE_EQ(c[0], 19);
+  EXPECT_DOUBLE_EQ(c[1], 22);
+  EXPECT_DOUBLE_EQ(c[2], 43);
+  EXPECT_DOUBLE_EQ(c[3], 50);
+}
+
+TEST(Gemm, RectangularShapes) {
+  // (1x3) * (3x2)
+  const double a[3] = {1, 2, 3};
+  const double b[6] = {1, 0, 0, 1, 1, 1};
+  double c[2];
+  mra::gemm(1, 2, 3, a, b, c);
+  EXPECT_DOUBLE_EQ(c[0], 1 * 1 + 2 * 0 + 3 * 1);
+  EXPECT_DOUBLE_EQ(c[1], 1 * 0 + 2 * 1 + 3 * 1);
+}
+
+TEST(Gemm, AccumulateAddsToC) {
+  const double a[1] = {2};
+  const double b[1] = {3};
+  double c[1] = {10};
+  mra::gemm_acc(1, 1, 1, a, b, c);
+  EXPECT_DOUBLE_EQ(c[0], 16);
+}
+
+TEST(Transform3d, MatchesNaiveContraction) {
+  constexpr std::size_t kIn = 3, kOut = 2;
+  ttg::SplitMix64 rng(123);
+  std::vector<double> t(kIn * kIn * kIn);
+  std::vector<double> m(kOut * kIn);
+  for (auto& v : t) v = rng.next_double() - 0.5;
+  for (auto& v : m) v = rng.next_double() - 0.5;
+
+  std::vector<double> result(kOut * kOut * kOut);
+  std::vector<double> work(2 * kIn * kIn * kIn);
+  mra::transform3d(t.data(), kIn, m.data(), kOut, result.data(),
+                   work.data());
+
+  for (std::size_t i = 0; i < kOut; ++i) {
+    for (std::size_t j = 0; j < kOut; ++j) {
+      for (std::size_t l = 0; l < kOut; ++l) {
+        double expect = 0;
+        for (std::size_t p = 0; p < kIn; ++p) {
+          for (std::size_t q = 0; q < kIn; ++q) {
+            for (std::size_t r = 0; r < kIn; ++r) {
+              expect += m[i * kIn + p] * m[j * kIn + q] * m[l * kIn + r] *
+                        t[(p * kIn + q) * kIn + r];
+            }
+          }
+        }
+        EXPECT_NEAR(result[(i * kOut + j) * kOut + l], expect, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Transform3d, IdentityMatrixIsNoop) {
+  constexpr std::size_t k = 4;
+  std::vector<double> t(k * k * k);
+  ttg::SplitMix64 rng(5);
+  for (auto& v : t) v = rng.next_double();
+  std::vector<double> eye(k * k, 0.0);
+  for (std::size_t i = 0; i < k; ++i) eye[i * k + i] = 1.0;
+  std::vector<double> result(k * k * k);
+  std::vector<double> work(2 * k * k * k);
+  mra::transform3d(t.data(), k, eye.data(), k, result.data(), work.data());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(result[i], t[i], 1e-14);
+  }
+}
+
+// -------------------------------------------------------------- quadrature
+
+TEST(Legendre, RecurrenceMatchesKnownValues) {
+  double p[4];
+  mra::legendre(0.5, 4, p);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+  EXPECT_NEAR(p[2], 0.5 * (3 * 0.25 - 1), 1e-15);          // P2
+  EXPECT_NEAR(p[3], 0.5 * (5 * 0.125 - 3 * 0.5), 1e-15);   // P3
+}
+
+TEST(GaussLegendre, IntegratesPolynomialsExactly) {
+  // n-point rule is exact through degree 2n-1 on [0,1].
+  for (std::size_t n : {2u, 5u, 10u}) {
+    const auto q = mra::gauss_legendre(n);
+    for (std::size_t deg = 0; deg <= 2 * n - 1; ++deg) {
+      double integral = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        integral += q.w[i] * std::pow(q.x[i], static_cast<double>(deg));
+      }
+      EXPECT_NEAR(integral, 1.0 / (deg + 1), 1e-13)
+          << "n=" << n << " deg=" << deg;
+    }
+  }
+}
+
+TEST(GaussLegendre, NodesAscendInUnitInterval) {
+  const auto q = mra::gauss_legendre(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_GT(q.x[i], 0.0);
+    EXPECT_LT(q.x[i], 1.0);
+    if (i > 0) {
+      EXPECT_GT(q.x[i], q.x[i - 1]);
+    }
+  }
+}
+
+TEST(ScalingFunctions, Orthonormal) {
+  constexpr std::size_t k = 10;
+  const auto q = mra::gauss_legendre(k);
+  double gram[k][k] = {};
+  double phi[k];
+  for (std::size_t qi = 0; qi < k; ++qi) {
+    mra::scaling_functions(q.x[qi], k, phi);
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        gram[i][j] += q.w[qi] * phi[i] * phi[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      EXPECT_NEAR(gram[i][j], i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+// --------------------------------------------------------------- two-scale
+
+class TwoScaleTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TwoScaleTest, RowsOfHAreOrthonormal) {
+  const std::size_t k = GetParam();
+  const auto& ts = mra::two_scale(k);
+  // H H^T = I_k.
+  std::vector<double> prod(k * k);
+  mra::gemm(k, k, 2 * k, ts.h.data(), ts.ht.data(), prod.data());
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      EXPECT_NEAR(prod[i * k + j], i == j ? 1.0 : 0.0, 1e-12)
+          << "k=" << k;
+    }
+  }
+}
+
+TEST_P(TwoScaleTest, FilterReproducesParentScaleFunctions) {
+  // A function exactly representable at the parent scale must survive a
+  // filter(unfilter(s)) round trip unchanged.
+  const std::size_t k = GetParam();
+  ttg::SplitMix64 rng(77);
+  std::vector<double> parent(k * k * k);
+  for (auto& v : parent) v = rng.next_double() - 0.5;
+  const auto child = mra::detail::unfilter(k, parent);
+  const auto back = mra::detail::filter(k, child);
+  for (std::size_t i = 0; i < parent.size(); ++i) {
+    EXPECT_NEAR(back[i], parent[i], 1e-11);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, TwoScaleTest,
+                         ::testing::Values(2u, 6u, 10u));
+
+// -------------------------------------------------------------- projection
+
+TEST(Projection, ConstantFunctionHasOnlyDCCoefficient) {
+  // A constant is exactly representable: only s[0,0,0] is nonzero and it
+  // equals c * 2^(-3n/2) on a level-n box (phi_0 = 1 on [0,1]).
+  mra::MraParams params;
+  params.k = 5;
+  params.lo = 0.0;
+  params.hi = 1.0;
+  // A "Gaussian" with zero exponent is the constant `coeff`.
+  mra::Gaussian g{0.5, 0.5, 0.5, 0.0, 3.0};
+  const auto s = mra::detail::project_box(params, g, 2, 1, 2, 3);
+  EXPECT_NEAR(s[0], 3.0 * std::pow(2.0, -3.0), 1e-12);
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    EXPECT_NEAR(s[i], 0.0, 1e-12);
+  }
+}
+
+TEST(Projection, BoxNormsSumToFunctionNorm) {
+  // Partition the root box into 8 children: the sum of squared child
+  // coefficient norms must equal the squared L2 norm of the function
+  // (for a function smooth enough for the quadrature at this k).
+  mra::MraParams params;
+  params.k = 12;
+  params.lo = -4.0;
+  params.hi = 4.0;
+  mra::Gaussian g = mra::Gaussian::normalized(0.1, -0.2, 0.3, 1.0);
+  double total = 0;
+  for (int a = 0; a < 2; ++a) {
+    for (int b = 0; b < 2; ++b) {
+      for (int c = 0; c < 2; ++c) {
+        const auto s = mra::detail::project_box(params, g, 1, a, b, c);
+        const double n = mra::norm2(s.data(), s.size());
+        total += n * n;
+      }
+    }
+  }
+  // ||g||^2 in u-space = ||f||^2 / L^3 with ||f|| = 1.
+  const double span = params.hi - params.lo;
+  EXPECT_NEAR(total, 1.0 / (span * span * span), 1e-6);
+}
+
+TEST(Gaussian, NormalizedHasUnitNorm) {
+  const auto g = mra::Gaussian::normalized(0, 0, 0, 2.5);
+  // Analytic: integral of coeff^2 exp(-2 a r^2) over R^3.
+  const double integral =
+      g.coeff * g.coeff * std::pow(M_PI / (2 * g.expnt), 1.5);
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Gaussian, RandomCentersInsideDomain) {
+  mra::MraParams params;
+  const auto gs = mra::random_gaussians(50, 100.0, 42, params);
+  EXPECT_EQ(gs.size(), 50u);
+  for (const auto& g : gs) {
+    EXPECT_GT(g.cx, params.lo);
+    EXPECT_LT(g.cx, params.hi);
+    EXPECT_GT(g.cy, params.lo);
+    EXPECT_LT(g.cy, params.hi);
+    EXPECT_GT(g.cz, params.lo);
+    EXPECT_LT(g.cz, params.hi);
+    EXPECT_DOUBLE_EQ(g.expnt, 100.0);
+  }
+  // Deterministic per seed.
+  const auto gs2 = mra::random_gaussians(50, 100.0, 42, params);
+  EXPECT_DOUBLE_EQ(gs[7].cx, gs2[7].cx);
+}
+
+}  // namespace

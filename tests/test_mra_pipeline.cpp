@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mra/mra.hpp"
+
+namespace {
+
+ttg::Config test_config(int threads = 2) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+mra::MraParams small_params() {
+  mra::MraParams p;
+  p.k = 6;
+  p.thresh = 1e-4;
+  p.max_level = 10;
+  return p;
+}
+
+TEST(MraPipeline, SingleGaussianNormRecovered) {
+  const auto params = small_params();
+  const auto gs = mra::random_gaussians(1, 80.0, 1, params);
+  const auto result = mra::run_mra(params, gs, test_config());
+  ASSERT_EQ(result.norms.size(), 1u);
+  const double span = params.hi - params.lo;
+  const double expect = 1.0 / std::pow(span, 1.5);  // u-space norm
+  EXPECT_NEAR(result.norms[0], expect, 1e-3 * expect)
+      << "reconstructed leaf norm must match the function norm";
+  EXPECT_GT(result.leaves, 1u);
+  EXPECT_GT(result.project_tasks, 0u);
+}
+
+TEST(MraPipeline, ParsevalCompressedNormMatchesLeaves) {
+  // ||f||^2 from {root coefficients + all difference coefficients} must
+  // equal ||f||^2 from the reconstructed leaves, to rounding: the
+  // two-scale transform is an isometry.
+  const auto params = small_params();
+  const auto gs = mra::random_gaussians(3, 150.0, 11, params);
+  const auto result = mra::run_mra(params, gs, test_config());
+  ASSERT_EQ(result.norms_compressed.size(), result.norms.size());
+  for (std::size_t f = 0; f < result.norms.size(); ++f) {
+    EXPECT_NEAR(result.norms_compressed[f], result.norms[f],
+                1e-10 * result.norms[f]);
+  }
+}
+
+TEST(MraPipeline, TreeRefinesAroundSharpGaussian) {
+  auto params = small_params();
+  const auto broad = mra::random_gaussians(1, 20.0, 2, params);
+  const auto sharp = mra::random_gaussians(1, 2000.0, 2, params);
+  const auto r_broad = mra::run_mra(params, broad, test_config());
+  const auto r_sharp = mra::run_mra(params, sharp, test_config());
+  EXPECT_GT(r_sharp.leaves, r_broad.leaves)
+      << "sharper features must refine deeper";
+}
+
+TEST(MraPipeline, TaskCountsAreConsistent) {
+  const auto params = small_params();
+  const auto gs = mra::random_gaussians(2, 100.0, 3, params);
+  const auto result = mra::run_mra(params, gs, test_config());
+  // Every interior box is compressed exactly once and reconstruction
+  // visits every box (interior + leaves).
+  EXPECT_EQ(result.reconstruct_tasks,
+            result.compress_tasks + result.leaves);
+  // Projection visits every box from the initial uniform level down;
+  // boxes above the initial level ((8^n0 - 1) / 7 per function) are
+  // interior by construction and are never projected.
+  std::uint64_t above = 0;
+  for (int l = 0; l < params.initial_level; ++l) above += 1ULL << (3 * l);
+  EXPECT_EQ(result.project_tasks + 2 * above,
+            result.compress_tasks + result.leaves);
+}
+
+TEST(MraPipeline, MultipleFunctionsAllRecovered) {
+  const auto params = small_params();
+  const auto gs = mra::random_gaussians(6, 120.0, 4, params);
+  const auto result = mra::run_mra(params, gs, test_config(4));
+  ASSERT_EQ(result.norms.size(), 6u);
+  const double span = params.hi - params.lo;
+  const double expect = 1.0 / std::pow(span, 1.5);
+  for (double n : result.norms) {
+    EXPECT_NEAR(n, expect, 1e-3 * expect);
+  }
+}
+
+TEST(MraPipeline, TighterThresholdRefinesMore) {
+  auto params = small_params();
+  const auto gs = mra::random_gaussians(1, 150.0, 5, params);
+  params.thresh = 1e-3;
+  const auto coarse = mra::run_mra(params, gs, test_config());
+  params.thresh = 1e-6;
+  const auto fine = mra::run_mra(params, gs, test_config());
+  EXPECT_GT(fine.leaves, coarse.leaves);
+  // And the tighter run recovers the norm more accurately.
+  const double span = params.hi - params.lo;
+  const double expect = 1.0 / std::pow(span, 1.5);
+  EXPECT_LE(std::abs(fine.norms[0] - expect),
+            std::abs(coarse.norms[0] - expect) + 1e-12);
+}
+
+TEST(MraPipeline, OriginalConfigProducesSameTree) {
+  const auto params = small_params();
+  const auto gs = mra::random_gaussians(2, 90.0, 6, params);
+  const auto opt = mra::run_mra(params, gs, test_config());
+  const auto orig = mra::run_mra(params, gs, ttg::Config::original());
+  EXPECT_EQ(opt.leaves, orig.leaves);
+  EXPECT_EQ(opt.compress_tasks, orig.compress_tasks);
+  ASSERT_EQ(opt.norms.size(), orig.norms.size());
+  for (std::size_t i = 0; i < opt.norms.size(); ++i) {
+    EXPECT_NEAR(opt.norms[i], orig.norms[i], 1e-12);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "ptg/ptg.hpp"
+
+namespace {
+
+ttg::Config test_config(int threads = 2) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+TEST(Ptg, LinearChain) {
+  ttg::Context ctx(test_config());
+  ptg::ParameterizedGraph<int, long> g(
+      ctx, [](const int& k) { return k == 0 ? 0 : 1; },
+      [](const int& k) {
+        return k < 100 ? std::vector<int>{k + 1} : std::vector<int>{};
+      },
+      [](const int& k, const auto& input_of) -> long {
+        return k == 0 ? 1 : input_of(k - 1) + k;
+      });
+  ctx.begin();
+  g.seed(0);
+  ctx.fence();
+  EXPECT_EQ(g.tasks_executed(), 101u);
+  long expect = 1;
+  for (int k = 1; k <= 100; ++k) expect += k;
+  ASSERT_NE(g.find(100), nullptr);
+  EXPECT_EQ(*g.find(100), expect);
+  EXPECT_EQ(g.find(101), nullptr);
+}
+
+TEST(Ptg, DiamondJoins) {
+  // 0 -> {1, 2} -> 3: the join's counter is created by the first
+  // completing branch and decremented by both.
+  ttg::Context ctx(test_config());
+  ptg::ParameterizedGraph<int, int> g(
+      ctx,
+      [](const int& k) { return k == 0 ? 0 : (k == 3 ? 2 : 1); },
+      [](const int& k) -> std::vector<int> {
+        if (k == 0) return {1, 2};
+        if (k == 3) return {};
+        return {3};
+      },
+      [](const int& k, const auto& input_of) -> int {
+        if (k == 0) return 5;
+        if (k == 3) return input_of(1) * input_of(2);
+        return input_of(0) + k;
+      });
+  ctx.begin();
+  g.seed(0);
+  ctx.fence();
+  ASSERT_NE(g.find(3), nullptr);
+  EXPECT_EQ(*g.find(3), (5 + 1) * (5 + 2));
+}
+
+TEST(Ptg, WavefrontMatchesSerial) {
+  // The 2D wavefront recurrence over the PTG front-end.
+  using Key = std::pair<int, int>;
+  constexpr int kN = 24;
+  ttg::Context ctx(test_config());
+  ptg::ParameterizedGraph<Key, long> g(
+      ctx,
+      [](const Key& k) {
+        return (k.first > 0 ? 1 : 0) + (k.second > 0 ? 1 : 0);
+      },
+      [](const Key& k) {
+        std::vector<Key> succ;
+        if (k.first + 1 < kN) succ.push_back({k.first + 1, k.second});
+        if (k.second + 1 < kN) succ.push_back({k.first, k.second + 1});
+        return succ;
+      },
+      [](const Key& k, const auto& input_of) -> long {
+        const long north = k.first > 0 ? input_of(Key{k.first - 1, k.second}) : 0;
+        const long west = k.second > 0 ? input_of(Key{k.first, k.second - 1}) : 0;
+        return std::max(north, west) + (k.first * 7 + k.second * 3) % 5;
+      });
+  ctx.begin();
+  g.seed(Key{0, 0});
+  ctx.fence();
+  EXPECT_EQ(g.tasks_executed(), static_cast<std::uint64_t>(kN) * kN);
+
+  // Serial reference.
+  long grid[kN][kN];
+  for (int i = 0; i < kN; ++i) {
+    for (int j = 0; j < kN; ++j) {
+      const long north = i > 0 ? grid[i - 1][j] : 0;
+      const long west = j > 0 ? grid[i][j - 1] : 0;
+      grid[i][j] = std::max(north, west) + (i * 7 + j * 3) % 5;
+    }
+  }
+  ASSERT_NE(g.find(Key{kN - 1, kN - 1}), nullptr);
+  EXPECT_EQ(*g.find(Key{kN - 1, kN - 1}), grid[kN - 1][kN - 1]);
+}
+
+TEST(Ptg, WideFanOutAndIn) {
+  // 0 -> {1..N} -> N+1.
+  constexpr int kFan = 500;
+  ttg::Context ctx(test_config(4));
+  ptg::ParameterizedGraph<int, long> g(
+      ctx,
+      [](const int& k) {
+        if (k == 0) return 0;
+        if (k == kFan + 1) return kFan;
+        return 1;
+      },
+      [](const int& k) -> std::vector<int> {
+        if (k == 0) {
+          std::vector<int> all;
+          for (int i = 1; i <= kFan; ++i) all.push_back(i);
+          return all;
+        }
+        if (k == kFan + 1) return {};
+        return {kFan + 1};
+      },
+      [](const int& k, const auto& input_of) -> long {
+        if (k == 0) return 0;
+        if (k == kFan + 1) {
+          long s = 0;
+          for (int i = 1; i <= kFan; ++i) s += input_of(i);
+          return s;
+        }
+        return input_of(0) + k;
+      });
+  ctx.begin();
+  g.seed(0);
+  ctx.fence();
+  ASSERT_NE(g.find(kFan + 1), nullptr);
+  EXPECT_EQ(*g.find(kFan + 1),
+            static_cast<long>(kFan) * (kFan + 1) / 2);
+}
+
+TEST(Ptg, MultipleIndependentRoots) {
+  ttg::Context ctx(test_config());
+  std::atomic<long> sum{0};
+  ptg::ParameterizedGraph<int, int> g(
+      ctx, [](const int&) { return 0; },
+      [](const int&) { return std::vector<int>{}; },
+      [&](const int& k, const auto&) -> int {
+        sum.fetch_add(k);
+        return k;
+      });
+  ctx.begin();
+  for (int k = 0; k < 50; ++k) g.seed(k);
+  ctx.fence();
+  EXPECT_EQ(sum.load(), 49 * 50 / 2);
+  EXPECT_EQ(g.tasks_executed(), 50u);
+}
+
+}  // namespace

@@ -1,0 +1,315 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "sched/gd_ap.hpp"
+#include "sched/lfq.hpp"
+#include "sched/ll.hpp"
+#include "sched/llp.hpp"
+#include "sched/scheduler.hpp"
+
+namespace {
+
+struct Node : ttg::LifoNode {
+  int id = 0;
+};
+
+using ttg::SchedulerType;
+
+class SchedulerDrainTest
+    : public ::testing::TestWithParam<std::tuple<SchedulerType, int>> {};
+
+TEST_P(SchedulerDrainTest, EveryTaskPoppedExactlyOnce) {
+  const auto [type, nthreads] = GetParam();
+  auto sched = ttg::make_scheduler(type, nthreads);
+  constexpr int kPerThread = 4000;
+  const int total = nthreads * kPerThread;
+  std::vector<Node> nodes(static_cast<std::size_t>(total));
+  std::vector<std::atomic<int>> seen(static_cast<std::size_t>(total));
+  for (auto& s : seen) s.store(0);
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < nthreads; ++w) {
+    threads.emplace_back([&, w] {
+      // Interleave pushes and pops, like a worker discovering successor
+      // tasks while executing.
+      for (int i = 0; i < kPerThread; ++i) {
+        Node& n = nodes[static_cast<std::size_t>(w) * kPerThread + i];
+        n.id = w * kPerThread + i;
+        n.priority = i % 5;
+        sched->push(w, &n);
+        if (i % 2 == 0) {
+          if (ttg::LifoNode* p = sched->pop(w); p != nullptr) {
+            seen[static_cast<Node*>(p)->id].fetch_add(1);
+            popped.fetch_add(1);
+          }
+        }
+      }
+      // Drain phase.
+      while (ttg::LifoNode* p = sched->pop(w)) {
+        seen[static_cast<Node*>(p)->id].fetch_add(1);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // A final drain from worker 0 catches anything left in shared queues.
+  while (ttg::LifoNode* p = sched->pop(0)) {
+    seen[static_cast<Node*>(p)->id].fetch_add(1);
+    popped.fetch_add(1);
+  }
+  EXPECT_EQ(popped.load(), total);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, SchedulerDrainTest,
+    ::testing::Combine(::testing::Values(SchedulerType::kLFQ,
+                                         SchedulerType::kLL,
+                                         SchedulerType::kLLP,
+                                         SchedulerType::kGD,
+                                         SchedulerType::kAP),
+                       ::testing::Values(1, 2, 4)),
+    [](const auto& info) {
+      return std::string(ttg::to_string(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param)) + "threads";
+    });
+
+class ExternalPushTest : public ::testing::TestWithParam<SchedulerType> {};
+
+TEST_P(ExternalPushTest, ExternalSubmissionsReachWorkers) {
+  auto sched = ttg::make_scheduler(GetParam(), 2);
+  Node nodes[10];
+  for (int i = 0; i < 10; ++i) {
+    nodes[i].id = i;
+    sched->push(ttg::kExternalWorker, &nodes[i]);
+  }
+  int count = 0;
+  while (sched->pop(0) != nullptr || sched->pop(1) != nullptr) ++count;
+  EXPECT_EQ(count, 10);
+}
+
+TEST_P(ExternalPushTest, ChainPushDeliversAll) {
+  auto sched = ttg::make_scheduler(GetParam(), 2);
+  Node nodes[5];
+  for (int i = 0; i < 5; ++i) {
+    nodes[i].id = i;
+    nodes[i].priority = 5 - i;  // descending, as push_chain requires
+    nodes[i].next = (i < 4) ? &nodes[i + 1] : nullptr;
+  }
+  sched->push_chain(0, &nodes[0]);
+  int count = 0;
+  while (sched->pop(0) != nullptr) ++count;
+  EXPECT_EQ(count, 5);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, ExternalPushTest,
+                         ::testing::Values(SchedulerType::kLFQ,
+                                           SchedulerType::kLL,
+                                           SchedulerType::kLLP,
+                                           SchedulerType::kGD,
+                                           SchedulerType::kAP));
+
+// ------------------------------------------------------------ LLP specifics
+
+TEST(LlpScheduler, HighestPrioritySelectedFirst) {
+  ttg::LlpScheduler sched(1);
+  Node nodes[6];
+  const int prios[6] = {2, 9, 4, 9, 1, 7};
+  for (int i = 0; i < 6; ++i) {
+    nodes[i].id = i;
+    nodes[i].priority = prios[i];
+    sched.push(0, &nodes[i]);
+  }
+  // Pops must be non-increasing in priority.
+  int last = 1000;
+  for (int i = 0; i < 6; ++i) {
+    Node* n = static_cast<Node*>(sched.pop(0));
+    ASSERT_NE(n, nullptr);
+    EXPECT_LE(n->priority, last);
+    last = n->priority;
+  }
+}
+
+TEST(LlpScheduler, NewTaskWinsPriorityTie) {
+  // "new tasks will be inserted before old tasks that have the same
+  // priority" (Sec. IV-C) — favoring cache-warm data.
+  ttg::LlpScheduler sched(1);
+  Node old_task, new_task;
+  old_task.id = 1;
+  old_task.priority = 5;
+  new_task.id = 2;
+  new_task.priority = 5;
+  sched.push(0, &old_task);
+  sched.push(0, &new_task);
+  EXPECT_EQ(static_cast<Node*>(sched.pop(0))->id, 2);
+  EXPECT_EQ(static_cast<Node*>(sched.pop(0))->id, 1);
+}
+
+TEST(LlpScheduler, SlowPathInsertKeepsOrder) {
+  ttg::LlpScheduler sched(1);
+  Node a, b, c;
+  a.priority = 9;
+  b.priority = 5;
+  c.priority = 7;  // lower than head (9): slow path insertion
+  sched.push(0, &a);
+  sched.push(0, &b);  // slow path: 5 < 9
+  sched.push(0, &c);  // slow path: 7 < 9, lands between
+  EXPECT_EQ(static_cast<Node*>(sched.pop(0))->priority, 9);
+  EXPECT_EQ(static_cast<Node*>(sched.pop(0))->priority, 7);
+  EXPECT_EQ(static_cast<Node*>(sched.pop(0))->priority, 5);
+}
+
+TEST(LlpScheduler, StealFromBusyNeighbor) {
+  ttg::LlpScheduler sched(2);
+  Node nodes[4];
+  for (auto& n : nodes) sched.push(0, &n);  // all on worker 0
+  // Worker 1 finds work by stealing.
+  EXPECT_NE(sched.pop(1), nullptr);
+  EXPECT_NE(sched.pop(1), nullptr);
+  EXPECT_NE(sched.pop(0), nullptr);
+  EXPECT_NE(sched.pop(0), nullptr);
+  EXPECT_EQ(sched.pop(0), nullptr);
+}
+
+TEST(LlpScheduler, SortedChainMergesByPriority) {
+  ttg::LlpScheduler sched(1);
+  Node existing[2];
+  existing[0].priority = 8;
+  existing[1].priority = 2;
+  sched.push(0, &existing[0]);
+  sched.push(0, &existing[1]);
+  // Chain of priorities {9, 5} (descending, as required).
+  Node chain[2];
+  chain[0].priority = 9;
+  chain[1].priority = 5;
+  chain[0].next = &chain[1];
+  chain[1].next = nullptr;
+  sched.push_chain(0, &chain[0]);
+  const int expect[4] = {9, 8, 5, 2};
+  for (int i = 0; i < 4; ++i) {
+    Node* n = static_cast<Node*>(sched.pop(0));
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->priority, expect[i]) << "position " << i;
+  }
+}
+
+// ------------------------------------------------------------- AP specifics
+
+TEST(ApScheduler, StrictGlobalPriorityOrder) {
+  // AP's selling point: priorities hold globally, not just per thread.
+  ttg::ApScheduler sched(2);
+  Node nodes[8];
+  const int prios[8] = {3, 1, 4, 1, 5, 9, 2, 6};
+  for (int i = 0; i < 8; ++i) {
+    nodes[i].priority = prios[i];
+    sched.push(i % 2, &nodes[i]);
+  }
+  int last = 1000;
+  for (int i = 0; i < 8; ++i) {
+    Node* n = static_cast<Node*>(sched.pop(i % 2));
+    ASSERT_NE(n, nullptr);
+    EXPECT_LE(n->priority, last);
+    last = n->priority;
+  }
+  EXPECT_EQ(sched.pop(0), nullptr);
+}
+
+TEST(GdScheduler, GlobalFifoOrder) {
+  ttg::GdScheduler sched(2);
+  Node nodes[4];
+  for (int i = 0; i < 4; ++i) {
+    nodes[i].id = i;
+    sched.push(i % 2, &nodes[i]);
+  }
+  // Any worker pops in global FIFO order.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(static_cast<Node*>(sched.pop(1))->id, i);
+  }
+}
+
+// ------------------------------------------------------------ LFQ specifics
+
+TEST(LfqScheduler, OverflowsToGlobalFifo) {
+  ttg::LfqScheduler sched(1);
+  std::vector<Node> nodes(ttg::LfqScheduler::kLocalCapacity + 5);
+  for (auto& n : nodes) sched.push(0, &n);
+  // The bounded buffer holds kLocalCapacity; the rest landed in the
+  // global FIFO — the contention point of Fig. 6.
+  EXPECT_EQ(sched.overflow_size(), 5u);
+  int count = 0;
+  while (sched.pop(0) != nullptr) ++count;
+  EXPECT_EQ(count, static_cast<int>(nodes.size()));
+}
+
+TEST(LfqScheduler, KeepsHighPriorityLocal) {
+  ttg::LfqScheduler sched(1);
+  std::vector<Node> low(ttg::LfqScheduler::kLocalCapacity);
+  for (auto& n : low) {
+    n.priority = 1;
+    sched.push(0, &n);
+  }
+  Node high;
+  high.priority = 10;
+  sched.push(0, &high);
+  // The high-priority task displaced a low one into the FIFO and is the
+  // first choice of the local pop.
+  EXPECT_EQ(sched.overflow_size(), 1u);
+  EXPECT_EQ(static_cast<Node*>(sched.pop(0)), &high);
+}
+
+}  // namespace
+
+namespace {
+
+// ------------------------------------------------------------- steal order
+
+TEST(StealOrder, FlatOrderIsRing) {
+  ttg::StealOrder order(4, 0);
+  EXPECT_EQ(order.victims(0), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(order.victims(2), (std::vector<int>{3, 0, 1}));
+}
+
+TEST(StealOrder, DomainSiblingsComeFirst) {
+  // 8 workers in domains of 4: {0..3} and {4..7}.
+  ttg::StealOrder order(8, 4);
+  EXPECT_EQ(order.victims(1), (std::vector<int>{2, 3, 0, 4, 5, 6, 7}));
+  EXPECT_EQ(order.victims(6), (std::vector<int>{7, 4, 5, 0, 1, 2, 3}));
+}
+
+TEST(StealOrder, UnevenLastDomain) {
+  // 6 workers, domains of 4: {0..3} and {4, 5}.
+  ttg::StealOrder order(6, 4);
+  EXPECT_EQ(order.victims(5), (std::vector<int>{4, 0, 1, 2, 3}));
+  // Every victim list covers all other workers exactly once.
+  for (int w = 0; w < 6; ++w) {
+    auto v = order.victims(w);
+    std::sort(v.begin(), v.end());
+    std::vector<int> expect;
+    for (int i = 0; i < 6; ++i) {
+      if (i != w) expect.push_back(i);
+    }
+    EXPECT_EQ(v, expect) << "worker " << w;
+  }
+}
+
+TEST(StealOrder, SchedulersDrainWithDomains) {
+  for (auto type : {SchedulerType::kLFQ, SchedulerType::kLL,
+                    SchedulerType::kLLP}) {
+    auto sched = ttg::make_scheduler(type, 6, /*steal_domain_size=*/2);
+    std::vector<Node> nodes(300);
+    for (auto& n : nodes) sched->push(0, &n);
+    int count = 0;
+    for (int w = 0; w < 6; ++w) {
+      while (sched->pop(w) != nullptr) ++count;
+    }
+    EXPECT_EQ(count, 300) << ttg::to_string(type);
+  }
+}
+
+}  // namespace

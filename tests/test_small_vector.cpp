@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "common/small_vector.hpp"
+
+namespace {
+
+using ttg::SmallVector;
+
+TEST(SmallVector, StartsEmpty) {
+  SmallVector<int, 4> v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.size(), 0u);
+}
+
+TEST(SmallVector, InlinePushAndIndex) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 4; ++i) v.push_back(i * 10);
+  EXPECT_EQ(v.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(v[i], i * 10);
+}
+
+TEST(SmallVector, SpillsToHeapPreservingContents) {
+  SmallVector<int, 4> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVector, IterationMatchesIndices) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 10; ++i) v.push_back(i);
+  int expect = 0;
+  for (int x : v) EXPECT_EQ(x, expect++);
+  EXPECT_EQ(expect, 10);
+}
+
+TEST(SmallVector, CopyIndependent) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 10; ++i) a.push_back(i);
+  SmallVector<int, 2> b(a);
+  b.push_back(99);
+  EXPECT_EQ(a.size(), 10u);
+  EXPECT_EQ(b.size(), 11u);
+  EXPECT_EQ(b[10], 99);
+  EXPECT_EQ(a[9], 9);
+}
+
+TEST(SmallVector, MoveStealsHeap) {
+  SmallVector<int, 2> a;
+  for (int i = 0; i < 50; ++i) a.push_back(i);
+  const int* data = a.data();
+  SmallVector<int, 2> b(std::move(a));
+  EXPECT_EQ(b.data(), data);  // heap buffer moved, not copied
+  EXPECT_EQ(b.size(), 50u);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(SmallVector, MoveOfInlineCopies) {
+  SmallVector<int, 8> a;
+  a.push_back(1);
+  a.push_back(2);
+  SmallVector<int, 8> b(std::move(a));
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0], 1);
+  EXPECT_EQ(b[1], 2);
+}
+
+TEST(SmallVector, ClearResetsToInline) {
+  SmallVector<int, 2> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i);
+  v.clear();
+  EXPECT_TRUE(v.empty());
+  v.push_back(5);
+  EXPECT_EQ(v[0], 5);
+}
+
+TEST(SmallVector, ReserveDoesNotChangeSize) {
+  SmallVector<int, 2> v;
+  v.push_back(1);
+  v.reserve(64);
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], 1);
+}
+
+TEST(SmallVector, HoldsPointers) {
+  int a = 1, b = 2;
+  SmallVector<int*, 2> v;
+  v.push_back(&a);
+  v.push_back(&b);
+  v.push_back(&a);
+  EXPECT_EQ(*v[0], 1);
+  EXPECT_EQ(*v[2], 1);
+  EXPECT_EQ(v[1], &b);
+}
+
+}  // namespace

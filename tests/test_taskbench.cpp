@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <tuple>
+
+#include "taskbench/taskbench.hpp"
+
+namespace {
+
+using taskbench::BenchConfig;
+using taskbench::Pattern;
+
+const Pattern kAllPatterns[] = {
+    Pattern::kTrivial,  Pattern::kNoComm, Pattern::kStencil1D,
+    Pattern::kStencil1DPeriodic, Pattern::kFFT, Pattern::kTree,
+};
+
+// ----------------------------------------------------------- pattern algebra
+
+class PatternTest : public ::testing::TestWithParam<Pattern> {};
+
+TEST_P(PatternTest, DependenciesSortedAndInRange) {
+  BenchConfig cfg;
+  cfg.pattern = GetParam();
+  cfg.width = 8;
+  cfg.steps = 12;
+  for (int t = 0; t <= cfg.steps; ++t) {
+    for (int x = 0; x < cfg.width; ++x) {
+      const auto deps = taskbench::dependencies(cfg, t, x);
+      EXPECT_TRUE(std::is_sorted(deps.begin(), deps.end()));
+      EXPECT_TRUE(std::adjacent_find(deps.begin(), deps.end()) ==
+                  deps.end())
+          << "duplicate dependency";
+      for (int d : deps) {
+        EXPECT_GE(d, 0);
+        EXPECT_LT(d, cfg.width);
+      }
+      if (t == 0) {
+        EXPECT_TRUE(deps.empty());
+      }
+    }
+  }
+}
+
+TEST_P(PatternTest, ForwardIsInverseOfBackward) {
+  // The property TTG depends on (Sec. V-D): x at t feeds nx at t+1 iff
+  // nx at t+1 depends on x at t.
+  BenchConfig cfg;
+  cfg.pattern = GetParam();
+  cfg.width = 8;
+  cfg.steps = 12;
+  for (int t = 0; t < cfg.steps; ++t) {
+    for (int x = 0; x < cfg.width; ++x) {
+      const auto rdeps = taskbench::reverse_dependencies(cfg, t, x);
+      for (int nx = 0; nx < cfg.width; ++nx) {
+        const auto deps = taskbench::dependencies(cfg, t + 1, nx);
+        const bool fwd =
+            std::binary_search(rdeps.begin(), rdeps.end(), nx);
+        const bool bwd = std::binary_search(deps.begin(), deps.end(), x);
+        EXPECT_EQ(fwd, bwd) << "t=" << t << " x=" << x << " nx=" << nx;
+      }
+    }
+  }
+}
+
+TEST_P(PatternTest, LastStepHasNoForwardDeps) {
+  BenchConfig cfg;
+  cfg.pattern = GetParam();
+  cfg.width = 4;
+  cfg.steps = 5;
+  for (int x = 0; x < cfg.width; ++x) {
+    EXPECT_TRUE(
+        taskbench::reverse_dependencies(cfg, cfg.steps, x).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, PatternTest,
+                         ::testing::ValuesIn(kAllPatterns),
+                         [](const auto& info) {
+                           return taskbench::to_string(info.param);
+                         });
+
+TEST(Pattern, Stencil1DShape) {
+  BenchConfig cfg;
+  cfg.pattern = Pattern::kStencil1D;
+  cfg.width = 5;
+  cfg.steps = 3;
+  EXPECT_EQ(taskbench::dependencies(cfg, 1, 0), (std::vector<int>{0, 1}));
+  EXPECT_EQ(taskbench::dependencies(cfg, 1, 2),
+            (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(taskbench::dependencies(cfg, 1, 4), (std::vector<int>{3, 4}));
+}
+
+TEST(Pattern, ReferenceChecksumDeterministic) {
+  BenchConfig cfg;
+  cfg.width = 4;
+  cfg.steps = 50;
+  EXPECT_EQ(taskbench::reference_checksum(cfg),
+            taskbench::reference_checksum(cfg));
+  BenchConfig other = cfg;
+  other.steps = 51;
+  EXPECT_NE(taskbench::reference_checksum(cfg),
+            taskbench::reference_checksum(other));
+}
+
+TEST(Kernel, IterationsScaleDuration) {
+  // Not a timing assert (too flaky); just exercise both branches.
+  EXPECT_EQ(taskbench::kernel_compute(0), 0u);
+  EXPECT_NE(taskbench::kernel_compute(10), 0u);
+  EXPECT_EQ(taskbench::flops_to_iterations(0), 0u);
+  EXPECT_EQ(taskbench::flops_to_iterations(1), 1u);
+  EXPECT_EQ(taskbench::flops_to_iterations(taskbench::kFlopsPerIteration),
+            1u);
+  EXPECT_EQ(
+      taskbench::flops_to_iterations(taskbench::kFlopsPerIteration + 1),
+      2u);
+}
+
+// ---------------------------------------------- implementations vs reference
+
+struct ImplCase {
+  std::string impl;
+  Pattern pattern;
+};
+
+class ImplCorrectnessTest : public ::testing::TestWithParam<ImplCase> {};
+
+TEST_P(ImplCorrectnessTest, ChecksumMatchesReference) {
+  const auto& param = GetParam();
+  const auto* impl = taskbench::find_implementation(param.impl);
+  ASSERT_NE(impl, nullptr);
+  BenchConfig cfg;
+  cfg.pattern = param.pattern;
+  cfg.width = 4;
+  cfg.steps = 40;
+  cfg.iterations = 2;
+  const auto result = impl->run(cfg, 2);
+  EXPECT_TRUE(result.checksum_ok)
+      << impl->name << " checksum mismatch on "
+      << taskbench::to_string(param.pattern);
+  EXPECT_EQ(result.tasks, static_cast<std::uint64_t>(cfg.width) * cfg.steps);
+}
+
+std::vector<ImplCase> impl_cases() {
+  std::vector<ImplCase> cases;
+  for (const auto& impl : taskbench::implementations()) {
+    for (Pattern p : kAllPatterns) {
+      // The BSP (MPI-substitute) periodic stencil halo exchange is not
+      // implemented; it falls back to all-gather which covers fft/tree.
+      cases.push_back({impl.name, p});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllImpls, ImplCorrectnessTest, ::testing::ValuesIn(impl_cases()),
+    [](const auto& info) {
+      return info.param.impl + "_" + taskbench::to_string(info.param.pattern);
+    });
+
+TEST(ImplRegistry, ContainsCoreImplementations) {
+  EXPECT_NE(taskbench::find_implementation("ttg"), nullptr);
+  EXPECT_NE(taskbench::find_implementation("ttg_original"), nullptr);
+  EXPECT_NE(taskbench::find_implementation("ptg"), nullptr);
+  EXPECT_NE(taskbench::find_implementation("mpi_bsp"), nullptr);
+  EXPECT_NE(taskbench::find_implementation("taskflow_mini"), nullptr);
+  EXPECT_EQ(taskbench::find_implementation("nonexistent"), nullptr);
+}
+
+TEST(ImplSingleWidth, WidthOneChainWorks) {
+  // Degenerate grid: one point per step.
+  for (const auto& impl : taskbench::implementations()) {
+    BenchConfig cfg;
+    cfg.pattern = Pattern::kStencil1D;
+    cfg.width = 1;
+    cfg.steps = 30;
+    const auto result = impl.run(cfg, 1);
+    EXPECT_TRUE(result.checksum_ok) << impl.name;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+// ----------------------------------------------------------------- kernels
+
+TEST(Kernels, MemoryBoundDoesWork) {
+  EXPECT_EQ(taskbench::kernel_memory(0), 0u);
+  EXPECT_NE(taskbench::kernel_memory(1), 0u);
+}
+
+TEST(Kernels, ImbalanceIsDeterministicPerTask) {
+  taskbench::BenchConfig cfg;
+  cfg.kernel = taskbench::Kernel::kImbalance;
+  cfg.iterations = 50;
+  EXPECT_EQ(taskbench::run_kernel(cfg, 3, 4),
+            taskbench::run_kernel(cfg, 3, 4));
+}
+
+TEST(Kernels, EmptyKernelIsFree) {
+  taskbench::BenchConfig cfg;
+  cfg.kernel = taskbench::Kernel::kEmpty;
+  cfg.iterations = 1000000;  // ignored
+  EXPECT_EQ(taskbench::run_kernel(cfg, 0, 0), 0u);
+}
+
+struct KernelCase {
+  std::string impl;
+  taskbench::Kernel kernel;
+};
+
+class KernelCorrectnessTest : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelCorrectnessTest, ChecksumUnaffectedByKernelChoice) {
+  // The kernel is pure overhead: whatever work it does, the value
+  // recurrence (and hence the checksum) must not change.
+  const auto& param = GetParam();
+  const auto* impl = taskbench::find_implementation(param.impl);
+  ASSERT_NE(impl, nullptr);
+  taskbench::BenchConfig cfg;
+  cfg.pattern = Pattern::kStencil1D;
+  cfg.kernel = param.kernel;
+  cfg.width = 3;
+  cfg.steps = 20;
+  cfg.iterations = param.kernel == taskbench::Kernel::kMemoryBound ? 1 : 10;
+  const auto result = impl->run(cfg, 2);
+  EXPECT_TRUE(result.checksum_ok)
+      << param.impl << " with kernel " << taskbench::to_string(param.kernel);
+}
+
+std::vector<KernelCase> kernel_cases() {
+  std::vector<KernelCase> cases;
+  for (const char* impl : {"ttg", "ptg", "ptg_dsl", "mpi_bsp"}) {
+    for (auto k : {taskbench::Kernel::kEmpty, taskbench::Kernel::kComputeBound,
+                   taskbench::Kernel::kMemoryBound,
+                   taskbench::Kernel::kImbalance}) {
+      cases.push_back({impl, k});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KernelsXImpls, KernelCorrectnessTest,
+    ::testing::ValuesIn(kernel_cases()), [](const auto& info) {
+      return info.param.impl + "_" +
+             taskbench::to_string(info.param.kernel);
+    });
+
+}  // namespace

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "termdet/termdet.hpp"
+
+namespace {
+
+using ttg::TermDetMode;
+using ttg::TerminationDetector;
+
+class TermDetModeTest : public ::testing::TestWithParam<TermDetMode> {};
+
+TEST_P(TermDetModeTest, NoTerminationWhileProducerActive) {
+  TerminationDetector det(1, GetParam());
+  det.thread_attach(0);
+  // The attached thread is active: repeated wave advances must not
+  // announce termination even with zero pending tasks.
+  for (int i = 0; i < 10; ++i) det.advance_wave();
+  EXPECT_FALSE(det.terminated());
+}
+
+TEST_P(TermDetModeTest, TerminatesAfterWorkCompletes) {
+  TerminationDetector det(1, GetParam());
+  det.thread_attach(0);
+  det.on_discovered(3);
+  for (int i = 0; i < 3; ++i) det.on_completed();
+  det.on_idle();
+  // The wave needs two stable rounds; idle polling drives it.
+  for (int i = 0; i < 5 && !det.terminated(); ++i) det.advance_wave();
+  EXPECT_TRUE(det.terminated());
+  EXPECT_EQ(det.total_discovered(), 3);
+  EXPECT_EQ(det.total_completed(), 3);
+}
+
+TEST_P(TermDetModeTest, PendingWorkBlocksTermination) {
+  TerminationDetector det(1, GetParam());
+  det.thread_attach(0);
+  det.on_discovered(2);
+  det.on_completed();
+  det.on_idle();  // flush: one task still pending
+  for (int i = 0; i < 10; ++i) det.advance_wave();
+  EXPECT_FALSE(det.terminated());
+  // Completing the last task (thread resumes, finishes, idles again)
+  // unlocks termination.
+  det.on_resume();
+  det.on_completed();
+  det.on_idle();
+  for (int i = 0; i < 5 && !det.terminated(); ++i) det.advance_wave();
+  EXPECT_TRUE(det.terminated());
+}
+
+TEST_P(TermDetModeTest, ResetStartsFreshEpoch) {
+  TerminationDetector det(1, GetParam());
+  det.thread_attach(0);
+  det.on_discovered(1);
+  det.on_completed();
+  det.on_idle();
+  for (int i = 0; i < 5 && !det.terminated(); ++i) det.advance_wave();
+  ASSERT_TRUE(det.terminated());
+
+  det.reset();
+  EXPECT_FALSE(det.terminated());
+  det.on_resume();
+  det.on_discovered(1);
+  det.on_idle();  // flush; pending == 1
+  for (int i = 0; i < 10; ++i) det.advance_wave();
+  EXPECT_FALSE(det.terminated());
+  det.on_resume();
+  det.on_completed();
+  det.on_idle();
+  for (int i = 0; i < 5 && !det.terminated(); ++i) det.advance_wave();
+  EXPECT_TRUE(det.terminated());
+}
+
+TEST_P(TermDetModeTest, InFlightMessageBlocksTermination) {
+  TerminationDetector det(2, GetParam());
+  det.thread_attach(0);
+  det.on_message_sent();
+  det.on_idle();  // rank 0 quiet, but sent != received globally
+  for (int i = 0; i < 10; ++i) det.advance_wave();
+  EXPECT_FALSE(det.terminated());
+}
+
+TEST_P(TermDetModeTest, MultiRankMessageFlow) {
+  TerminationDetector det(2, GetParam());
+  // Rank 0 producer.
+  det.thread_attach(0);
+  det.on_message_sent();
+  det.on_idle();
+  EXPECT_FALSE(det.terminated());
+
+  // A rank-1 worker receives the message, runs the task it carries, and
+  // goes idle; now the system is globally quiet and counts match.
+  std::thread rank1([&] {
+    det.thread_attach(1);
+    det.on_message_received();
+    det.on_discovered(1);
+    det.on_completed();
+    det.on_idle();
+    for (int i = 0; i < 10 && !det.terminated(); ++i) det.advance_wave();
+  });
+  rank1.join();
+  EXPECT_TRUE(det.terminated());
+}
+
+TEST_P(TermDetModeTest, ManyThreadsRandomWork) {
+  // Property: termination is announced only after discovered==completed,
+  // and it is always announced eventually.
+  const auto mode = GetParam();
+  TerminationDetector det(1, mode);
+  det.thread_attach(0);
+  constexpr int kThreads = 4;
+  constexpr int kTasksPerThread = 2000;
+  det.on_discovered(kThreads);  // one seed task per worker
+
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      det.thread_attach(0);
+      // Simulate a recursive workload: each seed discovers children.
+      for (int i = 0; i < kTasksPerThread; ++i) det.on_discovered();
+      for (int i = 0; i < kTasksPerThread; ++i) det.on_completed();
+      det.on_completed();  // the seed itself
+      det.on_idle();
+    });
+  }
+  for (auto& t : workers) t.join();
+  det.on_idle();
+  for (int i = 0; i < 10 && !det.terminated(); ++i) det.advance_wave();
+  EXPECT_TRUE(det.terminated());
+  EXPECT_EQ(det.total_discovered(), det.total_completed());
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, TermDetModeTest,
+                         ::testing::Values(TermDetMode::kProcessAtomic,
+                                           TermDetMode::kThreadLocal));
+
+TEST(TermDet, ThreadLocalModeDefersProcessCounter) {
+  TerminationDetector det(1, TermDetMode::kThreadLocal);
+  det.thread_attach(0);
+  det.on_discovered(5);
+  // Not flushed yet: the rank-wide counter is untouched.
+  EXPECT_EQ(det.rank_pending(0), 0);
+  det.on_idle();
+  EXPECT_EQ(det.rank_pending(0), 5);
+}
+
+TEST(TermDet, ProcessAtomicModeUpdatesImmediately) {
+  TerminationDetector det(1, TermDetMode::kProcessAtomic);
+  det.thread_attach(0);
+  det.on_discovered(5);
+  EXPECT_EQ(det.rank_pending(0), 5);
+}
+
+}  // namespace

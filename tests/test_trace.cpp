@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "runtime/trace.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+ttg::Config test_config(int threads = 2) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+TEST(Trace, DisabledRecordsNothing) {
+  ttg::trace::disable();
+  ttg::trace::record(ttg::trace::EventKind::kTaskBegin);
+  ttg::trace::enable();  // clears
+  ttg::trace::disable();
+  EXPECT_TRUE(ttg::trace::snapshot().empty());
+}
+
+TEST(Trace, TaskEventsPairAndCount) {
+  ttg::trace::enable();
+  {
+    ttg::World world(test_config());
+    ttg::Edge<int, ttg::Void> e("e");
+    auto tt = ttg::make_tt<int>(
+        [](const int& k, const ttg::Void&, auto& outs) {
+          if (k > 0) ttg::sendk<0>(k - 1, outs);
+        },
+        ttg::edges(e), ttg::edges(e), "count", world);
+    (void)tt;
+    world.execute();
+    tt->sendk_input<0>(49);
+    world.fence();
+  }
+  ttg::trace::disable();
+
+  const auto events = ttg::trace::snapshot();
+  std::uint64_t begins = 0, ends = 0;
+  for (const auto& e : events) {
+    if (e.kind == ttg::trace::EventKind::kTaskBegin) ++begins;
+    if (e.kind == ttg::trace::EventKind::kTaskEnd) ++ends;
+  }
+  EXPECT_EQ(begins, 50u);
+  EXPECT_EQ(ends, 50u);
+  // Events are time-sorted.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].tsc, events[i - 1].tsc);
+  }
+
+  const auto summary = ttg::trace::summarize();
+  std::uint64_t tasks = 0, busy = 0;
+  for (const auto& s : summary) {
+    tasks += s.tasks;
+    busy += s.busy_cycles;
+  }
+  EXPECT_EQ(tasks, 50u);
+  EXPECT_GT(busy, 0u);
+}
+
+TEST(Trace, MessagesTracedAcrossRanks) {
+  ttg::trace::enable();
+  {
+    ttg::World world(test_config(1), 2);
+    ttg::Edge<int, int> e("e");
+    auto tt = ttg::make_tt<int>(
+        [](const int& k, int& v, auto& outs) {
+          if (k < 40) ttg::send<0>(k + 1, std::move(v), outs);
+        },
+        ttg::edges(e), ttg::edges(e), "chain", world);
+    world.execute();
+    tt->send_input<0>(0, 1);
+    world.fence();
+  }
+  ttg::trace::disable();
+  std::uint64_t sent = 0, received = 0;
+  for (const auto& e : ttg::trace::snapshot()) {
+    if (e.kind == ttg::trace::EventKind::kMessageSent) ++sent;
+    if (e.kind == ttg::trace::EventKind::kMessageReceived) ++received;
+  }
+  EXPECT_GT(sent, 0u);
+  EXPECT_EQ(sent, received);
+}
+
+TEST(Trace, RingOverwritesOldest) {
+  ttg::trace::enable(/*events_per_thread=*/8);
+  for (int i = 0; i < 100; ++i) {
+    ttg::trace::record(ttg::trace::EventKind::kTaskBegin,
+                       static_cast<std::uint32_t>(i));
+  }
+  ttg::trace::disable();
+  const auto events = ttg::trace::snapshot();
+  // Only this thread recorded; at most the ring capacity is kept.
+  std::uint64_t mine = 0;
+  for (const auto& e : events) {
+    if (e.kind == ttg::trace::EventKind::kTaskBegin) ++mine;
+  }
+  EXPECT_LE(mine, 8u);
+  EXPECT_GT(mine, 0u);
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  ttg::trace::enable();
+  ttg::trace::record(ttg::trace::EventKind::kTaskBegin, 7);
+  ttg::trace::record(ttg::trace::EventKind::kTaskEnd, 7);
+  ttg::trace::disable();
+  std::ostringstream os;
+  ttg::trace::dump_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("tsc,thread,kind,arg"), std::string::npos);
+  EXPECT_NE(csv.find("task_begin"), std::string::npos);
+  EXPECT_NE(csv.find("task_end"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "ttg/ttg.hpp"
+
+namespace {
+
+ttg::Config test_config(int threads = 1) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+class MultiRankTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiRankTest, ChainCrossesRanks) {
+  const int nranks = GetParam();
+  ttg::World world(test_config(), nranks);
+  ttg::Edge<int, int> e("chain");
+  std::atomic<int> tasks{0};
+  std::atomic<long> last{-1};
+  constexpr int kLen = 300;
+  auto tt = ttg::make_tt<int>(
+      [&](const int& k, int& v, auto& outs) {
+        tasks.fetch_add(1);
+        if (k < kLen) {
+          ttg::send<0>(k + 1, v + 1, outs);
+        } else {
+          last.store(v);
+        }
+      },
+      ttg::edges(e), ttg::edges(e), "step", world);
+  world.execute();
+  tt->send_input<0>(0, 0);
+  world.fence();
+  EXPECT_EQ(tasks.load(), kLen + 1);
+  EXPECT_EQ(last.load(), kLen);
+  if (nranks > 1) {
+    EXPECT_GT(world.messages_delivered(), 0u)
+        << "default keymap must spread keys across ranks";
+  }
+}
+
+TEST_P(MultiRankTest, ResultsMatchSingleRank) {
+  // The same stencil-flavored reduction must produce identical results
+  // regardless of rank count: distribution is semantics-free.
+  const int nranks = GetParam();
+  auto run = [](int ranks) -> long {
+    ttg::World world(test_config(), ranks);
+    ttg::Edge<std::pair<int, int>, long> a("a"), b("b");
+    std::atomic<long> sink{0};
+    auto tt = ttg::make_tt<std::pair<int, int>>(
+        [&](const std::pair<int, int>& key, long& x, long& y, auto& outs) {
+          const long v = x + 2 * y + key.second;
+          if (key.first < 6) {
+            for (int j = 0; j < 2; ++j) {
+              const std::pair<int, int> next{key.first + 1, j};
+              ttg::send<0>(next, v + j, outs);
+              ttg::send<1>(next, v - j, outs);
+            }
+          } else {
+            sink.fetch_add(v);
+          }
+        },
+        ttg::edges(a, b), ttg::edges(a, b), "grid", world);
+    world.execute();
+    for (int j = 0; j < 2; ++j) {
+      tt->send_input<0>(std::pair<int, int>{0, j}, long{j});
+      tt->send_input<1>(std::pair<int, int>{0, j}, long{2 * j});
+    }
+    world.fence();
+    return sink.load();
+  };
+  EXPECT_EQ(run(nranks), run(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, MultiRankTest, ::testing::Values(1, 2, 4));
+
+TEST(MultiRank, CustomKeymapPinsWork) {
+  ttg::World world(test_config(), 3);
+  ttg::Edge<int, ttg::Void> in("in");
+  std::atomic<int> wrong_rank{0};
+  std::atomic<int> fired{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int& k, const ttg::Void&, auto&) {
+        fired.fetch_add(1);
+        ttg::Worker* w = ttg::Context::current_worker();
+        if (w == nullptr || w->rank() != k % 3) wrong_rank.fetch_add(1);
+      },
+      ttg::edges(in), ttg::edges(), "pin", world);
+  tt->set_keymap([](const int& k) { return k % 3; });
+  world.execute();
+  for (int k = 0; k < 30; ++k) tt->sendk_input<0>(k);
+  world.fence();
+  EXPECT_EQ(fired.load(), 30);
+  EXPECT_EQ(wrong_rank.load(), 0)
+      << "tasks must execute on their keymap-assigned rank";
+}
+
+TEST(MultiRank, AllLocalKeymapSendsNoMessages) {
+  ttg::World world(test_config(), 2);
+  ttg::Edge<int, int> e("e");
+  std::atomic<int> tasks{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int& k, int& v, auto& outs) {
+        tasks.fetch_add(1);
+        if (k < 50) ttg::send<0>(k + 1, std::move(v), outs);
+      },
+      ttg::edges(e), ttg::edges(e), "local", world);
+  tt->set_keymap([](const int&) { return 0; });
+  world.execute();
+  tt->send_input<0>(0, 1);
+  world.fence();
+  EXPECT_EQ(tasks.load(), 51);
+  EXPECT_EQ(world.messages_delivered(), 0u);
+}
+
+TEST(MultiRank, JoinAcrossRanks) {
+  // Inputs produced on different ranks join at the key's owner.
+  ttg::World world(test_config(), 2);
+  ttg::Edge<int, int> a("a"), b("b");
+  std::atomic<long> sum{0};
+  auto join = ttg::make_tt<int>(
+      [&](const int&, int& x, int& y, auto&) { sum.fetch_add(x + y); },
+      ttg::edges(a, b), ttg::edges(), "join", world);
+  join->set_keymap([](const int& k) { return k % 2; });
+
+  ttg::Edge<int, ttg::Void> go("go");
+  auto src = ttg::make_tt<int>(
+      [&](const int& k, const ttg::Void&, auto& outs) {
+        // Producer k feeds joins k and k+1 (wrapping), crossing ranks.
+        ttg::send<0>(k, 10 * k, outs);
+        ttg::send<1>((k + 1) % 16, k, outs);
+      },
+      ttg::edges(go), ttg::edges(a, b), "src", world);
+  src->set_keymap([](const int& k) { return (k / 8) % 2; });
+
+  world.execute();
+  for (int k = 0; k < 16; ++k) src->sendk_input<0>(k);
+  world.fence();
+  long expect = 0;
+  for (int k = 0; k < 16; ++k) expect += 10 * k + (k + 15) % 16;
+  EXPECT_EQ(sum.load(), expect);
+}
+
+TEST(MultiRank, EpochsWork) {
+  ttg::World world(test_config(), 2);
+  ttg::Edge<int, ttg::Void> in("in");
+  std::atomic<int> n{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) { n.fetch_add(1); },
+      ttg::edges(in), ttg::edges(), "leaf", world);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    world.execute();
+    for (int k = 0; k < 20; ++k) tt->sendk_input<0>(epoch * 100 + k);
+    world.fence();
+    EXPECT_EQ(n.load(), (epoch + 1) * 20);
+  }
+}
+
+}  // namespace

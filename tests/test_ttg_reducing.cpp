@@ -1,0 +1,182 @@
+// Tests for reducing input terminals: contributions fold into a single
+// accumulator under the key's bucket lock; the task fires after the
+// per-key count and receives one plain value.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "ttg/ttg.hpp"
+
+namespace {
+
+ttg::Config test_config(int threads = 2) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+TEST(Reducing, FixedCountSum) {
+  ttg::World world(test_config(1));
+  ttg::Edge<int, long> in("in");
+  std::atomic<long> result{0};
+  std::atomic<int> fired{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, long& v, auto&) {
+        fired.fetch_add(1);
+        result.store(v);
+      },
+      ttg::edges(ttg::make_reducing(
+          in, [](long& acc, long&& x) { acc += x; }, 4)),
+      ttg::edges(), "sum", world);
+  world.execute();
+  tt->send_input<0>(0, 10L);
+  tt->send_input<0>(0, 20L);
+  tt->send_input<0>(0, 30L);
+  EXPECT_EQ(fired.load(), 0);  // 3 of 4 folded
+  tt->send_input<0>(0, 40L);
+  world.fence();
+  EXPECT_EQ(fired.load(), 1);
+  EXPECT_EQ(result.load(), 100);
+}
+
+TEST(Reducing, PerKeyCountCallback) {
+  ttg::World world(test_config());
+  ttg::Edge<int, long> in("in");
+  std::atomic<long> total{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int& k, long& v, auto&) {
+        // v = sum of k contributions 0..k-1 scaled by k.
+        EXPECT_EQ(v, static_cast<long>(k) * k * (k - 1) / 2);
+        total.fetch_add(v);
+      },
+      ttg::edges(ttg::make_reducing(
+          in, [](long& acc, long&& x) { acc += x; },
+          [](const int& k) { return k; })),
+      ttg::edges(), "sumk", world);
+  world.execute();
+  long expect = 0;
+  for (int k = 1; k <= 10; ++k) {
+    for (int i = 0; i < k; ++i) tt->send_input<0>(k, static_cast<long>(k) * i);
+    expect += static_cast<long>(k) * k * (k - 1) / 2;
+  }
+  world.fence();
+  EXPECT_EQ(total.load(), expect);
+}
+
+TEST(Reducing, NonCommutativeFoldStillCountsAll) {
+  // Arrival order is not guaranteed, so reducers should be commutative;
+  // but every contribution must be folded exactly once — use max, which
+  // is order-insensitive, and a side count.
+  ttg::World world(test_config(4));
+  ttg::Edge<int, int> in("in");
+  std::atomic<int> fired{0};
+  std::atomic<long> max_sum{0};
+  constexpr int kKeys = 500;
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, int& v, auto&) {
+        fired.fetch_add(1);
+        max_sum.fetch_add(v);
+      },
+      ttg::edges(ttg::make_reducing(
+          in, [](int& acc, int&& x) { acc = std::max(acc, x); }, 8)),
+      ttg::edges(), "max", world);
+  world.execute();
+  for (int round = 0; round < 8; ++round) {
+    for (int k = 0; k < kKeys; ++k) {
+      tt->send_input<0>(k, k * 100 + round);
+    }
+  }
+  world.fence();
+  EXPECT_EQ(fired.load(), kKeys);
+  long expect = 0;
+  for (int k = 0; k < kKeys; ++k) expect += k * 100 + 7;  // max round
+  EXPECT_EQ(max_sum.load(), expect);
+}
+
+TEST(Reducing, VectorAccumulatorKeepsOneCopy) {
+  // The accumulator is the first arrival's copy; contributions fold into
+  // it — verify the buffer address never changes across contributions.
+  ttg::World world(test_config(1));
+  ttg::Edge<int, std::vector<double>> in("in");
+  std::atomic<int> checked{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, std::vector<double>& v, auto&) {
+        EXPECT_EQ(v.size(), 3u);
+        EXPECT_DOUBLE_EQ(v[0], 1 + 10 + 100);
+        EXPECT_DOUBLE_EQ(v[1], 2 + 20 + 200);
+        EXPECT_DOUBLE_EQ(v[2], 3 + 30 + 300);
+        checked.fetch_add(1);
+      },
+      ttg::edges(ttg::make_reducing(
+          in,
+          [](std::vector<double>& acc, std::vector<double>&& x) {
+            for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += x[i];
+          },
+          3)),
+      ttg::edges(), "vecsum", world);
+  world.execute();
+  tt->send_input<0>(0, std::vector<double>{1, 2, 3});
+  tt->send_input<0>(0, std::vector<double>{10, 20, 30});
+  tt->send_input<0>(0, std::vector<double>{100, 200, 300});
+  world.fence();
+  EXPECT_EQ(checked.load(), 1);
+}
+
+TEST(Reducing, MixedWithPlainAndAggregated) {
+  ttg::World world(test_config());
+  ttg::Edge<int, long> red_in("red");
+  ttg::Edge<int, int> agg_in("agg");
+  ttg::Edge<int, int> plain_in("plain");
+  std::atomic<long> result{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, long& folded, const ttg::Aggregator<int>& collected,
+          int& scale, auto&) {
+        long s = folded;
+        for (int v : collected) s += v;
+        result.fetch_add(s * scale);
+      },
+      ttg::edges(ttg::make_reducing(
+                     red_in, [](long& a, long&& b) { a += b; }, 2),
+                 ttg::make_aggregator(agg_in, 2), plain_in),
+      ttg::edges(), "mixed", world);
+  world.execute();
+  tt->send_input<0>(5, 100L);
+  tt->send_input<0>(5, 200L);  // folded -> 300
+  tt->send_input<1>(5, 7);
+  tt->send_input<1>(5, 8);     // collected -> {7, 8}
+  tt->send_input<2>(5, 2);     // scale
+  world.fence();
+  EXPECT_EQ(result.load(), (300 + 7 + 8) * 2);
+}
+
+TEST(Reducing, TreeReductionAcrossTasks) {
+  // A binary-tree sum implemented with a reducing terminal: each node
+  // folds its two children's partial sums.
+  ttg::World world(test_config());
+  ttg::Edge<int, long> up("up");
+  std::atomic<long> root_sum{0};
+  constexpr int kLeaves = 64;  // power of two; nodes 1..2*kLeaves-1
+  auto tt = ttg::make_tt<int>(
+      [&](const int& node, long& v, auto& outs) {
+        if (node == 1) {
+          root_sum.store(v);
+        } else {
+          ttg::send<0>(node / 2, std::move(v), outs);
+        }
+      },
+      ttg::edges(ttg::make_reducing(
+          up, [](long& a, long&& b) { a += b; },
+          [](const int& node) { return node < kLeaves ? 2 : 1; })),
+      ttg::edges(up), "node", world);
+  world.execute();
+  long expect = 0;
+  for (int leaf = 0; leaf < kLeaves; ++leaf) {
+    tt->send_input<0>(kLeaves + leaf, static_cast<long>(leaf));
+    expect += leaf;
+  }
+  world.fence();
+  EXPECT_EQ(root_sum.load(), expect);
+}
+
+}  // namespace
