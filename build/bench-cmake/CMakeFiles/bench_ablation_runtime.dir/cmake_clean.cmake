@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_runtime"
+  "../bench/bench_ablation_runtime.pdb"
+  "CMakeFiles/bench_ablation_runtime.dir/bench_ablation_runtime.cpp.o"
+  "CMakeFiles/bench_ablation_runtime.dir/bench_ablation_runtime.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_eq1_atomic_model"
+  "../bench/bench_eq1_atomic_model.pdb"
+  "CMakeFiles/bench_eq1_atomic_model.dir/bench_eq1_atomic_model.cpp.o"
+  "CMakeFiles/bench_eq1_atomic_model.dir/bench_eq1_atomic_model.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq1_atomic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_11_summit_preset"
+  "../bench/bench_fig10_11_summit_preset.pdb"
+  "CMakeFiles/bench_fig10_11_summit_preset.dir/bench_fig10_11_summit_preset.cpp.o"
+  "CMakeFiles/bench_fig10_11_summit_preset.dir/bench_fig10_11_summit_preset.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_summit_preset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

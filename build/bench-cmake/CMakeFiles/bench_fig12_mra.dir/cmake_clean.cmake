@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_mra"
+  "../bench/bench_fig12_mra.pdb"
+  "CMakeFiles/bench_fig12_mra.dir/bench_fig12_mra.cpp.o"
+  "CMakeFiles/bench_fig12_mra.dir/bench_fig12_mra.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_atomics"
+  "../bench/bench_fig1_atomics.pdb"
+  "CMakeFiles/bench_fig1_atomics.dir/bench_fig1_atomics.cpp.o"
+  "CMakeFiles/bench_fig1_atomics.dir/bench_fig1_atomics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_scheduler"
+  "../bench/bench_fig6_scheduler.pdb"
+  "CMakeFiles/bench_fig6_scheduler.dir/bench_fig6_scheduler.cpp.o"
+  "CMakeFiles/bench_fig6_scheduler.dir/bench_fig6_scheduler.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

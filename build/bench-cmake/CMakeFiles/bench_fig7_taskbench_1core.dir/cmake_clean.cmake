@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_taskbench_1core"
+  "../bench/bench_fig7_taskbench_1core.pdb"
+  "CMakeFiles/bench_fig7_taskbench_1core.dir/bench_fig7_taskbench_1core.cpp.o"
+  "CMakeFiles/bench_fig7_taskbench_1core.dir/bench_fig7_taskbench_1core.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_taskbench_1core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_taskbench_scaled"
+  "../bench/bench_fig8_taskbench_scaled.pdb"
+  "CMakeFiles/bench_fig8_taskbench_scaled.dir/bench_fig8_taskbench_scaled.cpp.o"
+  "CMakeFiles/bench_fig8_taskbench_scaled.dir/bench_fig8_taskbench_scaled.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_taskbench_scaled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

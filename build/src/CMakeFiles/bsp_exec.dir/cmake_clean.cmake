@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsp_exec.dir/baselines/bsp.cpp.o"
+  "CMakeFiles/bsp_exec.dir/baselines/bsp.cpp.o.d"
+  "libbsp_exec.a"
+  "libbsp_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsp_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

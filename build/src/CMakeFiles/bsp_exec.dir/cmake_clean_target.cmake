@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsp_exec.a"
+)

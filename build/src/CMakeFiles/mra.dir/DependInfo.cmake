@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mra/gemm.cpp" "src/CMakeFiles/mra.dir/mra/gemm.cpp.o" "gcc" "src/CMakeFiles/mra.dir/mra/gemm.cpp.o.d"
+  "/root/repo/src/mra/legendre.cpp" "src/CMakeFiles/mra.dir/mra/legendre.cpp.o" "gcc" "src/CMakeFiles/mra.dir/mra/legendre.cpp.o.d"
+  "/root/repo/src/mra/mra_ops.cpp" "src/CMakeFiles/mra.dir/mra/mra_ops.cpp.o" "gcc" "src/CMakeFiles/mra.dir/mra/mra_ops.cpp.o.d"
+  "/root/repo/src/mra/twoscale.cpp" "src/CMakeFiles/mra.dir/mra/twoscale.cpp.o" "gcc" "src/CMakeFiles/mra.dir/mra/twoscale.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ttg_smalltask.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mra.dir/mra/gemm.cpp.o"
+  "CMakeFiles/mra.dir/mra/gemm.cpp.o.d"
+  "CMakeFiles/mra.dir/mra/legendre.cpp.o"
+  "CMakeFiles/mra.dir/mra/legendre.cpp.o.d"
+  "CMakeFiles/mra.dir/mra/mra_ops.cpp.o"
+  "CMakeFiles/mra.dir/mra/mra_ops.cpp.o.d"
+  "CMakeFiles/mra.dir/mra/twoscale.cpp.o"
+  "CMakeFiles/mra.dir/mra/twoscale.cpp.o.d"
+  "libmra.a"
+  "libmra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taskbench/harness.cpp" "src/CMakeFiles/taskbench_core.dir/taskbench/harness.cpp.o" "gcc" "src/CMakeFiles/taskbench_core.dir/taskbench/harness.cpp.o.d"
+  "/root/repo/src/taskbench/impl_bsp.cpp" "src/CMakeFiles/taskbench_core.dir/taskbench/impl_bsp.cpp.o" "gcc" "src/CMakeFiles/taskbench_core.dir/taskbench/impl_bsp.cpp.o.d"
+  "/root/repo/src/taskbench/impl_omp.cpp" "src/CMakeFiles/taskbench_core.dir/taskbench/impl_omp.cpp.o" "gcc" "src/CMakeFiles/taskbench_core.dir/taskbench/impl_omp.cpp.o.d"
+  "/root/repo/src/taskbench/impl_ptg_dsl.cpp" "src/CMakeFiles/taskbench_core.dir/taskbench/impl_ptg_dsl.cpp.o" "gcc" "src/CMakeFiles/taskbench_core.dir/taskbench/impl_ptg_dsl.cpp.o.d"
+  "/root/repo/src/taskbench/impl_raw.cpp" "src/CMakeFiles/taskbench_core.dir/taskbench/impl_raw.cpp.o" "gcc" "src/CMakeFiles/taskbench_core.dir/taskbench/impl_raw.cpp.o.d"
+  "/root/repo/src/taskbench/impl_taskflow.cpp" "src/CMakeFiles/taskbench_core.dir/taskbench/impl_taskflow.cpp.o" "gcc" "src/CMakeFiles/taskbench_core.dir/taskbench/impl_taskflow.cpp.o.d"
+  "/root/repo/src/taskbench/impl_ttg.cpp" "src/CMakeFiles/taskbench_core.dir/taskbench/impl_ttg.cpp.o" "gcc" "src/CMakeFiles/taskbench_core.dir/taskbench/impl_ttg.cpp.o.d"
+  "/root/repo/src/taskbench/kernel.cpp" "src/CMakeFiles/taskbench_core.dir/taskbench/kernel.cpp.o" "gcc" "src/CMakeFiles/taskbench_core.dir/taskbench/kernel.cpp.o.d"
+  "/root/repo/src/taskbench/pattern.cpp" "src/CMakeFiles/taskbench_core.dir/taskbench/pattern.cpp.o" "gcc" "src/CMakeFiles/taskbench_core.dir/taskbench/pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ttg_smalltask.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/bsp_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/taskflow_mini.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskbench_core.dir/taskbench/harness.cpp.o"
+  "CMakeFiles/taskbench_core.dir/taskbench/harness.cpp.o.d"
+  "CMakeFiles/taskbench_core.dir/taskbench/impl_bsp.cpp.o"
+  "CMakeFiles/taskbench_core.dir/taskbench/impl_bsp.cpp.o.d"
+  "CMakeFiles/taskbench_core.dir/taskbench/impl_omp.cpp.o"
+  "CMakeFiles/taskbench_core.dir/taskbench/impl_omp.cpp.o.d"
+  "CMakeFiles/taskbench_core.dir/taskbench/impl_ptg_dsl.cpp.o"
+  "CMakeFiles/taskbench_core.dir/taskbench/impl_ptg_dsl.cpp.o.d"
+  "CMakeFiles/taskbench_core.dir/taskbench/impl_raw.cpp.o"
+  "CMakeFiles/taskbench_core.dir/taskbench/impl_raw.cpp.o.d"
+  "CMakeFiles/taskbench_core.dir/taskbench/impl_taskflow.cpp.o"
+  "CMakeFiles/taskbench_core.dir/taskbench/impl_taskflow.cpp.o.d"
+  "CMakeFiles/taskbench_core.dir/taskbench/impl_ttg.cpp.o"
+  "CMakeFiles/taskbench_core.dir/taskbench/impl_ttg.cpp.o.d"
+  "CMakeFiles/taskbench_core.dir/taskbench/kernel.cpp.o"
+  "CMakeFiles/taskbench_core.dir/taskbench/kernel.cpp.o.d"
+  "CMakeFiles/taskbench_core.dir/taskbench/pattern.cpp.o"
+  "CMakeFiles/taskbench_core.dir/taskbench/pattern.cpp.o.d"
+  "libtaskbench_core.a"
+  "libtaskbench_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskbench_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtaskbench_core.a"
+)

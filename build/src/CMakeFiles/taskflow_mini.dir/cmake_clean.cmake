@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/taskflow_mini.dir/baselines/taskflow_mini.cpp.o"
+  "CMakeFiles/taskflow_mini.dir/baselines/taskflow_mini.cpp.o.d"
+  "libtaskflow_mini.a"
+  "libtaskflow_mini.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/taskflow_mini.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtaskflow_mini.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atomics/op_counter.cpp" "src/CMakeFiles/ttg_smalltask.dir/atomics/op_counter.cpp.o" "gcc" "src/CMakeFiles/ttg_smalltask.dir/atomics/op_counter.cpp.o.d"
+  "/root/repo/src/common/cycle_clock.cpp" "src/CMakeFiles/ttg_smalltask.dir/common/cycle_clock.cpp.o" "gcc" "src/CMakeFiles/ttg_smalltask.dir/common/cycle_clock.cpp.o.d"
+  "/root/repo/src/common/thread_id.cpp" "src/CMakeFiles/ttg_smalltask.dir/common/thread_id.cpp.o" "gcc" "src/CMakeFiles/ttg_smalltask.dir/common/thread_id.cpp.o.d"
+  "/root/repo/src/runtime/config.cpp" "src/CMakeFiles/ttg_smalltask.dir/runtime/config.cpp.o" "gcc" "src/CMakeFiles/ttg_smalltask.dir/runtime/config.cpp.o.d"
+  "/root/repo/src/runtime/context.cpp" "src/CMakeFiles/ttg_smalltask.dir/runtime/context.cpp.o" "gcc" "src/CMakeFiles/ttg_smalltask.dir/runtime/context.cpp.o.d"
+  "/root/repo/src/runtime/trace.cpp" "src/CMakeFiles/ttg_smalltask.dir/runtime/trace.cpp.o" "gcc" "src/CMakeFiles/ttg_smalltask.dir/runtime/trace.cpp.o.d"
+  "/root/repo/src/sched/lfq.cpp" "src/CMakeFiles/ttg_smalltask.dir/sched/lfq.cpp.o" "gcc" "src/CMakeFiles/ttg_smalltask.dir/sched/lfq.cpp.o.d"
+  "/root/repo/src/sched/ll.cpp" "src/CMakeFiles/ttg_smalltask.dir/sched/ll.cpp.o" "gcc" "src/CMakeFiles/ttg_smalltask.dir/sched/ll.cpp.o.d"
+  "/root/repo/src/sched/llp.cpp" "src/CMakeFiles/ttg_smalltask.dir/sched/llp.cpp.o" "gcc" "src/CMakeFiles/ttg_smalltask.dir/sched/llp.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/CMakeFiles/ttg_smalltask.dir/sched/scheduler.cpp.o" "gcc" "src/CMakeFiles/ttg_smalltask.dir/sched/scheduler.cpp.o.d"
+  "/root/repo/src/sync/bravo.cpp" "src/CMakeFiles/ttg_smalltask.dir/sync/bravo.cpp.o" "gcc" "src/CMakeFiles/ttg_smalltask.dir/sync/bravo.cpp.o.d"
+  "/root/repo/src/termdet/termdet.cpp" "src/CMakeFiles/ttg_smalltask.dir/termdet/termdet.cpp.o" "gcc" "src/CMakeFiles/ttg_smalltask.dir/termdet/termdet.cpp.o.d"
+  "/root/repo/src/ttg/world.cpp" "src/CMakeFiles/ttg_smalltask.dir/ttg/world.cpp.o" "gcc" "src/CMakeFiles/ttg_smalltask.dir/ttg/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

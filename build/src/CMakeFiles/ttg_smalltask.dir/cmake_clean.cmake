@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ttg_smalltask.dir/atomics/op_counter.cpp.o"
+  "CMakeFiles/ttg_smalltask.dir/atomics/op_counter.cpp.o.d"
+  "CMakeFiles/ttg_smalltask.dir/common/cycle_clock.cpp.o"
+  "CMakeFiles/ttg_smalltask.dir/common/cycle_clock.cpp.o.d"
+  "CMakeFiles/ttg_smalltask.dir/common/thread_id.cpp.o"
+  "CMakeFiles/ttg_smalltask.dir/common/thread_id.cpp.o.d"
+  "CMakeFiles/ttg_smalltask.dir/runtime/config.cpp.o"
+  "CMakeFiles/ttg_smalltask.dir/runtime/config.cpp.o.d"
+  "CMakeFiles/ttg_smalltask.dir/runtime/context.cpp.o"
+  "CMakeFiles/ttg_smalltask.dir/runtime/context.cpp.o.d"
+  "CMakeFiles/ttg_smalltask.dir/runtime/trace.cpp.o"
+  "CMakeFiles/ttg_smalltask.dir/runtime/trace.cpp.o.d"
+  "CMakeFiles/ttg_smalltask.dir/sched/lfq.cpp.o"
+  "CMakeFiles/ttg_smalltask.dir/sched/lfq.cpp.o.d"
+  "CMakeFiles/ttg_smalltask.dir/sched/ll.cpp.o"
+  "CMakeFiles/ttg_smalltask.dir/sched/ll.cpp.o.d"
+  "CMakeFiles/ttg_smalltask.dir/sched/llp.cpp.o"
+  "CMakeFiles/ttg_smalltask.dir/sched/llp.cpp.o.d"
+  "CMakeFiles/ttg_smalltask.dir/sched/scheduler.cpp.o"
+  "CMakeFiles/ttg_smalltask.dir/sched/scheduler.cpp.o.d"
+  "CMakeFiles/ttg_smalltask.dir/sync/bravo.cpp.o"
+  "CMakeFiles/ttg_smalltask.dir/sync/bravo.cpp.o.d"
+  "CMakeFiles/ttg_smalltask.dir/termdet/termdet.cpp.o"
+  "CMakeFiles/ttg_smalltask.dir/termdet/termdet.cpp.o.d"
+  "CMakeFiles/ttg_smalltask.dir/ttg/world.cpp.o"
+  "CMakeFiles/ttg_smalltask.dir/ttg/world.cpp.o.d"
+  "libttg_smalltask.a"
+  "libttg_smalltask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ttg_smalltask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ttg_smalltask.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ttg_smalltask.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomic_model.dir/test_atomic_model.cpp.o"
+  "CMakeFiles/test_atomic_model.dir/test_atomic_model.cpp.o.d"
+  "test_atomic_model"
+  "test_atomic_model.pdb"
+  "test_atomic_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrent_map.dir/test_concurrent_map.cpp.o"
+  "CMakeFiles/test_concurrent_map.dir/test_concurrent_map.cpp.o.d"
+  "test_concurrent_map"
+  "test_concurrent_map.pdb"
+  "test_concurrent_map[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrent_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_copy.dir/test_data_copy.cpp.o"
+  "CMakeFiles/test_data_copy.dir/test_data_copy.cpp.o.d"
+  "test_data_copy"
+  "test_data_copy.pdb"
+  "test_data_copy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_data_lifetime.dir/test_data_lifetime.cpp.o"
+  "CMakeFiles/test_data_lifetime.dir/test_data_lifetime.cpp.o.d"
+  "test_data_lifetime"
+  "test_data_lifetime.pdb"
+  "test_data_lifetime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_data_lifetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

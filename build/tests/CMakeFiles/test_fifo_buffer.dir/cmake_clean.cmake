@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fifo_buffer.dir/test_fifo_buffer.cpp.o"
+  "CMakeFiles/test_fifo_buffer.dir/test_fifo_buffer.cpp.o.d"
+  "test_fifo_buffer"
+  "test_fifo_buffer.pdb"
+  "test_fifo_buffer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fifo_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graph_fuzz.dir/test_graph_fuzz.cpp.o"
+  "CMakeFiles/test_graph_fuzz.dir/test_graph_fuzz.cpp.o.d"
+  "test_graph_fuzz"
+  "test_graph_fuzz.pdb"
+  "test_graph_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graph_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_graphviz.dir/test_graphviz.cpp.o"
+  "CMakeFiles/test_graphviz.dir/test_graphviz.cpp.o.d"
+  "test_graphviz"
+  "test_graphviz.pdb"
+  "test_graphviz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_graphviz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

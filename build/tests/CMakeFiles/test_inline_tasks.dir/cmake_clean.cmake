@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_inline_tasks.dir/test_inline_tasks.cpp.o"
+  "CMakeFiles/test_inline_tasks.dir/test_inline_tasks.cpp.o.d"
+  "test_inline_tasks"
+  "test_inline_tasks.pdb"
+  "test_inline_tasks[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_inline_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

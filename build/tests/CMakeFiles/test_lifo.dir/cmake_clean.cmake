@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lifo.dir/test_lifo.cpp.o"
+  "CMakeFiles/test_lifo.dir/test_lifo.cpp.o.d"
+  "test_lifo"
+  "test_lifo.pdb"
+  "test_lifo[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

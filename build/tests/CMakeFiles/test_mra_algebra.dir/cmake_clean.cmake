@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mra_algebra.dir/test_mra_algebra.cpp.o"
+  "CMakeFiles/test_mra_algebra.dir/test_mra_algebra.cpp.o.d"
+  "test_mra_algebra"
+  "test_mra_algebra.pdb"
+  "test_mra_algebra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mra_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

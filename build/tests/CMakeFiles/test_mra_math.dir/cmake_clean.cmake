@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mra_math.dir/test_mra_math.cpp.o"
+  "CMakeFiles/test_mra_math.dir/test_mra_math.cpp.o.d"
+  "test_mra_math"
+  "test_mra_math.pdb"
+  "test_mra_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mra_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_taskbench.dir/test_taskbench.cpp.o"
+  "CMakeFiles/test_taskbench.dir/test_taskbench.cpp.o.d"
+  "test_taskbench"
+  "test_taskbench.pdb"
+  "test_taskbench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_taskbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_termdet.dir/test_termdet.cpp.o"
+  "CMakeFiles/test_termdet.dir/test_termdet.cpp.o.d"
+  "test_termdet"
+  "test_termdet.pdb"
+  "test_termdet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_termdet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

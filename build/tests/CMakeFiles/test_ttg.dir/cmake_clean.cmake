@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ttg.dir/test_ttg.cpp.o"
+  "CMakeFiles/test_ttg.dir/test_ttg.cpp.o.d"
+  "test_ttg"
+  "test_ttg.pdb"
+  "test_ttg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ttg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

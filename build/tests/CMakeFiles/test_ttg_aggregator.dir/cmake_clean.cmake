@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ttg_aggregator.dir/test_ttg_aggregator.cpp.o"
+  "CMakeFiles/test_ttg_aggregator.dir/test_ttg_aggregator.cpp.o.d"
+  "test_ttg_aggregator"
+  "test_ttg_aggregator.pdb"
+  "test_ttg_aggregator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ttg_aggregator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ttg_multirank.dir/test_ttg_multirank.cpp.o"
+  "CMakeFiles/test_ttg_multirank.dir/test_ttg_multirank.cpp.o.d"
+  "test_ttg_multirank"
+  "test_ttg_multirank.pdb"
+  "test_ttg_multirank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ttg_multirank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

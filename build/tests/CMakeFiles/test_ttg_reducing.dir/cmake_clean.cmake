@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ttg_reducing.dir/test_ttg_reducing.cpp.o"
+  "CMakeFiles/test_ttg_reducing.dir/test_ttg_reducing.cpp.o.d"
+  "test_ttg_reducing"
+  "test_ttg_reducing.pdb"
+  "test_ttg_reducing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ttg_reducing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
