@@ -11,6 +11,8 @@ std::string_view to_string(AtomicOpCategory c) {
     case AtomicOpCategory::kScheduler: return "scheduler";
     case AtomicOpCategory::kRWLock: return "rwlock";
     case AtomicOpCategory::kTermDet: return "termdet";
+    case AtomicOpCategory::kCopyPoolHit: return "copy-pool-hit";
+    case AtomicOpCategory::kCopyPoolMiss: return "copy-pool-miss";
     case AtomicOpCategory::kOther: return "other";
     case AtomicOpCategory::kCount_: break;
   }

@@ -31,6 +31,14 @@ enum class AtomicOpCategory : int {
   kScheduler,       ///< scheduler push/pop CAS (N_S)
   kRWLock,          ///< reader-writer lock (eliminated by BRAVO fast path)
   kTermDet,         ///< termination-detection counter updates
+  /// Data-copy pool allocations served from the free list (the pop is
+  /// additionally counted under kMemPool; this tracks the *outcome*).
+  kCopyPoolHit,
+  /// Data-copy pool allocations that missed the free list: a bump-chunk
+  /// carve or an oversized heap fallback — the "at least one atomic
+  /// operation in the underlying system allocator" Eq. (1) charges to
+  /// copy creation.
+  kCopyPoolMiss,
   kOther,
   kCount_,
 };

@@ -136,7 +136,7 @@ class ParameterizedGraph {
     task->execute = &ParameterizedGraph::execute_task;
     task->pool = &task_pool_;
     ctx_->on_discovered(1);
-    ctx_->schedule_or_inline(task);
+    ctx_->submit(task, ttg::SubmitHint::kMayInline);
   }
 
   static void execute_task(ttg::TaskBase* base, ttg::Worker&) {

@@ -2,24 +2,16 @@
 
 #include <cassert>
 #include <chrono>
-
-#include "common/busy_wait.hpp"
-#include "runtime/trace.hpp"
+#include <thread>
 
 namespace ttg {
-
-namespace {
-thread_local Worker* t_current_worker = nullptr;
-}  // namespace
-
-Worker* Context::current_worker() { return t_current_worker; }
 
 Context::Context(const Config& config)
     : Context(config, nullptr, /*rank=*/0) {}
 
 Context::Context(const Config& config, TerminationDetector* detector,
                  int rank)
-    : config_(config), num_threads_(config.threads()), rank_(rank) {
+    : config_(config) {
   config_.apply_globals();
   if (detector == nullptr) {
     owned_detector_ = std::make_unique<TerminationDetector>(
@@ -28,135 +20,19 @@ Context::Context(const Config& config, TerminationDetector* detector,
   } else {
     detector_ = detector;
   }
-  scheduler_ = make_scheduler(config_.scheduler, num_threads_,
-                              config_.steal_domain_size);
-  workers_ = std::make_unique<CachePadded<Worker>[]>(
-      static_cast<std::size_t>(num_threads_));
 
   // For a standalone (single-rank) context, the constructing thread is
   // the external producer. Multi-rank worlds attach their producer thread
   // once, to rank 0, in World's constructor.
   if (owned_detector_ != nullptr) {
-    detector_->thread_attach(rank_);
+    detector_->thread_attach(rank);
   }
 
-  threads_.reserve(static_cast<std::size_t>(num_threads_));
-  for (int i = 0; i < num_threads_; ++i) {
-    threads_.emplace_back([this, i] { worker_main(i); });
-  }
+  engine_ = std::make_unique<ExecutionEngine>(*this, config_, *detector_,
+                                              rank);
 }
 
-Context::~Context() {
-  stop_.store(true, std::memory_order_release);
-  notify_work();
-  for (auto& t : threads_) t.join();
-}
-
-void Context::notify_work() {
-  signal_.fetch_add(1, std::memory_order_release);
-  if (sleepers_.load(std::memory_order_acquire) > 0) {
-    signal_.notify_all();
-  }
-}
-
-void Context::begin() { detector_->on_resume(); }
-
-void Context::schedule(TaskBase* task) {
-  Worker* w = current_worker();
-  const int idx =
-      (w != nullptr && &w->context() == this) ? w->index() : kExternalWorker;
-  scheduler_->push(idx, task);
-  notify_work();
-}
-
-void Context::schedule_chain(TaskBase* first) {
-  if (first == nullptr) return;
-  Worker* w = current_worker();
-  const int idx =
-      (w != nullptr && &w->context() == this) ? w->index() : kExternalWorker;
-  scheduler_->push_chain(idx, first);
-  notify_work();
-}
-
-namespace {
-
-/// Inserts `task` into the descending-priority chain at `head` (new
-/// tasks go before equal-priority older ones, as in the LLP fast path).
-void batch_insert(TaskBase*& head, TaskBase* task) {
-  LifoNode* prev = nullptr;
-  LifoNode* cur = head;
-  while (cur != nullptr && cur->priority > task->priority) {
-    prev = cur;
-    cur = cur->next;
-  }
-  task->next = cur;
-  if (prev == nullptr) {
-    head = task;
-  } else {
-    prev->next = task;
-  }
-}
-
-}  // namespace
-
-void Context::schedule_or_inline(TaskBase* task) {
-  Worker* w = current_worker();
-  if (w != nullptr && &w->context() == this) {
-    if (config_.inline_max_depth > 0 &&
-        w->inline_depth_ < config_.inline_max_depth) {
-      ++w->inline_depth_;
-      run_task(task, *w);
-      --w->inline_depth_;
-      return;
-    }
-    if (w->batch_open_) {
-      // The common single-successor case (chains) keeps the plain push
-      // fast path; bundling starts with the second eligible successor.
-      if (!w->batch_primed_) {
-        w->batch_primed_ = true;
-        schedule(task);
-        return;
-      }
-      batch_insert(w->batch_head_, task);
-      if (++w->batch_size_ >= kMaxBatch) {
-        scheduler_->push_chain(w->index_, w->batch_head_);
-        w->batch_head_ = nullptr;
-        w->batch_size_ = 0;
-        notify_work();
-      }
-      return;
-    }
-  }
-  schedule(task);
-}
-
-void Context::run_task(TaskBase* task, Worker& worker) {
-  // Open a fresh bundling scope (stack discipline: inlined tasks nest).
-  TaskBase* saved_head = worker.batch_head_;
-  const int saved_size = worker.batch_size_;
-  const bool saved_open = worker.batch_open_;
-  const bool saved_primed = worker.batch_primed_;
-  worker.batch_head_ = nullptr;
-  worker.batch_size_ = 0;
-  worker.batch_open_ = config_.bundle_successors;
-  worker.batch_primed_ = false;
-
-  trace::record(trace::EventKind::kTaskBegin);
-  task->execute(task, worker);
-  trace::record(trace::EventKind::kTaskEnd);
-  ++worker.tasks_executed_;
-
-  if (worker.batch_head_ != nullptr) {
-    scheduler_->push_chain(worker.index_, worker.batch_head_);
-    notify_work();
-  }
-  worker.batch_head_ = saved_head;
-  worker.batch_size_ = saved_size;
-  worker.batch_open_ = saved_open;
-  worker.batch_primed_ = saved_primed;
-
-  detector_->on_completed();
-}
+Context::~Context() = default;
 
 void Context::fence() {
   // The calling thread stops producing: flush its counters and take part
@@ -179,72 +55,6 @@ void Context::reset_epoch() {
   assert(detector_->terminated() &&
          "reset_epoch() before the previous epoch terminated");
   detector_->reset();
-}
-
-std::uint64_t Context::total_tasks_executed() const {
-  std::uint64_t n = 0;
-  for (int i = 0; i < num_threads_; ++i) n += workers_[i]->tasks_executed();
-  return n;
-}
-
-void Context::worker_main(int index) {
-  Worker& self = workers_[index].value;
-  self.context_ = this;
-  self.index_ = index;
-  self.rank_ = rank_;
-  t_current_worker = &self;
-
-  detector_->thread_attach(rank_);
-  // A worker starts with nothing to do.
-  detector_->on_idle();
-
-  int idle_spins = 0;
-  while (!stop_.load(std::memory_order_acquire)) {
-    if (LifoNode* node = scheduler_->pop(index); node != nullptr) {
-      detector_->on_resume();
-      idle_spins = 0;
-      run_task(static_cast<TaskBase*>(node), self);
-      continue;
-    }
-
-    if (ProgressSource* src = progress_.load(std::memory_order_acquire);
-        src != nullptr && !src->empty()) {
-      detector_->on_resume();
-      src->drain(self);
-      idle_spins = 0;
-      continue;
-    }
-
-    detector_->on_idle();
-    if (++idle_spins < 64) {
-      std::this_thread::yield();
-      continue;
-    }
-
-    // Park until schedule()/shutdown bumps the signal. The re-check of
-    // the scheduler between reading the signal and waiting prevents a
-    // missed wakeup for pushes that happened before we loaded `v`.
-    const std::uint64_t v = signal_.load(std::memory_order_acquire);
-    if (LifoNode* node = scheduler_->pop(index); node != nullptr) {
-      detector_->on_resume();
-      idle_spins = 0;
-      run_task(static_cast<TaskBase*>(node), self);
-      continue;
-    }
-    if (ProgressSource* src = progress_.load(std::memory_order_acquire);
-        src != nullptr && !src->empty()) {
-      continue;  // a message landed after the earlier probe
-    }
-    if (stop_.load(std::memory_order_acquire)) break;
-    trace::record(trace::EventKind::kIdleBegin);
-    sleepers_.fetch_add(1, std::memory_order_acq_rel);
-    signal_.wait(v, std::memory_order_acquire);
-    sleepers_.fetch_sub(1, std::memory_order_relaxed);
-    trace::record(trace::EventKind::kIdleEnd);
-    idle_spins = 0;
-  }
-
-  t_current_worker = nullptr;
 }
 
 }  // namespace ttg

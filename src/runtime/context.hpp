@@ -1,79 +1,42 @@
-// Execution context: the PaRSEC-like runtime core.
+// Execution context: the public façade of the runtime core.
 //
-// A Context owns a pool of worker threads, a scheduler, and (unless one
-// is shared across simulated ranks) a termination detector. Workers run
-// the classic passive-scheduler loop: pop a task, execute it, account
-// completion; when no work is found they flush their termination
-// counters (Sec. IV-B), advance the termination wave, and eventually
-// park on a futex-style signal so idle workers do not burn CPU.
+// The runtime is layered (see DESIGN.md "Runtime layering"):
+//
+//   Context          — epoch protocol, discovery accounting, submit()
+//   ExecutionEngine  — worker loop, the single submission path, scheduler
+//   Worker           — per-thread state: bundling scope, inline depth
+//   ParkingLot       — futex-style sleep/wake for idle workers
+//
+// A Context owns the configuration, (unless shared across simulated
+// ranks) a termination detector, and one ExecutionEngine driving the
+// worker pool. All task submission funnels through Context::submit(task,
+// SubmitHint) — there is deliberately no second entry point.
 //
 // Epoch protocol (mirrors ttg::execute()/ttg::fence()):
-//   Context ctx(cfg);           // workers start parked
-//   ctx.begin();                // main thread becomes an active producer
-//   ctx.spawn(task); ...        // discover + schedule work
-//   ctx.fence();                // wait for global termination
-//   ctx.begin(); ...            // next epoch reuses the same workers
+//   Context ctx(cfg);              // workers start parked
+//   ctx.begin();                   // main thread becomes an active producer
+//   ctx.on_discovered();
+//   ctx.submit(task); ...          // discover + schedule work
+//   ctx.fence();                   // wait for global termination
+//   ctx.begin(); ...               // next epoch reuses the same workers
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <thread>
-#include <vector>
 
-#include "common/cache.hpp"
 #include "runtime/config.hpp"
+#include "runtime/engine.hpp"
 #include "runtime/task.hpp"
 #include "sched/scheduler.hpp"
 #include "termdet/termdet.hpp"
 
 namespace ttg {
 
-class Context;
-
-/// Per-worker state; passed to every task body.
-class Worker {
- public:
-  Context& context() const { return *context_; }
-  int index() const { return index_; }
-  int rank() const { return rank_; }
-
-  /// Tasks executed by this worker (diagnostics).
-  std::uint64_t tasks_executed() const { return tasks_executed_; }
-
-  /// Current task-inlining nesting depth on this worker.
-  int inline_depth() const { return inline_depth_; }
-
- private:
-  friend class Context;
-  Context* context_ = nullptr;
-  int index_ = kExternalWorker;
-  int rank_ = 0;
-  std::uint64_t tasks_executed_ = 0;
-  int inline_depth_ = 0;
-  // Successor-bundling scope (Sec. IV-C): chain of tasks made eligible
-  // by the currently running task, sorted by descending priority.
-  TaskBase* batch_head_ = nullptr;
-  int batch_size_ = 0;
-  bool batch_open_ = false;
-  bool batch_primed_ = false;  // first successor went straight through
-};
-
 class Context {
  public:
-  /// Bundled-successor chains flush early at this size so a very wide
-  /// fan-out does not starve other workers of stealable tasks.
-  static constexpr int kMaxBatch = 16;
-
-  /// Source of non-task work (e.g. the simulated-rank active-message
-  /// queue) polled by workers that found no task. drain() must account
-  /// any discovered work through the termination detector itself.
-  class ProgressSource {
-   public:
-    virtual ~ProgressSource() = default;
-    virtual bool empty() = 0;
-    virtual void drain(Worker& worker) = 0;
-  };
+  /// Kept as a nested alias so existing code can keep saying
+  /// Context::ProgressSource; the interface lives with the engine.
+  using ProgressSource = ttg::ProgressSource;
 
   /// Creates a self-contained single-rank context.
   explicit Context(const Config& config);
@@ -87,89 +50,63 @@ class Context {
   ~Context();
 
   const Config& config() const { return config_; }
-  int num_threads() const { return num_threads_; }
-  int rank() const { return rank_; }
-  Scheduler& scheduler() { return *scheduler_; }
+  int num_threads() const { return engine_->num_threads(); }
+  int rank() const { return engine_->rank(); }
+  Scheduler& scheduler() { return engine_->scheduler(); }
   TerminationDetector& detector() { return *detector_; }
+  ExecutionEngine& engine() { return *engine_; }
 
   /// Worker currently running on this thread, or nullptr for external
   /// threads (e.g. the application's main thread).
-  static Worker* current_worker();
+  static Worker* current_worker() {
+    return ExecutionEngine::current_worker();
+  }
 
   /// Marks the calling (external) thread as an active producer for a new
-  /// or continuing epoch. Must be called before the first spawn of an
+  /// or continuing epoch. Must be called before the first submit of an
   /// epoch and after every fence() that is followed by more work.
-  void begin();
+  void begin() { detector_->on_resume(); }
 
   /// Accounts the discovery of `n` tasks on the calling thread. Must
   /// happen before the tasks become schedulable.
   void on_discovered(std::int64_t n = 1) { detector_->on_discovered(n); }
 
-  /// Schedules an already-discovered task.
-  void schedule(TaskBase* task);
-
-  /// Schedules a descending-priority-sorted chain of already-discovered
-  /// tasks in one scheduler operation.
-  void schedule_chain(TaskBase* first);
-
-  /// Convenience: on_discovered(1) + schedule(task).
-  void spawn(TaskBase* task) {
-    on_discovered(1);
-    schedule(task);
+  /// Submits an already-discovered task for execution — the one
+  /// submission entry point. See SubmitHint (runtime/engine.hpp) for the
+  /// deferred/chain/may-inline shapes.
+  void submit(TaskBase* task, SubmitHint hint = SubmitHint::kDeferred) {
+    engine_->submit(task, hint);
   }
-
-  /// Schedules an already-discovered task, or — when task inlining is
-  /// enabled (Config::inline_max_depth) and the caller is a worker of
-  /// this context below the depth limit — executes it immediately on
-  /// this thread, skipping the scheduler round trip entirely. With
-  /// successor bundling enabled, tasks made eligible inside a running
-  /// task body are batched and pushed as one sorted chain when the body
-  /// returns (Sec. IV-C).
-  void schedule_or_inline(TaskBase* task);
-
-  /// Executes one task on `worker` with a successor-bundling scope and
-  /// completion accounting. Used by the worker loop and the inlining
-  /// path.
-  void run_task(TaskBase* task, Worker& worker);
 
   /// Blocks the calling (external) thread until the termination detector
   /// announces that all discovered work completed.
   void fence();
 
   /// Resets the termination detector for the next epoch. Only valid
-  /// after fence() returned and before new work is spawned.
+  /// after fence() returned and before new work is submitted.
   void reset_epoch();
 
   /// Total tasks executed by all workers since construction.
-  std::uint64_t total_tasks_executed() const;
+  std::uint64_t total_tasks_executed() const {
+    return engine_->total_tasks_executed();
+  }
 
-  /// Wakes parked workers; called automatically on schedule.
-  void notify_work();
+  /// Wakes parked workers; called automatically on submit.
+  void notify_work() { engine_->notify_work(); }
 
-  /// Installs a progress source. Must be set before work is spawned and
-  /// outlive the context (or be reset to nullptr while quiescent).
+  /// Installs a progress source. Must be set before work is submitted
+  /// and outlive the context (or be reset to nullptr while quiescent).
   void set_progress_source(ProgressSource* source) {
-    progress_.store(source, std::memory_order_release);
+    engine_->set_progress_source(source);
   }
 
  private:
-  void worker_main(int index);
-
   Config config_;
-  int num_threads_;
-  int rank_ = 0;
-
   std::unique_ptr<TerminationDetector> owned_detector_;
   TerminationDetector* detector_;
-  std::unique_ptr<Scheduler> scheduler_;
-
-  std::vector<std::thread> threads_;
-  std::unique_ptr<CachePadded<Worker>[]> workers_;
-
-  std::atomic<ProgressSource*> progress_{nullptr};
-  std::atomic<bool> stop_{false};
-  std::atomic<std::uint64_t> signal_{0};
-  std::atomic<int> sleepers_{0};
+  // Constructed last / destroyed first: the engine's workers reference
+  // the detector and config above.
+  std::unique_ptr<ExecutionEngine> engine_;
 };
 
 }  // namespace ttg

@@ -1,0 +1,110 @@
+#include "runtime/copy_pool.hpp"
+
+#include <array>
+#include <atomic>
+#include <new>
+
+#include "atomics/op_counter.hpp"
+#include "common/cache.hpp"
+#include "common/thread_id.hpp"
+#include "runtime/trace.hpp"
+
+namespace ttg {
+
+namespace {
+
+// Size classes: 64, 128, 256, 512, 1024 bytes. A DataCopy header is
+// ~24 bytes, so the smallest class still fits typical scalar payloads
+// with room for the pool's own slot header.
+constexpr std::size_t kNumClasses = 5;
+constexpr std::size_t kMinClassBytes = 64;
+
+int class_index(std::size_t bytes) {
+  std::size_t cap = kMinClassBytes;
+  for (std::size_t i = 0; i < kNumClasses; ++i, cap *= 2) {
+    if (bytes <= cap) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+// Leaked deliberately: copies may be released from static destructors
+// after main(), so the pools must never die before the process does.
+// Chunk memory is recycled through free lists for the whole run, which
+// also satisfies the AtomicLifo node-lifetime rule.
+std::array<MemoryPool, kNumClasses>& pools() {
+  constexpr auto kMode = MemoryPool::Mode::kPrivateCache;
+  constexpr std::size_t kChunk = 64;
+  static auto* p = new std::array<MemoryPool, kNumClasses>{
+      MemoryPool(64, kChunk, kMode), MemoryPool(128, kChunk, kMode),
+      MemoryPool(256, kChunk, kMode), MemoryPool(512, kChunk, kMode),
+      MemoryPool(1024, kChunk, kMode)};
+  return *p;
+}
+
+struct alignas(kCacheLineSize) HeapCounters {
+  std::uint64_t fallbacks = 0;
+};
+HeapCounters g_heap[kMaxThreads];
+
+void account(bool hit) {
+  if (hit) {
+    atomic_ops::count(AtomicOpCategory::kCopyPoolHit);
+    trace::record(trace::EventKind::kPoolHit);
+  } else {
+    atomic_ops::count(AtomicOpCategory::kCopyPoolMiss);
+    trace::record(trace::EventKind::kPoolMiss);
+  }
+}
+
+}  // namespace
+
+CopyPoolStats copy_pool_stats() {
+  CopyPoolStats s;
+  for (const MemoryPool& pool : pools()) {
+    const MemoryPool::Stats ps = pool.stats();
+    s.hits += ps.hits;
+    s.misses += ps.misses;
+  }
+  for (int t = 0; t < this_thread::id_count(); ++t) {
+    s.heap_fallbacks += g_heap[t].fallbacks;
+  }
+  s.misses += s.heap_fallbacks;
+  return s;
+}
+
+namespace detail {
+
+void* copy_alloc(std::size_t bytes, std::size_t align, MemoryPool*& pool) {
+  const int cls =
+      align <= alignof(std::max_align_t) ? class_index(bytes) : -1;
+  if (cls < 0) {
+    // Oversized or over-aligned: heap fallback, charged as a miss.
+    ++g_heap[this_thread::id()].fallbacks;
+    account(/*hit=*/false);
+    pool = nullptr;
+    if (align > alignof(std::max_align_t)) {
+      return ::operator new(bytes, std::align_val_t(align));
+    }
+    return ::operator new(bytes);
+  }
+  pool = &pools()[static_cast<std::size_t>(cls)];
+  bool hit;
+  void* p = pool->allocate(hit);
+  account(hit);
+  return p;
+}
+
+void copy_free(void* p, MemoryPool* pool, std::size_t align) noexcept {
+  if (pool != nullptr) {
+    pool->deallocate(p);
+    return;
+  }
+  if (align > alignof(std::max_align_t)) {
+    ::operator delete(p, std::align_val_t(align));
+  } else {
+    ::operator delete(p);
+  }
+}
+
+}  // namespace detail
+}  // namespace ttg

@@ -1,0 +1,51 @@
+// Pooled allocation for DataCopy objects (paper Sec. IV-E).
+//
+// Copies used to be `new`-ed and `delete this`-ed on the system heap
+// while tasks already recycled through per-thread MemoryPools. This
+// module closes that gap: process-wide size-class pools (one MemoryPool
+// per power-of-two class up to kMaxPooledBytes) serve every copy
+// allocation, and releases return the storage to the allocating
+// thread's free list — two pool atomics instead of a malloc/free pair
+// on the data-flow hot path.
+//
+// Accounting: every allocation reports a *hit* (recycled from a free
+// list) or a *miss* (fresh bump-chunk carve, or an oversized heap
+// fallback) through both surfaces the Eq. (1) benchmarks read —
+// atomics::op_counter (kCopyPoolHit/kCopyPoolMiss) and the trace ring
+// (EventKind::kPoolHit/kPoolMiss, aggregated by trace::summarize()).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "structures/mempool.hpp"
+
+namespace ttg {
+
+/// Aggregate hit/miss totals over all size-class pools plus the heap
+/// fallback path, summed over all threads.
+struct CopyPoolStats {
+  std::uint64_t hits = 0;            ///< free-list recycles
+  std::uint64_t misses = 0;          ///< bump carves + heap fallbacks
+  std::uint64_t heap_fallbacks = 0;  ///< allocations too big/aligned to pool
+};
+
+CopyPoolStats copy_pool_stats();
+
+namespace detail {
+
+/// Largest object the size-class pools serve; bigger copies (e.g. MRA
+/// tensor blocks) fall back to the heap and count as misses.
+inline constexpr std::size_t kMaxPooledBytes = 1024;
+
+/// Allocates `bytes` with `align` alignment. On return `pool` is the
+/// owning size-class pool, or nullptr when the heap fallback was used
+/// (oversized or over-aligned requests). Records hit/miss accounting.
+void* copy_alloc(std::size_t bytes, std::size_t align, MemoryPool*& pool);
+
+/// Returns storage obtained from copy_alloc. `align` must match the
+/// allocation (only consulted on the heap path).
+void copy_free(void* p, MemoryPool* pool, std::size_t align) noexcept;
+
+}  // namespace detail
+}  // namespace ttg

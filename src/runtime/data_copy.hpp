@@ -8,16 +8,29 @@
 // is only materialized when the data must be assumed mutable by two
 // different tasks — the runtime applies the paper's ownership-move
 // optimization when the sender is the final owner.
+//
+// Copies live in per-thread size-class MemoryPools (runtime/copy_pool):
+// make_copy() pops storage from the calling thread's free list and the
+// final release() pushes it back to the allocating thread's list, so the
+// copy lifecycle costs the same two pool atomics as a task object
+// instead of a malloc/free pair.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <new>
 #include <utility>
 
 #include "atomics/op_counter.hpp"
 #include "atomics/ordering.hpp"
+#include "runtime/copy_pool.hpp"
 
 namespace ttg {
+
+template <typename T>
+class DataCopy;
+template <typename T, typename U>
+DataCopy<T>* make_copy(U&& value);
 
 class DataCopyBase {
  public:
@@ -32,12 +45,19 @@ class DataCopyBase {
     refcount_.fetch_add(n, ord_relaxed());
   }
 
-  /// Drops one reference and destroys the copy when it was the last.
+  /// Drops one reference; the last release destroys the value and
+  /// returns the storage to the pool it came from (or the heap for
+  /// oversized fallback allocations — never `delete this`).
   void release() noexcept {
     atomic_ops::count(AtomicOpCategory::kRefCount);
     if (refcount_.fetch_sub(1, ord_acq_rel()) == 1) {
       fence_acquire();
-      delete this;
+      // Capture the storage identity before the destructor runs.
+      void* storage = dynamic_cast<void*>(this);
+      MemoryPool* pool = pool_;
+      const std::size_t align = align_;
+      this->~DataCopyBase();  // virtual: destroys the derived copy
+      detail::copy_free(storage, pool, align);
     }
   }
 
@@ -53,7 +73,12 @@ class DataCopyBase {
   }
 
  private:
+  template <typename T, typename U>
+  friend DataCopy<T>* make_copy(U&& value);
+
   std::atomic<std::int32_t> refcount_{1};
+  std::uint32_t align_ = alignof(std::max_align_t);
+  MemoryPool* pool_ = nullptr;  ///< owning size-class pool; null = heap
 };
 
 /// Typed copy. Created with refcount 1, owned by whoever holds that
@@ -71,12 +96,24 @@ class DataCopy final : public DataCopyBase {
   T value_;
 };
 
-/// Allocates a fresh copy holding `value`. The underlying `new` is the
-/// "at least one atomic operation in the underlying system allocator"
-/// the paper charges to copy creation.
+/// Allocates a fresh copy holding `value` from the calling thread's
+/// copy pool (one free-list atomic on a hit; a pool miss is the
+/// allocator traffic the paper charges to copy creation).
 template <typename T, typename U>
 DataCopy<T>* make_copy(U&& value) {
-  return new DataCopy<T>(std::forward<U>(value));
+  using Copy = DataCopy<T>;
+  MemoryPool* pool = nullptr;
+  void* mem = detail::copy_alloc(sizeof(Copy), alignof(Copy), pool);
+  Copy* copy;
+  try {
+    copy = new (mem) Copy(std::forward<U>(value));
+  } catch (...) {
+    detail::copy_free(mem, pool, alignof(Copy));
+    throw;
+  }
+  copy->pool_ = pool;
+  copy->align_ = alignof(Copy);
+  return copy;
 }
 
 }  // namespace ttg

@@ -1,0 +1,130 @@
+#include "runtime/engine.hpp"
+
+#include "runtime/context.hpp"
+#include "runtime/trace.hpp"
+
+namespace ttg {
+
+namespace {
+thread_local Worker* t_current_worker = nullptr;
+}  // namespace
+
+Worker* ExecutionEngine::current_worker() { return t_current_worker; }
+
+ExecutionEngine::ExecutionEngine(Context& owner, const Config& config,
+                                 TerminationDetector& detector, int rank)
+    : num_threads_(config.threads()),
+      rank_(rank),
+      inline_max_depth_(config.inline_max_depth),
+      bundle_successors_(config.bundle_successors),
+      detector_(&detector) {
+  scheduler_ = make_scheduler(config.scheduler, num_threads_,
+                              config.steal_domain_size);
+  workers_ = std::make_unique<CachePadded<Worker>[]>(
+      static_cast<std::size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    Worker& w = workers_[i].value;
+    w.engine_ = this;
+    w.context_ = &owner;
+    w.index_ = i;
+    w.rank_ = rank_;
+  }
+  threads_.reserve(static_cast<std::size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) {
+    threads_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ExecutionEngine::~ExecutionEngine() {
+  stop_.store(true, std::memory_order_release);
+  notify_work();
+  for (auto& t : threads_) t.join();
+}
+
+void ExecutionEngine::submit(TaskBase* task, SubmitHint hint) {
+  Worker* w = t_current_worker;
+  const bool local = (w != nullptr && w->engine_ == this);
+  switch (hint) {
+    case SubmitHint::kChain:
+      if (task == nullptr) return;
+      scheduler_->push_chain(local ? w->index_ : kExternalWorker, task);
+      notify_work();
+      return;
+    case SubmitHint::kMayInline:
+      if (local) {
+        if (inline_max_depth_ > 0 && w->inline_depth_ < inline_max_depth_) {
+          w->run_inline(task);
+          return;
+        }
+        if (w->try_bundle(task)) return;
+      }
+      [[fallthrough]];
+    case SubmitHint::kDeferred:
+      scheduler_->push(local ? w->index_ : kExternalWorker, task);
+      notify_work();
+      return;
+  }
+}
+
+std::uint64_t ExecutionEngine::total_tasks_executed() const {
+  std::uint64_t n = 0;
+  for (int i = 0; i < num_threads_; ++i) n += workers_[i]->tasks_executed();
+  return n;
+}
+
+void ExecutionEngine::worker_main(int index) {
+  Worker& self = workers_[index].value;
+  t_current_worker = &self;
+
+  detector_->thread_attach(rank_);
+  // A worker starts with nothing to do.
+  detector_->on_idle();
+
+  int idle_spins = 0;
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (LifoNode* node = scheduler_->pop(index); node != nullptr) {
+      detector_->on_resume();
+      idle_spins = 0;
+      self.run_task(static_cast<TaskBase*>(node));
+      continue;
+    }
+
+    if (ProgressSource* src = progress_.load(std::memory_order_acquire);
+        src != nullptr && !src->empty()) {
+      detector_->on_resume();
+      src->drain(self);
+      idle_spins = 0;
+      continue;
+    }
+
+    detector_->on_idle();
+    if (++idle_spins < 64) {
+      std::this_thread::yield();
+      continue;
+    }
+
+    // Park until submit()/shutdown bumps the parking-lot epoch. The
+    // re-check of the scheduler between reading the epoch and waiting
+    // prevents a missed wakeup for pushes that happened before the load.
+    const ParkingLot::Epoch epoch = parking_.prepare_park();
+    if (LifoNode* node = scheduler_->pop(index); node != nullptr) {
+      detector_->on_resume();
+      idle_spins = 0;
+      self.run_task(static_cast<TaskBase*>(node));
+      continue;
+    }
+    if (ProgressSource* src = progress_.load(std::memory_order_acquire);
+        src != nullptr && !src->empty()) {
+      continue;  // a message landed after the earlier probe
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+    trace::record(trace::EventKind::kIdleBegin);
+    parking_.park(epoch);
+    trace::record(trace::EventKind::kIdleEnd);
+    idle_spins = 0;
+  }
+
+  t_current_worker = nullptr;
+}
+
+}  // namespace ttg

@@ -1,0 +1,126 @@
+// ExecutionEngine: the worker loop and the single task-submission path.
+//
+// The engine owns everything that moves tasks: the scheduler, the worker
+// threads (and their Worker state), and the ParkingLot idle workers
+// sleep on. Context is a thin façade over one engine; the TTG layer,
+// the PTG front-end and the benchmarks all submit through exactly one
+// entry point — submit(task, SubmitHint) — so the spawn→schedule→
+// execute→release hot path has one audited code shape (Sec. IV).
+//
+// Submission hints:
+//   kDeferred  — always hand the task to the scheduler (the safe
+//                default; also the only legal hint from threads outside
+//                the pool).
+//   kChain     — `task` heads a descending-priority-sorted chain linked
+//                through LifoNode::next; the scheduler ingests it in one
+//                operation (Sec. IV-C bulk insertion).
+//   kMayInline — the task may run immediately on the submitting worker
+//                (Config::inline_max_depth) or join the worker's open
+//                successor bundle; falls back to a deferred push.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/cache.hpp"
+#include "runtime/config.hpp"
+#include "runtime/parking_lot.hpp"
+#include "runtime/task.hpp"
+#include "runtime/worker.hpp"
+#include "sched/scheduler.hpp"
+#include "termdet/termdet.hpp"
+
+namespace ttg {
+
+class Context;
+
+enum class SubmitHint : std::uint8_t {
+  kDeferred = 0,  ///< always through the scheduler
+  kChain,         ///< sorted chain; one scheduler operation
+  kMayInline,     ///< may inline or bundle on the submitting worker
+};
+
+/// Source of non-task work (e.g. the simulated-rank active-message
+/// queue) polled by workers that found no task. drain() must account
+/// any discovered work through the termination detector itself.
+class ProgressSource {
+ public:
+  virtual ~ProgressSource() = default;
+  virtual bool empty() = 0;
+  virtual void drain(Worker& worker) = 0;
+};
+
+class ExecutionEngine {
+ public:
+  /// Bundled-successor chains flush early at this size so a very wide
+  /// fan-out does not starve other workers of stealable tasks.
+  static constexpr int kMaxBatch = 16;
+
+  /// Creates the scheduler and starts the worker threads. `owner` is the
+  /// façade handed to task bodies via Worker::context(); `detector` is
+  /// borrowed and must outlive the engine.
+  ExecutionEngine(Context& owner, const Config& config,
+                  TerminationDetector& detector, int rank);
+  ExecutionEngine(const ExecutionEngine&) = delete;
+  ExecutionEngine& operator=(const ExecutionEngine&) = delete;
+  ~ExecutionEngine();
+
+  /// Worker currently running on this thread, or nullptr for external
+  /// threads (e.g. the application's main thread).
+  static Worker* current_worker();
+
+  /// The one submission entry point; see the file comment for hints.
+  /// The task must already be accounted as discovered.
+  void submit(TaskBase* task, SubmitHint hint);
+
+  /// Wakes parked workers; called automatically on submit.
+  void notify_work() { parking_.notify(); }
+
+  int num_threads() const { return num_threads_; }
+  int rank() const { return rank_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  TerminationDetector& detector() { return *detector_; }
+
+  /// Total tasks executed by all workers since construction.
+  std::uint64_t total_tasks_executed() const;
+
+  /// Installs a progress source. Must be set before work is submitted
+  /// and outlive the engine (or be reset to nullptr while quiescent).
+  void set_progress_source(ProgressSource* source) {
+    progress_.store(source, std::memory_order_release);
+  }
+
+ private:
+  friend class Worker;
+
+  void worker_main(int index);
+
+  /// Hands a descending-priority-sorted chain to the scheduler on behalf
+  /// of `worker_index` and wakes sleepers (bundle flush path).
+  void flush_chain(int worker_index, TaskBase* head) {
+    scheduler_->push_chain(worker_index, head);
+    notify_work();
+  }
+
+  bool bundling_enabled() const { return bundle_successors_; }
+
+  const int num_threads_;
+  const int rank_;
+  const int inline_max_depth_;
+  const bool bundle_successors_;
+
+  TerminationDetector* detector_;
+  std::unique_ptr<Scheduler> scheduler_;
+
+  std::vector<std::thread> threads_;
+  std::unique_ptr<CachePadded<Worker>[]> workers_;
+
+  std::atomic<ProgressSource*> progress_{nullptr};
+  std::atomic<bool> stop_{false};
+  ParkingLot parking_;
+};
+
+}  // namespace ttg

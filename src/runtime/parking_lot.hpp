@@ -1,0 +1,62 @@
+// Futex-style sleep/wake machinery for idle workers.
+//
+// Workers that repeatedly find no task park here so they do not burn CPU
+// (Sec. III-B: "a passive element ... threads continuously query"). The
+// protocol is the classic epoch-versioned wait:
+//
+//   producer                      worker
+//   --------                      ------
+//   push task                     e = lot.epoch()
+//   lot.notify()                  re-check queues   // missed-wakeup guard
+//                                 lot.park(e)       // returns if epoch moved
+//
+// notify() bumps the epoch unconditionally (one uncontended RMW) and only
+// issues the expensive notify_all() when a sleeper is registered, so the
+// steady-state submission path pays no syscall.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ttg {
+
+class ParkingLot {
+ public:
+  /// Opaque epoch observed before the caller's final empty-check; passed
+  /// back to park() to close the missed-wakeup window.
+  using Epoch = std::uint64_t;
+
+  ParkingLot() = default;
+  ParkingLot(const ParkingLot&) = delete;
+  ParkingLot& operator=(const ParkingLot&) = delete;
+
+  /// Reads the current epoch. Call *before* the final re-check of the
+  /// work queues: any notify() after this load makes park() return.
+  Epoch prepare_park() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until the epoch moves past `observed`. Spurious returns are
+  /// allowed (callers loop around their queue checks anyway).
+  void park(Epoch observed) noexcept;
+
+  /// Publishes "there may be work": bumps the epoch and wakes all parked
+  /// threads. Cheap when nobody sleeps.
+  void notify() noexcept {
+    epoch_.fetch_add(1, std::memory_order_release);
+    if (sleepers_.load(std::memory_order_acquire) > 0) {
+      epoch_.notify_all();
+    }
+  }
+
+  /// Number of currently parked threads (diagnostics/tests; racy).
+  int sleepers() const noexcept {
+    return sleepers_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::atomic<Epoch> epoch_{0};
+  std::atomic<int> sleepers_{0};
+};
+
+}  // namespace ttg

@@ -17,6 +17,8 @@ std::string_view to_string(EventKind k) {
     case EventKind::kIdleEnd: return "idle_end";
     case EventKind::kMessageSent: return "msg_sent";
     case EventKind::kMessageReceived: return "msg_recv";
+    case EventKind::kPoolHit: return "pool_hit";
+    case EventKind::kPoolMiss: return "pool_miss";
   }
   return "?";
 }
@@ -128,6 +130,12 @@ std::vector<ThreadSummary> summarize() {
         break;
       case EventKind::kMessageReceived:
         ++s.messages_received;
+        break;
+      case EventKind::kPoolHit:
+        ++s.pool_hits;
+        break;
+      case EventKind::kPoolMiss:
+        ++s.pool_misses;
         break;
     }
   }

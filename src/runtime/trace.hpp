@@ -22,6 +22,8 @@ enum class EventKind : std::uint8_t {
   kIdleEnd,
   kMessageSent,
   kMessageReceived,
+  kPoolHit,   ///< data-copy pool allocation served from a free list
+  kPoolMiss,  ///< data-copy pool allocation that hit the allocator path
 };
 
 std::string_view to_string(EventKind k);
@@ -60,6 +62,8 @@ struct ThreadSummary {
   std::uint64_t idle_cycles = 0;   ///< sum of idle begin->end spans
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
+  std::uint64_t pool_hits = 0;    ///< data-copy pool free-list recycles
+  std::uint64_t pool_misses = 0;  ///< data-copy allocations off-pool
 };
 
 std::vector<ThreadSummary> summarize();

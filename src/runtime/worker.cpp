@@ -1,0 +1,73 @@
+#include "runtime/worker.hpp"
+
+#include "runtime/engine.hpp"
+#include "runtime/trace.hpp"
+
+namespace ttg {
+
+namespace {
+
+/// Inserts `task` into the descending-priority chain at `head` (new
+/// tasks go before equal-priority older ones, as in the LLP fast path).
+void batch_insert(TaskBase*& head, TaskBase* task) {
+  LifoNode* prev = nullptr;
+  LifoNode* cur = head;
+  while (cur != nullptr && cur->priority > task->priority) {
+    prev = cur;
+    cur = cur->next;
+  }
+  task->next = cur;
+  if (prev == nullptr) {
+    head = task;
+  } else {
+    prev->next = task;
+  }
+}
+
+}  // namespace
+
+void Worker::run_task(TaskBase* task) {
+  // Open a fresh bundling scope (stack discipline: inlined tasks nest).
+  TaskBase* saved_head = batch_head_;
+  const int saved_size = batch_size_;
+  const bool saved_open = batch_open_;
+  const bool saved_primed = batch_primed_;
+  batch_head_ = nullptr;
+  batch_size_ = 0;
+  batch_open_ = engine_->bundling_enabled();
+  batch_primed_ = false;
+
+  trace::record(trace::EventKind::kTaskBegin);
+  task->execute(task, *this);
+  trace::record(trace::EventKind::kTaskEnd);
+  ++tasks_executed_;
+
+  if (batch_head_ != nullptr) {
+    engine_->flush_chain(index_, batch_head_);
+  }
+  batch_head_ = saved_head;
+  batch_size_ = saved_size;
+  batch_open_ = saved_open;
+  batch_primed_ = saved_primed;
+
+  engine_->detector().on_completed();
+}
+
+bool Worker::try_bundle(TaskBase* task) {
+  if (!batch_open_) return false;
+  // The common single-successor case (chains) keeps the plain push fast
+  // path; bundling starts with the second eligible successor.
+  if (!batch_primed_) {
+    batch_primed_ = true;
+    return false;
+  }
+  batch_insert(batch_head_, task);
+  if (++batch_size_ >= ExecutionEngine::kMaxBatch) {
+    engine_->flush_chain(index_, batch_head_);
+    batch_head_ = nullptr;
+    batch_size_ = 0;
+  }
+  return true;
+}
+
+}  // namespace ttg

@@ -1,0 +1,79 @@
+// Per-worker state and the per-task execution scope.
+//
+// A Worker is the thread-local face of the runtime: every task body
+// receives the Worker executing it. Besides identity (context, index,
+// simulated rank) a worker owns the two pieces of per-thread hot-path
+// state the paper's optimizations need:
+//
+//  * the successor-bundling scope (Sec. IV-C): tasks made eligible by
+//    the currently running task body are collected into a chain sorted
+//    by descending priority and handed to the scheduler in one
+//    detach/merge/reattach operation when the body returns;
+//  * the task-inlining nesting depth (Sec. V-E future work): eligible
+//    tasks may execute directly in the discovering worker, bounded by
+//    Config::inline_max_depth.
+//
+// Workers are created and driven by the ExecutionEngine; user code only
+// reads the public accessors.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/task.hpp"
+
+namespace ttg {
+
+class Context;
+class ExecutionEngine;
+
+class Worker {
+ public:
+  Context& context() const { return *context_; }
+  int index() const { return index_; }
+  int rank() const { return rank_; }
+
+  /// Tasks executed by this worker (diagnostics).
+  std::uint64_t tasks_executed() const { return tasks_executed_; }
+
+  /// Current task-inlining nesting depth on this worker.
+  int inline_depth() const { return inline_depth_; }
+
+ private:
+  friend class ExecutionEngine;
+
+  /// Executes one task with a fresh successor-bundling scope (stack
+  /// discipline: inlined tasks nest) and completion accounting. Any
+  /// chain still buffered when the body returns is flushed through the
+  /// engine as one sorted push.
+  void run_task(TaskBase* task);
+
+  /// Executes `task` immediately on this worker, nested inside the
+  /// currently running task (the inlining fast path). The caller has
+  /// checked the depth limit.
+  void run_inline(TaskBase* task) {
+    ++inline_depth_;
+    run_task(task);
+    --inline_depth_;
+  }
+
+  /// Tries to absorb a newly eligible task into the open bundling scope.
+  /// Returns false when the caller must push the task to the scheduler
+  /// itself — either no scope is open, or this is the scope's first
+  /// successor (the common single-successor chain case keeps the plain
+  /// push fast path; bundling starts with the second task).
+  bool try_bundle(TaskBase* task);
+
+  ExecutionEngine* engine_ = nullptr;
+  Context* context_ = nullptr;
+  int index_ = -1;
+  int rank_ = 0;
+  std::uint64_t tasks_executed_ = 0;
+  int inline_depth_ = 0;
+  // Successor-bundling scope (Sec. IV-C).
+  TaskBase* batch_head_ = nullptr;
+  int batch_size_ = 0;
+  bool batch_open_ = false;
+  bool batch_primed_ = false;  // first successor went straight through
+};
+
+}  // namespace ttg

@@ -13,6 +13,13 @@
 // objects out of a thread-private bump chunk without any atomics beyond
 // the underlying malloc. Chunk memory is only released when the pool is
 // destroyed, which also satisfies the AtomicLifo node-lifetime rule.
+//
+// Mode::kPrivateCache (used by the data-copy pools, runtime/copy_pool)
+// additionally fronts each thread's list with a plain owner-only stack:
+// same-thread alloc/free pairs — the dominant copy lifecycle — cost zero
+// atomics, while cross-thread frees still land in the AtomicLifo inbox.
+// Task pools stay in Mode::kAtomic so the Eq. (1) "two atomic operations
+// per task" pool accounting remains measurable.
 #pragma once
 
 #include <algorithm>
@@ -32,15 +39,30 @@ namespace ttg {
 
 class MemoryPool {
  public:
+  /// Selects how a thread's own free list is managed.
+  enum class Mode {
+    /// Every pop/push is an AtomicLifo operation — exactly the paper's
+    /// "two atomic operations" per object lifetime (Eq. 1 N_OD). Task
+    /// pools use this so the atomic-op model stays measurable.
+    kAtomic,
+    /// Owner-local frees land on a plain (non-atomic) private list and
+    /// local allocations pop it first; the AtomicLifo only serves as the
+    /// remote-free inbox, drained in one detach() when the private list
+    /// runs dry. Same-thread alloc/free pairs cost zero atomics.
+    kPrivateCache,
+  };
+
   /// Creates a pool of fixed-size objects. `object_size` is rounded up so
   /// an object can always be overlaid with a LifoNode while free.
   explicit MemoryPool(std::size_t object_size,
-                      std::size_t objects_per_chunk = 64)
+                      std::size_t objects_per_chunk = 64,
+                      Mode mode = Mode::kAtomic)
       : object_size_(round_up(std::max(object_size, sizeof(LifoNode)),
                               alignof(std::max_align_t))),
         header_size_(round_up(sizeof(Header), alignof(std::max_align_t))),
         slot_size_(object_size_ + header_size_),
-        objects_per_chunk_(objects_per_chunk) {}
+        objects_per_chunk_(objects_per_chunk),
+        private_cache_(mode == Mode::kPrivateCache) {}
 
   MemoryPool(const MemoryPool&) = delete;
   MemoryPool& operator=(const MemoryPool&) = delete;
@@ -51,11 +73,40 @@ class MemoryPool {
 
   /// Allocates one object (uninitialized storage).
   void* allocate() {
+    bool hit;
+    return allocate(hit);
+  }
+
+  /// Allocates one object and reports whether it was recycled from the
+  /// free list (`hit` = true) or carved fresh from a bump chunk (a pool
+  /// *miss*, implying allocator traffic when the chunk is exhausted).
+  void* allocate(bool& hit) {
     ThreadState& ts = threads_[this_thread::id()].value;
-    // 1 atomic: pop from our own free list (remote frees land here too).
-    if (LifoNode* node = ts.freelist.pop(); node != nullptr) {
+    if (private_cache_) {
+      // Owner-only list: no atomics for the same-thread recycle case.
+      if (LifoNode* node = ts.private_head) {
+        ts.private_head = node->next.load(std::memory_order_relaxed);
+        node->next.store(nullptr, std::memory_order_relaxed);
+        ++ts.hits;
+        hit = true;
+        return node;
+      }
+      // Private list dry: drain the remote-free inbox in one exchange.
+      if (LifoNode* node = ts.freelist.detach()) {
+        ts.private_head = node->next.load(std::memory_order_relaxed);
+        node->next.store(nullptr, std::memory_order_relaxed);
+        ++ts.hits;
+        hit = true;
+        return node;
+      }
+    } else if (LifoNode* node = ts.freelist.pop()) {
+      // 1 atomic: pop from our own free list (remote frees land here too).
+      ++ts.hits;
+      hit = true;
       return node;
     }
+    ++ts.misses;
+    hit = false;
     // Bump-allocate from the thread-private chunk.
     if (ts.bump_remaining == 0) {
       refill(ts);
@@ -72,12 +123,36 @@ class MemoryPool {
   void deallocate(void* obj) noexcept {
     auto* header = reinterpret_cast<Header*>(static_cast<std::byte*>(obj) -
                                              header_size_);
+    auto* node = new (obj) LifoNode{};
+    if (private_cache_ &&
+        header->owner == static_cast<std::uint32_t>(this_thread::id())) {
+      ThreadState& ts = threads_[header->owner].value;
+      node->next.store(ts.private_head, std::memory_order_relaxed);
+      ts.private_head = node;
+      return;
+    }
     ThreadState& owner = threads_[header->owner].value;
-    // 1 atomic: push onto the owner's free list (MPSC-safe).
-    owner.freelist.push(new (obj) LifoNode{});
+    // 1 atomic: push onto the owner's free list / remote inbox.
+    owner.freelist.push(node);
   }
 
   std::size_t object_size() const noexcept { return object_size_; }
+
+  /// Free-list hit/miss totals summed over all threads (Sec. IV-E
+  /// allocator accounting: a miss is a fresh bump-chunk carve, i.e. the
+  /// path that eventually pays the system allocator's atomics).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+  Stats stats() const noexcept {
+    Stats s;
+    for (int t = 0; t < this_thread::id_count(); ++t) {
+      s.hits += threads_[t]->hits;
+      s.misses += threads_[t]->misses;
+    }
+    return s;
+  }
 
  private:
   struct Header {
@@ -87,8 +162,15 @@ class MemoryPool {
   struct alignas(kCacheLineSize) ThreadState {
     ThreadState() : freelist(AtomicOpCategory::kMemPool) {}
     AtomicLifo freelist;
+    /// Owner-only free list (Mode::kPrivateCache): plain loads/stores,
+    /// never touched by other threads.
+    LifoNode* private_head = nullptr;
     std::byte* bump = nullptr;
     std::size_t bump_remaining = 0;
+    // Non-atomic: only the owning thread writes; stats() readers accept
+    // approximate sums while threads are running.
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
   };
 
   static std::size_t round_up(std::size_t v, std::size_t a) noexcept {
@@ -111,6 +193,7 @@ class MemoryPool {
   const std::size_t header_size_;
   const std::size_t slot_size_;
   const std::size_t objects_per_chunk_;
+  const bool private_cache_;
   CachePadded<ThreadState> threads_[kMaxThreads];
   std::mutex chunks_mutex_;
   std::vector<void*> chunks_;

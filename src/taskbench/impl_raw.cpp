@@ -53,7 +53,8 @@ void spawn_point(PtgState& st, int t, int x) {
   task->state = &st;
   task->t = t;
   task->x = x;
-  st.ctx->spawn(task);
+  st.ctx->on_discovered(1);
+  st.ctx->submit(task);
 }
 
 void execute_point(ttg::TaskBase* base, ttg::Worker&) {

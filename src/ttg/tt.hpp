@@ -328,7 +328,7 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
       TaskRec* rec = create_record(ctx, key);
       apply_value_priority<I>(*rec, key, copy);
       std::get<I>(rec->slots) = copy;
-      ctx.schedule_or_inline(rec);
+      ctx.submit(rec, SubmitHint::kMayInline);
       return;
     } else {
       const std::uint64_t h = KeyHash<Key>{}(key);
@@ -353,7 +353,7 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
       if (sat == rec->expected) {
         acc.remove(key_eq);
         acc.release();
-        ctx.schedule_or_inline(rec);
+        ctx.submit(rec, SubmitHint::kMayInline);
       }
     }
   }

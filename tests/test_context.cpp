@@ -37,7 +37,8 @@ void tree_execute(ttg::TaskBase* base, ttg::Worker& worker) {
       child->counter = task->counter;
       child->depth = task->depth - 1;
       child->priority = child->depth;
-      ctx.spawn(child);
+      ctx.on_discovered();
+      ctx.submit(child);
     }
   }
   ttg::MemoryPool* pool = task->pool;
@@ -67,7 +68,8 @@ TEST_P(ContextConfigTest, ExecutesAllSpawnedTasks) {
     task->execute = &count_and_free;
     task->pool = &pool;
     task->counter = &counter;
-    ctx.spawn(task);
+    ctx.on_discovered();
+    ctx.submit(task);
   }
   ctx.fence();
   EXPECT_EQ(counter.load(), kTasks);
@@ -85,7 +87,8 @@ TEST_P(ContextConfigTest, RecursiveBinaryTreeCompletes) {
   root->pool = &pool;
   root->counter = &counter;
   root->depth = kDepth;
-  ctx.spawn(root);
+  ctx.on_discovered();
+  ctx.submit(root);
   ctx.fence();
   EXPECT_EQ(counter.load(), (1 << (kDepth + 1)) - 1);
 }
@@ -101,7 +104,8 @@ TEST_P(ContextConfigTest, MultipleEpochsReuseWorkers) {
       task->execute = &count_and_free;
       task->pool = &pool;
       task->counter = &counter;
-      ctx.spawn(task);
+      ctx.on_discovered();
+      ctx.submit(task);
     }
     ctx.fence();
     EXPECT_EQ(counter.load(), (epoch + 1) * 100);
@@ -141,7 +145,8 @@ TEST(Context, OriginalConfigAlsoRuns) {
     task->execute = &count_and_free;
     task->pool = &pool;
     task->counter = &counter;
-    ctx.spawn(task);
+    ctx.on_discovered();
+    ctx.submit(task);
   }
   ctx.fence();
   EXPECT_EQ(counter.load(), 500);
@@ -173,7 +178,8 @@ TEST(Context, CurrentWorkerVisibleInsideTasks) {
   task->ok = &ok;
   task->expect_ctx = &ctx;
   ctx.begin();
-  ctx.spawn(task);
+  ctx.on_discovered();
+  ctx.submit(task);
   ctx.fence();
   EXPECT_EQ(ok.load(), 1);
   EXPECT_EQ(ttg::Context::current_worker(), nullptr);  // main thread

@@ -1,0 +1,375 @@
+// Tests for the layered runtime core: ParkingLot wake/sleep protocol,
+// the unified Context::submit(SubmitHint) entry point (deferred, chain,
+// may-inline shapes), and the pooled DataCopy allocation path with its
+// hit/miss accounting (op counters + trace::summarize()).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/context.hpp"
+#include "runtime/copy_pool.hpp"
+#include "runtime/data_copy.hpp"
+#include "runtime/parking_lot.hpp"
+#include "runtime/trace.hpp"
+#include "structures/mempool.hpp"
+
+namespace {
+
+// ----------------------------------------------------------- parking lot
+
+TEST(ParkingLot, NotifyBetweenPrepareAndParkIsNotMissed) {
+  // The missed-wakeup guard: a notify that lands after prepare_park()
+  // must make the subsequent park() return instead of sleeping forever.
+  ttg::ParkingLot lot;
+  const auto epoch = lot.prepare_park();
+  lot.notify();
+  lot.park(epoch);  // must return immediately — epoch already moved
+  SUCCEED();
+}
+
+TEST(ParkingLot, NotifyWakesParkedThread) {
+  ttg::ParkingLot lot;
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    const auto epoch = lot.prepare_park();
+    lot.park(epoch);
+    woke.store(true);
+  });
+  // Wait until the sleeper is actually registered, then wake it.
+  while (lot.sleepers() == 0) std::this_thread::yield();
+  EXPECT_EQ(lot.sleepers(), 1);
+  lot.notify();
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+  EXPECT_EQ(lot.sleepers(), 0);
+}
+
+TEST(ParkingLot, StaleEpochDoesNotBlock) {
+  ttg::ParkingLot lot;
+  const auto old_epoch = lot.prepare_park();
+  lot.notify();
+  lot.notify();
+  lot.park(old_epoch);  // two epochs behind: returns immediately
+  SUCCEED();
+}
+
+// ---------------------------------------------------------- submit hints
+
+struct CountingTask : ttg::TaskBase {
+  std::atomic<int>* counter;
+};
+
+void count_and_free(ttg::TaskBase* base, ttg::Worker&) {
+  auto* task = static_cast<CountingTask*>(base);
+  task->counter->fetch_add(1);
+  ttg::MemoryPool* pool = task->pool;
+  task->~CountingTask();
+  pool->deallocate(task);
+}
+
+TEST(SubmitHints, ChainFromExternalThreadExecutesEveryTask) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 2;
+  ttg::Context ctx(cfg);
+  ttg::MemoryPool pool(sizeof(CountingTask));
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 32;
+
+  ctx.begin();
+  // Build a descending-priority chain linked through LifoNode::next.
+  CountingTask* head = nullptr;
+  CountingTask* tail = nullptr;
+  for (int i = 0; i < kTasks; ++i) {
+    auto* task = new (pool.allocate()) CountingTask;
+    task->execute = &count_and_free;
+    task->pool = &pool;
+    task->counter = &counter;
+    task->priority = kTasks - i;
+    task->next = nullptr;
+    if (tail == nullptr) {
+      head = tail = task;
+    } else {
+      tail->next = task;
+      tail = task;
+    }
+  }
+  ctx.on_discovered(kTasks);
+  ctx.submit(head, ttg::SubmitHint::kChain);
+  ctx.fence();
+  EXPECT_EQ(counter.load(), kTasks);
+}
+
+TEST(SubmitHints, MayInlineFromExternalThreadFallsBackToDeferred) {
+  // External threads have no worker to inline on; the hint must degrade
+  // to a plain scheduler push, not crash or drop the task.
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 1;
+  cfg.inline_max_depth = 4;
+  ttg::Context ctx(cfg);
+  ttg::MemoryPool pool(sizeof(CountingTask));
+  std::atomic<int> counter{0};
+  ctx.begin();
+  ASSERT_EQ(ttg::Context::current_worker(), nullptr);
+  for (int i = 0; i < 10; ++i) {
+    auto* task = new (pool.allocate()) CountingTask;
+    task->execute = &count_and_free;
+    task->pool = &pool;
+    task->counter = &counter;
+    ctx.on_discovered();
+    ctx.submit(task, ttg::SubmitHint::kMayInline);
+  }
+  ctx.fence();
+  EXPECT_EQ(counter.load(), 10);
+}
+
+struct InlineProbeTask : ttg::TaskBase {
+  std::atomic<int>* executed;
+  std::atomic<int>* max_depth;
+  int remaining;
+};
+
+void inline_probe_execute(ttg::TaskBase* base, ttg::Worker& worker) {
+  auto* task = static_cast<InlineProbeTask*>(base);
+  task->executed->fetch_add(1);
+  int seen = task->max_depth->load();
+  while (worker.inline_depth() > seen &&
+         !task->max_depth->compare_exchange_weak(seen, worker.inline_depth())) {
+  }
+  if (task->remaining > 0) {
+    ttg::Context& ctx = worker.context();
+    auto* child = new (task->pool->allocate()) InlineProbeTask;
+    child->execute = &inline_probe_execute;
+    child->pool = task->pool;
+    child->executed = task->executed;
+    child->max_depth = task->max_depth;
+    child->remaining = task->remaining - 1;
+    ctx.on_discovered();
+    ctx.submit(child, ttg::SubmitHint::kMayInline);
+  }
+  ttg::MemoryPool* pool = task->pool;
+  task->~InlineProbeTask();
+  pool->deallocate(task);
+}
+
+TEST(SubmitHints, MayInlineNestsUpToConfiguredDepthOnly) {
+  constexpr int kInlineMax = 3;
+  constexpr int kChainLength = 20;
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 1;  // deterministic: all tasks on one worker
+  cfg.inline_max_depth = kInlineMax;
+  ttg::Context ctx(cfg);
+  ttg::MemoryPool pool(sizeof(InlineProbeTask));
+  std::atomic<int> executed{0};
+  std::atomic<int> max_depth{0};
+
+  ctx.begin();
+  auto* root = new (pool.allocate()) InlineProbeTask;
+  root->execute = &inline_probe_execute;
+  root->pool = &pool;
+  root->executed = &executed;
+  root->max_depth = &max_depth;
+  root->remaining = kChainLength;
+  ctx.on_discovered();
+  ctx.submit(root);
+  ctx.fence();
+
+  EXPECT_EQ(executed.load(), kChainLength + 1);
+  // The chain is long enough to saturate the limit: the deepest body
+  // observed exactly inline_max_depth, never beyond it.
+  EXPECT_EQ(max_depth.load(), kInlineMax);
+}
+
+TEST(SubmitHints, InliningDisabledKeepsDepthAtZero) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 1;
+  cfg.inline_max_depth = 0;
+  ttg::Context ctx(cfg);
+  ttg::MemoryPool pool(sizeof(InlineProbeTask));
+  std::atomic<int> executed{0};
+  std::atomic<int> max_depth{0};
+  ctx.begin();
+  auto* root = new (pool.allocate()) InlineProbeTask;
+  root->execute = &inline_probe_execute;
+  root->pool = &pool;
+  root->executed = &executed;
+  root->max_depth = &max_depth;
+  root->remaining = 8;
+  ctx.on_discovered();
+  ctx.submit(root);
+  ctx.fence();
+  EXPECT_EQ(executed.load(), 9);
+  EXPECT_EQ(max_depth.load(), 0);
+}
+
+struct FanoutTask : ttg::TaskBase {
+  std::atomic<int>* counter;
+  int children;
+};
+
+void fanout_execute(ttg::TaskBase* base, ttg::Worker& worker) {
+  auto* task = static_cast<FanoutTask*>(base);
+  task->counter->fetch_add(1);
+  ttg::Context& ctx = worker.context();
+  for (int i = 0; i < task->children; ++i) {
+    auto* child = new (task->pool->allocate()) CountingTask;
+    child->execute = &count_and_free;
+    child->pool = task->pool;
+    child->counter = task->counter;
+    child->priority = i;
+    ctx.on_discovered();
+    ctx.submit(child, ttg::SubmitHint::kMayInline);
+  }
+  ttg::MemoryPool* pool = task->pool;
+  task->~FanoutTask();
+  pool->deallocate(task);
+}
+
+TEST(SubmitHints, WideFanoutBundlesAndLosesNothing) {
+  // With inlining off and bundling on, a 100-successor body exercises
+  // the pass-through first push, bundle growth, and the kMaxBatch early
+  // flushes — every child must still run exactly once.
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 2;
+  cfg.inline_max_depth = 0;
+  cfg.bundle_successors = true;
+  static_assert(sizeof(FanoutTask) >= sizeof(CountingTask));
+  ttg::Context ctx(cfg);
+  ttg::MemoryPool pool(sizeof(FanoutTask));
+  std::atomic<int> counter{0};
+  ctx.begin();
+  auto* root = new (pool.allocate()) FanoutTask;
+  root->execute = &fanout_execute;
+  root->pool = &pool;
+  root->counter = &counter;
+  root->children = 100;
+  ctx.on_discovered();
+  ctx.submit(root);
+  ctx.fence();
+  EXPECT_EQ(counter.load(), 101);
+}
+
+// ------------------------------------------------------------- copy pool
+
+TEST(CopyPool, ReleaseRecyclesStorageThroughFreeList) {
+  // Warm-up: the first allocation in this size class may carve a fresh
+  // chunk (miss); its release stocks the calling thread's free list.
+  auto* first = ttg::make_copy<std::uint64_t>(std::uint64_t{41});
+  void* storage = static_cast<void*>(first);
+  first->release();
+  // Same thread, same size class: LIFO recycling returns the block.
+  auto* second = ttg::make_copy<std::uint64_t>(std::uint64_t{42});
+  EXPECT_EQ(static_cast<void*>(second), storage);
+  EXPECT_EQ(second->value(), 42u);
+  second->release();
+}
+
+TEST(CopyPool, StatsCountHitsAndMisses) {
+  const ttg::CopyPoolStats before = ttg::copy_pool_stats();
+  auto* a = ttg::make_copy<double>(1.0);
+  a->release();
+  auto* b = ttg::make_copy<double>(2.0);  // recycles a's block: a hit
+  b->release();
+  const ttg::CopyPoolStats after = ttg::copy_pool_stats();
+  EXPECT_EQ(after.hits + after.misses - (before.hits + before.misses), 2u);
+  EXPECT_GE(after.hits - before.hits, 1u);
+  EXPECT_EQ(after.heap_fallbacks, before.heap_fallbacks);
+}
+
+TEST(CopyPool, OversizedPayloadFallsBackToHeap) {
+  struct Big {
+    char bytes[2048];
+  };
+  const ttg::CopyPoolStats before = ttg::copy_pool_stats();
+  auto* copy = ttg::make_copy<Big>(Big{});
+  copy->value().bytes[2047] = 7;
+  copy->release();  // must route through operator delete, not a pool
+  const ttg::CopyPoolStats after = ttg::copy_pool_stats();
+  EXPECT_EQ(after.heap_fallbacks - before.heap_fallbacks, 1u);
+  EXPECT_GE(after.misses - before.misses, 1u);
+}
+
+TEST(CopyPool, OverAlignedPayloadFallsBackToHeap) {
+  struct alignas(128) Wide {
+    char c = 0;
+  };
+  const ttg::CopyPoolStats before = ttg::copy_pool_stats();
+  auto* copy = ttg::make_copy<Wide>(Wide{});
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(copy) % 128, 0u);
+  copy->release();
+  const ttg::CopyPoolStats after = ttg::copy_pool_stats();
+  EXPECT_EQ(after.heap_fallbacks - before.heap_fallbacks, 1u);
+}
+
+TEST(CopyPool, SharedCopyFreesOnlyOnLastRelease) {
+  const ttg::CopyPoolStats before = ttg::copy_pool_stats();
+  auto* copy = ttg::make_copy<int>(5);
+  copy->retain(2);
+  EXPECT_EQ(copy->use_count(), 3);
+  copy->release();
+  copy->release();
+  EXPECT_TRUE(copy->unique());
+  EXPECT_EQ(copy->value(), 5);  // still alive under the last reference
+  copy->release();
+  // Exactly one allocation happened regardless of the retain traffic.
+  const ttg::CopyPoolStats after = ttg::copy_pool_stats();
+  EXPECT_EQ(after.hits + after.misses - (before.hits + before.misses), 1u);
+}
+
+TEST(CopyPool, TraceSummarizeReportsPoolTraffic) {
+  ttg::trace::enable(1 << 12);
+  auto* a = ttg::make_copy<float>(1.0f);
+  a->release();
+  auto* b = ttg::make_copy<float>(2.0f);
+  b->release();
+  ttg::trace::disable();
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const ttg::trace::ThreadSummary& s : ttg::trace::summarize()) {
+    hits += s.pool_hits;
+    misses += s.pool_misses;
+  }
+  EXPECT_EQ(hits + misses, 2u);
+  EXPECT_GE(hits, 1u);  // the second allocation recycles the first block
+}
+
+TEST(CopyPool, CopiesFlowingThroughAContextAreRecycled) {
+  // End-to-end: tasks allocate and release copies on worker threads; the
+  // pool must absorb the traffic (hits once warm) with no heap fallback.
+  struct CopyTask : ttg::TaskBase {
+    std::atomic<int>* counter;
+  };
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 2;
+  ttg::Context ctx(cfg);
+  ttg::MemoryPool pool(sizeof(CopyTask));
+  std::atomic<int> counter{0};
+  const ttg::CopyPoolStats before = ttg::copy_pool_stats();
+  ctx.begin();
+  for (int i = 0; i < 200; ++i) {
+    auto* task = new (pool.allocate()) CopyTask;
+    task->execute = [](ttg::TaskBase* base, ttg::Worker&) {
+      auto* t = static_cast<CopyTask*>(base);
+      auto* copy = ttg::make_copy<std::uint64_t>(std::uint64_t{7});
+      t->counter->fetch_add(static_cast<int>(copy->value()) != 0 ? 1 : 0);
+      copy->release();
+      ttg::MemoryPool* p = t->pool;
+      t->~CopyTask();
+      p->deallocate(t);
+    };
+    task->pool = &pool;
+    task->counter = &counter;
+    ctx.on_discovered();
+    ctx.submit(task);
+  }
+  ctx.fence();
+  const ttg::CopyPoolStats after = ttg::copy_pool_stats();
+  EXPECT_EQ(counter.load(), 200);
+  EXPECT_EQ(after.hits + after.misses - (before.hits + before.misses), 200u);
+  EXPECT_GE(after.hits - before.hits, 150u);  // steady state recycles
+  EXPECT_EQ(after.heap_fallbacks, before.heap_fallbacks);
+}
+
+}  // namespace

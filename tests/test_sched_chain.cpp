@@ -1,0 +1,286 @@
+// Direct coverage for Scheduler::push_chain (sorted-chain invariants
+// across the stealing schedulers) and for StealOrder's hierarchical
+// victim ordering (domain siblings first, then the ring) — the two
+// Sec. IV-C/III-B mechanisms the Context-level tests only exercise
+// indirectly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace {
+
+struct Node : ttg::LifoNode {
+  int id = 0;
+};
+
+using ttg::SchedulerType;
+
+/// Links nodes[0..n) into a chain via LifoNode::next (priorities must
+/// already be descending, as push_chain requires).
+void link_chain(std::vector<Node>& nodes) {
+  for (std::size_t i = 0; i + 1 < nodes.size(); ++i) {
+    nodes[i].next = &nodes[i + 1];
+  }
+  if (!nodes.empty()) nodes.back().next = nullptr;
+}
+
+class ChainSchedulerTest : public ::testing::TestWithParam<SchedulerType> {};
+
+TEST_P(ChainSchedulerTest, ChainIntoEmptySchedulerDeliversEveryTaskOnce) {
+  auto sched = ttg::make_scheduler(GetParam(), 2);
+  std::vector<Node> nodes(64);
+  for (int i = 0; i < 64; ++i) {
+    nodes[i].id = i;
+    nodes[i].priority = 64 - i;  // strictly descending
+  }
+  link_chain(nodes);
+  sched->push_chain(0, &nodes[0]);
+
+  std::set<int> seen;
+  for (int w : {0, 1, 0}) {
+    while (ttg::LifoNode* p = sched->pop(w)) {
+      EXPECT_TRUE(seen.insert(static_cast<Node*>(p)->id).second)
+          << "task popped twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST_P(ChainSchedulerTest, SingleElementChainBehavesLikePush) {
+  auto sched = ttg::make_scheduler(GetParam(), 1);
+  Node only;
+  only.id = 7;
+  only.priority = 3;
+  only.next = nullptr;
+  sched->push_chain(0, &only);
+  ASSERT_EQ(static_cast<Node*>(sched->pop(0)), &only);
+  EXPECT_EQ(sched->pop(0), nullptr);
+}
+
+TEST_P(ChainSchedulerTest, ExternalChainReachesWorkers) {
+  auto sched = ttg::make_scheduler(GetParam(), 2);
+  std::vector<Node> nodes(16);
+  for (int i = 0; i < 16; ++i) {
+    nodes[i].id = i;
+    nodes[i].priority = 16 - i;
+  }
+  link_chain(nodes);
+  sched->push_chain(ttg::kExternalWorker, &nodes[0]);
+  int count = 0;
+  while (sched->pop(0) != nullptr || sched->pop(1) != nullptr) ++count;
+  EXPECT_EQ(count, 16);
+}
+
+TEST_P(ChainSchedulerTest, ChainSurvivesConcurrentStealing) {
+  // One producer repeatedly pushes sorted chains into its own queue
+  // while a thief drains from the other side: nothing may be lost or
+  // duplicated, chains included.
+  auto sched = ttg::make_scheduler(GetParam(), 2);
+  constexpr int kChains = 200;
+  constexpr int kChainLen = 8;
+  std::vector<Node> nodes(kChains * kChainLen);
+  std::vector<std::atomic<int>> seen(nodes.size());
+  for (auto& s : seen) s.store(0);
+  std::atomic<int> popped{0};
+
+  std::thread producer([&] {
+    for (int c = 0; c < kChains; ++c) {
+      Node* head = &nodes[static_cast<std::size_t>(c) * kChainLen];
+      for (int i = 0; i < kChainLen; ++i) {
+        Node& n = head[i];
+        n.id = c * kChainLen + i;
+        n.priority = kChainLen - i;
+        n.next = (i + 1 < kChainLen) ? &head[i + 1] : nullptr;
+      }
+      sched->push_chain(0, head);
+      if (c % 4 == 0) {
+        if (ttg::LifoNode* p = sched->pop(0)) {
+          seen[static_cast<Node*>(p)->id].fetch_add(1);
+          popped.fetch_add(1);
+        }
+      }
+    }
+  });
+  std::thread thief([&] {
+    for (int spins = 0; spins < 4'000'000 &&
+                        popped.load() < static_cast<int>(nodes.size());
+         ++spins) {
+      if (ttg::LifoNode* p = sched->pop(1)) {
+        seen[static_cast<Node*>(p)->id].fetch_add(1);
+        popped.fetch_add(1);
+      }
+    }
+  });
+  producer.join();
+  thief.join();
+  for (int w : {0, 1}) {
+    while (ttg::LifoNode* p = sched->pop(w)) {
+      seen[static_cast<Node*>(p)->id].fetch_add(1);
+      popped.fetch_add(1);
+    }
+  }
+  EXPECT_EQ(popped.load(), static_cast<int>(nodes.size()));
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(StealingSchedulers, ChainSchedulerTest,
+                         ::testing::Values(SchedulerType::kLFQ,
+                                           SchedulerType::kLL,
+                                           SchedulerType::kLLP),
+                         [](const auto& info) {
+                           return std::string(ttg::to_string(info.param));
+                         });
+
+// LLP merges sorted chains into a sorted queue; the result must pop in
+// globally descending priority order regardless of interleaving.
+TEST(LlpChain, MergedChainsPopInDescendingOrder) {
+  auto sched = ttg::make_scheduler(SchedulerType::kLLP, 1);
+
+  // Existing queue: priorities 11, 7, 3 (pushed ascending → LLP sorts).
+  std::vector<Node> existing(3);
+  const int prios[3] = {3, 7, 11};
+  for (int i = 0; i < 3; ++i) {
+    existing[i].priority = prios[i];
+    sched->push(0, &existing[i]);
+  }
+  // Two chains straddling the existing priorities.
+  std::vector<Node> chain_a(3), chain_b(3);
+  const int pa[3] = {12, 8, 2};
+  const int pb[3] = {10, 6, 1};
+  for (int i = 0; i < 3; ++i) {
+    chain_a[i].priority = pa[i];
+    chain_b[i].priority = pb[i];
+  }
+  link_chain(chain_a);
+  link_chain(chain_b);
+  sched->push_chain(0, &chain_a[0]);
+  sched->push_chain(0, &chain_b[0]);
+
+  int last = 1 << 30;
+  int count = 0;
+  while (ttg::LifoNode* p = sched->pop(0)) {
+    EXPECT_LE(p->priority, last) << "pop order not descending";
+    last = p->priority;
+    ++count;
+  }
+  EXPECT_EQ(count, 9);
+}
+
+TEST(LlpChain, ChainOntoEmptyQueuePreservesChainOrder) {
+  auto sched = ttg::make_scheduler(SchedulerType::kLLP, 1);
+  std::vector<Node> chain(5);
+  for (int i = 0; i < 5; ++i) {
+    chain[i].id = i;
+    chain[i].priority = 50 - i;
+  }
+  link_chain(chain);
+  sched->push_chain(0, &chain[0]);
+  for (int i = 0; i < 5; ++i) {
+    Node* n = static_cast<Node*>(sched->pop(0));
+    ASSERT_NE(n, nullptr);
+    EXPECT_EQ(n->id, i);
+  }
+}
+
+TEST(LlpChain, ChainTiesBeatOlderTasks) {
+  // Chain elements win priority ties against queued tasks: they are
+  // newer and their data is hotter (same rule as the push fast path).
+  auto sched = ttg::make_scheduler(SchedulerType::kLLP, 1);
+  Node old_task;
+  old_task.id = 1;
+  old_task.priority = 5;
+  sched->push(0, &old_task);
+  std::vector<Node> chain(1);
+  chain[0].id = 2;
+  chain[0].priority = 5;
+  link_chain(chain);
+  sched->push_chain(0, &chain[0]);
+  EXPECT_EQ(static_cast<Node*>(sched->pop(0))->id, 2);
+  EXPECT_EQ(static_cast<Node*>(sched->pop(0))->id, 1);
+}
+
+// ------------------------------------------------------------- steal order
+
+/// Property check: victims(w) must list all domain siblings (ring-wise
+/// from w within the domain) before any outside worker, then the rest
+/// of the node ring-wise, visiting every other worker exactly once.
+void check_hierarchical_order(int num_workers, int domain_size) {
+  ttg::StealOrder order(num_workers, domain_size);
+  const int d = domain_size > 1 ? domain_size : num_workers;
+  for (int w = 0; w < num_workers; ++w) {
+    const auto& victims = order.victims(w);
+    ASSERT_EQ(victims.size(), static_cast<std::size_t>(num_workers - 1))
+        << "worker " << w;
+    const int dom_begin = (w / d) * d;
+    const int dom_end = std::min(dom_begin + d, num_workers);
+    const int siblings = dom_end - dom_begin - 1;
+    // Prefix: exactly the domain siblings, ring-wise from w.
+    for (int i = 0; i < siblings; ++i) {
+      const int expect =
+          dom_begin + (w - dom_begin + 1 + i) % (dom_end - dom_begin);
+      EXPECT_EQ(victims[static_cast<std::size_t>(i)], expect)
+          << "worker " << w << " sibling slot " << i;
+    }
+    // Suffix: every non-domain worker, ring order, no domain members.
+    std::vector<int> suffix(victims.begin() + siblings, victims.end());
+    for (std::size_t i = 0; i + 1 < suffix.size(); ++i) {
+      const int a = (suffix[i] - w + num_workers) % num_workers;
+      const int b = (suffix[i + 1] - w + num_workers) % num_workers;
+      EXPECT_LT(a, b) << "worker " << w << ": ring order broken";
+    }
+    for (int v : suffix) {
+      EXPECT_TRUE(v < dom_begin || v >= dom_end)
+          << "worker " << w << ": domain member " << v << " after suffix";
+    }
+    // Permutation: every other worker appears exactly once.
+    std::vector<int> all(victims);
+    std::sort(all.begin(), all.end());
+    std::vector<int> expect_all;
+    for (int v = 0; v < num_workers; ++v) {
+      if (v != w) expect_all.push_back(v);
+    }
+    EXPECT_EQ(all, expect_all) << "worker " << w;
+  }
+}
+
+TEST(StealOrderHierarchy, DomainsOfFourOnEight) {
+  check_hierarchical_order(8, 4);
+}
+
+TEST(StealOrderHierarchy, DomainsOfTwoOnSix) {
+  check_hierarchical_order(6, 2);
+}
+
+TEST(StealOrderHierarchy, UnevenTailDomain) {
+  check_hierarchical_order(10, 4);  // domains {0..3} {4..7} {8,9}
+}
+
+TEST(StealOrderHierarchy, FlatWhenDomainDisabled) {
+  for (int d : {0, 1}) {
+    ttg::StealOrder order(5, d);
+    for (int w = 0; w < 5; ++w) {
+      std::vector<int> expect;
+      for (int i = 1; i < 5; ++i) expect.push_back((w + i) % 5);
+      EXPECT_EQ(order.victims(w), expect) << "domain " << d;
+    }
+  }
+}
+
+TEST(StealOrderHierarchy, DomainLargerThanPoolIsFlat) {
+  ttg::StealOrder order(3, 16);
+  EXPECT_EQ(order.victims(0), (std::vector<int>{1, 2}));
+  EXPECT_EQ(order.victims(2), (std::vector<int>{0, 1}));
+}
+
+TEST(StealOrderHierarchy, SingleWorkerHasNoVictims) {
+  ttg::StealOrder order(1, 4);
+  EXPECT_TRUE(order.victims(0).empty());
+}
+
+}  // namespace
