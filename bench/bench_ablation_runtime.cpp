@@ -43,6 +43,7 @@ double run_tree(const ttg::Config& rt, int height, std::uint64_t cycles) {
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
+  bench::TraceCapture trace_capture(args);
   const int height = static_cast<int>(args.get_int("height", 14));
   const int threads = static_cast<int>(
       args.get_int("threads", bench::default_max_threads()));

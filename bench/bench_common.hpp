@@ -12,9 +12,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "runtime/trace.hpp"
 
 namespace bench {
 
@@ -71,5 +75,48 @@ inline int default_max_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
+
+/// Opt-in tracing for any bench binary:
+///
+///   bench_figX --trace-out=run.json [--trace-capacity=65536]
+///
+/// Declared first thing in main(); when --trace-out is absent this is
+/// inert (tracing stays disabled, zero overhead beyond one relaxed load
+/// per would-be event). On destruction — i.e. after the bench finishes —
+/// the capture stops and a Chrome/Perfetto-loadable trace is written to
+/// the given path.
+class TraceCapture {
+ public:
+  explicit TraceCapture(const Args& args)
+      : path_(args.get_string("trace-out", "")) {
+    if (path_.empty()) return;
+    ttg::trace::Config config;
+    config.events_per_thread = static_cast<std::size_t>(args.get_int(
+        "trace-capacity",
+        static_cast<std::int64_t>(config.events_per_thread)));
+    session_.emplace(config);
+  }
+
+  TraceCapture(const TraceCapture&) = delete;
+  TraceCapture& operator=(const TraceCapture&) = delete;
+
+  ~TraceCapture() {
+    if (!session_.has_value()) return;
+    session_.reset();  // stop recording before exporting
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "trace-out: cannot open %s\n", path_.c_str());
+      return;
+    }
+    ttg::trace::export_chrome_json(out);
+    std::fprintf(stderr, "trace written to %s\n", path_.c_str());
+  }
+
+  bool active() const { return session_.has_value(); }
+
+ private:
+  std::string path_;
+  std::optional<ttg::trace::Session> session_;
+};
 
 }  // namespace bench

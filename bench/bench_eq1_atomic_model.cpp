@@ -76,6 +76,7 @@ void report(int n_inputs, const ttg::AtomicOpSnapshot& snap, int tasks) {
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
+  bench::TraceCapture trace_capture(args);
   const int tasks = static_cast<int>(args.get_int("tasks", 50000));
 
   std::printf("# Equation (1): measured atomic RMW per task (move/reuse "

@@ -18,6 +18,7 @@
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
+  bench::TraceCapture trace_capture(args);
   const int steps = static_cast<int>(args.get_int("steps", 100));
   // Summit nodes have 22 cores per socket.
   const int threads = static_cast<int>(args.get_int(

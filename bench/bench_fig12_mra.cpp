@@ -20,6 +20,7 @@
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
+  bench::TraceCapture trace_capture(args);
   const bool paper = args.has_flag("paper");
 
   mra::MraParams params;

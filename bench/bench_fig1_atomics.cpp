@@ -57,6 +57,7 @@ double run_case(Mode mode, int nthreads, std::int64_t ops_per_thread) {
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
+  bench::TraceCapture trace_capture(args);
   const int max_threads = static_cast<int>(
       args.get_int("max-threads", bench::default_max_threads()));
   const std::int64_t ops = args.get_int("ops", 2000000);

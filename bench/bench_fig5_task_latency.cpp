@@ -179,6 +179,7 @@ double run_omp_chain(int tasks, int ndeps) {
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
+  bench::TraceCapture trace_capture(args);
   const int tasks = static_cast<int>(args.get_int("tasks", 200000));
 
   std::printf("# Figure 5: task latency (ns/task), chain of %d tasks\n",

@@ -60,6 +60,7 @@ double run_tree(ttg::SchedulerType sched, int threads, int height,
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
+  bench::TraceCapture trace_capture(args);
   const int height = static_cast<int>(
       args.get_int("height", args.has_flag("paper") ? 22 : 15));
   const int max_threads = static_cast<int>(

@@ -15,6 +15,7 @@
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
+  bench::TraceCapture trace_capture(args);
   const bool paper = args.has_flag("paper");
   const int steps =
       static_cast<int>(args.get_int("steps", paper ? 1000 : 200));

@@ -18,6 +18,7 @@
 
 int main(int argc, char** argv) {
   const bench::Args args(argc, argv);
+  bench::TraceCapture trace_capture(args);
   const bool paper = args.has_flag("paper");
   const int threads = static_cast<int>(
       args.get_int("threads", bench::default_max_threads()));

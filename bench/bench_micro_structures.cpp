@@ -6,9 +6,11 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "sched/scheduler.hpp"
 #include "structures/bounded_buffer.hpp"
 #include "structures/fifo.hpp"
@@ -189,4 +191,19 @@ BENCHMARK(BM_OrderingModes)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN: the --trace-* flags are ours, and
+// google-benchmark rejects flags it does not know, so strip them before
+// benchmark::Initialize sees the argument vector.
+int main(int argc, char** argv) {
+  const bench::Args args(argc, argv);
+  bench::TraceCapture trace_capture(args);
+  std::vector<char*> bm_argv;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace-", 8) != 0) bm_argv.push_back(argv[i]);
+  }
+  int bm_argc = static_cast<int>(bm_argv.size());
+  benchmark::Initialize(&bm_argc, bm_argv.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -109,20 +109,20 @@ int main(int argc, char** argv) {
   std::vector<Tile> result(static_cast<std::size_t>(nt) * nt);
 
   auto potrf_tt = ttg::make_tt<int>(
-      [&, nt, b](const int& k, Tile& tile, auto& outs) {
+      [&, nt, b](const int& k, Tile& tile) {
         potrf(b, tile);
         result[static_cast<std::size_t>(k) * nt + k] = tile;
         std::vector<KI> consumers;
         for (int i = k + 1; i < nt; ++i) consumers.push_back(KI{k, i});
         if (!consumers.empty()) {
-          ttg::broadcast<0>(consumers, tile, outs);
+          ttg::broadcast<0>(consumers, tile);
         }
       },
       ttg::edges(potrf_in), ttg::edges(trsm_panel), "POTRF", world);
   potrf_tt->set_priority_fn([nt](const int& k) { return 3 * (nt - k); });
 
   auto trsm_tt = ttg::make_tt<KI>(
-      [&, nt, b](const KI& key, Tile& lkk, Tile& tile, auto& outs) {
+      [&, nt, b](const KI& key, Tile& lkk, Tile& tile) {
         const auto [k, i] = key;
         trsm(b, lkk, tile);
         result[static_cast<std::size_t>(i) * nt + k] = tile;
@@ -130,8 +130,8 @@ int main(int argc, char** argv) {
         std::vector<KIJ> rows, cols;
         for (int j = k + 1; j <= i; ++j) rows.push_back(KIJ{k, i, j});
         for (int ii = i; ii < nt; ++ii) cols.push_back(KIJ{k, ii, i});
-        if (!rows.empty()) ttg::broadcast<0>(rows, tile, outs);
-        if (!cols.empty()) ttg::broadcast<1>(cols, tile, outs);
+        if (!rows.empty()) ttg::broadcast<0>(rows, tile);
+        if (!cols.empty()) ttg::broadcast<1>(cols, tile);
       },
       ttg::edges(trsm_panel, trsm_tile), ttg::edges(up_row, up_col),
       "TRSM", world);
@@ -139,19 +139,18 @@ int main(int argc, char** argv) {
       [nt](const KI& key) { return 3 * (nt - key.first) - 1; });
 
   auto update_tt = ttg::make_tt<KIJ>(
-      [&, nt, b](const KIJ& key, Tile& lik, Tile& ljk, Tile& tile,
-                 auto& outs) {
+      [&, nt, b](const KIJ& key, Tile& lik, Tile& ljk, Tile& tile) {
         const auto [k, i, j] = key;
         gemm_nt(b, lik, ljk, tile);
         if (j == k + 1) {
           // The tile's final factorization step comes next.
           if (i == j) {
-            ttg::send<0>(k + 1, std::move(tile), outs);
+            ttg::send<0>(k + 1, std::move(tile));
           } else {
-            ttg::send<1>(KI{k + 1, i}, std::move(tile), outs);
+            ttg::send<1>(KI{k + 1, i}, std::move(tile));
           }
         } else {
-          ttg::send<2>(KIJ{k + 1, i, j}, std::move(tile), outs);
+          ttg::send<2>(KIJ{k + 1, i, j}, std::move(tile));
         }
       },
       ttg::edges(up_row, up_col, up_tile),

@@ -30,7 +30,7 @@ int main() {
   std::vector<double> result;
 
   auto step = ttg::make_tt<int>(
-      [&result](const int& k, std::vector<double>& u, auto& outs) {
+      [&result](const int& k, std::vector<double>& u) {
         std::vector<double> next(u.size());
         for (std::size_t i = 0; i < u.size(); ++i) {
           const double left = i > 0 ? u[i - 1] : u[i];
@@ -39,7 +39,7 @@ int main() {
         }
         u = std::move(next);
         if (k + 1 < kSteps) {
-          ttg::send<0>(k + 1, std::move(u), outs);
+          ttg::send<0>(k + 1, std::move(u));
         } else {
           result = u;
         }

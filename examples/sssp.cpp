@@ -95,8 +95,7 @@ int main(int argc, char** argv) {
   std::atomic<std::uint64_t> relaxations{0};
 
   auto relax = ttg::make_tt<int>(
-      [&graph, &dist, &relaxations](const int& v, long& candidate,
-                                    auto& outs) {
+      [&graph, &dist, &relaxations](const int& v, long& candidate) {
         relaxations.fetch_add(1, std::memory_order_relaxed);
         bool improved = false;
         dist.with(v, [&](long& d) {
@@ -107,7 +106,7 @@ int main(int argc, char** argv) {
         });
         if (improved) {
           for (const auto& [u, w] : graph.adj[v]) {
-            ttg::send<0>(u, candidate + w, outs);
+            ttg::send<0>(u, candidate + w);
           }
         }
       },

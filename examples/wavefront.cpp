@@ -37,11 +37,11 @@ int main(int argc, char** argv) {
   std::atomic<long> corner{0};
 
   auto cell = ttg::make_tt<Key>(
-      [n, &corner](const Key& key, long& north, long& west, auto& outs) {
+      [n, &corner](const Key& key, long& north, long& west) {
         const auto [i, j] = key;
         const long v = std::max(north, west) + score(i, j);
-        if (i + 1 < n) ttg::send<0>(Key{i + 1, j}, long{v}, outs);
-        if (j + 1 < n) ttg::send<1>(Key{i, j + 1}, long{v}, outs);
+        if (i + 1 < n) ttg::send<0>(Key{i + 1, j}, long{v});
+        if (j + 1 < n) ttg::send<1>(Key{i, j + 1}, long{v});
         if (i + 1 == n && j + 1 == n) corner.store(v);
       },
       ttg::edges(from_north, from_west), ttg::edges(from_north, from_west),

@@ -1,5 +1,7 @@
 #include "runtime/engine.hpp"
 
+#include <string>
+
 #include "runtime/context.hpp"
 #include "runtime/trace.hpp"
 
@@ -17,9 +19,23 @@ ExecutionEngine::ExecutionEngine(Context& owner, const Config& config,
       rank_(rank),
       inline_max_depth_(config.inline_max_depth),
       bundle_successors_(config.bundle_successors),
+      sched_trace_name_(trace::intern(to_string(config.scheduler))),
       detector_(&detector) {
   scheduler_ = make_scheduler(config.scheduler, num_threads_,
                               config.steal_domain_size);
+  {
+    auto& registry = trace::MetricsRegistry::instance();
+    const std::string prefix = "engine.r" + std::to_string(rank_) + ".";
+    metric_ids_.push_back(registry.add(
+        prefix + "steal_attempts",
+        [this] { return scheduler_->steal_stats().attempts; }));
+    metric_ids_.push_back(registry.add(
+        prefix + "steal_successes",
+        [this] { return scheduler_->steal_stats().successes; }));
+    metric_ids_.push_back(registry.add(
+        prefix + "tasks_executed",
+        [this] { return total_tasks_executed(); }));
+  }
   workers_ = std::make_unique<CachePadded<Worker>[]>(
       static_cast<std::size_t>(num_threads_));
   for (int i = 0; i < num_threads_; ++i) {
@@ -36,6 +52,8 @@ ExecutionEngine::ExecutionEngine(Context& owner, const Config& config,
 }
 
 ExecutionEngine::~ExecutionEngine() {
+  // Unregister first: the readers dereference the scheduler and workers.
+  for (int id : metric_ids_) trace::MetricsRegistry::instance().remove(id);
   stop_.store(true, std::memory_order_release);
   notify_work();
   for (auto& t : threads_) t.join();
@@ -44,15 +62,25 @@ ExecutionEngine::~ExecutionEngine() {
 void ExecutionEngine::submit(TaskBase* task, SubmitHint hint) {
   Worker* w = t_current_worker;
   const bool local = (w != nullptr && w->engine_ == this);
+  const int worker = local ? w->index_ : kExternalWorker;
   switch (hint) {
     case SubmitHint::kChain:
       if (task == nullptr) return;
-      scheduler_->push_chain(local ? w->index_ : kExternalWorker, task);
+      if (trace::enabled_for(trace::kCatSched)) {
+        std::uint64_t len = 0;
+        for (LifoNode* n = task; n != nullptr; n = n->next) ++len;
+        trace::record(trace::EventKind::kSchedPushChain, len,
+                      sched_trace_name_);
+      }
+      scheduler_->push_chain(worker, task);
       notify_work();
       return;
     case SubmitHint::kMayInline:
       if (local) {
         if (inline_max_depth_ > 0 && w->inline_depth_ < inline_max_depth_) {
+          trace::record(trace::EventKind::kInlineExec,
+                        static_cast<std::uint64_t>(w->index_),
+                        task->trace_name);
           w->run_inline(task);
           return;
         }
@@ -60,10 +88,25 @@ void ExecutionEngine::submit(TaskBase* task, SubmitHint hint) {
       }
       [[fallthrough]];
     case SubmitHint::kDeferred:
-      scheduler_->push(local ? w->index_ : kExternalWorker, task);
+      trace::record(trace::EventKind::kSchedPush,
+                    static_cast<std::uint64_t>(
+                        worker == kExternalWorker ? ~0u : worker),
+                    sched_trace_name_);
+      scheduler_->push(worker, task);
       notify_work();
       return;
   }
+}
+
+void ExecutionEngine::flush_chain(int worker_index, TaskBase* head) {
+  if (trace::enabled_for(trace::kCatSched)) {
+    std::uint64_t len = 0;
+    for (LifoNode* n = head; n != nullptr; n = n->next) ++len;
+    trace::record(trace::EventKind::kSchedPushChain, len,
+                  sched_trace_name_);
+  }
+  scheduler_->push_chain(worker_index, head);
+  notify_work();
 }
 
 std::uint64_t ExecutionEngine::total_tasks_executed() const {
@@ -83,6 +126,8 @@ void ExecutionEngine::worker_main(int index) {
   int idle_spins = 0;
   while (!stop_.load(std::memory_order_acquire)) {
     if (LifoNode* node = scheduler_->pop(index); node != nullptr) {
+      trace::record(trace::EventKind::kSchedPop,
+                    static_cast<std::uint64_t>(index), sched_trace_name_);
       detector_->on_resume();
       idle_spins = 0;
       self.run_task(static_cast<TaskBase*>(node));
@@ -108,6 +153,8 @@ void ExecutionEngine::worker_main(int index) {
     // prevents a missed wakeup for pushes that happened before the load.
     const ParkingLot::Epoch epoch = parking_.prepare_park();
     if (LifoNode* node = scheduler_->pop(index); node != nullptr) {
+      trace::record(trace::EventKind::kSchedPop,
+                    static_cast<std::uint64_t>(index), sched_trace_name_);
       detector_->on_resume();
       idle_spins = 0;
       self.run_task(static_cast<TaskBase*>(node));

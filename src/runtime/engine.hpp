@@ -100,10 +100,7 @@ class ExecutionEngine {
 
   /// Hands a descending-priority-sorted chain to the scheduler on behalf
   /// of `worker_index` and wakes sleepers (bundle flush path).
-  void flush_chain(int worker_index, TaskBase* head) {
-    scheduler_->push_chain(worker_index, head);
-    notify_work();
-  }
+  void flush_chain(int worker_index, TaskBase* head);
 
   bool bundling_enabled() const { return bundle_successors_; }
 
@@ -111,6 +108,12 @@ class ExecutionEngine {
   const int rank_;
   const int inline_max_depth_;
   const bool bundle_successors_;
+  /// Interned scheduler-tier name ("LFQ"/"LL"/"LLP"/...), attached to
+  /// every sched push/pop trace instant.
+  std::uint32_t sched_trace_name_ = 0;
+  /// MetricsRegistry handles for this engine's read-outs (steal stats,
+  /// tasks executed); removed on destruction.
+  std::vector<int> metric_ids_;
 
   TerminationDetector* detector_;
   std::unique_ptr<Scheduler> scheduler_;

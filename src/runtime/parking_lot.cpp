@@ -1,14 +1,18 @@
 #include "runtime/parking_lot.hpp"
 
+#include "runtime/trace.hpp"
+
 namespace ttg {
 
 // Out of line: parking is the cold path (a worker only gets here after
 // its spin budget is exhausted), and keeping the atomic wait in one
 // translation unit keeps the TSan/futex surface small.
 void ParkingLot::park(Epoch observed) noexcept {
+  trace::record(trace::EventKind::kParkBegin, observed);
   sleepers_.fetch_add(1, std::memory_order_acq_rel);
   epoch_.wait(observed, std::memory_order_acquire);
   sleepers_.fetch_sub(1, std::memory_order_relaxed);
+  trace::record(trace::EventKind::kParkEnd, observed);
 }
 
 }  // namespace ttg

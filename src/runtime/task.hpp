@@ -7,6 +7,8 @@
 // create + destroy = two atomic operations, both in the pool).
 #pragma once
 
+#include <cstdint>
+
 #include "structures/lifo.hpp"
 #include "structures/mempool.hpp"
 
@@ -20,6 +22,9 @@ struct TaskBase : LifoNode {
   /// trivially poolable and one indirection cheaper.
   void (*execute)(TaskBase*, Worker&) = nullptr;
   MemoryPool* pool = nullptr;
+  /// Interned trace name (trace::intern) of the task's origin — its TT
+  /// for TTG tasks; 0 leaves the span unnamed ("task").
+  std::uint32_t trace_name = 0;
 };
 
 }  // namespace ttg

@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cinttypes>
+#include <cstdio>
 #include <memory>
+#include <unordered_map>
 
+#include "atomics/op_counter.hpp"
 #include "common/cycle_clock.hpp"
 #include "common/thread_id.hpp"
+#include "runtime/copy_pool.hpp"
 
 namespace ttg::trace {
 
@@ -19,8 +24,49 @@ std::string_view to_string(EventKind k) {
     case EventKind::kMessageReceived: return "msg_recv";
     case EventKind::kPoolHit: return "pool_hit";
     case EventKind::kPoolMiss: return "pool_miss";
+    case EventKind::kParkBegin: return "park_begin";
+    case EventKind::kParkEnd: return "park_end";
+    case EventKind::kSchedPush: return "sched_push";
+    case EventKind::kSchedPushChain: return "sched_push_chain";
+    case EventKind::kSchedPop: return "sched_pop";
+    case EventKind::kStealAttempt: return "steal_attempt";
+    case EventKind::kStealSuccess: return "steal_success";
+    case EventKind::kInlineExec: return "inline_exec";
+    case EventKind::kTermDetRound: return "termdet_round";
+    case EventKind::kCounter: return "counter";
   }
   return "?";
+}
+
+Category category_of(EventKind k) {
+  switch (k) {
+    case EventKind::kTaskBegin:
+    case EventKind::kTaskEnd:
+    case EventKind::kInlineExec:
+      return kCatTask;
+    case EventKind::kIdleBegin:
+    case EventKind::kIdleEnd:
+    case EventKind::kParkBegin:
+    case EventKind::kParkEnd:
+      return kCatIdle;
+    case EventKind::kMessageSent:
+    case EventKind::kMessageReceived:
+      return kCatMessage;
+    case EventKind::kPoolHit:
+    case EventKind::kPoolMiss:
+      return kCatPool;
+    case EventKind::kSchedPush:
+    case EventKind::kSchedPushChain:
+    case EventKind::kSchedPop:
+    case EventKind::kStealAttempt:
+    case EventKind::kStealSuccess:
+      return kCatSched;
+    case EventKind::kTermDetRound:
+      return kCatTermDet;
+    case EventKind::kCounter:
+      return kCatCounter;
+  }
+  return kCatAll;
 }
 
 namespace {
@@ -33,13 +79,63 @@ struct ThreadRing {
 
 ThreadRing g_rings[kMaxThreads];
 std::atomic<bool> g_enabled{false};
-std::size_t g_capacity = 0;
+std::atomic<std::uint32_t> g_categories{kCatAll};
+std::atomic<std::size_t> g_capacity{0};
+
+// --- name interning ---------------------------------------------------
+// The global table assigns ids under a mutex; a per-thread cache makes
+// re-interning the same name lock-free. Never cleared: ids name kinds of
+// work (TT names, scheduler tiers) and stay valid across sessions.
+
+struct InternTable {
+  std::mutex mutex;
+  std::vector<std::string> names{std::string()};  // id 0 = unnamed
+  std::unordered_map<std::string, NameId> ids;
+};
+
+InternTable& intern_table() {
+  static InternTable table;
+  return table;
+}
 
 }  // namespace
 
-void enable(std::size_t events_per_thread) {
+NameId intern(std::string_view name) {
+  if (name.empty()) return kNoName;
+  thread_local std::unordered_map<std::string, NameId> t_cache;
+  const std::string key(name);
+  if (auto it = t_cache.find(key); it != t_cache.end()) return it->second;
+  InternTable& table = intern_table();
+  NameId id;
+  {
+    std::lock_guard<std::mutex> lock(table.mutex);
+    if (auto it = table.ids.find(key); it != table.ids.end()) {
+      id = it->second;
+    } else {
+      id = static_cast<NameId>(table.names.size());
+      table.names.push_back(key);
+      table.ids.emplace(key, id);
+    }
+  }
+  t_cache.emplace(key, id);
+  return id;
+}
+
+std::string name_of(NameId id) {
+  InternTable& table = intern_table();
+  std::lock_guard<std::mutex> lock(table.mutex);
+  if (id >= table.names.size()) return std::string();
+  return table.names[id];
+}
+
+// --- session control --------------------------------------------------
+
+namespace detail {
+
+void start(const Config& config) {
   g_enabled.store(false, std::memory_order_relaxed);
-  g_capacity = events_per_thread;
+  g_categories.store(config.categories, std::memory_order_relaxed);
+  g_capacity.store(config.events_per_thread, std::memory_order_relaxed);
   for (auto& ring : g_rings) {
     ring.events.reset();
     ring.capacity = 0;
@@ -48,24 +144,41 @@ void enable(std::size_t events_per_thread) {
   g_enabled.store(true, std::memory_order_release);
 }
 
-void disable() { g_enabled.store(false, std::memory_order_relaxed); }
+void stop() { g_enabled.store(false, std::memory_order_relaxed); }
+
+}  // namespace detail
+
+Session::Session(const Config& config) { detail::start(config); }
+Session::~Session() { detail::stop(); }
 
 bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
 
-void record(EventKind kind, std::uint32_t arg) {
+bool enabled_for(Category cat) {
+  return enabled() &&
+         (g_categories.load(std::memory_order_relaxed) & cat) != 0;
+}
+
+void record(EventKind kind, std::uint64_t arg, NameId name) {
   if (!enabled()) return;
+  if ((g_categories.load(std::memory_order_relaxed) &
+       category_of(kind)) == 0) {
+    return;
+  }
   const int tid = this_thread::id();
   ThreadRing& ring = g_rings[tid];
   if (ring.capacity == 0) {
-    // First event on this thread since enable(): allocate lazily so
+    // First event on this thread since start(): allocate lazily so
     // uninvolved threads cost nothing.
-    ring.events = std::make_unique<Event[]>(g_capacity);
-    ring.capacity = g_capacity;
+    const std::size_t cap = g_capacity.load(std::memory_order_relaxed);
+    if (cap == 0) return;
+    ring.events = std::make_unique<Event[]>(cap);
+    ring.capacity = cap;
     ring.count = 0;
   }
   Event& e = ring.events[ring.count % ring.capacity];
   e.tsc = rdtsc();
   e.arg = arg;
+  e.name = name;
   e.thread = static_cast<std::uint16_t>(tid);
   e.kind = kind;
   ++ring.count;
@@ -86,43 +199,69 @@ std::vector<Event> snapshot() {
   return out;
 }
 
+std::vector<std::uint64_t> dropped_per_thread() {
+  std::vector<std::uint64_t> out(
+      static_cast<std::size_t>(this_thread::id_count()), 0);
+  for (std::size_t t = 0; t < out.size(); ++t) {
+    const ThreadRing& ring = g_rings[t];
+    if (ring.count > ring.capacity) out[t] = ring.count - ring.capacity;
+  }
+  return out;
+}
+
 void dump_csv(std::ostream& os) {
-  os << "tsc,thread,kind,arg\n";
+  os << "tsc,thread,kind,name,arg\n";
   for (const Event& e : snapshot()) {
     os << e.tsc << ',' << e.thread << ',' << to_string(e.kind) << ','
-       << e.arg << '\n';
+       << name_of(e.name) << ',' << e.arg << '\n';
   }
 }
 
+// --- summary ----------------------------------------------------------
+
 std::vector<ThreadSummary> summarize() {
   const auto events = snapshot();
+  const auto dropped = dropped_per_thread();
   std::vector<ThreadSummary> per_thread(
       static_cast<std::size_t>(this_thread::id_count()));
+  // Span matching state per thread. Task spans nest (task inlining), so
+  // busy time is the outermost span only; a begin whose end was lost to
+  // ring wrap (or vice versa) counts as dropped instead of corrupting
+  // the cycle sums.
+  std::vector<int> task_depth(per_thread.size(), 0);
   std::vector<std::uint64_t> task_begin(per_thread.size(), 0);
+  std::vector<int> idle_depth(per_thread.size(), 0);
   std::vector<std::uint64_t> idle_begin(per_thread.size(), 0);
   for (std::size_t i = 0; i < per_thread.size(); ++i) {
     per_thread[i].thread = static_cast<int>(i);
+    per_thread[i].dropped_events = i < dropped.size() ? dropped[i] : 0;
   }
   for (const Event& e : events) {
     ThreadSummary& s = per_thread[e.thread];
     switch (e.kind) {
       case EventKind::kTaskBegin:
-        task_begin[e.thread] = e.tsc;
+        if (task_depth[e.thread]++ == 0) task_begin[e.thread] = e.tsc;
         break;
       case EventKind::kTaskEnd:
-        if (task_begin[e.thread] != 0) {
-          ++s.tasks;
+        if (task_depth[e.thread] == 0) {
+          ++s.dropped_events;  // begin lost to ring wrap-around
+          break;
+        }
+        ++s.tasks;
+        if (--task_depth[e.thread] == 0) {
           s.busy_cycles += e.tsc - task_begin[e.thread];
-          task_begin[e.thread] = 0;
         }
         break;
       case EventKind::kIdleBegin:
-        idle_begin[e.thread] = e.tsc;
+        if (idle_depth[e.thread]++ == 0) idle_begin[e.thread] = e.tsc;
         break;
       case EventKind::kIdleEnd:
-        if (idle_begin[e.thread] != 0) {
+        if (idle_depth[e.thread] == 0) {
+          ++s.dropped_events;
+          break;
+        }
+        if (--idle_depth[e.thread] == 0) {
           s.idle_cycles += e.tsc - idle_begin[e.thread];
-          idle_begin[e.thread] = 0;
         }
         break;
       case EventKind::kMessageSent:
@@ -137,9 +276,286 @@ std::vector<ThreadSummary> summarize() {
       case EventKind::kPoolMiss:
         ++s.pool_misses;
         break;
+      case EventKind::kStealAttempt:
+        ++s.steal_attempts;
+        break;
+      case EventKind::kStealSuccess:
+        ++s.steal_successes;
+        break;
+      default:
+        break;
     }
   }
+  // Begins still open at the end of the snapshot: their ends were never
+  // recorded (wrap or truncation) — report, don't count.
+  for (std::size_t t = 0; t < per_thread.size(); ++t) {
+    per_thread[t].dropped_events +=
+        static_cast<std::uint64_t>(task_depth[t]) +
+        static_cast<std::uint64_t>(idle_depth[t]);
+  }
   return per_thread;
+}
+
+void write_summary(std::ostream& os) {
+  os << "thread,tasks,busy_cycles,idle_cycles,msgs_sent,msgs_recv,"
+        "pool_hits,pool_misses,steal_attempts,steal_successes,"
+        "dropped_events\n";
+  for (const ThreadSummary& s : summarize()) {
+    os << s.thread << ',' << s.tasks << ',' << s.busy_cycles << ','
+       << s.idle_cycles << ',' << s.messages_sent << ','
+       << s.messages_received << ',' << s.pool_hits << ','
+       << s.pool_misses << ',' << s.steal_attempts << ','
+       << s.steal_successes << ',' << s.dropped_events << '\n';
+  }
+  os << "metric,value\n";
+  for (const Metric& m : MetricsRegistry::instance().snapshot()) {
+    os << m.name << ',' << m.value << '\n';
+  }
+}
+
+// --- Chrome trace-event JSON export -----------------------------------
+
+namespace {
+
+void json_escape(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+/// Emits one trace event object. `ts`/`dur` are microseconds. Every
+/// event carries ph/ts/pid/tid so downstream validators can rely on
+/// them unconditionally (metadata events use ts 0).
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {
+    os_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  }
+
+  void event(std::string_view name, char ph, double ts, int tid,
+             std::string_view extra) {
+    if (!first_) os_ << ",";
+    first_ = false;
+    std::string escaped;
+    json_escape(escaped, name);
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "\"ph\":\"%c\",\"ts\":%.3f", ph, ts);
+    os_ << "\n{\"name\":\"" << escaped << "\"," << buf
+        << ",\"pid\":0,\"tid\":" << tid;
+    if (!extra.empty()) os_ << "," << extra;
+    os_ << "}";
+  }
+
+  void finish(std::uint64_t dropped_total) {
+    os_ << "\n],\"otherData\":{\"dropped_events\":" << dropped_total
+        << "}}\n";
+  }
+
+ private:
+  std::ostream& os_;
+  bool first_ = true;
+};
+
+std::string span_name(const Event& begin) {
+  if (begin.kind == EventKind::kTaskBegin) {
+    if (begin.name != kNoName) return name_of(begin.name);
+    return "task";
+  }
+  if (begin.kind == EventKind::kIdleBegin) return "idle";
+  return "park";
+}
+
+}  // namespace
+
+void export_chrome_json(std::ostream& os) {
+  const auto events = snapshot();
+  const auto dropped = dropped_per_thread();
+  std::uint64_t dropped_total = 0;
+  for (std::uint64_t d : dropped) dropped_total += d;
+
+  const double cpn = cycles_per_ns();
+  const std::uint64_t base = events.empty() ? 0 : events.front().tsc;
+  const auto us = [&](std::uint64_t tsc) {
+    return static_cast<double>(tsc - base) / cpn / 1000.0;
+  };
+
+  JsonWriter w(os);
+  w.event("process_name", 'M', 0.0, 0,
+          "\"args\":{\"name\":\"ttg_smalltask\"}");
+
+  // Per-thread span-matching stacks: (begin event) per open span kind.
+  const std::size_t nthreads =
+      static_cast<std::size_t>(this_thread::id_count());
+  std::vector<std::vector<Event>> task_stack(nthreads);
+  std::vector<std::vector<Event>> idle_stack(nthreads);
+  std::vector<std::vector<Event>> park_stack(nthreads);
+
+  // Derived counter tracks.
+  std::int64_t ready_depth = 0;
+  std::uint64_t pool_hits = 0, pool_misses = 0;
+
+  for (std::size_t t = 0; t < nthreads; ++t) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf),
+                  "\"args\":{\"name\":\"thread-%zu\"}", t);
+    w.event("thread_name", 'M', 0.0, static_cast<int>(t), buf);
+  }
+
+  char extra[192];
+  for (const Event& e : events) {
+    const int tid = e.thread;
+    switch (e.kind) {
+      case EventKind::kTaskBegin:
+        task_stack[tid].push_back(e);
+        break;
+      case EventKind::kIdleBegin:
+        idle_stack[tid].push_back(e);
+        break;
+      case EventKind::kParkBegin:
+        park_stack[tid].push_back(e);
+        break;
+      case EventKind::kTaskEnd:
+      case EventKind::kIdleEnd:
+      case EventKind::kParkEnd: {
+        auto& stack = e.kind == EventKind::kTaskEnd ? task_stack[tid]
+                      : e.kind == EventKind::kIdleEnd ? idle_stack[tid]
+                                                      : park_stack[tid];
+        if (stack.empty()) break;  // begin lost to ring wrap-around
+        const Event begin = stack.back();
+        stack.pop_back();
+        const char* cat = e.kind == EventKind::kTaskEnd ? "task" : "idle";
+        std::snprintf(extra, sizeof(extra),
+                      "\"cat\":\"%s\",\"dur\":%.3f,\"args\":{\"arg\":%" PRIu64
+                      "}",
+                      cat, us(e.tsc) - us(begin.tsc), begin.arg);
+        w.event(span_name(begin), 'X', us(begin.tsc), tid, extra);
+        break;
+      }
+      case EventKind::kCounter: {
+        std::snprintf(extra, sizeof(extra),
+                      "\"args\":{\"value\":%" PRIu64 "}", e.arg);
+        const std::string n = name_of(e.name);
+        w.event(n.empty() ? "counter" : n, 'C', us(e.tsc), tid, extra);
+        break;
+      }
+      case EventKind::kSchedPush:
+      case EventKind::kSchedPushChain:
+      case EventKind::kSchedPop: {
+        ready_depth += e.kind == EventKind::kSchedPop
+                           ? -1
+                           : (e.kind == EventKind::kSchedPush
+                                  ? 1
+                                  : static_cast<std::int64_t>(e.arg));
+        if (ready_depth < 0) ready_depth = 0;
+        const std::string tier = name_of(e.name);
+        std::snprintf(extra, sizeof(extra),
+                      "\"cat\":\"sched\",\"s\":\"t\",\"args\":{\"queue\":"
+                      "\"%s\",\"arg\":%" PRIu64 "}",
+                      tier.c_str(), e.arg);
+        w.event(to_string(e.kind), 'i', us(e.tsc), tid, extra);
+        std::snprintf(extra, sizeof(extra),
+                      "\"args\":{\"value\":%" PRId64 "}", ready_depth);
+        w.event("ready_tasks", 'C', us(e.tsc), tid, extra);
+        break;
+      }
+      case EventKind::kPoolHit:
+      case EventKind::kPoolMiss: {
+        if (e.kind == EventKind::kPoolHit) ++pool_hits;
+        else ++pool_misses;
+        const std::uint64_t total = pool_hits + pool_misses;
+        std::snprintf(extra, sizeof(extra),
+                      "\"args\":{\"value\":%" PRIu64 "}",
+                      total > 0 ? pool_hits * 100 / total : 0);
+        w.event("copy_pool_hit_rate", 'C', us(e.tsc), tid, extra);
+        break;
+      }
+      default: {
+        // Generic instants: steals, termdet rounds, messages, inlining.
+        const std::string n = name_of(e.name);
+        std::snprintf(extra, sizeof(extra),
+                      "\"cat\":\"%s\",\"s\":\"t\",\"args\":{\"name\":\"%s\","
+                      "\"arg\":%" PRIu64 "}",
+                      category_of(e.kind) == kCatSched ? "sched" : "runtime",
+                      n.c_str(), e.arg);
+        w.event(to_string(e.kind), 'i', us(e.tsc), tid, extra);
+        break;
+      }
+    }
+  }
+  w.finish(dropped_total);
+}
+
+// --- metrics registry -------------------------------------------------
+
+MetricsRegistry::MetricsRegistry() {
+  // Built-in surfaces. The registry outlives every engine, so these
+  // readers only touch process-lifetime state.
+  for (std::size_t c = 0; c < kAtomicOpCategories; ++c) {
+    const auto cat = static_cast<AtomicOpCategory>(c);
+    entries_.push_back(
+        {next_id_++, "atomics." + std::string(ttg::to_string(cat)),
+         [cat] { return atomic_ops::snapshot()[cat]; }});
+  }
+  entries_.push_back({next_id_++, "copy_pool.hits",
+                      [] { return copy_pool_stats().hits; }});
+  entries_.push_back({next_id_++, "copy_pool.misses",
+                      [] { return copy_pool_stats().misses; }});
+  entries_.push_back({next_id_++, "copy_pool.heap_fallbacks",
+                      [] { return copy_pool_stats().heap_fallbacks; }});
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+int MetricsRegistry::add(std::string name, Reader reader) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int id = next_id_++;
+  entries_.push_back({id, std::move(name), std::move(reader)});
+  return id;
+}
+
+void MetricsRegistry::remove(int id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+std::vector<Metric> MetricsRegistry::snapshot() const {
+  std::vector<Metric> out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back({e.name, e.reader()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Metric& a, const Metric& b) { return a.name < b.name; });
+  return out;
+}
+
+std::uint64_t MetricsRegistry::value(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t sum = 0;
+  for (const Entry& e : entries_) {
+    if (e.name == name) sum += e.reader();
+  }
+  return sum;
 }
 
 }  // namespace ttg::trace

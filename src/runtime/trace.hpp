@@ -1,71 +1,245 @@
-// Lightweight event tracing (in the spirit of PaRSEC's PINS modules).
+// Structured observability (in the spirit of PaRSEC's PINS modules).
 //
-// When enabled, workers record task begin/end, idle transitions, and
-// active-message traffic into per-thread ring buffers — no locks, no
-// atomics beyond one relaxed enable check, so tracing a small-task run
-// perturbs it minimally. Snapshots merge and time-sort all threads'
-// events for offline analysis (CSV export) and a summary reports
-// per-thread busy fractions and task statistics.
+// When enabled, workers record spans (task bodies, idle/park intervals),
+// instants (scheduler pushes/pops, steal attempts, termination-wave
+// rounds) and counter samples into per-thread ring buffers. The record
+// path is lock-free and wait-free: no locks, no atomic RMWs — the only
+// synchronization is one relaxed load of the enable flag, so tracing a
+// small-task run perturbs it minimally and the *disabled* path costs a
+// single relaxed load and a predicted branch.
+//
+// Events carry a string-interned name id (TT name, scheduler tier) and a
+// 64-bit argument (victim id, parking-lot epoch, chain length, counter
+// value). Interning goes through a per-thread cache backed by a global
+// table, so repeated interning of the same name never takes the global
+// lock; hot paths intern once (e.g. at TT construction) and pass the id.
+//
+// Snapshots merge and time-sort all threads' events for offline analysis:
+// CSV export, a per-thread summary (busy/idle fractions, task counts,
+// dropped events after ring wrap-around), and a Chrome trace-event JSON
+// writer (trace::export_chrome_json) whose output loads directly into
+// Perfetto (https://ui.perfetto.dev) or chrome://tracing.
+//
+// The MetricsRegistry unifies the runtime's ad-hoc counters — the
+// Eq. (1) atomic-op counters, copy-pool hit/miss, scheduler steal stats —
+// behind one named read-out that benches and summaries share.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <ostream>
+#include <string>
 #include <string_view>
 #include <vector>
 
 namespace ttg::trace {
 
 enum class EventKind : std::uint8_t {
-  kTaskBegin = 0,
-  kTaskEnd,
-  kIdleBegin,
-  kIdleEnd,
-  kMessageSent,
-  kMessageReceived,
+  kTaskBegin = 0,    ///< span: task body begins (name = TT name id)
+  kTaskEnd,          ///< span: task body ends
+  kIdleBegin,        ///< span: worker found no work
+  kIdleEnd,          ///< span: worker resumed
+  kMessageSent,      ///< instant: active message posted (arg = target rank)
+  kMessageReceived,  ///< instant: active message delivered (arg = source)
   kPoolHit,   ///< data-copy pool allocation served from a free list
   kPoolMiss,  ///< data-copy pool allocation that hit the allocator path
+  kParkBegin,      ///< span: worker blocks in the ParkingLot (arg = epoch)
+  kParkEnd,        ///< span: worker woken (arg = epoch it slept on)
+  kSchedPush,      ///< instant: one task pushed (name = tier, arg = worker)
+  kSchedPushChain, ///< instant: sorted chain pushed (arg = chain length)
+  kSchedPop,       ///< instant: task popped (name = tier, arg = worker)
+  kStealAttempt,   ///< instant: local queue empty, probing victims
+  kStealSuccess,   ///< instant: steal succeeded (arg = victim worker id)
+  kInlineExec,     ///< instant: task executed inline in discovering worker
+  kTermDetRound,   ///< instant: termination wave round closed (arg = round)
+  kCounter,        ///< counter sample: name id + 64-bit value in arg
 };
 
 std::string_view to_string(EventKind k);
 
+/// Event categories, a bitmask for selective recording (trace::Config).
+enum Category : std::uint32_t {
+  kCatTask = 1u << 0,     ///< task begin/end spans
+  kCatIdle = 1u << 1,     ///< idle/park spans
+  kCatMessage = 1u << 2,  ///< active-message traffic
+  kCatPool = 1u << 3,     ///< copy-pool hit/miss
+  kCatSched = 1u << 4,    ///< scheduler push/pop/steal
+  kCatTermDet = 1u << 5,  ///< termination-detection rounds
+  kCatCounter = 1u << 6,  ///< explicit counter samples
+  kCatAll = 0xffffffffu,
+};
+
+/// Category a given event kind is gated by.
+Category category_of(EventKind k);
+
+/// Interned-name identifier; 0 (kNoName) means "unnamed".
+using NameId = std::uint32_t;
+inline constexpr NameId kNoName = 0;
+
+/// Interns `name` and returns its stable id. First call per name takes a
+/// global lock; subsequent calls from the same thread are served from a
+/// thread-local cache without synchronization. Ids remain valid across
+/// Session boundaries (they name *kinds* of work, not occurrences).
+NameId intern(std::string_view name);
+
+/// Resolves an interned id (empty string for kNoName / unknown ids).
+std::string name_of(NameId id);
+
 struct Event {
-  std::uint64_t tsc;      ///< rdtsc timestamp
-  std::uint32_t arg;      ///< event-specific payload (e.g. target rank)
-  std::uint16_t thread;   ///< dense thread id
+  std::uint64_t tsc;    ///< rdtsc timestamp
+  std::uint64_t arg;    ///< event-specific payload (victim id, epoch, ...)
+  NameId name;          ///< interned name id (kNoName if unnamed)
+  std::uint16_t thread; ///< dense thread id
   EventKind kind;
 };
 
-/// Enables tracing with a per-thread ring capacity (events; older events
-/// are overwritten on wrap). Clears previously recorded events.
-void enable(std::size_t events_per_thread = 1 << 16);
+/// Recording parameters for a Session.
+struct Config {
+  /// Per-thread ring capacity in events; older events are overwritten on
+  /// wrap (and reported as dropped_events by summarize()).
+  std::size_t events_per_thread = 1 << 16;
+  /// Only event kinds whose category is in this mask are recorded.
+  std::uint32_t categories = kCatAll;
+};
 
-/// Disables tracing; recorded events remain readable via snapshot().
-void disable();
+/// RAII recording session: construction clears previous events and
+/// enables recording, destruction disables it. Recorded events remain
+/// readable (snapshot/summarize/export) after the session ends.
+///
+///   {
+///     trace::Session session({.events_per_thread = 1 << 18});
+///     run_workload();
+///   }  // recording stopped
+///   trace::export_chrome_json(file);
+class Session {
+ public:
+  Session() : Session(Config{}) {}
+  explicit Session(const Config& config);
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+  ~Session();
+};
+
+namespace detail {
+void start(const Config& config);
+void stop();
+}  // namespace detail
+
+/// Deprecated shims for the pre-Session API; kept for one release.
+[[deprecated("use trace::Session")]]
+inline void enable(std::size_t events_per_thread = 1 << 16) {
+  Config cfg;
+  cfg.events_per_thread = events_per_thread;
+  detail::start(cfg);
+}
+
+[[deprecated("use trace::Session")]]
+inline void disable() { detail::stop(); }
 
 bool enabled();
 
-/// Records one event on the calling thread (no-op when disabled).
-void record(EventKind kind, std::uint32_t arg = 0);
+/// True when recording is on *and* `cat` is in the session's category
+/// mask. Use to guard costly argument computation (e.g. chain lengths).
+bool enabled_for(Category cat);
+
+/// Records one event on the calling thread. No-op when disabled or when
+/// the kind's category is masked out; the disabled path is one relaxed
+/// load. Never blocks, never takes a lock, never performs an atomic RMW.
+void record(EventKind kind, std::uint64_t arg = 0, NameId name = kNoName);
+
+/// Records a counter sample (exported as a Chrome "C" event).
+inline void counter(NameId name, std::uint64_t value) {
+  record(EventKind::kCounter, value, name);
+}
 
 /// Collects all threads' events, sorted by timestamp. Call while the
 /// traced workload is quiescent.
 std::vector<Event> snapshot();
 
-/// Writes snapshot() as CSV: tsc,thread,kind,arg.
+/// Events overwritten by ring wrap-around, per dense thread id.
+std::vector<std::uint64_t> dropped_per_thread();
+
+/// Writes snapshot() as CSV: tsc,thread,kind,name,arg.
 void dump_csv(std::ostream& os);
+
+/// Writes snapshot() as Chrome trace-event JSON (Perfetto-loadable):
+/// one pid for the process, one tid per dense thread id, "X" complete
+/// events for task/idle/park spans (task spans named by their TT),
+/// "i" instants for scheduler/steal/termdet/message events, and "C"
+/// counter tracks for ready-queue depth and copy-pool hit rate.
+void export_chrome_json(std::ostream& os);
 
 /// Per-thread aggregates derived from a snapshot.
 struct ThreadSummary {
   int thread = 0;
   std::uint64_t tasks = 0;
-  std::uint64_t busy_cycles = 0;   ///< sum of task begin->end spans
+  std::uint64_t busy_cycles = 0;   ///< sum of outermost task begin->end spans
   std::uint64_t idle_cycles = 0;   ///< sum of idle begin->end spans
   std::uint64_t messages_sent = 0;
   std::uint64_t messages_received = 0;
   std::uint64_t pool_hits = 0;    ///< data-copy pool free-list recycles
   std::uint64_t pool_misses = 0;  ///< data-copy allocations off-pool
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steal_successes = 0;
+  /// Events lost to ring wrap-around plus begin/end events whose partner
+  /// was overwritten. Unmatched spans are excluded from busy/idle sums
+  /// instead of corrupting them.
+  std::uint64_t dropped_events = 0;
 };
 
 std::vector<ThreadSummary> summarize();
+
+/// Writes a human-readable run report: the per-thread summaries plus a
+/// snapshot of every registered metric (see MetricsRegistry).
+void write_summary(std::ostream& os);
+
+// ---------------------------------------------------------------------
+// Unified metrics
+
+/// One named counter/gauge sample.
+struct Metric {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+/// Process-wide registry of named metric read-outs. The runtime's
+/// counter surfaces register themselves here: the Eq. (1) atomic-op
+/// counters ("atomics.<category>"), the copy pool ("copy_pool.hits",
+/// "copy_pool.misses", "copy_pool.heap_fallbacks"), and each live
+/// ExecutionEngine ("engine.r<rank>.steal_attempts", ".steal_successes",
+/// ".tasks_executed"). Benches and trace::write_summary() read the same
+/// snapshot, so every figure reports the same numbers the trace carries.
+///
+/// Readers must be safe to invoke from any thread; reading is done under
+/// the registry lock, registration/removal is O(1) amortized.
+class MetricsRegistry {
+ public:
+  using Reader = std::function<std::uint64_t()>;
+
+  static MetricsRegistry& instance();
+
+  /// Registers a named reader; returns a handle for remove(). Duplicate
+  /// names are allowed (e.g. two concurrent worlds); value() sums them.
+  int add(std::string name, Reader reader);
+  void remove(int id);
+
+  /// Reads every registered metric, sorted by name.
+  std::vector<Metric> snapshot() const;
+
+  /// Sum of all metrics whose name equals `name` (0 if none).
+  std::uint64_t value(std::string_view name) const;
+
+ private:
+  MetricsRegistry();
+  struct Entry {
+    int id;
+    std::string name;
+    Reader reader;
+  };
+  mutable std::mutex mutex_;
+  std::vector<Entry> entries_;
+  int next_id_ = 0;
+};
 
 }  // namespace ttg::trace

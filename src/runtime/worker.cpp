@@ -37,9 +37,11 @@ void Worker::run_task(TaskBase* task) {
   batch_open_ = engine_->bundling_enabled();
   batch_primed_ = false;
 
-  trace::record(trace::EventKind::kTaskBegin);
+  // execute() releases the task, so capture the span name up front.
+  const std::uint32_t span_name = task->trace_name;
+  trace::record(trace::EventKind::kTaskBegin, 0, span_name);
   task->execute(task, *this);
-  trace::record(trace::EventKind::kTaskEnd);
+  trace::record(trace::EventKind::kTaskEnd, 0, span_name);
   ++tasks_executed_;
 
   if (batch_head_ != nullptr) {

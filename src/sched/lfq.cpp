@@ -6,7 +6,8 @@ LfqScheduler::LfqScheduler(int num_workers, int steal_domain_size)
     : Scheduler(num_workers),
       local_(std::make_unique<CachePadded<LocalBuffer>[]>(
           static_cast<std::size_t>(num_workers))),
-      steal_order_(num_workers, steal_domain_size) {}
+      steal_order_(num_workers, steal_domain_size),
+      steals_(num_workers) {}
 
 void LfqScheduler::push(int worker, LifoNode* task) {
   if (worker == kExternalWorker) {
@@ -25,8 +26,12 @@ LifoNode* LfqScheduler::pop(int worker) {
     if (LifoNode* t = local_[worker]->pop_best(); t != nullptr) return t;
     // Steal from other workers' bounded buffers, domain siblings first
     // (the cache/NUMA hierarchy walk of Sec. III-B).
+    steals_.on_attempt(worker);
     for (int victim : steal_order_.victims(worker)) {
-      if (LifoNode* t = local_[victim]->steal(); t != nullptr) return t;
+      if (LifoNode* t = local_[victim]->steal(); t != nullptr) {
+        steals_.on_success(worker, victim);
+        return t;
+      }
     }
   }
   // Last resort: the globally-locked overflow FIFO.

@@ -19,6 +19,7 @@ class LfqScheduler final : public Scheduler {
   void push(int worker, LifoNode* task) override;
   LifoNode* pop(int worker) override;
   SchedulerType type() const override { return SchedulerType::kLFQ; }
+  StealStats steal_stats() const override { return steals_.total(); }
 
   /// Test hook: number of tasks currently parked in the overflow FIFO.
   std::uint64_t overflow_size() const { return global_.approx_size(); }
@@ -28,6 +29,7 @@ class LfqScheduler final : public Scheduler {
 
   std::unique_ptr<CachePadded<LocalBuffer>[]> local_;
   StealOrder steal_order_;
+  StealCounters steals_;
   LockedFifo global_;
 };
 

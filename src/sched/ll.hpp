@@ -16,10 +16,12 @@ class LlScheduler final : public Scheduler {
   void push(int worker, LifoNode* task) override;
   LifoNode* pop(int worker) override;
   SchedulerType type() const override { return SchedulerType::kLL; }
+  StealStats steal_stats() const override { return steals_.total(); }
 
  private:
   std::unique_ptr<CachePadded<AtomicLifo>[]> local_;
   StealOrder steal_order_;
+  StealCounters steals_;
   AtomicLifo ingress_;  // external submissions (MPSC, any thread)
 };
 

@@ -6,7 +6,8 @@ LlpScheduler::LlpScheduler(int num_workers, int steal_domain_size)
     : Scheduler(num_workers),
       local_(std::make_unique<CachePadded<AtomicLifo>[]>(
           static_cast<std::size_t>(num_workers))),
-      steal_order_(num_workers, steal_domain_size) {}
+      steal_order_(num_workers, steal_domain_size),
+      steals_(num_workers) {}
 
 LifoNode* LlpScheduler::merge_sorted(LifoNode* list, LifoNode* chain) {
   LifoNode head_sentinel;
@@ -71,8 +72,12 @@ void LlpScheduler::push_chain(int worker, LifoNode* first) {
 LifoNode* LlpScheduler::pop(int worker) {
   if (worker != kExternalWorker) {
     if (LifoNode* t = local_[worker]->pop(); t != nullptr) return t;
+    steals_.on_attempt(worker);
     for (int victim : steal_order_.victims(worker)) {
-      if (LifoNode* t = local_[victim]->pop(); t != nullptr) return t;
+      if (LifoNode* t = local_[victim]->pop(); t != nullptr) {
+        steals_.on_success(worker, victim);
+        return t;
+      }
     }
   }
   return ingress_.pop();

@@ -32,6 +32,7 @@ class LlpScheduler final : public Scheduler {
   void push_chain(int worker, LifoNode* first) override;
   LifoNode* pop(int worker) override;
   SchedulerType type() const override { return SchedulerType::kLLP; }
+  StealStats steal_stats() const override { return steals_.total(); }
 
  private:
   /// Merges `chain` (sorted by descending priority) into `list` (ditto),
@@ -41,6 +42,7 @@ class LlpScheduler final : public Scheduler {
 
   std::unique_ptr<CachePadded<AtomicLifo>[]> local_;
   StealOrder steal_order_;
+  StealCounters steals_;
   AtomicLifo ingress_;  // external submissions (MPSC, any thread)
 };
 

@@ -21,10 +21,14 @@
 // external pushes land in a shared MPSC ingress queue that workers drain.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <string_view>
 #include <vector>
 
+#include "common/cache.hpp"
+#include "runtime/trace.hpp"
 #include "structures/lifo.hpp"
 
 namespace ttg {
@@ -59,6 +63,63 @@ class StealOrder {
   std::vector<std::vector<int>> orders_;
 };
 
+/// Aggregate work-stealing statistics of a scheduler.
+struct StealStats {
+  std::uint64_t attempts = 0;   ///< pops that found the local queue empty
+  std::uint64_t successes = 0;  ///< tasks obtained from a victim
+};
+
+/// Per-worker steal accounting shared by the stealing schedulers
+/// (LFQ/LL/LLP). Each worker owns a cache line and is the only writer
+/// (store-after-load, no RMW), so the hot path stays contention-free;
+/// readers (trace::MetricsRegistry, diagnostics) see a racy-but-benign
+/// snapshot. Recording also emits the trace instants that make Fig. 6
+/// style analyses attributable: which worker probed, which victim paid.
+class StealCounters {
+ public:
+  explicit StealCounters(int num_workers)
+      : slots_(std::make_unique<CachePadded<Cell>[]>(
+            static_cast<std::size_t>(num_workers))),
+        num_workers_(num_workers) {}
+
+  /// The local queue was empty and `worker` starts probing victims.
+  void on_attempt(int worker) noexcept {
+    if (worker < 0 || worker >= num_workers_) return;
+    auto& a = slots_[worker]->attempts;
+    a.store(a.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+    trace::record(trace::EventKind::kStealAttempt,
+                  static_cast<std::uint64_t>(worker));
+  }
+
+  /// `worker` obtained a task from `victim`.
+  void on_success(int worker, int victim) noexcept {
+    if (worker < 0 || worker >= num_workers_) return;
+    auto& s = slots_[worker]->successes;
+    s.store(s.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+    trace::record(trace::EventKind::kStealSuccess,
+                  static_cast<std::uint64_t>(victim));
+  }
+
+  StealStats total() const noexcept {
+    StealStats t;
+    for (int i = 0; i < num_workers_; ++i) {
+      t.attempts += slots_[i]->attempts.load(std::memory_order_relaxed);
+      t.successes += slots_[i]->successes.load(std::memory_order_relaxed);
+    }
+    return t;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::uint64_t> attempts{0};
+    std::atomic<std::uint64_t> successes{0};
+  };
+  std::unique_ptr<CachePadded<Cell>[]> slots_;
+  const int num_workers_;
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -77,6 +138,9 @@ class Scheduler {
   virtual LifoNode* pop(int worker) = 0;
 
   virtual SchedulerType type() const = 0;
+
+  /// Work-stealing totals; zero for the non-stealing schedulers (GD/AP).
+  virtual StealStats steal_stats() const { return {}; }
 
   int num_workers() const { return num_workers_; }
 

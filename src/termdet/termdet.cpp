@@ -4,6 +4,7 @@
 
 #include "atomics/op_counter.hpp"
 #include "atomics/ordering.hpp"
+#include "runtime/trace.hpp"
 
 namespace ttg {
 
@@ -159,6 +160,7 @@ void TerminationDetector::advance_wave() {
     const bool stable = sent == recv &&
                         sent == last_sent_.load(std::memory_order_relaxed) &&
                         recv == last_recv_.load(std::memory_order_relaxed);
+    trace::record(trace::EventKind::kTermDetRound, round);
     if (stable && all_quiet) {
       terminated_.store(true, std::memory_order_release);
     } else {

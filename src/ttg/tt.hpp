@@ -23,10 +23,13 @@
 #include <atomic>
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <tuple>
+#include <typeinfo>
 #include <vector>
 #include <type_traits>
 #include <utility>
@@ -37,6 +40,7 @@
 #include "runtime/context.hpp"
 #include "runtime/data_copy.hpp"
 #include "runtime/task.hpp"
+#include "runtime/trace.hpp"
 #include "structures/hash_table.hpp"
 #include "structures/mempool.hpp"
 #include "ttg/aggregator.hpp"
@@ -64,14 +68,74 @@ class TTBase {
   const std::vector<PortInfo>& input_ports() const { return in_ports_; }
   const std::vector<PortInfo>& output_ports() const { return out_ports_; }
 
+  /// Interned trace name (see runtime/trace.hpp); task instances carry it
+  /// so their execution spans show up under the TT's name.
+  std::uint32_t trace_name() const { return trace_name_; }
+
  protected:
-  explicit TTBase(std::string name) : name_(std::move(name)) {}
+  explicit TTBase(std::string name)
+      : name_(std::move(name)), trace_name_(trace::intern(name_)) {}
   std::string name_;
+  std::uint32_t trace_name_;
   std::vector<PortInfo> in_ports_;
   std::vector<PortInfo> out_ports_;
 };
 
 namespace detail {
+
+/// Type-erased handle to one output terminal of a TT's `outs` tuple.
+/// The type_info lets the free send functions verify (always, not just
+/// in debug builds) that the caller-deduced Out<Key, Value> matches.
+struct OutSlotInfo {
+  const void* terminal = nullptr;
+  const std::type_info* type = nullptr;
+};
+
+/// The task currently executing on this thread. run_impl() installs it
+/// around the task body (and restores the previous frame: task inlining
+/// nests executions), which is what lets ttg::send<i>(key, value) work
+/// without an explicit `outs` argument — the same thread-local-caller
+/// technique the reference TTG runtime uses.
+struct ActiveTT {
+  const TTBase* tt = nullptr;
+  const OutSlotInfo* outs = nullptr;
+  int num_outs = 0;
+};
+
+inline thread_local ActiveTT t_active_tt;
+
+/// Resolves output terminal `i` of the active task as TerminalT, aborting
+/// with a diagnostic on misuse. A hard check (not assert): benchmarks
+/// build with NDEBUG, and a wrong cast here corrupts memory silently.
+template <typename TerminalT>
+const TerminalT& active_out_terminal(std::size_t i, const char* func) {
+  const ActiveTT& frame = t_active_tt;
+  if (frame.tt == nullptr) {
+    std::fprintf(stderr,
+                 "ttg::%s<%zu>: no task is executing on this thread; "
+                 "outside a task body use TT::send_input/invoke or the "
+                 "explicit-outs overload\n",
+                 func, i);
+    std::abort();
+  }
+  if (i >= static_cast<std::size_t>(frame.num_outs)) {
+    std::fprintf(stderr,
+                 "ttg::%s<%zu>: TT \"%s\" has only %d output terminal(s)\n",
+                 func, i, frame.tt->name().c_str(), frame.num_outs);
+    std::abort();
+  }
+  const OutSlotInfo& slot = frame.outs[i];
+  if (*slot.type != typeid(TerminalT)) {
+    std::fprintf(stderr,
+                 "ttg::%s<%zu> on TT \"%s\": terminal type mismatch — "
+                 "terminal is %s, call deduced %s (key/value types must "
+                 "match the edge exactly)\n",
+                 func, i, frame.tt->name().c_str(), slot.type->name(),
+                 typeid(TerminalT).name());
+    std::abort();
+  }
+  return *static_cast<const TerminalT*>(slot.terminal);
+}
 
 template <typename E>
 struct input_trait;
@@ -126,6 +190,7 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     : public TTBase {
  public:
   static constexpr std::size_t kNumIns = sizeof...(InEdges);
+  static constexpr std::size_t kNumOuts = sizeof...(OutEdges);
   static_assert(kNumIns >= 1, "a TT needs at least one input edge");
   static_assert(kNumIns <= detail::TaskCopyContext::kMaxInputs);
 
@@ -276,6 +341,10 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
               std::tuple_element_t<Is, std::tuple<OutEdges...>>>::type(
               std::get<Is>(outs).impl())),
      ...);
+    ((out_slots_[Is] =
+          detail::OutSlotInfo{&std::get<Is>(outs_),
+                              &typeid(std::tuple_element_t<Is, Outs>)}),
+     ...);
     (out_ports_.push_back(PortInfo{std::get<Is>(outs).impl(),
                                    std::get<Is>(outs).impl()->name}),
      ...);
@@ -394,6 +463,7 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     auto* rec = new (mem) TaskRec(this, key);
     rec->execute = &TT::execute_task;
     rec->pool = &pool_;
+    rec->trace_name = trace_name_;
     rec->priority = priority_fn_ ? priority_fn_(key) : 0;
     // The task is now *discovered*; account before it can be scheduled
     // (and before it becomes findable in the hash table).
@@ -424,14 +494,27 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
 
   template <std::size_t... Is>
   void run_impl(TaskRec* rec, std::index_sequence<Is...>) {
-    // Save the caller's input-copy registrations: with task inlining a
-    // task can execute in the middle of its producer's sends, and the
-    // producer's registrations must survive the nested execution.
+    // Save the caller's input-copy registrations and active-TT frame:
+    // with task inlining a task can execute in the middle of its
+    // producer's sends, and the producer's state must survive the
+    // nested execution.
     detail::TaskCopyContext saved = detail::t_task_copies;
     detail::t_task_copies.clear();
+    detail::ActiveTT saved_frame = detail::t_active_tt;
+    detail::t_active_tt = {this, out_slots_.data(),
+                           static_cast<int>(kNumOuts)};
     // Register input copies so rvalue sends can move them along.
     (register_input<Is>(*rec), ...);
-    fn_(static_cast<const Key&>(rec->key), make_arg<Is>(*rec)..., outs_);
+    // Task bodies may take the trailing `outs` tuple (the explicit
+    // low-level spelling) or omit it and use the free ttg::send<i>.
+    if constexpr (std::is_invocable_v<Fn&, const Key&,
+                                      decltype(make_arg<Is>(*rec))...,
+                                      Outs&>) {
+      fn_(static_cast<const Key&>(rec->key), make_arg<Is>(*rec)..., outs_);
+    } else {
+      fn_(static_cast<const Key&>(rec->key), make_arg<Is>(*rec)...);
+    }
+    detail::t_active_tt = saved_frame;
     detail::t_task_copies = saved;
     (release_input<Is>(*rec), ...);
     rec->~TaskRec();
@@ -487,6 +570,8 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
   World* world_;
   Fn fn_;
   Outs outs_{};
+  /// Type-erased view of outs_ for the free ttg::send<i> family.
+  std::array<detail::OutSlotInfo, kNumOuts> out_slots_{};
   Terminals terminals_{};
   std::array<std::function<std::int32_t(const Key&)>, kNumIns> count_fns_{};
 
@@ -529,6 +614,65 @@ auto make_tt(Fn&& fn, const std::tuple<InEdges...>& ins,
 template <typename... Es>
 std::tuple<Es...> edges(Es... es) {
   return std::tuple<Es...>(std::move(es)...);
+}
+
+// ---------------------------------------------------------------------------
+// TTG-style free send functions.
+//
+// Inside a task body the runtime knows which TT is executing (the
+// thread-local active-TT frame installed by run_impl), so sends do not
+// need the `outs` argument:
+//
+//   auto tt = ttg::make_tt<int>([](const int& k, double& v) {
+//     ttg::send<0>(k + 1, std::move(v));
+//   }, ttg::edges(in), ttg::edges(out), "step", world);
+//
+// The explicit-outs overloads (ttg/edge.hpp) remain the documented
+// low-level path and the only legal spelling outside a task body. The
+// key/value types deduced at the call site must match the edge exactly
+// (same rule as the reference TTG runtime); mismatches abort with a
+// diagnostic rather than corrupt memory.
+
+/// Sends `value` to key `key` on output terminal I of the running task.
+/// An rvalue that is an input of the running task moves ownership along
+/// with no data copy (Sec. IV-E).
+template <std::size_t I, typename Key, typename Value>
+void send(const Key& key, Value&& value) {
+  using OutT = Out<std::decay_t<Key>, std::decay_t<Value>>;
+  detail::active_out_terminal<OutT>(I, "send").send(
+      key, std::forward<Value>(value));
+}
+
+/// Sends a pure control-flow token on (Void-typed) output terminal I.
+template <std::size_t I, typename Key>
+void sendk(const Key& key) {
+  using OutT = Out<std::decay_t<Key>, Void>;
+  detail::active_out_terminal<OutT>(I, "sendk").sendk(key);
+}
+
+/// Broadcasts one value to many keys on output terminal I, sharing a
+/// single DataCopy between all of them.
+template <std::size_t I, typename KeyRange, typename Value>
+void broadcast(const KeyRange& keys, const Value& value) {
+  using K = std::decay_t<decltype(*std::begin(keys))>;
+  using OutT = Out<K, std::decay_t<Value>>;
+  detail::active_out_terminal<OutT>(I, "broadcast").broadcast(keys, value);
+}
+
+/// Broadcast of control-flow tokens on a Void-typed output terminal I.
+template <std::size_t I, typename KeyRange>
+void broadcastk(const KeyRange& keys) {
+  using K = std::decay_t<decltype(*std::begin(keys))>;
+  using OutT = Out<K, Void>;
+  detail::active_out_terminal<OutT>(I, "broadcastk").broadcastk(keys);
+}
+
+/// Free-function spelling of TT::invoke — satisfies all inputs of `key`
+/// at once (graph seeding from outside a task body).
+template <typename T, typename Key, typename... Vs>
+  requires std::is_base_of_v<TTBase, std::remove_cvref_t<T>>
+void invoke(T& tt, const Key& key, Vs&&... values) {
+  tt.invoke(key, std::forward<Vs>(values)...);
 }
 
 }  // namespace ttg

@@ -319,12 +319,15 @@ TEST(CopyPool, SharedCopyFreesOnlyOnLastRelease) {
 }
 
 TEST(CopyPool, TraceSummarizeReportsPoolTraffic) {
-  ttg::trace::enable(1 << 12);
-  auto* a = ttg::make_copy<float>(1.0f);
-  a->release();
-  auto* b = ttg::make_copy<float>(2.0f);
-  b->release();
-  ttg::trace::disable();
+  {
+    ttg::trace::Config cfg;
+    cfg.events_per_thread = 1 << 12;
+    ttg::trace::Session session(cfg);
+    auto* a = ttg::make_copy<float>(1.0f);
+    a->release();
+    auto* b = ttg::make_copy<float>(2.0f);
+    b->release();
+  }
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;
   for (const ttg::trace::ThreadSummary& s : ttg::trace::summarize()) {

@@ -14,22 +14,63 @@ ttg::Config test_config(int threads = 2) {
   return cfg;
 }
 
-TEST(Trace, DisabledRecordsNothing) {
-  ttg::trace::disable();
+TEST(Trace, DisabledRecordIsNoOp) {
+  // Clear any previous events, then stop recording.
+  { ttg::trace::Session session; }
+  EXPECT_FALSE(ttg::trace::enabled());
+  // The spec for the disabled path is "one relaxed load": record() must
+  // return before touching any ring buffer.
   ttg::trace::record(ttg::trace::EventKind::kTaskBegin);
-  ttg::trace::enable();  // clears
-  ttg::trace::disable();
+  ttg::trace::record(ttg::trace::EventKind::kStealAttempt, 3);
+  ttg::trace::counter(ttg::trace::intern("c"), 42);
   EXPECT_TRUE(ttg::trace::snapshot().empty());
 }
 
-TEST(Trace, TaskEventsPairAndCount) {
-  ttg::trace::enable();
+TEST(Trace, SessionClearsPreviousEvents) {
   {
+    ttg::trace::Session session;
+    ttg::trace::record(ttg::trace::EventKind::kTaskBegin);
+  }
+  EXPECT_EQ(ttg::trace::snapshot().size(), 1u);
+  { ttg::trace::Session session; }
+  EXPECT_TRUE(ttg::trace::snapshot().empty());
+}
+
+TEST(Trace, CategoryMaskFiltersEvents) {
+  ttg::trace::Config cfg;
+  cfg.categories = ttg::trace::kCatIdle;
+  {
+    ttg::trace::Session session(cfg);
+    EXPECT_TRUE(ttg::trace::enabled_for(ttg::trace::kCatIdle));
+    EXPECT_FALSE(ttg::trace::enabled_for(ttg::trace::kCatTask));
+    ttg::trace::record(ttg::trace::EventKind::kTaskBegin);  // masked out
+    ttg::trace::record(ttg::trace::EventKind::kIdleBegin);
+    ttg::trace::record(ttg::trace::EventKind::kIdleEnd);
+  }
+  const auto events = ttg::trace::snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, ttg::trace::EventKind::kIdleBegin);
+  EXPECT_EQ(events[1].kind, ttg::trace::EventKind::kIdleEnd);
+}
+
+TEST(Trace, InternIsStableAndResolvable) {
+  const ttg::trace::NameId a = ttg::trace::intern("alpha");
+  const ttg::trace::NameId b = ttg::trace::intern("beta");
+  EXPECT_NE(a, ttg::trace::kNoName);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(ttg::trace::intern("alpha"), a);
+  EXPECT_EQ(ttg::trace::name_of(a), "alpha");
+  EXPECT_EQ(ttg::trace::name_of(ttg::trace::kNoName), "");
+}
+
+TEST(Trace, TaskEventsPairAndCount) {
+  {
+    ttg::trace::Session session;
     ttg::World world(test_config());
     ttg::Edge<int, ttg::Void> e("e");
     auto tt = ttg::make_tt<int>(
-        [](const int& k, const ttg::Void&, auto& outs) {
-          if (k > 0) ttg::sendk<0>(k - 1, outs);
+        [](const int& k, const ttg::Void&) {
+          if (k > 0) ttg::sendk<0>(k - 1);
         },
         ttg::edges(e), ttg::edges(e), "count", world);
     (void)tt;
@@ -37,12 +78,15 @@ TEST(Trace, TaskEventsPairAndCount) {
     tt->sendk_input<0>(49);
     world.fence();
   }
-  ttg::trace::disable();
 
   const auto events = ttg::trace::snapshot();
   std::uint64_t begins = 0, ends = 0;
+  const ttg::trace::NameId count_name = ttg::trace::intern("count");
   for (const auto& e : events) {
-    if (e.kind == ttg::trace::EventKind::kTaskBegin) ++begins;
+    if (e.kind == ttg::trace::EventKind::kTaskBegin) {
+      ++begins;
+      EXPECT_EQ(e.name, count_name);  // spans are named after their TT
+    }
     if (e.kind == ttg::trace::EventKind::kTaskEnd) ++ends;
   }
   EXPECT_EQ(begins, 50u);
@@ -53,30 +97,31 @@ TEST(Trace, TaskEventsPairAndCount) {
   }
 
   const auto summary = ttg::trace::summarize();
-  std::uint64_t tasks = 0, busy = 0;
+  std::uint64_t tasks = 0, busy = 0, dropped = 0;
   for (const auto& s : summary) {
     tasks += s.tasks;
     busy += s.busy_cycles;
+    dropped += s.dropped_events;
   }
   EXPECT_EQ(tasks, 50u);
   EXPECT_GT(busy, 0u);
+  EXPECT_EQ(dropped, 0u);  // nothing wrapped in a 50-task run
 }
 
 TEST(Trace, MessagesTracedAcrossRanks) {
-  ttg::trace::enable();
   {
+    ttg::trace::Session session;
     ttg::World world(test_config(1), 2);
     ttg::Edge<int, int> e("e");
     auto tt = ttg::make_tt<int>(
-        [](const int& k, int& v, auto& outs) {
-          if (k < 40) ttg::send<0>(k + 1, std::move(v), outs);
+        [](const int& k, int& v) {
+          if (k < 40) ttg::send<0>(k + 1, std::move(v));
         },
         ttg::edges(e), ttg::edges(e), "chain", world);
     world.execute();
     tt->send_input<0>(0, 1);
     world.fence();
   }
-  ttg::trace::disable();
   std::uint64_t sent = 0, received = 0;
   for (const auto& e : ttg::trace::snapshot()) {
     if (e.kind == ttg::trace::EventKind::kMessageSent) ++sent;
@@ -86,13 +131,53 @@ TEST(Trace, MessagesTracedAcrossRanks) {
   EXPECT_EQ(sent, received);
 }
 
-TEST(Trace, RingOverwritesOldest) {
-  ttg::trace::enable(/*events_per_thread=*/8);
-  for (int i = 0; i < 100; ++i) {
-    ttg::trace::record(ttg::trace::EventKind::kTaskBegin,
-                       static_cast<std::uint32_t>(i));
+TEST(Trace, SchedulerEventsRecorded) {
+  {
+    ttg::trace::Session session;
+    ttg::World world(test_config());
+    ttg::Edge<int, ttg::Void> e("e");
+    auto tt = ttg::make_tt<int>(
+        [](const int& k, const ttg::Void&) {
+          if (k > 0) ttg::sendk<0>(k - 1);
+        },
+        ttg::edges(e), ttg::edges(e), "sched", world);
+    world.execute();
+    tt->sendk_input<0>(19);
+    world.fence();
   }
-  ttg::trace::disable();
+  std::uint64_t pushes = 0, pops = 0, inlined = 0;
+  for (const auto& e : ttg::trace::snapshot()) {
+    switch (e.kind) {
+      case ttg::trace::EventKind::kSchedPush:
+      case ttg::trace::EventKind::kSchedPushChain:
+        ++pushes;
+        break;
+      case ttg::trace::EventKind::kSchedPop:
+        ++pops;
+        break;
+      case ttg::trace::EventKind::kInlineExec:
+        ++inlined;
+        break;
+      default:
+        break;
+    }
+  }
+  // Every one of the 20 tasks either went through the scheduler or ran
+  // inline in its discovering worker.
+  EXPECT_GT(pushes, 0u);
+  EXPECT_GT(pops + inlined, 0u);
+}
+
+TEST(Trace, RingOverwritesOldestAndReportsDrops) {
+  {
+    ttg::trace::Config cfg;
+    cfg.events_per_thread = 8;
+    ttg::trace::Session session(cfg);
+    for (int i = 0; i < 100; ++i) {
+      ttg::trace::record(ttg::trace::EventKind::kTaskBegin,
+                         static_cast<std::uint64_t>(i));
+    }
+  }
   const auto events = ttg::trace::snapshot();
   // Only this thread recorded; at most the ring capacity is kept.
   std::uint64_t mine = 0;
@@ -101,19 +186,33 @@ TEST(Trace, RingOverwritesOldest) {
   }
   EXPECT_LE(mine, 8u);
   EXPECT_GT(mine, 0u);
+
+  // 100 - 8 = 92 events were overwritten; the summary reports them as
+  // dropped instead of folding unmatched begins into busy time.
+  std::uint64_t dropped = 0, busy = 0;
+  for (const auto& s : ttg::trace::summarize()) {
+    dropped += s.dropped_events;
+    busy += s.busy_cycles;
+  }
+  EXPECT_GE(dropped, 92u);
+  EXPECT_EQ(busy, 0u);  // no matched begin/end pair survived
 }
 
 TEST(Trace, CsvHasHeaderAndRows) {
-  ttg::trace::enable();
-  ttg::trace::record(ttg::trace::EventKind::kTaskBegin, 7);
-  ttg::trace::record(ttg::trace::EventKind::kTaskEnd, 7);
-  ttg::trace::disable();
+  {
+    ttg::trace::Session session;
+    ttg::trace::record(ttg::trace::EventKind::kTaskBegin, 7,
+                       ttg::trace::intern("body"));
+    ttg::trace::record(ttg::trace::EventKind::kTaskEnd, 7,
+                       ttg::trace::intern("body"));
+  }
   std::ostringstream os;
   ttg::trace::dump_csv(os);
   const std::string csv = os.str();
-  EXPECT_NE(csv.find("tsc,thread,kind,arg"), std::string::npos);
+  EXPECT_NE(csv.find("tsc,thread,kind,name,arg"), std::string::npos);
   EXPECT_NE(csv.find("task_begin"), std::string::npos);
   EXPECT_NE(csv.find("task_end"), std::string::npos);
+  EXPECT_NE(csv.find("body"), std::string::npos);
 }
 
 }  // namespace

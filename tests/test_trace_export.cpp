@@ -1,0 +1,253 @@
+// Tests for the Chrome/Perfetto trace exporter and the metrics registry.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "runtime/trace.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+ttg::Config test_config(int threads = 2) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+/// Minimal structural JSON check: braces/brackets balance outside of
+/// strings, and the string never closes a scope it did not open.
+bool json_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;  // skip the escaped character
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': case '[': ++depth; break;
+      case '}': case ']':
+        if (--depth < 0) return false;
+        break;
+      default: break;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+/// Splits the top-level objects of the "traceEvents" array.
+std::vector<std::string> trace_event_objects(const std::string& json) {
+  std::vector<std::string> out;
+  const std::size_t start = json.find("\"traceEvents\"");
+  if (start == std::string::npos) return out;
+  int depth = 0;
+  bool in_string = false;
+  std::size_t obj_begin = 0;
+  for (std::size_t i = json.find('[', start); i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') { in_string = true; continue; }
+    if (c == '{') {
+      if (depth == 1) obj_begin = i;
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      if (depth == 1) out.push_back(json.substr(obj_begin, i - obj_begin + 1));
+    } else if (c == '[') {
+      ++depth;
+    } else if (c == ']') {
+      --depth;
+      if (depth == 0) break;  // end of traceEvents
+    }
+  }
+  return out;
+}
+
+TEST(TraceExport, EmptyTraceIsValidJson) {
+  { ttg::trace::Session session; }
+  std::ostringstream os;
+  ttg::trace::export_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceExport, EveryEventHasRequiredFields) {
+  {
+    ttg::trace::Session session;
+    ttg::World world(test_config());
+    ttg::Edge<int, int> e("e");
+    auto tt = ttg::make_tt<int>(
+        [](const int& k, int& v) {
+          if (k < 30) ttg::send<0>(k + 1, std::move(v));
+        },
+        ttg::edges(e), ttg::edges(e), "hop", world);
+    world.execute();
+    tt->send_input<0>(0, 1);
+    world.fence();
+  }
+  std::ostringstream os;
+  ttg::trace::export_chrome_json(os);
+  const std::string json = os.str();
+  ASSERT_TRUE(json_balanced(json));
+
+  const auto events = trace_event_objects(json);
+  ASSERT_GT(events.size(), 0u);
+  for (const std::string& ev : events) {
+    EXPECT_NE(ev.find("\"ph\""), std::string::npos) << ev;
+    EXPECT_NE(ev.find("\"ts\""), std::string::npos) << ev;
+    EXPECT_NE(ev.find("\"pid\""), std::string::npos) << ev;
+    EXPECT_NE(ev.find("\"tid\""), std::string::npos) << ev;
+  }
+}
+
+TEST(TraceExport, GoldenSmokeNamedSpansPerTT) {
+  // Two chained TTs on a 2-worker world: the exported trace must carry
+  // at least one named "X" task span for each TT.
+  {
+    ttg::trace::Session session;
+    ttg::World world(test_config(2));
+    ttg::Edge<int, int> ab("ab");
+    ttg::Edge<int, int> ba("ba");
+    auto ping = ttg::make_tt<int>(
+        [](const int& k, int& v) {
+          if (k < 20) ttg::send<0>(k, std::move(v));
+        },
+        ttg::edges(ba), ttg::edges(ab), "tt_ping", world);
+    auto pong = ttg::make_tt<int>(
+        [](const int& k, int& v) { ttg::send<0>(k + 1, std::move(v)); },
+        ttg::edges(ab), ttg::edges(ba), "tt_pong", world);
+    (void)pong;
+    world.execute();
+    ping->send_input<0>(0, 7);
+    world.fence();
+  }
+  std::ostringstream os;
+  ttg::trace::export_chrome_json(os);
+  const std::string json = os.str();
+  ASSERT_TRUE(json_balanced(json));
+
+  bool ping_span = false, pong_span = false;
+  for (const std::string& ev : trace_event_objects(json)) {
+    if (ev.find("\"ph\":\"X\"") == std::string::npos) continue;
+    if (ev.find("\"name\":\"tt_ping\"") != std::string::npos)
+      ping_span = true;
+    if (ev.find("\"name\":\"tt_pong\"") != std::string::npos)
+      pong_span = true;
+  }
+  EXPECT_TRUE(ping_span);
+  EXPECT_TRUE(pong_span);
+}
+
+TEST(TraceExport, CounterSamplesBecomeCounterEvents) {
+  const ttg::trace::NameId gauge = ttg::trace::intern("my_gauge");
+  {
+    ttg::trace::Session session;
+    ttg::trace::counter(gauge, 11);
+    ttg::trace::counter(gauge, 13);
+  }
+  std::ostringstream os;
+  ttg::trace::export_chrome_json(os);
+  const std::string json = os.str();
+  ASSERT_TRUE(json_balanced(json));
+  std::size_t counters = 0;
+  for (const std::string& ev : trace_event_objects(json)) {
+    if (ev.find("\"ph\":\"C\"") != std::string::npos &&
+        ev.find("\"name\":\"my_gauge\"") != std::string::npos) {
+      ++counters;
+    }
+  }
+  EXPECT_EQ(counters, 2u);
+}
+
+TEST(TraceExport, DroppedEventsReportedInOtherData) {
+  {
+    ttg::trace::Config cfg;
+    cfg.events_per_thread = 4;
+    ttg::trace::Session session(cfg);
+    for (int i = 0; i < 20; ++i) {
+      ttg::trace::record(ttg::trace::EventKind::kSchedPush);
+    }
+  }
+  std::ostringstream os;
+  ttg::trace::export_chrome_json(os);
+  const std::string json = os.str();
+  ASSERT_TRUE(json_balanced(json));
+  EXPECT_NE(json.find("\"dropped_events\""), std::string::npos);
+}
+
+TEST(Metrics, RegistryAddReadRemove) {
+  auto& reg = ttg::trace::MetricsRegistry::instance();
+  const int id = reg.add("test.counter", [] { return 7ull; });
+  EXPECT_EQ(reg.value("test.counter"), 7u);
+
+  // Duplicate names are legal and sum (two concurrent worlds).
+  const int id2 = reg.add("test.counter", [] { return 5ull; });
+  EXPECT_EQ(reg.value("test.counter"), 12u);
+
+  bool seen = false;
+  for (const ttg::trace::Metric& m : reg.snapshot()) {
+    if (m.name == "test.counter") seen = true;
+  }
+  EXPECT_TRUE(seen);
+
+  reg.remove(id);
+  reg.remove(id2);
+  EXPECT_EQ(reg.value("test.counter"), 0u);
+}
+
+TEST(Metrics, BuiltInSurfacesAreRegistered) {
+  auto& reg = ttg::trace::MetricsRegistry::instance();
+  bool pool_hits = false, atomics = false;
+  for (const ttg::trace::Metric& m : reg.snapshot()) {
+    if (m.name == "copy_pool.hits") pool_hits = true;
+    if (m.name.rfind("atomics.", 0) == 0) atomics = true;
+  }
+  EXPECT_TRUE(pool_hits);
+  EXPECT_TRUE(atomics);
+}
+
+TEST(Metrics, LiveEngineExportsStealAndTaskMetrics) {
+  auto& reg = ttg::trace::MetricsRegistry::instance();
+  {
+    ttg::World world(test_config(2));
+    ttg::Edge<int, ttg::Void> e("e");
+    auto tt = ttg::make_tt<int>(
+        [](const int& k, const ttg::Void&) {
+          if (k > 0) ttg::sendk<0>(k - 1);
+        },
+        ttg::edges(e), ttg::edges(e), "metric_chain", world);
+    world.execute();
+    tt->sendk_input<0>(9);
+    world.fence();
+
+    bool tasks_metric = false;
+    for (const ttg::trace::Metric& m : reg.snapshot()) {
+      if (m.name.rfind("engine.r", 0) == 0 &&
+          m.name.find(".tasks_executed") != std::string::npos) {
+        tasks_metric = true;
+        EXPECT_GE(m.value, 10u);
+      }
+    }
+    EXPECT_TRUE(tasks_metric);
+  }
+  // Engines unregister on destruction.
+  for (const ttg::trace::Metric& m : reg.snapshot()) {
+    EXPECT_EQ(m.name.rfind("engine.r", 0), std::string::npos) << m.name;
+  }
+}
+
+}  // namespace

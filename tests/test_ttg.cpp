@@ -22,7 +22,7 @@ TEST(Ttg, SingleTaskFires) {
   ttg::Edge<int, int> in("in");
   std::atomic<int> got{-1};
   auto tt = ttg::make_tt<int>(
-      [&](const int& k, int& v, auto&) { got.store(k * 1000 + v); },
+      [&](const int& k, int& v) { got.store(k * 1000 + v); },
       ttg::edges(in), ttg::edges(), "leaf", world);
   world.execute();
   tt->send_input<0>(3, 14);
@@ -36,11 +36,11 @@ TEST(Ttg, ChainPropagatesMovedData) {
   std::atomic<int> tasks{0};
   std::atomic<int> final_size{0};
   auto tt = ttg::make_tt<int>(
-      [&](const int& k, std::vector<int>& v, auto& outs) {
+      [&](const int& k, std::vector<int>& v) {
         tasks.fetch_add(1);
         v.push_back(k);
         if (k < 99) {
-          ttg::send<0>(k + 1, std::move(v), outs);
+          ttg::send<0>(k + 1, std::move(v));
         } else {
           final_size.store(static_cast<int>(v.size()));
         }
@@ -59,12 +59,12 @@ TEST(Ttg, BinaryTreeUnfoldsFully) {
   constexpr int kHeight = 10;
   std::atomic<int> tasks{0};
   auto tt = ttg::make_tt<int>(
-      [&](const int& k, const ttg::Void&, auto& outs) {
+      [&](const int& k, const ttg::Void&) {
         tasks.fetch_add(1);
         // Node k spawns children 2k+1 and 2k+2 while within the tree.
         if (2 * k + 2 < (1 << (kHeight + 1)) - 1) {
-          ttg::sendk<0>(2 * k + 1, outs);
-          ttg::sendk<0>(2 * k + 2, outs);
+          ttg::sendk<0>(2 * k + 1);
+          ttg::sendk<0>(2 * k + 2);
         }
       },
       ttg::edges(e), ttg::edges(e), "node", world);
@@ -79,7 +79,7 @@ TEST(Ttg, TwoInputJoin) {
   ttg::Edge<int, int> a("a"), b("b");
   std::atomic<long> sum{0};
   auto tt = ttg::make_tt<int>(
-      [&](const int&, int& x, int& y, auto&) { sum.fetch_add(x * y); },
+      [&](const int&, int& x, int& y) { sum.fetch_add(x * y); },
       ttg::edges(a, b), ttg::edges(), "mul", world);
   world.execute();
   long expect = 0;
@@ -100,7 +100,7 @@ TEST(Ttg, InvokeSatisfiesAllInputs) {
   ttg::Edge<int, double> b("b");
   std::atomic<int> fired{0};
   auto tt = ttg::make_tt<int>(
-      [&](const int& k, int& x, double& y, auto&) {
+      [&](const int& k, int& x, double& y) {
         EXPECT_EQ(x, 10);
         EXPECT_DOUBLE_EQ(y, 2.5);
         EXPECT_EQ(k, 7);
@@ -108,7 +108,7 @@ TEST(Ttg, InvokeSatisfiesAllInputs) {
       },
       ttg::edges(a, b), ttg::edges(), "join", world);
   world.execute();
-  tt->invoke(7, 10, 2.5);
+  ttg::invoke(*tt, 7, 10, 2.5);
   world.fence();
   EXPECT_EQ(fired.load(), 1);
 }
@@ -118,9 +118,9 @@ TEST(Ttg, VoidEdgesCarryPureControlFlow) {
   ttg::Edge<int, ttg::Void> go("go");
   std::atomic<int> count{0};
   auto tt = ttg::make_tt<int>(
-      [&](const int& k, const ttg::Void&, auto& outs) {
+      [&](const int& k, const ttg::Void&) {
         count.fetch_add(1);
-        if (k > 0) ttg::sendk<0>(k - 1, outs);
+        if (k > 0) ttg::sendk<0>(k - 1);
       },
       ttg::edges(go), ttg::edges(go), "ctl", world);
   world.execute();
@@ -136,7 +136,7 @@ TEST(Ttg, BroadcastSharesOneCopy) {
   std::atomic<const void*> first_ptr{nullptr};
   std::atomic<int> shared{0};
   auto leaf = ttg::make_tt<int>(
-      [&](const int&, std::vector<int>& v, auto&) {
+      [&](const int&, std::vector<int>& v) {
         // All consumers observe the same underlying copy.
         const void* expected = nullptr;
         if (!first_ptr.compare_exchange_strong(expected, v.data())) {
@@ -150,9 +150,9 @@ TEST(Ttg, BroadcastSharesOneCopy) {
   std::vector<int> keys;
   for (int i = 0; i < 8; ++i) keys.push_back(i);
   auto src = ttg::make_tt<int>(
-      [&](const int&, const ttg::Void&, auto& outs) {
+      [&](const int&, const ttg::Void&) {
         std::vector<int> payload{1, 2, 3};
-        ttg::broadcast<0>(keys, payload, outs);
+        ttg::broadcast<0>(keys, payload);
       },
       ttg::edges(go), ttg::edges(in), "src", world);
   world.execute();
@@ -170,22 +170,22 @@ TEST(Ttg, MoveReusesCopyCopyDuplicates) {
   std::atomic<int> move_same{-1}, copy_same{-1};
 
   auto sink_m = ttg::make_tt<int>(
-      [&](const int&, std::vector<int>& v, auto&) {
+      [&](const int&, std::vector<int>& v) {
         move_same.store(v.data() == src_ptr.load() ? 1 : 0);
       },
       ttg::edges(moved), ttg::edges(), "sink_m", world);
   auto sink_c = ttg::make_tt<int>(
-      [&](const int&, std::vector<int>& v, auto&) {
+      [&](const int&, std::vector<int>& v) {
         copy_same.store(v.data() == src_ptr.load() ? 1 : 0);
       },
       ttg::edges(copied), ttg::edges(), "sink_c", world);
 
   ttg::Edge<int, std::vector<int>> in("in");
   auto src = ttg::make_tt<int>(
-      [&](const int&, std::vector<int>& v, auto& outs) {
+      [&](const int&, std::vector<int>& v) {
         src_ptr.store(v.data());
-        ttg::send<1>(0, v, outs);             // lvalue: deep copy
-        ttg::send<0>(0, std::move(v), outs);  // rvalue: zero-copy move
+        ttg::send<1>(0, v);             // lvalue: deep copy
+        ttg::send<0>(0, std::move(v));  // rvalue: zero-copy move
       },
       ttg::edges(in), ttg::edges(moved, copied), "src", world);
   world.execute();
@@ -206,7 +206,7 @@ TEST(Ttg, PrioritiesReachTasks) {
   std::mutex order_mutex;
   std::vector<int> order;
   auto tt = ttg::make_tt<int>(
-      [&](const int& k, const ttg::Void&, auto&) {
+      [&](const int& k, const ttg::Void&) {
         std::lock_guard<std::mutex> g(order_mutex);
         order.push_back(k);
       },
@@ -229,12 +229,10 @@ TEST(Ttg, TwoTemplateTasksPipeline) {
   ttg::Edge<int, int> stage1("s1"), stage2("s2");
   std::atomic<long> out_sum{0};
   auto a = ttg::make_tt<int>(
-      [&](const int& k, int& v, auto& outs) {
-        ttg::send<0>(k, v * 2, outs);
-      },
+      [&](const int& k, int& v) { ttg::send<0>(k, v * 2); },
       ttg::edges(stage1), ttg::edges(stage2), "double", world);
   auto b = ttg::make_tt<int>(
-      [&](const int&, int& v, auto&) { out_sum.fetch_add(v); },
+      [&](const int&, int& v) { out_sum.fetch_add(v); },
       ttg::edges(stage2), ttg::edges(), "sum", world);
   world.execute();
   long expect = 0;
@@ -252,7 +250,7 @@ TEST(Ttg, PendingCountReflectsPartialJoins) {
   ttg::Edge<int, int> a("a"), b("b");
   std::atomic<int> fired{0};
   auto tt = ttg::make_tt<int>(
-      [&](const int&, int&, int&, auto&) { fired.fetch_add(1); },
+      [&](const int&, int&, int&) { fired.fetch_add(1); },
       ttg::edges(a, b), ttg::edges(), "join", world);
   world.execute();
   for (int k = 0; k < 10; ++k) tt->send_input<0>(k, k);
@@ -270,11 +268,11 @@ TEST(Ttg, LargeFanOutCompletes) {
   std::atomic<int> done{0};
   constexpr int kFan = 20000;
   auto leaf = ttg::make_tt<int>(
-      [&](const int&, const ttg::Void&, auto&) { done.fetch_add(1); },
+      [&](const int&, const ttg::Void&) { done.fetch_add(1); },
       ttg::edges(work), ttg::edges(), "leaf", world);
   auto src = ttg::make_tt<int>(
-      [&](const int&, const ttg::Void&, auto& outs) {
-        for (int i = 0; i < kFan; ++i) ttg::sendk<0>(i, outs);
+      [&](const int&, const ttg::Void&) {
+        for (int i = 0; i < kFan; ++i) ttg::sendk<0>(i);
       },
       ttg::edges(go), ttg::edges(work), "src", world);
   world.execute();
@@ -289,7 +287,7 @@ TEST(Ttg, StringKeysWork) {
   ttg::Edge<std::string, int> in("in");
   std::atomic<int> sum{0};
   auto tt = ttg::make_tt<std::string>(
-      [&](const std::string& k, int& v, auto&) {
+      [&](const std::string& k, int& v) {
         sum.fetch_add(static_cast<int>(k.size()) * v);
       },
       ttg::edges(in), ttg::edges(), "strkey", world);
@@ -298,6 +296,27 @@ TEST(Ttg, StringKeysWork) {
   tt->send_input<0>(std::string("xyz"), 100);
   world.fence();
   EXPECT_EQ(sum.load(), 2 * 10 + 3 * 100);
+}
+
+TEST(Ttg, ExplicitOutsOverloadStillWorks) {
+  // The explicit-outs spelling remains the documented low-level path;
+  // both forms may be mixed freely in one graph.
+  ttg::World world(test_config());
+  ttg::Edge<int, int> in("in"), mid("mid");
+  std::atomic<long> sum{0};
+  auto a = ttg::make_tt<int>(
+      [&](const int& k, int& v, auto& outs) {
+        ttg::send<0>(k, v + 1, outs);
+      },
+      ttg::edges(in), ttg::edges(mid), "explicit", world);
+  auto b = ttg::make_tt<int>(
+      [&](const int&, int& v) { sum.fetch_add(v); },
+      ttg::edges(mid), ttg::edges(), "implicit", world);
+  world.execute();
+  for (int k = 0; k < 10; ++k) a->send_input<0>(k, k);
+  world.fence();
+  EXPECT_EQ(sum.load(), 10L + (9L * 10) / 2);
+  (void)b;
 }
 
 }  // namespace
@@ -313,7 +332,7 @@ TEST(Ttg, ValueAwarePrioritiesDrivePopOrder) {
   std::mutex m;
   std::vector<int> order;
   auto tt = ttg::make_tt<int>(
-      [&](const int&, int& v, auto&) {
+      [&](const int&, int& v) {
         std::lock_guard<std::mutex> g(m);
         order.push_back(v);
       },
@@ -339,7 +358,7 @@ TEST(Ttg, LabelCorrectingRelaxationConverges) {
   for (int v = 0; v < kN; ++v) dist.insert(v, 1000000);
   ttg::Edge<int, long> relax_in("relax");
   auto relax = ttg::make_tt<int>(
-      [&dist](const int& v, long& candidate, auto& outs) {
+      [&dist](const int& v, long& candidate) {
         bool improved = false;
         dist.with(v, [&](long& d) {
           if (candidate < d) {
@@ -349,8 +368,8 @@ TEST(Ttg, LabelCorrectingRelaxationConverges) {
         });
         if (improved) {
           // Ring + skip edges.
-          ttg::send<0>((v + 1) % kN, candidate + 1, outs);
-          ttg::send<0>((v + 7) % kN, candidate + 3, outs);
+          ttg::send<0>((v + 1) % kN, candidate + 1);
+          ttg::send<0>((v + 7) % kN, candidate + 3);
         }
       },
       ttg::edges(relax_in), ttg::edges(relax_in), "relax", world);
