@@ -119,4 +119,122 @@ class TraceCapture {
   std::optional<ttg::trace::Session> session_;
 };
 
+/// Opt-in machine-readable output for any bench binary:
+///
+///   bench_figX --json-out=run.json
+///
+/// Mirrors the stdout CSV rows into one JSON document
+/// `{"bench": ..., "config": {...}, "rows": [{...}, ...]}` written on
+/// destruction (see EXPERIMENTS.md, "Machine-readable bench output").
+/// Inert without the flag — every method is a cheap no-op, so benches
+/// call row()/field() unconditionally next to their printf rows.
+/// scripts/check_bench_regression.py joins two such files row-by-row on
+/// the non-measured keys and gates a measured metric.
+class JsonReport {
+ public:
+  JsonReport(const Args& args, std::string bench_name)
+      : path_(args.get_string("json-out", "")),
+        bench_(std::move(bench_name)) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() {
+    if (!active()) return;
+    std::ofstream out(path_);
+    if (!out) {
+      std::fprintf(stderr, "json-out: cannot open %s\n", path_.c_str());
+      return;
+    }
+    close_row();
+    out << "{\n  \"bench\": \"" << escape(bench_) << "\",\n  \"config\": {";
+    out << config_ << "},\n  \"rows\": [";
+    out << rows_ << "\n  ]\n}\n";
+    std::fprintf(stderr, "bench json written to %s\n", path_.c_str());
+  }
+
+  bool active() const { return !path_.empty(); }
+
+  /// Records one --key=value of the parsed command line.
+  void config(const std::string& key, const std::string& value) {
+    if (active()) append(config_, key, quoted(value));
+  }
+  void config(const std::string& key, std::int64_t value) {
+    if (active()) append(config_, key, std::to_string(value));
+  }
+
+  /// Starts a new output row; subsequent field() calls populate it.
+  void row() {
+    if (!active()) return;
+    close_row();
+    if (!rows_.empty()) rows_ += ',';
+    rows_ += "\n    {";
+    row_open_ = true;
+    row_empty_ = true;
+  }
+
+  void field(const std::string& key, const std::string& value) {
+    put(key, quoted(value));
+  }
+  void field(const std::string& key, std::int64_t value) {
+    put(key, std::to_string(value));
+  }
+  void field(const std::string& key, double value) { put(key, number(value)); }
+
+ private:
+  static std::string escape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      if (static_cast<unsigned char>(c) >= 0x20) out += c;
+    }
+    return out;
+  }
+  static std::string quoted(const std::string& s) {
+    return "\"" + escape(s) + "\"";
+  }
+  static std::string number(double v) {
+    if (!(v == v) || v > 1e300 || v < -1e300) return "null";  // non-finite
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+  }
+  static void append(std::string& dst, const std::string& key,
+                     const std::string& value) {
+    if (!dst.empty()) dst += ", ";
+    dst += quoted(key) + ": " + value;
+  }
+  void close_row() {
+    if (row_open_) {
+      rows_ += '}';
+      row_open_ = false;
+    }
+  }
+  void put(const std::string& key, const std::string& value) {
+    if (!active() || !row_open_) return;
+    if (!row_empty_) rows_ += ", ";
+    rows_ += quoted(key) + ": " + value;
+    row_empty_ = false;
+  }
+
+  std::string path_;
+  std::string bench_;
+  std::string config_;
+  std::string rows_;
+  bool row_open_ = false;
+  bool row_empty_ = true;
+};
+
+/// The standard bench preamble: parsed args plus the two opt-in output
+/// sinks (--trace-out Chrome trace, --json-out machine-readable rows).
+/// Declare first thing in main(); both sinks flush on destruction.
+struct BenchCommon {
+  Args args;
+  TraceCapture trace;
+  JsonReport json;
+
+  BenchCommon(int argc, char** argv, const std::string& bench_name)
+      : args(argc, argv), trace(args), json(args, bench_name) {}
+};
+
 }  // namespace bench

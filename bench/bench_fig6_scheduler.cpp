@@ -11,7 +11,11 @@
 //    cycles, LFQ poor for all but the largest tasks.
 //
 //   ./bench_fig6_scheduler [--height=N] [--mode=overhead|speedup|both]
-//                          [--max-threads=N]
+//                          [--max-threads=N] [--json-out=path]
+//
+// --json-out mirrors every CSV row into the JSON schema EXPERIMENTS.md
+// documents; overhead rows with cycles==0 additionally report
+// ns_per_task (t0/tasks), the metric CI's perf-smoke job gates.
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -59,14 +63,19 @@ double run_tree(ttg::SchedulerType sched, int threads, int height,
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::Args args(argc, argv);
-  bench::TraceCapture trace_capture(args);
+  bench::BenchCommon common(argc, argv, "fig6_scheduler");
+  const bench::Args& args = common.args;
   const int height = static_cast<int>(
       args.get_int("height", args.has_flag("paper") ? 22 : 15));
   const int max_threads = static_cast<int>(
       args.get_int("max-threads", bench::default_max_threads()));
   const std::string mode = args.get_string("mode", "both");
   const int num_tasks = (1 << (height + 1)) - 1;
+
+  common.json.config("mode", mode);
+  common.json.config("height", static_cast<std::int64_t>(height));
+  common.json.config("max_threads", static_cast<std::int64_t>(max_threads));
+  common.json.config("tasks", static_cast<std::int64_t>(num_tasks));
 
   const ttg::SchedulerType scheds[] = {ttg::SchedulerType::kLFQ,
                                        ttg::SchedulerType::kLLP};
@@ -87,6 +96,16 @@ int main(int argc, char** argv) {
                       std::string(ttg::to_string(sched)).c_str(), t,
                       static_cast<unsigned long long>(c), tc,
                       100.0 * t0 / tc);
+          common.json.row();
+          common.json.field("mode", std::string("overhead"));
+          common.json.field("sched", std::string(ttg::to_string(sched)));
+          common.json.field("threads", static_cast<std::int64_t>(t));
+          common.json.field("cycles", static_cast<std::int64_t>(c));
+          common.json.field("seconds", tc);
+          common.json.field("overhead_pct", 100.0 * t0 / tc);
+          if (c == 0) {
+            common.json.field("ns_per_task", t0 / num_tasks * 1e9);
+          }
         }
       }
     }
@@ -104,6 +123,13 @@ int main(int argc, char** argv) {
           std::printf("%s,%llu,%d,%.4f,%.2f\n",
                       std::string(ttg::to_string(sched)).c_str(),
                       static_cast<unsigned long long>(c), t, tc, t1 / tc);
+          common.json.row();
+          common.json.field("mode", std::string("speedup"));
+          common.json.field("sched", std::string(ttg::to_string(sched)));
+          common.json.field("cycles", static_cast<std::int64_t>(c));
+          common.json.field("threads", static_cast<std::int64_t>(t));
+          common.json.field("seconds", tc);
+          common.json.field("speedup", t1 / tc);
         }
       }
     }

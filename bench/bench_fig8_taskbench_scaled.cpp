@@ -7,14 +7,15 @@
 // TTG ~60k flops vs ~1M for OpenMP worksharing.
 //
 //   ./bench_fig8_taskbench_scaled [--threads=N] [--steps=N] [--paper]
+//                                 [--json-out=path]
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "taskbench_sweep.hpp"
 
 int main(int argc, char** argv) {
-  const bench::Args args(argc, argv);
-  bench::TraceCapture trace_capture(args);
+  bench::BenchCommon common(argc, argv, "fig8_taskbench_scaled");
+  const bench::Args& args = common.args;
   const bool paper = args.has_flag("paper");
   const int threads = static_cast<int>(
       args.get_int("threads", bench::default_max_threads()));
@@ -23,6 +24,10 @@ int main(int argc, char** argv) {
   // "One task per core per timestep".
   const int width = static_cast<int>(args.get_int("width", threads));
   const auto flops = bench::default_flops_sweep(paper);
+
+  common.json.config("threads", static_cast<std::int64_t>(threads));
+  common.json.config("width", static_cast<std::int64_t>(width));
+  common.json.config("steps", static_cast<std::int64_t>(steps));
 
   std::printf("# Figure 8: Task-Bench 1D stencil, %d threads, width=%d "
               "steps=%d\n",
@@ -33,6 +38,6 @@ int main(int argc, char** argv) {
               baseline, threads);
   const auto series =
       bench::run_taskbench_sweep(flops, width, steps, threads);
-  bench::print_sweep(series, baseline, threads);
+  bench::print_sweep(series, baseline, threads, &common.json);
   return 0;
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "taskbench/taskbench.hpp"
 
 namespace bench {
@@ -81,7 +82,8 @@ inline double best_single_core_rate(std::uint64_t flops, int width,
 }
 
 inline void print_sweep(const std::vector<SweepSeries>& series,
-                        double baseline_rate, int threads) {
+                        double baseline_rate, int threads,
+                        JsonReport* json = nullptr) {
   std::printf("impl,flops_per_task,core_time_per_task_s,efficiency_pct,"
               "checksum_ok\n");
   for (const auto& s : series) {
@@ -93,6 +95,16 @@ inline void print_sweep(const std::vector<SweepSeries>& series,
       std::printf("%s,%llu,%.3e,%.1f,%d\n", s.name.c_str(),
                   static_cast<unsigned long long>(p.flops),
                   p.core_time_per_task, eff, p.ok ? 1 : 0);
+      if (json != nullptr) {
+        json->row();
+        json->field("impl", s.name);
+        json->field("flops", static_cast<std::int64_t>(p.flops));
+        json->field("core_time_per_task_s", p.core_time_per_task);
+        json->field("efficiency_pct", eff);
+        json->field("flops_rate", p.flops_rate);
+        json->field("checksum_ok",
+                    static_cast<std::int64_t>(p.ok ? 1 : 0));
+      }
     }
   }
   // METG(50%): the smallest flops-per-task still reaching 50% efficiency.

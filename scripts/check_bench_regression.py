@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Loose perf-regression gate over bench --json-out files.
+
+Compares a freshly produced bench JSON against a committed baseline
+(BENCH_fig6.json / BENCH_fig8.json) and fails when a matched row's
+gated metric regressed by more than --factor (default 2x, overridable
+via the BENCH_GATE_FACTOR environment variable). The gate is loose on
+purpose: baselines are recorded on a different machine than CI, so only
+gross regressions (a serialized scheduler, an accidental O(n) hot path)
+should trip it.
+
+Rows are matched on their identity keys (every key that appears in both
+rows except the gated metric and other measured values). Rows present
+in only one file are ignored — CI may sweep fewer thread counts than
+the recording machine had cores.
+
+Usage:
+  check_bench_regression.py BASELINE.json FRESH.json \
+      [--metric=ns_per_task] [--factor=2.0] [--require-matches=1]
+"""
+
+import json
+import os
+import sys
+
+MEASURED_KEYS = {
+    "seconds",
+    "overhead_pct",
+    "ns_per_task",
+    "speedup",
+    "core_time_per_task_s",
+    "efficiency_pct",
+    "flops_rate",
+}
+
+
+def parse_args(argv):
+    opts = {
+        "metric": "ns_per_task",
+        "factor": float(os.environ.get("BENCH_GATE_FACTOR", "2.0")),
+        "require_matches": 1,
+    }
+    paths = []
+    for a in argv[1:]:
+        if a.startswith("--metric="):
+            opts["metric"] = a.split("=", 1)[1]
+        elif a.startswith("--factor="):
+            opts["factor"] = float(a.split("=", 1)[1])
+        elif a.startswith("--require-matches="):
+            opts["require_matches"] = int(a.split("=", 1)[1])
+        else:
+            paths.append(a)
+    if len(paths) != 2:
+        sys.exit(__doc__)
+    return paths[0], paths[1], opts
+
+
+def identity(row, metric):
+    return tuple(
+        sorted(
+            (k, v)
+            for k, v in row.items()
+            if k != metric and k not in MEASURED_KEYS
+        )
+    )
+
+
+def main(argv):
+    baseline_path, fresh_path, opts = parse_args(argv)
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    metric = opts["metric"]
+    factor = opts["factor"]
+    base_rows = {
+        identity(r, metric): r
+        for r in baseline.get("rows", [])
+        if metric in r
+    }
+
+    matches = 0
+    failures = []
+    for row in fresh.get("rows", []):
+        if metric not in row:
+            continue
+        base = base_rows.get(identity(row, metric))
+        if base is None:
+            continue
+        matches += 1
+        old, new = float(base[metric]), float(row[metric])
+        status = "ok"
+        if old > 0 and new > factor * old:
+            status = "REGRESSION"
+            failures.append((row, old, new))
+        print(
+            f"{status:>10}  {metric}: {old:.3f} -> {new:.3f} "
+            f"(x{new / old if old > 0 else float('inf'):.2f})  "
+            f"{dict(identity(row, metric))}"
+        )
+
+    if matches < opts["require_matches"]:
+        print(
+            f"error: only {matches} comparable rows "
+            f"(need {opts['require_matches']}); baseline/fresh configs "
+            "do not overlap",
+            file=sys.stderr,
+        )
+        return 2
+    if failures:
+        print(
+            f"FAIL: {len(failures)} of {matches} rows regressed beyond "
+            f"{factor}x on '{metric}'",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"PASS: {matches} rows within {factor}x on '{metric}'")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -12,8 +12,13 @@ namespace ttg {
 
 /// Hard upper bound on threads that may ever touch the runtime in one
 /// process; sizes the per-lock BRAVO tables and per-thread counter
-/// arrays. 256 comfortably covers the paper's 64-core machines.
-inline constexpr int kMaxThreads = 256;
+/// arrays. Ids are never recycled, so the bound covers *cumulative*
+/// thread creation: a bench sweeping thread counts over fresh Worlds
+/// (e.g. fig6 at --max-threads=8, ~270 workers over its lifetime) burns
+/// ids long after the paper's 64-core ceiling. 1024 keeps such sweeps
+/// comfortably in range; the cost is linear in the bound only for rare
+/// whole-table scans (BRAVO revocation on hash-table resize).
+inline constexpr int kMaxThreads = 1024;
 
 namespace this_thread {
 

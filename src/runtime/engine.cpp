@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "common/busy_wait.hpp"
 #include "runtime/context.hpp"
 #include "runtime/trace.hpp"
 
@@ -33,8 +34,23 @@ ExecutionEngine::ExecutionEngine(Context& owner, const Config& config,
         prefix + "steal_successes",
         [this] { return scheduler_->steal_stats().successes; }));
     metric_ids_.push_back(registry.add(
+        prefix + "steal_batches",
+        [this] { return scheduler_->steal_stats().batches; }));
+    metric_ids_.push_back(registry.add(
+        prefix + "steal_batch_tasks",
+        [this] { return scheduler_->steal_stats().batch_tasks; }));
+    metric_ids_.push_back(registry.add(
+        prefix + "ingress_hits",
+        [this] { return scheduler_->steal_stats().ingress_hits; }));
+    metric_ids_.push_back(registry.add(
         prefix + "tasks_executed",
         [this] { return total_tasks_executed(); }));
+    metric_ids_.push_back(registry.add(
+        prefix + "backoff_parks", [this] {
+          std::uint64_t n = 0;
+          for (int i = 0; i < num_threads_; ++i) n += workers_[i]->parks();
+          return n;
+        }));
   }
   workers_ = std::make_unique<CachePadded<Worker>[]>(
       static_cast<std::size_t>(num_threads_));
@@ -123,13 +139,17 @@ void ExecutionEngine::worker_main(int index) {
   // A worker starts with nothing to do.
   detector_->on_idle();
 
-  int idle_spins = 0;
+  IdleBackoff backoff;
+  // Last backoff stage a trace instant was recorded for; a kBackoffStage
+  // instant fires only on stage *transitions* so the trace stays sparse.
+  auto last_stage = IdleBackoff::Action::kSpin;
   while (!stop_.load(std::memory_order_acquire)) {
     if (LifoNode* node = scheduler_->pop(index); node != nullptr) {
       trace::record(trace::EventKind::kSchedPop,
                     static_cast<std::uint64_t>(index), sched_trace_name_);
       detector_->on_resume();
-      idle_spins = 0;
+      backoff.on_work();
+      last_stage = IdleBackoff::Action::kSpin;
       self.run_task(static_cast<TaskBase*>(node));
       continue;
     }
@@ -138,12 +158,24 @@ void ExecutionEngine::worker_main(int index) {
         src != nullptr && !src->empty()) {
       detector_->on_resume();
       src->drain(self);
-      idle_spins = 0;
+      backoff.on_work();
+      last_stage = IdleBackoff::Action::kSpin;
       continue;
     }
 
     detector_->on_idle();
-    if (++idle_spins < 64) {
+    const IdleBackoff::Action action = backoff.next();
+    if (action != last_stage) {
+      trace::record(trace::EventKind::kBackoffStage,
+                    static_cast<std::uint64_t>(action));
+      last_stage = action;
+    }
+    if (action == IdleBackoff::Action::kSpin) {
+      for (int i = backoff.relax_count(); i > 0; --i) cpu_relax();
+      if (backoff.spin_round_yields()) std::this_thread::yield();
+      continue;
+    }
+    if (action == IdleBackoff::Action::kYield) {
       std::this_thread::yield();
       continue;
     }
@@ -156,7 +188,8 @@ void ExecutionEngine::worker_main(int index) {
       trace::record(trace::EventKind::kSchedPop,
                     static_cast<std::uint64_t>(index), sched_trace_name_);
       detector_->on_resume();
-      idle_spins = 0;
+      backoff.on_work();
+      last_stage = IdleBackoff::Action::kSpin;
       self.run_task(static_cast<TaskBase*>(node));
       continue;
     }
@@ -168,7 +201,9 @@ void ExecutionEngine::worker_main(int index) {
     trace::record(trace::EventKind::kIdleBegin);
     parking_.park(epoch);
     trace::record(trace::EventKind::kIdleEnd);
-    idle_spins = 0;
+    backoff.on_park();
+    ++self.parks_;
+    last_stage = IdleBackoff::Action::kSpin;
   }
 
   t_current_worker = nullptr;

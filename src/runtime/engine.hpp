@@ -43,6 +43,76 @@ enum class SubmitHint : std::uint8_t {
   kMayInline,     ///< may inline or bundle on the submitting worker
 };
 
+/// Adaptive idle backoff: spin → cpu_relax ramp → yield → park.
+///
+/// Replaces the fixed 64-spin park gate. The spin budget adapts to
+/// recent success: finding work *during the spin stage* doubles the
+/// budget (spinning is paying off — keep wake-up latency minimal, up to
+/// kMaxSpinBudget), while reaching the park stage halves it (this
+/// worker is starved — free the core quickly, down to kMinSpinBudget).
+/// Any found work resets the ladder to the spin stage. Pure state
+/// machine, one instance per worker, never shared across threads.
+class IdleBackoff {
+ public:
+  enum class Action : std::uint8_t { kSpin = 0, kYield = 1, kPark = 2 };
+
+  static constexpr int kMinSpinBudget = 16;
+  static constexpr int kMaxSpinBudget = 256;
+  static constexpr int kInitialSpinBudget = 64;  ///< the old fixed gate
+  static constexpr int kYieldRounds = 8;
+  /// Every this-many spin rounds the worker also yields. Pure pause
+  /// spinning minimizes wake-up latency on dedicated cores but starves
+  /// runnable siblings when threads outnumber cores (a submitter
+  /// seeding the next epoch, an oversubscribed run): bounding the
+  /// starvation window to a few spin rounds costs one syscall per
+  /// kSpinYieldEvery rounds and keeps the ladder safe on both.
+  static constexpr int kSpinYieldEvery = 4;
+
+  /// Advances the ladder by one empty poll round and returns what the
+  /// worker should do for it.
+  Action next() noexcept {
+    const int r = round_++;
+    if (r < spin_budget_) return Action::kSpin;
+    if (r < spin_budget_ + kYieldRounds) return Action::kYield;
+    return Action::kPark;
+  }
+
+  /// cpu_relax() repetitions for the current kSpin round: exponential
+  /// ramp 1, 2, 4, ... capped at 64 pauses.
+  int relax_count() const noexcept {
+    const int r = round_ > 0 ? round_ - 1 : 0;
+    return 1 << (r < 6 ? r : 6);
+  }
+
+  /// Whether the current kSpin round should also yield (see
+  /// kSpinYieldEvery). Call after next().
+  bool spin_round_yields() const noexcept {
+    return round_ % kSpinYieldEvery == 0;
+  }
+
+  /// The worker found work (pop or progress drain succeeded).
+  void on_work() noexcept {
+    if (round_ > 0 && round_ <= spin_budget_) {
+      spin_budget_ = spin_budget_ * 2 <= kMaxSpinBudget ? spin_budget_ * 2
+                                                        : kMaxSpinBudget;
+    }
+    round_ = 0;
+  }
+
+  /// The ladder ended in an actual park: the spin budget was wasted.
+  void on_park() noexcept {
+    spin_budget_ = spin_budget_ / 2 >= kMinSpinBudget ? spin_budget_ / 2
+                                                      : kMinSpinBudget;
+    round_ = 0;
+  }
+
+  int spin_budget() const noexcept { return spin_budget_; }
+
+ private:
+  int round_ = 0;
+  int spin_budget_ = kInitialSpinBudget;
+};
+
 /// Source of non-task work (e.g. the simulated-rank active-message
 /// queue) polled by workers that found no task. drain() must account
 /// any discovered work through the termination detector itself.

@@ -31,7 +31,10 @@ std::string_view to_string(EventKind k) {
     case EventKind::kSchedPop: return "sched_pop";
     case EventKind::kStealAttempt: return "steal_attempt";
     case EventKind::kStealSuccess: return "steal_success";
+    case EventKind::kStealBatch: return "steal_batch";
+    case EventKind::kIngressPop: return "ingress_pop";
     case EventKind::kInlineExec: return "inline_exec";
+    case EventKind::kBackoffStage: return "backoff_stage";
     case EventKind::kTermDetRound: return "termdet_round";
     case EventKind::kCounter: return "counter";
   }
@@ -60,7 +63,11 @@ Category category_of(EventKind k) {
     case EventKind::kSchedPop:
     case EventKind::kStealAttempt:
     case EventKind::kStealSuccess:
+    case EventKind::kStealBatch:
+    case EventKind::kIngressPop:
       return kCatSched;
+    case EventKind::kBackoffStage:
+      return kCatIdle;
     case EventKind::kTermDetRound:
       return kCatTermDet;
     case EventKind::kCounter:
@@ -282,6 +289,16 @@ std::vector<ThreadSummary> summarize() {
       case EventKind::kStealSuccess:
         ++s.steal_successes;
         break;
+      case EventKind::kStealBatch:
+        ++s.steal_batches;
+        s.steal_batch_tasks += e.arg;
+        break;
+      case EventKind::kIngressPop:
+        ++s.ingress_pops;
+        break;
+      case EventKind::kBackoffStage:
+        ++s.backoff_transitions;
+        break;
       default:
         break;
     }
@@ -299,13 +316,16 @@ std::vector<ThreadSummary> summarize() {
 void write_summary(std::ostream& os) {
   os << "thread,tasks,busy_cycles,idle_cycles,msgs_sent,msgs_recv,"
         "pool_hits,pool_misses,steal_attempts,steal_successes,"
-        "dropped_events\n";
+        "steal_batches,steal_batch_tasks,ingress_pops,"
+        "backoff_transitions,dropped_events\n";
   for (const ThreadSummary& s : summarize()) {
     os << s.thread << ',' << s.tasks << ',' << s.busy_cycles << ','
        << s.idle_cycles << ',' << s.messages_sent << ','
        << s.messages_received << ',' << s.pool_hits << ','
        << s.pool_misses << ',' << s.steal_attempts << ','
-       << s.steal_successes << ',' << s.dropped_events << '\n';
+       << s.steal_successes << ',' << s.steal_batches << ','
+       << s.steal_batch_tasks << ',' << s.ingress_pops << ','
+       << s.backoff_transitions << ',' << s.dropped_events << '\n';
   }
   os << "metric,value\n";
   for (const Metric& m : MetricsRegistry::instance().snapshot()) {
@@ -470,6 +490,30 @@ void export_chrome_json(std::ostream& os) {
         std::snprintf(extra, sizeof(extra),
                       "\"args\":{\"value\":%" PRId64 "}", ready_depth);
         w.event("ready_tasks", 'C', us(e.tsc), tid, extra);
+        break;
+      }
+      case EventKind::kStealBatch: {
+        // Instant (visible in the sched track) plus a counter track so
+        // batch sizes can be graphed over time.
+        std::snprintf(extra, sizeof(extra),
+                      "\"cat\":\"sched\",\"s\":\"t\",\"args\":{\"batch\":%"
+                      PRIu64 "}",
+                      e.arg);
+        w.event("steal_batch", 'i', us(e.tsc), tid, extra);
+        std::snprintf(extra, sizeof(extra),
+                      "\"args\":{\"value\":%" PRIu64 "}", e.arg);
+        w.event("steal_batch_size", 'C', us(e.tsc), tid, extra);
+        break;
+      }
+      case EventKind::kBackoffStage: {
+        std::snprintf(extra, sizeof(extra),
+                      "\"cat\":\"idle\",\"s\":\"t\",\"args\":{\"stage\":%"
+                      PRIu64 "}",
+                      e.arg);
+        w.event("backoff_stage", 'i', us(e.tsc), tid, extra);
+        std::snprintf(extra, sizeof(extra),
+                      "\"args\":{\"value\":%" PRIu64 "}", e.arg);
+        w.event("backoff_stage", 'C', us(e.tsc), tid, extra);
         break;
       }
       case EventKind::kPoolHit:

@@ -51,7 +51,10 @@ enum class EventKind : std::uint8_t {
   kSchedPop,       ///< instant: task popped (name = tier, arg = worker)
   kStealAttempt,   ///< instant: local queue empty, probing victims
   kStealSuccess,   ///< instant: steal succeeded (arg = victim worker id)
+  kStealBatch,     ///< instant: steal-half took a batch (arg = batch size)
+  kIngressPop,     ///< instant: pop satisfied by ingress shard (arg = worker)
   kInlineExec,     ///< instant: task executed inline in discovering worker
+  kBackoffStage,   ///< instant: idle-backoff ladder moved (arg = stage 0..2)
   kTermDetRound,   ///< instant: termination wave round closed (arg = round)
   kCounter,        ///< counter sample: name id + 64-bit value in arg
 };
@@ -182,6 +185,10 @@ struct ThreadSummary {
   std::uint64_t pool_misses = 0;  ///< data-copy allocations off-pool
   std::uint64_t steal_attempts = 0;
   std::uint64_t steal_successes = 0;
+  std::uint64_t steal_batches = 0;     ///< steal-half multi-task batches
+  std::uint64_t steal_batch_tasks = 0; ///< tasks obtained in those batches
+  std::uint64_t ingress_pops = 0;      ///< pops served by ingress shards
+  std::uint64_t backoff_transitions = 0;  ///< idle-backoff stage moves
   /// Events lost to ring wrap-around plus begin/end events whose partner
   /// was overwritten. Unmatched spans are excluded from busy/idle sums
   /// instead of corrupting them.

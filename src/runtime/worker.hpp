@@ -35,6 +35,10 @@ class Worker {
   /// Tasks executed by this worker (diagnostics).
   std::uint64_t tasks_executed() const { return tasks_executed_; }
 
+  /// Times this worker's idle-backoff ladder ended in a ParkingLot park
+  /// (diagnostics; see IdleBackoff).
+  std::uint64_t parks() const { return parks_; }
+
   /// Current task-inlining nesting depth on this worker.
   int inline_depth() const { return inline_depth_; }
 
@@ -68,6 +72,7 @@ class Worker {
   int index_ = -1;
   int rank_ = 0;
   std::uint64_t tasks_executed_ = 0;
+  std::uint64_t parks_ = 0;
   int inline_depth_ = 0;
   // Successor-bundling scope (Sec. IV-C).
   TaskBase* batch_head_ = nullptr;

@@ -25,7 +25,9 @@ LifoNode* LfqScheduler::pop(int worker) {
   if (worker != kExternalWorker) {
     if (LifoNode* t = local_[worker]->pop_best(); t != nullptr) return t;
     // Steal from other workers' bounded buffers, domain siblings first
-    // (the cache/NUMA hierarchy walk of Sec. III-B).
+    // (the cache/NUMA hierarchy walk of Sec. III-B). Steals here are
+    // single-task by design: a bounded buffer holds at most
+    // kLocalCapacity tasks, so there is no run to halve.
     steals_.on_attempt(worker);
     for (int victim : steal_order_.victims(worker)) {
       if (LifoNode* t = local_[victim]->steal(); t != nullptr) {
@@ -33,8 +35,15 @@ LifoNode* LfqScheduler::pop(int worker) {
         return t;
       }
     }
+    // Last resort: the globally-locked overflow FIFO. Work found there
+    // is an ingress hit, not a steal success — the attempt above still
+    // counts as a (real) failed victim sweep.
+    if (LifoNode* t = global_.pop(); t != nullptr) {
+      steals_.on_ingress(worker);
+      return t;
+    }
+    return nullptr;
   }
-  // Last resort: the globally-locked overflow FIFO.
   return global_.pop();
 }
 

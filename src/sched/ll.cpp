@@ -7,7 +7,8 @@ LlScheduler::LlScheduler(int num_workers, int steal_domain_size)
       local_(std::make_unique<CachePadded<AtomicLifo>[]>(
           static_cast<std::size_t>(num_workers))),
       steal_order_(num_workers, steal_domain_size),
-      steals_(num_workers) {}
+      steals_(num_workers),
+      ingress_(num_workers, steal_domain_size) {}
 
 void LlScheduler::push(int worker, LifoNode* task) {
   if (worker == kExternalWorker) {
@@ -20,17 +21,38 @@ void LlScheduler::push(int worker, LifoNode* task) {
 }
 
 LifoNode* LlScheduler::pop(int worker) {
-  if (worker != kExternalWorker) {
-    if (LifoNode* t = local_[worker]->pop(); t != nullptr) return t;
-    steals_.on_attempt(worker);
-    for (int victim : steal_order_.victims(worker)) {
-      if (LifoNode* t = local_[victim]->pop(); t != nullptr) {
-        steals_.on_success(worker, victim);
-        return t;
+  if (worker == kExternalWorker) return ingress_.pop_any();
+  if (LifoNode* t = local_[worker]->pop(); t != nullptr) return t;
+  // Own-domain ingress before stealing: external work routed to this
+  // domain is warmer than a victim's cacheline — and finding it here is
+  // not a steal attempt (see StealStats).
+  if (LifoNode* t = ingress_.pop_own(worker); t != nullptr) {
+    steals_.on_ingress(worker);
+    return t;
+  }
+  steals_.on_attempt(worker);
+  for (int victim : steal_order_.victims(worker)) {
+    std::size_t n = 0;
+    if (LifoNode* t = local_[victim]->pop_half(kStealBatchCap, &n);
+        t != nullptr) {
+      steals_.on_batch(worker, victim, n);
+      if (LifoNode* rest = t->next.load(std::memory_order_relaxed);
+          rest != nullptr) {
+        // Install the batch remainder in our own queue. It is provably
+        // empty (our pop just failed and only the owner pushes), so the
+        // owner-only single-store attach suffices — no CAS loop.
+        t->next.store(nullptr, std::memory_order_relaxed);
+        local_[worker]->attach(rest);
       }
+      return t;
     }
   }
-  return ingress_.pop();
+  // Failed sweep: drain the remaining ingress shards ring-wise.
+  if (LifoNode* t = ingress_.pop_other(worker); t != nullptr) {
+    steals_.on_ingress(worker);
+    return t;
+  }
+  return nullptr;
 }
 
 }  // namespace ttg

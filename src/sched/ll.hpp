@@ -1,4 +1,6 @@
-// LL: local LIFOs with stealing, no priority support (paper Sec. III-B).
+// LL: local LIFOs with stealing, no priority support (paper Sec. III-B),
+// hardened with steal-half batching and sharded external ingress (see
+// docs/scheduling.md).
 #pragma once
 
 #include <memory>
@@ -18,11 +20,14 @@ class LlScheduler final : public Scheduler {
   SchedulerType type() const override { return SchedulerType::kLL; }
   StealStats steal_stats() const override { return steals_.total(); }
 
+  /// Test hook: number of external-ingress shards.
+  int ingress_shards() const { return ingress_.num_shards(); }
+
  private:
   std::unique_ptr<CachePadded<AtomicLifo>[]> local_;
   StealOrder steal_order_;
   StealCounters steals_;
-  AtomicLifo ingress_;  // external submissions (MPSC, any thread)
+  IngressShards ingress_;  // external submissions (MPSC, any thread)
 };
 
 }  // namespace ttg

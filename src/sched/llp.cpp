@@ -7,7 +7,8 @@ LlpScheduler::LlpScheduler(int num_workers, int steal_domain_size)
       local_(std::make_unique<CachePadded<AtomicLifo>[]>(
           static_cast<std::size_t>(num_workers))),
       steal_order_(num_workers, steal_domain_size),
-      steals_(num_workers) {}
+      steals_(num_workers),
+      ingress_(num_workers, steal_domain_size) {}
 
 LifoNode* LlpScheduler::merge_sorted(LifoNode* list, LifoNode* chain) {
   LifoNode head_sentinel;
@@ -70,17 +71,40 @@ void LlpScheduler::push_chain(int worker, LifoNode* first) {
 }
 
 LifoNode* LlpScheduler::pop(int worker) {
-  if (worker != kExternalWorker) {
-    if (LifoNode* t = local_[worker]->pop(); t != nullptr) return t;
-    steals_.on_attempt(worker);
-    for (int victim : steal_order_.victims(worker)) {
-      if (LifoNode* t = local_[victim]->pop(); t != nullptr) {
-        steals_.on_success(worker, victim);
-        return t;
+  if (worker == kExternalWorker) return ingress_.pop_any();
+  if (LifoNode* t = local_[worker]->pop(); t != nullptr) return t;
+  // Own-domain ingress before stealing (not a steal attempt).
+  if (LifoNode* t = ingress_.pop_own(worker); t != nullptr) {
+    steals_.on_ingress(worker);
+    return t;
+  }
+  steals_.on_attempt(worker);
+  for (int victim : steal_order_.victims(worker)) {
+    std::size_t n = 0;
+    if (LifoNode* t = local_[victim]->pop_half(kStealBatchCap, &n);
+        t != nullptr) {
+      steals_.on_batch(worker, victim, n);
+      if (LifoNode* rest = t->next.load(std::memory_order_relaxed);
+          rest != nullptr) {
+        // The stolen prefix of an LLP queue is sorted by descending
+        // priority (queue invariant), so merging it into our own —
+        // provably empty, owner-only — queue keeps the invariant. The
+        // detach/merge/attach degenerates to a plain attach here but
+        // stays correct should the emptiness argument ever weaken.
+        t->next.store(nullptr, std::memory_order_relaxed);
+        AtomicLifo& mine = local_[worker].value;
+        LifoNode* current = mine.detach();
+        mine.attach(merge_sorted(current, rest));
       }
+      return t;
     }
   }
-  return ingress_.pop();
+  // Failed sweep: drain the remaining ingress shards ring-wise.
+  if (LifoNode* t = ingress_.pop_other(worker); t != nullptr) {
+    steals_.on_ingress(worker);
+    return t;
+  }
+  return nullptr;
 }
 
 }  // namespace ttg

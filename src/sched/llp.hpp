@@ -14,6 +14,10 @@
 //  * Bulk: freshly discovered tasks are bundled into a sorted chain and
 //    merged in one detach/merge/reattach pass (Sec. IV-C "we mitigate
 //    this by bundling new tasks into sorted lists").
+//  * Steal-half: thieves take up to half of a victim's visible run in
+//    one tagged CAS, execute the head task, and merge the (sorted)
+//    remainder into their own queue priority-correctly — see
+//    docs/scheduling.md.
 #pragma once
 
 #include <memory>
@@ -34,6 +38,9 @@ class LlpScheduler final : public Scheduler {
   SchedulerType type() const override { return SchedulerType::kLLP; }
   StealStats steal_stats() const override { return steals_.total(); }
 
+  /// Test hook: number of external-ingress shards.
+  int ingress_shards() const { return ingress_.num_shards(); }
+
  private:
   /// Merges `chain` (sorted by descending priority) into `list` (ditto),
   /// placing chain elements before list elements of equal priority.
@@ -43,7 +50,7 @@ class LlpScheduler final : public Scheduler {
   std::unique_ptr<CachePadded<AtomicLifo>[]> local_;
   StealOrder steal_order_;
   StealCounters steals_;
-  AtomicLifo ingress_;  // external submissions (MPSC, any thread)
+  IngressShards ingress_;  // external submissions (MPSC, any thread)
 };
 
 }  // namespace ttg

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/cache.hpp"
+#include "common/thread_id.hpp"
 #include "runtime/trace.hpp"
 #include "structures/lifo.hpp"
 
@@ -63,10 +64,24 @@ class StealOrder {
   std::vector<std::vector<int>> orders_;
 };
 
+/// Cap on the number of tasks one steal takes (the "capped" in
+/// steal-half, Sec. IV-C hardening): a thief takes at most half of the
+/// victim's visible run and never more than this many tasks, executing
+/// one and installing the rest in its own queue.
+inline constexpr std::size_t kStealBatchCap = 8;
+
 /// Aggregate work-stealing statistics of a scheduler.
+///
+/// The steal-failure rate of a run is (attempts - successes) / attempts:
+/// `attempts` only counts pops that actually probed victims, and a pop
+/// satisfied by an ingress/overflow queue is an `ingress_hits` — not a
+/// steal attempt, and not a failure.
 struct StealStats {
-  std::uint64_t attempts = 0;   ///< pops that found the local queue empty
-  std::uint64_t successes = 0;  ///< tasks obtained from a victim
+  std::uint64_t attempts = 0;   ///< pops that probed at least one victim
+  std::uint64_t successes = 0;  ///< steals that obtained work from a victim
+  std::uint64_t ingress_hits = 0;  ///< pops satisfied by ingress/overflow
+  std::uint64_t batches = 0;       ///< steals that took a multi-task batch
+  std::uint64_t batch_tasks = 0;   ///< total tasks obtained via steals
 };
 
 /// Per-worker steal accounting shared by the stealing schedulers
@@ -95,18 +110,44 @@ class StealCounters {
   /// `worker` obtained a task from `victim`.
   void on_success(int worker, int victim) noexcept {
     if (worker < 0 || worker >= num_workers_) return;
-    auto& s = slots_[worker]->successes;
-    s.store(s.load(std::memory_order_relaxed) + 1,
-            std::memory_order_relaxed);
+    Cell& c = slots_[worker].value;
+    bump(c.successes);
+    bump(c.batch_tasks);
     trace::record(trace::EventKind::kStealSuccess,
                   static_cast<std::uint64_t>(victim));
+  }
+
+  /// `worker` stole a batch of `n` tasks from `victim` in one operation
+  /// (steal-half): one success, n tasks, and — when n > 1 — one batch.
+  void on_batch(int worker, int victim, std::uint64_t n) noexcept {
+    if (worker < 0 || worker >= num_workers_) return;
+    Cell& c = slots_[worker].value;
+    bump(c.successes);
+    bump(c.batch_tasks, n);
+    if (n > 1) bump(c.batches);
+    trace::record(trace::EventKind::kStealSuccess,
+                  static_cast<std::uint64_t>(victim));
+    trace::record(trace::EventKind::kStealBatch, n);
+  }
+
+  /// `worker`'s pop was satisfied by an ingress shard or overflow queue
+  /// — found work, but not by stealing.
+  void on_ingress(int worker) noexcept {
+    if (worker < 0 || worker >= num_workers_) return;
+    bump(slots_[worker]->ingress_hits);
+    trace::record(trace::EventKind::kIngressPop,
+                  static_cast<std::uint64_t>(worker));
   }
 
   StealStats total() const noexcept {
     StealStats t;
     for (int i = 0; i < num_workers_; ++i) {
-      t.attempts += slots_[i]->attempts.load(std::memory_order_relaxed);
-      t.successes += slots_[i]->successes.load(std::memory_order_relaxed);
+      const Cell& c = slots_[i].value;
+      t.attempts += c.attempts.load(std::memory_order_relaxed);
+      t.successes += c.successes.load(std::memory_order_relaxed);
+      t.ingress_hits += c.ingress_hits.load(std::memory_order_relaxed);
+      t.batches += c.batches.load(std::memory_order_relaxed);
+      t.batch_tasks += c.batch_tasks.load(std::memory_order_relaxed);
     }
     return t;
   }
@@ -115,9 +156,93 @@ class StealCounters {
   struct Cell {
     std::atomic<std::uint64_t> attempts{0};
     std::atomic<std::uint64_t> successes{0};
+    std::atomic<std::uint64_t> ingress_hits{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::uint64_t> batch_tasks{0};
   };
+  static void bump(std::atomic<std::uint64_t>& v,
+                   std::uint64_t by = 1) noexcept {
+    v.store(v.load(std::memory_order_relaxed) + by,
+            std::memory_order_relaxed);
+  }
   std::unique_ptr<CachePadded<Cell>[]> slots_;
   const int num_workers_;
+};
+
+/// Sharded MPSC ingress for submissions from outside the worker pool.
+///
+/// The single global ingress LIFO was the last process-wide hot cacheline
+/// in the stealing schedulers: every external submitter CASed it and
+/// every idle worker probed it after every failed steal sweep. Shards
+/// split that line per steal domain: submitters scatter by their dense
+/// thread id, and a worker drains its own domain's shard *before*
+/// stealing (external work routed here is warmer than a victim's
+/// cacheline), sweeping foreign shards only after a failed steal sweep.
+class IngressShards {
+ public:
+  /// Upper bound on shards; beyond this, domains share shards ring-wise
+  /// (more shards would cost idle-sweep latency, not contention).
+  static constexpr int kMaxShards = 8;
+
+  IngressShards(int num_workers, int domain_size) {
+    workers_per_shard_ = domain_size > 1 ? domain_size : 1;
+    int shards =
+        (num_workers + workers_per_shard_ - 1) / workers_per_shard_;
+    if (shards < 1) shards = 1;
+    if (shards > kMaxShards) shards = kMaxShards;
+    num_shards_ = shards;
+    shards_ = std::make_unique<CachePadded<AtomicLifo>[]>(
+        static_cast<std::size_t>(num_shards_));
+  }
+
+  int num_shards() const noexcept { return num_shards_; }
+
+  /// Shard a worker drains first: its steal domain's (flat steal order
+  /// degenerates to one shard per worker, clamped).
+  int shard_of_worker(int worker) const noexcept {
+    return (worker / workers_per_shard_) % num_shards_;
+  }
+
+  /// Push from a thread outside the pool: scatter by dense thread id so
+  /// concurrent submitters hit distinct cachelines.
+  void push(LifoNode* task) noexcept {
+    shards_[this_thread::id() % num_shards_]->push(task);
+  }
+
+  /// Chain push from a thread outside the pool.
+  void push_chain(LifoNode* first, LifoNode* last) noexcept {
+    shards_[this_thread::id() % num_shards_]->push_chain(first, last);
+  }
+
+  /// Drains only `worker`'s own domain shard.
+  LifoNode* pop_own(int worker) noexcept {
+    return shards_[shard_of_worker(worker)]->pop();
+  }
+
+  /// Sweeps the *other* shards ring-wise from the worker's own.
+  LifoNode* pop_other(int worker) noexcept {
+    const int own = shard_of_worker(worker);
+    for (int i = 1; i < num_shards_; ++i) {
+      if (LifoNode* t = shards_[(own + i) % num_shards_]->pop();
+          t != nullptr) {
+        return t;
+      }
+    }
+    return nullptr;
+  }
+
+  /// Sweeps all shards (external callers, shutdown drains).
+  LifoNode* pop_any() noexcept {
+    for (int i = 0; i < num_shards_; ++i) {
+      if (LifoNode* t = shards_[i]->pop(); t != nullptr) return t;
+    }
+    return nullptr;
+  }
+
+ private:
+  std::unique_ptr<CachePadded<AtomicLifo>[]> shards_;
+  int num_shards_ = 1;
+  int workers_per_shard_ = 1;
 };
 
 class Scheduler {

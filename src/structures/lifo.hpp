@@ -82,6 +82,101 @@ class AtomicLifo {
     }
   }
 
+  /// Pops up to `max_n` nodes from the head in ONE ABA-tagged CAS,
+  /// preserving their head-first order. Returns the head of the detached
+  /// chain (linked through `next`, last node nulled) or nullptr if the
+  /// LIFO is empty; `*n_out` receives the number of nodes taken.
+  ///
+  /// The walk reads `next` pointers of nodes still reachable from the
+  /// head. A concurrent pop/detach/attach bumps the ABA tag and a
+  /// concurrent push moves the head pointer, so the suffix CAS below
+  /// fails and the stale walk is discarded; a *successful* CAS proves
+  /// the walked run [head..last] was untouched since the head load.
+  /// Costs one CAS per attempt — the batch amortizes the Eq. (1)
+  /// scheduler term across up to max_n tasks.
+  LifoNode* pop_chain(std::size_t max_n,
+                      std::size_t* n_out = nullptr) noexcept {
+    if (n_out) *n_out = 0;
+    if (max_n == 0) return nullptr;
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      LifoNode* first = unpack_ptr(h);
+      if (first == nullptr) return nullptr;
+      LifoNode* last = first;
+      std::size_t n = 1;
+      while (n < max_n) {
+        LifoNode* next = last->next.load(std::memory_order_relaxed);
+        if (next == nullptr) break;
+        last = next;
+        ++n;
+      }
+      LifoNode* suffix = last->next.load(std::memory_order_relaxed);
+      atomic_ops::count(category_);
+      if (head_.compare_exchange_weak(h, pack(suffix, tag_of(h) + 1),
+                                      ord_acq_rel(),
+                                      std::memory_order_relaxed)) {
+        fence_acquire();  // observe node contents published by push
+        last->next.store(nullptr, std::memory_order_relaxed);
+        if (n_out) *n_out = n;
+        return first;
+      }
+      cpu_relax();
+    }
+  }
+
+  /// Steal-half (Sec. IV-C hardening): pops ceil(len/2) of the visible
+  /// run — measured by scanning at most 2*cap nodes — capped at `cap`,
+  /// in one tagged CAS. Thieves use this to take a bounded batch while
+  /// provably leaving the victim at least as much as they took, so a
+  /// victim that keeps producing is never drained to empty by one probe.
+  LifoNode* pop_half(std::size_t cap,
+                     std::size_t* n_out = nullptr) noexcept {
+    if (n_out) *n_out = 0;
+    if (cap == 0) return nullptr;
+    std::uint64_t h = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      LifoNode* first = unpack_ptr(h);
+      if (first == nullptr) return nullptr;
+      // Measure the visible run, up to twice the cap.
+      std::size_t len = 0;
+      for (LifoNode* p = first; p != nullptr && len < 2 * cap;
+           p = p->next.load(std::memory_order_relaxed)) {
+        ++len;
+      }
+      const std::size_t half = (len + 1) / 2;
+      const std::size_t take = half < cap ? half : cap;
+      // Re-walk to the last taken node. A racing pop can shorten the
+      // run mid-walk (observed as a null next); the tag bump it did
+      // dooms our CAS anyway, so just retry from a fresh head.
+      LifoNode* last = first;
+      bool run_changed = false;
+      for (std::size_t i = 1; i < take; ++i) {
+        LifoNode* next = last->next.load(std::memory_order_relaxed);
+        if (next == nullptr) {
+          run_changed = true;
+          break;
+        }
+        last = next;
+      }
+      if (run_changed) {
+        h = head_.load(std::memory_order_relaxed);
+        cpu_relax();
+        continue;
+      }
+      LifoNode* suffix = last->next.load(std::memory_order_relaxed);
+      atomic_ops::count(category_);
+      if (head_.compare_exchange_weak(h, pack(suffix, tag_of(h) + 1),
+                                      ord_acq_rel(),
+                                      std::memory_order_relaxed)) {
+        fence_acquire();
+        last->next.store(nullptr, std::memory_order_relaxed);
+        if (n_out) *n_out = take;
+        return first;
+      }
+      cpu_relax();
+    }
+  }
+
   /// Pops the head node, or nullptr if empty (any thread).
   LifoNode* pop() noexcept {
     std::uint64_t h = head_.load(std::memory_order_relaxed);
@@ -119,6 +214,11 @@ class AtomicLifo {
   void attach(LifoNode* list) noexcept {
     head_.store(pack(list, current_tag() + 1), ord_release());
   }
+
+  /// Current ABA tag of the head word (diagnostics/tests): bumped by
+  /// every successful pop/pop_chain/pop_half/detach/attach, never by
+  /// push.
+  std::uint64_t head_tag() const noexcept { return current_tag(); }
 
   /// Peeks at the head's priority without popping; only meaningful to the
   /// owning thread (others may race). Returns false if empty.

@@ -71,6 +71,151 @@ TEST(AtomicLifo, AttachRestoresList) {
   EXPECT_EQ(static_cast<Node*>(lifo.pop())->id, 0);
 }
 
+// ------------------------------------------------- batched pops (pop_chain)
+
+TEST(AtomicLifo, PopChainTakesPrefixInOrder) {
+  ttg::AtomicLifo lifo;
+  Node nodes[5];
+  for (int i = 0; i < 5; ++i) {
+    nodes[i].id = i;
+    lifo.push(&nodes[i]);
+  }
+  std::size_t n = 0;
+  ttg::LifoNode* chain = lifo.pop_chain(2, &n);
+  EXPECT_EQ(n, 2u);
+  ASSERT_NE(chain, nullptr);
+  // Head-first order: the two most recently pushed, last node nulled.
+  EXPECT_EQ(static_cast<Node*>(chain)->id, 4);
+  ttg::LifoNode* second = chain->next;
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(static_cast<Node*>(second)->id, 3);
+  EXPECT_EQ(second->next.load(), nullptr);
+  // The rest is untouched.
+  EXPECT_EQ(static_cast<Node*>(lifo.pop())->id, 2);
+  EXPECT_EQ(static_cast<Node*>(lifo.pop())->id, 1);
+  EXPECT_EQ(static_cast<Node*>(lifo.pop())->id, 0);
+  EXPECT_TRUE(lifo.empty());
+}
+
+TEST(AtomicLifo, PopChainShortList) {
+  ttg::AtomicLifo lifo;
+  Node nodes[2];
+  for (auto& node : nodes) lifo.push(&node);
+  std::size_t n = 0;
+  ttg::LifoNode* chain = lifo.pop_chain(8, &n);
+  EXPECT_EQ(n, 2u);  // whole list, not more
+  ASSERT_NE(chain, nullptr);
+  EXPECT_TRUE(lifo.empty());
+  EXPECT_EQ(lifo.pop_chain(8, &n), nullptr);
+  EXPECT_EQ(n, 0u);
+  EXPECT_EQ(lifo.pop_chain(0, &n), nullptr);
+}
+
+TEST(AtomicLifo, PopChainBumpsAbaTagOncePushNever) {
+  ttg::AtomicLifo lifo;
+  Node nodes[4];
+  const std::uint64_t t0 = lifo.head_tag();
+  for (auto& node : nodes) lifo.push(&node);
+  EXPECT_EQ(lifo.head_tag(), t0);  // pushes move the pointer, not the tag
+  lifo.pop_chain(3);
+  EXPECT_EQ(lifo.head_tag(), t0 + 1);  // one batch, one tag bump
+  lifo.pop();
+  EXPECT_EQ(lifo.head_tag(), t0 + 2);
+}
+
+TEST(AtomicLifo, PopHalfTakesHalfOfVisibleRun) {
+  ttg::AtomicLifo lifo;
+  Node nodes[10];
+  for (auto& node : nodes) lifo.push(&node);
+  std::size_t n = 0;
+  ttg::LifoNode* chain = lifo.pop_half(8, &n);
+  EXPECT_EQ(n, 5u);  // ceil(10/2), under the cap
+  std::size_t got = 0;
+  for (ttg::LifoNode* p = chain; p != nullptr; p = p->next) ++got;
+  EXPECT_EQ(got, n);
+  // Victim keeps at least as much as was taken.
+  std::size_t left = 0;
+  while (lifo.pop() != nullptr) ++left;
+  EXPECT_EQ(left, 5u);
+}
+
+TEST(AtomicLifo, PopHalfIsCapped) {
+  ttg::AtomicLifo lifo;
+  Node nodes[40];
+  for (auto& node : nodes) lifo.push(&node);
+  std::size_t n = 0;
+  EXPECT_NE(lifo.pop_half(4, &n), nullptr);
+  EXPECT_EQ(n, 4u);  // run >= 2*cap measures as 2*cap; half == cap
+  EXPECT_NE(lifo.pop_half(4, &n), nullptr);
+  EXPECT_EQ(n, 4u);
+  std::size_t left = 0;
+  while (lifo.pop() != nullptr) ++left;
+  EXPECT_EQ(left, 32u);
+}
+
+TEST(AtomicLifo, PopHalfSingleNode) {
+  ttg::AtomicLifo lifo;
+  Node node;
+  lifo.push(&node);
+  std::size_t n = 0;
+  EXPECT_EQ(lifo.pop_half(8, &n), &node);
+  EXPECT_EQ(n, 1u);
+  EXPECT_TRUE(lifo.empty());
+}
+
+TEST(AtomicLifo, BatchedPopsUnderConcurrentMutation) {
+  // The partial-walk race: pop_chain/pop_half walk runs that concurrent
+  // pushes and pops mutate. The tagged CAS must discard every stale
+  // walk — each node surfaces exactly once, none twice, none lost.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  ttg::AtomicLifo lifo;
+  std::vector<Node> nodes(static_cast<std::size_t>(kThreads) * kPerThread);
+  std::vector<std::atomic<int>> seen(nodes.size());
+  for (auto& s : seen) s.store(0);
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto consume_chain = [&](ttg::LifoNode* chain) {
+        while (chain != nullptr) {
+          ttg::LifoNode* next = chain->next;
+          seen[static_cast<Node*>(chain)->id].fetch_add(1);
+          popped.fetch_add(1);
+          chain = next;
+        }
+      };
+      for (int i = 0; i < kPerThread; ++i) {
+        Node& n = nodes[static_cast<std::size_t>(t) * kPerThread + i];
+        n.id = t * kPerThread + i;
+        lifo.push(&n);
+        switch (i % 3) {
+          case 0:
+            if (ttg::LifoNode* p = lifo.pop(); p != nullptr) {
+              seen[static_cast<Node*>(p)->id].fetch_add(1);
+              popped.fetch_add(1);
+            }
+            break;
+          case 1:
+            consume_chain(lifo.pop_chain(3));
+            break;
+          default:
+            consume_chain(lifo.pop_half(4));
+            break;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  while (ttg::LifoNode* p = lifo.pop()) {
+    seen[static_cast<Node*>(p)->id].fetch_add(1);
+    popped.fetch_add(1);
+  }
+  EXPECT_EQ(popped.load(), kThreads * kPerThread);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
 TEST(AtomicLifo, HeadPriorityReflectsHead) {
   ttg::AtomicLifo lifo;
   std::int32_t prio = -1;

@@ -1,0 +1,294 @@
+// Steal-half batching and sharded ingress (docs/scheduling.md).
+//
+// Covers the contention-hardening layer end to end at the scheduler
+// API: bounded batch steals install their remainder in the thief's
+// queue (priority-correctly for LLP), ingress shards route external
+// submissions per steal domain without losing tasks, and the steal
+// accounting splits ingress hits from genuine victim probes.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "sched/lfq.hpp"
+#include "sched/ll.hpp"
+#include "sched/llp.hpp"
+#include "sched/scheduler.hpp"
+
+namespace {
+
+struct Node : ttg::LifoNode {
+  int id = 0;
+};
+
+using ttg::SchedulerType;
+
+// --------------------------------------------------------------- steal-half
+
+TEST(StealHalf, LlThiefTakesBatchAndInstallsRemainder) {
+  ttg::LlScheduler sched(2);
+  Node nodes[8];
+  for (auto& n : nodes) sched.push(0, &n);
+
+  // Worker 1 is empty: one probe of victim 0 takes half the run (4 of
+  // 8, under the cap), executes one, installs the other three locally.
+  ASSERT_NE(sched.pop(1), nullptr);
+  auto stats = sched.steal_stats();
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.successes, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batch_tasks, 4u);
+
+  // The remainder is local to worker 1 now: three pops, no new probes.
+  for (int i = 0; i < 3; ++i) ASSERT_NE(sched.pop(1), nullptr);
+  stats = sched.steal_stats();
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.successes, 1u);
+
+  // Victim keeps the other half.
+  int left = 0;
+  while (sched.pop(0) != nullptr) ++left;
+  EXPECT_EQ(left, 4);
+}
+
+TEST(StealHalf, BatchIsCappedAtKStealBatchCap) {
+  ttg::LlScheduler sched(2);
+  std::vector<Node> nodes(4 * ttg::kStealBatchCap);
+  for (auto& n : nodes) sched.push(0, &n);
+  ASSERT_NE(sched.pop(1), nullptr);
+  const auto stats = sched.steal_stats();
+  EXPECT_EQ(stats.batch_tasks, ttg::kStealBatchCap);
+}
+
+TEST(StealHalf, LlpStolenBatchPreservesPriorityOrder) {
+  ttg::LlpScheduler sched(2);
+  Node nodes[8];
+  for (int i = 0; i < 8; ++i) {
+    nodes[i].id = i;
+    nodes[i].priority = i + 1;  // ascending pushes: fast-path head CAS
+    sched.push(0, &nodes[i]);
+  }
+  // Victim queue is 8,7,...,1 by priority. The thief takes the sorted
+  // prefix {8,7,6,5}: the pop returns 8 and {7,6,5} land in worker 1's
+  // queue, which must keep serving descending priorities.
+  Node* first = static_cast<Node*>(sched.pop(1));
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->priority, 8);
+  int last = first->priority;
+  for (int i = 0; i < 3; ++i) {
+    Node* n = static_cast<Node*>(sched.pop(1));
+    ASSERT_NE(n, nullptr);
+    EXPECT_LE(n->priority, last);
+    last = n->priority;
+  }
+  // Victim still pops its remaining half in descending order.
+  last = 1000;
+  for (int i = 0; i < 4; ++i) {
+    Node* n = static_cast<Node*>(sched.pop(0));
+    ASSERT_NE(n, nullptr);
+    EXPECT_LE(n->priority, last);
+    last = n->priority;
+  }
+  EXPECT_EQ(sched.pop(0), nullptr);
+  EXPECT_EQ(sched.pop(1), nullptr);
+}
+
+// --------------------------------------------------------- steal accounting
+
+TEST(StealAccounting, IngressHitIsNotASteal) {
+  // One worker, one shard: an externally pushed task is found in the
+  // ingress queue *before* any victim probe, so it must count as an
+  // ingress hit — not as a steal attempt, success, or failure.
+  ttg::LlScheduler sched(1);
+  Node n;
+  sched.push(ttg::kExternalWorker, &n);
+  EXPECT_EQ(sched.pop(0), &n);
+  const auto stats = sched.steal_stats();
+  EXPECT_EQ(stats.ingress_hits, 1u);
+  EXPECT_EQ(stats.attempts, 0u);
+  EXPECT_EQ(stats.successes, 0u);
+}
+
+TEST(StealAccounting, FailedSweepCountsOneAttempt) {
+  ttg::LlScheduler sched(4);
+  EXPECT_EQ(sched.pop(2), nullptr);
+  const auto stats = sched.steal_stats();
+  EXPECT_EQ(stats.attempts, 1u);
+  EXPECT_EQ(stats.successes, 0u);
+  EXPECT_EQ(stats.ingress_hits, 0u);
+}
+
+TEST(StealAccounting, LfqOverflowHitIsIngress) {
+  ttg::LfqScheduler sched(1);
+  std::vector<Node> nodes(ttg::LfqScheduler::kLocalCapacity + 3);
+  for (auto& n : nodes) sched.push(0, &n);
+  int count = 0;
+  while (sched.pop(0) != nullptr) ++count;
+  EXPECT_EQ(count, static_cast<int>(nodes.size()));
+  const auto stats = sched.steal_stats();
+  EXPECT_EQ(stats.ingress_hits, 3u);  // the overflowed tasks
+  EXPECT_EQ(stats.successes, 0u);
+}
+
+// ----------------------------------------------------------- ingress shards
+
+TEST(IngressShards, ShardCountFollowsDomains) {
+  // Flat steal order: one shard per worker, clamped at kMaxShards.
+  EXPECT_EQ(ttg::IngressShards(2, 0).num_shards(), 2);
+  EXPECT_EQ(ttg::IngressShards(32, 1).num_shards(),
+            ttg::IngressShards::kMaxShards);
+  // Domains of 4 over 8 workers: one shard per domain.
+  ttg::IngressShards sharded(8, 4);
+  EXPECT_EQ(sharded.num_shards(), 2);
+  for (int w = 0; w < 4; ++w) EXPECT_EQ(sharded.shard_of_worker(w), 0);
+  for (int w = 4; w < 8; ++w) EXPECT_EQ(sharded.shard_of_worker(w), 1);
+}
+
+TEST(IngressShards, PopOtherSweepsForeignShards) {
+  ttg::IngressShards shards(8, 4);  // 2 shards
+  Node n;
+  shards.push(&n);  // lands in the pushing thread's shard
+  // Whichever shard it landed in, a worker of the *other* domain finds
+  // it via its own-then-other sweep.
+  ttg::LifoNode* got = shards.pop_own(0);
+  if (got == nullptr) got = shards.pop_other(0);
+  EXPECT_EQ(got, &n);
+  EXPECT_EQ(shards.pop_any(), nullptr);
+}
+
+class ShardedIngressTest
+    : public ::testing::TestWithParam<std::tuple<SchedulerType, int>> {};
+
+TEST_P(ShardedIngressTest, ExternalPushersDrainExactlyOnce) {
+  // Several external threads scatter pushes over the ingress shards
+  // while pool workers pop concurrently; every task must surface
+  // exactly once. Runs under the TSan CI job.
+  const auto [type, domain] = GetParam();
+  constexpr int kWorkers = 4;
+  constexpr int kPushers = 3;
+  constexpr int kPerPusher = 3000;
+  auto sched = ttg::make_scheduler(type, kWorkers, domain);
+  constexpr int total = kPushers * kPerPusher;
+  std::vector<Node> nodes(static_cast<std::size_t>(total));
+  std::vector<std::atomic<int>> seen(static_cast<std::size_t>(total));
+  for (auto& s : seen) s.store(0);
+  std::atomic<int> popped{0};
+  std::atomic<bool> done_pushing{false};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kPushers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerPusher; ++i) {
+        Node& n = nodes[static_cast<std::size_t>(p) * kPerPusher + i];
+        n.id = p * kPerPusher + i;
+        n.priority = i % 5;
+        sched->push(ttg::kExternalWorker, &n);
+      }
+    });
+  }
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w] {
+      for (;;) {
+        if (ttg::LifoNode* t = sched->pop(w); t != nullptr) {
+          seen[static_cast<Node*>(t)->id].fetch_add(1);
+          if (popped.fetch_add(1) + 1 == total) return;
+        } else if (done_pushing.load() && popped.load() >= total) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kPushers; ++p) threads[p].join();
+  done_pushing.store(true);
+  for (std::size_t t = kPushers; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(popped.load(), total);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StealingSchedulers, ShardedIngressTest,
+    ::testing::Combine(::testing::Values(SchedulerType::kLL,
+                                         SchedulerType::kLLP),
+                       ::testing::Values(0, 2)),
+    [](const auto& info) {
+      return std::string(ttg::to_string(std::get<0>(info.param))) +
+             "_domain" + std::to_string(std::get<1>(info.param));
+    });
+
+// ----------------------------------------------------- steal-half stressing
+
+class StealHalfStressTest : public ::testing::TestWithParam<SchedulerType> {
+};
+
+TEST_P(StealHalfStressTest, MixedStealsLoseNothing) {
+  // Producers keep long runs on their own queues; consumers only steal.
+  // Exercises pop_half racing push/pop/push_chain under TSan.
+  constexpr int kProducers = 2;
+  constexpr int kThieves = 2;
+  constexpr int kPerProducer = 5000;
+  auto sched = ttg::make_scheduler(GetParam(), kProducers + kThieves);
+  constexpr int total = kProducers * kPerProducer;
+  std::vector<Node> nodes(static_cast<std::size_t>(total));
+  std::vector<std::atomic<int>> seen(static_cast<std::size_t>(total));
+  for (auto& s : seen) s.store(0);
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Node& n = nodes[static_cast<std::size_t>(p) * kPerProducer + i];
+        n.id = p * kPerProducer + i;
+        n.priority = i % 7;
+        sched->push(p, &n);
+        if (i % 8 == 0) {
+          if (ttg::LifoNode* t = sched->pop(p); t != nullptr) {
+            seen[static_cast<Node*>(t)->id].fetch_add(1);
+            popped.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kThieves; ++c) {
+    const int w = kProducers + c;
+    threads.emplace_back([&, w] {
+      while (popped.load() < total) {
+        if (ttg::LifoNode* t = sched->pop(w); t != nullptr) {
+          seen[static_cast<Node*>(t)->id].fetch_add(1);
+          popped.fetch_add(1);
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) threads[p].join();
+  // Producers done: let thieves finish the drain, with a final sweep
+  // from worker 0 in case everything is already popped.
+  for (std::size_t t = kProducers; t < threads.size(); ++t) threads[t].join();
+  while (ttg::LifoNode* t = sched->pop(0)) {
+    seen[static_cast<Node*>(t)->id].fetch_add(1);
+    popped.fetch_add(1);
+  }
+
+  EXPECT_EQ(popped.load(), total);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+
+  const auto stats = sched->steal_stats();
+  EXPECT_GE(stats.batch_tasks, stats.successes);  // batches carry >= 1 task
+}
+
+INSTANTIATE_TEST_SUITE_P(StealingSchedulers, StealHalfStressTest,
+                         ::testing::Values(SchedulerType::kLL,
+                                           SchedulerType::kLLP),
+                         [](const auto& info) {
+                           return std::string(ttg::to_string(info.param));
+                         });
+
+}  // namespace
