@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Mutation gate for the DST harness (tests/dst/).
+#
+# A schedule-exploration harness is only trustworthy if it demonstrably
+# catches known concurrency bugs. This script builds the DST suite once
+# per known-bad mutant (-DTTG_DST_MUTANT=<name>, see src/CMakeLists.txt)
+# and asserts that the suite FAILS under every mutant and PASSES on the
+# clean build, all within the same bounded seed budget.
+#
+# Usage: scripts/mutation_gate.sh [build-dir] [schedules-per-strategy]
+set -u
+
+BUILD_DIR="${1:-build-mutation}"
+SCHEDULES="${2:-64}"
+SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+DST_TARGETS="dst_lifo dst_bravo dst_parking dst_termdet dst_replay"
+MUTANTS="lifo_pop_no_tag lifo_chain_no_tag bravo_fence_reorder \
+bravo_skip_drain park_ignore_epoch termdet_ignore_active"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+failures=0
+
+configure_and_build() {
+  local mutant="$1"
+  cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCMAKE_BUILD_TYPE=Release \
+        -DTTG_DST_MUTANT="$mutant" > /dev/null || return 1
+  # shellcheck disable=SC2086
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target $DST_TARGETS > /dev/null
+}
+
+run_suite() {
+  (cd "$BUILD_DIR" && TTG_DST_SCHEDULES="$SCHEDULES" \
+      ctest -L dst -j "$JOBS" --output-on-failure)
+}
+
+echo "== mutation gate: clean build must pass (budget: $SCHEDULES schedules/strategy) =="
+if ! configure_and_build ""; then
+  echo "FATAL: clean build failed"
+  exit 1
+fi
+if run_suite > "$BUILD_DIR/clean.log" 2>&1; then
+  echo "clean: PASS (as expected)"
+else
+  echo "clean: FAIL — the DST suite is broken before any mutation"
+  tail -50 "$BUILD_DIR/clean.log"
+  failures=$((failures + 1))
+fi
+
+for m in $MUTANTS; do
+  echo "== mutant: $m =="
+  if ! configure_and_build "$m"; then
+    echo "$m: BUILD FAILED"
+    failures=$((failures + 1))
+    continue
+  fi
+  if run_suite > "$BUILD_DIR/$m.log" 2>&1; then
+    echo "$m: NOT CAUGHT — the DST suite passed a known-bad build"
+    failures=$((failures + 1))
+  else
+    echo "$m: caught"
+  fi
+done
+
+# Leave the tree configured without a mutant so later builds are clean.
+cmake -B "$BUILD_DIR" -S "$SRC_DIR" -DCMAKE_BUILD_TYPE=Release \
+      -DTTG_DST_MUTANT="" > /dev/null 2>&1 || true
+
+if [ "$failures" -ne 0 ]; then
+  echo "MUTATION GATE FAILED: $failures problem(s)"
+  exit 1
+fi
+echo "MUTATION GATE PASSED: all mutants caught, clean suite green"

@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "common/cycle_clock.hpp"
+#include "sim/hooks.hpp"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #include <immintrin.h>
@@ -27,10 +28,19 @@ inline void cpu_relax() noexcept {
 /// immediately (the "empty task" configuration).
 inline void busy_wait_cycles(std::uint64_t cycles) noexcept {
   if (cycles == 0) return;
+#if defined(TTG_SIM)
+  // Under deterministic simulation wall-clock spinning would never
+  // terminate (the TSC advances but virtual time is step-driven, and the
+  // single running thread must yield for anyone else to make progress).
+  // Model the wait as one preemption point.
+  TTG_SIM_POINT("busy_wait_cycles");
+  return;
+#else
   const std::uint64_t start = rdtsc();
   while (rdtsc() - start < cycles) {
     cpu_relax();
   }
+#endif
 }
 
 /// Exponential backoff for contended CAS loops: spins with pause, and
@@ -38,6 +48,9 @@ inline void busy_wait_cycles(std::uint64_t cycles) noexcept {
 class Backoff {
  public:
   void pause() noexcept {
+    // Every contended spin loop in the runtime waits through here, so a
+    // single yield hook covers them all in the instrumented build.
+    TTG_SIM_POINT("backoff.pause");
     for (std::uint32_t i = 0; i < spins_; ++i) cpu_relax();
     if (spins_ < kMaxSpins) spins_ *= 2;
   }

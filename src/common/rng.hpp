@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 
 namespace ttg {
 
@@ -33,6 +34,35 @@ class SplitMix64 {
 
  private:
   std::uint64_t state_;
+};
+
+/// RNG for randomized tests: seeds from the TTG_TEST_SEED environment
+/// variable when set (so any test re-runs under a chosen seed without a
+/// rebuild), otherwise from the test's own default. Tests include
+/// seed() in failure messages so every randomized failure uniformly
+/// reports the seed that reproduces it.
+class TestRng {
+ public:
+  explicit TestRng(std::uint64_t default_seed)
+      : seed_(resolve_seed(default_seed)), rng_(seed_) {}
+
+  std::uint64_t seed() const noexcept { return seed_; }
+
+  std::uint64_t next() noexcept { return rng_.next(); }
+  double next_double() noexcept { return rng_.next_double(); }
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    return rng_.next_below(bound);
+  }
+
+ private:
+  static std::uint64_t resolve_seed(std::uint64_t fallback) noexcept {
+    const char* v = std::getenv("TTG_TEST_SEED");
+    if (v == nullptr || *v == '\0') return fallback;
+    return std::strtoull(v, nullptr, 10);
+  }
+
+  std::uint64_t seed_;
+  SplitMix64 rng_;
 };
 
 /// Mixes a 64-bit value; used as the default hash finalizer for task IDs.

@@ -2,15 +2,40 @@
 
 #include "runtime/trace.hpp"
 
+#if defined(TTG_SIM)
+#include "sim/sim.hpp"
+#endif
+
 namespace ttg {
 
 // Out of line: parking is the cold path (a worker only gets here after
 // its spin budget is exhausted), and keeping the atomic wait in one
 // translation unit keeps the TSan/futex surface small.
 void ParkingLot::park(Epoch observed) noexcept {
+#if defined(TTG_MUTANT_PARK_IGNORE_EPOCH)
+  // MUTANT: discard the caller's observed epoch and re-baseline on the
+  // current one. A notify() that landed between prepare_park() and this
+  // call is forgotten — the classic lost wakeup the epoch protocol
+  // exists to close.
+  observed = epoch_.load(std::memory_order_acquire);
+#endif
   trace::record(trace::EventKind::kParkBegin, observed);
   sleepers_.fetch_add(1, std::memory_order_acq_rel);
+#if defined(TTG_SIM)
+  if (sim::active()) {
+    // Cooperative stand-in for the futex wait: the runner deschedules
+    // this virtual thread until a notify() marks it runnable again, and
+    // reports a deadlock if every live thread ends up here — which is
+    // exactly how the DST suite observes a lost wakeup.
+    sim::wait_until("parking.park", [&] {
+      return epoch_.load(std::memory_order_acquire) != observed;
+    });
+  } else {
+    epoch_.wait(observed, std::memory_order_acquire);
+  }
+#else
   epoch_.wait(observed, std::memory_order_acquire);
+#endif
   sleepers_.fetch_sub(1, std::memory_order_relaxed);
   trace::record(trace::EventKind::kParkEnd, observed);
 }

@@ -18,6 +18,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "sim/hooks.hpp"
+
 namespace ttg {
 
 class ParkingLot {
@@ -43,10 +45,15 @@ class ParkingLot {
   /// Publishes "there may be work": bumps the epoch and wakes all parked
   /// threads. Cheap when nobody sleeps.
   void notify() noexcept {
+    TTG_SIM_POINT("parking.notify");
     epoch_.fetch_add(1, std::memory_order_release);
     if (sleepers_.load(std::memory_order_acquire) > 0) {
       epoch_.notify_all();
     }
+    // Under simulation, parked virtual threads block cooperatively in the
+    // runner instead of on the futex; wake them so they re-check the
+    // epoch (a no-op in the regular build).
+    TTG_SIM_NOTIFY();
   }
 
   /// Number of currently parked threads (diagnostics/tests; racy).

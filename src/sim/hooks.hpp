@@ -1,0 +1,38 @@
+// Injectable yield hooks for deterministic simulation testing (DST).
+//
+// The concurrency primitives (structures/lifo.hpp, sync/rwlock.hpp,
+// sync/bucket_lock.hpp, sync/bravo.hpp, runtime/parking_lot.*,
+// termdet/termdet.cpp) mark every racy window with TTG_SIM_POINT("..").
+// In the regular build the macro expands to nothing — no call, no atomic,
+// no branch — so the Eq. (1) accounting and the release hot path are
+// untouched. In the instrumented build (compiled with -DTTG_SIM, see the
+// `ttg_sim` CMake target) each point yields control to the seeded
+// sim::Runner, which owns every context switch and can therefore drive
+// the primitives through adversarial interleavings and replay any of
+// them from a single seed.
+//
+// This header is deliberately dependency-free so the primitives can
+// include it unconditionally.
+#pragma once
+
+#if defined(TTG_SIM)
+
+#include <cstdint>
+
+namespace ttg::sim {
+/// Defined in sim/sim.cpp. No-ops when the calling thread is not a
+/// virtual thread of an active sim::Runner.
+void preemption_point(const char* label) noexcept;
+void notify_all() noexcept;
+std::uint64_t virtual_now() noexcept;
+}  // namespace ttg::sim
+
+#define TTG_SIM_POINT(label) ::ttg::sim::preemption_point(label)
+#define TTG_SIM_NOTIFY() ::ttg::sim::notify_all()
+
+#else
+
+#define TTG_SIM_POINT(label) ((void)0)
+#define TTG_SIM_NOTIFY() ((void)0)
+
+#endif

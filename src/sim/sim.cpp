@@ -1,0 +1,303 @@
+#include "sim/sim.hpp"
+
+#include <condition_variable>
+#include <mutex>
+#include <ostream>
+#include <sstream>
+#include <thread>
+
+#include "sim/hooks.hpp"
+
+namespace ttg::sim {
+
+namespace {
+
+enum class State : std::uint8_t { kRunnable, kBlocked, kFinished };
+
+struct Vt {
+  int index = -1;
+  State state = State::kFinished;
+  const char* label = "start";
+  std::function<void()> body;
+  bool body_armed = false;  ///< run() assigned a body not yet started
+  bool in_body = false;     ///< OS thread is between body entry and exit
+  std::exception_ptr error;
+  std::thread os;
+};
+
+}  // namespace
+
+struct Runner::Impl {
+  std::mutex m;
+  std::condition_variable cv;
+  /// Control token: index of the virtual thread allowed to run, or -1
+  /// when the scheduler (the host thread inside run()) owns control.
+  int running = -1;
+  bool shutdown = false;
+  bool schedule_active = false;
+  bool poisoned = false;
+  std::vector<std::unique_ptr<Vt>> threads;
+  std::vector<TraceEntry> trace;
+  std::uint64_t hash = 0;
+  std::atomic<std::uint64_t> steps{0};
+};
+
+namespace {
+
+thread_local Runner::Impl* t_impl = nullptr;
+thread_local Vt* t_self = nullptr;
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv_byte(std::uint64_t h, unsigned char b) noexcept {
+  return (h ^ b) * kFnvPrime;
+}
+
+std::uint64_t fnv_u64(std::uint64_t h, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) h = fnv_byte(h, (v >> (8 * i)) & 0xff);
+  return h;
+}
+
+/// Yields control back to the scheduler and blocks until rescheduled.
+/// Must be called from a virtual thread.
+void yield_self(Runner::Impl* impl, Vt* self, const char* label,
+                State st) {
+  std::unique_lock<std::mutex> lk(impl->m);
+  self->label = label;
+  self->state = st;
+  impl->running = -1;
+  impl->cv.notify_all();
+  impl->cv.wait(lk, [&] { return impl->running == self->index; });
+}
+
+void thread_main(std::shared_ptr<Runner::Impl> impl, int index) {
+  Vt* self = impl->threads[static_cast<std::size_t>(index)].get();
+  t_impl = impl.get();
+  t_self = self;
+  std::unique_lock<std::mutex> lk(impl->m);
+  for (;;) {
+    impl->cv.wait(lk, [&] {
+      return impl->shutdown ||
+             (self->body_armed && impl->running == self->index);
+    });
+    if (impl->shutdown) return;
+    self->body_armed = false;
+    self->in_body = true;
+    lk.unlock();
+    try {
+      self->body();
+    } catch (...) {
+      self->error = std::current_exception();
+    }
+    lk.lock();
+    self->body = nullptr;
+    self->in_body = false;
+    self->state = State::kFinished;
+    self->label = "exit";
+    impl->running = -1;
+    impl->cv.notify_all();
+  }
+}
+
+std::unique_ptr<Strategy> make_strategy(const Options& opts) {
+  switch (opts.explore) {
+    case Explore::kPct:
+      return std::make_unique<PctStrategy>(opts.seed, opts.pct_depth,
+                                           opts.pct_expected_len);
+    case Explore::kRandomWalk:
+    default:
+      return std::make_unique<RandomWalkStrategy>(opts.seed);
+  }
+}
+
+}  // namespace
+
+const char* to_string(Explore e) noexcept {
+  return e == Explore::kPct ? "pct" : "random";
+}
+
+std::uint64_t hash_label(const char* s) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (; *s; ++s) h = fnv_byte(h, static_cast<unsigned char>(*s));
+  return h;
+}
+
+Runner::Runner(int num_vthreads)
+    : impl_(std::make_shared<Impl>()), num_vthreads_(num_vthreads) {
+  impl_->threads.reserve(static_cast<std::size_t>(num_vthreads));
+  for (int i = 0; i < num_vthreads; ++i) {
+    auto vt = std::make_unique<Vt>();
+    vt->index = i;
+    impl_->threads.push_back(std::move(vt));
+  }
+  for (int i = 0; i < num_vthreads; ++i) {
+    impl_->threads[static_cast<std::size_t>(i)]->os =
+        std::thread(thread_main, impl_, i);
+  }
+}
+
+Runner::~Runner() {
+  {
+    std::lock_guard<std::mutex> lk(impl_->m);
+    impl_->shutdown = true;
+  }
+  impl_->cv.notify_all();
+  for (auto& vt : impl_->threads) {
+    // A thread parked mid-body (only possible after a deadlock/livelock
+    // poisoned the runner) can never unwind cleanly — its resume path is
+    // inside noexcept primitives. Detach it; it holds a shared_ptr to
+    // Impl, so the memory stays valid until process exit.
+    bool in_body;
+    {
+      std::lock_guard<std::mutex> lk(impl_->m);
+      in_body = vt->in_body;
+    }
+    if (in_body) {
+      vt->os.detach();
+    } else if (vt->os.joinable()) {
+      vt->os.join();
+    }
+  }
+}
+
+std::uint64_t Runner::run(const Options& opts,
+                          std::vector<std::function<void()>> bodies) {
+  if (static_cast<int>(bodies.size()) != num_vthreads_) {
+    throw SimError("body count != virtual thread count");
+  }
+  if (impl_->poisoned) {
+    throw SimError(
+        "runner poisoned by a previous deadlock/livelock; create a fresh "
+        "Runner");
+  }
+  auto strategy = make_strategy(opts);
+  strategy->begin(num_vthreads_);
+
+  std::unique_lock<std::mutex> lk(impl_->m);
+  impl_->trace.clear();
+  impl_->hash = kFnvOffset;
+  impl_->steps.store(0, std::memory_order_relaxed);
+  for (int i = 0; i < num_vthreads_; ++i) {
+    Vt* vt = impl_->threads[static_cast<std::size_t>(i)].get();
+    vt->state = State::kRunnable;
+    vt->label = "start";
+    vt->body = std::move(bodies[static_cast<std::size_t>(i)]);
+    vt->body_armed = true;
+    vt->error = nullptr;
+  }
+  impl_->schedule_active = true;
+
+  std::vector<int> runnable;
+  for (;;) {
+    impl_->cv.wait(lk, [&] { return impl_->running == -1; });
+    runnable.clear();
+    int live = 0;
+    for (int i = 0; i < num_vthreads_; ++i) {
+      const Vt* vt = impl_->threads[static_cast<std::size_t>(i)].get();
+      if (vt->state == State::kFinished) continue;
+      ++live;
+      if (vt->state == State::kRunnable) runnable.push_back(i);
+    }
+    if (live == 0) break;
+    if (runnable.empty()) {
+      std::ostringstream os;
+      os << "deadlock: all " << live << " live virtual threads blocked (";
+      for (int i = 0; i < num_vthreads_; ++i) {
+        const Vt* vt = impl_->threads[static_cast<std::size_t>(i)].get();
+        if (vt->state == State::kBlocked) {
+          os << "vt" << i << "@" << vt->label << " ";
+        }
+      }
+      os << ") after "
+         << impl_->steps.load(std::memory_order_relaxed) << " steps";
+      impl_->schedule_active = false;
+      impl_->poisoned = true;
+      throw DeadlockError(os.str());
+    }
+    const std::uint64_t step =
+        impl_->steps.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (step > opts.max_steps) {
+      impl_->schedule_active = false;
+      impl_->poisoned = true;
+      throw LivelockError("schedule exceeded max_steps=" +
+                          std::to_string(opts.max_steps));
+    }
+    const int pick = strategy->pick(runnable);
+    Vt* vt = impl_->threads[static_cast<std::size_t>(pick)].get();
+    impl_->trace.push_back(TraceEntry{pick, vt->label});
+    impl_->hash = fnv_u64(impl_->hash, static_cast<std::uint64_t>(pick));
+    impl_->hash = fnv_u64(impl_->hash, hash_label(vt->label));
+    strategy->on_scheduled(pick, vt->label);
+    impl_->running = pick;
+    impl_->cv.notify_all();
+  }
+  impl_->schedule_active = false;
+  lk.unlock();
+
+  for (const auto& vt : impl_->threads) {
+    if (vt->error) std::rethrow_exception(vt->error);
+  }
+  return impl_->hash;
+}
+
+const std::vector<TraceEntry>& Runner::trace() const noexcept {
+  return impl_->trace;
+}
+
+std::uint64_t Runner::trace_hash() const noexcept { return impl_->hash; }
+
+std::uint64_t Runner::steps() const noexcept {
+  return impl_->steps.load(std::memory_order_relaxed);
+}
+
+void Runner::dump_trace(std::ostream& os, std::size_t tail) const {
+  const auto& tr = impl_->trace;
+  std::size_t begin = 0;
+  if (tail != 0 && tr.size() > tail) begin = tr.size() - tail;
+  if (begin != 0) os << "... (" << begin << " earlier steps elided)\n";
+  for (std::size_t i = begin; i < tr.size(); ++i) {
+    os << "  step " << i << ": vt" << tr[i].vthread << " @ " << tr[i].label
+       << "\n";
+  }
+}
+
+bool active() noexcept {
+  return t_self != nullptr && t_impl != nullptr && t_impl->schedule_active;
+}
+
+void preemption_point(const char* label) noexcept {
+  Vt* self = t_self;
+  if (self == nullptr || !t_impl->schedule_active) return;
+  yield_self(t_impl, self, label, State::kRunnable);
+}
+
+void block_until(const char* label, const std::function<bool()>& pred) {
+  Vt* self = t_self;
+  if (self == nullptr || !t_impl->schedule_active) {
+    while (!pred()) std::this_thread::yield();
+    return;
+  }
+  while (!pred()) {
+    yield_self(t_impl, self, label, State::kBlocked);
+  }
+}
+
+void notify_all() noexcept {
+  Runner::Impl* impl = t_impl;
+  if (impl == nullptr) return;
+  // The caller is the only running virtual thread (or a host thread
+  // during setup); the scheduler is asleep waiting for running == -1, so
+  // the lock is uncontended.
+  std::lock_guard<std::mutex> lk(impl->m);
+  for (auto& vt : impl->threads) {
+    if (vt->state == State::kBlocked) vt->state = State::kRunnable;
+  }
+}
+
+std::uint64_t virtual_now() noexcept {
+  return t_impl != nullptr ? t_impl->steps.load(std::memory_order_relaxed)
+                           : 0;
+}
+
+}  // namespace ttg::sim

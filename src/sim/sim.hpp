@@ -1,0 +1,128 @@
+// Deterministic simulation testing (DST) runner.
+//
+// The runner executes N "virtual threads" — real OS threads driven
+// cooperatively so that exactly one ever runs at a time — and owns every
+// context switch: a virtual thread only advances between two
+// TTG_SIM_POINT() yield points (sim/hooks.hpp) when the runner schedules
+// it. Scheduling decisions come from a seeded exploration strategy
+// (sim/strategy.hpp), so the whole interleaving is a pure function of
+// (seed, strategy, bodies) and any failure replays bit-identically from
+// its seed. The runner records the interleaving as a trace of
+// (vthread, yield label) steps and folds it into a FNV-1a hash that
+// property tests use to assert replay identity.
+//
+// Blocking primitives participate through wait_until()/notify_all():
+// a virtual thread that would sleep (ParkingLot::park) declares itself
+// blocked on a predicate; the runner never schedules blocked threads,
+// re-marking them runnable on notify_all(). If every live thread is
+// blocked the runner reports a deadlock — which is exactly how the DST
+// suite detects lost-wakeup bugs — and a step budget bounds livelock.
+//
+// OS threads are pooled across run() calls (dense runtime thread ids are
+// never recycled, so spawning fresh threads per schedule would exhaust
+// common/thread_id.hpp's kMaxThreads during a seed sweep).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/strategy.hpp"
+
+namespace ttg::sim {
+
+/// One scheduling decision: `vthread` was resumed from the yield point
+/// `label` (a string literal inside the instrumented primitive, or
+/// "start"/"exit" for body boundaries).
+struct TraceEntry {
+  int vthread;
+  const char* label;
+};
+
+struct SimError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+/// Every live virtual thread is blocked on a wait_until predicate.
+struct DeadlockError : SimError {
+  using SimError::SimError;
+};
+/// The schedule exceeded Options::max_steps without finishing.
+struct LivelockError : SimError {
+  using SimError::SimError;
+};
+
+enum class Explore {
+  kRandomWalk,  ///< uniform choice among runnable threads
+  kPct,         ///< PCT priority preemption (see strategy.hpp)
+};
+
+const char* to_string(Explore e) noexcept;
+
+struct Options {
+  std::uint64_t seed = 1;
+  Explore explore = Explore::kRandomWalk;
+  int pct_depth = 3;                    ///< PCT's d (d-1 change points)
+  std::uint64_t pct_expected_len = 4096;  ///< PCT's k (step horizon)
+  std::uint64_t max_steps = 200000;     ///< livelock bound per schedule
+};
+
+/// Content hash of a yield label (stable across processes; pointer
+/// values are not).
+std::uint64_t hash_label(const char* s) noexcept;
+
+class Runner {
+ public:
+  explicit Runner(int num_vthreads);
+  ~Runner();
+  Runner(const Runner&) = delete;
+  Runner& operator=(const Runner&) = delete;
+
+  /// Executes one schedule: bodies[i] runs on virtual thread i (the
+  /// vector size must equal num_vthreads). Returns the interleaving
+  /// hash. Throws DeadlockError/LivelockError on the corresponding
+  /// detection — after which the runner is poisoned (threads may be
+  /// parked mid-body) and run() must not be called again. Exceptions
+  /// thrown by a body are rethrown after the schedule drains.
+  std::uint64_t run(const Options& opts,
+                    std::vector<std::function<void()>> bodies);
+
+  int num_vthreads() const noexcept { return num_vthreads_; }
+  const std::vector<TraceEntry>& trace() const noexcept;
+  std::uint64_t trace_hash() const noexcept;
+  std::uint64_t steps() const noexcept;
+
+  /// Writes the last `tail` trace entries (0 = all) human-readably.
+  void dump_trace(std::ostream& os, std::size_t tail = 0) const;
+
+  /// Shared state between the scheduler and the pooled OS threads;
+  /// public only so sim.cpp's file-local helpers can name it.
+  struct Impl;
+
+ private:
+  std::shared_ptr<Impl> impl_;  // shared with pool threads (see sim.cpp)
+  const int num_vthreads_;
+};
+
+/// True when the calling thread is a virtual thread of a Runner that is
+/// currently inside run().
+bool active() noexcept;
+
+/// Cooperative blocking: deschedules the calling virtual thread until
+/// notify_all() is called AND `pred()` is true. Outside a simulation it
+/// spins on the predicate with std::this_thread::yield().
+void block_until(const char* label, const std::function<bool()>& pred);
+
+template <typename Pred>
+inline void wait_until(const char* label, Pred&& pred) {
+  block_until(label, std::function<bool()>(std::forward<Pred>(pred)));
+}
+
+// preemption_point(), notify_all(), virtual_now() are declared in
+// sim/hooks.hpp (kept dependency-free for the primitives); they are
+// defined in sim.cpp.
+
+}  // namespace ttg::sim

@@ -1,0 +1,145 @@
+// Schedule-exploration strategies for the DST runner (sim/sim.hpp).
+//
+// A strategy answers one question at every preemption point: "of the
+// currently runnable virtual threads, who runs next?". All randomness
+// comes from the seed handed to the strategy, so a (seed, strategy,
+// bodies) triple replays the exact same interleaving.
+//
+// Two strategies are provided:
+//  * RandomWalkStrategy — uniform choice among the runnable set. Good
+//    general-purpose coverage; every interleaving has nonzero mass.
+//  * PctStrategy — PCT (probabilistic concurrency testing, Burckhardt et
+//    al., ASPLOS'10): random per-thread priorities, always run the
+//    highest-priority runnable thread, and demote the running thread at
+//    d-1 randomly chosen steps. For a bug of preemption depth d this
+//    gives a 1/(n * k^(d-1)) detection probability per schedule — far
+//    better than a random walk for rare "preempt exactly here" bugs.
+//    Spin loops break PCT's finite-progress assumption (the spinner
+//    stays highest-priority forever once the change points are spent),
+//    so a thread scheduled many consecutive steps in a row — whatever
+//    labels it cycles through — is demoted, deterministically, keeping
+//    lock-acquire and wave-polling loops live.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace ttg::sim {
+
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  /// Called once before the schedule starts. `num_vthreads` is the total
+  /// thread count (runnable sets passed to pick() contain indices below
+  /// it).
+  virtual void begin(int num_vthreads) = 0;
+
+  /// Picks the next thread to run from `runnable` (non-empty, ascending
+  /// vthread indices).
+  virtual int pick(const std::vector<int>& runnable) = 0;
+
+  /// Feedback after every scheduling decision: `vthread` was scheduled
+  /// while paused at `label`. Lets PCT place its change points and detect
+  /// label-spinning threads.
+  virtual void on_scheduled(int vthread, const char* label) = 0;
+};
+
+class RandomWalkStrategy final : public Strategy {
+ public:
+  explicit RandomWalkStrategy(std::uint64_t seed) : rng_(seed) {}
+
+  void begin(int) override {}
+
+  int pick(const std::vector<int>& runnable) override {
+    return runnable[static_cast<std::size_t>(
+        rng_.next_below(runnable.size()))];
+  }
+
+  void on_scheduled(int, const char*) override {}
+
+ private:
+  SplitMix64 rng_;
+};
+
+class PctStrategy final : public Strategy {
+ public:
+  /// `depth` is PCT's d: the number of priority change points is d-1.
+  /// `expected_len` is the step horizon the change points are sampled
+  /// from (PCT's k); schedules longer than it simply see no further
+  /// changes.
+  PctStrategy(std::uint64_t seed, int depth, std::uint64_t expected_len)
+      : rng_(seed), depth_(depth < 1 ? 1 : depth),
+        expected_len_(expected_len < 2 ? 2 : expected_len) {}
+
+  void begin(int num_vthreads) override {
+    step_ = 0;
+    low_water_ = 0;
+    last_vthread_ = -1;
+    run_length_ = 0;
+    // Random distinct initial priorities in [1, n], all above any value
+    // a change point will ever assign (low_water_ goes negative).
+    priority_.resize(static_cast<std::size_t>(num_vthreads));
+    for (int i = 0; i < num_vthreads; ++i) priority_[i] = i + 1;
+    for (int i = num_vthreads - 1; i > 0; --i) {
+      std::swap(priority_[i],
+                priority_[rng_.next_below(static_cast<std::uint64_t>(i) + 1)]);
+    }
+    change_points_.clear();
+    for (int i = 0; i + 1 < depth_; ++i) {
+      change_points_.push_back(1 + rng_.next_below(expected_len_ - 1));
+    }
+    std::sort(change_points_.begin(), change_points_.end());
+  }
+
+  int pick(const std::vector<int>& runnable) override {
+    int best = runnable[0];
+    for (int t : runnable) {
+      if (priority_[t] > priority_[best]) best = t;
+    }
+    return best;
+  }
+
+  void on_scheduled(int vthread, const char* label) override {
+    (void)label;
+    ++step_;
+    if (vthread == last_vthread_) {
+      ++run_length_;
+    } else {
+      last_vthread_ = vthread;
+      run_length_ = 1;
+    }
+    if (!change_points_.empty() && step_ >= change_points_.front()) {
+      change_points_.erase(change_points_.begin());
+      priority_[vthread] = --low_water_;
+      run_length_ = 0;
+      return;
+    }
+    // Spin demotion (see the header comment): a spin-wait loop may cycle
+    // through several yield labels per iteration, so the detector counts
+    // consecutive schedulings of one thread, not label repeats.
+    if (run_length_ >= kSpinDemoteAfter) {
+      priority_[vthread] = --low_water_;
+      run_length_ = 0;
+    }
+  }
+
+ private:
+  static constexpr int kSpinDemoteAfter = 64;
+
+  SplitMix64 rng_;
+  const int depth_;
+  const std::uint64_t expected_len_;
+  std::uint64_t step_ = 0;
+  int low_water_ = 0;
+  int last_vthread_ = -1;
+  int run_length_ = 0;
+  std::vector<int> priority_;
+  std::vector<std::uint64_t> change_points_;
+};
+
+}  // namespace ttg::sim

@@ -24,6 +24,7 @@
 #include "atomics/op_counter.hpp"
 #include "atomics/ordering.hpp"
 #include "common/busy_wait.hpp"
+#include "sim/hooks.hpp"
 
 namespace ttg {
 
@@ -59,6 +60,7 @@ class AtomicLifo {
     for (;;) {
       node->next.store(unpack_ptr(h), std::memory_order_relaxed);
       atomic_ops::count(category_);
+      TTG_SIM_POINT("lifo.push.cas");
       if (head_.compare_exchange_weak(h, pack(node, tag_of(h)), ord_acq_rel(),
                                       std::memory_order_relaxed)) {
         return;
@@ -74,6 +76,7 @@ class AtomicLifo {
     for (;;) {
       last->next.store(unpack_ptr(h), std::memory_order_relaxed);
       atomic_ops::count(category_);
+      TTG_SIM_POINT("lifo.push_chain.cas");
       if (head_.compare_exchange_weak(h, pack(first, tag_of(h)), ord_acq_rel(),
                                       std::memory_order_relaxed)) {
         return;
@@ -105,6 +108,7 @@ class AtomicLifo {
       LifoNode* last = first;
       std::size_t n = 1;
       while (n < max_n) {
+        TTG_SIM_POINT("lifo.pop_chain.walk");
         LifoNode* next = last->next.load(std::memory_order_relaxed);
         if (next == nullptr) break;
         last = next;
@@ -112,7 +116,16 @@ class AtomicLifo {
       }
       LifoNode* suffix = last->next.load(std::memory_order_relaxed);
       atomic_ops::count(category_);
-      if (head_.compare_exchange_weak(h, pack(suffix, tag_of(h) + 1),
+      TTG_SIM_POINT("lifo.pop_chain.cas");
+#if defined(TTG_MUTANT_LIFO_CHAIN_NO_TAG)
+      // MUTANT: drop the ABA tag bump. A concurrent detach that re-pushes
+      // the same head node between our walk and this CAS goes unnoticed,
+      // so the stale walked run [first..last] is detached as if untouched.
+      const std::uint64_t chain_tag = tag_of(h);
+#else
+      const std::uint64_t chain_tag = tag_of(h) + 1;
+#endif
+      if (head_.compare_exchange_weak(h, pack(suffix, chain_tag),
                                       ord_acq_rel(),
                                       std::memory_order_relaxed)) {
         fence_acquire();  // observe node contents published by push
@@ -141,6 +154,7 @@ class AtomicLifo {
       std::size_t len = 0;
       for (LifoNode* p = first; p != nullptr && len < 2 * cap;
            p = p->next.load(std::memory_order_relaxed)) {
+        TTG_SIM_POINT("lifo.pop_half.scan");
         ++len;
       }
       const std::size_t half = (len + 1) / 2;
@@ -151,6 +165,7 @@ class AtomicLifo {
       LifoNode* last = first;
       bool run_changed = false;
       for (std::size_t i = 1; i < take; ++i) {
+        TTG_SIM_POINT("lifo.pop_half.walk");
         LifoNode* next = last->next.load(std::memory_order_relaxed);
         if (next == nullptr) {
           run_changed = true;
@@ -165,6 +180,7 @@ class AtomicLifo {
       }
       LifoNode* suffix = last->next.load(std::memory_order_relaxed);
       atomic_ops::count(category_);
+      TTG_SIM_POINT("lifo.pop_half.cas");
       if (head_.compare_exchange_weak(h, pack(suffix, tag_of(h) + 1),
                                       ord_acq_rel(),
                                       std::memory_order_relaxed)) {
@@ -187,7 +203,16 @@ class AtomicLifo {
       // Relaxed read: may be stale if we lose the race, in which case the
       // tagged CAS below fails and the value is discarded.
       LifoNode* next = p->next.load(std::memory_order_relaxed);
-      if (head_.compare_exchange_weak(h, pack(next, tag_of(h) + 1),
+      TTG_SIM_POINT("lifo.pop.cas");
+#if defined(TTG_MUTANT_LIFO_POP_NO_TAG)
+      // MUTANT: drop the ABA tag bump. If another thread pops this node
+      // and a successor, then re-pushes this node, our CAS still matches
+      // and installs the stale (already-popped) successor as the head.
+      const std::uint64_t pop_tag = tag_of(h);
+#else
+      const std::uint64_t pop_tag = tag_of(h) + 1;
+#endif
+      if (head_.compare_exchange_weak(h, pack(next, pop_tag),
                                       ord_acq_rel(),
                                       std::memory_order_relaxed)) {
         fence_acquire();  // observe node contents published by push
@@ -202,6 +227,7 @@ class AtomicLifo {
   /// empty. Concurrent pops observe an empty LIFO. Returns the old head.
   LifoNode* detach() noexcept {
     atomic_ops::count(category_);
+    TTG_SIM_POINT("lifo.detach");
     const std::uint64_t h =
         head_.exchange(pack(nullptr, current_tag() + 1), ord_acq_rel());
     fence_acquire();
@@ -212,6 +238,7 @@ class AtomicLifo {
   /// observation (Sec. IV-C): since only the owner pushes and the list is
   /// currently empty, a single release store suffices.
   void attach(LifoNode* list) noexcept {
+    TTG_SIM_POINT("lifo.attach");
     head_.store(pack(list, current_tag() + 1), ord_release());
   }
 

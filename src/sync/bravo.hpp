@@ -24,6 +24,7 @@
 #include "common/cache.hpp"
 #include "common/cycle_clock.hpp"
 #include "common/thread_id.hpp"
+#include "sim/hooks.hpp"
 #include "sync/rwlock.hpp"
 
 namespace ttg {
@@ -61,10 +62,25 @@ class BravoRWLock {
   ReaderToken read_lock() noexcept {
     if (rbias_.load(std::memory_order_relaxed)) {
       auto& slot = slots_[this_thread::id()].value;
+#if defined(TTG_MUTANT_BRAVO_FENCE_REORDER)
+      // MUTANT: models dropping the seq_cst fence — without it the
+      // hardware may order the bias re-check *before* the slot
+      // publication, exactly the hoisted form below. A writer revoking
+      // between the re-check and the store scans an empty slot table and
+      // enters its critical section alongside this reader.
+      const bool bias_still = rbias_.load(std::memory_order_relaxed);
+      TTG_SIM_POINT("bravo.read.reordered");
+      slot.store(1, std::memory_order_relaxed);
+      if (bias_still) {
+        return ReaderToken{&slot};
+      }
+      slot.store(0, ord_release());
+#else
       // Announce the read. The seq_cst fence orders the slot publication
       // against the bias re-check; neither access is an RMW and the slot
       // line is thread-private, so this scales with readers.
       slot.store(1, std::memory_order_relaxed);
+      TTG_SIM_POINT("bravo.read.announce");
       std::atomic_thread_fence(std::memory_order_seq_cst);
       if (rbias_.load(std::memory_order_relaxed)) {
         return ReaderToken{&slot};  // fast path
@@ -72,12 +88,13 @@ class BravoRWLock {
       // A writer revoked the bias between our store and the re-check:
       // retract the announcement and fall back.
       slot.store(0, ord_release());
+#endif
     }
     underlying_.read_lock();
     // Re-arm the bias once the revocation cool-down has passed, so that
     // a single writer does not permanently disable the fast path.
     if (bravo_enabled() && !rbias_.load(std::memory_order_relaxed) &&
-        rdtsc() >= inhibit_until_.load(std::memory_order_relaxed)) {
+        clock_now() >= inhibit_until_.load(std::memory_order_relaxed)) {
       rbias_.store(true, std::memory_order_relaxed);
     }
     return ReaderToken{nullptr};
@@ -85,6 +102,7 @@ class BravoRWLock {
 
   void read_unlock(ReaderToken token) noexcept {
     if (token.slot != nullptr) {
+      TTG_SIM_POINT("bravo.read.unlock");
       token.slot->store(0, ord_release());
     } else {
       underlying_.read_unlock();
@@ -107,9 +125,15 @@ class BravoRWLock {
 
  private:
   void revoke_bias() noexcept {
-    const std::uint64_t start = rdtsc();
+    const std::uint64_t start = clock_now();
     rbias_.store(false, std::memory_order_relaxed);
+    TTG_SIM_POINT("bravo.revoke.fence");
     std::atomic_thread_fence(std::memory_order_seq_cst);
+#if defined(TTG_MUTANT_BRAVO_SKIP_DRAIN)
+    // MUTANT: skip waiting for announced readers to drain. A reader that
+    // published its slot and passed the bias re-check still holds a valid
+    // fast-path read lock when the writer enters its critical section.
+#else
     // Wait for every announced reader to drain. Readers that stored 1
     // before observing rbias==false hold a valid fast-path read lock.
     for (int i = 0; i < num_slots_; ++i) {
@@ -118,11 +142,23 @@ class BravoRWLock {
         backoff.pause();
       }
     }
+#endif
     // BRAVO's adaptive policy: keep the bias off for N x the revocation
     // cost, bounding the worst-case writer slowdown.
-    const std::uint64_t scan_cycles = rdtsc() - start;
-    inhibit_until_.store(rdtsc() + kInhibitMultiplier * scan_cycles,
+    const std::uint64_t scan_cycles = clock_now() - start;
+    inhibit_until_.store(clock_now() + kInhibitMultiplier * scan_cycles,
                          std::memory_order_relaxed);
+  }
+
+  /// Timestamp source for the revocation cool-down. Under deterministic
+  /// simulation the TSC would make replay diverge, so the instrumented
+  /// build substitutes the sim step counter.
+  static std::uint64_t clock_now() noexcept {
+#if defined(TTG_SIM)
+    return sim::virtual_now();
+#else
+    return rdtsc();
+#endif
   }
 
   static constexpr std::uint64_t kInhibitMultiplier = 9;

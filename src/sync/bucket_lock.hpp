@@ -13,6 +13,7 @@
 #include "atomics/op_counter.hpp"
 #include "atomics/ordering.hpp"
 #include "common/busy_wait.hpp"
+#include "sim/hooks.hpp"
 
 namespace ttg {
 
@@ -26,6 +27,7 @@ class BucketLock {
     Backoff backoff;
     for (;;) {
       atomic_ops::count(cat);
+      TTG_SIM_POINT("bucket.lock");
       if (flag_.exchange(1, ord_acquire()) == 0) return;
       // Spin on a plain load before retrying the RMW so the line stays
       // shared while contended.
@@ -36,10 +38,14 @@ class BucketLock {
   bool try_lock(AtomicOpCategory cat = AtomicOpCategory::kBucketLock) noexcept {
     if (flag_.load(std::memory_order_relaxed) != 0) return false;
     atomic_ops::count(cat);
+    TTG_SIM_POINT("bucket.try_lock");
     return flag_.exchange(1, ord_acquire()) == 0;
   }
 
-  void unlock() noexcept { flag_.store(0, ord_release()); }
+  void unlock() noexcept {
+    TTG_SIM_POINT("bucket.unlock");
+    flag_.store(0, ord_release());
+  }
 
   bool is_locked() const noexcept {
     return flag_.load(std::memory_order_relaxed) != 0;

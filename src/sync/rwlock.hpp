@@ -12,6 +12,7 @@
 #include "atomics/op_counter.hpp"
 #include "atomics/ordering.hpp"
 #include "common/busy_wait.hpp"
+#include "sim/hooks.hpp"
 
 namespace ttg {
 
@@ -27,6 +28,7 @@ class RWSpinLock {
       std::int32_t s = state_.load(std::memory_order_relaxed);
       if (s >= 0) {
         atomic_ops::count(AtomicOpCategory::kRWLock);
+        TTG_SIM_POINT("rwlock.read.cas");
         if (state_.compare_exchange_weak(s, s + 1, ord_acquire(),
                                          std::memory_order_relaxed)) {
           return;
@@ -46,6 +48,7 @@ class RWSpinLock {
 
   void read_unlock() noexcept {
     atomic_ops::count(AtomicOpCategory::kRWLock);
+    TTG_SIM_POINT("rwlock.read.unlock");
     state_.fetch_sub(1, ord_release());
   }
 
@@ -54,6 +57,7 @@ class RWSpinLock {
     for (;;) {
       std::int32_t expected = 0;
       atomic_ops::count(AtomicOpCategory::kRWLock);
+      TTG_SIM_POINT("rwlock.write.cas");
       if (state_.compare_exchange_weak(expected, kWriter, ord_acquire(),
                                        std::memory_order_relaxed)) {
         return;
@@ -69,7 +73,10 @@ class RWSpinLock {
                                           std::memory_order_relaxed);
   }
 
-  void write_unlock() noexcept { state_.store(0, ord_release()); }
+  void write_unlock() noexcept {
+    TTG_SIM_POINT("rwlock.write.unlock");
+    state_.store(0, ord_release());
+  }
 
   /// True if any reader or a writer currently holds the lock. Test hook.
   bool is_held() const noexcept {

@@ -5,6 +5,7 @@
 #include "atomics/op_counter.hpp"
 #include "atomics/ordering.hpp"
 #include "runtime/trace.hpp"
+#include "sim/hooks.hpp"
 
 namespace ttg {
 
@@ -92,7 +93,15 @@ bool TerminationDetector::rank_quiet(const RankState& r) const {
   // execute() and fence()) is still allowed to submit work, so announcing
   // termination under it would be premature.
   if (r.pending.load(std::memory_order_acquire) != 0) return false;
+  TTG_SIM_POINT("termdet.quiet.between_loads");
+#if defined(TTG_MUTANT_TERMDET_IGNORE_ACTIVE)
+  // MUTANT: drop the active-thread gate. A thread that is attached and
+  // running (e.g. an external submitter between execute() and its late
+  // discovery) no longer blocks quietness, so the wave can announce
+  // termination just before new work arrives.
+#else
   if (r.active_threads.load(std::memory_order_acquire) != 0) return false;
+#endif
   return true;
 }
 
@@ -100,11 +109,13 @@ void TerminationDetector::on_idle() {
   ThreadState& ts = threads_[this_thread::id()];
   assert(ts.rank >= 0 && "thread_attach() missing");
   flush_thread(ts);
+  TTG_SIM_POINT("termdet.idle.flushed");
   if (ts.active) {
     ts.active = false;
     atomic_ops::count(AtomicOpCategory::kTermDet);
     ranks_[ts.rank].active_threads.fetch_sub(1, ord_acq_rel());
   }
+  TTG_SIM_POINT("termdet.idle.deactivated");
   if (!terminated()) advance_wave();
 }
 
@@ -133,6 +144,7 @@ void TerminationDetector::advance_wave() {
     if (r.contributed_round.load(std::memory_order_relaxed) >= round) {
       continue;  // this rank already contributed to the open round
     }
+    TTG_SIM_POINT("termdet.wave.contribute");
     r.contributed_round.store(round, std::memory_order_relaxed);
     round_sent_.fetch_add(r.sent.load(std::memory_order_acquire),
                           std::memory_order_relaxed);
@@ -146,6 +158,7 @@ void TerminationDetector::advance_wave() {
 
   if (closed_round) {
     // This thread closes the round and acts as the wave's root.
+    TTG_SIM_POINT("termdet.wave.close");
     const std::int64_t sent = round_sent_.load(std::memory_order_relaxed);
     const std::int64_t recv = round_recv_.load(std::memory_order_relaxed);
 

@@ -1,0 +1,85 @@
+// DST property tests for the BRAVO reader-biased rwlock: no writer ever
+// shares the critical section with a reader (in either direction).
+//
+// The dangerous windows are (a) a reader paused between its slot
+// publication and the bias re-check while a writer revokes — the seq_cst
+// fence is what makes the writer's drain scan see the slot — and (b) a
+// fast-path reader inside its critical section while the writer skips or
+// mis-runs the drain. Both reduce to counting who is inside the critical
+// section, with an explicit preemption point inside it so the scheduler
+// can interleave the other role at the worst moment.
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dst_common.hpp"
+#include "sim/sim.hpp"
+#include "sync/bravo.hpp"
+#include "sync/rwlock.hpp"
+
+namespace {
+
+struct BravoExclusion {
+  ttg::BravoRWLock<ttg::RWSpinLock> lock;
+  std::atomic<int> readers_in{0};
+  std::atomic<int> writers_in{0};
+  std::atomic<int> violations{0};
+  std::atomic<int> fast_path_reads{0};
+
+  std::vector<std::function<void()>> bodies() {
+    auto reader = [this] {
+      for (int it = 0; it < 3; ++it) {
+        auto token = lock.read_lock();
+        if (token.slot != nullptr) {
+          fast_path_reads.fetch_add(1, std::memory_order_relaxed);
+        }
+        readers_in.fetch_add(1, std::memory_order_relaxed);
+        if (writers_in.load(std::memory_order_relaxed) != 0) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        ttg::sim::preemption_point("cs.read");
+        if (writers_in.load(std::memory_order_relaxed) != 0) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        readers_in.fetch_sub(1, std::memory_order_relaxed);
+        lock.read_unlock(token);
+      }
+    };
+    auto writer = [this] {
+      for (int it = 0; it < 2; ++it) {
+        lock.write_lock();
+        writers_in.fetch_add(1, std::memory_order_relaxed);
+        if (readers_in.load(std::memory_order_relaxed) != 0) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        ttg::sim::preemption_point("cs.write");
+        if (readers_in.load(std::memory_order_relaxed) != 0) {
+          violations.fetch_add(1, std::memory_order_relaxed);
+        }
+        writers_in.fetch_sub(1, std::memory_order_relaxed);
+        lock.write_unlock();
+      }
+    };
+    return {reader, reader, writer};
+  }
+
+  std::string check() {
+    if (int v = violations.load(std::memory_order_relaxed); v != 0) {
+      return std::to_string(v) +
+             " exclusion violation(s): reader and writer overlapped in "
+             "the critical section";
+    }
+    if (readers_in.load(std::memory_order_relaxed) != 0 ||
+        writers_in.load(std::memory_order_relaxed) != 0) {
+      return "critical-section counters did not return to zero";
+    }
+    return "";
+  }
+};
+
+TEST(DstBravo, NoLostWriterNoStaleReader) {
+  dst::explore<BravoExclusion>("bravo_exclusion", 3);
+}
+
+}  // namespace

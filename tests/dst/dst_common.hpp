@@ -1,0 +1,123 @@
+// Shared scaffolding for the DST property tests (tests/dst/).
+//
+// Every test explores a scenario — a small set of virtual-thread bodies
+// plus a post-schedule invariant check — across a sweep of seeds under
+// both exploration strategies. On the first failing schedule the test
+// reports the (strategy, seed, interleaving hash) triple and the trace
+// tail, so the exact interleaving replays with
+//
+//   TTG_DST_SEED=<seed> TTG_DST_SCHEDULES=1 ./dst_foo --gtest_filter=...
+//
+// or equivalently with the --seed=/--schedules= flags parsed by
+// dst_main.cpp. Configuration comes from the environment:
+//
+//   TTG_DST_SCHEDULES  seeds per strategy (default 40)
+//   TTG_DST_SEED       first seed of the sweep (default 1)
+//   TTG_DST_TRACE_DIR  if set, failing traces are written there
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "sim/sim.hpp"
+
+namespace dst {
+
+inline std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+struct Config {
+  std::uint64_t schedules = 40;  ///< seeds per strategy
+  std::uint64_t seed_base = 1;
+  const char* trace_dir = nullptr;
+};
+
+inline const Config& config() {
+  static const Config c = [] {
+    Config cfg;
+    cfg.schedules = env_u64("TTG_DST_SCHEDULES", 40);
+    cfg.seed_base = env_u64("TTG_DST_SEED", 1);
+    cfg.trace_dir = std::getenv("TTG_DST_TRACE_DIR");
+    return cfg;
+  }();
+  return c;
+}
+
+/// A scenario must provide:
+///   std::vector<std::function<void()>> bodies();   // one per vthread
+///   std::string check();                           // "" = invariants hold
+/// A fresh instance is constructed for every schedule.
+template <typename Scenario, typename... Args>
+void explore(const char* name, int num_vthreads, Args&&... args) {
+  const Config& cfg = config();
+  for (ttg::sim::Explore strat :
+       {ttg::sim::Explore::kRandomWalk, ttg::sim::Explore::kPct}) {
+    // One pooled runner per strategy: dense runtime thread ids are never
+    // recycled, so per-schedule runners would exhaust them mid-sweep.
+    ttg::sim::Runner runner(num_vthreads);
+    for (std::uint64_t i = 0; i < cfg.schedules; ++i) {
+      const std::uint64_t seed = cfg.seed_base + i;
+      ttg::sim::Options opts;
+      opts.seed = seed;
+      opts.explore = strat;
+      auto scenario = std::make_unique<Scenario>(args...);
+      std::string failure;
+      std::uint64_t hash = 0;
+      bool poisoned = false;
+      try {
+        hash = runner.run(opts, scenario->bodies());
+        failure = scenario->check();
+      } catch (const ttg::sim::SimError& e) {
+        failure = e.what();
+        poisoned = true;
+      }
+      if (failure.empty()) continue;
+
+      std::ostringstream msg;
+      msg << "[dst] scenario=" << name
+          << " strategy=" << ttg::sim::to_string(strat) << " seed=" << seed
+          << " hash=0x" << std::hex << runner.trace_hash() << std::dec
+          << " steps=" << runner.steps() << "\n  " << failure
+          << "\n  replay: TTG_DST_SEED=" << seed
+          << " TTG_DST_SCHEDULES=1 <this binary> --gtest_filter=*"
+          << name << "*\n  trace tail:\n";
+      {
+        std::ostringstream tail;
+        runner.dump_trace(tail, 40);
+        msg << tail.str();
+      }
+      if (cfg.trace_dir != nullptr) {
+        std::ostringstream path;
+        path << cfg.trace_dir << "/" << name << "-"
+             << ttg::sim::to_string(strat) << "-seed" << seed << ".trace";
+        std::ofstream out(path.str());
+        out << "scenario=" << name << " strategy="
+            << ttg::sim::to_string(strat) << " seed=" << seed << " hash=0x"
+            << std::hex << runner.trace_hash() << std::dec << "\n"
+            << failure << "\n";
+        runner.dump_trace(out, 0);
+        msg << "  full trace written to " << path.str() << "\n";
+      }
+      ADD_FAILURE() << msg.str();
+      if (poisoned) {
+        // A deadlocked/livelocked schedule leaves virtual threads parked
+        // mid-body holding references into the scenario; the runner
+        // detaches them on destruction, so the scenario must outlive the
+        // process. Leak it deliberately.
+        (void)scenario.release();
+      }
+      (void)hash;
+      return;  // first failing seed is enough; stop the sweep
+    }
+  }
+}
+
+}  // namespace dst

@@ -1,0 +1,144 @@
+// DST property test: AtomicLifo hands every node to exactly one owner.
+//
+// The scenario seeds a stack with K nodes and lets four virtual threads
+// hammer it with the full operation mix (pop, pop_chain, pop_half, push)
+// while re-pushing the first node of every taken batch — the exact
+// traffic pattern that turns a missing ABA-tag bump into a double-take:
+// a popper paused between its head read and its CAS must see the CAS
+// fail when another thread pops that head (and its successor) and
+// re-pushes it. Ownership is tracked per node with an exchange flag, so
+// a node obtained by two threads at once, or handed out while off-stack,
+// is counted as a violation; a node missing from both owners and the
+// final drain is a lost node.
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dst_common.hpp"
+#include "sim/sim.hpp"
+#include "structures/lifo.hpp"
+
+namespace {
+
+struct LifoExactlyOnce {
+  static constexpr int kNodes = 8;
+
+  ttg::AtomicLifo lifo;
+  ttg::LifoNode nodes[kNodes];
+  std::atomic<int> owned[kNodes];
+  std::atomic<int> violations{0};
+
+  LifoExactlyOnce() {
+    for (int i = 0; i < kNodes; ++i) {
+      owned[i].store(0, std::memory_order_relaxed);
+    }
+    // Seed node 0 on top. Runs on the host thread before the schedule
+    // starts, so the push yield points are inert.
+    for (int i = kNodes - 1; i >= 0; --i) lifo.push(&nodes[i]);
+  }
+
+  int index(const ttg::LifoNode* p) const {
+    return static_cast<int>(p - nodes);
+  }
+
+  /// Claims ownership of a just-popped node; a second concurrent claim
+  /// means the LIFO handed the node out twice.
+  void take(ttg::LifoNode* p) {
+    if (owned[index(p)].exchange(1, std::memory_order_relaxed) != 0) {
+      violations.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void give_back(ttg::LifoNode* p) {
+    owned[index(p)].store(0, std::memory_order_relaxed);
+    lifo.push(p);
+  }
+
+  std::vector<std::function<void()>> bodies() {
+    auto popper = [this] {
+      for (int it = 0; it < 3; ++it) {
+        // Hold two nodes at once, then return them head-first: while this
+        // thread owns {X, Y}, re-pushing X recreates the stack a stale
+        // CAS (head=X, next=Y) still matches if the ABA tag was dropped.
+        ttg::LifoNode* a = lifo.pop();
+        if (a != nullptr) take(a);
+        ttg::LifoNode* b = lifo.pop();
+        if (b != nullptr) take(b);
+        ttg::sim::preemption_point("popper.hold");
+        if (a != nullptr) give_back(a);
+        ttg::sim::preemption_point("popper.hold2");
+        if (b != nullptr) give_back(b);
+      }
+    };
+    auto chainer = [this] {
+      for (int it = 0; it < 2; ++it) {
+        std::size_t n = 0;
+        ttg::LifoNode* chain = lifo.pop_chain(3, &n);
+        ttg::LifoNode* taken[3] = {nullptr, nullptr, nullptr};
+        std::size_t k = 0;
+        for (ttg::LifoNode* p = chain; p != nullptr && k < 3;) {
+          ttg::LifoNode* next = p->next.load(std::memory_order_relaxed);
+          take(p);
+          taken[k++] = p;
+          p = next;
+        }
+        ttg::sim::preemption_point("chainer.hold");
+        for (std::size_t i = 0; i < k; ++i) give_back(taken[i]);
+      }
+    };
+    auto halver = [this] {
+      for (int it = 0; it < 2; ++it) {
+        std::size_t n = 0;
+        ttg::LifoNode* half = lifo.pop_half(2, &n);
+        ttg::LifoNode* taken[2] = {nullptr, nullptr};
+        std::size_t k = 0;
+        for (ttg::LifoNode* p = half; p != nullptr && k < 2;) {
+          ttg::LifoNode* next = p->next.load(std::memory_order_relaxed);
+          take(p);
+          taken[k++] = p;
+          p = next;
+        }
+        ttg::sim::preemption_point("halver.hold");
+        for (std::size_t i = 0; i < k; ++i) give_back(taken[i]);
+      }
+    };
+    return {popper, popper, chainer, halver};
+  }
+
+  std::string check() {
+    // Everything was given back, so the drain must surface each node
+    // exactly once. A duplicate in the drain trips the ownership
+    // exchange; a cycle would make the stack un-drainable.
+    for (int i = 0; i < kNodes * 4; ++i) {
+      ttg::LifoNode* p = lifo.pop();
+      if (p == nullptr) break;
+      take(p);
+    }
+    if (!lifo.empty()) {
+      return "stack not drainable after " +
+             std::to_string(kNodes * 4) + " pops (cycle in next links)";
+    }
+    std::ostringstream os;
+    if (int v = violations.load(std::memory_order_relaxed); v != 0) {
+      os << v << " exactly-once violation(s): a node was handed to two "
+            "owners (ABA double-take)";
+      return os.str();
+    }
+    for (int i = 0; i < kNodes; ++i) {
+      if (owned[i].load(std::memory_order_relaxed) == 0) {
+        os << "node " << i << " lost: neither owned nor on the stack";
+        return os.str();
+      }
+    }
+    return "";
+  }
+};
+
+TEST(DstLifo, ExactlyOnceUnderMixedOps) {
+  dst::explore<LifoExactlyOnce>("lifo_exactly_once", 4);
+}
+
+}  // namespace

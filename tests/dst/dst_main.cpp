@@ -1,0 +1,30 @@
+// Custom gtest main for the DST suite: accepts --seed=N, --schedules=N
+// and --trace-dir=PATH as friendlier spellings of the TTG_DST_* env vars
+// (flags win over the environment). `--seed=N --schedules=1` replays
+// exactly the schedule a failure message names.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);  // consumes --gtest_* flags
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--seed=", 7) == 0) {
+      setenv("TTG_DST_SEED", a + 7, 1);
+    } else if (std::strncmp(a, "--schedules=", 12) == 0) {
+      setenv("TTG_DST_SCHEDULES", a + 12, 1);
+    } else if (std::strncmp(a, "--trace-dir=", 12) == 0) {
+      setenv("TTG_DST_TRACE_DIR", a + 12, 1);
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument '%s' (expected --seed=N, "
+                   "--schedules=N, or --trace-dir=PATH)\n",
+                   a);
+      return 2;
+    }
+  }
+  return RUN_ALL_TESTS();
+}

@@ -1,0 +1,111 @@
+// DST property test: the termination wave never announces while an
+// attached active thread can still submit work.
+//
+// The scenario models the race from Sec. III-A: workers go idle
+// immediately while an external submitter (attached, active, e.g. the
+// application thread between execute() and fence()) dawdles before
+// discovering its task. The active-thread gate in rank_quiet() is the
+// only thing standing between the wave and a premature announcement —
+// in the thread-local accounting mode the submitter's discovery sits in
+// an unflushed per-thread counter, so rank-wide pending stays zero the
+// whole time. The submitter checks terminated() right after its
+// discovery: true there means the detector declared the epoch over with
+// a live task in flight. Liveness is checked too — every schedule must
+// still reach termination (a stuck wave shows up as a livelock).
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dst_common.hpp"
+#include "sim/sim.hpp"
+#include "termdet/termdet.hpp"
+
+namespace {
+
+struct TermDetLateSubmit {
+  TermDetLateSubmit(int nranks, ttg::TermDetMode mode)
+      : nranks_(nranks),
+        td_(std::make_unique<ttg::TerminationDetector>(nranks, mode)) {}
+
+  const int nranks_;
+  std::unique_ptr<ttg::TerminationDetector> td_;
+  std::atomic<int> premature{0};
+  // Detector contract: every participant attaches before idle workers
+  // may conclude termination (the runtime attaches workers and the
+  // submitter during startup). Workers hold until the submitter is in.
+  std::atomic<bool> submitter_attached{false};
+
+  std::vector<std::function<void()>> bodies() {
+    auto submitter = [this] {
+      td_->thread_attach(0);
+      submitter_attached.store(true, std::memory_order_release);
+      // Attached and active, but slow to produce: the wave must wait.
+      // The window is ~24 yields wide so schedulers have ample room to
+      // drive two full wave rounds (≈16 worker steps) through it.
+      for (int i = 0; i < 24; ++i) {
+        ttg::sim::preemption_point("submitter.prepare");
+      }
+      td_->on_discovered(1);
+      if (td_->terminated()) {
+        premature.fetch_add(1, std::memory_order_relaxed);
+      }
+      td_->on_completed();
+      td_->on_idle();
+      while (!td_->terminated()) {
+        td_->advance_wave();
+        ttg::sim::preemption_point("submitter.wave");
+      }
+    };
+    auto make_worker = [this](int rank) {
+      return [this, rank] {
+        td_->thread_attach(rank);
+        while (!submitter_attached.load(std::memory_order_acquire)) {
+          ttg::sim::preemption_point("worker.wait_attach");
+        }
+        td_->on_idle();
+        while (!td_->terminated()) {
+          td_->advance_wave();
+          ttg::sim::preemption_point("worker.wave");
+        }
+      };
+    };
+    std::vector<std::function<void()>> b;
+    b.push_back(submitter);
+    b.push_back(make_worker(0));
+    for (int r = 1; r < nranks_; ++r) b.push_back(make_worker(r));
+    b.push_back(make_worker(0));  // a second rank-0 worker adds contention
+    return b;
+  }
+
+  std::string check() {
+    if (int p = premature.load(std::memory_order_relaxed); p != 0) {
+      return "termination announced while an active submitter held an "
+             "in-flight task (premature, " +
+             std::to_string(p) + " observation(s))";
+    }
+    if (!td_->terminated()) return "epoch never terminated (liveness)";
+    if (td_->total_discovered() != td_->total_completed()) {
+      return "discovered/completed counters diverge at termination";
+    }
+    return "";
+  }
+};
+
+TEST(DstTermDet, NoPrematureTerminationThreadLocal) {
+  dst::explore<TermDetLateSubmit>("termdet_threadlocal", 3, 1,
+                                  ttg::TermDetMode::kThreadLocal);
+}
+
+TEST(DstTermDet, NoPrematureTerminationProcessAtomic) {
+  dst::explore<TermDetLateSubmit>("termdet_processatomic", 3, 1,
+                                  ttg::TermDetMode::kProcessAtomic);
+}
+
+TEST(DstTermDet, NoPrematureTerminationTwoRanks) {
+  dst::explore<TermDetLateSubmit>("termdet_tworanks", 4, 2,
+                                  ttg::TermDetMode::kThreadLocal);
+}
+
+}  // namespace

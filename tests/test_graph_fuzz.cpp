@@ -1,11 +1,23 @@
 // Differential fuzzing of the dataflow engines: pseudo-random layered
 // DAGs are executed serially, through TTG (aggregator terminals), and
 // through the PTG front-end; all three must compute identical values at
-// every node. Randomness is seeded, so failures are reproducible.
+// every node. Each DAG shape is swept across the three production
+// schedulers (LL, LLP, LFQ) and, for the TTG path, across single- and
+// multi-submitter seeding so the sharded ingress queues see concurrent
+// external pushers. Randomness is seeded, so failures are reproducible;
+// every assertion names the (seed, scheduler) pair that produced it.
+//
+// Nightly sweeps widen the seed space via the environment:
+//   TTG_FUZZ_SEED_BASE  first extra seed (default: no extra seeds)
+//   TTG_FUZZ_SEEDS      how many extra seeds to generate (default 8
+//                       when TTG_FUZZ_SEED_BASE is set)
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -20,6 +32,8 @@ struct FuzzSpec {
   int layers;
   int width;
   int threads;
+  ttg::SchedulerType sched = ttg::SchedulerType::kLLP;
+  int submitters = 1;  ///< external threads seeding layer 0 (TTG path)
 };
 
 /// A deterministic random layered DAG: node (l, w) for l >= 1 has 1..3
@@ -97,6 +111,7 @@ TEST_P(GraphFuzzTest, TtgMatchesSerial) {
 
   ttg::Config cfg = ttg::Config::optimized();
   cfg.num_threads = spec.threads;
+  cfg.scheduler = spec.sched;
   ttg::World world(cfg);
 
   using Key = std::pair<int, int>;  // (layer, column)
@@ -139,15 +154,31 @@ TEST_P(GraphFuzzTest, TtgMatchesSerial) {
       "node", world);
 
   world.execute();
-  for (int w = 0; w < spec.width; ++w) {
-    tt->send_input<0>(Key{0, w}, Contribution{-1, 0});
+  if (spec.submitters <= 1) {
+    for (int w = 0; w < spec.width; ++w) {
+      tt->send_input<0>(Key{0, w}, Contribution{-1, 0});
+    }
+  } else {
+    // Concurrent external submitters: each seeds a stride of layer 0,
+    // exercising the sharded ingress path under real contention.
+    std::vector<std::thread> pushers;
+    for (int p = 0; p < spec.submitters; ++p) {
+      pushers.emplace_back([&, p] {
+        for (int w = p; w < spec.width; w += spec.submitters) {
+          tt->send_input<0>(Key{0, w}, Contribution{-1, 0});
+        }
+      });
+    }
+    for (auto& t : pushers) t.join();
   }
   world.fence();
 
   for (int l = 0; l < spec.layers; ++l) {
     for (int w = 0; w < spec.width; ++w) {
       ASSERT_EQ(got[l][w], expect[l][w])
-          << "node (" << l << "," << w << ") seed=" << spec.seed;
+          << "node (" << l << "," << w << ") seed=" << spec.seed
+          << " sched=" << ttg::to_string(spec.sched)
+          << " submitters=" << spec.submitters;
     }
   }
 }
@@ -159,6 +190,7 @@ TEST_P(GraphFuzzTest, PtgMatchesSerial) {
 
   ttg::Config cfg = ttg::Config::optimized();
   cfg.num_threads = spec.threads;
+  cfg.scheduler = spec.sched;
   ttg::Context ctx(cfg);
 
   using Key = std::pair<int, int>;
@@ -200,23 +232,60 @@ TEST_P(GraphFuzzTest, PtgMatchesSerial) {
       // if it has predecessors or is in layer 0. Nodes in layers >= 1
       // always have >= 1 predecessor, so all nodes ran.
       const std::uint64_t* v = g.find(Key{l, w});
-      ASSERT_NE(v, nullptr) << "(" << l << "," << w << ")";
+      ASSERT_NE(v, nullptr) << "(" << l << "," << w << ") seed="
+                            << spec.seed << " sched="
+                            << ttg::to_string(spec.sched);
       ASSERT_EQ(*v, expect[l][w])
-          << "node (" << l << "," << w << ") seed=" << spec.seed;
+          << "node (" << l << "," << w << ") seed=" << spec.seed
+          << " sched=" << ttg::to_string(spec.sched);
     }
   }
 }
 
+std::vector<FuzzSpec> make_specs() {
+  constexpr ttg::SchedulerType kSchedulers[] = {ttg::SchedulerType::kLL,
+                                                ttg::SchedulerType::kLLP,
+                                                ttg::SchedulerType::kLFQ};
+  // The historical DAG shapes, swept across all three schedulers.
+  const FuzzSpec shapes[] = {{1, 6, 5, 1},  {2, 10, 8, 2}, {3, 20, 4, 4},
+                             {4, 4, 16, 2}, {5, 30, 6, 4}, {99, 12, 12, 3}};
+  std::vector<FuzzSpec> specs;
+  for (ttg::SchedulerType st : kSchedulers) {
+    for (FuzzSpec s : shapes) {
+      s.sched = st;
+      specs.push_back(s);
+    }
+    // Multi-submitter seeding stresses the sharded ingress queues.
+    specs.push_back(FuzzSpec{7, 8, 12, 4, st, 3});
+  }
+  // Nightly seed sweep: extra seeds from the environment, rotating
+  // scheduler and submitter count so the sweep covers every ingress
+  // configuration.
+  if (const char* base_env = std::getenv("TTG_FUZZ_SEED_BASE")) {
+    const std::uint64_t base = std::strtoull(base_env, nullptr, 10);
+    std::uint64_t count = 8;
+    if (const char* n = std::getenv("TTG_FUZZ_SEEDS")) {
+      count = std::strtoull(n, nullptr, 10);
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      FuzzSpec s{base + i, 8 + static_cast<int>(i % 5) * 4,
+                 4 + static_cast<int>(i % 3) * 4, 2 + static_cast<int>(i % 3),
+                 kSchedulers[i % 3], 1 + static_cast<int>(i % 2) * 2};
+      specs.push_back(s);
+    }
+  }
+  return specs;
+}
+
 INSTANTIATE_TEST_SUITE_P(
-    Seeds, GraphFuzzTest,
-    ::testing::Values(FuzzSpec{1, 6, 5, 1}, FuzzSpec{2, 10, 8, 2},
-                      FuzzSpec{3, 20, 4, 4}, FuzzSpec{4, 4, 16, 2},
-                      FuzzSpec{5, 30, 6, 4}, FuzzSpec{99, 12, 12, 3}),
+    Seeds, GraphFuzzTest, ::testing::ValuesIn(make_specs()),
     [](const auto& info) {
       return "seed" + std::to_string(info.param.seed) + "_" +
              std::to_string(info.param.layers) + "x" +
              std::to_string(info.param.width) + "_t" +
-             std::to_string(info.param.threads);
+             std::to_string(info.param.threads) + "_" +
+             std::string(ttg::to_string(info.param.sched)) + "_s" +
+             std::to_string(info.param.submitters);
     });
 
 }  // namespace

@@ -1,0 +1,113 @@
+// Unit tests for the adaptive idle ladder (runtime/engine.hpp):
+// spin -> yield -> park staging, the doubling/halving spin budget with
+// its [kMinSpinBudget, kMaxSpinBudget] clamp, the exponential
+// cpu_relax() ramp, and the every-4th-round yield cadence that keeps
+// oversubscribed runs live.
+#include "runtime/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ttg {
+namespace {
+
+using Action = IdleBackoff::Action;
+
+TEST(IdleBackoff, LadderStagesSpinThenYieldThenPark) {
+  IdleBackoff b;
+  ASSERT_EQ(b.spin_budget(), IdleBackoff::kInitialSpinBudget);
+  for (int i = 0; i < IdleBackoff::kInitialSpinBudget; ++i) {
+    EXPECT_EQ(b.next(), Action::kSpin) << "round " << i;
+  }
+  for (int i = 0; i < IdleBackoff::kYieldRounds; ++i) {
+    EXPECT_EQ(b.next(), Action::kYield) << "yield round " << i;
+  }
+  EXPECT_EQ(b.next(), Action::kPark);
+  EXPECT_EQ(b.next(), Action::kPark) << "park is absorbing until reset";
+}
+
+TEST(IdleBackoff, WorkDuringSpinStageDoublesBudgetUpToMax) {
+  IdleBackoff b;
+  (void)b.next();  // one empty poll, still inside the spin stage
+  b.on_work();
+  EXPECT_EQ(b.spin_budget(), 2 * IdleBackoff::kInitialSpinBudget);
+  (void)b.next();
+  b.on_work();
+  EXPECT_EQ(b.spin_budget(), IdleBackoff::kMaxSpinBudget);
+  (void)b.next();
+  b.on_work();
+  EXPECT_EQ(b.spin_budget(), IdleBackoff::kMaxSpinBudget)
+      << "budget must clamp at kMaxSpinBudget";
+}
+
+TEST(IdleBackoff, WorkAfterSpinStageDoesNotDouble) {
+  IdleBackoff b;
+  // Exhaust the spin stage and enter the yield stage: the spin budget
+  // was fully wasted, so finding work now must not reward it.
+  for (int i = 0; i < IdleBackoff::kInitialSpinBudget; ++i) (void)b.next();
+  ASSERT_EQ(b.next(), Action::kYield);
+  b.on_work();
+  EXPECT_EQ(b.spin_budget(), IdleBackoff::kInitialSpinBudget);
+}
+
+TEST(IdleBackoff, WorkWithoutPollingLeavesBudgetAlone) {
+  IdleBackoff b;
+  b.on_work();  // found work on the very first probe; no empty round
+  EXPECT_EQ(b.spin_budget(), IdleBackoff::kInitialSpinBudget);
+}
+
+TEST(IdleBackoff, ParkHalvesBudgetDownToMin) {
+  IdleBackoff b;
+  b.on_park();
+  EXPECT_EQ(b.spin_budget(), IdleBackoff::kInitialSpinBudget / 2);
+  b.on_park();
+  EXPECT_EQ(b.spin_budget(), IdleBackoff::kMinSpinBudget);
+  b.on_park();
+  EXPECT_EQ(b.spin_budget(), IdleBackoff::kMinSpinBudget)
+      << "budget must clamp at kMinSpinBudget";
+}
+
+TEST(IdleBackoff, HalvedBudgetShortensTheSpinStage) {
+  IdleBackoff b;
+  b.on_park();
+  b.on_park();  // budget now kMinSpinBudget
+  for (int i = 0; i < IdleBackoff::kMinSpinBudget; ++i) {
+    EXPECT_EQ(b.next(), Action::kSpin) << "round " << i;
+  }
+  EXPECT_EQ(b.next(), Action::kYield);
+}
+
+TEST(IdleBackoff, RelaxCountRampsExponentiallyAndCaps) {
+  IdleBackoff b;
+  std::vector<int> expected = {1, 2, 4, 8, 16, 32, 64, 64, 64};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    ASSERT_EQ(b.next(), Action::kSpin);
+    EXPECT_EQ(b.relax_count(), expected[i]) << "spin round " << i;
+  }
+}
+
+TEST(IdleBackoff, EveryFourthSpinRoundYields) {
+  IdleBackoff b;
+  int yields = 0;
+  for (int i = 0; i < IdleBackoff::kInitialSpinBudget; ++i) {
+    ASSERT_EQ(b.next(), Action::kSpin);
+    const bool y = b.spin_round_yields();
+    EXPECT_EQ(y, (i + 1) % IdleBackoff::kSpinYieldEvery == 0)
+        << "spin round " << i;
+    if (y) ++yields;
+  }
+  EXPECT_EQ(yields,
+            IdleBackoff::kInitialSpinBudget / IdleBackoff::kSpinYieldEvery);
+}
+
+TEST(IdleBackoff, OnWorkRestartsTheLadder) {
+  IdleBackoff b;
+  for (int i = 0; i < IdleBackoff::kInitialSpinBudget + 2; ++i) (void)b.next();
+  b.on_work();
+  EXPECT_EQ(b.next(), Action::kSpin) << "ladder restarts from the top";
+  EXPECT_EQ(b.relax_count(), 1) << "relax ramp restarts too";
+}
+
+}  // namespace
+}  // namespace ttg

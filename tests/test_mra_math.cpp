@@ -45,7 +45,8 @@ TEST(Gemm, AccumulateAddsToC) {
 
 TEST(Transform3d, MatchesNaiveContraction) {
   constexpr std::size_t kIn = 3, kOut = 2;
-  ttg::SplitMix64 rng(123);
+  ttg::TestRng rng(123);
+  SCOPED_TRACE(::testing::Message() << "seed=" << rng.seed());
   std::vector<double> t(kIn * kIn * kIn);
   std::vector<double> m(kOut * kIn);
   for (auto& v : t) v = rng.next_double() - 0.5;
@@ -77,7 +78,8 @@ TEST(Transform3d, MatchesNaiveContraction) {
 TEST(Transform3d, IdentityMatrixIsNoop) {
   constexpr std::size_t k = 4;
   std::vector<double> t(k * k * k);
-  ttg::SplitMix64 rng(5);
+  ttg::TestRng rng(5);
+  SCOPED_TRACE(::testing::Message() << "seed=" << rng.seed());
   for (auto& v : t) v = rng.next_double();
   std::vector<double> eye(k * k, 0.0);
   for (std::size_t i = 0; i < k; ++i) eye[i * k + i] = 1.0;
@@ -168,7 +170,8 @@ TEST_P(TwoScaleTest, FilterReproducesParentScaleFunctions) {
   // A function exactly representable at the parent scale must survive a
   // filter(unfilter(s)) round trip unchanged.
   const std::size_t k = GetParam();
-  ttg::SplitMix64 rng(77);
+  ttg::TestRng rng(77);
+  SCOPED_TRACE(::testing::Message() << "seed=" << rng.seed());
   std::vector<double> parent(k * k * k);
   for (auto& v : parent) v = rng.next_double() - 0.5;
   const auto child = mra::detail::unfilter(k, parent);
