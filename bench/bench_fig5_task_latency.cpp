@@ -7,7 +7,7 @@
 // TTG latency grows with flows (hash table enters at 2 flows) and meets
 // OpenMP around 4 flows.
 //
-//   ./bench_fig5_task_latency [--tasks=N]
+//   ./bench_fig5_task_latency [--tasks=N] [--json-out=path]
 #include <cstdio>
 #include <tuple>
 #include <utility>
@@ -178,9 +178,20 @@ double run_omp_chain(int tasks, int ndeps) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::Args args(argc, argv);
-  bench::TraceCapture trace_capture(args);
+  bench::BenchCommon common(argc, argv, "fig5_task_latency");
+  const bench::Args& args = common.args;
   const int tasks = static_cast<int>(args.get_int("tasks", 200000));
+  common.json.config("tasks", static_cast<std::int64_t>(tasks));
+  // One JSON row per (flows, series) point so the regression gate can
+  // join on {flows, series} and compare ns_per_task; unavailable series
+  // (taskflow beyond x=0, OpenMP without the toolchain) emit no row.
+  auto emit = [&common](int flows, const char* series, double ns) {
+    if (ns < 0) return;
+    common.json.row();
+    common.json.field("flows", static_cast<std::int64_t>(flows));
+    common.json.field("series", series);
+    common.json.field("ns_per_task", ns);
+  };
 
   std::printf("# Figure 5: task latency (ns/task), chain of %d tasks\n",
               tasks);
@@ -227,6 +238,10 @@ int main(int argc, char** argv) {
 #endif
     std::printf("%d,%.1f,%.1f,%.1f,%.1f\n", flows, ttg_move, ttg_copy, tf,
                 omp);
+    emit(flows, "ttg_move", ttg_move);
+    emit(flows, "ttg_copy", ttg_copy);
+    emit(flows, "taskflow_mini", tf);
+    emit(flows, "omp_taskdeps", omp);
   }
   return 0;
 }

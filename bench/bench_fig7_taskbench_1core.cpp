@@ -8,19 +8,23 @@
 // OpenMP tasks.
 //
 //   ./bench_fig7_taskbench_1core [--steps=N] [--width=N] [--paper]
+//                                [--json-out=path]
 #include <cstdio>
 
 #include "bench_common.hpp"
 #include "taskbench_sweep.hpp"
 
 int main(int argc, char** argv) {
-  const bench::Args args(argc, argv);
-  bench::TraceCapture trace_capture(args);
+  bench::BenchCommon common(argc, argv, "fig7_taskbench_1core");
+  const bench::Args& args = common.args;
   const bool paper = args.has_flag("paper");
   const int steps =
       static_cast<int>(args.get_int("steps", paper ? 1000 : 200));
   const int width = static_cast<int>(args.get_int("width", 1));
   const auto flops = bench::default_flops_sweep(paper);
+
+  common.json.config("width", static_cast<std::int64_t>(width));
+  common.json.config("steps", static_cast<std::int64_t>(steps));
 
   std::printf("# Figure 7: Task-Bench 1D stencil, 1 core, width=%d "
               "steps=%d\n",
@@ -31,6 +35,6 @@ int main(int argc, char** argv) {
               baseline);
   const auto series =
       bench::run_taskbench_sweep(flops, width, steps, /*threads=*/1);
-  bench::print_sweep(series, baseline, /*threads=*/1);
+  bench::print_sweep(series, baseline, /*threads=*/1, &common.json);
   return 0;
 }

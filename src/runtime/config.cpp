@@ -39,6 +39,7 @@ std::string Config::describe() const {
      << (ordering == OrderingMode::kOptimized ? "relaxed" : "seq_cst");
   if (!bundle_successors) os << " bundling=off";
   if (inline_max_depth > 0) os << " inline=" << inline_max_depth;
+  if (watchdog_quiet_ms > 0) os << " watchdog=" << watchdog_quiet_ms << "ms";
   return os.str();
 }
 

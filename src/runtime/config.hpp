@@ -38,6 +38,15 @@ struct Config {
   /// freedom for latency on very short tasks.
   int inline_max_depth = 0;
 
+  /// Stall watchdog (docs/robustness.md): when > 0, the World starts a
+  /// monitor thread that samples aggregate progress (tasks executed +
+  /// failed + cancelled + messages delivered) and, if the run is live
+  /// (pending work) but progress has not moved for this many
+  /// milliseconds, dumps runtime state and fires the stall handler
+  /// (default: log + abort the World). Must exceed the longest task
+  /// body by a comfortable margin. 0 disables the watchdog.
+  int watchdog_quiet_ms = 0;
+
   /// The system as analyzed in Sec. III: LFQ scheduler, per-process
   /// atomic termination counters, plain reader-writer lock, seq_cst.
   static Config original();

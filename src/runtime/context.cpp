@@ -3,6 +3,9 @@
 #include <cassert>
 #include <chrono>
 #include <thread>
+#include <utility>
+
+#include "runtime/trace.hpp"
 
 namespace ttg {
 
@@ -10,7 +13,7 @@ Context::Context(const Config& config)
     : Context(config, nullptr, /*rank=*/0) {}
 
 Context::Context(const Config& config, TerminationDetector* detector,
-                 int rank)
+                 int rank, FaultState* fault)
     : config_(config) {
   config_.apply_globals();
   if (detector == nullptr) {
@@ -19,6 +22,12 @@ Context::Context(const Config& config, TerminationDetector* detector,
     detector_ = owned_detector_.get();
   } else {
     detector_ = detector;
+  }
+  if (fault == nullptr) {
+    owned_fault_ = std::make_unique<FaultState>();
+    fault_ = owned_fault_.get();
+  } else {
+    fault_ = fault;
   }
 
   // For a standalone (single-rank) context, the constructing thread is
@@ -29,10 +38,20 @@ Context::Context(const Config& config, TerminationDetector* detector,
   }
 
   engine_ = std::make_unique<ExecutionEngine>(*this, config_, *detector_,
-                                              rank);
+                                              *fault_, rank);
 }
 
 Context::~Context() = default;
+
+void Context::abort(std::string reason) {
+  if (fault_->request_abort(std::move(reason))) {
+    trace::record(trace::EventKind::kWorldAborted,
+                  static_cast<std::uint64_t>(Outcome::kAborted));
+  }
+  // Wake parked workers either way: they must drain (and drop) the
+  // queues so the termination wave converges.
+  engine_->notify_work();
+}
 
 void Context::fence() {
   // The calling thread stops producing: flush its counters and take part
@@ -55,6 +74,9 @@ void Context::reset_epoch() {
   assert(detector_->terminated() &&
          "reset_epoch() before the previous epoch terminated");
   detector_->reset();
+  // A consumed failure/abort does not leak into the next epoch. Callers
+  // that care about the outcome read fault().status() before resetting.
+  fault_->reset();
 }
 
 }  // namespace ttg

@@ -42,8 +42,10 @@ class Context {
   explicit Context(const Config& config);
 
   /// Creates a context that is one simulated rank of a multi-rank world;
-  /// `detector` is shared across the ranks and owned by the caller.
-  Context(const Config& config, TerminationDetector* detector, int rank);
+  /// `detector` and `fault` are shared across the ranks and owned by the
+  /// caller (either may be null, in which case this context owns one).
+  Context(const Config& config, TerminationDetector* detector, int rank,
+          FaultState* fault = nullptr);
 
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
@@ -55,6 +57,7 @@ class Context {
   Scheduler& scheduler() { return engine_->scheduler(); }
   TerminationDetector& detector() { return *detector_; }
   ExecutionEngine& engine() { return *engine_; }
+  FaultState& fault() { return *fault_; }
 
   /// Worker currently running on this thread, or nullptr for external
   /// threads (e.g. the application's main thread).
@@ -68,8 +71,13 @@ class Context {
   void begin() { detector_->on_resume(); }
 
   /// Accounts the discovery of `n` tasks on the calling thread. Must
-  /// happen before the tasks become schedulable.
-  void on_discovered(std::int64_t n = 1) { detector_->on_discovered(n); }
+  /// happen before the tasks become schedulable. Rank-aware: a thread
+  /// that never attached to the detector (an external helper seeding
+  /// the graph) accounts directly on this context's rank, so the
+  /// discovery is never stranded in an unflushed per-thread counter.
+  void on_discovered(std::int64_t n = 1) {
+    detector_->on_discovered(rank(), n);
+  }
 
   /// Submits an already-discovered task for execution — the one
   /// submission entry point. See SubmitHint (runtime/engine.hpp) for the
@@ -81,6 +89,17 @@ class Context {
   /// Blocks the calling (external) thread until the termination detector
   /// announces that all discovered work completed.
   void fence();
+
+  /// Requests a cooperative abort of the current run: newly activated
+  /// tasks are dropped as cancelled completions, fence() still
+  /// converges, and fault().status() reports kAborted. Safe from any
+  /// thread.
+  void abort(std::string reason);
+
+  /// Installs (or clears) a seeded fault-injection plan; see FaultPlan.
+  void set_fault_plan(const FaultPlan* plan) {
+    engine_->set_fault_plan(plan);
+  }
 
   /// Resets the termination detector for the next epoch. Only valid
   /// after fence() returned and before new work is submitted.
@@ -104,8 +123,10 @@ class Context {
   Config config_;
   std::unique_ptr<TerminationDetector> owned_detector_;
   TerminationDetector* detector_;
+  std::unique_ptr<FaultState> owned_fault_;
+  FaultState* fault_;
   // Constructed last / destroyed first: the engine's workers reference
-  // the detector and config above.
+  // the detector, fault state and config above.
   std::unique_ptr<ExecutionEngine> engine_;
 };
 

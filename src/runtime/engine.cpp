@@ -1,8 +1,10 @@
 #include "runtime/engine.hpp"
 
+#include <chrono>
 #include <string>
 
 #include "common/busy_wait.hpp"
+#include "common/rng.hpp"
 #include "runtime/context.hpp"
 #include "runtime/trace.hpp"
 
@@ -15,13 +17,15 @@ thread_local Worker* t_current_worker = nullptr;
 Worker* ExecutionEngine::current_worker() { return t_current_worker; }
 
 ExecutionEngine::ExecutionEngine(Context& owner, const Config& config,
-                                 TerminationDetector& detector, int rank)
+                                 TerminationDetector& detector,
+                                 FaultState& fault, int rank)
     : num_threads_(config.threads()),
       rank_(rank),
       inline_max_depth_(config.inline_max_depth),
       bundle_successors_(config.bundle_successors),
       sched_trace_name_(trace::intern(to_string(config.scheduler))),
-      detector_(&detector) {
+      detector_(&detector),
+      fault_(&fault) {
   scheduler_ = make_scheduler(config.scheduler, num_threads_,
                               config.steal_domain_size);
   {
@@ -46,6 +50,11 @@ ExecutionEngine::ExecutionEngine(Context& owner, const Config& config,
         prefix + "tasks_executed",
         [this] { return total_tasks_executed(); }));
     metric_ids_.push_back(registry.add(
+        prefix + "failed_tasks", [this] { return failed_tasks(); }));
+    metric_ids_.push_back(registry.add(
+        prefix + "cancelled_tasks",
+        [this] { return cancelled_tasks(); }));
+    metric_ids_.push_back(registry.add(
         prefix + "backoff_parks", [this] {
           std::uint64_t n = 0;
           for (int i = 0; i < num_threads_; ++i) n += workers_[i]->parks();
@@ -54,6 +63,9 @@ ExecutionEngine::ExecutionEngine(Context& owner, const Config& config,
   }
   workers_ = std::make_unique<CachePadded<Worker>[]>(
       static_cast<std::size_t>(num_threads_));
+  fault_draws_ = std::make_unique<CachePadded<std::uint64_t>[]>(
+      static_cast<std::size_t>(num_threads_));
+  for (int i = 0; i < num_threads_; ++i) fault_draws_[i].value = 0;
   for (int i = 0; i < num_threads_; ++i) {
     Worker& w = workers_[i].value;
     w.engine_ = this;
@@ -76,6 +88,20 @@ ExecutionEngine::~ExecutionEngine() {
 }
 
 void ExecutionEngine::submit(TaskBase* task, SubmitHint hint) {
+  if (fault_->cancelled()) {
+    // Cooperative cancellation: newly activated tasks are dropped at
+    // ingress instead of scheduled. One relaxed load on the clean path.
+    while (task != nullptr) {
+      TaskBase* next =
+          hint == SubmitHint::kChain
+              ? static_cast<TaskBase*>(
+                    task->next.load(std::memory_order_relaxed))
+                                     : nullptr;
+      drop_cancelled(task);
+      task = next;
+    }
+    return;
+  }
   Worker* w = t_current_worker;
   const bool local = (w != nullptr && w->engine_ == this);
   const int worker = local ? w->index_ : kExternalWorker;
@@ -150,7 +176,13 @@ void ExecutionEngine::worker_main(int index) {
       detector_->on_resume();
       backoff.on_work();
       last_stage = IdleBackoff::Action::kSpin;
-      self.run_task(static_cast<TaskBase*>(node));
+      auto* task = static_cast<TaskBase*>(node);
+      if (fault_->cancelled()) {
+        drop_cancelled(task);
+        continue;
+      }
+      if (inject_fault(task, index)) continue;
+      self.run_task(task);
       continue;
     }
 
@@ -190,7 +222,13 @@ void ExecutionEngine::worker_main(int index) {
       detector_->on_resume();
       backoff.on_work();
       last_stage = IdleBackoff::Action::kSpin;
-      self.run_task(static_cast<TaskBase*>(node));
+      auto* task = static_cast<TaskBase*>(node);
+      if (fault_->cancelled()) {
+        drop_cancelled(task);
+        continue;
+      }
+      if (inject_fault(task, index)) continue;
+      self.run_task(task);
       continue;
     }
     if (ProgressSource* src = progress_.load(std::memory_order_acquire);
@@ -202,11 +240,69 @@ void ExecutionEngine::worker_main(int index) {
     parking_.park(epoch);
     trace::record(trace::EventKind::kIdleEnd);
     backoff.on_park();
-    ++self.parks_;
+    Worker::bump(self.parks_);
     last_stage = IdleBackoff::Action::kSpin;
   }
 
   t_current_worker = nullptr;
+}
+
+void ExecutionEngine::report_task_failure(std::exception_ptr ep,
+                                          std::uint32_t span_name,
+                                          int worker) {
+  failed_tasks_.fetch_add(1, std::memory_order_relaxed);
+  trace::record(trace::EventKind::kTaskFailed,
+                static_cast<std::uint64_t>(worker), span_name);
+  if (fault_->on_task_exception(ep)) {
+    trace::record(trace::EventKind::kWorldAborted,
+                  static_cast<std::uint64_t>(Outcome::kFailed));
+    // Parked workers must observe the cancellation so they drain (and
+    // drop) whatever is still queued instead of sleeping through it.
+    notify_work();
+  }
+}
+
+void ExecutionEngine::drop_cancelled(TaskBase* task) {
+  if (task->cancel != nullptr) {
+    task->cancel(task);
+  } else if (task->pool != nullptr) {
+    task->pool->deallocate(task);
+  }
+  // A task with neither hook nor pool is owned externally; dropping the
+  // reference is the best the runtime can do.
+  cancelled_tasks_.fetch_add(1, std::memory_order_relaxed);
+  detector_->on_cancelled(rank_, 1);
+}
+
+bool ExecutionEngine::inject_fault(TaskBase* task, int worker_index) {
+  const FaultPlan* plan = fault_plan_.load(std::memory_order_acquire);
+  if (plan == nullptr) return false;
+  // Stateless deterministic draw: seed × worker × per-worker counter.
+  std::uint64_t& counter = fault_draws_[worker_index].value;
+  const std::uint64_t draw = mix64(
+      plan->seed ^ mix64(static_cast<std::uint64_t>(worker_index) + 1) ^
+      ++counter);
+  const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  if (u < plan->throw_prob) {
+    plan->injected_throws.fetch_add(1, std::memory_order_relaxed);
+    report_task_failure(
+        std::make_exception_ptr(FaultInjected("injected task fault")),
+        task->trace_name, worker_index);
+    // The task never runs: release it and retire its discovery so the
+    // termination wave still converges.
+    if (task->cancel != nullptr) {
+      task->cancel(task);
+    } else if (task->pool != nullptr) {
+      task->pool->deallocate(task);
+    }
+    detector_->on_completed();
+    return true;
+  }
+  if (u < plan->throw_prob + plan->delay_prob) {
+    plan->injected_delays.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(plan->delay_us));
+  }
+  return false;
 }
 
 }  // namespace ttg

@@ -21,12 +21,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/cache.hpp"
 #include "runtime/config.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/parking_lot.hpp"
 #include "runtime/task.hpp"
 #include "runtime/worker.hpp"
@@ -130,10 +132,11 @@ class ExecutionEngine {
   static constexpr int kMaxBatch = 16;
 
   /// Creates the scheduler and starts the worker threads. `owner` is the
-  /// façade handed to task bodies via Worker::context(); `detector` is
-  /// borrowed and must outlive the engine.
+  /// façade handed to task bodies via Worker::context(); `detector` and
+  /// `fault` are borrowed and must outlive the engine.
   ExecutionEngine(Context& owner, const Config& config,
-                  TerminationDetector& detector, int rank);
+                  TerminationDetector& detector, FaultState& fault,
+                  int rank);
   ExecutionEngine(const ExecutionEngine&) = delete;
   ExecutionEngine& operator=(const ExecutionEngine&) = delete;
   ~ExecutionEngine();
@@ -153,9 +156,34 @@ class ExecutionEngine {
   int rank() const { return rank_; }
   Scheduler& scheduler() { return *scheduler_; }
   TerminationDetector& detector() { return *detector_; }
+  FaultState& fault() { return *fault_; }
 
   /// Total tasks executed by all workers since construction.
   std::uint64_t total_tasks_executed() const;
+
+  /// Tasks whose body threw (captured, not terminated) plus injected
+  /// throws, and tasks dropped by cooperative cancellation.
+  std::uint64_t failed_tasks() const {
+    return failed_tasks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cancelled_tasks() const {
+    return cancelled_tasks_.load(std::memory_order_relaxed);
+  }
+
+  /// Workers currently parked (racy; stall-watchdog diagnostics).
+  int parked_workers() const { return parking_.sleepers(); }
+
+  /// Captures a task-body exception into the FaultState (first error
+  /// wins) and cancels the run. Called by Worker::run_task's catch.
+  void report_task_failure(std::exception_ptr ep, std::uint32_t span_name,
+                           int worker);
+
+  /// Installs (or clears, with nullptr) a seeded fault-injection plan,
+  /// applied at task pop boundaries. Install while quiescent; the plan
+  /// must outlive the run.
+  void set_fault_plan(const FaultPlan* plan) {
+    fault_plan_.store(plan, std::memory_order_release);
+  }
 
   /// Installs a progress source. Must be set before work is submitted
   /// and outlive the engine (or be reset to nullptr while quiescent).
@@ -172,6 +200,16 @@ class ExecutionEngine {
   /// of `worker_index` and wakes sleepers (bundle flush path).
   void flush_chain(int worker_index, TaskBase* head);
 
+  /// Releases a task dropped by cooperative cancellation (cancel hook or
+  /// pool) and accounts it as a cancelled completion so the termination
+  /// wave converges.
+  void drop_cancelled(TaskBase* task);
+
+  /// Applies the installed FaultPlan to a freshly popped task. Returns
+  /// true when the task was consumed by an injected throw (the caller
+  /// must not run it); may also sleep (injected delay).
+  bool inject_fault(TaskBase* task, int worker_index);
+
   bool bundling_enabled() const { return bundle_successors_; }
 
   const int num_threads_;
@@ -186,12 +224,20 @@ class ExecutionEngine {
   std::vector<int> metric_ids_;
 
   TerminationDetector* detector_;
+  FaultState* fault_;
   std::unique_ptr<Scheduler> scheduler_;
 
   std::vector<std::thread> threads_;
   std::unique_ptr<CachePadded<Worker>[]> workers_;
+  /// Per-worker fault-injection draw counters (stateless splitmix draw
+  /// keyed on plan seed × worker × counter); padded so concurrent
+  /// injection never false-shares.
+  std::unique_ptr<CachePadded<std::uint64_t>[]> fault_draws_;
 
   std::atomic<ProgressSource*> progress_{nullptr};
+  std::atomic<const FaultPlan*> fault_plan_{nullptr};
+  std::atomic<std::uint64_t> failed_tasks_{0};
+  std::atomic<std::uint64_t> cancelled_tasks_{0};
   std::atomic<bool> stop_{false};
   ParkingLot parking_;
 };

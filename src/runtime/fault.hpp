@@ -1,0 +1,175 @@
+// Fault state: failure capture, cooperative cancellation, fault injection.
+//
+// The runtime's failure model (docs/robustness.md):
+//
+//  * A task body that throws no longer escapes the worker loop (which
+//    would std::terminate); the exception is captured into the World's
+//    FaultState — first error wins — and the graph is cancelled.
+//  * Cancellation is cooperative: already-running tasks finish, but
+//    newly-activated tasks are dropped at the scheduler and at
+//    send/broadcast ingress. Every dropped task is accounted as a
+//    "cancelled completion" so the four-counter termination wave
+//    (Sec. IV-C) converges exactly as if the task had run.
+//  * The hot path pays one relaxed load (`cancelled()`) per check —
+//    no atomic RMW — so Eq. (1) accounting is unchanged when no error
+//    occurs.
+//
+// FaultPlan is the seeded fault-injection configuration used by the
+// test layer: at task pop boundaries the engine may inject a delay or a
+// thrown FaultInjected with per-plan probabilities, deterministically
+// derived from the seed and the worker index.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+
+namespace ttg {
+
+enum class Outcome : std::uint8_t {
+  kOk = 0,   ///< the epoch completed with no failure and no abort
+  kFailed,   ///< a task body threw; the exception is captured
+  kAborted,  ///< World::abort() (or the stall watchdog) cancelled the run
+};
+
+/// Result of World::wait(): how the epoch ended, plus the abort/failure
+/// reason (exception message or abort string) when it did not end kOk.
+struct Status {
+  Outcome outcome = Outcome::kOk;
+  std::string reason;
+
+  bool ok() const { return outcome == Outcome::kOk; }
+  bool failed() const { return outcome == Outcome::kFailed; }
+  bool aborted() const { return outcome == Outcome::kAborted; }
+};
+
+/// Thrown by World::rethrow() when the epoch ended via World::abort()
+/// rather than a captured task exception.
+struct WorldAborted : std::runtime_error {
+  explicit WorldAborted(const std::string& reason)
+      : std::runtime_error(reason) {}
+};
+
+/// The exception type injected by a FaultPlan throw site.
+struct FaultInjected : std::runtime_error {
+  explicit FaultInjected(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Seeded fault-injection plan, applied by the engine at task pop
+/// boundaries (before the task body runs). Probabilities are per task.
+/// Install with World::set_fault_plan() / Context::set_fault_plan()
+/// while the runtime is quiescent; the plan must outlive the run.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double throw_prob = 0.0;  ///< P(inject a FaultInjected throw)
+  double delay_prob = 0.0;  ///< P(sleep delay_us before executing)
+  int delay_us = 50;
+
+  /// Diagnostics: how many faults the plan actually injected. Mutable:
+  /// the engine holds the plan by const pointer.
+  mutable std::atomic<std::uint64_t> injected_throws{0};
+  mutable std::atomic<std::uint64_t> injected_delays{0};
+
+  FaultPlan() = default;
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+};
+
+/// Per-World fault state: the cancellation flag plus the captured
+/// error. Shared by the World's Contexts/engines; reads on the task hot
+/// path are relaxed loads of `cancelled_` only.
+class FaultState {
+ public:
+  FaultState() = default;
+  FaultState(const FaultState&) = delete;
+  FaultState& operator=(const FaultState&) = delete;
+
+  /// True once the run is cancelled (failure or abort). Hot-path check:
+  /// one relaxed load, no RMW, so Eq. (1) accounting is unchanged.
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records a task-body exception. First error wins: later exceptions
+  /// (common once cancellation is racing the still-draining graph) are
+  /// dropped. Returns true when this call captured the first error.
+  bool on_task_exception(std::exception_ptr ep) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool first = outcome_ == Outcome::kOk;
+    if (first) {
+      outcome_ = Outcome::kFailed;
+      error_ = ep;
+      reason_ = describe(ep);
+    }
+    cancelled_.store(true, std::memory_order_release);
+    return first;
+  }
+
+  /// Requests a cooperative abort. A prior captured failure wins over
+  /// the abort (the abort is then just the cancellation edge). Returns
+  /// true when this call moved the outcome to kAborted.
+  bool request_abort(std::string reason) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool first = outcome_ == Outcome::kOk;
+    if (first) {
+      outcome_ = Outcome::kAborted;
+      reason_ = std::move(reason);
+    }
+    cancelled_.store(true, std::memory_order_release);
+    return first;
+  }
+
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return Status{outcome_, reason_};
+  }
+
+  /// Rethrows the captured exception (kFailed), throws WorldAborted
+  /// (kAborted), or returns (kOk).
+  void rethrow() const {
+    std::exception_ptr ep;
+    Outcome outcome;
+    std::string reason;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ep = error_;
+      outcome = outcome_;
+      reason = reason_;
+    }
+    if (outcome == Outcome::kFailed && ep) std::rethrow_exception(ep);
+    if (outcome == Outcome::kAborted) throw WorldAborted(reason);
+  }
+
+  /// Clears the state for the next epoch. Callers must guarantee the
+  /// runtime is quiescent (no concurrent task execution).
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    outcome_ = Outcome::kOk;
+    error_ = nullptr;
+    reason_.clear();
+    cancelled_.store(false, std::memory_order_release);
+  }
+
+ private:
+  static std::string describe(const std::exception_ptr& ep) {
+    try {
+      std::rethrow_exception(ep);
+    } catch (const std::exception& e) {
+      return e.what();
+    } catch (...) {
+      return "unknown exception";
+    }
+  }
+
+  std::atomic<bool> cancelled_{false};
+  mutable std::mutex mutex_;
+  Outcome outcome_ = Outcome::kOk;  // guarded by mutex_
+  std::exception_ptr error_;        // guarded by mutex_
+  std::string reason_;              // guarded by mutex_
+};
+
+}  // namespace ttg

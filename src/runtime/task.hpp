@@ -21,6 +21,11 @@ struct TaskBase : LifoNode {
   /// `pool`). Function pointer rather than a virtual to keep the object
   /// trivially poolable and one indirection cheaper.
   void (*execute)(TaskBase*, Worker&) = nullptr;
+  /// Releases the task *without* running it (cooperative cancellation:
+  /// release held input copies, destroy, return storage to `pool`).
+  /// When null the runtime falls back to pool->deallocate() — correct
+  /// only for tasks that own no other resources.
+  void (*cancel)(TaskBase*) = nullptr;
   MemoryPool* pool = nullptr;
   /// Interned trace name (trace::intern) of the task's origin — its TT
   /// for TTG tasks; 0 leaves the span unnamed ("task").

@@ -36,6 +36,8 @@ std::string_view to_string(EventKind k) {
     case EventKind::kInlineExec: return "inline_exec";
     case EventKind::kBackoffStage: return "backoff_stage";
     case EventKind::kTermDetRound: return "termdet_round";
+    case EventKind::kTaskFailed: return "task_failed";
+    case EventKind::kWorldAborted: return "world_aborted";
     case EventKind::kCounter: return "counter";
   }
   return "?";
@@ -46,6 +48,8 @@ Category category_of(EventKind k) {
     case EventKind::kTaskBegin:
     case EventKind::kTaskEnd:
     case EventKind::kInlineExec:
+    case EventKind::kTaskFailed:
+    case EventKind::kWorldAborted:
       return kCatTask;
     case EventKind::kIdleBegin:
     case EventKind::kIdleEnd:

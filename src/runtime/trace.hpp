@@ -56,6 +56,8 @@ enum class EventKind : std::uint8_t {
   kInlineExec,     ///< instant: task executed inline in discovering worker
   kBackoffStage,   ///< instant: idle-backoff ladder moved (arg = stage 0..2)
   kTermDetRound,   ///< instant: termination wave round closed (arg = round)
+  kTaskFailed,     ///< instant: task body threw (name = TT, arg = worker)
+  kWorldAborted,   ///< instant: run cancelled (arg = Outcome)
   kCounter,        ///< counter sample: name id + 64-bit value in arg
 };
 

@@ -1,0 +1,82 @@
+#include "runtime/watchdog.hpp"
+
+#include <chrono>
+#include <utility>
+
+namespace ttg {
+
+namespace {
+
+/// Poll at a quarter of the quiet period, clamped to [1, 100] ms: fine
+/// enough that a stall is reported within ~1.25× the configured window,
+/// coarse enough that the monitor thread is invisible in any profile.
+int poll_interval_ms(int quiet_ms) {
+  int p = quiet_ms / 4;
+  if (p < 1) p = 1;
+  if (p > 100) p = 100;
+  return p;
+}
+
+}  // namespace
+
+StallWatchdog::StallWatchdog(int quiet_ms, Sampler sampler,
+                             StallHandler on_stall)
+    : quiet_ms_(quiet_ms),
+      poll_ms_(poll_interval_ms(quiet_ms)),
+      sampler_(std::move(sampler)),
+      on_stall_(std::move(on_stall)),
+      thread_([this] { run(); }) {}
+
+StallWatchdog::~StallWatchdog() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void StallWatchdog::arm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = true;
+}
+
+void StallWatchdog::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_ = false;
+}
+
+void StallWatchdog::run() {
+  using clock = std::chrono::steady_clock;
+  Sample last = sampler_();
+  clock::time_point last_change = clock::now();
+  bool reported = false;
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(poll_ms_),
+                 [this] { return stop_; });
+    if (stop_) break;
+    const bool armed = armed_;
+    lock.unlock();
+
+    const Sample cur = sampler_();
+    const clock::time_point now = clock::now();
+    if (cur.progress != last.progress || !cur.live) {
+      // Progress moved (or the run went quiescent): restart the quiet
+      // window and re-arm the one-shot report.
+      last_change = now;
+      reported = false;
+    } else if (armed && !reported &&
+               now - last_change >= std::chrono::milliseconds(quiet_ms_)) {
+      reported = true;
+      fires_.fetch_add(1, std::memory_order_relaxed);
+      on_stall_();
+    }
+    last = cur;
+
+    lock.lock();
+  }
+}
+
+}  // namespace ttg

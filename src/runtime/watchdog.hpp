@@ -1,0 +1,78 @@
+// Stall watchdog: a monitor thread that detects a live-but-stuck run.
+//
+// The four-counter termination wave (Sec. IV-C) converges only if every
+// discovered task eventually completes. A bug that breaks that
+// assumption — a task body deadlocked on an external lock, a
+// half-satisfied join whose missing input was never sent, a scheduler
+// defect that strands a queue — leaves wait() spinning forever with no
+// diagnostic. The watchdog samples an aggregate progress counter; when
+// the run is *live* (non-quiescent: pending work remains) but progress
+// has not moved for a configured quiet period, it fires a stall
+// callback exactly once per stall (it re-arms when progress resumes).
+//
+// The sampler and callback are supplied by the owner (World wires in
+// task/message counters and a full scheduler/termdet/parking dump); the
+// watchdog itself only owns the thread and the timing discipline. All
+// sampling must read atomic-backed state — the run is in full flight.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace ttg {
+
+class StallWatchdog {
+ public:
+  /// One progress observation: a monotonically increasing aggregate
+  /// (tasks executed + failed + cancelled + messages delivered) plus
+  /// whether the run is live (work pending). Stalls are only reported
+  /// while live — an idle runtime is quiet, not stuck.
+  struct Sample {
+    std::uint64_t progress = 0;
+    bool live = false;
+  };
+
+  using Sampler = std::function<Sample()>;
+  using StallHandler = std::function<void()>;
+
+  /// Starts the monitor thread. `quiet_ms` is the no-progress window
+  /// that triggers the handler; it must exceed the longest task body.
+  StallWatchdog(int quiet_ms, Sampler sampler, StallHandler on_stall);
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+  ~StallWatchdog();
+
+  /// Enables stall detection (wait()/fence() entry). The quiet timer
+  /// starts from the next sample.
+  void arm();
+
+  /// Disables stall detection (wait() exit); a disarmed watchdog only
+  /// keeps sampling so re-arming starts from fresh state.
+  void disarm();
+
+  /// Times the handler has fired since construction.
+  std::uint64_t fires() const {
+    return fires_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void run();
+
+  const int quiet_ms_;
+  const int poll_ms_;
+  Sampler sampler_;
+  StallHandler on_stall_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;     // guarded by mutex_
+  bool armed_ = false;    // guarded by mutex_
+  std::atomic<std::uint64_t> fires_{0};
+  std::thread thread_;  // last: joins against the members above
+};
+
+}  // namespace ttg

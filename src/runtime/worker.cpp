@@ -40,9 +40,19 @@ void Worker::run_task(TaskBase* task) {
   // execute() releases the task, so capture the span name up front.
   const std::uint32_t span_name = task->trace_name;
   trace::record(trace::EventKind::kTaskBegin, 0, span_name);
-  task->execute(task, *this);
+  try {
+    task->execute(task, *this);
+  } catch (...) {
+    // Failure capture: the exception is stored in the World's
+    // FaultState (first error wins) and the graph is cancelled; the
+    // epilogue below still runs so the completion is accounted and any
+    // successors bundled before the throw are flushed (they will be
+    // dropped as cancelled completions at pop).
+    engine_->report_task_failure(std::current_exception(), span_name,
+                                 index_);
+  }
   trace::record(trace::EventKind::kTaskEnd, 0, span_name);
-  ++tasks_executed_;
+  bump(tasks_executed_);
 
   if (batch_head_ != nullptr) {
     engine_->flush_chain(index_, batch_head_);

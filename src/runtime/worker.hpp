@@ -17,6 +17,7 @@
 // reads the public accessors.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "runtime/task.hpp"
@@ -32,12 +33,17 @@ class Worker {
   int index() const { return index_; }
   int rank() const { return rank_; }
 
-  /// Tasks executed by this worker (diagnostics).
-  std::uint64_t tasks_executed() const { return tasks_executed_; }
+  /// Tasks executed by this worker (diagnostics; readable from any
+  /// thread — the stall watchdog samples it while workers run).
+  std::uint64_t tasks_executed() const {
+    return tasks_executed_.load(std::memory_order_relaxed);
+  }
 
   /// Times this worker's idle-backoff ladder ended in a ParkingLot park
   /// (diagnostics; see IdleBackoff).
-  std::uint64_t parks() const { return parks_; }
+  std::uint64_t parks() const {
+    return parks_.load(std::memory_order_relaxed);
+  }
 
   /// Current task-inlining nesting depth on this worker.
   int inline_depth() const { return inline_depth_; }
@@ -67,12 +73,20 @@ class Worker {
   /// push fast path; bundling starts with the second task).
   bool try_bundle(TaskBase* task);
 
+  /// Single-writer (this worker) relaxed bump of a counter other
+  /// threads may read concurrently: a plain store, never an RMW, so the
+  /// Eq. (1) atomic-operation census is unchanged.
+  static void bump(std::atomic<std::uint64_t>& c) {
+    c.store(c.load(std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+  }
+
   ExecutionEngine* engine_ = nullptr;
   Context* context_ = nullptr;
   int index_ = -1;
   int rank_ = 0;
-  std::uint64_t tasks_executed_ = 0;
-  std::uint64_t parks_ = 0;
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> parks_{0};
   int inline_depth_ = 0;
   // Successor-bundling scope (Sec. IV-C).
   TaskBase* batch_head_ = nullptr;

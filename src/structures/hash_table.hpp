@@ -293,6 +293,36 @@ class ScalableHashTable {
     rw_.write_unlock();
   }
 
+  /// Removes every stored item under the writer lock, invoking `f(item)`
+  /// on each after it is unlinked (the callback owns the item and may
+  /// destroy it). Returns the number of items drained. Cooperative-
+  /// cancellation purge path: the writer lock excludes every bucket-lock
+  /// accessor, so no concurrent find/insert/remove observes a
+  /// half-unlinked chain.
+  template <typename F>
+  std::size_t drain_exclusive(F&& f) {
+    rw_.write_lock();
+    std::size_t n = 0;
+    for (Table* t = main_.load(std::memory_order_relaxed); t != nullptr;
+         t = t->older) {
+      for (std::size_t b = 0; b < t->nbuckets; ++b) {
+        Bucket& bucket = t->buckets[b];
+        HashItemBase* it = bucket.head;
+        bucket.head = nullptr;
+        bucket.length.store(0, std::memory_order_relaxed);
+        while (it != nullptr) {
+          HashItemBase* next = it->next;
+          it->next = nullptr;
+          f(it);
+          ++n;
+          it = next;
+        }
+      }
+    }
+    rw_.write_unlock();
+    return n;
+  }
+
   /// Forces retirement of drained old tables (normally lazy). Test hook.
   void retire_empty_tables() {
     rw_.write_lock();

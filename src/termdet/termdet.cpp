@@ -14,6 +14,15 @@ TerminationDetector::TerminationDetector(int nranks, TermDetMode mode)
   assert(nranks >= 1 && nranks <= 64);
 }
 
+namespace {
+// Single-writer bump for the diagnostic tallies the stall watchdog reads
+// live: a relaxed load+store pair, not an RMW.
+inline void bump(std::atomic<std::int64_t>& c, std::int64_t n) {
+  c.store(c.load(std::memory_order_relaxed) + n,
+          std::memory_order_relaxed);
+}
+}  // namespace
+
 void TerminationDetector::thread_attach(int rank) {
   assert(rank >= 0 && rank < nranks_);
   ThreadState& ts = threads_[this_thread::id()];
@@ -26,7 +35,7 @@ void TerminationDetector::thread_attach(int rank) {
 void TerminationDetector::on_discovered(std::int64_t n) {
   ThreadState& ts = threads_[this_thread::id()];
   assert(ts.rank >= 0 && "thread_attach() missing");
-  ts.stat_discovered += n;
+  bump(ts.stat_discovered, n);
   if (mode_ == TermDetMode::kProcessAtomic) {
     atomic_ops::count(AtomicOpCategory::kTermDet);
     ranks_[ts.rank].pending.fetch_add(n, ord_relaxed());
@@ -35,9 +44,44 @@ void TerminationDetector::on_discovered(std::int64_t n) {
   }
 }
 
+void TerminationDetector::on_discovered(int rank, std::int64_t n) {
+  ThreadState& ts = threads_[this_thread::id()];
+  if (ts.rank >= 0) {
+    on_discovered(n);  // attached: the usual thread-local fast path
+    return;
+  }
+  assert(rank >= 0 && rank < nranks_);
+  bump(ts.stat_discovered, n);
+  atomic_ops::count(AtomicOpCategory::kTermDet);
+  ranks_[rank].pending.fetch_add(n, ord_acq_rel());
+}
+
+void TerminationDetector::on_cancelled(int rank, std::int64_t n) {
+  ThreadState& ts = threads_[this_thread::id()];
+  bump(ts.stat_cancelled, n);
+  TTG_SIM_POINT("termdet.cancel.account");
+#if defined(TTG_MUTANT_TERMDET_CANCEL_DROP)
+  // MUTANT: dropped tasks are forgotten instead of retired as cancelled
+  // completions — rank-wide pending never drains back to zero, so the
+  // wave can never announce and every cancelled run hangs in wait().
+  (void)rank;
+#else
+  bump(ts.stat_completed, n);
+  if (ts.rank >= 0 && mode_ == TermDetMode::kThreadLocal) {
+    ts.local_pending -= n;
+  } else {
+    assert((ts.rank >= 0 || (rank >= 0 && rank < nranks_)) &&
+           "on_cancelled from an unattached thread needs a valid rank");
+    atomic_ops::count(AtomicOpCategory::kTermDet);
+    ranks_[ts.rank >= 0 ? ts.rank : rank].pending.fetch_sub(n,
+                                                            ord_acq_rel());
+  }
+#endif
+}
+
 void TerminationDetector::on_completed() {
   ThreadState& ts = threads_[this_thread::id()];
-  ts.stat_completed += 1;
+  bump(ts.stat_completed, 1);
   if (mode_ == TermDetMode::kProcessAtomic) {
     atomic_ops::count(AtomicOpCategory::kTermDet);
     ranks_[ts.rank].pending.fetch_sub(1, ord_relaxed());
@@ -224,14 +268,29 @@ std::int64_t TerminationDetector::rank_pending(int rank) const {
 std::int64_t TerminationDetector::total_discovered() const {
   std::int64_t n = 0;
   const int t = this_thread::id_count();
-  for (int i = 0; i < t; ++i) n += threads_[i].stat_discovered;
+  for (int i = 0; i < t; ++i) n += threads_[i].stat_discovered.load(std::memory_order_relaxed);
   return n;
 }
 
 std::int64_t TerminationDetector::total_completed() const {
   std::int64_t n = 0;
   const int t = this_thread::id_count();
-  for (int i = 0; i < t; ++i) n += threads_[i].stat_completed;
+  for (int i = 0; i < t; ++i) n += threads_[i].stat_completed.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::int64_t TerminationDetector::total_cancelled() const {
+  std::int64_t n = 0;
+  const int t = this_thread::id_count();
+  for (int i = 0; i < t; ++i) n += threads_[i].stat_cancelled.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::int64_t TerminationDetector::total_pending() const {
+  std::int64_t n = 0;
+  for (int i = 0; i < nranks_; ++i) {
+    n += ranks_[i].pending.load(std::memory_order_acquire);
+  }
   return n;
 }
 

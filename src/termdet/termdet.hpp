@@ -50,8 +50,23 @@ class TerminationDetector {
   /// *before* the tasks are made schedulable.
   void on_discovered(std::int64_t n = 1);
 
+  /// Rank-aware discovery for threads that may not be attached (e.g. an
+  /// application helper thread seeding a graph): attached threads take
+  /// the usual thread-local fast path, unattached threads account
+  /// directly on `rank`'s shared counter — their per-thread counter is
+  /// never flushed, so routing through it would strand the discovery
+  /// (premature termination or a hung fence, depending on the race).
+  void on_discovered(int rank, std::int64_t n);
+
   /// One task (or action) finished executing.
   void on_completed();
+
+  /// N discovered tasks were dropped by cooperative cancellation without
+  /// executing. Accounted as completions ("cancelled completions") so
+  /// the wave converges exactly as if they had run. Rank-aware like the
+  /// two-argument on_discovered(): `rank` is used when the calling
+  /// thread is unattached.
+  void on_cancelled(int rank, std::int64_t n = 1);
 
   /// Active-message accounting for the simulated multi-rank mode.
   void on_message_sent();
@@ -81,6 +96,10 @@ class TerminationDetector {
   std::int64_t rank_pending(int rank) const;
   std::int64_t total_discovered() const;
   std::int64_t total_completed() const;
+  std::int64_t total_cancelled() const;
+  /// Sum of rank-wide pending counters (excludes unflushed thread-local
+  /// deltas); the stall watchdog's liveness signal.
+  std::int64_t total_pending() const;
 
  private:
   struct alignas(kCacheLineSize) RankState {
@@ -95,8 +114,13 @@ class TerminationDetector {
     std::int64_t local_pending = 0;  // discovered - completed, unflushed
     std::int64_t local_sent = 0;
     std::int64_t local_received = 0;
-    std::int64_t stat_discovered = 0;
-    std::int64_t stat_completed = 0;
+    // Diagnostic tallies: single-writer (the owning thread), but read
+    // live by the stall watchdog, so they are relaxed atomics bumped
+    // with a load+store pair — plain MOVs on x86, no RMW, so the
+    // Eq. (1) atomic-operation accounting is unchanged.
+    std::atomic<std::int64_t> stat_discovered{0};
+    std::atomic<std::int64_t> stat_completed{0};
+    std::atomic<std::int64_t> stat_cancelled{0};
     int rank = -1;
     bool active = false;
   };

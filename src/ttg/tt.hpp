@@ -58,6 +58,12 @@ class TTBase {
   virtual ~TTBase() = default;
   const std::string& name() const { return name_; }
 
+  /// Cooperative-cancellation purge: discards every pending (partially
+  /// satisfied) task record this TT holds, releasing their input copies,
+  /// and returns how many were discarded. The base implementation owns
+  /// no records. Called by World::wait() while a cancelled graph drains.
+  virtual std::size_t purge_pending_tasks() { return 0; }
+
   /// A terminal's wiring: the identity of the edge it connects to plus
   /// the edge's display name.
   struct PortInfo {
@@ -218,7 +224,10 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
         table_(/*initial_log2_buckets=*/8, /*fill_threshold=*/16) {
     wire_inputs(ins, std::index_sequence_for<InEdges...>{});
     wire_outputs(outs, std::index_sequence_for<OutEdges...>{});
+    world_->register_node(this);
   }
+
+  ~TT() override { world_->unregister_node(this); }
 
   /// Routes tasks to ranks. Default: all local on single-rank worlds,
   /// hash(key) % nranks otherwise.
@@ -273,6 +282,14 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
 
   /// Test hook: number of pending (partially satisfied) task records.
   std::size_t num_pending() { return table_.size(); }
+
+  /// Discards every pending task record (cooperative cancellation),
+  /// releasing held input copies. See TTBase::purge_pending_tasks().
+  std::size_t purge_pending_tasks() override {
+    return table_.drain_exclusive([this](HashItemBase* item) {
+      discard(static_cast<TaskRec*>(item));
+    });
+  }
 
   /// Test hook: the TT's hash table, for structural assertions.
   ScalableHashTable& hash_table() { return table_; }
@@ -391,6 +408,12 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
 
   template <std::size_t I>
   void local_arrived(const Key& key, DataCopy<value_t<I>>* copy) {
+    if (world_->cancelled()) {
+      // Cooperative cancellation at send/broadcast ingress: the datum is
+      // dropped before any record is created or discovery accounted.
+      if (copy != nullptr) copy->release();
+      return;
+    }
     Context& ctx = world_->context(world_->current_rank());
     if constexpr (!kUsesHashTable) {
       // Single-input fast path: the task is born eligible.
@@ -462,6 +485,7 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     void* mem = pool_.allocate();
     auto* rec = new (mem) TaskRec(this, key);
     rec->execute = &TT::execute_task;
+    rec->cancel = &TT::cancel_task;
     rec->pool = &pool_;
     rec->trace_name = trace_name_;
     rec->priority = priority_fn_ ? priority_fn_(key) : 0;
@@ -488,6 +512,36 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     rec->tt->run(rec);
   }
 
+  /// TaskBase::cancel hook: releases a record without running it.
+  static void cancel_task(TaskBase* base) {
+    auto* rec = static_cast<TaskRec*>(base);
+    rec->tt->discard(rec);
+  }
+
+  /// Releases a (possibly partially satisfied) record's input copies,
+  /// destroys it, and returns its storage to the pool.
+  void discard(TaskRec* rec) {
+    [this, rec]<std::size_t... Is>(std::index_sequence<Is...>) {
+      (discard_input<Is>(*rec), ...);
+    }(std::make_index_sequence<kNumIns>{});
+    rec->~TaskRec();
+    pool_.deallocate(rec);
+  }
+
+  /// Like release_input but tolerant of unsatisfied (null/empty) slots.
+  template <std::size_t I>
+  void discard_input(TaskRec& rec) {
+    if constexpr (trait<I>::aggregated) {
+      for (DataCopy<value_t<I>>* c : std::get<I>(rec.slots)) {
+        if (c != nullptr) c->release();
+      }
+    } else if constexpr (!trait<I>::is_void) {
+      if (DataCopy<value_t<I>>* c = std::get<I>(rec.slots); c != nullptr) {
+        c->release();
+      }
+    }
+  }
+
   void run(TaskRec* rec) {
     run_impl(rec, std::make_index_sequence<kNumIns>{});
   }
@@ -507,12 +561,25 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     (register_input<Is>(*rec), ...);
     // Task bodies may take the trailing `outs` tuple (the explicit
     // low-level spelling) or omit it and use the free ttg::send<i>.
-    if constexpr (std::is_invocable_v<Fn&, const Key&,
-                                      decltype(make_arg<Is>(*rec))...,
-                                      Outs&>) {
-      fn_(static_cast<const Key&>(rec->key), make_arg<Is>(*rec)..., outs_);
-    } else {
-      fn_(static_cast<const Key&>(rec->key), make_arg<Is>(*rec)...);
+    // A throwing body gets the same cleanup as a returning one — frames
+    // restored, all inputs released, record destroyed and pooled — and
+    // the exception propagates to the worker's failure capture.
+    try {
+      if constexpr (std::is_invocable_v<Fn&, const Key&,
+                                        decltype(make_arg<Is>(*rec))...,
+                                        Outs&>) {
+        fn_(static_cast<const Key&>(rec->key), make_arg<Is>(*rec)...,
+            outs_);
+      } else {
+        fn_(static_cast<const Key&>(rec->key), make_arg<Is>(*rec)...);
+      }
+    } catch (...) {
+      detail::t_active_tt = saved_frame;
+      detail::t_task_copies = saved;
+      (release_input<Is>(*rec), ...);
+      rec->~TaskRec();
+      pool_.deallocate(rec);
+      throw;
     }
     detail::t_active_tt = saved_frame;
     detail::t_task_copies = saved;

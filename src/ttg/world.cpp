@@ -1,8 +1,14 @@
 #include "ttg/world.hpp"
 
 #include <cassert>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <utility>
 
 #include "runtime/trace.hpp"
+#include "ttg/tt.hpp"
 
 namespace ttg {
 
@@ -23,12 +29,23 @@ World::World(const Config& config, int nranks)
   }
   for (int r = 0; r < nranks; ++r) {
     contexts_.push_back(
-        std::make_unique<Context>(config_, detector_.get(), r));
+        std::make_unique<Context>(config_, detector_.get(), r, &fault_));
     contexts_.back()->set_progress_source(queues_[r].get());
+  }
+  if (config_.watchdog_quiet_ms > 0) {
+    watchdog_ = std::make_unique<StallWatchdog>(
+        config_.watchdog_quiet_ms,
+        [this] {
+          return StallWatchdog::Sample{
+              progress_counter(), detector_->total_pending() > 0};
+        },
+        [this] { on_stall(); });
   }
 }
 
 World::~World() {
+  // The watchdog samples contexts and the detector: stop it first.
+  watchdog_.reset();
   // Contexts join their workers before the queues they poll disappear.
   contexts_.clear();
   queues_.clear();
@@ -46,16 +63,143 @@ void World::execute() {
   context(0).begin();
   if (needs_reset_) {
     detector_->reset();
+    // The previous epoch's outcome was consumed by wait()/status();
+    // the new epoch starts healthy.
+    fault_.reset();
     needs_reset_ = false;
   }
   epoch_open_ = true;
 }
 
-void World::fence() {
-  assert(epoch_open_ && "fence() without execute()");
-  context(0).fence();
+Status World::wait() {
+  assert(epoch_open_ && "wait() without execute()");
+  if (watchdog_ != nullptr) watchdog_->arm();
+  // The calling thread stops producing: flush its counters and take part
+  // in the wave until termination is announced.
+  detector_->on_idle();
+  int spins = 0;
+  while (!detector_->terminated()) {
+    if (fault_.cancelled()) purge_cancelled();
+    detector_->advance_wave();
+    if (++spins < 256) {
+      std::this_thread::yield();
+    } else {
+      // Long-running tasks: back off to a microsleep so the fence thread
+      // does not compete with workers for the core.
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  if (watchdog_ != nullptr) watchdog_->disarm();
   epoch_open_ = false;
   needs_reset_ = true;
+  return fault_.status();
+}
+
+void World::abort(std::string reason) {
+  if (fault_.request_abort(std::move(reason))) {
+    trace::record(trace::EventKind::kWorldAborted,
+                  static_cast<std::uint64_t>(Outcome::kAborted));
+  }
+  // Wake every rank's parked workers so they drain (and drop) the
+  // queues and the termination wave converges.
+  for (auto& c : contexts_) c->notify_work();
+}
+
+void World::set_fault_plan(const FaultPlan* plan) {
+  for (auto& c : contexts_) c->set_fault_plan(plan);
+}
+
+void World::set_stall_handler(
+    std::function<void(const std::string&)> handler) {
+  std::lock_guard<std::mutex> lock(stall_mutex_);
+  stall_handler_ = std::move(handler);
+}
+
+void World::register_node(TTBase* node) {
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  nodes_.push_back(node);
+}
+
+void World::unregister_node(TTBase* node) {
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
+    if (*it == node) {
+      nodes_.erase(it);
+      return;
+    }
+  }
+}
+
+void World::purge_cancelled() {
+  std::size_t purged = 0;
+  {
+    std::lock_guard<std::mutex> lock(nodes_mutex_);
+    for (TTBase* node : nodes_) purged += node->purge_pending_tasks();
+  }
+  if (purged > 0) {
+    // The discarded records were accounted as discovered; retire them as
+    // cancelled completions and flush so the wave sees the new balance.
+    detector_->on_cancelled(0, static_cast<std::int64_t>(purged));
+    detector_->on_idle();
+  }
+}
+
+std::uint64_t World::progress_counter() const {
+  std::uint64_t n = messages_delivered();
+  for (const auto& c : contexts_) {
+    ExecutionEngine& e = c->engine();
+    n += e.total_tasks_executed() + e.failed_tasks() + e.cancelled_tasks();
+  }
+  return n;
+}
+
+std::string World::stall_report() const {
+  std::ostringstream os;
+  os << "=== stall report ===\n";
+  os << "config: " << config_.describe() << "\n";
+  os << "progress: tasks+faults+messages=" << progress_counter()
+     << " messages_delivered=" << messages_delivered() << "\n";
+  os << "termdet: discovered=" << detector_->total_discovered()
+     << " completed=" << detector_->total_completed()
+     << " cancelled=" << detector_->total_cancelled()
+     << " terminated=" << (detector_->terminated() ? "yes" : "no") << "\n";
+  for (int r = 0; r < nranks_; ++r) {
+    ExecutionEngine& e = contexts_[r]->engine();
+    const StealStats stats = contexts_[r]->scheduler().steal_stats();
+    os << "rank " << r << ": pending=" << detector_->rank_pending(r)
+       << " executed=" << e.total_tasks_executed()
+       << " failed=" << e.failed_tasks()
+       << " cancelled=" << e.cancelled_tasks()
+       << " parked=" << e.parked_workers() << "/" << e.num_threads()
+       << " steal_attempts=" << stats.attempts
+       << " steal_successes=" << stats.successes
+       << " ingress_hits=" << stats.ingress_hits << "\n";
+  }
+  if (trace::enabled()) {
+    os << "--- trace summary ---\n";
+    trace::write_summary(os);
+  }
+  return os.str();
+}
+
+void World::on_stall() {
+  const std::string report = stall_report();
+  std::function<void(const std::string&)> handler;
+  {
+    std::lock_guard<std::mutex> lock(stall_mutex_);
+    handler = stall_handler_;
+  }
+  if (handler) {
+    handler(report);
+    return;
+  }
+  // Default: log and abort so wait() returns instead of hanging forever.
+  std::fprintf(stderr,
+               "ttg: stall watchdog fired (no progress for %d ms on live "
+               "work)\n%s",
+               config_.watchdog_quiet_ms, report.c_str());
+  abort("stall watchdog: no progress for " +
+        std::to_string(config_.watchdog_quiet_ms) + "ms with live work");
 }
 
 void World::post_message(int target_rank, std::function<void()> deliver) {
@@ -81,7 +225,15 @@ void World::MessageQueue::drain(Worker& worker) {
     world_->detector_->on_message_received();
     trace::record(trace::EventKind::kMessageReceived,
                   static_cast<std::uint32_t>(worker.rank()));
-    msg->deliver();
+    try {
+      msg->deliver();
+    } catch (...) {
+      // A throwing delivery (e.g. a payload whose copy constructor
+      // throws during re-materialization) is a task failure: capture
+      // and cancel instead of terminating the worker.
+      world_->contexts_[worker.rank()]->engine().report_task_failure(
+          std::current_exception(), /*span_name=*/0, worker.index());
+    }
     world_->messages_delivered_.fetch_add(1, std::memory_order_relaxed);
     delete msg;
   }

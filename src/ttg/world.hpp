@@ -18,13 +18,19 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "runtime/context.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/watchdog.hpp"
 #include "structures/fifo.hpp"
 #include "termdet/termdet.hpp"
 
 namespace ttg {
+
+class TTBase;
 
 class World {
  public:
@@ -44,12 +50,59 @@ class World {
   /// threads (the application thread acts as rank 0's producer).
   int current_rank() const;
 
-  /// Starts (or resumes after fence) an execution epoch.
+  /// Starts (or resumes after fence) an execution epoch. Clears the
+  /// previous epoch's fault state (read status() before this).
   void execute();
 
+  /// Blocks until all discovered tasks on all ranks have executed (or
+  /// were dropped as cancelled completions) and no messages are in
+  /// flight, then reports how the epoch ended. On failure/abort the
+  /// captured exception is rethrowable via rethrow().
+  Status wait();
+
   /// Blocks until all discovered tasks on all ranks have executed and no
-  /// messages are in flight.
-  void fence();
+  /// messages are in flight. Equivalent to (void)wait() — inspect
+  /// status() afterwards if the run may have failed.
+  void fence() { (void)wait(); }
+
+  /// Requests a cooperative abort: running tasks finish, everything not
+  /// yet started is dropped as a cancelled completion, and wait()
+  /// returns Status{kAborted, reason}. Safe from any thread, including
+  /// task bodies. Idempotent; a captured failure wins over an abort.
+  void abort(std::string reason);
+
+  /// True once the current epoch is cancelled (failure or abort). Task
+  /// bodies can poll this to bail out of long loops early. One relaxed
+  /// load.
+  bool cancelled() const { return fault_.cancelled(); }
+
+  /// Outcome of the current/last epoch (kOk while running healthy).
+  Status status() const { return fault_.status(); }
+
+  /// Rethrows the captured task exception (failed epochs), throws
+  /// WorldAborted (aborted epochs), or returns (healthy).
+  void rethrow() const { fault_.rethrow(); }
+
+  FaultState& fault() { return fault_; }
+
+  /// Installs (or clears, with nullptr) a seeded fault-injection plan on
+  /// every rank's engine; see FaultPlan. Install while quiescent.
+  void set_fault_plan(const FaultPlan* plan);
+
+  /// Replaces the stall-watchdog handler (default: write the stall
+  /// report to stderr and abort the World). The handler receives the
+  /// report; it runs on the watchdog thread. Only meaningful when
+  /// Config::watchdog_quiet_ms > 0.
+  void set_stall_handler(std::function<void(const std::string&)> handler);
+
+  /// Diagnostics: a human-readable dump of scheduler/termdet/parking
+  /// state (what the stall watchdog reports).
+  std::string stall_report() const;
+
+  /// TT registration for graph-wide bookkeeping (cancellation purge).
+  /// Called from TT's constructor/destructor.
+  void register_node(TTBase* node);
+  void unregister_node(TTBase* node);
 
   /// Posts an active message to `target_rank`; a worker of that rank
   /// will invoke `deliver`. Accounts one message sent on the calling
@@ -82,14 +135,34 @@ class World {
     LockedFifo queue_{AtomicOpCategory::kOther};
   };
 
+  /// Discards pending records in every registered TT, accounting them
+  /// as cancelled completions. Looped by wait() while cancelled: records
+  /// can keep materializing from still-running producers until the wave
+  /// converges.
+  void purge_cancelled();
+
+  /// Aggregate progress sample + handler wiring for the stall watchdog.
+  std::uint64_t progress_counter() const;
+  void on_stall();
+
   Config config_;
   int nranks_;
   std::unique_ptr<TerminationDetector> detector_;
+  FaultState fault_;  // before contexts_: engines borrow it
   std::vector<std::unique_ptr<MessageQueue>> queues_;
   std::vector<std::unique_ptr<Context>> contexts_;
   std::atomic<std::uint64_t> messages_delivered_{0};
   bool epoch_open_ = false;
   bool needs_reset_ = false;
+
+  mutable std::mutex nodes_mutex_;
+  std::vector<TTBase*> nodes_;  // guarded by nodes_mutex_
+
+  std::mutex stall_mutex_;
+  std::function<void(const std::string&)> stall_handler_;  // guarded
+  // Declared last (destroyed first in ~World before the explicit
+  // teardown): the monitor samples contexts and the detector.
+  std::unique_ptr<StallWatchdog> watchdog_;
 };
 
 }  // namespace ttg

@@ -1,0 +1,134 @@
+// DST property test: cancelled completions keep the termination wave
+// exact under every interleaving of the cancellation edge.
+//
+// The scenario models a graph abort racing in-flight discovery: an
+// attached submitter keeps discovering tasks while workers drain them,
+// and the cancellation flag flips mid-stream. Tasks popped after the
+// flip are not executed — they are retired through on_cancelled(), the
+// "cancelled completion" path (docs/robustness.md). The property: the
+// wave still converges (liveness — a dropped decrement leaves pending
+// stuck above zero forever) and the four counters balance exactly,
+// discovered == completed, with the cancelled share visible in
+// total_cancelled(). The termdet_cancel_drop mutant deletes the pending
+// decrement in on_cancelled; this suite must catch it (livelock).
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dst_common.hpp"
+#include "sim/sim.hpp"
+#include "termdet/termdet.hpp"
+
+namespace {
+
+struct CancelRace {
+  CancelRace(int nworkers, ttg::TermDetMode mode)
+      : nworkers_(nworkers),
+        td_(std::make_unique<ttg::TerminationDetector>(1, mode)) {}
+
+  static constexpr int kTasks = 6;
+  const int nworkers_;
+  std::unique_ptr<ttg::TerminationDetector> td_;
+  std::atomic<int> queue{0};      ///< discovered-but-unexecuted tasks
+  std::atomic<bool> cancelled{false};
+  std::atomic<bool> done{false};  ///< submitter finished discovering
+  std::atomic<int> executed{0};
+  std::atomic<int> dropped{0};
+  std::atomic<bool> submitter_attached{false};
+
+  std::vector<std::function<void()>> bodies() {
+    auto submitter = [this] {
+      td_->thread_attach(0);
+      submitter_attached.store(true, std::memory_order_release);
+      for (int i = 0; i < kTasks; ++i) {
+        td_->on_discovered(1);
+        queue.fetch_add(1, std::memory_order_release);
+        ttg::sim::preemption_point("submitter.push");
+        if (i == kTasks / 2) {
+          // The abort edge lands mid-stream: later pops must be dropped
+          // as cancelled completions, earlier ones already executed.
+          cancelled.store(true, std::memory_order_release);
+        }
+      }
+      done.store(true, std::memory_order_release);
+      td_->on_idle();
+      while (!td_->terminated()) {
+        td_->advance_wave();
+        ttg::sim::preemption_point("submitter.wave");
+      }
+    };
+    auto worker = [this] {
+      td_->thread_attach(0);
+      while (!submitter_attached.load(std::memory_order_acquire)) {
+        ttg::sim::preemption_point("worker.wait_attach");
+      }
+      while (true) {
+        int q = queue.load(std::memory_order_acquire);
+        if (q > 0) {
+          if (queue.compare_exchange_weak(q, q - 1,
+                                          std::memory_order_acq_rel)) {
+            if (cancelled.load(std::memory_order_acquire)) {
+              td_->on_cancelled(0, 1);
+              dropped.fetch_add(1, std::memory_order_relaxed);
+            } else {
+              td_->on_completed();
+              executed.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+          ttg::sim::preemption_point("worker.pop");
+          continue;
+        }
+        if (done.load(std::memory_order_acquire) &&
+            queue.load(std::memory_order_acquire) == 0) {
+          break;
+        }
+        ttg::sim::preemption_point("worker.poll");
+      }
+      td_->on_idle();
+      while (!td_->terminated()) {
+        td_->advance_wave();
+        ttg::sim::preemption_point("worker.wave");
+      }
+    };
+    std::vector<std::function<void()>> b;
+    b.push_back(submitter);
+    for (int w = 0; w < nworkers_; ++w) b.push_back(worker);
+    return b;
+  }
+
+  std::string check() {
+    if (!td_->terminated()) {
+      return "epoch never terminated after cancellation (liveness)";
+    }
+    if (executed.load() + dropped.load() != kTasks) {
+      return "task accounting lost a pop: executed=" +
+             std::to_string(executed.load()) +
+             " dropped=" + std::to_string(dropped.load());
+    }
+    if (td_->total_discovered() != td_->total_completed()) {
+      return "discovered (" + std::to_string(td_->total_discovered()) +
+             ") != completed (" + std::to_string(td_->total_completed()) +
+             ") at termination: a cancelled completion was not retired";
+    }
+    if (td_->total_cancelled() != dropped.load()) {
+      return "total_cancelled (" +
+             std::to_string(td_->total_cancelled()) +
+             ") != dropped pops (" + std::to_string(dropped.load()) + ")";
+    }
+    return "";
+  }
+};
+
+TEST(DstCancel, CancelledCompletionsConvergeThreadLocal) {
+  dst::explore<CancelRace>("cancel_threadlocal", 3, 2,
+                           ttg::TermDetMode::kThreadLocal);
+}
+
+TEST(DstCancel, CancelledCompletionsConvergeProcessAtomic) {
+  dst::explore<CancelRace>("cancel_processatomic", 3, 2,
+                           ttg::TermDetMode::kProcessAtomic);
+}
+
+}  // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -54,6 +55,43 @@ TEST(DataCopy, HoldsMoveOnlyConstructibleValues) {
   copy->value().push_back(4);
   EXPECT_EQ(copy->value()[3], 4);
   copy->release();
+}
+
+struct PlainPayload {
+  long a = 0, b = 0;
+};
+
+/// Same size (→ same pool size class) as PlainPayload, but the copy
+/// constructor make_copy invokes throws.
+struct ThrowingPayload {
+  long a = 0, b = 0;
+  ThrowingPayload() = default;
+  ThrowingPayload(const ThrowingPayload&) {
+    throw std::runtime_error("payload copy failed");
+  }
+};
+
+TEST(DataCopy, ThrowingConstructorReturnsStorageToPool) {
+  static_assert(sizeof(ttg::DataCopy<PlainPayload>) ==
+                sizeof(ttg::DataCopy<ThrowingPayload>));
+  // Warm the size class so the allocation under test is a free-list hit
+  // rather than a fresh bump-chunk carve.
+  ttg::make_copy<PlainPayload>(PlainPayload{})->release();
+  const auto before = ttg::copy_pool_stats();
+  const ThrowingPayload bad;
+  EXPECT_THROW((void)ttg::make_copy<ThrowingPayload>(bad),
+               std::runtime_error);
+  const auto mid = ttg::copy_pool_stats();
+  EXPECT_EQ(mid.hits, before.hits + 1)
+      << "the failed construction must have drawn from the free list";
+  EXPECT_EQ(mid.misses, before.misses);
+  // The catch path returned the storage: the next same-class allocation
+  // recycles it instead of carving fresh memory.
+  auto* again = ttg::make_copy<PlainPayload>(PlainPayload{});
+  const auto after = ttg::copy_pool_stats();
+  EXPECT_EQ(after.hits, mid.hits + 1);
+  EXPECT_EQ(after.misses, mid.misses);
+  again->release();
 }
 
 TEST(DataCopy, RefcountAtomicsAreAccounted) {

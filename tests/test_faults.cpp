@@ -1,0 +1,317 @@
+// Fault-tolerant execution (docs/robustness.md): task-failure capture,
+// cooperative cancellation, the stall watchdog, and the seeded
+// fault-injection layer.
+//
+// The invariants under test: a throwing task body must never
+// std::terminate the process or hang the fence — wait() returns a
+// failed/aborted Status, the first error wins and is rethrowable, every
+// discovered task is retired (executed or accounted as a cancelled
+// completion, so the four-counter wave converges), and no DataCopy
+// payload leaks across a failed epoch.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "runtime/fault.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+ttg::Config test_config(int threads = 2) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+constexpr ttg::SchedulerType kSchedulers[] = {
+    ttg::SchedulerType::kLL, ttg::SchedulerType::kLLP,
+    ttg::SchedulerType::kLFQ};
+
+/// Payload with a live-instance count: any copy still held after the
+/// epoch settles is a leak (a record or DataCopy that was dropped
+/// without releasing its inputs).
+struct Tracked {
+  static inline std::atomic<int> live{0};
+  int v = 0;
+  Tracked() { live.fetch_add(1, std::memory_order_relaxed); }
+  explicit Tracked(int x) : v(x) { live.fetch_add(1, std::memory_order_relaxed); }
+  Tracked(const Tracked& o) : v(o.v) { live.fetch_add(1, std::memory_order_relaxed); }
+  Tracked(Tracked&& o) noexcept : v(o.v) {
+    live.fetch_add(1, std::memory_order_relaxed);
+  }
+  Tracked& operator=(const Tracked&) = default;
+  Tracked& operator=(Tracked&&) = default;
+  ~Tracked() { live.fetch_sub(1, std::memory_order_relaxed); }
+};
+
+TEST(Faults, ThrowIsCapturedUnderEveryScheduler) {
+  for (ttg::SchedulerType sched : kSchedulers) {
+    SCOPED_TRACE(std::string(ttg::to_string(sched)));
+    ttg::Config cfg = test_config(4);
+    cfg.scheduler = sched;
+    ttg::World world(cfg);
+    ttg::Edge<int, ttg::Void> e("e");
+    std::atomic<int> ran{0};
+    auto tt = ttg::make_tt<int>(
+        [&](const int& k, const ttg::Void&, auto&) {
+          if (k == 7) throw std::runtime_error("boom");
+          ran.fetch_add(1);
+        },
+        ttg::edges(e), ttg::edges(), "leaf", world);
+    world.execute();
+    for (int k = 0; k < 64; ++k) tt->sendk_input<0>(k);
+    const ttg::Status st = world.wait();
+    EXPECT_TRUE(st.failed());
+    EXPECT_NE(st.reason.find("boom"), std::string::npos) << st.reason;
+    EXPECT_THROW(world.rethrow(), std::runtime_error);
+    // Cancelled completions keep the wave exact: nothing outstanding.
+    EXPECT_EQ(world.detector().total_discovered(),
+              world.detector().total_completed());
+    // The world is reusable: the next epoch starts healthy.
+    world.execute();
+    tt->sendk_input<0>(100);
+    const ttg::Status again = world.wait();
+    EXPECT_TRUE(again.ok());
+    EXPECT_NO_THROW(world.rethrow());
+  }
+}
+
+TEST(Faults, FirstErrorWins) {
+  ttg::World world(test_config(4));
+  ttg::Edge<int, ttg::Void> e("e");
+  auto tt = ttg::make_tt<int>(
+      [](const int& k, const ttg::Void&, auto&) {
+        throw std::runtime_error("boom-" + std::to_string(k));
+      },
+      ttg::edges(e), ttg::edges(), "thrower", world);
+  world.execute();
+  for (int k = 0; k < 100; ++k) tt->sendk_input<0>(k);
+  const ttg::Status st = world.wait();
+  ASSERT_TRUE(st.failed());
+  // Exactly one error was captured; the rethrown exception is the one
+  // the Status describes.
+  try {
+    world.rethrow();
+    FAIL() << "rethrow() must throw after a failed epoch";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), st.reason);
+    EXPECT_EQ(st.reason.rfind("boom-", 0), 0u) << st.reason;
+  }
+}
+
+TEST(Faults, AbortDrainsTenThousandTasks) {
+  ttg::Config cfg = test_config(8);
+  cfg.scheduler = ttg::SchedulerType::kLL;  // steal-heavy configuration
+  ttg::World world(cfg);
+  ttg::Edge<int, ttg::Void> e("e");
+  std::atomic<int> ran{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int& k, const ttg::Void&, auto&) {
+        if (k == 50) world.abort("test abort");
+        ran.fetch_add(1);
+      },
+      ttg::edges(e), ttg::edges(), "leaf", world);
+  world.execute();
+  for (int k = 0; k < 10000; ++k) tt->sendk_input<0>(k);
+  const ttg::Status st = world.wait();
+  EXPECT_TRUE(st.aborted());
+  EXPECT_EQ(st.reason, "test abort");
+  EXPECT_THROW(world.rethrow(), ttg::WorldAborted);
+  // Every one of the 10k discoveries is retired — executed before the
+  // abort or dropped as a cancelled completion — and the wave converged.
+  EXPECT_EQ(world.detector().total_discovered(),
+            world.detector().total_completed());
+  EXPECT_GT(world.detector().total_cancelled(), 0)
+      << "an abort at task 50 of 10000 must drop work";
+}
+
+TEST(Faults, NoPayloadLeaksAcrossFailedEpoch) {
+  Tracked::live.store(0);
+  {
+    ttg::World world(test_config(4));
+    ttg::Edge<int, Tracked> a("a"), b("b");
+    std::atomic<int> joined{0};
+    auto tt = ttg::make_tt<int>(
+        [&](const int& k, Tracked&, Tracked&, auto&) {
+          if (k == 7) throw std::runtime_error("join boom");
+          joined.fetch_add(1);
+        },
+        ttg::edges(a, b), ttg::edges(), "join", world);
+    world.execute();
+    // 256 half-satisfied joins hold a Tracked copy each; the second
+    // inputs race the cancellation edge once key 7 fires.
+    for (int k = 0; k < 256; ++k) tt->send_input<0>(k, Tracked(k));
+    for (int k = 0; k < 256; ++k) tt->send_input<1>(k, Tracked(-k));
+    const ttg::Status st = world.wait();
+    EXPECT_TRUE(st.failed());
+    EXPECT_EQ(tt->num_pending(), 0u)
+        << "cancelled records must be purged, not stranded";
+    EXPECT_EQ(world.detector().total_discovered(),
+              world.detector().total_completed());
+  }
+  EXPECT_EQ(Tracked::live.load(), 0)
+      << "payload copies leaked across the failed epoch";
+}
+
+TEST(Faults, FaultInjectionSweepNeverHangsOrLeaks) {
+  ttg::TestRng rng(20260806);
+  for (ttg::SchedulerType sched : kSchedulers) {
+    SCOPED_TRACE(std::string(ttg::to_string(sched)) +
+                 " seed=" + std::to_string(rng.seed()));
+    Tracked::live.store(0);
+    {
+      ttg::Config cfg = test_config(4);
+      cfg.scheduler = sched;
+      ttg::World world(cfg);
+      ttg::Edge<int, Tracked> e("payload");
+      std::atomic<long> sum{0};
+      auto leaf = ttg::make_tt<int>(
+          [&](const int&, Tracked& t, auto&) { sum.fetch_add(t.v); },
+          ttg::edges(e), ttg::edges(), "leaf", world);
+      ttg::Edge<int, ttg::Void> go("go");
+      auto src = ttg::make_tt<int>(
+          [&](const int& k, const ttg::Void&, auto& outs) {
+            for (int i = 0; i < 8; ++i) {
+              ttg::send<0>(k * 8 + i, Tracked(1), outs);
+            }
+          },
+          ttg::edges(go), ttg::edges(e), "src", world);
+      ttg::FaultPlan plan;
+      plan.seed = rng.next();
+      plan.throw_prob = 0.002;
+      plan.delay_prob = 0.01;
+      plan.delay_us = 20;
+      world.set_fault_plan(&plan);
+      world.execute();
+      // External submitter threads race the injected faults, covering
+      // the unattached-thread discovery accounting path.
+      std::vector<std::thread> pushers;
+      for (int t = 0; t < 3; ++t) {
+        pushers.emplace_back([&src, t] {
+          for (int k = 0; k < 96; ++k) src->sendk_input<0>(t * 96 + k);
+        });
+      }
+      for (auto& th : pushers) th.join();
+      const ttg::Status st = world.wait();  // returning at all is the test
+      const std::uint64_t injected = plan.injected_throws.load();
+      if (injected == 0) {
+        EXPECT_TRUE(st.ok()) << st.reason;
+      } else {
+        EXPECT_TRUE(st.failed()) << st.reason;
+        EXPECT_THROW(world.rethrow(), ttg::FaultInjected);
+      }
+      EXPECT_EQ(world.detector().total_discovered(),
+                world.detector().total_completed());
+      EXPECT_EQ(leaf->num_pending(), 0u);
+      // A clean follow-up epoch with the plan removed must succeed.
+      world.set_fault_plan(nullptr);
+      world.execute();
+      src->sendk_input<0>(100000);
+      EXPECT_TRUE(world.wait().ok());
+    }
+    EXPECT_EQ(Tracked::live.load(), 0)
+        << "payload copies leaked under fault injection";
+  }
+}
+
+TEST(Faults, WatchdogAbortsStalledRun) {
+  ttg::Config cfg = test_config(2);
+  cfg.watchdog_quiet_ms = 50;
+  ttg::World world(cfg);
+  ttg::Edge<int, int> a("a"), b("b");
+  std::atomic<int> fired{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, int&, int&, auto&) { fired.fetch_add(1); },
+      ttg::edges(a, b), ttg::edges(), "join", world);
+  world.execute();
+  // Half-satisfied joins: discovered work that can never run — a stall.
+  for (int k = 0; k < 4; ++k) tt->send_input<0>(k, k);
+  const ttg::Status st = world.wait();
+  EXPECT_TRUE(st.aborted());
+  EXPECT_NE(st.reason.find("watchdog"), std::string::npos) << st.reason;
+  EXPECT_EQ(fired.load(), 0);
+  EXPECT_EQ(tt->num_pending(), 0u);
+}
+
+TEST(Faults, WatchdogCustomHandlerReceivesReport) {
+  ttg::Config cfg = test_config(2);
+  cfg.watchdog_quiet_ms = 50;
+  ttg::World world(cfg);
+  std::mutex mu;
+  std::string report;
+  world.set_stall_handler([&](const std::string& r) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      report = r;
+    }
+    world.abort("custom-stall");
+  });
+  ttg::Edge<int, int> a("a"), b("b");
+  auto tt = ttg::make_tt<int>(
+      [](const int&, int&, int&, auto&) {}, ttg::edges(a, b),
+      ttg::edges(), "join", world);
+  world.execute();
+  tt->send_input<0>(0, 0);
+  const ttg::Status st = world.wait();
+  EXPECT_TRUE(st.aborted());
+  EXPECT_EQ(st.reason, "custom-stall");
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_NE(report.find("stall report"), std::string::npos);
+  EXPECT_NE(report.find("termdet:"), std::string::npos);
+}
+
+TEST(Faults, ExternalSubmittersThenLateFence) {
+  // Regression: discoveries from unattached external threads must land
+  // in rank-level pending counters — per-thread counters would never be
+  // flushed once the submitter exits, and a fence entered after a long
+  // pause would either hang or return early with work in flight.
+  ttg::World world(test_config(4));
+  ttg::Edge<int, int> a("a"), b("b");
+  std::atomic<int> fired{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, int& x, int& y, auto&) { fired.fetch_add(x + y); },
+      ttg::edges(a, b), ttg::edges(), "join", world);
+  world.execute();
+  std::vector<std::thread> pushers;
+  for (int t = 0; t < 3; ++t) {
+    pushers.emplace_back([&tt, t] {
+      for (int k = 0; k < 100; ++k) {
+        tt->send_input<0>(t * 100 + k, 1);
+        tt->send_input<1>(t * 100 + k, 1);
+      }
+    });
+  }
+  for (auto& th : pushers) th.join();
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  const ttg::Status st = world.wait();
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(fired.load(), 600);
+  EXPECT_EQ(world.detector().total_discovered(),
+            world.detector().total_completed());
+}
+
+TEST(Faults, CleanRunReportsOk) {
+  ttg::World world(test_config());
+  ttg::Edge<int, ttg::Void> e("e");
+  std::atomic<int> n{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) { n.fetch_add(1); },
+      ttg::edges(e), ttg::edges(), "leaf", world);
+  world.execute();
+  for (int k = 0; k < 32; ++k) tt->sendk_input<0>(k);
+  const ttg::Status st = world.wait();
+  EXPECT_TRUE(st.ok());
+  EXPECT_TRUE(st.reason.empty());
+  EXPECT_FALSE(world.cancelled());
+  EXPECT_NO_THROW(world.rethrow());
+  EXPECT_EQ(n.load(), 32);
+}
+
+}  // namespace
