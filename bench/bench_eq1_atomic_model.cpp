@@ -3,8 +3,18 @@
 // using the runtime's per-category accounting on a serial chain whose
 // tasks move (reuse) their N_i inputs.
 //
-//   ./bench_eq1_atomic_model [--tasks=N]
+// With --replay the same chains are recorded once and re-measured on the
+// compiled-epoch replay path, whose model drops every term except the
+// join counter: N_A = N_ID * N_i = 1 * N_i. The join counter's one
+// fetch_sub per input is counted in the input-count category; tail
+// chaining (SubmitHint::kTailChain) hands each ready successor straight
+// to the executing worker (no scheduler push/pop), and the replay
+// ownership transfer hands a uniquely-held moved input to its sole
+// recorded consumer outright (no retain/release pair, no pool churn).
+//
+//   ./bench_eq1_atomic_model [--tasks=N] [--replay] [--json-out=path]
 #include <cstdio>
+#include <cstring>
 #include <tuple>
 #include <utility>
 
@@ -14,8 +24,10 @@
 
 namespace {
 
-template <std::size_t NFlows>
-ttg::AtomicOpSnapshot run_chain(int tasks) {
+/// Builds the NFlows-wide move chain, then hands (world, seed) to the
+/// measurement callback — shared between the dynamic and replay runs.
+template <std::size_t NFlows, typename Fn>
+ttg::AtomicOpSnapshot with_chain(int tasks, Fn&& measure) {
   ttg::Config cfg = ttg::Config::optimized();
   cfg.num_threads = 1;
   ttg::World world(cfg);
@@ -45,20 +57,50 @@ ttg::AtomicOpSnapshot run_chain(int tasks) {
       (tt->template send_input<Is>(0, std::uint64_t{Is}), ...);
     }(std::make_index_sequence<NFlows>{});
   };
-  world.execute();
-  seed();
-  world.fence();  // warm-up epoch
-  world.execute();
-  ttg::atomic_ops::set_enabled(true);
-  ttg::atomic_ops::reset();
-  seed();
-  world.fence();
-  ttg::atomic_ops::set_enabled(false);
-  return ttg::atomic_ops::snapshot();
+  return measure(world, seed);
 }
 
-void report(int n_inputs, const ttg::AtomicOpSnapshot& snap, int tasks) {
+template <std::size_t NFlows>
+ttg::AtomicOpSnapshot run_chain(int tasks) {
+  return with_chain<NFlows>(tasks, [](ttg::World& world, auto& seed) {
+    world.execute();
+    seed();
+    world.fence();  // warm-up epoch
+    world.execute();
+    ttg::atomic_ops::set_enabled(true);
+    ttg::atomic_ops::reset();
+    seed();
+    world.fence();
+    ttg::atomic_ops::set_enabled(false);
+    return ttg::atomic_ops::snapshot();
+  });
+}
+
+template <std::size_t NFlows>
+ttg::AtomicOpSnapshot run_chain_replay(int tasks) {
+  return with_chain<NFlows>(tasks, [](ttg::World& world, auto& seed) {
+    world.begin_recording();
+    seed();
+    world.fence();
+    ttg::ReplayInstance instance(world.end_recording());
+    world.execute_replay(instance);  // warm-up replay epoch
+    seed();
+    world.fence();
+    world.execute_replay(instance);
+    ttg::atomic_ops::set_enabled(true);
+    ttg::atomic_ops::reset();
+    seed();
+    world.fence();
+    ttg::atomic_ops::set_enabled(false);
+    return ttg::atomic_ops::snapshot();
+  });
+}
+
+void report(int n_inputs, const char* series,
+            const ttg::AtomicOpSnapshot& snap, int tasks,
+            bench::JsonReport& json) {
   using C = ttg::AtomicOpCategory;
+  const bool replay = std::strcmp(series, "replay") == 0;
   const double t = tasks + 1;
   const double n_id = static_cast<double>(snap[C::kInputCount]) / t;
   const double n_hb = static_cast<double>(snap[C::kBucketLock]) / t;
@@ -66,32 +108,56 @@ void report(int n_inputs, const ttg::AtomicOpSnapshot& snap, int tasks) {
   const double n_od = static_cast<double>(snap[C::kMemPool]) / t;
   const double n_s = static_cast<double>(snap[C::kScheduler]) / t;
   const double measured = n_id + n_hb + n_rc + n_od + n_s;
-  const double model = n_inputs >= 2 ? 4.0 * n_inputs + 4.0
-                                     : 2.0 + 2.0 + 2.0;  // single input
-  std::printf("%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%.0f\n", n_inputs, n_id,
-              n_hb, n_rc, n_od, n_s, measured, model);
+  const double model =
+      replay ? 1.0 * n_inputs
+             : (n_inputs >= 2 ? 4.0 * n_inputs + 4.0
+                              : 2.0 + 2.0 + 2.0);  // single input
+  std::printf("%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%.0f\n", series,
+              n_inputs, n_id, n_hb, n_rc, n_od, n_s, measured, model);
+  json.row();
+  json.field("series", series);
+  json.field("n_inputs", static_cast<std::int64_t>(n_inputs));
+  json.field("input_count_per_task", n_id);
+  json.field("bucket_lock_per_task", n_hb);
+  json.field("refcount_per_task", n_rc);
+  json.field("mempool_per_task", n_od);
+  json.field("scheduler_per_task", n_s);
+  json.field("measured_total", measured);
+  json.field("model_total", model);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bench::Args args(argc, argv);
-  bench::TraceCapture trace_capture(args);
+  bench::BenchCommon common(argc, argv, "eq1_atomic_model");
+  const bench::Args& args = common.args;
   const int tasks = static_cast<int>(args.get_int("tasks", 50000));
+  const bool replay = args.has_flag("replay");
+  common.json.config("tasks", static_cast<std::int64_t>(tasks));
 
   std::printf("# Equation (1): measured atomic RMW per task (move/reuse "
               "chain of %d tasks)\n",
               tasks);
-  std::printf("# model: per input 1 input-count + 1 bucket-lock + 2 "
-              "refcount; plus 2 mempool + 2 scheduler\n");
+  std::printf("# dynamic model: per input 1 input-count + 1 bucket-lock "
+              "+ 2 refcount; plus 2 mempool + 2 scheduler\n");
+  std::printf("# replay model: per input 1 join-decrement; no refcounts "
+              "(ownership transfer), no buckets, no pool, no scheduler\n");
   std::printf(
-      "n_inputs,input_count,bucket_lock,refcount,mempool,scheduler,"
-      "measured_total,model_total\n");
-  report(1, run_chain<1>(tasks), tasks);
-  report(2, run_chain<2>(tasks), tasks);
-  report(3, run_chain<3>(tasks), tasks);
-  report(4, run_chain<4>(tasks), tasks);
-  report(5, run_chain<5>(tasks), tasks);
-  report(6, run_chain<6>(tasks), tasks);
+      "series,n_inputs,input_count,bucket_lock,refcount,mempool,"
+      "scheduler,measured_total,model_total\n");
+  report(1, "dynamic", run_chain<1>(tasks), tasks, common.json);
+  report(2, "dynamic", run_chain<2>(tasks), tasks, common.json);
+  report(3, "dynamic", run_chain<3>(tasks), tasks, common.json);
+  report(4, "dynamic", run_chain<4>(tasks), tasks, common.json);
+  report(5, "dynamic", run_chain<5>(tasks), tasks, common.json);
+  report(6, "dynamic", run_chain<6>(tasks), tasks, common.json);
+  if (replay) {
+    report(1, "replay", run_chain_replay<1>(tasks), tasks, common.json);
+    report(2, "replay", run_chain_replay<2>(tasks), tasks, common.json);
+    report(3, "replay", run_chain_replay<3>(tasks), tasks, common.json);
+    report(4, "replay", run_chain_replay<4>(tasks), tasks, common.json);
+    report(5, "replay", run_chain_replay<5>(tasks), tasks, common.json);
+    report(6, "replay", run_chain_replay<6>(tasks), tasks, common.json);
+  }
   return 0;
 }

@@ -7,7 +7,11 @@
 // TTG latency grows with flows (hash table enters at 2 flows) and meets
 // OpenMP around 4 flows.
 //
-//   ./bench_fig5_task_latency [--tasks=N] [--json-out=path]
+// With --replay the TTG chains are additionally recorded once and
+// re-run through the compiled-epoch replay path (GraphTemplate +
+// pre-resolved successors), emitted as ttg_replay_move/ttg_replay_copy.
+//
+//   ./bench_fig5_task_latency [--tasks=N] [--replay] [--json-out=path]
 #include <cstdio>
 #include <tuple>
 #include <utility>
@@ -34,8 +38,11 @@ ttg::Config serial_config() {
 
 /// TTG chain with zero flows: pure control flow along a Void edge.
 /// `inline_depth` > 0 additionally exercises the task-inlining extension
-/// (the paper's Sec. V-E future-work item).
-double run_ttg_chain0(int tasks, int inline_depth = 0) {
+/// (the paper's Sec. V-E future-work item). With `replay` the chain is
+/// recorded into a GraphTemplate once, then the timed epoch re-runs the
+/// compiled instance (pre-resolved successors, no hash table).
+double run_ttg_chain0(int tasks, int inline_depth = 0,
+                      bool replay = false) {
   ttg::Config cfg = serial_config();
   cfg.inline_max_depth = inline_depth;
   ttg::World world(cfg);
@@ -45,6 +52,20 @@ double run_ttg_chain0(int tasks, int inline_depth = 0) {
         if (k < tasks) ttg::sendk<0>(k + 1, outs);
       },
       ttg::edges(e), ttg::edges(e), "chain", world);
+  if (replay) {
+    world.begin_recording();
+    tt->sendk_input<0>(0);
+    world.fence();
+    ttg::ReplayInstance instance(world.end_recording());
+    world.execute_replay(instance);  // warm-up replay epoch
+    tt->sendk_input<0>(0);
+    world.fence();
+    world.execute_replay(instance);
+    ttg::WallTimer timer;
+    tt->sendk_input<0>(0);
+    world.fence();
+    return timer.seconds() / tasks * 1e9;
+  }
   world.execute();  // warm-up epoch
   tt->sendk_input<0>(tasks - 100 > 0 ? tasks - 100 : 0);
   world.fence();
@@ -56,7 +77,7 @@ double run_ttg_chain0(int tasks, int inline_depth = 0) {
 }
 
 template <std::size_t NFlows>
-double run_ttg_chain(int tasks, bool move_data) {
+double run_ttg_chain(int tasks, bool move_data, bool replay = false) {
   ttg::World world(serial_config());
   auto edge_tuple = [&]<std::size_t... Is>(std::index_sequence<Is...>) {
     return std::make_tuple(
@@ -92,6 +113,20 @@ double run_ttg_chain(int tasks, bool move_data) {
       (tt->template send_input<Is>(0, std::uint64_t{Is}), ...);
     }(std::make_index_sequence<NFlows>{});
   };
+  if (replay) {
+    world.begin_recording();
+    seed();
+    world.fence();
+    ttg::ReplayInstance instance(world.end_recording());
+    world.execute_replay(instance);  // warm-up replay epoch
+    seed();
+    world.fence();
+    world.execute_replay(instance);
+    ttg::WallTimer timer;
+    seed();
+    world.fence();
+    return timer.seconds() / tasks * 1e9;
+  }
   world.execute();  // warm-up epoch (pools, hash table)
   seed();
   world.fence();
@@ -181,6 +216,7 @@ int main(int argc, char** argv) {
   bench::BenchCommon common(argc, argv, "fig5_task_latency");
   const bench::Args& args = common.args;
   const int tasks = static_cast<int>(args.get_int("tasks", 200000));
+  const bool replay = args.has_flag("replay");
   common.json.config("tasks", static_cast<std::int64_t>(tasks));
   // One JSON row per (flows, series) point so the regression gate can
   // join on {flows, series} and compare ns_per_task; unavailable series
@@ -242,6 +278,41 @@ int main(int argc, char** argv) {
     emit(flows, "ttg_copy", ttg_copy);
     emit(flows, "taskflow_mini", tf);
     emit(flows, "omp_taskdeps", omp);
+    if (replay) {
+      double rep_move = 0, rep_copy = 0;
+      switch (flows) {
+        case 0:
+          rep_move = rep_copy = run_ttg_chain0(tasks, 0, true);
+          break;
+        case 1:
+          rep_move = run_ttg_chain<1>(tasks, true, true);
+          rep_copy = run_ttg_chain<1>(tasks, false, true);
+          break;
+        case 2:
+          rep_move = run_ttg_chain<2>(tasks, true, true);
+          rep_copy = run_ttg_chain<2>(tasks, false, true);
+          break;
+        case 3:
+          rep_move = run_ttg_chain<3>(tasks, true, true);
+          rep_copy = run_ttg_chain<3>(tasks, false, true);
+          break;
+        case 4:
+          rep_move = run_ttg_chain<4>(tasks, true, true);
+          rep_copy = run_ttg_chain<4>(tasks, false, true);
+          break;
+        case 5:
+          rep_move = run_ttg_chain<5>(tasks, true, true);
+          rep_copy = run_ttg_chain<5>(tasks, false, true);
+          break;
+        default:
+          rep_move = run_ttg_chain<6>(tasks, true, true);
+          rep_copy = run_ttg_chain<6>(tasks, false, true);
+          break;
+      }
+      std::printf("# replay %d,%.1f,%.1f\n", flows, rep_move, rep_copy);
+      emit(flows, "ttg_replay_move", rep_move);
+      emit(flows, "ttg_replay_copy", rep_copy);
+    }
   }
   return 0;
 }

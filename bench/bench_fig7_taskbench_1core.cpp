@@ -7,8 +7,12 @@
 // METG(50%) ~ 6k flops for MPI, 20-25k for TTG / OpenMP-for, >100k for
 // OpenMP tasks.
 //
-//   ./bench_fig7_taskbench_1core [--steps=N] [--width=N] [--paper]
-//                                [--json-out=path]
+// With --replay an extra ttg_replay series re-runs the TTG stencil
+// through the compiled-epoch replay path (record once, replay the
+// GraphTemplate with pre-resolved successors).
+//
+//   ./bench_fig7_taskbench_1core [--steps=N] [--width=N] [--repeats=N]
+//                                [--paper] [--replay] [--json-out=path]
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -21,10 +25,12 @@ int main(int argc, char** argv) {
   const int steps =
       static_cast<int>(args.get_int("steps", paper ? 1000 : 200));
   const int width = static_cast<int>(args.get_int("width", 1));
+  const int repeats = static_cast<int>(args.get_int("repeats", 3));
   const auto flops = bench::default_flops_sweep(paper);
 
   common.json.config("width", static_cast<std::int64_t>(width));
   common.json.config("steps", static_cast<std::int64_t>(steps));
+  common.json.config("repeats", static_cast<std::int64_t>(repeats));
 
   std::printf("# Figure 7: Task-Bench 1D stencil, 1 core, width=%d "
               "steps=%d\n",
@@ -33,8 +39,13 @@ int main(int argc, char** argv) {
                                                        width, steps);
   std::printf("# efficiency baseline: %.3e flops/s (best single-core)\n",
               baseline);
-  const auto series =
-      bench::run_taskbench_sweep(flops, width, steps, /*threads=*/1);
+  auto series = bench::run_taskbench_sweep(flops, width, steps,
+                                           /*threads=*/1, repeats);
+  if (args.has_flag("replay")) {
+    series.push_back(bench::run_taskbench_single(
+        "ttg_replay", &taskbench::run_ttg_replay, flops, width, steps,
+        /*threads=*/1, repeats));
+  }
   bench::print_sweep(series, baseline, /*threads=*/1, &common.json);
   return 0;
 }

@@ -31,33 +31,68 @@ struct SweepSeries {
   std::vector<SweepPoint> points;
 };
 
+/// One sweep point for one implementation: best-of-`repeats` wall time
+/// (small-task points finish in well under a millisecond, so a single
+/// run is at the mercy of frequency ramps and scheduler noise; the min
+/// is the standard robust estimator for such microbenchmarks).
+/// checksum_ok must hold on every repeat.
+inline SweepPoint run_sweep_point(
+    taskbench::RunResult (*run)(const taskbench::BenchConfig&, int),
+    std::uint64_t flops, int width, int steps, int threads, int repeats) {
+  taskbench::BenchConfig cfg;
+  cfg.pattern = taskbench::Pattern::kStencil1D;
+  cfg.width = width;
+  cfg.steps = steps;
+  cfg.iterations = taskbench::flops_to_iterations(flops);
+  taskbench::RunResult best;
+  bool ok = true;
+  for (int i = 0; i < std::max(1, repeats); ++i) {
+    const auto r = run(cfg, threads);
+    ok = ok && r.checksum_ok;
+    if (i == 0 || r.seconds < best.seconds) best = r;
+  }
+  SweepPoint p;
+  p.flops = flops;
+  p.core_time_per_task =
+      best.seconds * threads / static_cast<double>(best.tasks);
+  const double total_flops = static_cast<double>(
+      cfg.iterations * taskbench::kFlopsPerIteration * best.tasks);
+  p.flops_rate = best.seconds > 0 ? total_flops / best.seconds : 0;
+  p.ok = ok;
+  return p;
+}
+
 inline std::vector<SweepSeries> run_taskbench_sweep(
     const std::vector<std::uint64_t>& flops_list, int width, int steps,
-    int threads) {
+    int threads, int repeats = 1) {
   std::vector<SweepSeries> series;
   for (const auto& impl : taskbench::implementations()) {
     SweepSeries s;
     s.name = impl.name;
     for (std::uint64_t flops : flops_list) {
-      taskbench::BenchConfig cfg;
-      cfg.pattern = taskbench::Pattern::kStencil1D;
-      cfg.width = width;
-      cfg.steps = steps;
-      cfg.iterations = taskbench::flops_to_iterations(flops);
-      const auto r = impl.run(cfg, threads);
-      SweepPoint p;
-      p.flops = flops;
-      p.core_time_per_task =
-          r.seconds * threads / static_cast<double>(r.tasks);
-      const double total_flops = static_cast<double>(
-          cfg.iterations * taskbench::kFlopsPerIteration * r.tasks);
-      p.flops_rate = r.seconds > 0 ? total_flops / r.seconds : 0;
-      p.ok = r.checksum_ok;
-      s.points.push_back(p);
+      s.points.push_back(run_sweep_point(impl.run, flops, width, steps,
+                                         threads, repeats));
     }
     series.push_back(std::move(s));
   }
   return series;
+}
+
+/// Sweeps one extra implementation (e.g. taskbench::run_ttg_replay,
+/// which is deliberately not in implementations()) over the same flops
+/// list so it can be appended to a run_taskbench_sweep() result.
+inline SweepSeries run_taskbench_single(
+    const std::string& name,
+    taskbench::RunResult (*run)(const taskbench::BenchConfig&, int),
+    const std::vector<std::uint64_t>& flops_list, int width, int steps,
+    int threads, int repeats = 1) {
+  SweepSeries s;
+  s.name = name;
+  for (std::uint64_t flops : flops_list) {
+    s.points.push_back(
+        run_sweep_point(run, flops, width, steps, threads, repeats));
+  }
+  return s;
 }
 
 /// Best single-core flops rate at the largest task size — the paper's

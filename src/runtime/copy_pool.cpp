@@ -3,6 +3,7 @@
 #include <array>
 #include <atomic>
 #include <new>
+#include <vector>
 
 #include "atomics/op_counter.hpp"
 #include "common/cache.hpp"
@@ -57,6 +58,21 @@ void account(bool hit) {
 }
 
 }  // namespace
+
+void copy_pool_prewarm(std::size_t bytes, std::size_t count) {
+  const int cls = class_index(bytes);
+  if (cls < 0 || count == 0) return;
+  // The recorded footprint counts *total* allocations of an epoch, but
+  // the live set at any instant is bounded by the graph's width; cap the
+  // warm-up so a long chain does not pin an epoch's worth of storage.
+  constexpr std::size_t kMaxPrewarm = 4096;
+  const std::size_t n = count < kMaxPrewarm ? count : kMaxPrewarm;
+  MemoryPool& pool = pools()[static_cast<std::size_t>(cls)];
+  std::vector<void*> held;
+  held.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) held.push_back(pool.allocate());
+  for (void* p : held) pool.deallocate(p);
+}
 
 CopyPoolStats copy_pool_stats() {
   CopyPoolStats s;

@@ -15,12 +15,82 @@
 // (EventKind::kPoolHit/kPoolMiss, aggregated by trace::summarize()).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
 
 #include "structures/mempool.hpp"
 
 namespace ttg {
+
+/// Epoch-scoped bump allocator for replay DataCopies (one per worker
+/// thread plus one for the external seeding thread; see docs/replay.md).
+/// Everything allocated during a replay epoch is dead by the epoch's
+/// fence, so storage is reclaimed wholesale: reset() rewinds the cursor
+/// and keeps the chunks for the next epoch. Single-threaded by
+/// construction — each arena is only ever touched by its owning thread —
+/// so an allocation is cursor arithmetic with no atomics at all (the
+/// pool's free-list pair is the next-largest cost the replay path still
+/// paid per copy).
+class CopyArena {
+ public:
+  void* alloc(std::size_t bytes, std::size_t align) {
+    for (;;) {
+      if (chunk_ < chunks_.size()) {
+        const auto base =
+            reinterpret_cast<std::uintptr_t>(chunks_[chunk_].mem.get());
+        const std::uintptr_t p =
+            (base + off_ + align - 1) & ~(std::uintptr_t{align} - 1);
+        if (p + bytes <= base + chunks_[chunk_].size) {
+          off_ = p + bytes - base;
+          return reinterpret_cast<void*>(p);
+        }
+      }
+      next_chunk(bytes + align);
+    }
+  }
+
+  /// Rewinds to the first chunk; all prior allocations must be dead.
+  void reset() noexcept {
+    chunk_ = 0;
+    off_ = 0;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<unsigned char[]> mem;
+    std::size_t size = 0;
+  };
+
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+  void next_chunk(std::size_t min_bytes) {
+    // Advance into the next retained chunk when it fits; otherwise
+    // splice a new chunk in at that position (an oversized request may
+    // orphan a still-usable successor until the next reset()).
+    const std::size_t next = chunks_.empty() ? 0 : chunk_ + 1;
+    if (next < chunks_.size() && chunks_[next].size >= min_bytes) {
+      chunk_ = next;
+      off_ = 0;
+      return;
+    }
+    const std::size_t size = std::max(kChunkBytes, min_bytes);
+    Chunk c;
+    c.mem = std::make_unique<unsigned char[]>(size);
+    c.size = size;
+    chunks_.insert(chunks_.begin() + static_cast<std::ptrdiff_t>(next),
+                   std::move(c));
+    chunk_ = next;
+    off_ = 0;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t chunk_ = 0;
+  std::size_t off_ = 0;
+};
 
 /// Aggregate hit/miss totals over all size-class pools plus the heap
 /// fallback path, summed over all threads.
@@ -31,6 +101,14 @@ struct CopyPoolStats {
 };
 
 CopyPoolStats copy_pool_stats();
+
+/// Arena mode for replay epochs: pre-fills the *calling thread's*
+/// free list of the size class serving `bytes` so the next `count`
+/// allocations of that class are pool hits (capped to bound the
+/// transient footprint; steady-state recycling covers the rest).
+/// Oversized requests (> detail::kMaxPooledBytes) are ignored — they
+/// heap-allocate regardless.
+void copy_pool_prewarm(std::size_t bytes, std::size_t count);
 
 namespace detail {
 

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <new>
+#include <type_traits>
 #include <utility>
 
 #include "atomics/op_counter.hpp"
@@ -31,6 +32,8 @@ template <typename T>
 class DataCopy;
 template <typename T, typename U>
 DataCopy<T>* make_copy(U&& value);
+template <typename T, typename U>
+DataCopy<T>* make_copy_in(CopyArena& arena, U&& value);
 
 class DataCopyBase {
  public:
@@ -49,6 +52,17 @@ class DataCopyBase {
   /// returns the storage to the pool it came from (or the heap for
   /// oversized fallback allocations — never `delete this`).
   void release() noexcept {
+    if (arena_) {
+      // Epoch-arena copy (replay): the value type is trivially
+      // destructible and the storage is reclaimed wholesale at the next
+      // epoch reset, so the final release needs no destructor and no
+      // free — and when the caller holds the only reference, no RMW
+      // either (nobody else can touch a count of 1).
+      if (refcount_.load(std::memory_order_relaxed) == 1) return;
+      atomic_ops::count(AtomicOpCategory::kRefCount);
+      refcount_.fetch_sub(1, ord_relaxed());
+      return;
+    }
     atomic_ops::count(AtomicOpCategory::kRefCount);
     if (refcount_.fetch_sub(1, ord_acq_rel()) == 1) {
       fence_acquire();
@@ -75,10 +89,13 @@ class DataCopyBase {
  private:
   template <typename T, typename U>
   friend DataCopy<T>* make_copy(U&& value);
+  template <typename T, typename U>
+  friend DataCopy<T>* make_copy_in(CopyArena& arena, U&& value);
 
   std::atomic<std::int32_t> refcount_{1};
   std::uint32_t align_ = alignof(std::max_align_t);
   MemoryPool* pool_ = nullptr;  ///< owning size-class pool; null = heap
+  bool arena_ = false;  ///< replay epoch arena resident (no free at all)
 };
 
 /// Typed copy. Created with refcount 1, owned by whoever holds that
@@ -113,6 +130,22 @@ DataCopy<T>* make_copy(U&& value) {
   }
   copy->pool_ = pool;
   copy->align_ = alignof(Copy);
+  return copy;
+}
+
+/// Allocates a copy from a replay epoch arena: cursor arithmetic, no
+/// pool atomics, and no per-copy free (the arena is reset wholesale
+/// when the next epoch begins). Only legal for trivially destructible
+/// T — the final release never runs a destructor. A throwing T
+/// constructor merely strands the arena bytes until the next reset.
+template <typename T, typename U>
+DataCopy<T>* make_copy_in(CopyArena& arena, U&& value) {
+  static_assert(std::is_trivially_destructible_v<T>,
+                "arena copies are reclaimed without destruction");
+  using Copy = DataCopy<T>;
+  void* mem = arena.alloc(sizeof(Copy), alignof(Copy));
+  Copy* copy = new (mem) Copy(std::forward<U>(value));
+  copy->arena_ = true;
   return copy;
 }
 

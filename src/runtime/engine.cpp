@@ -117,6 +117,9 @@ void ExecutionEngine::submit(TaskBase* task, SubmitHint hint) {
       scheduler_->push_chain(worker, task);
       notify_work();
       return;
+    case SubmitHint::kTailChain:
+      if (local && w->try_chain(task)) return;
+      [[fallthrough]];
     case SubmitHint::kMayInline:
       if (local) {
         if (inline_max_depth_ > 0 && w->inline_depth_ < inline_max_depth_) {

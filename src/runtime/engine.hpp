@@ -17,6 +17,13 @@
 //   kMayInline — the task may run immediately on the submitting worker
 //                (Config::inline_max_depth) or join the worker's open
 //                successor bundle; falls back to a deferred push.
+//   kTailChain — the task is ready *now* and may occupy the submitting
+//                worker's one-slot tail-chain buffer: the worker runs it
+//                directly after the current task's epilogue, skipping
+//                the scheduler round-trip entirely (replay epochs,
+//                where readiness is a plain join-counter decrement).
+//                Falls back to kMayInline when the slot is taken or the
+//                submitter is not a pool worker.
 #pragma once
 
 #include <atomic>
@@ -43,6 +50,7 @@ enum class SubmitHint : std::uint8_t {
   kDeferred = 0,  ///< always through the scheduler
   kChain,         ///< sorted chain; one scheduler operation
   kMayInline,     ///< may inline or bundle on the submitting worker
+  kTailChain,     ///< may tail-chain on the submitting worker (replay)
 };
 
 /// Adaptive idle backoff: spin → cpu_relax ramp → yield → park.

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "structures/join_counter.hpp"
 #include "structures/lifo.hpp"
 #include "structures/mempool.hpp"
 
@@ -26,10 +27,19 @@ struct TaskBase : LifoNode {
   /// When null the runtime falls back to pool->deallocate() — correct
   /// only for tasks that own no other resources.
   void (*cancel)(TaskBase*) = nullptr;
+  /// Null for arena-resident replay records (ttg/graph_template.hpp):
+  /// their storage belongs to a ReplayInstance and must never reach
+  /// MemoryPool::deallocate.
   MemoryPool* pool = nullptr;
   /// Interned trace name (trace::intern) of the task's origin — its TT
   /// for TTG tasks; 0 leaves the span unnamed ("task").
   std::uint32_t trace_name = 0;
+  /// Template-slot id for recorded/replayed epochs; -1 on the dynamic
+  /// path.
+  std::int32_t slot_id = -1;
+  /// Outstanding-delivery counter for replay epochs; unused (zero) on
+  /// the dynamic path, where readiness is tracked in the pending table.
+  JoinCounter join;
 };
 
 }  // namespace ttg

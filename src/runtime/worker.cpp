@@ -27,6 +27,25 @@ void batch_insert(TaskBase*& head, TaskBase* task) {
 }  // namespace
 
 void Worker::run_task(TaskBase* task) {
+  run_one(task);
+  if (nest_ != 0) return;
+  // Drain the tail chain: a replayed task whose completion readied
+  // exactly one successor parked it in chained_; run it here without a
+  // scheduler round-trip. The checks mirror the worker-loop pop path so
+  // cancellation and fault injection see chained tasks too.
+  while (TaskBase* next = chained_) {
+    chained_ = nullptr;
+    if (engine_->fault_->cancelled()) {
+      engine_->drop_cancelled(next);
+      continue;
+    }
+    if (engine_->inject_fault(next, index_)) continue;
+    run_one(next);
+  }
+}
+
+void Worker::run_one(TaskBase* task) {
+  ++nest_;
   // Open a fresh bundling scope (stack discipline: inlined tasks nest).
   TaskBase* saved_head = batch_head_;
   const int saved_size = batch_size_;
@@ -63,6 +82,7 @@ void Worker::run_task(TaskBase* task) {
   batch_primed_ = saved_primed;
 
   engine_->detector().on_completed();
+  --nest_;
 }
 
 bool Worker::try_bundle(TaskBase* task) {

@@ -54,8 +54,25 @@ class Worker {
   /// Executes one task with a fresh successor-bundling scope (stack
   /// discipline: inlined tasks nest) and completion accounting. Any
   /// chain still buffered when the body returns is flushed through the
-  /// engine as one sorted push.
+  /// engine as one sorted push. At the outermost nesting level the
+  /// tail-chain slot (SubmitHint::kTailChain) is then drained: each
+  /// chained task runs directly — with the same cancellation-drop and
+  /// fault-injection checks a scheduler pop would apply — and may chain
+  /// the next, so whole ready chains execute without touching the
+  /// scheduler.
   void run_task(TaskBase* task);
+
+  /// One task body plus its epilogue (the pre-tail-chain run_task).
+  void run_one(TaskBase* task);
+
+  /// Tries to park a ready task in the one-slot tail-chain buffer.
+  /// Returns false when the slot is occupied (caller falls back to the
+  /// inline/bundling/deferred cascade).
+  bool try_chain(TaskBase* task) {
+    if (chained_ != nullptr) return false;
+    chained_ = task;
+    return true;
+  }
 
   /// Executes `task` immediately on this worker, nested inside the
   /// currently running task (the inlining fast path). The caller has
@@ -88,6 +105,13 @@ class Worker {
   std::atomic<std::uint64_t> tasks_executed_{0};
   std::atomic<std::uint64_t> parks_{0};
   int inline_depth_ = 0;
+  /// run_one() nesting depth; the tail-chain drain runs only when the
+  /// outermost task on this worker finishes (the slot is worker-global,
+  /// so draining from a nested inline execution would reorder under the
+  /// still-running outer body for no benefit).
+  int nest_ = 0;
+  /// One-slot tail-chain buffer (SubmitHint::kTailChain).
+  TaskBase* chained_ = nullptr;
   // Successor-bundling scope (Sec. IV-C).
   TaskBase* batch_head_ = nullptr;
   int batch_size_ = 0;

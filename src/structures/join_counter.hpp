@@ -1,0 +1,95 @@
+// Plain atomic join counter for replayed (pre-compiled) task graphs.
+//
+// During a replay epoch a task slot's readiness is a single counter of
+// outstanding deliveries — the whole-graph generalization of the
+// single-input fast path (paper Sec. V-C): no bucket lock, no pending
+// hash table, one fetch_sub per input. The high bit doubles as a
+// cooperative-cancellation claim so World::abort() can retire unfired
+// slots exactly once while deliveries race in from still-running
+// producers.
+//
+// One arrival is one kInputCount atomic, mirroring the N_ID term of
+// Eq. (1); the bucket-lock term disappears entirely on this path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "atomics/op_counter.hpp"
+#include "atomics/ordering.hpp"
+#include "sim/hooks.hpp"
+
+namespace ttg {
+
+class JoinCounter {
+ public:
+  /// Claimed-by-cancellation flag; the low 31 bits count outstanding
+  /// deliveries.
+  static constexpr std::uint32_t kCancelBit = 1u << 31;
+
+  struct Arrival {
+    bool ready;      ///< final delivery of an unclaimed slot: run it
+    bool cancelled;  ///< the slot was claimed by try_cancel()
+    bool last;       ///< no deliveries outstanding (ready or cancelled)
+  };
+
+  /// Re-arms the counter for an epoch. Only legal while no deliveries
+  /// are in flight (between epochs).
+  void reset(std::uint32_t expected) noexcept {
+    state_.store(expected, std::memory_order_relaxed);
+  }
+
+  std::uint32_t remaining() const noexcept {
+    return state_.load(std::memory_order_relaxed) & ~kCancelBit;
+  }
+
+  bool cancel_requested() const noexcept {
+    return (state_.load(std::memory_order_relaxed) & kCancelBit) != 0;
+  }
+
+  /// Records one delivery. acq_rel: the final arrival must observe every
+  /// other deliverer's slot store before the task (or the input sweep of
+  /// a cancelled slot) reads them.
+  Arrival arrive() noexcept {
+    TTG_SIM_POINT("join.arrive");
+    atomic_ops::count(AtomicOpCategory::kInputCount);
+#if defined(TTG_MUTANT_REPLAY_JOIN_NO_FENCE)
+    // Mutant: the decrement is split into an unfenced load/store pair.
+    // Two racing deliveries can both read the same count — either the
+    // slot fires twice or it never fires.
+    const std::uint32_t old = state_.load(std::memory_order_relaxed);
+    TTG_SIM_POINT("join.arrive.split");
+    state_.store(old - 1, std::memory_order_relaxed);
+#else
+    const std::uint32_t old = state_.fetch_sub(1, ord_acq_rel());
+#endif
+    Arrival a;
+    a.cancelled = (old & kCancelBit) != 0;
+    a.last = (old & ~kCancelBit) == 1;
+    a.ready = a.last && !a.cancelled;
+    return a;
+  }
+
+  /// Cooperative cancellation: sets the claim bit. Returns true iff this
+  /// call claimed the slot — the bit was clear and the slot had not
+  /// already fired (deliveries still outstanding). A claimed slot is
+  /// retired by the canceller as a cancelled completion; its in-flight
+  /// deliveries observe the bit and stand down.
+  bool try_cancel() noexcept {
+    TTG_SIM_POINT("join.cancel");
+    const std::uint32_t old = state_.fetch_or(kCancelBit, ord_acq_rel());
+    return (old & kCancelBit) == 0 && (old & ~kCancelBit) != 0;
+  }
+
+ private:
+  std::atomic<std::uint32_t> state_{0};
+};
+
+/// DST hook marking the template-arena handoff: the moment a replay
+/// epoch hands the pre-built record arena to the scheduler/workers by
+/// re-arming every slot's join counter.
+inline void replay_arena_handoff_point() noexcept {
+  TTG_SIM_POINT("template.arena_handoff");
+}
+
+}  // namespace ttg

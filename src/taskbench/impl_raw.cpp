@@ -33,8 +33,8 @@ struct PtgState {
   std::vector<std::uint64_t> grid;          // (steps+1) x width
   std::vector<std::atomic<int>> counters;   // steps x width (t >= 1)
   // Precomputed forward/backward dependency lists (flattened, per point).
-  std::vector<std::vector<int>> deps;   // index (t-1)*W + x
-  std::vector<std::vector<int>> rdeps;  // index (t-1)*W + x
+  std::vector<DepList> deps;   // index (t-1)*W + x
+  std::vector<DepList> rdeps;  // index (t-1)*W + x
 
   std::uint64_t& value(int t, int x) {
     return grid[static_cast<std::size_t>(t) * cfg->width + x];

@@ -23,7 +23,7 @@ struct PointData {
 };
 
 RunResult run_ttg_config(const BenchConfig& cfg, int threads,
-                         const ttg::Config& base) {
+                         const ttg::Config& base, bool replay = false) {
   ttg::Config rt = base;
   rt.num_threads = threads;
   ttg::World world(rt);
@@ -106,22 +106,44 @@ RunResult run_ttg_config(const BenchConfig& cfg, int threads,
       },
       ttg::edges(p2w), ttg::edges(), "WriteBack", world);
 
-  ttg::WallTimer timer;
-  world.execute();
-  for (int x = 0; x < cfg.width; ++x) init_tt->sendk_input<0>(x);
-  if (needs_placeholder) {
-    for (int t = 1; t <= cfg.steps; ++t) {
-      for (int x = 0; x < cfg.width; ++x) {
-        if (dependencies(cfg, t, x).empty()) {
-          point_tt->send_input<0>(PKey{t, x}, PointData{-1, 0});
+  // The seeding sequence is deterministic (single thread, fixed order) —
+  // exactly what replay's external-delivery cursor requires.
+  const auto seed = [&] {
+    for (int x = 0; x < cfg.width; ++x) init_tt->sendk_input<0>(x);
+    if (needs_placeholder) {
+      for (int t = 1; t <= cfg.steps; ++t) {
+        for (int x = 0; x < cfg.width; ++x) {
+          if (dependencies(cfg, t, x).empty()) {
+            point_tt->send_input<0>(PKey{t, x}, PointData{-1, 0});
+          }
         }
       }
     }
-  }
-  world.fence();
+  };
 
   RunResult r;
-  r.seconds = timer.seconds();
+  if (replay) {
+    world.begin_recording();
+    seed();
+    world.fence();
+    ttg::ReplayInstance instance(world.end_recording());
+    // Warm-up replay: builds the arena, pre-warms the copy pools, and
+    // faults in the template; the timed epoch measures steady state.
+    world.execute_replay(instance);
+    seed();
+    world.fence();
+    ttg::WallTimer timer;
+    world.execute_replay(instance);
+    seed();
+    world.fence();
+    r.seconds = timer.seconds();
+  } else {
+    ttg::WallTimer timer;
+    world.execute();
+    seed();
+    world.fence();
+    r.seconds = timer.seconds();
+  }
   r.tasks = static_cast<std::uint64_t>(cfg.width) *
             static_cast<std::uint64_t>(cfg.steps);
   r.checksum = fold_checksum(result);
@@ -143,6 +165,11 @@ RunResult run_ttg_original(const BenchConfig& cfg, int threads) {
 RunResult run_ttg_with(const BenchConfig& cfg, int threads,
                        const ttg::Config& rt) {
   return run_ttg_config(cfg, threads, rt);
+}
+
+RunResult run_ttg_replay(const BenchConfig& cfg, int threads) {
+  return run_ttg_config(cfg, threads, ttg::Config::optimized(),
+                        /*replay=*/true);
 }
 
 }  // namespace taskbench

@@ -29,9 +29,9 @@ int log2_floor(int v) {
 
 }  // namespace
 
-std::vector<int> dependencies(const BenchConfig& cfg, int t, int x) {
+DepList dependencies(const BenchConfig& cfg, int t, int x) {
   assert(x >= 0 && x < cfg.width);
-  std::vector<int> deps;
+  DepList deps;
   if (t == 0) return deps;
   switch (cfg.pattern) {
     case Pattern::kTrivial:
@@ -79,11 +79,11 @@ std::vector<int> dependencies(const BenchConfig& cfg, int t, int x) {
   return deps;
 }
 
-std::vector<int> reverse_dependencies(const BenchConfig& cfg, int t, int x) {
+DepList reverse_dependencies(const BenchConfig& cfg, int t, int x) {
   if (t >= cfg.steps) return {};
   // All patterns here are sparse and local; the generic inverse (scan the
   // candidate neighborhood at t+1) is exact and cheap.
-  std::vector<int> out;
+  DepList out;
   const auto consumes = [&](int nx) {
     const auto deps = dependencies(cfg, t + 1, nx);
     return std::binary_search(deps.begin(), deps.end(), x);
@@ -104,7 +104,8 @@ std::vector<int> reverse_dependencies(const BenchConfig& cfg, int t, int x) {
         if (nx >= 0 && nx < cfg.width && consumes(nx)) out.push_back(nx);
       }
       std::sort(out.begin(), out.end());
-      out.erase(std::unique(out.begin(), out.end()), out.end());
+      out.n = static_cast<int>(std::unique(out.begin(), out.end()) -
+                               out.begin());
       break;
     case Pattern::kFFT: {
       out.push_back(x);

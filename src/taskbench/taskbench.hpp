@@ -14,6 +14,9 @@
 // run's checksum folds the last row.
 #pragma once
 
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -53,13 +56,44 @@ struct BenchConfig {
   bool verify = true;        ///< compute/compare checksums
 };
 
+/// Fixed-capacity dependency list. Every pattern in this harness has at
+/// most 3 dependencies per point, and the dependency queries sit on the
+/// per-task hot path of several implementations — returning this POD
+/// instead of a heap-allocated vector keeps a malloc/free pair out of
+/// every task body (which would otherwise dominate the small-task
+/// overhead the harness exists to measure).
+struct DepList {
+  static constexpr int kCap = 4;
+  int v[kCap];
+  int n = 0;
+
+  void push_back(int x) {
+    assert(n < kCap);
+    v[n++] = x;
+  }
+  int* begin() { return v; }
+  int* end() { return v + n; }
+  const int* begin() const { return v; }
+  const int* end() const { return v + n; }
+  std::size_t size() const { return static_cast<std::size_t>(n); }
+  bool empty() const { return n == 0; }
+  int operator[](std::size_t i) const { return v[i]; }
+
+  friend bool operator==(const DepList& a, const std::vector<int>& b) {
+    return std::equal(a.begin(), a.end(), b.begin(), b.end());
+  }
+  friend bool operator==(const std::vector<int>& a, const DepList& b) {
+    return b == a;
+  }
+};
+
 /// Points at t-1 whose output feeds (t, x); sorted ascending, empty for
 /// t == 0. (The "backward" query of the Task-Bench core API.)
-std::vector<int> dependencies(const BenchConfig& cfg, int t, int x);
+DepList dependencies(const BenchConfig& cfg, int t, int x);
 
 /// Points at t+1 that consume (t, x)'s output; sorted ascending, empty
 /// for the last step. (The "forward" query TTG needs, Sec. V-D.)
-std::vector<int> reverse_dependencies(const BenchConfig& cfg, int t, int x);
+DepList reverse_dependencies(const BenchConfig& cfg, int t, int x);
 
 /// The compute-bound kernel: `iterations` passes of fused multiply-adds
 /// over a 64-double working set (kFlopsPerIteration flops per pass).
@@ -117,6 +151,12 @@ const Implementation* find_implementation(const std::string& name);
 // Individual entry points (also reachable via implementations()).
 RunResult run_ttg(const BenchConfig& cfg, int threads);
 RunResult run_ttg_original(const BenchConfig& cfg, int threads);
+/// TTG with record-and-replay epoch compilation (docs/replay.md): the
+/// graph is recorded once in a dynamic epoch, then the timed run replays
+/// the frozen template (pre-resolved successors, join counters, no hash
+/// table). Not part of implementations() — the figure sweeps compare
+/// dynamic runtimes; replay rows are reported separately.
+RunResult run_ttg_replay(const BenchConfig& cfg, int threads);
 /// TTG with an arbitrary runtime configuration (Fig. 9 ablation).
 RunResult run_ttg_with(const BenchConfig& cfg, int threads,
                        const ttg::Config& rt);

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "runtime/data_copy.hpp"
+#include "ttg/graph_template.hpp"
 #include "ttg/keys.hpp"
 
 namespace ttg {
@@ -64,6 +65,11 @@ class TaskCopyContext {
  public:
   static constexpr int kMaxInputs = 16;
 
+  struct Reg {
+    const void* value_ptr;
+    DataCopyBase* copy;
+  };
+
   void register_input(const void* value_ptr, DataCopyBase* copy) noexcept {
     assert(n_ < kMaxInputs);
     regs_[n_].value_ptr = value_ptr;
@@ -78,18 +84,102 @@ class TaskCopyContext {
     return nullptr;
   }
 
+  /// Replay ownership transfer: clears the entry holding `copy` so the
+  /// task's teardown (owns() below) skips its release — the recorded
+  /// sole consumer inherited the reference instead. A later lookup of
+  /// the same value finds a cleared entry and falls back to
+  /// materializing a fresh copy, mirroring the dynamic path's
+  /// not-unique fallback for a twice-sent value.
+  void consume(DataCopyBase* copy) noexcept {
+    for (int i = 0; i < n_; ++i) {
+      if (regs_[i].copy == copy) {
+        regs_[i].copy = nullptr;
+        return;
+      }
+    }
+  }
+
+  /// Whether the running task still owns `copy` (its entry was not
+  /// consumed by a transferring send). Compares pointers only — safe
+  /// even if a transferred copy has already been released elsewhere.
+  bool owns(const DataCopyBase* copy) const noexcept {
+    for (int i = 0; i < n_; ++i) {
+      if (regs_[i].copy == copy) return true;
+    }
+    return false;
+  }
+
   void clear() noexcept { n_ = 0; }
 
- private:
-  struct Reg {
-    const void* value_ptr;
-    DataCopyBase* copy;
+  /// Cheap save/restore for the nesting discipline in run_impl /
+  /// run_replay_impl: only the active entries travel, so a task with
+  /// few (or zero — Void chains) registered inputs does not pay for
+  /// copying the whole kMaxInputs array twice per execution.
+  struct Saved {
+    Reg regs[kMaxInputs];
+    int n;
   };
+  void save_to(Saved& out) const noexcept {
+    out.n = n_;
+    for (int i = 0; i < n_; ++i) out.regs[i] = regs_[i];
+  }
+  void restore(const Saved& s) noexcept {
+    n_ = s.n;
+    for (int i = 0; i < s.n; ++i) regs_[i] = s.regs[i];
+  }
+
+ private:
   Reg regs_[kMaxInputs];
   int n_ = 0;
 };
 
 inline thread_local TaskCopyContext t_task_copies;
+
+/// Recording-epoch producer frame: identifies the task slot whose body
+/// is executing on this thread, so every delivery it performs can be
+/// appended to that slot's successor list in send order. Installed by
+/// TT::run_impl around recorded task bodies (saved/restored — inlined
+/// tasks nest) and by World::begin_recording for the seeding thread
+/// (slot = GraphRecorder::kExternalProducer).
+struct RecordFrame {
+  GraphRecorder* recorder = nullptr;
+  std::uint32_t slot = GraphRecorder::kExternalProducer;
+};
+
+inline thread_local RecordFrame t_record_frame;
+
+/// Replay-epoch cursor frame: the recorded successor range the running
+/// producer (or the external seeding thread) consumes, one SuccessorRef
+/// per delivery. `ready_head` batches externally fired source tasks
+/// into a priority-sorted chain for bulk scheduler injection
+/// (SubmitHint::kChain); worker-side readiness submits directly and
+/// rides the existing successor bundling.
+struct ReplayFrame {
+  ReplayInstance* instance = nullptr;
+  const SuccessorRef* cursor = nullptr;
+  const SuccessorRef* cursor_end = nullptr;
+  TaskBase* ready_head = nullptr;
+  int ready_count = 0;
+  bool external = false;
+  /// This thread's epoch copy arena: replay sends of trivially
+  /// destructible values materialize copies here instead of the pool
+  /// (no free-list atomics, reclaimed wholesale at the next epoch).
+  CopyArena* arena = nullptr;
+};
+
+inline thread_local ReplayFrame t_replay_frame;
+
+/// Materializes a send's copy: from the running replay epoch's arena
+/// when the payload qualifies, from the thread's copy pool otherwise.
+template <typename Value, typename U>
+DataCopy<Value>* make_send_copy(U&& v) {
+  if constexpr (std::is_trivially_destructible_v<Value>) {
+    if (CopyArena* arena = t_replay_frame.arena; arena != nullptr) {
+      return make_copy_in<Value>(*arena, std::forward<U>(v));
+    }
+  }
+  return make_copy<Value>(std::forward<U>(v));
+}
 
 }  // namespace detail
 
@@ -114,11 +204,22 @@ class Out {
     if (DataCopyBase* reg = detail::t_task_copies.lookup(&v);
         reg != nullptr && reg->unique()) {
       auto* copy = static_cast<DataCopy<Value>*>(reg);
+      if (n == 1 && detail::t_replay_frame.instance != nullptr) {
+        // Replay ownership transfer: the sole recorded consumer inherits
+        // this task's reference outright — no retain here, no release at
+        // teardown (run_replay_impl skips consumed entries). Replay-only:
+        // the dynamic path keeps the paper's retain/release pair so the
+        // Eq. (1) census stays exact. The external seeding frame cannot
+        // reach this branch — no inputs are registered on that thread.
+        detail::t_task_copies.consume(reg);
+        consumers[0]->deliver(key, copy);
+        return;
+      }
       copy->retain(static_cast<std::int32_t>(n));
       for (auto* c : consumers) c->deliver(key, copy);
       return;
     }
-    auto* copy = make_copy<Value>(std::move(v));
+    auto* copy = detail::make_send_copy<Value>(std::move(v));
     if (n > 1) copy->retain(static_cast<std::int32_t>(n - 1));
     for (auto* c : consumers) c->deliver(key, copy);
   }
@@ -129,7 +230,7 @@ class Out {
     const auto& consumers = edge_->consumers;
     const auto n = consumers.size();
     assert(n > 0 && "send into an edge with no consumer TT");
-    auto* copy = make_copy<Value>(v);
+    auto* copy = detail::make_send_copy<Value>(v);
     if (n > 1) copy->retain(static_cast<std::int32_t>(n - 1));
     for (auto* c : consumers) c->deliver(key, copy);
   }
@@ -157,7 +258,7 @@ class Out {
       copy = static_cast<DataCopy<Value>*>(reg);
       copy->retain(total);
     } else {
-      copy = make_copy<Value>(v);
+      copy = detail::make_send_copy<Value>(v);
       if (total > 1) copy->retain(total - 1);
     }
     for (const Key& key : keys) {

@@ -1,0 +1,406 @@
+// Graph shape vs. epoch instance: record-and-replay epoch compilation.
+//
+// A template task graph has two kinds of state. The *shape* — TTs,
+// edges, terminal wiring, and (for shape-stable workloads) the set of
+// task keys and the producer→consumer delivery pattern — is immutable
+// across runs. The *instance* — task records, DataCopies, join state —
+// is per epoch. The dynamic path re-derives the instance from the shape
+// every epoch through pending-table hashing and terminal resolution;
+// this module makes the shape a first-class object instead:
+//
+//   * GraphRecorder  — observes one dynamic epoch (World::begin_recording)
+//     and captures every task instantiation and every delivery.
+//   * GraphTemplate  — the frozen result: discovery-ordered task slots
+//     (a valid topological order when recorded serially), pre-resolved
+//     successor lists, per-slot input arity, and a pre-sized arena
+//     layout for the task records.
+//   * ReplayInstance — a reusable materialization of a template: one
+//     contiguous record arena plus pre-warmed DataCopy pools. A replay
+//     epoch (World::execute_replay) re-arms plain atomic join counters
+//     and runs with fresh payloads — no ScalableHashTable, no typeid
+//     terminal lookup, no per-task pool traffic.
+//
+// Successor resolution uses *sequence cursors*: deliveries are recorded
+// in per-producer send order, and during replay the n-th delivery a task
+// performs consumes the n-th recorded SuccessorRef. That makes replay
+// legal exactly for shape-deterministic graphs — every task must perform
+// the same sends, in the same order, with the same keys, as it did in
+// the recorded epoch (payload values are free to change). Divergence is
+// detected (key/terminal checked per delivery, cursor over/underrun) and
+// surfaces as a failed epoch, never as silent corruption.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/copy_pool.hpp"
+#include "runtime/task.hpp"
+#include "structures/join_counter.hpp"
+
+namespace ttg {
+
+/// How the current epoch executes (see World). Dynamic is the default
+/// and the fallback for shape-varying workloads; recording is a dynamic
+/// epoch with capture; replay runs a previously captured shape.
+enum class EpochMode : std::uint8_t { kDynamic, kRecording, kReplay };
+
+/// Thrown when a replayed epoch's send sequence does not match the
+/// recorded shape. Propagates through the engine's failure capture, so
+/// the epoch ends with Status{kFailed} instead of corrupting state.
+struct ReplayDiverged : std::logic_error {
+  using std::logic_error::logic_error;
+};
+
+/// Type-erased per-TT key storage (each TT keeps its recorded keys as a
+/// concrete std::vector<Key> behind this interface).
+class KeyStoreBase {
+ public:
+  virtual ~KeyStoreBase() = default;
+};
+
+/// The recording/replay surface of a graph node, implemented by TTBase
+/// (ttg/tt.hpp). Keeps this layer independent of the TT template zoo:
+/// templates and instances manipulate records only through these
+/// type-erased hooks.
+class ReplayNode {
+ public:
+  virtual ~ReplayNode() = default;
+
+  /// Display name (graphviz dumps, divergence diagnostics).
+  virtual const std::string& replay_name() const = 0;
+
+  /// Size/alignment of one task record, for arena layout.
+  virtual std::size_t replay_rec_size() const = 0;
+  virtual std::size_t replay_rec_align() const = 0;
+
+  /// Placement-constructs a task record for slot `slot_id` in `storage`
+  /// (arena memory of replay_rec_size/align), keyed by entry `key_index`
+  /// of `keys` (the store this node returned from take_recorded_keys).
+  /// The record's cancel hook must release input copies without touching
+  /// any pool — the storage belongs to the instance arena.
+  virtual TaskBase* replay_install(void* storage, const KeyStoreBase& keys,
+                                   std::uint32_t key_index,
+                                   std::int32_t slot_id,
+                                   std::int32_t priority) = 0;
+
+  /// Destroys a record built by replay_install (storage is reclaimed by
+  /// the instance, not here).
+  virtual void replay_uninstall(TaskBase* rec) noexcept = 0;
+
+  /// Releases any input copies parked in `rec` and clears the slots.
+  /// Idempotent; used by the post-abort sweep and instance teardown.
+  virtual void replay_discard_inputs(TaskBase* rec) noexcept = 0;
+
+  /// Moves the keys accumulated during the recording epoch out of the
+  /// node and into the template.
+  virtual std::unique_ptr<KeyStoreBase> take_recorded_keys() = 0;
+};
+
+/// One recorded delivery: the destination task slot and the input
+/// terminal it arrives on. 8 bytes; successor lists are flat arrays of
+/// these — no hashing, no typeid, no virtual dispatch to resolve a
+/// successor during replay.
+struct SuccessorRef {
+  std::uint32_t slot;
+  std::uint16_t input;
+  std::uint16_t reserved = 0;
+};
+
+/// One task slot of a frozen graph shape.
+struct TemplateSlot {
+  ReplayNode* node = nullptr;
+  std::uint32_t key_index = 0;   ///< into the node's key store
+  std::uint32_t expected = 0;    ///< deliveries targeting this slot
+  std::int32_t priority = 0;     ///< captured at record time (key-based)
+  std::uint32_t succ_begin = 0;  ///< into GraphTemplate's successor pool
+  std::uint32_t succ_count = 0;
+  std::size_t arena_offset = 0;  ///< record placement in the instance arena
+};
+
+class GraphTemplate {
+ public:
+  std::size_t num_slots() const { return slots_.size(); }
+  const TemplateSlot& slot(std::size_t i) const { return slots_[i]; }
+
+  const SuccessorRef* successors_begin(const TemplateSlot& s) const {
+    return successors_.data() + s.succ_begin;
+  }
+  const SuccessorRef* successors_end(const TemplateSlot& s) const {
+    return successors_.data() + s.succ_begin + s.succ_count;
+  }
+
+  /// Deliveries injected from outside any task (graph seeding), in
+  /// seeding order. A replay epoch must repeat the same seeds in the
+  /// same order from a single thread.
+  const std::vector<SuccessorRef>& external_deliveries() const {
+    return external_;
+  }
+
+  /// Total deliveries in one epoch (internal + external).
+  std::size_t num_deliveries() const {
+    return successors_.size() + external_.size();
+  }
+
+  /// Arena layout for one instance's task records.
+  std::size_t arena_bytes() const { return arena_bytes_; }
+  std::size_t arena_align() const { return arena_align_; }
+
+  /// DataCopy allocation footprint of the recorded epoch, as
+  /// {copy object bytes, allocation count} per distinct size — drives
+  /// copy-pool pre-warming (arena mode) at instantiation.
+  const std::vector<std::pair<std::size_t, std::size_t>>& copy_footprint()
+      const {
+    return copy_footprint_;
+  }
+
+  const KeyStoreBase& keys_for(const ReplayNode* node) const {
+    for (const auto& [n, store] : key_stores_) {
+      if (n == node) return *store;
+    }
+    throw std::logic_error("GraphTemplate: no key store for node");
+  }
+
+ private:
+  friend class GraphRecorder;
+  GraphTemplate() = default;
+
+  std::vector<TemplateSlot> slots_;
+  std::vector<SuccessorRef> successors_;
+  std::vector<SuccessorRef> external_;
+  std::vector<std::pair<ReplayNode*, std::unique_ptr<KeyStoreBase>>>
+      key_stores_;
+  std::vector<std::pair<std::size_t, std::size_t>> copy_footprint_;
+  std::size_t arena_bytes_ = 0;
+  std::size_t arena_align_ = alignof(std::max_align_t);
+};
+
+/// Captures one dynamic epoch. All mutation is mutex-guarded: recording
+/// is the one-time slow path, and slot creation (any worker) races with
+/// successor appends (other workers mid-send).
+class GraphRecorder {
+ public:
+  /// Producer id for deliveries performed outside any task body.
+  static constexpr std::uint32_t kExternalProducer = 0xffffffffu;
+
+  /// Registers a newly discovered task; returns its slot id. `key_index`
+  /// is the task's position in its node's recorded-key vector.
+  std::uint32_t add_slot(ReplayNode* node, std::uint32_t key_index,
+                         std::int32_t priority) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto id = static_cast<std::uint32_t>(entries_.size());
+    entries_.emplace_back();
+    Entry& e = entries_.back();
+    e.node = node;
+    e.key_index = key_index;
+    e.priority = priority;
+    return id;
+  }
+
+  /// Records one delivery, in the producer's send order. `copy_bytes` is
+  /// the DataCopy object size (0 for Void deliveries), accumulated into
+  /// the copy-pool footprint.
+  void add_delivery(std::uint32_t producer_slot, std::uint32_t dest_slot,
+                    std::uint16_t input, std::size_t copy_bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const SuccessorRef ref{dest_slot, input, 0};
+    if (producer_slot == kExternalProducer) {
+      external_.push_back(ref);
+    } else {
+      entries_[producer_slot].succs.push_back(ref);
+    }
+    if (copy_bytes != 0) ++copy_counts_[copy_bytes];
+  }
+
+  std::size_t num_slots() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+  }
+
+  /// Freezes the capture into an immutable template: flattens successor
+  /// lists, derives per-slot input arity from the refs targeting it,
+  /// computes the record-arena layout, and moves the recorded keys out
+  /// of the nodes.
+  std::shared_ptr<GraphTemplate> finalize() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto tmpl = std::shared_ptr<GraphTemplate>(new GraphTemplate());
+    tmpl->slots_.reserve(entries_.size());
+    std::size_t total_succs = 0;
+    for (const Entry& e : entries_) total_succs += e.succs.size();
+    tmpl->successors_.reserve(total_succs);
+    std::size_t offset = 0;
+    std::size_t max_align = alignof(std::max_align_t);
+    for (Entry& e : entries_) {
+      TemplateSlot s;
+      s.node = e.node;
+      s.key_index = e.key_index;
+      s.priority = e.priority;
+      s.succ_begin = static_cast<std::uint32_t>(tmpl->successors_.size());
+      s.succ_count = static_cast<std::uint32_t>(e.succs.size());
+      tmpl->successors_.insert(tmpl->successors_.end(), e.succs.begin(),
+                               e.succs.end());
+      const std::size_t align = e.node->replay_rec_align();
+      if (align > max_align) max_align = align;
+      offset = (offset + align - 1) & ~(align - 1);
+      s.arena_offset = offset;
+      offset += e.node->replay_rec_size();
+      tmpl->slots_.push_back(s);
+    }
+    tmpl->external_ = std::move(external_);
+    tmpl->arena_bytes_ = offset;
+    tmpl->arena_align_ = max_align;
+    for (const SuccessorRef& r : tmpl->successors_) {
+      ++tmpl->slots_[r.slot].expected;
+    }
+    for (const SuccessorRef& r : tmpl->external_) {
+      ++tmpl->slots_[r.slot].expected;
+    }
+    for (const TemplateSlot& s : tmpl->slots_) {
+      bool seen = false;
+      for (const auto& [node, store] : tmpl->key_stores_) {
+        if (node == s.node) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) {
+        tmpl->key_stores_.emplace_back(s.node, s.node->take_recorded_keys());
+      }
+    }
+    for (const auto& [bytes, count] : copy_counts_) {
+      tmpl->copy_footprint_.emplace_back(bytes, count);
+    }
+    entries_.clear();
+    copy_counts_.clear();
+    return tmpl;
+  }
+
+ private:
+  struct Entry {
+    ReplayNode* node = nullptr;
+    std::uint32_t key_index = 0;
+    std::int32_t priority = 0;
+    std::vector<SuccessorRef> succs;
+  };
+
+  std::mutex mutex_;
+  std::deque<Entry> entries_;  // deque: stable ids while growing
+  std::vector<SuccessorRef> external_;
+  std::map<std::size_t, std::size_t> copy_counts_;
+};
+
+/// A reusable materialization of a GraphTemplate: the per-epoch arena.
+/// Records are placement-constructed once (instantiate) and re-armed per
+/// epoch by resetting their join counters — replay epochs perform zero
+/// task allocations. Not thread-safe; drive it from the epoch's control
+/// thread (World::execute_replay / wait).
+///
+/// Lifetime: the TTs (and their World) referenced by the template must
+/// outlive the instance, and the instance must be torn down (destroyed)
+/// before them.
+class ReplayInstance {
+ public:
+  explicit ReplayInstance(std::shared_ptr<const GraphTemplate> tmpl)
+      : tmpl_(std::move(tmpl)) {}
+  ReplayInstance(const ReplayInstance&) = delete;
+  ReplayInstance& operator=(const ReplayInstance&) = delete;
+  ~ReplayInstance() { teardown(); }
+
+  const GraphTemplate& graph() const { return *tmpl_; }
+
+  /// Builds the record arena (idempotent) and pre-warms the calling
+  /// thread's copy pools to the recorded allocation footprint.
+  void instantiate() {
+    if (!records_.empty() || tmpl_->num_slots() == 0) return;
+    arena_ = ::operator new(tmpl_->arena_bytes(),
+                            std::align_val_t(tmpl_->arena_align()));
+    records_.reserve(tmpl_->num_slots());
+    char* base = static_cast<char*>(arena_);
+    for (std::size_t i = 0; i < tmpl_->num_slots(); ++i) {
+      const TemplateSlot& s = tmpl_->slot(i);
+      records_.push_back(s.node->replay_install(
+          base + s.arena_offset, tmpl_->keys_for(s.node), s.key_index,
+          static_cast<std::int32_t>(i), s.priority));
+    }
+    for (const auto& [bytes, count] : tmpl_->copy_footprint()) {
+      copy_pool_prewarm(bytes, count);
+    }
+  }
+
+  TaskBase* record(std::uint32_t slot) const { return records_[slot]; }
+  std::size_t num_records() const { return records_.size(); }
+
+  /// Re-arms every slot for a fresh epoch — the template-arena handoff:
+  /// after this, deliveries may race in and fire slots.
+  void begin_epoch() {
+    instantiate();
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      records_[i]->join.reset(tmpl_->slot(i).expected);
+    }
+    replay_arena_handoff_point();
+  }
+
+  /// Cooperative cancellation: claims every slot that has not fired yet.
+  /// The caller retires the claimed slots as cancelled completions.
+  /// Slots that were already ready (queued or running) are dropped by
+  /// the engine's ingress/pop cancellation path instead.
+  std::size_t purge_cancelled() {
+    std::size_t claimed = 0;
+    for (TaskBase* rec : records_) {
+      if (rec->join.try_cancel()) ++claimed;
+    }
+    return claimed;
+  }
+
+  /// Post-epoch sweep after a cancelled/failed epoch: releases input
+  /// copies still parked in records. Idempotent (clean epochs leave
+  /// nothing behind; this is skipped for them).
+  void discard_inputs() {
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      tmpl_->slot(i).node->replay_discard_inputs(records_[i]);
+    }
+  }
+
+  /// Prepares `n` per-thread copy arenas (one per worker plus one for
+  /// the external seeding thread) and rewinds them all — called by
+  /// World::execute_replay after the previous epoch's fence, when every
+  /// copy of that epoch is dead. Arena chunks persist across epochs, so
+  /// steady-state replays allocate copies without touching the heap or
+  /// the pools at all.
+  void arm_copy_arenas(std::size_t n) {
+    if (copy_arenas_.size() < n) copy_arenas_.resize(n);
+    for (CopyArena& a : copy_arenas_) a.reset();
+  }
+
+  CopyArena* copy_arena(std::size_t thread) {
+    return thread < copy_arenas_.size() ? &copy_arenas_[thread] : nullptr;
+  }
+
+ private:
+  void teardown() {
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      tmpl_->slot(i).node->replay_discard_inputs(records_[i]);
+      tmpl_->slot(i).node->replay_uninstall(records_[i]);
+    }
+    records_.clear();
+    if (arena_ != nullptr) {
+      ::operator delete(arena_, std::align_val_t(tmpl_->arena_align()));
+      arena_ = nullptr;
+    }
+  }
+
+  std::shared_ptr<const GraphTemplate> tmpl_;
+  void* arena_ = nullptr;
+  std::vector<TaskBase*> records_;
+  std::vector<CopyArena> copy_arenas_;
+};
+
+}  // namespace ttg

@@ -78,4 +78,38 @@ inline std::string graphviz(const std::vector<const TTBase*>& tts,
   return os.str();
 }
 
+/// Renders a recorded GraphTemplate (ttg/graph_template.hpp) as DOT —
+/// the *unrolled* task DAG of one epoch: one node per template slot
+/// (labeled with its TT's name and slot id), one arrow per pre-resolved
+/// SuccessorRef (labeled with the destination input terminal), and one
+/// plaintext seed node per external delivery.
+inline std::string graphviz(const GraphTemplate& tmpl,
+                            const std::string& graph_name = "epoch") {
+  std::ostringstream os;
+  os << "digraph \"" << graph_name << "\" {\n";
+  os << "  node [shape=box];\n";
+  for (std::size_t i = 0; i < tmpl.num_slots(); ++i) {
+    const TemplateSlot& s = tmpl.slot(i);
+    os << "  s" << i << " [label=\"" << s.node->replay_name() << " #" << i
+       << "\\nexpected=" << s.expected << "\"];\n";
+  }
+  for (std::size_t i = 0; i < tmpl.num_slots(); ++i) {
+    const TemplateSlot& s = tmpl.slot(i);
+    for (const SuccessorRef* r = tmpl.successors_begin(s);
+         r != tmpl.successors_end(s); ++r) {
+      os << "  s" << i << " -> s" << r->slot << " [label=\"in" << r->input
+         << "\"];\n";
+    }
+  }
+  int seed = 0;
+  for (const SuccessorRef& r : tmpl.external_deliveries()) {
+    const std::string id = "seed" + std::to_string(seed++);
+    os << "  " << id << " [shape=plaintext, label=\"seed\"];\n";
+    os << "  " << id << " -> s" << r.slot << " [label=\"in" << r.input
+       << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
 }  // namespace ttg

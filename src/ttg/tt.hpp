@@ -24,7 +24,9 @@
 #include <cassert>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <mutex>
 #include <iterator>
 #include <memory>
 #include <string>
@@ -51,9 +53,11 @@
 
 namespace ttg {
 
-/// Type-erased base of all TTs; useful for graph-wide bookkeeping and
-/// for rendering the template task graph (ttg::graphviz).
-class TTBase {
+/// Type-erased base of all TTs; useful for graph-wide bookkeeping, for
+/// rendering the template task graph (ttg::graphviz), and — through the
+/// ReplayNode interface — for record-and-replay epoch compilation
+/// (ttg/graph_template.hpp).
+class TTBase : public ReplayNode {
  public:
   virtual ~TTBase() = default;
   const std::string& name() const { return name_; }
@@ -78,7 +82,34 @@ class TTBase {
   /// so their execution spans show up under the TT's name.
   std::uint32_t trace_name() const { return trace_name_; }
 
+  // ReplayNode surface: TT overrides every hook below; the aborting
+  // defaults only fire if a node that never participated in a recording
+  // shows up in a template, which is a wiring bug.
+  const std::string& replay_name() const override { return name_; }
+  std::size_t replay_rec_size() const override { replay_unsupported(); }
+  std::size_t replay_rec_align() const override { replay_unsupported(); }
+  TaskBase* replay_install(void*, const KeyStoreBase&, std::uint32_t,
+                           std::int32_t, std::int32_t) override {
+    replay_unsupported();
+  }
+  void replay_uninstall(TaskBase*) noexcept override {
+    replay_unsupported();
+  }
+  void replay_discard_inputs(TaskBase*) noexcept override {
+    replay_unsupported();
+  }
+  std::unique_ptr<KeyStoreBase> take_recorded_keys() override {
+    replay_unsupported();
+  }
+
  protected:
+  [[noreturn]] void replay_unsupported() const {
+    std::fprintf(stderr,
+                 "ttg: node \"%s\" does not implement the replay "
+                 "surface\n",
+                 name_.c_str());
+    std::abort();
+  }
   explicit TTBase(std::string name)
       : name_(std::move(name)), trace_name_(trace::intern(name_)) {}
   std::string name_;
@@ -259,8 +290,8 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
   template <std::size_t I, typename V>
   void send_input(const Key& key, V&& value) {
     static_assert(!trait<I>::is_void, "use sendk_input for Void inputs");
-    input_arrived<I>(key,
-                     make_copy<value_t<I>>(std::forward<V>(value)));
+    input_arrived<I>(
+        key, detail::make_send_copy<value_t<I>>(std::forward<V>(value)));
   }
 
   /// Injects a pure control-flow token into (Void-typed) input I.
@@ -304,9 +335,22 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     Key key;
     std::atomic<std::int32_t> satisfied{0};
     std::int32_t expected{0};
+    /// Replay-path store guard for aggregated/reduced inputs: the
+    /// dynamic path serializes those stores under the key's bucket
+    /// lock, but replay has no buckets, so concurrent deliverers take
+    /// this byte spinlock instead. Plain inputs stay lock-free (one
+    /// writer per slot; publication rides the join counter's acq_rel).
+    std::atomic<std::uint8_t> store_lock{0};
     std::tuple<typename detail::input_trait<InEdges>::slot_type...> slots{};
 
     TaskRec(TT* tt_, const Key& key_) : tt(tt_), key(key_) {}
+
+    void lock_store() noexcept {
+      atomic_ops::count(AtomicOpCategory::kBucketLock);
+      while (store_lock.exchange(1, ord_acquire()) != 0) {
+      }
+    }
+    void unlock_store() noexcept { store_lock.store(0, ord_release()); }
   };
 
   template <std::size_t I>
@@ -408,6 +452,15 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
 
   template <std::size_t I>
   void local_arrived(const Key& key, DataCopy<value_t<I>>* copy) {
+    const EpochMode mode = world_->epoch_mode();
+    if (mode == EpochMode::kReplay) {
+      // Replayed epochs resolve the destination from the recorded
+      // successor cursor — before everything else, including the
+      // cancellation drop: the cursor must advance on every delivery or
+      // later deliveries of this producer would mis-align.
+      replay_arrived<I>(key, copy);
+      return;
+    }
     if (world_->cancelled()) {
       // Cooperative cancellation at send/broadcast ingress: the datum is
       // dropped before any record is created or discovery accounted.
@@ -417,9 +470,10 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     Context& ctx = world_->context(world_->current_rank());
     if constexpr (!kUsesHashTable) {
       // Single-input fast path: the task is born eligible.
-      TaskRec* rec = create_record(ctx, key);
+      TaskRec* rec = create_record(ctx, key, mode);
       apply_value_priority<I>(*rec, key, copy);
       std::get<I>(rec->slots) = copy;
+      if (mode == EpochMode::kRecording) record_delivery<I>(rec);
       ctx.submit(rec, SubmitHint::kMayInline);
       return;
     } else {
@@ -432,13 +486,17 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
       if (HashItemBase* item = acc.find(key_eq); item != nullptr) {
         rec = static_cast<TaskRec*>(item);
       } else {
-        rec = create_record(ctx, key);
+        rec = create_record(ctx, key, mode);
         rec->hash = h;
         rec->expected = compute_expected(key);
         acc.insert(rec);
       }
       apply_value_priority<I>(*rec, key, copy);
       store_input<I>(*rec, copy);
+      // Record before the counter update: if this delivery completes the
+      // task and it executes inline, its own sends must append *after*
+      // this one in the producer's successor order.
+      if (mode == EpochMode::kRecording) record_delivery<I>(rec);
       atomic_ops::count(AtomicOpCategory::kInputCount);
       const std::int32_t sat =
           rec->satisfied.fetch_add(1, ord_relaxed()) + 1;
@@ -448,6 +506,23 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
         ctx.submit(rec, SubmitHint::kMayInline);
       }
     }
+  }
+
+  /// Appends this delivery to the recording producer's successor list
+  /// (or to the template's external-seed list when performed outside a
+  /// task body), in send order — the order replay's cursor consumes.
+  template <std::size_t I>
+  void record_delivery(TaskRec* rec) {
+    constexpr std::size_t kCopyBytes =
+        trait<I>::is_void ? 0 : sizeof(DataCopy<value_t<I>>);
+    GraphRecorder* recorder = world_->recorder();
+    const detail::RecordFrame& frame = detail::t_record_frame;
+    const std::uint32_t producer = frame.recorder == recorder
+                                       ? frame.slot
+                                       : GraphRecorder::kExternalProducer;
+    recorder->add_delivery(producer,
+                           static_cast<std::uint32_t>(rec->slot_id),
+                           static_cast<std::uint16_t>(I), kCopyBytes);
   }
 
   template <std::size_t I>
@@ -481,7 +556,7 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     }
   }
 
-  TaskRec* create_record(Context& ctx, const Key& key) {
+  TaskRec* create_record(Context& ctx, const Key& key, EpochMode mode) {
     void* mem = pool_.allocate();
     auto* rec = new (mem) TaskRec(this, key);
     rec->execute = &TT::execute_task;
@@ -489,6 +564,20 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     rec->pool = &pool_;
     rec->trace_name = trace_name_;
     rec->priority = priority_fn_ ? priority_fn_(key) : 0;
+    if (mode == EpochMode::kRecording) {
+      // Register the task as a template slot: key into this TT's
+      // recorded-key store, slot into the epoch recorder. The priority
+      // captured here is the key-based one — value-aware priorities are
+      // a dynamic-path feature and are frozen at record time.
+      std::uint32_t key_index;
+      {
+        std::lock_guard<std::mutex> lock(recording_mutex_);
+        key_index = static_cast<std::uint32_t>(recording_keys_.size());
+        recording_keys_.push_back(key);
+      }
+      rec->slot_id = static_cast<std::int32_t>(
+          world_->recorder()->add_slot(this, key_index, rec->priority));
+    }
     // The task is now *discovered*; account before it can be scheduled
     // (and before it becomes findable in the hash table).
     ctx.on_discovered(1);
@@ -552,11 +641,21 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     // with task inlining a task can execute in the middle of its
     // producer's sends, and the producer's state must survive the
     // nested execution.
-    detail::TaskCopyContext saved = detail::t_task_copies;
+    detail::TaskCopyContext::Saved saved;
+    detail::t_task_copies.save_to(saved);
     detail::t_task_copies.clear();
     detail::ActiveTT saved_frame = detail::t_active_tt;
     detail::t_active_tt = {this, out_slots_.data(),
                            static_cast<int>(kNumOuts)};
+    // Recording epochs: identify this task as the producer of its sends
+    // (slot_id >= 0 only while recording, so the dynamic path pays
+    // nothing here). Saved/restored — inlined tasks nest.
+    detail::RecordFrame saved_record;
+    if (rec->slot_id >= 0) {
+      saved_record = detail::t_record_frame;
+      detail::t_record_frame = {world_->recorder(),
+                                static_cast<std::uint32_t>(rec->slot_id)};
+    }
     // Register input copies so rvalue sends can move them along.
     (register_input<Is>(*rec), ...);
     // Task bodies may take the trailing `outs` tuple (the explicit
@@ -574,15 +673,17 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
         fn_(static_cast<const Key&>(rec->key), make_arg<Is>(*rec)...);
       }
     } catch (...) {
+      if (rec->slot_id >= 0) detail::t_record_frame = saved_record;
       detail::t_active_tt = saved_frame;
-      detail::t_task_copies = saved;
+      detail::t_task_copies.restore(saved);
       (release_input<Is>(*rec), ...);
       rec->~TaskRec();
       pool_.deallocate(rec);
       throw;
     }
+    if (rec->slot_id >= 0) detail::t_record_frame = saved_record;
     detail::t_active_tt = saved_frame;
-    detail::t_task_copies = saved;
+    detail::t_task_copies.restore(saved);
     (release_input<Is>(*rec), ...);
     rec->~TaskRec();
     pool_.deallocate(rec);
@@ -617,6 +718,248 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     }
   }
 
+  // --- Record-and-replay path (see ttg/graph_template.hpp). -----------
+  //
+  // Replay deliveries resolve their destination from the producer's
+  // recorded successor cursor instead of hashing the key: the n-th send
+  // a task performs consumes the n-th recorded SuccessorRef. Readiness
+  // is a plain atomic join counter on the arena-resident record — no
+  // bucket lock, no pool traffic, no typeid dispatch.
+
+  template <std::size_t I>
+  void replay_arrived(const Key& key, DataCopy<value_t<I>>* copy) {
+    detail::ReplayFrame& frame = detail::t_replay_frame;
+    if (frame.instance == nullptr || frame.cursor == frame.cursor_end) {
+      if (copy != nullptr) copy->release();
+      throw ReplayDiverged("replay: TT \"" + name_ +
+                           "\" received a delivery with no recorded "
+                           "successor left for the producer");
+    }
+    const SuccessorRef ref = *frame.cursor++;
+    ReplayInstance& inst = *frame.instance;
+    const TemplateSlot& slot = inst.graph().slot(ref.slot);
+    if (slot.node != static_cast<ReplayNode*>(this) ||
+        ref.input != static_cast<std::uint16_t>(I)) {
+      if (copy != nullptr) copy->release();
+      throw ReplayDiverged("replay: delivery targets TT \"" + name_ +
+                           "\" input " + std::to_string(I) +
+                           " but the recording expected \"" +
+                           slot.node->replay_name() + "\" input " +
+                           std::to_string(ref.input));
+    }
+    auto* rec = static_cast<TaskRec*>(inst.record(ref.slot));
+    if (!(rec->key == key)) {
+      if (copy != nullptr) copy->release();
+      throw ReplayDiverged("replay: TT \"" + name_ +
+                           "\" delivery key differs from the recorded "
+                           "key of its destination slot");
+    }
+    store_input_replay<I>(*rec, copy);
+    const JoinCounter::Arrival a = rec->join.arrive();
+    if (a.ready) {
+      if (frame.external) {
+        // External seeds batch into a priority-sorted chain (bulk
+        // injection); worker-side readiness tail-chains on the
+        // executing worker — readiness here is a plain join-counter
+        // decrement, so the successor can run the moment the current
+        // body's epilogue finishes, with no scheduler round-trip.
+        world_->enqueue_replay_ready(rec);
+      } else {
+        world_->context(0).submit(rec, SubmitHint::kTailChain);
+      }
+    } else if (a.cancelled && a.last) {
+      // The slot was claimed by the cancellation purge (which retired it
+      // as a cancelled completion); the final deliverer sweeps whatever
+      // inputs accumulated.
+      reset_inputs(rec);
+    }
+  }
+
+  /// Replay-path input store. Plain inputs are lock-free (exactly one
+  /// recorded delivery targets each plain slot; publication to the
+  /// executing worker rides the join counter's acq_rel). Aggregated and
+  /// reduced inputs take the record's store spinlock — the dynamic path
+  /// serialized those under the key's bucket lock, which replay skips.
+  template <std::size_t I>
+  void store_input_replay(TaskRec& rec, DataCopy<value_t<I>>* copy) {
+    if constexpr (trait<I>::aggregated) {
+      rec.lock_store();
+      std::get<I>(rec.slots).push_back(copy);
+      rec.unlock_store();
+    } else if constexpr (trait<I>::reduced) {
+      rec.lock_store();
+      DataCopy<value_t<I>>*& slot = std::get<I>(rec.slots);
+      if (slot == nullptr) {
+        slot = copy;
+        rec.unlock_store();
+      } else {
+        std::get<I>(reduce_fns_)(slot->value(), std::move(copy->value()));
+        rec.unlock_store();
+        copy->release();
+      }
+    } else if constexpr (!trait<I>::is_void) {
+      assert(std::get<I>(rec.slots) == nullptr &&
+             "replay: duplicate delivery into a plain input slot");
+      std::get<I>(rec.slots) = copy;
+    }
+  }
+
+  /// Replay teardown variant of reset_input: releases only copies the
+  /// task still owns — a transferring move-send (TaskCopyContext::
+  /// consume) already handed its reference to the recorded consumer.
+  /// Must run while the task's own registry is still installed, i.e.
+  /// before run_replay_impl restores t_task_copies; every other sweep
+  /// (cancel hook, purge, discard) runs outside a body and uses the
+  /// unconditional reset_input below.
+  template <std::size_t I>
+  void reset_input_owned(TaskRec& rec) {
+    if constexpr (trait<I>::aggregated) {
+      for (DataCopy<value_t<I>>* c : std::get<I>(rec.slots)) {
+        if (c != nullptr) c->release();
+      }
+      std::get<I>(rec.slots).clear();
+    } else if constexpr (!trait<I>::is_void) {
+      if (DataCopy<value_t<I>>* c = std::get<I>(rec.slots); c != nullptr) {
+        if (detail::t_task_copies.owns(c)) c->release();
+        std::get<I>(rec.slots) = nullptr;
+      }
+    }
+  }
+
+  /// Idempotent per-slot input release for arena-resident records: nulls
+  /// (or clears) the slot so the record is ready for the next epoch.
+  template <std::size_t I>
+  void reset_input(TaskRec& rec) {
+    if constexpr (trait<I>::aggregated) {
+      for (DataCopy<value_t<I>>* c : std::get<I>(rec.slots)) {
+        if (c != nullptr) c->release();
+      }
+      std::get<I>(rec.slots).clear();
+    } else if constexpr (!trait<I>::is_void) {
+      if (DataCopy<value_t<I>>* c = std::get<I>(rec.slots); c != nullptr) {
+        c->release();
+        std::get<I>(rec.slots) = nullptr;
+      }
+    }
+  }
+
+  void reset_inputs(TaskRec* rec) {
+    [this, rec]<std::size_t... Is>(std::index_sequence<Is...>) {
+      (reset_input<Is>(*rec), ...);
+    }(std::make_index_sequence<kNumIns>{});
+  }
+
+  void run_replay(TaskRec* rec, int worker_index) {
+    run_replay_impl(rec, worker_index,
+                    std::make_index_sequence<kNumIns>{});
+  }
+
+  template <std::size_t... Is>
+  void run_replay_impl(TaskRec* rec, int worker_index,
+                       std::index_sequence<Is...>) {
+    ReplayInstance* inst = world_->replay_instance();
+    assert(inst != nullptr && rec->slot_id >= 0);
+    const TemplateSlot& slot =
+        inst->graph().slot(static_cast<std::size_t>(rec->slot_id));
+    detail::TaskCopyContext::Saved saved;
+    detail::t_task_copies.save_to(saved);
+    detail::t_task_copies.clear();
+    detail::ActiveTT saved_frame = detail::t_active_tt;
+    detail::t_active_tt = {this, out_slots_.data(),
+                           static_cast<int>(kNumOuts)};
+    // Install this slot's recorded successor range as the send cursor
+    // (saved/restored: inlined consumers nest).
+    detail::ReplayFrame saved_replay = detail::t_replay_frame;
+    detail::t_replay_frame = {
+        inst, inst->graph().successors_begin(slot),
+        inst->graph().successors_end(slot), nullptr, 0, false,
+        inst->copy_arena(static_cast<std::size_t>(worker_index))};
+    (register_input<Is>(*rec), ...);
+    try {
+      if constexpr (std::is_invocable_v<Fn&, const Key&,
+                                        decltype(make_arg<Is>(*rec))...,
+                                        Outs&>) {
+        fn_(static_cast<const Key&>(rec->key), make_arg<Is>(*rec)...,
+            outs_);
+      } else {
+        fn_(static_cast<const Key&>(rec->key), make_arg<Is>(*rec)...);
+      }
+    } catch (...) {
+      // Sweep inputs while this task's registry is still installed so
+      // transferred (consumed) copies are not double-released.
+      (reset_input_owned<Is>(*rec), ...);
+      detail::t_replay_frame = saved_replay;
+      detail::t_active_tt = saved_frame;
+      detail::t_task_copies.restore(saved);
+      throw;
+    }
+    const bool short_sends =
+        detail::t_replay_frame.cursor != detail::t_replay_frame.cursor_end;
+    (reset_input_owned<Is>(*rec), ...);
+    detail::t_replay_frame = saved_replay;
+    detail::t_active_tt = saved_frame;
+    detail::t_task_copies.restore(saved);
+    // Fewer sends than recorded is divergence — unless the epoch is
+    // being cancelled, where bodies legitimately bail out early.
+    if (short_sends && !world_->cancelled()) {
+      throw ReplayDiverged("replay: task of TT \"" + name_ +
+                           "\" performed fewer sends than recorded");
+    }
+    // The record stays armed in the arena: no destructor, no pool.
+  }
+
+  static void execute_replay_task(TaskBase* base, Worker& worker) {
+    auto* rec = static_cast<TaskRec*>(base);
+    rec->tt->run_replay(rec, worker.index());
+  }
+
+  /// Cancel hook for replay records: releases parked inputs and leaves
+  /// the record armed in the arena (TaskBase::pool is null for arena
+  /// residents, so the engine never tries to free it).
+  static void cancel_replay_task(TaskBase* base) {
+    auto* rec = static_cast<TaskRec*>(base);
+    rec->tt->reset_inputs(rec);
+  }
+
+  /// Concrete key store behind the type-erased KeyStoreBase.
+  struct ReplayKeys final : KeyStoreBase {
+    std::vector<Key> keys;
+  };
+
+  // ReplayNode surface (called by GraphRecorder/ReplayInstance).
+  std::size_t replay_rec_size() const override { return sizeof(TaskRec); }
+  std::size_t replay_rec_align() const override { return alignof(TaskRec); }
+
+  TaskBase* replay_install(void* storage, const KeyStoreBase& keys,
+                           std::uint32_t key_index, std::int32_t slot_id,
+                           std::int32_t priority) override {
+    const auto& store = static_cast<const ReplayKeys&>(keys);
+    auto* rec = new (storage) TaskRec(this, store.keys[key_index]);
+    rec->execute = &TT::execute_replay_task;
+    rec->cancel = &TT::cancel_replay_task;
+    rec->pool = nullptr;  // arena-resident: reclaimed by the instance
+    rec->trace_name = trace_name_;
+    rec->priority = priority;
+    rec->slot_id = slot_id;
+    return rec;
+  }
+
+  void replay_uninstall(TaskBase* rec) noexcept override {
+    static_cast<TaskRec*>(rec)->~TaskRec();
+  }
+
+  void replay_discard_inputs(TaskBase* rec) noexcept override {
+    reset_inputs(static_cast<TaskRec*>(rec));
+  }
+
+  std::unique_ptr<KeyStoreBase> take_recorded_keys() override {
+    auto store = std::make_unique<ReplayKeys>();
+    std::lock_guard<std::mutex> lock(recording_mutex_);
+    store->keys = std::move(recording_keys_);
+    recording_keys_.clear();
+    return store;
+  }
+
   template <std::size_t... Is, typename... Vs>
   void invoke_impl(const Key& key, std::index_sequence<Is...>,
                    Vs&&... values) {
@@ -629,8 +972,9 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
       (void)value;
       input_arrived<I>(key, nullptr);
     } else {
-      input_arrived<I>(key,
-                       make_copy<value_t<I>>(std::forward<V>(value)));
+      input_arrived<I>(
+          key,
+          detail::make_send_copy<value_t<I>>(std::forward<V>(value)));
     }
   }
 
@@ -658,6 +1002,11 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
       priority_value_fn_;
   MemoryPool pool_;
   ScalableHashTable table_;
+  /// Keys captured by the active recording epoch, in slot-registration
+  /// order (TemplateSlot::key_index indexes this vector); moved into the
+  /// template by take_recorded_keys at finalize.
+  std::vector<Key> recording_keys_;
+  std::mutex recording_mutex_;
 };
 
 /// Builds a TT from a callable and its input/output edge tuples.

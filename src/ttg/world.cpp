@@ -73,13 +73,41 @@ void World::execute() {
 
 Status World::wait() {
   assert(epoch_open_ && "wait() without execute()");
+  const EpochMode mode = epoch_mode();
+  if (mode == EpochMode::kReplay) {
+    // Every recorded external seed must have been re-delivered, or some
+    // slots can never fire; turn the shortfall into a clean abort
+    // instead of a hang.
+    detail::ReplayFrame& frame = detail::t_replay_frame;
+    if (frame.cursor != frame.cursor_end) {
+      abort("replay: fewer external seeds than the recorded epoch");
+    }
+    flush_replay_ready();
+  }
   if (watchdog_ != nullptr) watchdog_->arm();
   // The calling thread stops producing: flush its counters and take part
   // in the wave until termination is announced.
   detector_->on_idle();
   int spins = 0;
+  bool replay_purged = false;
   while (!detector_->terminated()) {
-    if (fault_.cancelled()) purge_cancelled();
+    if (fault_.cancelled()) {
+      if (mode == EpochMode::kReplay) {
+        // One pass claims every unfired slot (the claim bit makes later
+        // deliveries stand down); ready-but-queued records are dropped
+        // by the engine's ingress/pop path instead.
+        if (!replay_purged && replay_instance_ != nullptr) {
+          replay_purged = true;
+          const std::size_t claimed = replay_instance_->purge_cancelled();
+          if (claimed > 0) {
+            detector_->on_cancelled(0, static_cast<std::int64_t>(claimed));
+            detector_->on_idle();
+          }
+        }
+      } else {
+        purge_cancelled();
+      }
+    }
     detector_->advance_wave();
     if (++spins < 256) {
       std::this_thread::yield();
@@ -90,9 +118,104 @@ Status World::wait() {
     }
   }
   if (watchdog_ != nullptr) watchdog_->disarm();
+  const Status st = fault_.status();
+  if (mode == EpochMode::kReplay) {
+    detail::t_replay_frame = detail::ReplayFrame{};
+    // A clean replay leaves every slot executed and cleared; after a
+    // failure/abort, sweep input copies still parked in unfired records.
+    if (!st.ok() && replay_instance_ != nullptr) {
+      replay_instance_->discard_inputs();
+    }
+    replay_instance_ = nullptr;
+    epoch_mode_.store(EpochMode::kDynamic, std::memory_order_relaxed);
+  } else if (mode == EpochMode::kRecording) {
+    detail::t_record_frame = detail::RecordFrame{};
+    epoch_mode_.store(EpochMode::kDynamic, std::memory_order_relaxed);
+  }
   epoch_open_ = false;
   needs_reset_ = true;
-  return fault_.status();
+  return st;
+}
+
+void World::begin_recording() {
+  assert(nranks_ == 1 &&
+         "recording requires a single-rank world (keymaps resolve "
+         "locally)");
+  execute();
+  recorder_ = std::make_unique<GraphRecorder>();
+  epoch_mode_.store(EpochMode::kRecording, std::memory_order_relaxed);
+  // The calling thread is the external producer: its seeds are recorded
+  // in call order as the template's external deliveries.
+  detail::t_record_frame =
+      detail::RecordFrame{recorder_.get(), GraphRecorder::kExternalProducer};
+}
+
+std::shared_ptr<GraphTemplate> World::end_recording() {
+  assert(!epoch_open_ && "end_recording() before the recording epoch "
+                         "fenced");
+  if (recorder_ == nullptr) return nullptr;
+  std::shared_ptr<GraphTemplate> tmpl;
+  if (fault_.status().ok()) tmpl = recorder_->finalize();
+  recorder_.reset();
+  return tmpl;
+}
+
+void World::execute_replay(ReplayInstance& instance) {
+  assert(nranks_ == 1 && "replay requires a single-rank world");
+  assert(epoch_mode() == EpochMode::kDynamic &&
+         "execute_replay() during an open recording/replay epoch");
+  execute();
+  // Re-arm the arena *before* the mode flips: once deliveries can
+  // arrive, every join counter must already hold its expected count.
+  instance.begin_epoch();
+  // Every copy the previous replay epoch allocated died before its
+  // fence returned, so the per-thread copy arenas can be rewound here:
+  // one arena per worker plus a trailing one for this (external
+  // seeding) thread.
+  const auto workers =
+      static_cast<std::size_t>(context(0).num_threads());
+  instance.arm_copy_arenas(workers + 1);
+  replay_instance_ = &instance;
+  epoch_mode_.store(EpochMode::kReplay, std::memory_order_relaxed);
+  // Bulk discovery: the whole template is accounted in one counter
+  // update instead of one on_discovered per task.
+  const auto slots = static_cast<std::int64_t>(instance.graph().num_slots());
+  if (slots > 0) context(0).on_discovered(slots);
+  const GraphTemplate& g = instance.graph();
+  const SuccessorRef* ext = g.external_deliveries().data();
+  detail::t_replay_frame = detail::ReplayFrame{
+      &instance, ext, ext + g.external_deliveries().size(), nullptr, 0,
+      /*external=*/true, instance.copy_arena(workers)};
+}
+
+void World::enqueue_replay_ready(TaskBase* task) {
+  detail::ReplayFrame& frame = detail::t_replay_frame;
+  // Descending-priority insertion, matching the worker bundling
+  // discipline, so the chain honors push_chain's sortedness contract.
+  LifoNode* prev = nullptr;
+  LifoNode* cur = frame.ready_head;
+  while (cur != nullptr && cur->priority > task->priority) {
+    prev = cur;
+    cur = cur->next.load(std::memory_order_relaxed);
+  }
+  task->next.store(cur, std::memory_order_relaxed);
+  if (prev == nullptr) {
+    frame.ready_head = task;
+  } else {
+    prev->next.store(task, std::memory_order_relaxed);
+  }
+  if (++frame.ready_count >= ExecutionEngine::kMaxBatch) {
+    flush_replay_ready();
+  }
+}
+
+void World::flush_replay_ready() {
+  detail::ReplayFrame& frame = detail::t_replay_frame;
+  if (frame.ready_head == nullptr) return;
+  TaskBase* head = frame.ready_head;
+  frame.ready_head = nullptr;
+  frame.ready_count = 0;
+  context(0).submit(head, SubmitHint::kChain);
 }
 
 void World::abort(std::string reason) {

@@ -27,6 +27,7 @@
 #include "runtime/watchdog.hpp"
 #include "structures/fifo.hpp"
 #include "termdet/termdet.hpp"
+#include "ttg/graph_template.hpp"
 
 namespace ttg {
 
@@ -64,6 +65,47 @@ class World {
   /// messages are in flight. Equivalent to (void)wait() — inspect
   /// status() afterwards if the run may have failed.
   void fence() { (void)wait(); }
+
+  // --- Record-and-replay epochs (see ttg/graph_template.hpp and
+  // docs/replay.md). -------------------------------------------------
+
+  /// How the current epoch executes. Workers read this on every arrival
+  /// (relaxed load; visibility rides the scheduler's publish chain — the
+  /// mode only changes while the world is quiescent).
+  EpochMode epoch_mode() const {
+    return epoch_mode_.load(std::memory_order_relaxed);
+  }
+
+  /// Starts a *recording* epoch: a normal dynamic epoch whose task
+  /// instantiations and deliveries are captured. Seed the graph from the
+  /// calling thread only, fence(), then end_recording(). Single-rank
+  /// worlds only.
+  void begin_recording();
+
+  /// Freezes the capture of the last recording epoch into an immutable
+  /// GraphTemplate. Call after the recording epoch fenced; returns
+  /// nullptr if that epoch failed or was aborted.
+  std::shared_ptr<GraphTemplate> end_recording();
+
+  /// Starts a *replay* epoch on `instance` (instantiating it on first
+  /// use): all template slots are discovered up front in one bulk
+  /// counter update, readiness runs on plain join counters, and the
+  /// pending hash tables are never touched. Repeat the recorded seeds
+  /// from the calling thread, then wait()/fence(). The instance is
+  /// re-armed on every call, so the same instance replays any number of
+  /// epochs.
+  void execute_replay(ReplayInstance& instance);
+
+  /// The recorder of the active recording epoch (null otherwise).
+  GraphRecorder* recorder() { return recorder_.get(); }
+
+  /// The instance of the active replay epoch (null otherwise).
+  ReplayInstance* replay_instance() { return replay_instance_; }
+
+  /// Batches an externally fired replay source task for bulk injection;
+  /// flushes a priority-sorted chain to the scheduler every
+  /// ExecutionEngine::kMaxBatch tasks (and at wait()).
+  void enqueue_replay_ready(TaskBase* task);
 
   /// Requests a cooperative abort: running tasks finish, everything not
   /// yet started is dropped as a cancelled completion, and wait()
@@ -145,6 +187,9 @@ class World {
   std::uint64_t progress_counter() const;
   void on_stall();
 
+  /// Submits the pending externally-fired replay chain (if any).
+  void flush_replay_ready();
+
   Config config_;
   int nranks_;
   std::unique_ptr<TerminationDetector> detector_;
@@ -154,6 +199,10 @@ class World {
   std::atomic<std::uint64_t> messages_delivered_{0};
   bool epoch_open_ = false;
   bool needs_reset_ = false;
+
+  std::atomic<EpochMode> epoch_mode_{EpochMode::kDynamic};
+  std::unique_ptr<GraphRecorder> recorder_;
+  ReplayInstance* replay_instance_ = nullptr;
 
   mutable std::mutex nodes_mutex_;
   std::vector<TTBase*> nodes_;  // guarded by nodes_mutex_

@@ -1,0 +1,123 @@
+// DST property test: the replay-path JoinCounter fires each slot
+// exactly once, even when deliveries race each other and a cooperative
+// cancellation claim.
+//
+// Two scenarios. ExactlyOnceReady races N deliverers on one counter and
+// checks that precisely one observes readiness (the fetch_sub total
+// order hands old==1 to exactly one arrival) and that the counter
+// drains to zero — the TTG_MUTANT_REPLAY_JOIN_NO_FENCE mutant splits
+// the decrement into an unfenced load/store pair, so two racing
+// arrivals read the same count, the slot never fires, and the counter
+// is left non-zero. CancelRace adds a canceller: a slot must be retired
+// by exactly one party — the ready arrival or the cancellation claim —
+// and a claimed slot's final delivery must observe the claim so the
+// input sweep runs exactly once.
+#include <atomic>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dst_common.hpp"
+#include "sim/sim.hpp"
+#include "structures/join_counter.hpp"
+
+namespace {
+
+struct ExactlyOnceReady {
+  static constexpr int kArrivers = 3;
+
+  ttg::JoinCounter join;
+  std::atomic<int> ready_fires{0};
+
+  ExactlyOnceReady() { join.reset(kArrivers); }
+
+  std::vector<std::function<void()>> bodies() {
+    auto arriver = [this] {
+      // The template-arena handoff precedes every delivery in replay;
+      // exercising the hook here keeps the schedule space honest.
+      ttg::replay_arena_handoff_point();
+      const ttg::JoinCounter::Arrival a = join.arrive();
+      if (a.ready) ready_fires.fetch_add(1, std::memory_order_relaxed);
+    };
+    return std::vector<std::function<void()>>(kArrivers, arriver);
+  }
+
+  std::string check() {
+    std::ostringstream os;
+    const int fires = ready_fires.load(std::memory_order_relaxed);
+    if (fires != 1) {
+      os << fires << " ready observation(s) for " << kArrivers
+         << " deliveries into one slot (want exactly 1: lost or "
+            "duplicated decrement)";
+      return os.str();
+    }
+    if (join.remaining() != 0) {
+      os << "counter left at " << join.remaining()
+         << " after all deliveries (lost decrement)";
+      return os.str();
+    }
+    return "";
+  }
+};
+
+struct CancelRace {
+  static constexpr int kArrivers = 2;
+
+  ttg::JoinCounter join;
+  std::atomic<int> ready_fires{0};
+  std::atomic<int> claims{0};
+  std::atomic<int> sweeps{0};
+
+  CancelRace() { join.reset(kArrivers); }
+
+  std::vector<std::function<void()>> bodies() {
+    auto arriver = [this] {
+      const ttg::JoinCounter::Arrival a = join.arrive();
+      if (a.ready) ready_fires.fetch_add(1, std::memory_order_relaxed);
+      // Replay's contract: the final delivery into a claimed slot sweeps
+      // the parked inputs (the claimer already retired the slot).
+      if (a.cancelled && a.last) {
+        sweeps.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    auto canceller = [this] {
+      if (join.try_cancel()) {
+        claims.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    return {arriver, arriver, canceller};
+  }
+
+  std::string check() {
+    std::ostringstream os;
+    const int fires = ready_fires.load(std::memory_order_relaxed);
+    const int claimed = claims.load(std::memory_order_relaxed);
+    const int swept = sweeps.load(std::memory_order_relaxed);
+    if (fires + claimed != 1) {
+      os << "slot retired " << (fires + claimed)
+         << " time(s) (ready=" << fires << " claims=" << claimed
+         << "); exactly one of {ready fire, cancel claim} must win";
+      return os.str();
+    }
+    if (claimed == 1 && swept != 1) {
+      os << "claimed slot swept " << swept
+         << " time(s); the final delivery must sweep exactly once";
+      return os.str();
+    }
+    if (fires == 1 && swept != 0) {
+      return "a slot that fired was also swept as cancelled";
+    }
+    return "";
+  }
+};
+
+TEST(DstJoin, ExactlyOnceReady) {
+  dst::explore<ExactlyOnceReady>("join_exactly_once", 3);
+}
+
+TEST(DstJoin, CancelRace) {
+  dst::explore<CancelRace>("join_cancel_race", 3);
+}
+
+}  // namespace

@@ -132,6 +132,56 @@ TEST(Faults, AbortDrainsTenThousandTasks) {
       << "an abort at task 50 of 10000 must drop work";
 }
 
+TEST(Faults, AbortDuringReplayRetiresUnstartedSlots) {
+  Tracked::live.store(0);
+  {
+    ttg::World world(test_config(2));
+    ttg::Edge<int, Tracked> e("chain");
+    constexpr int kLen = 2000;
+    std::atomic<int> ran{0};
+    std::atomic<bool> arm_abort{false};
+    auto tt = ttg::make_tt<int>(
+        [&](const int& k, Tracked& t) {
+          if (k == 50 && arm_abort.load()) world.abort("replay abort");
+          ran.fetch_add(1);
+          if (k < kLen - 1) ttg::send<0>(k + 1, Tracked(t.v + 1));
+        },
+        ttg::edges(e), ttg::edges(e), "step", world);
+
+    world.begin_recording();
+    tt->send_input<0>(0, Tracked(0));
+    ASSERT_TRUE(world.wait().ok());
+    ttg::ReplayInstance instance(world.end_recording());
+
+    // Abort mid-replay: every template slot that never started must be
+    // retired as a cancelled completion (claimed join counters), or the
+    // termination wave would hang waiting on the arena's unfired slots.
+    arm_abort.store(true);
+    ran.store(0);
+    world.execute_replay(instance);
+    tt->send_input<0>(0, Tracked(0));
+    const ttg::Status st = world.wait();
+    EXPECT_TRUE(st.aborted());
+    EXPECT_EQ(st.reason, "replay abort");
+    EXPECT_THROW(world.rethrow(), ttg::WorldAborted);
+    EXPECT_EQ(world.detector().total_discovered(),
+              world.detector().total_completed());
+    EXPECT_GT(world.detector().total_cancelled(), 0)
+        << "an abort at hop 50 of 2000 must drop unstarted slots";
+    EXPECT_LT(ran.load(), kLen);
+
+    // The instance re-arms for a clean follow-up replay.
+    arm_abort.store(false);
+    ran.store(0);
+    world.execute_replay(instance);
+    tt->send_input<0>(0, Tracked(0));
+    EXPECT_TRUE(world.wait().ok());
+    EXPECT_EQ(ran.load(), kLen);
+  }
+  EXPECT_EQ(Tracked::live.load(), 0)
+      << "payloads leaked across the aborted replay";
+}
+
 TEST(Faults, NoPayloadLeaksAcrossFailedEpoch) {
   Tracked::live.store(0);
   {
