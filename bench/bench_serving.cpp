@@ -1,0 +1,332 @@
+// Serving benchmark: one shared Runtime engine pool, hundreds of
+// concurrent tenant Worlds submitting fig5-style small graphs
+// (docs/serving.md).
+//
+// Two series:
+//
+//  * "saturate" — closed-loop waves: every World's epoch is opened
+//    (admitted + seeded + sealed) before any completion is collected,
+//    so the peak in-flight count reaches --worlds by construction, then
+//    the wave drains. Measures saturation throughput (graphs/s) and
+//    per-graph completion latency under full occupancy.
+//  * "poisson" — open-loop: graph arrivals follow a seeded Poisson
+//    process at --rate-frac of the measured saturation throughput,
+//    round-robin over the Worlds. Latency is measured from the
+//    *scheduled* arrival (so queueing delay when all servers are busy
+//    counts against the system, as in any open-loop serving benchmark).
+//
+// Worlds alternate dynamic and compiled-replay epochs under
+// --mode=mixed (the default); each replay World records its chain once
+// during setup. Per-graph latency percentiles (p50/p99) come from the
+// collector's done() polling loop.
+//
+//   ./bench_serving [--workers=N] [--worlds=N] [--chain=N] [--rounds=N]
+//                   [--mode=mixed|dynamic|replay] [--max-inflight=N]
+//                   [--json-out=path]
+//
+// The committed baseline (BENCH_serving.json) and the CI perf-smoke
+// gate use --workers=2 --worlds=256: 256 concurrent in-flight Worlds on
+// two shared workers.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One tenant World serving a serial control-flow chain of `chain`
+/// tasks (the fig5 zero-flow shape), dynamic or compiled-replay.
+struct Server {
+  std::unique_ptr<ttg::World> world;
+  ttg::Edge<int, ttg::Void> edge{"ctl"};
+  std::function<void()> seed;
+  std::shared_ptr<void> tt;
+  bool replay = false;
+  std::unique_ptr<ttg::ReplayInstance> instance;
+
+  ttg::Submission handle;
+  bool open = false;
+  Clock::time_point scheduled;  ///< arrival the latency clock starts at
+
+  Server(ttg::Runtime& rt, int chain, bool use_replay, int index) {
+    ttg::WorldOptions wo;
+    wo.name = "srv" + std::to_string(index);
+    world = rt.make_world(wo);
+    std::shared_ptr node = ttg::make_tt<int>(
+        [chain](const int& k, const ttg::Void&, auto& outs) {
+          if (k + 1 < chain) ttg::sendk<0>(k + 1, outs);
+        },
+        ttg::edges(edge), ttg::edges(edge), "chain", *world);
+    seed = [node] { node->template sendk_input<0>(0); };
+    tt = node;
+    replay = use_replay;
+    if (replay) {
+      world->begin_recording();
+      seed();
+      world->fence();
+      auto tmpl = world->end_recording();
+      if (tmpl == nullptr) {
+        std::fprintf(stderr, "bench_serving: recording failed\n");
+        std::exit(1);
+      }
+      instance = std::make_unique<ttg::ReplayInstance>(std::move(tmpl));
+    }
+  }
+
+  /// Opens one epoch: admit + seed + seal. The caller is the (single)
+  /// seeding thread — replay seeding uses thread-local state.
+  void submit(Clock::time_point arrival) {
+    handle = replay ? world->execute_replay(*instance) : world->execute();
+    seed();
+    world->seal_seeds();
+    scheduled = arrival;
+    open = true;
+  }
+};
+
+struct LatencyStats {
+  double p50_ms = 0, p99_ms = 0, mean_ms = 0;
+};
+
+LatencyStats percentiles(std::vector<double>& lat_ms) {
+  LatencyStats s;
+  if (lat_ms.empty()) return s;
+  std::sort(lat_ms.begin(), lat_ms.end());
+  auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(lat_ms.size() - 1) + 0.5);
+    return lat_ms[idx];
+  };
+  s.p50_ms = at(0.50);
+  s.p99_ms = at(0.99);
+  double sum = 0;
+  for (double v : lat_ms) sum += v;
+  s.mean_ms = sum / static_cast<double>(lat_ms.size());
+  return s;
+}
+
+struct SeriesResult {
+  double seconds = 0;
+  std::uint64_t graphs = 0;
+  std::uint64_t shed = 0;
+  int inflight_peak = 0;
+  LatencyStats lat;
+  double throughput_gps() const {
+    return seconds > 0 ? static_cast<double>(graphs) / seconds : 0;
+  }
+};
+
+/// Closed-loop waves: open every server's epoch, then collect the whole
+/// wave while later completions are still draining.
+SeriesResult run_saturate(std::vector<std::unique_ptr<Server>>& servers,
+                          int rounds) {
+  SeriesResult r;
+  std::vector<double> lat_ms;
+  lat_ms.reserve(servers.size() * static_cast<std::size_t>(rounds));
+  const auto t0 = Clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    for (auto& s : servers) s->submit(Clock::now());
+    r.inflight_peak =
+        std::max(r.inflight_peak, static_cast<int>(servers.size()));
+    std::size_t remaining = servers.size();
+    while (remaining > 0) {
+      std::this_thread::yield();  // don't starve the shared workers
+      for (auto& s : servers) {
+        if (!s->open || !s->handle.done()) continue;
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      s->scheduled)
+                .count();
+        const ttg::Status st = s->handle.wait();
+        s->open = false;
+        --remaining;
+        if (st.shed()) {
+          ++r.shed;
+        } else {
+          lat_ms.push_back(ms);
+          ++r.graphs;
+        }
+      }
+    }
+  }
+  r.seconds = seconds_since(t0);
+  r.lat = percentiles(lat_ms);
+  return r;
+}
+
+/// Open-loop Poisson arrivals at `rate_gps`, round-robin over servers.
+SeriesResult run_poisson(std::vector<std::unique_ptr<Server>>& servers,
+                         std::uint64_t arrivals, double rate_gps,
+                         std::uint64_t seed) {
+  SeriesResult r;
+  std::vector<double> lat_ms;
+  lat_ms.reserve(arrivals);
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> interarrival(rate_gps);
+
+  int inflight = 0;
+  auto collect = [&](bool block_for, Server* target) {
+    // Drain every completed epoch; when `block_for` is set, loop until
+    // `target` in particular has been collected.
+    for (;;) {
+      bool target_open = false;
+      for (auto& s : servers) {
+        if (!s->open) continue;
+        if (!s->handle.done()) {
+          if (s.get() == target) target_open = true;
+          continue;
+        }
+        const double ms =
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      s->scheduled)
+                .count();
+        const ttg::Status st = s->handle.wait();
+        s->open = false;
+        --inflight;
+        if (st.shed()) {
+          ++r.shed;
+        } else {
+          lat_ms.push_back(ms);
+          ++r.graphs;
+        }
+      }
+      if (!block_for || !target_open) return;
+      std::this_thread::yield();
+    }
+  };
+
+  const auto t0 = Clock::now();
+  auto next_arrival = t0;
+  for (std::uint64_t i = 0; i < arrivals; ++i) {
+    next_arrival += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(interarrival(rng)));
+    while (Clock::now() < next_arrival) {
+      collect(false, nullptr);
+      std::this_thread::yield();
+    }
+    Server* s = servers[i % servers.size()].get();
+    // The round-robin server may still be busy: wait for it (open-loop
+    // queueing delay — the latency clock started at the arrival).
+    if (s->open) collect(true, s);
+    s->submit(next_arrival);
+    inflight += 1;
+    r.inflight_peak = std::max(r.inflight_peak, inflight);
+  }
+  for (auto& s : servers) {
+    if (s->open) collect(true, s.get());
+  }
+  r.seconds = seconds_since(t0);
+  r.lat = percentiles(lat_ms);
+  return r;
+}
+
+void emit_row(bench::JsonReport& json, const char* series,
+              const std::string& mode, int worlds, int workers, int chain,
+              double rate_frac, double rate_gps, int chain_len_tasks,
+              const SeriesResult& r) {
+  std::printf(
+      "%s mode=%s worlds=%d workers=%d chain=%d rate_frac=%.2f "
+      "graphs=%llu gps=%.0f tasks/s=%.0f p50=%.3fms p99=%.3fms "
+      "mean=%.3fms inflight_peak=%d shed=%llu\n",
+      series, mode.c_str(), worlds, workers, chain, rate_frac,
+      static_cast<unsigned long long>(r.graphs), r.throughput_gps(),
+      r.throughput_gps() * chain_len_tasks, r.lat.p50_ms, r.lat.p99_ms,
+      r.lat.mean_ms, r.inflight_peak,
+      static_cast<unsigned long long>(r.shed));
+  json.row();
+  json.field("series", std::string(series));
+  json.field("mode", mode);
+  json.field("worlds", static_cast<std::int64_t>(worlds));
+  json.field("workers", static_cast<std::int64_t>(workers));
+  json.field("chain", static_cast<std::int64_t>(chain));
+  json.field("rate_frac", rate_frac);
+  json.field("rate_gps", rate_gps);
+  json.field("graphs", static_cast<std::int64_t>(r.graphs));
+  json.field("seconds", r.seconds);
+  json.field("throughput_gps", r.throughput_gps());
+  json.field("tasks_per_s", r.throughput_gps() * chain_len_tasks);
+  json.field("p50_ms", r.lat.p50_ms);
+  json.field("p99_ms", r.lat.p99_ms);
+  json.field("mean_ms", r.lat.mean_ms);
+  json.field("inflight_peak", static_cast<std::int64_t>(r.inflight_peak));
+  json.field("shed", static_cast<std::int64_t>(r.shed));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchCommon common(argc, argv, "serving");
+  const int workers =
+      static_cast<int>(common.args.get_int("workers", 2));
+  const int worlds = static_cast<int>(common.args.get_int("worlds", 64));
+  const int chain = static_cast<int>(common.args.get_int("chain", 16));
+  const int rounds = static_cast<int>(common.args.get_int("rounds", 4));
+  const std::string mode = common.args.get_string("mode", "mixed");
+  const int max_inflight =
+      static_cast<int>(common.args.get_int("max-inflight", worlds));
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(common.args.get_int("seed", 20260808));
+
+  common.json.config("workers", static_cast<std::int64_t>(workers));
+  common.json.config("worlds", static_cast<std::int64_t>(worlds));
+  common.json.config("chain", static_cast<std::int64_t>(chain));
+  common.json.config("rounds", static_cast<std::int64_t>(rounds));
+  common.json.config("mode", mode);
+  common.json.config("max_inflight", static_cast<std::int64_t>(max_inflight));
+
+  ttg::RuntimeOptions opts;
+  opts.config = ttg::Config::optimized();
+  opts.config.num_threads = workers;
+  opts.max_inflight_worlds = max_inflight;
+  opts.admission = ttg::AdmissionPolicy::kShed;
+  opts.name = "serving";
+  ttg::Runtime rt(opts);
+
+  std::vector<std::unique_ptr<Server>> servers;
+  servers.reserve(static_cast<std::size_t>(worlds));
+  for (int i = 0; i < worlds; ++i) {
+    const bool replay =
+        mode == "replay" || (mode == "mixed" && i % 2 == 0);
+    servers.push_back(std::make_unique<Server>(rt, chain, replay, i));
+  }
+
+  // Warm-up wave (first-epoch costs: record instantiation, pool grow).
+  (void)run_saturate(servers, 1);
+
+  const SeriesResult sat = run_saturate(servers, rounds);
+  emit_row(common.json, "saturate", mode, worlds, workers, chain,
+           /*rate_frac=*/1.0, sat.throughput_gps(), chain, sat);
+
+  const std::uint64_t arrivals =
+      static_cast<std::uint64_t>(worlds) * static_cast<std::uint64_t>(rounds);
+  for (double rate_frac : {0.5, 0.9}) {
+    const double rate_gps = sat.throughput_gps() * rate_frac;
+    if (rate_gps <= 0) break;
+    const SeriesResult p =
+        run_poisson(servers, arrivals, rate_gps, seed);
+    emit_row(common.json, "poisson", mode, worlds, workers, chain,
+             rate_frac, rate_gps, chain, p);
+  }
+
+  std::printf(
+      "runtime: executed=%llu live_worlds=%d admission=%d/%d shed=%llu\n",
+      static_cast<unsigned long long>(rt.total_tasks_executed()),
+      rt.live_worlds(), rt.inflight_epochs(), rt.admission_limit(),
+      static_cast<unsigned long long>(rt.epochs_shed()));
+  return 0;
+}

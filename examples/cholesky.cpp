@@ -97,7 +97,9 @@ int main(int argc, char** argv) {
     return t;
   };
 
-  ttg::World world(ttg::Config::optimized());
+  ttg::Runtime runtime;
+  auto world_ptr = runtime.make_world();
+  ttg::World& world = *world_ptr;
 
   ttg::Edge<int, Tile> potrf_in("potrf");
   ttg::Edge<KI, Tile> trsm_panel("trsm_panel");  // L_kk broadcast
@@ -159,7 +161,7 @@ int main(int argc, char** argv) {
       [nt](const KIJ& key) { return 3 * (nt - std::get<0>(key)) - 2; });
 
   ttg::WallTimer timer;
-  world.execute();
+  ttg::Submission epoch = world.execute();
   // Seed: every lower tile enters its first operation.
   potrf_tt->send_input<0>(0, load_tile(0, 0));
   for (int i = 1; i < nt; ++i) {
@@ -170,7 +172,7 @@ int main(int argc, char** argv) {
       update_tt->send_input<2>(KIJ{0, i, j}, load_tile(i, j));
     }
   }
-  world.fence();
+  epoch.wait();
   const double dt = timer.seconds();
 
   // Verify: max |(L L^T)_ij - A_ij| over the lower triangle.

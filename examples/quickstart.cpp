@@ -1,9 +1,11 @@
 // Quickstart: a 1D diffusion-flavored chain of tasks.
 //
-// Demonstrates the minimal TTG workflow: declare edges, build a template
-// task with make_tt, execute, seed, fence. A single template task sends
-// to itself, so the runtime unfolds a dynamic chain of dependent tasks —
-// the data moves along the chain with zero copies.
+// Demonstrates the minimal TTG workflow on the serving API
+// (docs/serving.md): a Runtime owns the worker pool, make_world() mints
+// a lightweight World on it, and execute() returns a Submission handle
+// to wait on. A single template task sends to itself, so the runtime
+// unfolds a dynamic chain of dependent tasks — the data moves along the
+// chain with zero copies.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -17,9 +19,11 @@
 #include "ttg/ttg.hpp"
 
 int main() {
-  ttg::Config cfg = ttg::Config::optimized();
-  ttg::World world(cfg);
-  std::printf("runtime: %s\n", cfg.describe().c_str());
+  ttg::RuntimeOptions opts;  // Config::optimized() by default
+  ttg::Runtime runtime(opts);
+  auto world_ptr = runtime.make_world();
+  ttg::World& world = *world_ptr;
+  std::printf("runtime: %s\n", runtime.config().describe().c_str());
 
   constexpr int kSteps = 1000;
   constexpr int kCells = 64;
@@ -50,9 +54,9 @@ int main() {
   std::vector<double> u0(kCells, 0.0);
   u0[kCells / 2] = 1.0;
 
-  world.execute();
+  ttg::Submission epoch = world.execute();
   step->send_input<0>(0, std::move(u0));
-  world.fence();
+  epoch.wait();
 
   const double mass = std::accumulate(result.begin(), result.end(), 0.0);
   std::printf("after %d steps: mass=%.6f (conserved: %s), peak=%.6f\n",

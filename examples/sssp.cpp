@@ -85,7 +85,9 @@ int main(int argc, char** argv) {
   const int degree = argc > 2 ? std::atoi(argv[2]) : 4;
   const Graph graph = Graph::random(n, degree, /*seed=*/7);
 
-  ttg::World world(ttg::Config::optimized());
+  ttg::Runtime runtime;
+  auto world_ptr = runtime.make_world();
+  ttg::World& world = *world_ptr;
 
   // Tentative distances, updated under per-vertex bucket locks.
   ttg::ConcurrentMap<int, long> dist;
@@ -121,9 +123,9 @@ int main(int argc, char** argv) {
           }));
 
   ttg::WallTimer timer;
-  world.execute();
+  ttg::Submission epoch = world.execute();
   relax->send_input<0>(0, 0L);
-  world.fence();
+  epoch.wait();
   const double dt = timer.seconds();
 
   // Verify against Dijkstra.

@@ -31,7 +31,9 @@ int score(int i, int j) {
 
 int main(int argc, char** argv) {
   const int n = argc > 1 ? std::atoi(argv[1]) : 256;
-  ttg::World world(ttg::Config::optimized());
+  ttg::Runtime runtime;
+  auto world_ptr = runtime.make_world();
+  ttg::World& world = *world_ptr;
 
   ttg::Edge<Key, long> from_north("north"), from_west("west");
   std::atomic<long> corner{0};
@@ -50,11 +52,11 @@ int main(int argc, char** argv) {
   cell->set_priority_fn([](const Key& k) { return k.first + k.second; });
 
   ttg::WallTimer timer;
-  world.execute();
+  ttg::Submission epoch = world.execute();
   // Seed the borders: row 0 needs "north" inputs, column 0 "west".
   for (int j = 0; j < n; ++j) cell->send_input<0>(Key{0, j}, 0L);
   for (int i = 0; i < n; ++i) cell->send_input<1>(Key{i, 0}, 0L);
-  world.fence();
+  epoch.wait();
   const double dt = timer.seconds();
 
   // Serial verification.

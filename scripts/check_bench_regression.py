@@ -31,6 +31,16 @@ MEASURED_KEYS = {
     "core_time_per_task_s",
     "efficiency_pct",
     "flops_rate",
+    # bench_serving (BENCH_serving.json)
+    "graphs",
+    "throughput_gps",
+    "tasks_per_s",
+    "rate_gps",
+    "p50_ms",
+    "p99_ms",
+    "mean_ms",
+    "inflight_peak",
+    "shed",
 }
 
 

@@ -37,8 +37,20 @@ Context::Context(const Config& config, TerminationDetector* detector,
     detector_->thread_attach(rank);
   }
 
-  engine_ = std::make_unique<ExecutionEngine>(*this, config_, *detector_,
-                                              *fault_, rank);
+  owned_engine_ = std::make_unique<ExecutionEngine>(
+      *this, config_, *detector_, *fault_, rank);
+  engine_ = owned_engine_.get();
+}
+
+Context::Context(const Config& config, ExecutionEngine& engine,
+                 TenantState* tenant)
+    : config_(config),
+      detector_(&engine.detector()),
+      fault_(tenant != nullptr ? &tenant->fault : &engine.fault()),
+      tenant_(tenant),
+      engine_(&engine) {
+  // No apply_globals(): the Runtime that owns `engine` already applied
+  // its configuration, and a tenant must not retune shared knobs.
 }
 
 Context::~Context() = default;
@@ -54,6 +66,8 @@ void Context::abort(std::string reason) {
 }
 
 void Context::fence() {
+  assert(tenant_ == nullptr &&
+         "tenant epochs complete via World::wait(), not Context::fence()");
   // The calling thread stops producing: flush its counters and take part
   // in the wave until termination is announced.
   detector_->on_idle();
@@ -71,6 +85,15 @@ void Context::fence() {
 }
 
 void Context::reset_epoch() {
+  if (tenant_ != nullptr) {
+    // A tenant's epoch state is its own counters and fault, never the
+    // shared engine's termination wave.
+    assert(tenant_->quiescent() &&
+           "reset_epoch() before the tenant epoch drained");
+    tenant_->unseal();
+    tenant_->fault.reset();
+    return;
+  }
   assert(detector_->terminated() &&
          "reset_epoch() before the previous epoch terminated");
   detector_->reset();

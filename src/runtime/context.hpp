@@ -47,6 +47,15 @@ class Context {
   Context(const Config& config, TerminationDetector* detector, int rank,
           FaultState* fault = nullptr);
 
+  /// Creates a lightweight tenant context that *borrows* a shared engine
+  /// (a Runtime's worker pool, docs/serving.md) instead of owning one.
+  /// Discovery accounting and the cancellation edge route to `tenant`;
+  /// the engine, its detector and its workers are untouched by this
+  /// context's lifecycle, so construction/destruction is a few pointer
+  /// stores — cheap enough for hundreds of concurrent Worlds.
+  Context(const Config& config, ExecutionEngine& engine,
+          TenantState* tenant);
+
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
   ~Context();
@@ -68,16 +77,29 @@ class Context {
   /// Marks the calling (external) thread as an active producer for a new
   /// or continuing epoch. Must be called before the first submit of an
   /// epoch and after every fence() that is followed by more work.
-  void begin() { detector_->on_resume(); }
+  /// Tenant contexts are a no-op: their epoch lifecycle is the tenant's
+  /// pending counter, not the shared engine's wave.
+  void begin() {
+    if (tenant_ != nullptr) return;
+    detector_->on_resume();
+  }
 
   /// Accounts the discovery of `n` tasks on the calling thread. Must
   /// happen before the tasks become schedulable. Rank-aware: a thread
   /// that never attached to the detector (an external helper seeding
   /// the graph) accounts directly on this context's rank, so the
   /// discovery is never stranded in an unflushed per-thread counter.
+  /// Tenant contexts account on the tenant's pending counter instead.
   void on_discovered(std::int64_t n = 1) {
+    if (tenant_ != nullptr) {
+      tenant_->on_discovered(n);
+      return;
+    }
     detector_->on_discovered(rank(), n);
   }
+
+  /// The tenant this context accounts to (null for classic contexts).
+  TenantState* tenant() const { return tenant_; }
 
   /// Submits an already-discovered task for execution — the one
   /// submission entry point. See SubmitHint (runtime/engine.hpp) for the
@@ -97,7 +119,12 @@ class Context {
   void abort(std::string reason);
 
   /// Installs (or clears) a seeded fault-injection plan; see FaultPlan.
+  /// On a tenant context the plan applies only to this tenant's tasks.
   void set_fault_plan(const FaultPlan* plan) {
+    if (tenant_ != nullptr) {
+      tenant_->fault_plan.store(plan, std::memory_order_release);
+      return;
+    }
     engine_->set_fault_plan(plan);
   }
 
@@ -125,9 +152,13 @@ class Context {
   TerminationDetector* detector_;
   std::unique_ptr<FaultState> owned_fault_;
   FaultState* fault_;
-  // Constructed last / destroyed first: the engine's workers reference
-  // the detector, fault state and config above.
-  std::unique_ptr<ExecutionEngine> engine_;
+  TenantState* tenant_ = nullptr;
+  // Constructed last / destroyed first: an owned engine's workers
+  // reference the detector, fault state and config above. Tenant
+  // contexts borrow a Runtime's engine instead (owned_engine_ stays
+  // null) and must not outlive it.
+  std::unique_ptr<ExecutionEngine> owned_engine_;
+  ExecutionEngine* engine_ = nullptr;
 };
 
 }  // namespace ttg

@@ -88,9 +88,13 @@ ExecutionEngine::~ExecutionEngine() {
 }
 
 void ExecutionEngine::submit(TaskBase* task, SubmitHint hint) {
-  if (fault_->cancelled()) {
+  if (task == nullptr) return;
+  if (fault_for(task).cancelled()) {
     // Cooperative cancellation: newly activated tasks are dropped at
     // ingress instead of scheduled. One relaxed load on the clean path.
+    // A chain comes from one producer body, so its tasks share one
+    // owner; the head's fault state governs the whole chain and each
+    // drop routes per task anyway.
     while (task != nullptr) {
       TaskBase* next =
           hint == SubmitHint::kChain
@@ -107,7 +111,6 @@ void ExecutionEngine::submit(TaskBase* task, SubmitHint hint) {
   const int worker = local ? w->index_ : kExternalWorker;
   switch (hint) {
     case SubmitHint::kChain:
-      if (task == nullptr) return;
       if (trace::enabled_for(trace::kCatSched)) {
         std::uint64_t len = 0;
         for (LifoNode* n = task; n != nullptr; n = n->next) ++len;
@@ -180,7 +183,7 @@ void ExecutionEngine::worker_main(int index) {
       backoff.on_work();
       last_stage = IdleBackoff::Action::kSpin;
       auto* task = static_cast<TaskBase*>(node);
-      if (fault_->cancelled()) {
+      if (fault_for(task).cancelled()) {
         drop_cancelled(task);
         continue;
       }
@@ -226,7 +229,7 @@ void ExecutionEngine::worker_main(int index) {
       backoff.on_work();
       last_stage = IdleBackoff::Action::kSpin;
       auto* task = static_cast<TaskBase*>(node);
-      if (fault_->cancelled()) {
+      if (fault_for(task).cancelled()) {
         drop_cancelled(task);
         continue;
       }
@@ -252,20 +255,25 @@ void ExecutionEngine::worker_main(int index) {
 
 void ExecutionEngine::report_task_failure(std::exception_ptr ep,
                                           std::uint32_t span_name,
-                                          int worker) {
+                                          int worker, TenantState* tenant) {
   failed_tasks_.fetch_add(1, std::memory_order_relaxed);
   trace::record(trace::EventKind::kTaskFailed,
                 static_cast<std::uint64_t>(worker), span_name);
-  if (fault_->on_task_exception(ep)) {
+  FaultState& fault = tenant != nullptr ? tenant->fault : *fault_;
+  if (tenant != nullptr) tenant->on_failed();
+  if (fault.on_task_exception(ep)) {
     trace::record(trace::EventKind::kWorldAborted,
                   static_cast<std::uint64_t>(Outcome::kFailed));
     // Parked workers must observe the cancellation so they drain (and
-    // drop) whatever is still queued instead of sleeping through it.
+    // drop) whatever is still queued instead of sleeping through it;
+    // a tenant waiter additionally gets an immediate wakeup.
     notify_work();
+    if (tenant != nullptr) tenant->notify();
   }
 }
 
 void ExecutionEngine::drop_cancelled(TaskBase* task) {
+  TenantState* tenant = task->tenant;
   if (task->cancel != nullptr) {
     task->cancel(task);
   } else if (task->pool != nullptr) {
@@ -274,11 +282,18 @@ void ExecutionEngine::drop_cancelled(TaskBase* task) {
   // A task with neither hook nor pool is owned externally; dropping the
   // reference is the best the runtime can do.
   cancelled_tasks_.fetch_add(1, std::memory_order_relaxed);
-  detector_->on_cancelled(rank_, 1);
+  if (tenant != nullptr) {
+    tenant->on_cancelled();
+  } else {
+    detector_->on_cancelled(rank_, 1);
+  }
 }
 
 bool ExecutionEngine::inject_fault(TaskBase* task, int worker_index) {
-  const FaultPlan* plan = fault_plan_.load(std::memory_order_acquire);
+  TenantState* tenant = task->tenant;
+  const FaultPlan* plan =
+      tenant != nullptr ? tenant->fault_plan.load(std::memory_order_acquire)
+                        : fault_plan_.load(std::memory_order_acquire);
   if (plan == nullptr) return false;
   // Stateless deterministic draw: seed × worker × per-worker counter.
   std::uint64_t& counter = fault_draws_[worker_index].value;
@@ -290,15 +305,19 @@ bool ExecutionEngine::inject_fault(TaskBase* task, int worker_index) {
     plan->injected_throws.fetch_add(1, std::memory_order_relaxed);
     report_task_failure(
         std::make_exception_ptr(FaultInjected("injected task fault")),
-        task->trace_name, worker_index);
+        task->trace_name, worker_index, tenant);
     // The task never runs: release it and retire its discovery so the
-    // termination wave still converges.
+    // termination wave (or the tenant's pending count) still converges.
     if (task->cancel != nullptr) {
       task->cancel(task);
     } else if (task->pool != nullptr) {
       task->pool->deallocate(task);
     }
-    detector_->on_completed();
+    if (tenant != nullptr) {
+      tenant->on_executed();
+    } else {
+      detector_->on_completed();
+    }
     return true;
   }
   if (u < plan->throw_prob + plan->delay_prob) {

@@ -38,6 +38,7 @@
 #include "runtime/fault.hpp"
 #include "runtime/parking_lot.hpp"
 #include "runtime/task.hpp"
+#include "runtime/tenant.hpp"
 #include "runtime/worker.hpp"
 #include "sched/scheduler.hpp"
 #include "termdet/termdet.hpp"
@@ -181,10 +182,12 @@ class ExecutionEngine {
   /// Workers currently parked (racy; stall-watchdog diagnostics).
   int parked_workers() const { return parking_.sleepers(); }
 
-  /// Captures a task-body exception into the FaultState (first error
-  /// wins) and cancels the run. Called by Worker::run_task's catch.
+  /// Captures a task-body exception into the owning FaultState (first
+  /// error wins) and cancels that run — the engine-wide state for
+  /// classic tasks, `tenant`'s for tenant-tagged tasks. Called by
+  /// Worker::run_task's catch.
   void report_task_failure(std::exception_ptr ep, std::uint32_t span_name,
-                           int worker);
+                           int worker, TenantState* tenant = nullptr);
 
   /// Installs (or clears, with nullptr) a seeded fault-injection plan,
   /// applied at task pop boundaries. Install while quiescent; the plan
@@ -201,6 +204,13 @@ class ExecutionEngine {
 
  private:
   friend class Worker;
+
+  /// The fault state governing `task`: its tenant World's when tagged
+  /// (docs/serving.md), the engine-wide one otherwise. One extra
+  /// pointer test on the pop/ingress cancellation check; still no RMW.
+  FaultState& fault_for(const TaskBase* task) const {
+    return task->tenant != nullptr ? task->tenant->fault : *fault_;
+  }
 
   void worker_main(int index);
 

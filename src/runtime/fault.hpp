@@ -33,6 +33,7 @@ enum class Outcome : std::uint8_t {
   kOk = 0,   ///< the epoch completed with no failure and no abort
   kFailed,   ///< a task body threw; the exception is captured
   kAborted,  ///< World::abort() (or the stall watchdog) cancelled the run
+  kShed,     ///< the Runtime's admission gate rejected the epoch (overload)
 };
 
 /// Result of World::wait(): how the epoch ended, plus the abort/failure
@@ -44,6 +45,7 @@ struct Status {
   bool ok() const { return outcome == Outcome::kOk; }
   bool failed() const { return outcome == Outcome::kFailed; }
   bool aborted() const { return outcome == Outcome::kAborted; }
+  bool shed() const { return outcome == Outcome::kShed; }
 };
 
 /// Thrown by World::rethrow() when the epoch ended via World::abort()
@@ -123,6 +125,20 @@ class FaultState {
     return first;
   }
 
+  /// Marks the epoch shed by admission control: no work was (or will be)
+  /// admitted; stray seeds drop at ingress via the cancellation edge.
+  /// Same first-outcome-wins discipline as request_abort.
+  bool request_shed(std::string reason) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const bool first = outcome_ == Outcome::kOk;
+    if (first) {
+      outcome_ = Outcome::kShed;
+      reason_ = std::move(reason);
+    }
+    cancelled_.store(true, std::memory_order_release);
+    return first;
+  }
+
   Status status() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return Status{outcome_, reason_};
@@ -141,7 +157,9 @@ class FaultState {
       reason = reason_;
     }
     if (outcome == Outcome::kFailed && ep) std::rethrow_exception(ep);
-    if (outcome == Outcome::kAborted) throw WorldAborted(reason);
+    if (outcome == Outcome::kAborted || outcome == Outcome::kShed) {
+      throw WorldAborted(reason);
+    }
   }
 
   /// Clears the state for the next epoch. Callers must guarantee the

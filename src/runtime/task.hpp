@@ -16,6 +16,7 @@
 namespace ttg {
 
 class Worker;
+class TenantState;
 
 struct TaskBase : LifoNode {
   /// Runs the task and is responsible for releasing it (normally back to
@@ -37,6 +38,11 @@ struct TaskBase : LifoNode {
   /// Template-slot id for recorded/replayed epochs; -1 on the dynamic
   /// path.
   std::int32_t slot_id = -1;
+  /// Owning tenant World's state when the task belongs to a lightweight
+  /// World on a shared Runtime engine (docs/serving.md); null on the
+  /// classic single-World path, where completion/cancellation accounting
+  /// goes through the termination detector instead.
+  TenantState* tenant = nullptr;
   /// Outstanding-delivery counter for replay epochs; unused (zero) on
   /// the dynamic path, where readiness is tracked in the pending table.
   JoinCounter join;

@@ -1,0 +1,291 @@
+// Tenant state: per-World accounting on a shared engine pool.
+//
+// The multi-tenant serving mode (docs/serving.md) runs many lightweight
+// Worlds on one ExecutionEngine. The four-counter termination wave
+// (Sec. IV-C) is engine-wide — its per-thread counters belong to the
+// worker threads, which are shared — so a tenant World cannot use it to
+// detect *its own* quiescence. Instead every tenant task carries a
+// TenantState pointer (TaskBase::tenant) and the engine routes the three
+// per-task events — discovery, completion, cancelled drop — to the
+// tenant's counters:
+//
+//   pending   +n on discovery, -1 on retirement. The single-location
+//             balance argument makes the zero read sound: a task's
+//             retirement decrement is ordered after its discovery
+//             increment (discovery happens-before submission
+//             happens-before execution), so any coherent prefix of the
+//             counter's modification order that leaves a task
+//             outstanding shows pending >= 1. A sealed epoch (the
+//             producer stopped seeding) is over exactly when the waiter
+//             reads pending == 0.
+//   retired   monotonic progress for the stall watchdog.
+//   failed / cancelled  diagnostics, mirroring the engine-wide counters.
+//
+// These are deliberately *uninstrumented* atomics (no atomic_ops::count):
+// the Eq. (1) census models the classic single-World hot path, which
+// does not pay them — a task with tenant == nullptr touches none of
+// this. See docs/serving.md "Cost model".
+//
+// AdmissionGate implements the bounded-admission overload policy
+// (shed-or-queue) at epoch granularity. It is header-only and marks its
+// racy windows with TTG_SIM_POINT so the DST harness
+// (tests/dst/dst_serving.cpp) can drive it through adversarial
+// interleavings; the TTG_MUTANT_SERVING_ADMIT_NO_FENCE build splits the
+// admission reservation into an unfenced load/store pair, which the DST
+// suite must catch (scripts/mutation_gate.sh).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "runtime/fault.hpp"
+#include "sim/hooks.hpp"
+
+namespace ttg {
+
+/// What happens when a new epoch would exceed the Runtime's in-flight
+/// bound (RuntimeOptions::max_inflight_worlds).
+enum class AdmissionPolicy : std::uint8_t {
+  kShed = 0,  ///< reject immediately: the epoch ends with Outcome::kShed
+  kQueue,     ///< block the submitter in FIFO order until a slot frees
+};
+
+/// Per-World state shared between the World façade and the engine hot
+/// path. Engine/Worker never touch the World object itself — only this
+/// POD-ish block — so a tenant World can be destroyed the moment its
+/// last epoch retired.
+class TenantState {
+ public:
+  explicit TenantState(std::uint64_t id) : id_(id) {}
+  TenantState(const TenantState&) = delete;
+  TenantState& operator=(const TenantState&) = delete;
+
+  std::uint64_t id() const { return id_; }
+
+  /// Accounts the discovery of `n` tasks; must happen before they become
+  /// schedulable (same contract as TerminationDetector::on_discovered).
+  void on_discovered(std::int64_t n) {
+    pending_.fetch_add(n, std::memory_order_acq_rel);
+  }
+
+  /// A tenant task finished executing (successfully or with a captured
+  /// failure — the failure is counted separately by on_failed()).
+  void on_executed() { retire(1); }
+
+  /// A tenant task was dropped by cooperative cancellation.
+  void on_cancelled(std::int64_t n = 1) {
+    cancelled_.fetch_add(static_cast<std::uint64_t>(n),
+                         std::memory_order_relaxed);
+    retire(n);
+  }
+
+  /// A tenant task body threw (or an injected fault consumed the task).
+  /// Only the diagnostic counter: the retirement is accounted by the
+  /// caller's on_executed()/on_cancelled() as appropriate.
+  void on_failed() { failed_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Marks the epoch sealed (the external producer stopped seeding) or
+  /// open again. While sealed, the retirement that drives pending to
+  /// zero wakes the waiter.
+  void seal() { sealed_.store(true, std::memory_order_release); }
+  void unseal() { sealed_.store(false, std::memory_order_relaxed); }
+  bool sealed() const { return sealed_.load(std::memory_order_acquire); }
+
+  /// True when every discovered task retired. Meaningful as an epoch-end
+  /// signal only after seal().
+  bool quiescent() const {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+
+  std::int64_t pending() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+  /// Monotonic progress counter (stall watchdog sample).
+  std::uint64_t retired() const {
+    return retired_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t failed() const {
+    return failed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  /// Tasks that actually ran: every retirement that was not a drop.
+  std::uint64_t executed() const {
+    const std::uint64_t r = retired();
+    const std::uint64_t c = cancelled();
+    return r >= c ? r - c : 0;
+  }
+
+  /// Blocks until quiescent() or `timeout` elapsed (the waiter re-checks
+  /// cancellation/purge work on every wakeup, so the wait is timed).
+  template <typename Rep, typename Period>
+  void wait_progress(const std::chrono::duration<Rep, Period>& timeout) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (quiescent()) return;
+    cv_.wait_for(lock, timeout);
+  }
+
+  /// Wakes a wait_progress() waiter (fault capture, abort, external
+  /// nudge). The empty critical section orders the notify after the
+  /// waiter's predicate check.
+  void notify() {
+    { std::lock_guard<std::mutex> lock(mutex_); }
+    cv_.notify_all();
+  }
+
+  /// Per-tenant fault state: cancellation, first-error capture, status.
+  FaultState fault;
+
+  /// Per-tenant fault-injection plan (World::set_fault_plan); resolved by
+  /// the engine at pop boundaries for tenant-tagged tasks.
+  std::atomic<const FaultPlan*> fault_plan{nullptr};
+
+  /// Priority boost added to every task priority of this tenant
+  /// (WorldOptions::priority_class << kPriorityClassShift), feeding the
+  /// LLP scheduler's ordering.
+  std::int32_t priority_boost = 0;
+
+ private:
+  void retire(std::int64_t n) {
+    retired_.fetch_add(static_cast<std::uint64_t>(n),
+                       std::memory_order_relaxed);
+    if (pending_.fetch_sub(n, std::memory_order_acq_rel) == n &&
+        sealed_.load(std::memory_order_acquire)) {
+      notify();
+    }
+  }
+
+  const std::uint64_t id_;
+  std::atomic<std::int64_t> pending_{0};
+  std::atomic<std::uint64_t> retired_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> cancelled_{0};
+  std::atomic<bool> sealed_{false};
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// Options for Runtime::make_world().
+struct WorldOptions {
+  /// Diagnostic name (stall reports, traces).
+  std::string name;
+  /// Priority class: every task of this World gets
+  /// `priority_class << kPriorityClassShift` added to its priority, so
+  /// under the LLP scheduler a whole class outranks lower classes while
+  /// task-level priorities still order within a class.
+  int priority_class = 0;
+  /// Per-epoch deadline: when > 0, an epoch still running this many
+  /// milliseconds after execute() is aborted through the fault path
+  /// (wait() returns Outcome::kAborted, reason "deadline ...").
+  int deadline_ms = 0;
+
+  static constexpr int kPriorityClassShift = 20;
+};
+
+/// Bounded epoch admission with a shed-or-queue overload policy.
+///
+/// kShed: try_admit() takes a slot or fails immediately. kQueue:
+/// admit() additionally serializes waiters in FIFO ticket order, so a
+/// burst of submitters drains fairly instead of racing for freed slots.
+/// release() returns a slot (exactly once per successful admission).
+///
+/// Lock-free on atomics so the DST build can interleave it; the sim
+/// points mark the windows the serving_admit_no_fence mutant widens.
+class AdmissionGate {
+ public:
+  /// `max_inflight <= 0` disables the bound (every admit succeeds).
+  AdmissionGate(int max_inflight, AdmissionPolicy policy)
+      : limit_(max_inflight), policy_(policy) {}
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  AdmissionPolicy policy() const { return policy_; }
+  int limit() const { return limit_; }
+  int inflight() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t shed() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+
+  /// One admission attempt: reserves a slot if the bound allows, fails
+  /// (sheds) otherwise. Used directly under AdmissionPolicy::kShed.
+  bool try_admit() {
+    if (try_reserve()) return true;
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  /// Blocking FIFO admission (AdmissionPolicy::kQueue). `pause` is
+  /// invoked between probes (std::this_thread::yield in the runtime,
+  /// sim::preemption_point under DST). Returns when a slot is reserved.
+  template <typename Pause>
+  void admit(Pause&& pause) {
+    if (limit_ <= 0) return;
+    const std::uint64_t ticket =
+        tail_.fetch_add(1, std::memory_order_relaxed);
+    for (;;) {
+      TTG_SIM_POINT("admission.queue.probe");
+      if (head_.load(std::memory_order_acquire) == ticket) {
+        // Front of the queue: only this waiter may take the next freed
+        // slot, which is what makes the order FIFO.
+        if (try_reserve()) {
+          head_.store(ticket + 1, std::memory_order_release);
+          TTG_SIM_NOTIFY();
+          return;
+        }
+      }
+      pause();
+    }
+  }
+
+  /// Returns a slot. Call exactly once per successful try_admit()/
+  /// admit().
+  void release() {
+    if (limit_ <= 0) return;
+    TTG_SIM_POINT("admission.release");
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    TTG_SIM_NOTIFY();
+  }
+
+ private:
+  /// The reservation itself, shared by both policies (no shed
+  /// accounting: a kQueue probe that finds the gate full is not a shed).
+  bool try_reserve() {
+    if (limit_ <= 0) return true;
+    int cur = inflight_.load(std::memory_order_acquire);
+    for (;;) {
+      if (cur >= limit_) return false;
+      TTG_SIM_POINT("admission.reserve");
+#if defined(TTG_MUTANT_SERVING_ADMIT_NO_FENCE)
+      // MUTANT: the reservation's read-modify-write is split into an
+      // unfenced load/store pair. Two racing admissions can both read
+      // the same in-flight count and the gate over-admits past its
+      // bound — the DST serving scenario must observe the violation.
+      inflight_.store(cur + 1, std::memory_order_relaxed);
+      TTG_SIM_POINT("admission.reserve.split");
+      return true;
+#else
+      if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+        return true;
+      }
+#endif
+    }
+  }
+
+  const int limit_;
+  const AdmissionPolicy policy_;
+  std::atomic<int> inflight_{0};
+  std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+};
+
+}  // namespace ttg

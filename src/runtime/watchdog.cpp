@@ -1,6 +1,8 @@
 #include "runtime/watchdog.hpp"
 
 #include <chrono>
+#include <iterator>
+#include <unordered_map>
 #include <utility>
 
 namespace ttg {
@@ -26,6 +28,14 @@ StallWatchdog::StallWatchdog(int quiet_ms, Sampler sampler,
       sampler_(std::move(sampler)),
       on_stall_(std::move(on_stall)),
       thread_([this] { run(); }) {}
+
+StallWatchdog::StallWatchdog(int quiet_ms, MultiSampler sampler,
+                             MultiStallHandler on_stall)
+    : quiet_ms_(quiet_ms),
+      poll_ms_(poll_interval_ms(quiet_ms)),
+      multi_sampler_(std::move(sampler)),
+      multi_on_stall_(std::move(on_stall)),
+      thread_([this] { run_multi(); }) {}
 
 StallWatchdog::~StallWatchdog() {
   {
@@ -74,6 +84,73 @@ void StallWatchdog::run() {
       on_stall_();
     }
     last = cur;
+
+    lock.lock();
+  }
+}
+
+void StallWatchdog::run_multi() {
+  using clock = std::chrono::steady_clock;
+
+  // Per-World quiet window. Entries whose id vanishes from a sample
+  // (the World completed or was destroyed) are dropped; a reappearing
+  // id starts a fresh window.
+  struct TenantTrack {
+    std::uint64_t progress = 0;
+    clock::time_point last_change;
+    bool reported = false;
+    bool seen = false;  // touched by the current sample
+  };
+  std::unordered_map<std::uint64_t, TenantTrack> tracks;
+
+  MultiSample first = multi_sampler_();
+  std::uint64_t engine_last = first.engine_progress;
+  clock::time_point engine_change = clock::now();
+  for (const TenantSample& t : first.tenants) {
+    tracks[t.id] = TenantTrack{t.progress, engine_change, false, false};
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(poll_ms_),
+                 [this] { return stop_; });
+    if (stop_) break;
+    const bool armed = armed_;
+    lock.unlock();
+
+    const MultiSample cur = multi_sampler_();
+    const clock::time_point now = clock::now();
+    if (cur.engine_progress != engine_last) engine_change = now;
+    engine_last = cur.engine_progress;
+    const bool engine_quiet =
+        now - engine_change >= std::chrono::milliseconds(quiet_ms_);
+
+    for (auto& [id, track] : tracks) track.seen = false;
+    std::vector<std::uint64_t> stalled;
+    for (const TenantSample& t : cur.tenants) {
+      auto [it, inserted] = tracks.try_emplace(
+          t.id, TenantTrack{t.progress, now, false, true});
+      TenantTrack& track = it->second;
+      track.seen = true;
+      if (inserted) continue;
+      if (t.progress != track.progress || !t.live) {
+        track.progress = t.progress;
+        track.last_change = now;
+        track.reported = false;
+      } else if (armed && !track.reported &&
+                 now - track.last_change >=
+                     std::chrono::milliseconds(quiet_ms_)) {
+        track.reported = true;
+        stalled.push_back(t.id);
+      }
+    }
+    for (auto it = tracks.begin(); it != tracks.end();) {
+      it = it->second.seen ? std::next(it) : tracks.erase(it);
+    }
+    if (!stalled.empty()) {
+      fires_.fetch_add(1, std::memory_order_relaxed);
+      multi_on_stall_(stalled, engine_quiet);
+    }
 
     lock.lock();
   }

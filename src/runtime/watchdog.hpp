@@ -22,6 +22,7 @@
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 namespace ttg {
 
@@ -36,12 +37,42 @@ class StallWatchdog {
     bool live = false;
   };
 
+  /// Per-World progress observation for multi-tenant Runtimes
+  /// (docs/serving.md): `id` names the World across polls (ids may come
+  /// and go between samples as Worlds are created/destroyed).
+  struct TenantSample {
+    std::uint64_t id = 0;
+    std::uint64_t progress = 0;
+    bool live = false;
+  };
+
+  /// One multi-tenant observation: the engine-wide aggregate plus one
+  /// entry per live epoch. A quiet *World* on a busy engine is a tenant
+  /// stall (its graph is stuck while siblings make progress); a quiet
+  /// engine with live tenants is an engine stall.
+  struct MultiSample {
+    std::uint64_t engine_progress = 0;
+    std::vector<TenantSample> tenants;
+  };
+
   using Sampler = std::function<Sample()>;
   using StallHandler = std::function<void()>;
+  using MultiSampler = std::function<MultiSample()>;
+  /// Receives the ids of the Worlds whose quiet window expired and
+  /// whether the engine as a whole was also quiet over that window.
+  using MultiStallHandler =
+      std::function<void(const std::vector<std::uint64_t>&, bool)>;
 
   /// Starts the monitor thread. `quiet_ms` is the no-progress window
   /// that triggers the handler; it must exceed the longest task body.
   StallWatchdog(int quiet_ms, Sampler sampler, StallHandler on_stall);
+
+  /// Multi-tenant mode: per-World quiet windows over a shared engine.
+  /// Fires once per stall episode per World (re-arming when that World's
+  /// progress resumes), so one wedged tenant cannot drown out a later
+  /// stall in a sibling.
+  StallWatchdog(int quiet_ms, MultiSampler sampler,
+                MultiStallHandler on_stall);
   StallWatchdog(const StallWatchdog&) = delete;
   StallWatchdog& operator=(const StallWatchdog&) = delete;
   ~StallWatchdog();
@@ -61,11 +92,14 @@ class StallWatchdog {
 
  private:
   void run();
+  void run_multi();
 
   const int quiet_ms_;
   const int poll_ms_;
   Sampler sampler_;
   StallHandler on_stall_;
+  MultiSampler multi_sampler_;
+  MultiStallHandler multi_on_stall_;
 
   std::mutex mutex_;
   std::condition_variable cv_;

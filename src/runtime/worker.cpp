@@ -35,7 +35,7 @@ void Worker::run_task(TaskBase* task) {
   // cancellation and fault injection see chained tasks too.
   while (TaskBase* next = chained_) {
     chained_ = nullptr;
-    if (engine_->fault_->cancelled()) {
+    if (engine_->fault_for(next).cancelled()) {
       engine_->drop_cancelled(next);
       continue;
     }
@@ -56,19 +56,21 @@ void Worker::run_one(TaskBase* task) {
   batch_open_ = engine_->bundling_enabled();
   batch_primed_ = false;
 
-  // execute() releases the task, so capture the span name up front.
+  // execute() releases the task, so capture the span name (and the
+  // owning tenant, for the completion routing below) up front.
   const std::uint32_t span_name = task->trace_name;
+  TenantState* tenant = task->tenant;
   trace::record(trace::EventKind::kTaskBegin, 0, span_name);
   try {
     task->execute(task, *this);
   } catch (...) {
-    // Failure capture: the exception is stored in the World's
-    // FaultState (first error wins) and the graph is cancelled; the
+    // Failure capture: the exception is stored in the owning World's
+    // FaultState (first error wins) and that graph is cancelled; the
     // epilogue below still runs so the completion is accounted and any
     // successors bundled before the throw are flushed (they will be
     // dropped as cancelled completions at pop).
     engine_->report_task_failure(std::current_exception(), span_name,
-                                 index_);
+                                 index_, tenant);
   }
   trace::record(trace::EventKind::kTaskEnd, 0, span_name);
   bump(tasks_executed_);
@@ -81,7 +83,15 @@ void Worker::run_one(TaskBase* task) {
   batch_open_ = saved_open;
   batch_primed_ = saved_primed;
 
-  engine_->detector().on_completed();
+  // Completion accounting, after the successor flush so a child's
+  // discovery is never outrun by its parent's retirement: through the
+  // engine-wide termination wave for classic tasks, through the tenant's
+  // pending counter for tenant-tagged ones.
+  if (tenant != nullptr) {
+    tenant->on_executed();
+  } else {
+    engine_->detector().on_completed();
+  }
   --nest_;
 }
 

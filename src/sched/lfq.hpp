@@ -20,6 +20,9 @@ class LfqScheduler final : public Scheduler {
   LifoNode* pop(int worker) override;
   SchedulerType type() const override { return SchedulerType::kLFQ; }
   StealStats steal_stats() const override { return steals_.total(); }
+  std::int64_t external_backlog() const override {
+    return static_cast<std::int64_t>(global_.approx_size());
+  }
 
   /// Test hook: number of tasks currently parked in the overflow FIFO.
   std::uint64_t overflow_size() const { return global_.approx_size(); }

@@ -37,6 +37,10 @@ class LlpScheduler final : public Scheduler {
   LifoNode* pop(int worker) override;
   SchedulerType type() const override { return SchedulerType::kLLP; }
   StealStats steal_stats() const override { return steals_.total(); }
+  std::int64_t external_backlog() const override {
+    const std::int64_t b = ingress_.backlog();
+    return b > 0 ? b : 0;
+  }
 
   /// Test hook: number of external-ingress shards.
   int ingress_shards() const { return ingress_.num_shards(); }

@@ -206,17 +206,26 @@ class IngressShards {
   /// Push from a thread outside the pool: scatter by dense thread id so
   /// concurrent submitters hit distinct cachelines.
   void push(LifoNode* task) noexcept {
+    backlog_.fetch_add(1, std::memory_order_relaxed);
     shards_[this_thread::id() % num_shards_]->push(task);
   }
 
   /// Chain push from a thread outside the pool.
   void push_chain(LifoNode* first, LifoNode* last) noexcept {
+    std::int64_t n = 1;
+    for (LifoNode* cur = first; cur != last;
+         cur = cur->next.load(std::memory_order_relaxed)) {
+      ++n;
+    }
+    backlog_.fetch_add(n, std::memory_order_relaxed);
     shards_[this_thread::id() % num_shards_]->push_chain(first, last);
   }
 
   /// Drains only `worker`'s own domain shard.
   LifoNode* pop_own(int worker) noexcept {
-    return shards_[shard_of_worker(worker)]->pop();
+    LifoNode* t = shards_[shard_of_worker(worker)]->pop();
+    if (t != nullptr) backlog_.fetch_sub(1, std::memory_order_relaxed);
+    return t;
   }
 
   /// Sweeps the *other* shards ring-wise from the worker's own.
@@ -225,6 +234,7 @@ class IngressShards {
     for (int i = 1; i < num_shards_; ++i) {
       if (LifoNode* t = shards_[(own + i) % num_shards_]->pop();
           t != nullptr) {
+        backlog_.fetch_sub(1, std::memory_order_relaxed);
         return t;
       }
     }
@@ -234,13 +244,27 @@ class IngressShards {
   /// Sweeps all shards (external callers, shutdown drains).
   LifoNode* pop_any() noexcept {
     for (int i = 0; i < num_shards_; ++i) {
-      if (LifoNode* t = shards_[i]->pop(); t != nullptr) return t;
+      if (LifoNode* t = shards_[i]->pop(); t != nullptr) {
+        backlog_.fetch_sub(1, std::memory_order_relaxed);
+        return t;
+      }
     }
     return nullptr;
   }
 
+  /// Approximate tasks pushed but not yet drained — the serving-mode
+  /// overload signal (docs/serving.md): admission/backpressure decisions
+  /// read it, the hot per-worker pop paths never touch it. Momentarily
+  /// negative reads are possible (a pop can decrement between a
+  /// concurrent push's queue insert and its increment — the counter is
+  /// deliberately not fenced against the shard LIFO); callers clamp.
+  std::int64_t backlog() const noexcept {
+    return backlog_.load(std::memory_order_relaxed);
+  }
+
  private:
   std::unique_ptr<CachePadded<AtomicLifo>[]> shards_;
+  std::atomic<std::int64_t> backlog_{0};
   int num_shards_ = 1;
   int workers_per_shard_ = 1;
 };
@@ -266,6 +290,12 @@ class Scheduler {
 
   /// Work-stealing totals; zero for the non-stealing schedulers (GD/AP).
   virtual StealStats steal_stats() const { return {}; }
+
+  /// Approximate count of externally submitted tasks not yet drained
+  /// (the IngressShards backlog) — the serving-mode overload signal.
+  /// Schedulers without a dedicated external ingress report 0; never
+  /// negative.
+  virtual std::int64_t external_backlog() const { return 0; }
 
   int num_workers() const { return num_workers_; }
 

@@ -1,0 +1,216 @@
+#include "ttg/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "ttg/world.hpp"
+
+namespace ttg {
+
+Runtime::Runtime(RuntimeOptions options)
+    : config_(options.config),
+      name_(std::move(options.name)),
+      shim_(false) {
+  config_.apply_globals();
+  // The self-contained Context owns the engine, a detector the shared
+  // workers attach to (never fenced in serving mode — tenant epochs
+  // complete on their own pending counters) and a never-cancelled
+  // engine-wide FaultState for untagged traffic.
+  context_ = std::make_unique<Context>(config_);
+  if (options.max_inflight_worlds > 0) {
+    gate_ = std::make_unique<AdmissionGate>(options.max_inflight_worlds,
+                                            options.admission);
+  }
+  deadline_thread_ = std::thread([this] { deadline_main(); });
+  if (config_.watchdog_quiet_ms > 0) {
+    watchdog_ = std::make_unique<StallWatchdog>(
+        config_.watchdog_quiet_ms,
+        StallWatchdog::MultiSampler([this] { return sample_tenants(); }),
+        StallWatchdog::MultiStallHandler(
+            [this](const std::vector<std::uint64_t>& ids,
+                   bool engine_quiet) {
+              on_tenant_stall(ids, engine_quiet);
+            }));
+    // Armed for the Runtime's lifetime: serving has no fence bracket to
+    // arm/disarm around, and an idle engine samples as not-live anyway.
+    watchdog_->arm();
+  }
+}
+
+Runtime::Runtime(const Config& config, TerminationDetector* detector,
+                 FaultState* fault)
+    : config_(config), name_("world"), shim_(true) {
+  context_ = std::make_unique<Context>(config_, detector, /*rank=*/0,
+                                       fault);
+}
+
+Runtime::~Runtime() {
+  watchdog_.reset();
+  if (deadline_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(deadline_mutex_);
+      deadline_stop_ = true;
+    }
+    deadline_cv_.notify_all();
+    deadline_thread_.join();
+  }
+  {
+    std::lock_guard<std::recursive_mutex> lock(worlds_mutex_);
+    if (!worlds_.empty()) {
+      std::fprintf(stderr,
+                   "ttg: Runtime '%s' destroyed with %zu live tenant "
+                   "World(s) — destroy Worlds before their Runtime\n",
+                   name_.c_str(), worlds_.size());
+    }
+  }
+}
+
+std::unique_ptr<World> Runtime::make_world(WorldOptions options) {
+  assert(!shim_ &&
+         "make_world() on a classic World's private shim runtime");
+  return std::unique_ptr<World>(new World(*this, std::move(options)));
+}
+
+bool Runtime::admit() {
+  if (gate_ == nullptr) return true;
+  if (gate_->policy() == AdmissionPolicy::kShed) {
+    return gate_->try_admit();
+  }
+  gate_->admit([] { std::this_thread::yield(); });
+  return true;
+}
+
+void Runtime::release_admission() {
+  if (gate_ != nullptr) gate_->release();
+}
+
+std::uint64_t Runtime::allocate_world_id() {
+  return next_world_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Runtime::register_world(std::uint64_t id, World* world) {
+  std::lock_guard<std::recursive_mutex> lock(worlds_mutex_);
+  worlds_.emplace(id, world);
+}
+
+void Runtime::unregister_world(std::uint64_t id) {
+  std::lock_guard<std::recursive_mutex> lock(worlds_mutex_);
+  worlds_.erase(id);
+}
+
+int Runtime::live_worlds() const {
+  std::lock_guard<std::recursive_mutex> lock(worlds_mutex_);
+  return static_cast<int>(worlds_.size());
+}
+
+void Runtime::register_deadline(TenantState* tenant,
+                                std::chrono::steady_clock::time_point at) {
+  {
+    std::lock_guard<std::mutex> lock(deadline_mutex_);
+    deadlines_.push_back(Deadline{tenant, at});
+  }
+  deadline_cv_.notify_all();
+}
+
+void Runtime::cancel_deadline(TenantState* tenant) {
+  std::lock_guard<std::mutex> lock(deadline_mutex_);
+  deadlines_.erase(
+      std::remove_if(deadlines_.begin(), deadlines_.end(),
+                     [tenant](const Deadline& d) {
+                       return d.tenant == tenant;
+                     }),
+      deadlines_.end());
+}
+
+void Runtime::deadline_main() {
+  std::unique_lock<std::mutex> lock(deadline_mutex_);
+  while (!deadline_stop_) {
+    if (deadlines_.empty()) {
+      deadline_cv_.wait(lock, [this] {
+        return deadline_stop_ || !deadlines_.empty();
+      });
+      continue;
+    }
+    auto next = deadlines_.front().at;
+    for (const Deadline& d : deadlines_) next = std::min(next, d.at);
+    deadline_cv_.wait_until(lock, next);
+    if (deadline_stop_) break;
+    const auto now = std::chrono::steady_clock::now();
+    for (auto it = deadlines_.begin(); it != deadlines_.end();) {
+      if (it->at > now) {
+        ++it;
+        continue;
+      }
+      // Fire while holding the lock: cancel_deadline() (World::wait
+      // teardown, ~World) then serializes against the firing, so the
+      // TenantState cannot be freed under us. Both callees only take
+      // short leaf locks.
+      TenantState* tenant = it->tenant;
+      it = deadlines_.erase(it);
+      if (tenant->fault.request_abort(
+              "deadline: epoch exceeded its deadline_ms budget")) {
+        context_->notify_work();
+      }
+      tenant->notify();
+    }
+  }
+}
+
+StallWatchdog::MultiSample Runtime::sample_tenants() {
+  StallWatchdog::MultiSample s;
+  ExecutionEngine& e = context_->engine();
+  s.engine_progress =
+      e.total_tasks_executed() + e.failed_tasks() + e.cancelled_tasks();
+  std::lock_guard<std::recursive_mutex> lock(worlds_mutex_);
+  s.tenants.reserve(worlds_.size());
+  for (const auto& [id, world] : worlds_) {
+    if (!world->epoch_open()) continue;
+    const TenantState* t = world->tenant();
+    s.tenants.push_back(StallWatchdog::TenantSample{
+        id, t->retired(), t->pending() > 0});
+  }
+  return s;
+}
+
+void Runtime::on_tenant_stall(const std::vector<std::uint64_t>& ids,
+                              bool engine_quiet) {
+  // Holding worlds_mutex_ keeps the World alive for the callback;
+  // stall handlers must not create or destroy Worlds on this Runtime.
+  std::lock_guard<std::recursive_mutex> lock(worlds_mutex_);
+  for (std::uint64_t id : ids) {
+    auto it = worlds_.find(id);
+    if (it != worlds_.end()) it->second->on_stall(engine_quiet);
+  }
+}
+
+std::string Runtime::stall_report() const {
+  std::ostringstream os;
+  ExecutionEngine& e = context_->engine();
+  os << "=== runtime '" << name_ << "' ===\n";
+  os << "config: " << config_.describe() << "\n";
+  os << "engine: executed=" << e.total_tasks_executed()
+     << " failed=" << e.failed_tasks()
+     << " cancelled=" << e.cancelled_tasks()
+     << " parked=" << e.parked_workers() << "/" << e.num_threads()
+     << " external_backlog=" << external_backlog() << "\n";
+  if (gate_ != nullptr) {
+    os << "admission: inflight=" << gate_->inflight() << "/"
+       << gate_->limit() << " shed=" << gate_->shed() << "\n";
+  }
+  std::lock_guard<std::recursive_mutex> lock(worlds_mutex_);
+  for (const auto& [id, world] : worlds_) {
+    const TenantState* t = world->tenant();
+    os << "world " << id;
+    if (!world->name().empty()) os << " '" << world->name() << "'";
+    os << ": open=" << (world->epoch_open() ? "yes" : "no")
+       << " pending=" << t->pending() << " retired=" << t->retired()
+       << " failed=" << t->failed() << " cancelled=" << t->cancelled()
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ttg

@@ -1,0 +1,158 @@
+// Runtime: a shared engine pool serving many lightweight Worlds.
+//
+// The multi-tenant serving mode (docs/serving.md) decouples the engine
+// lifecycle from the graph lifecycle. A Runtime owns what is expensive
+// and shared — the worker threads, the scheduler and its ingress
+// shards, the parking lot, trace/metrics — and make_world() mints
+// lightweight Worlds whose construction is a TenantState allocation
+// plus a borrowed-engine Context: hundreds of concurrent epochs
+// (dynamic and replay) interleave on the same workers.
+//
+// Per-World isolation rides the tenant tag on every task
+// (TaskBase::tenant): termination detection is the tenant's pending
+// counter, failures/aborts cancel only that tenant's tasks, and
+// priority classes bias the LLP scheduler per World. The Runtime adds
+// the cross-cutting services:
+//
+//  * Admission control — RuntimeOptions::max_inflight_worlds bounds the
+//    epochs in flight; overload either sheds (Outcome::kShed) or queues
+//    submitters in FIFO order (AdmissionPolicy).
+//  * Deadlines — WorldOptions::deadline_ms arms a monitor that aborts
+//    an overdue epoch through the PR 5 fault path.
+//  * Stall watchdog — the multi-sample mode distinguishes one quiet
+//    World (its graph is stuck while siblings progress) from a quiet
+//    engine.
+//
+// The classic `World(config)` constructor is a thin compatibility shim
+// over a private single-tenant Runtime, so every existing call site
+// keeps working; see DESIGN.md §1.1c.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/config.hpp"
+#include "runtime/context.hpp"
+#include "runtime/tenant.hpp"
+#include "runtime/watchdog.hpp"
+
+namespace ttg {
+
+class World;
+
+struct RuntimeOptions {
+  Config config = Config::optimized();
+  /// Bound on concurrently admitted epochs across all Worlds of this
+  /// Runtime; <= 0 disables admission control.
+  int max_inflight_worlds = 0;
+  /// What happens to an epoch that would exceed the bound.
+  AdmissionPolicy admission = AdmissionPolicy::kQueue;
+  /// Diagnostic name (stall reports).
+  std::string name = "runtime";
+};
+
+class Runtime {
+ public:
+  explicit Runtime(RuntimeOptions options = {});
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+  /// All Worlds minted by make_world() must be destroyed first.
+  ~Runtime();
+
+  /// Mints a lightweight tenant World on this Runtime's engine.
+  std::unique_ptr<World> make_world(WorldOptions options = {});
+
+  const Config& config() const { return config_; }
+  const std::string& name() const { return name_; }
+  Context& context() { return *context_; }
+  ExecutionEngine& engine() { return context_->engine(); }
+  int num_threads() const { return context_->num_threads(); }
+
+  /// Tasks executed by the shared workers since construction (all
+  /// tenants plus any classic traffic on the same engine).
+  std::uint64_t total_tasks_executed() const {
+    return context_->total_tasks_executed();
+  }
+
+  /// Approximate externally submitted tasks not yet drained by workers
+  /// — the overload signal admission rides on.
+  std::int64_t external_backlog() const {
+    return context_->engine().scheduler().external_backlog();
+  }
+
+  /// Admission diagnostics. inflight_epochs counts admitted, not-yet-
+  /// completed epochs; epochs_shed counts kShed rejections.
+  int admission_limit() const { return gate_ ? gate_->limit() : 0; }
+  int inflight_epochs() const { return gate_ ? gate_->inflight() : 0; }
+  std::uint64_t epochs_shed() const { return gate_ ? gate_->shed() : 0; }
+
+  /// Tenant Worlds currently alive on this Runtime.
+  int live_worlds() const;
+
+  /// Diagnostics: engine state plus one line per live tenant World.
+  std::string stall_report() const;
+
+ private:
+  friend class World;
+
+  /// Classic-World shim: wraps a caller-owned detector/fault into a
+  /// single Context, exactly as the pre-Runtime World built it. No
+  /// admission, no deadline monitor, no multi-tenant watchdog (the
+  /// classic World keeps its own single-sample watchdog).
+  Runtime(const Config& config, TerminationDetector* detector,
+          FaultState* fault);
+
+  /// Epoch admission (World::execute). Returns false only under kShed
+  /// when the gate is full; under kQueue it blocks in FIFO order.
+  bool admit();
+  void release_admission();
+
+  std::uint64_t allocate_world_id();
+  void register_world(std::uint64_t id, World* world);
+  void unregister_world(std::uint64_t id);
+
+  void register_deadline(TenantState* tenant,
+                         std::chrono::steady_clock::time_point at);
+  void cancel_deadline(TenantState* tenant);
+  void deadline_main();
+
+  StallWatchdog::MultiSample sample_tenants();
+  void on_tenant_stall(const std::vector<std::uint64_t>& ids,
+                       bool engine_quiet);
+
+  Config config_;
+  std::string name_;
+  const bool shim_;
+  std::unique_ptr<Context> context_;
+  std::unique_ptr<AdmissionGate> gate_;
+
+  // Recursive: the watchdog fires a World's stall handler while holding
+  // the registry lock (keeping the World alive), and the handler's
+  // report re-enters stall_report().
+  mutable std::recursive_mutex worlds_mutex_;
+  std::unordered_map<std::uint64_t, World*> worlds_;  // guarded
+  std::atomic<std::uint64_t> next_world_id_{1};
+
+  struct Deadline {
+    TenantState* tenant;
+    std::chrono::steady_clock::time_point at;
+  };
+  std::mutex deadline_mutex_;
+  std::condition_variable deadline_cv_;
+  std::vector<Deadline> deadlines_;  // guarded by deadline_mutex_
+  bool deadline_stop_ = false;       // guarded by deadline_mutex_
+  std::thread deadline_thread_;
+
+  // Last: destroyed first, while the engine it samples is still alive.
+  std::unique_ptr<StallWatchdog> watchdog_;
+};
+
+}  // namespace ttg

@@ -551,7 +551,8 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
                             DataCopy<value_t<I>>* copy) {
     if constexpr (I == 0 && !trait<0>::is_void) {
       if (priority_value_fn_ && copy != nullptr) {
-        rec.priority = priority_value_fn_(key, copy->value());
+        rec.priority =
+            priority_value_fn_(key, copy->value()) + world_->priority_boost();
       }
     }
   }
@@ -563,7 +564,12 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     rec->cancel = &TT::cancel_task;
     rec->pool = &pool_;
     rec->trace_name = trace_name_;
-    rec->priority = priority_fn_ ? priority_fn_(key) : 0;
+    // Tenant worlds: tag the task so the engine routes completion/
+    // cancellation accounting and fault scoping to this World, and bias
+    // its priority by the World's class (docs/serving.md).
+    rec->tenant = world_->tenant();
+    rec->priority =
+        (priority_fn_ ? priority_fn_(key) : 0) + world_->priority_boost();
     if (mode == EpochMode::kRecording) {
       // Register the task as a template slot: key into this TT's
       // recorded-key store, slot into the epoch recorder. The priority
@@ -939,6 +945,9 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     rec->cancel = &TT::cancel_replay_task;
     rec->pool = nullptr;  // arena-resident: reclaimed by the instance
     rec->trace_name = trace_name_;
+    // Recorded priorities already carry the World's class boost (they
+    // were captured by create_record); only the tenant tag is per-install.
+    rec->tenant = world_->tenant();
     rec->priority = priority;
     rec->slot_id = slot_id;
     return rec;

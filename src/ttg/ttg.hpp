@@ -21,5 +21,6 @@
 #include "ttg/edge.hpp"
 #include "ttg/keys.hpp"
 #include "ttg/reducing.hpp"
+#include "ttg/runtime.hpp"
 #include "ttg/tt.hpp"
 #include "ttg/world.hpp"

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "runtime/trace.hpp"
+#include "ttg/runtime.hpp"
 #include "ttg/tt.hpp"
 
 namespace ttg {
@@ -23,14 +24,28 @@ World::World(const Config& config, int nranks)
   // up or before the first fence.
   detector_->thread_attach(0);
   queues_.reserve(static_cast<std::size_t>(nranks));
-  contexts_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     queues_.push_back(std::make_unique<MessageQueue>(this));
   }
+  if (nranks == 1) {
+    // The compatibility shim (DESIGN.md §1.1c): a single-rank classic
+    // World is a private single-tenant Runtime whose one Context is
+    // built exactly as before — same detector, same fault state, same
+    // engine shape — so behavior and accounting are unchanged.
+    private_runtime_.reset(new Runtime(config_, detector_.get(),
+                                       &own_fault_));
+    contexts_.push_back(&private_runtime_->context());
+  } else {
+    owned_contexts_.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      owned_contexts_.push_back(std::make_unique<Context>(
+          config_, detector_.get(), r, &own_fault_));
+      contexts_.push_back(owned_contexts_.back().get());
+    }
+  }
   for (int r = 0; r < nranks; ++r) {
-    contexts_.push_back(
-        std::make_unique<Context>(config_, detector_.get(), r, &fault_));
-    contexts_.back()->set_progress_source(queues_[r].get());
+    contexts_[static_cast<std::size_t>(r)]->set_progress_source(
+        queues_[static_cast<std::size_t>(r)].get());
   }
   if (config_.watchdog_quiet_ms > 0) {
     watchdog_ = std::make_unique<StallWatchdog>(
@@ -43,11 +58,40 @@ World::World(const Config& config, int nranks)
   }
 }
 
+World::World(Runtime& runtime, WorldOptions options)
+    : config_(runtime.config()),
+      nranks_(1),
+      runtime_(&runtime),
+      options_(std::move(options)) {
+  world_id_ = runtime.allocate_world_id();
+  tenant_ = std::make_unique<TenantState>(world_id_);
+  tenant_->priority_boost =
+      options_.priority_class *
+      (std::int32_t{1} << WorldOptions::kPriorityClassShift);
+  fault_ = &tenant_->fault;
+  owned_contexts_.push_back(std::make_unique<Context>(
+      config_, runtime.engine(), tenant_.get()));
+  contexts_.push_back(owned_contexts_.back().get());
+  runtime.register_world(world_id_, this);
+}
+
 World::~World() {
   // The watchdog samples contexts and the detector: stop it first.
   watchdog_.reset();
+  if (tenant_ != nullptr) {
+    assert(tenant_->quiescent() &&
+           "tenant World destroyed with tasks in flight");
+    runtime_->cancel_deadline(tenant_.get());
+    if (admitted_) {
+      runtime_->release_admission();
+      admitted_ = false;
+    }
+    // After this the Runtime's watchdog/reports no longer see us.
+    runtime_->unregister_world(world_id_);
+  }
   // Contexts join their workers before the queues they poll disappear.
-  contexts_.clear();
+  owned_contexts_.clear();
+  private_runtime_.reset();
   queues_.clear();
 }
 
@@ -56,7 +100,39 @@ int World::current_rank() const {
   return 0;
 }
 
-void World::execute() {
+Submission World::execute() {
+  if (tenant_ != nullptr) {
+    assert(!epoch_open_.load(std::memory_order_relaxed) &&
+           "execute() with the previous epoch still open");
+    if (needs_reset_) {
+      tenant_->unseal();
+      tenant_->fault.reset();
+      needs_reset_ = false;
+    }
+    seeds_sealed_.store(false, std::memory_order_relaxed);
+    const std::uint64_t seq =
+        epoch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Admission: under kShed an over-limit epoch completes immediately
+    // as kShed (the cancellation edge drops any stray seeds at
+    // ingress); under kQueue admit() blocks in FIFO order.
+    if (!admitted_) {
+      if (runtime_->admit()) {
+        admitted_ = true;
+      } else {
+        tenant_->fault.request_shed(
+            "admission: runtime at max in-flight epochs");
+      }
+    }
+    if (options_.deadline_ms > 0 && !tenant_->fault.cancelled()) {
+      runtime_->register_deadline(
+          tenant_.get(),
+          std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(options_.deadline_ms));
+    }
+    epoch_open_.store(true, std::memory_order_release);
+    return Submission(this, seq);
+  }
+
   // Resume the producer *before* resetting the detector: once rank 0 has
   // an active thread again, the freshly-reset wave cannot re-announce
   // termination in the window before the first task is submitted.
@@ -65,14 +141,18 @@ void World::execute() {
     detector_->reset();
     // The previous epoch's outcome was consumed by wait()/status();
     // the new epoch starts healthy.
-    fault_.reset();
+    own_fault_.reset();
     needs_reset_ = false;
   }
-  epoch_open_ = true;
+  seeds_sealed_.store(false, std::memory_order_relaxed);
+  const std::uint64_t seq =
+      epoch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  epoch_open_.store(true, std::memory_order_release);
+  return Submission(this, seq);
 }
 
-Status World::wait() {
-  assert(epoch_open_ && "wait() without execute()");
+void World::seal_seeds() {
+  if (seeds_sealed_.load(std::memory_order_acquire)) return;
   const EpochMode mode = epoch_mode();
   if (mode == EpochMode::kReplay) {
     // Every recorded external seed must have been re-delivered, or some
@@ -83,7 +163,30 @@ Status World::wait() {
       abort("replay: fewer external seeds than the recorded epoch");
     }
     flush_replay_ready();
+    detail::t_replay_frame = detail::ReplayFrame{};
+  } else if (mode == EpochMode::kRecording) {
+    detail::t_record_frame = detail::RecordFrame{};
   }
+  seeds_sealed_.store(true, std::memory_order_release);
+  // Seal last: the tenant's pending count may only hit a *final* zero
+  // after every seed of this epoch was accounted.
+  if (tenant_ != nullptr) tenant_->seal();
+}
+
+Status World::wait() {
+  assert(epoch_open_.load(std::memory_order_acquire) &&
+         "wait() without execute()");
+  const EpochMode mode = epoch_mode();
+  seal_seeds();
+  const Status st =
+      tenant_ != nullptr ? wait_tenant(mode) : wait_classic(mode);
+  record_completion(st);
+  epoch_open_.store(false, std::memory_order_release);
+  needs_reset_ = true;
+  return st;
+}
+
+Status World::wait_classic(EpochMode mode) {
   if (watchdog_ != nullptr) watchdog_->arm();
   // The calling thread stops producing: flush its counters and take part
   // in the wave until termination is announced.
@@ -91,7 +194,7 @@ Status World::wait() {
   int spins = 0;
   bool replay_purged = false;
   while (!detector_->terminated()) {
-    if (fault_.cancelled()) {
+    if (own_fault_.cancelled()) {
       if (mode == EpochMode::kReplay) {
         // One pass claims every unfired slot (the claim bit makes later
         // deliveries stand down); ready-but-queued records are dropped
@@ -118,9 +221,8 @@ Status World::wait() {
     }
   }
   if (watchdog_ != nullptr) watchdog_->disarm();
-  const Status st = fault_.status();
+  const Status st = own_fault_.status();
   if (mode == EpochMode::kReplay) {
-    detail::t_replay_frame = detail::ReplayFrame{};
     // A clean replay leaves every slot executed and cleared; after a
     // failure/abort, sweep input copies still parked in unfired records.
     if (!st.ok() && replay_instance_ != nullptr) {
@@ -129,19 +231,108 @@ Status World::wait() {
     replay_instance_ = nullptr;
     epoch_mode_.store(EpochMode::kDynamic, std::memory_order_relaxed);
   } else if (mode == EpochMode::kRecording) {
-    detail::t_record_frame = detail::RecordFrame{};
     epoch_mode_.store(EpochMode::kDynamic, std::memory_order_relaxed);
   }
-  epoch_open_ = false;
-  needs_reset_ = true;
   return st;
+}
+
+Status World::wait_tenant(EpochMode mode) {
+  TenantState& t = *tenant_;
+  bool replay_purged = false;
+  // The epoch is over when the seeder sealed and every accounted task
+  // retired (see TenantState for the soundness argument). The wait is
+  // timed so cancellation purge work keeps running while producers
+  // drain.
+  while (!(t.sealed() && t.quiescent())) {
+    if (t.fault.cancelled()) {
+      if (mode == EpochMode::kReplay) {
+        if (!replay_purged && replay_instance_ != nullptr) {
+          replay_purged = true;
+          const std::size_t claimed = replay_instance_->purge_cancelled();
+          if (claimed > 0) {
+            t.on_cancelled(static_cast<std::int64_t>(claimed));
+          }
+        }
+      } else {
+        purge_cancelled();
+      }
+    }
+    t.wait_progress(std::chrono::milliseconds(1));
+  }
+  const Status st = t.fault.status();
+  if (mode == EpochMode::kReplay) {
+    if (!st.ok() && replay_instance_ != nullptr) {
+      replay_instance_->discard_inputs();
+    }
+    replay_instance_ = nullptr;
+    epoch_mode_.store(EpochMode::kDynamic, std::memory_order_relaxed);
+  } else if (mode == EpochMode::kRecording) {
+    epoch_mode_.store(EpochMode::kDynamic, std::memory_order_relaxed);
+  }
+  if (options_.deadline_ms > 0) runtime_->cancel_deadline(&t);
+  if (admitted_) {
+    runtime_->release_admission();
+    admitted_ = false;
+  }
+  return st;
+}
+
+void World::record_completion(const Status& st) {
+  std::exception_ptr ep;
+  if (!st.ok()) {
+    try {
+      fault_->rethrow();
+    } catch (...) {
+      ep = std::current_exception();
+    }
+  }
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  last_status_ = st;
+  last_error_ = ep;
+  completed_seq_ = epoch_seq_.load(std::memory_order_relaxed);
+}
+
+bool World::submission_done(std::uint64_t seq) const {
+  {
+    std::lock_guard<std::mutex> lock(status_mutex_);
+    if (completed_seq_ >= seq) return true;
+  }
+  if (epoch_seq_.load(std::memory_order_acquire) != seq ||
+      !epoch_open_.load(std::memory_order_acquire)) {
+    return false;
+  }
+  if (tenant_ != nullptr) return tenant_->sealed() && tenant_->quiescent();
+  return detector_->terminated();
+}
+
+Status World::submission_wait(std::uint64_t seq) {
+  {
+    std::lock_guard<std::mutex> lock(status_mutex_);
+    if (completed_seq_ >= seq) return last_status_;
+  }
+  assert(seq == epoch_seq_.load(std::memory_order_acquire) &&
+         "stale Submission waited before its epoch was recorded");
+  return wait();
+}
+
+Status World::submission_status(std::uint64_t seq) const {
+  {
+    std::lock_guard<std::mutex> lock(status_mutex_);
+    if (completed_seq_ >= seq) return last_status_;
+  }
+  return fault_->status();
+}
+
+std::exception_ptr World::submission_error(std::uint64_t seq) const {
+  std::lock_guard<std::mutex> lock(status_mutex_);
+  return completed_seq_ >= seq ? last_error_ : nullptr;
 }
 
 void World::begin_recording() {
   assert(nranks_ == 1 &&
          "recording requires a single-rank world (keymaps resolve "
          "locally)");
-  execute();
+  (void)execute();
   recorder_ = std::make_unique<GraphRecorder>();
   epoch_mode_.store(EpochMode::kRecording, std::memory_order_relaxed);
   // The calling thread is the external producer: its seeds are recorded
@@ -151,20 +342,20 @@ void World::begin_recording() {
 }
 
 std::shared_ptr<GraphTemplate> World::end_recording() {
-  assert(!epoch_open_ && "end_recording() before the recording epoch "
-                         "fenced");
+  assert(!epoch_open_.load(std::memory_order_acquire) &&
+         "end_recording() before the recording epoch fenced");
   if (recorder_ == nullptr) return nullptr;
   std::shared_ptr<GraphTemplate> tmpl;
-  if (fault_.status().ok()) tmpl = recorder_->finalize();
+  if (fault_->status().ok()) tmpl = recorder_->finalize();
   recorder_.reset();
   return tmpl;
 }
 
-void World::execute_replay(ReplayInstance& instance) {
+Submission World::execute_replay(ReplayInstance& instance) {
   assert(nranks_ == 1 && "replay requires a single-rank world");
   assert(epoch_mode() == EpochMode::kDynamic &&
          "execute_replay() during an open recording/replay epoch");
-  execute();
+  const Submission handle = execute();
   // Re-arm the arena *before* the mode flips: once deliveries can
   // arrive, every join counter must already hold its expected count.
   instance.begin_epoch();
@@ -186,6 +377,7 @@ void World::execute_replay(ReplayInstance& instance) {
   detail::t_replay_frame = detail::ReplayFrame{
       &instance, ext, ext + g.external_deliveries().size(), nullptr, 0,
       /*external=*/true, instance.copy_arena(workers)};
+  return handle;
 }
 
 void World::enqueue_replay_ready(TaskBase* task) {
@@ -219,17 +411,19 @@ void World::flush_replay_ready() {
 }
 
 void World::abort(std::string reason) {
-  if (fault_.request_abort(std::move(reason))) {
+  if (fault_->request_abort(std::move(reason))) {
     trace::record(trace::EventKind::kWorldAborted,
                   static_cast<std::uint64_t>(Outcome::kAborted));
   }
   // Wake every rank's parked workers so they drain (and drop) the
-  // queues and the termination wave converges.
-  for (auto& c : contexts_) c->notify_work();
+  // queues and the termination wave converges; a tenant waiter gets an
+  // immediate nudge too.
+  for (Context* c : contexts_) c->notify_work();
+  if (tenant_ != nullptr) tenant_->notify();
 }
 
 void World::set_fault_plan(const FaultPlan* plan) {
-  for (auto& c : contexts_) c->set_fault_plan(plan);
+  for (Context* c : contexts_) c->set_fault_plan(plan);
 }
 
 void World::set_stall_handler(
@@ -261,16 +455,22 @@ void World::purge_cancelled() {
   }
   if (purged > 0) {
     // The discarded records were accounted as discovered; retire them as
-    // cancelled completions and flush so the wave sees the new balance.
-    detector_->on_cancelled(0, static_cast<std::int64_t>(purged));
-    detector_->on_idle();
+    // cancelled completions so the wave (or the tenant's pending count)
+    // sees the new balance.
+    if (tenant_ != nullptr) {
+      tenant_->on_cancelled(static_cast<std::int64_t>(purged));
+    } else {
+      detector_->on_cancelled(0, static_cast<std::int64_t>(purged));
+      detector_->on_idle();
+    }
   }
 }
 
 std::uint64_t World::progress_counter() const {
+  if (tenant_ != nullptr) return tenant_->retired();
   std::uint64_t n = messages_delivered();
-  for (const auto& c : contexts_) {
-    ExecutionEngine& e = c->engine();
+  for (const Context* c : contexts_) {
+    ExecutionEngine& e = const_cast<Context*>(c)->engine();
     n += e.total_tasks_executed() + e.failed_tasks() + e.cancelled_tasks();
   }
   return n;
@@ -278,6 +478,18 @@ std::uint64_t World::progress_counter() const {
 
 std::string World::stall_report() const {
   std::ostringstream os;
+  if (tenant_ != nullptr) {
+    os << "=== stall report (world " << world_id_;
+    if (!options_.name.empty()) os << " '" << options_.name << "'";
+    os << ") ===\n";
+    os << "tenant: pending=" << tenant_->pending()
+       << " retired=" << tenant_->retired()
+       << " failed=" << tenant_->failed()
+       << " cancelled=" << tenant_->cancelled()
+       << " sealed=" << (tenant_->sealed() ? "yes" : "no") << "\n";
+    os << runtime_->stall_report();
+    return os.str();
+  }
   os << "=== stall report ===\n";
   os << "config: " << config_.describe() << "\n";
   os << "progress: tasks+faults+messages=" << progress_counter()
@@ -287,8 +499,9 @@ std::string World::stall_report() const {
      << " cancelled=" << detector_->total_cancelled()
      << " terminated=" << (detector_->terminated() ? "yes" : "no") << "\n";
   for (int r = 0; r < nranks_; ++r) {
-    ExecutionEngine& e = contexts_[r]->engine();
-    const StealStats stats = contexts_[r]->scheduler().steal_stats();
+    ExecutionEngine& e = contexts_[static_cast<std::size_t>(r)]->engine();
+    const StealStats stats =
+        contexts_[static_cast<std::size_t>(r)]->scheduler().steal_stats();
     os << "rank " << r << ": pending=" << detector_->rank_pending(r)
        << " executed=" << e.total_tasks_executed()
        << " failed=" << e.failed_tasks()
@@ -305,8 +518,15 @@ std::string World::stall_report() const {
   return os.str();
 }
 
-void World::on_stall() {
-  const std::string report = stall_report();
+void World::on_stall(bool engine_quiet) {
+  std::string report = stall_report();
+  if (tenant_ != nullptr) {
+    report += engine_quiet
+                  ? "verdict: engine quiet (no task progressed anywhere "
+                    "over the window)\n"
+                  : "verdict: this World quiet while the engine made "
+                    "progress (tenant-local stall)\n";
+  }
   std::function<void(const std::string&)> handler;
   {
     std::lock_guard<std::mutex> lock(stall_mutex_);
@@ -327,18 +547,26 @@ void World::on_stall() {
 
 void World::post_message(int target_rank, std::function<void()> deliver) {
   assert(target_rank >= 0 && target_rank < nranks_);
+  if (tenant_ != nullptr) {
+    // Tenant worlds are single-rank with no message plane: deliver
+    // inline on the calling thread.
+    deliver();
+    messages_delivered_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   detector_->on_message_sent();
   trace::record(trace::EventKind::kMessageSent,
                 static_cast<std::uint32_t>(target_rank));
   auto* msg = new Message;
   msg->deliver = std::move(deliver);
-  queues_[target_rank]->push(msg);
-  contexts_[target_rank]->notify_work();
+  queues_[static_cast<std::size_t>(target_rank)]->push(msg);
+  contexts_[static_cast<std::size_t>(target_rank)]->notify_work();
 }
 
 std::uint64_t World::total_tasks_executed() const {
+  if (tenant_ != nullptr) return tenant_->executed();
   std::uint64_t n = 0;
-  for (const auto& c : contexts_) n += c->total_tasks_executed();
+  for (const Context* c : contexts_) n += c->total_tasks_executed();
   return n;
 }
 
@@ -354,8 +582,10 @@ void World::MessageQueue::drain(Worker& worker) {
       // A throwing delivery (e.g. a payload whose copy constructor
       // throws during re-materialization) is a task failure: capture
       // and cancel instead of terminating the worker.
-      world_->contexts_[worker.rank()]->engine().report_task_failure(
-          std::current_exception(), /*span_name=*/0, worker.index());
+      world_->contexts_[static_cast<std::size_t>(worker.rank())]
+          ->engine()
+          .report_task_failure(std::current_exception(), /*span_name=*/0,
+                               worker.index());
     }
     world_->messages_delivered_.fetch_add(1, std::memory_order_relaxed);
     delete msg;

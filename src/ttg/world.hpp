@@ -8,6 +8,18 @@
 // communication accounting (messages sent/received) that feeds the
 // four-counter termination wave in distributed TTG.
 //
+// Two ownership shapes (DESIGN.md §1.1c, docs/serving.md):
+//
+//  * Classic (public constructor): the World owns its engine. A
+//    single-rank World is a thin compatibility shim over a private
+//    single-tenant Runtime; multi-rank Worlds own one Context per rank
+//    directly. Termination runs on the four-counter wave.
+//  * Tenant (Runtime::make_world): the World borrows a shared Runtime's
+//    engine. Its tasks are tagged with a TenantState, termination is the
+//    tenant's pending counter, and faults/aborts/deadlines are scoped to
+//    this World only — hundreds of tenant Worlds interleave on the same
+//    workers.
+//
 // Substitution note (see DESIGN.md): real TTG sends serialized data over
 // MPI between processes; here a cross-rank send deep-copies the value
 // into a message delivered by a worker of the target rank. The control
@@ -15,6 +27,7 @@
 // queue instead of a NIC.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -24,6 +37,7 @@
 
 #include "runtime/context.hpp"
 #include "runtime/fault.hpp"
+#include "runtime/tenant.hpp"
 #include "runtime/watchdog.hpp"
 #include "structures/fifo.hpp"
 #include "termdet/termdet.hpp"
@@ -31,12 +45,65 @@
 
 namespace ttg {
 
+class Runtime;
 class TTBase;
+class World;
+
+/// Handle to one execution epoch, returned by World::execute() and
+/// World::execute_replay(). Unifies the old wait()/fence()/status()
+/// trio: wait() blocks and returns the epoch's Status, done() polls,
+/// rethrow() waits then rethrows the captured failure (or WorldAborted).
+///
+/// A Submission is a value (World pointer + epoch sequence number) and
+/// stays answerable after the epoch completed — even after the World
+/// started its next epoch, in which case it reports the most recently
+/// completed status. It must not outlive its World.
+///
+/// Cross-thread protocol (serving collectors): the seeding thread calls
+/// World::seal_seeds() when it is done submitting, after which any
+/// thread may wait() on the handle. Calling wait() from a non-seeding
+/// thread *before* the seeder sealed is a race (wait() would seal an
+/// epoch that is still being seeded).
+class Submission {
+ public:
+  Submission() = default;
+
+  bool valid() const { return world_ != nullptr; }
+
+  /// True once the epoch drained (all discovered tasks retired). Cheap
+  /// poll; never blocks.
+  bool done() const;
+
+  /// Blocks until the epoch completes and returns its final Status.
+  /// Idempotent; from the seeding thread it behaves like World::wait().
+  Status wait();
+
+  /// Non-blocking snapshot: the final Status once completed, the
+  /// in-flight fault state otherwise.
+  Status status() const;
+
+  /// True when the epoch is (or ended) cancelled: failed, aborted,
+  /// deadline-expired or shed.
+  bool cancelled() const { return !status().ok(); }
+
+  /// wait(), then rethrows the captured task exception (kFailed) or
+  /// throws WorldAborted (kAborted/kShed); returns on kOk.
+  void rethrow();
+
+ private:
+  friend class World;
+  Submission(World* world, std::uint64_t seq) : world_(world), seq_(seq) {}
+
+  World* world_ = nullptr;
+  std::uint64_t seq_ = 0;
+};
 
 class World {
  public:
-  /// Creates a world with `nranks` simulated ranks, each owning a worker
-  /// pool configured by `config` (config.threads() workers per rank).
+  /// Creates a classic world with `nranks` simulated ranks, each owning
+  /// a worker pool configured by `config` (config.threads() workers per
+  /// rank). Single-rank worlds are a compatibility shim over a private
+  /// single-tenant Runtime (see the file comment).
   explicit World(const Config& config, int nranks = 1);
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -44,27 +111,61 @@ class World {
 
   int num_ranks() const { return nranks_; }
   Context& context(int rank = 0) { return *contexts_[rank]; }
-  TerminationDetector& detector() { return *detector_; }
+  TerminationDetector& detector() {
+    return detector_ != nullptr ? *detector_ : contexts_[0]->detector();
+  }
   const Config& config() const { return config_; }
+
+  /// The shared Runtime this tenant World runs on; null for classic
+  /// worlds (whose private shim runtime is an implementation detail).
+  Runtime* runtime() const { return runtime_; }
+  /// Tenant accounting block, or null for classic worlds.
+  TenantState* tenant() const { return tenant_.get(); }
+  /// Stable id for diagnostics (0 for classic worlds).
+  std::uint64_t id() const { return world_id_; }
+  const std::string& name() const { return options_.name; }
+  /// Priority added to every task of this World (tenant priority
+  /// classes; 0 for classic worlds).
+  std::int32_t priority_boost() const {
+    return tenant_ != nullptr ? tenant_->priority_boost : 0;
+  }
+  /// True while an epoch is between execute() and wait()-completion.
+  bool epoch_open() const {
+    return epoch_open_.load(std::memory_order_acquire);
+  }
 
   /// Rank of the calling thread: its worker's rank, or 0 for external
   /// threads (the application thread acts as rank 0's producer).
   int current_rank() const;
 
   /// Starts (or resumes after fence) an execution epoch. Clears the
-  /// previous epoch's fault state (read status() before this).
-  void execute();
+  /// previous epoch's fault state (read status() before this). On a
+  /// tenant World this is also the admission point: under kShed policy
+  /// an over-limit epoch is rejected immediately (the handle completes
+  /// with Outcome::kShed and seeds are dropped at ingress); under
+  /// kQueue the call blocks in FIFO order until a slot frees.
+  Submission execute();
 
   /// Blocks until all discovered tasks on all ranks have executed (or
   /// were dropped as cancelled completions) and no messages are in
   /// flight, then reports how the epoch ended. On failure/abort the
   /// captured exception is rethrowable via rethrow().
+  /// \deprecated Prefer the Submission handle: `auto s = world.execute();
+  /// ... ; s.wait();` — kept as a shim for existing call sites.
   Status wait();
 
   /// Blocks until all discovered tasks on all ranks have executed and no
-  /// messages are in flight. Equivalent to (void)wait() — inspect
-  /// status() afterwards if the run may have failed.
+  /// messages are in flight. Equivalent to (void)wait().
+  /// \deprecated Prefer Submission::wait(); kept as a shim.
   void fence() { (void)wait(); }
+
+  /// Marks the end of seeding for the current epoch from the seeding
+  /// thread: flushes batched replay seeds, validates replay seed counts,
+  /// and (tenant worlds) seals the tenant so the epoch can complete.
+  /// wait() calls this implicitly when the seeder and waiter are the
+  /// same thread; cross-thread waiters need the seeder to call it
+  /// explicitly (see Submission).
+  void seal_seeds();
 
   // --- Record-and-replay epochs (see ttg/graph_template.hpp and
   // docs/replay.md). -------------------------------------------------
@@ -91,10 +192,10 @@ class World {
   /// use): all template slots are discovered up front in one bulk
   /// counter update, readiness runs on plain join counters, and the
   /// pending hash tables are never touched. Repeat the recorded seeds
-  /// from the calling thread, then wait()/fence(). The instance is
-  /// re-armed on every call, so the same instance replays any number of
-  /// epochs.
-  void execute_replay(ReplayInstance& instance);
+  /// from the calling thread, then wait on the returned handle. The
+  /// instance is re-armed on every call, so the same instance replays
+  /// any number of epochs.
+  Submission execute_replay(ReplayInstance& instance);
 
   /// The recorder of the active recording epoch (null otherwise).
   GraphRecorder* recorder() { return recorder_.get(); }
@@ -111,34 +212,39 @@ class World {
   /// yet started is dropped as a cancelled completion, and wait()
   /// returns Status{kAborted, reason}. Safe from any thread, including
   /// task bodies. Idempotent; a captured failure wins over an abort.
+  /// On a tenant World only this World's tasks are cancelled — siblings
+  /// on the same Runtime are untouched.
   void abort(std::string reason);
 
   /// True once the current epoch is cancelled (failure or abort). Task
   /// bodies can poll this to bail out of long loops early. One relaxed
   /// load.
-  bool cancelled() const { return fault_.cancelled(); }
+  bool cancelled() const { return fault_->cancelled(); }
 
   /// Outcome of the current/last epoch (kOk while running healthy).
-  Status status() const { return fault_.status(); }
+  Status status() const { return fault_->status(); }
 
   /// Rethrows the captured task exception (failed epochs), throws
   /// WorldAborted (aborted epochs), or returns (healthy).
-  void rethrow() const { fault_.rethrow(); }
+  void rethrow() const { fault_->rethrow(); }
 
-  FaultState& fault() { return fault_; }
+  FaultState& fault() { return *fault_; }
 
   /// Installs (or clears, with nullptr) a seeded fault-injection plan on
-  /// every rank's engine; see FaultPlan. Install while quiescent.
+  /// every rank's engine (tenant worlds: on this tenant's tasks only);
+  /// see FaultPlan. Install while quiescent.
   void set_fault_plan(const FaultPlan* plan);
 
   /// Replaces the stall-watchdog handler (default: write the stall
   /// report to stderr and abort the World). The handler receives the
-  /// report; it runs on the watchdog thread. Only meaningful when
-  /// Config::watchdog_quiet_ms > 0.
+  /// report; it runs on the watchdog thread. Classic worlds need
+  /// Config::watchdog_quiet_ms > 0; tenant worlds are monitored by
+  /// their Runtime's per-World watchdog under the same knob.
   void set_stall_handler(std::function<void(const std::string&)> handler);
 
   /// Diagnostics: a human-readable dump of scheduler/termdet/parking
-  /// state (what the stall watchdog reports).
+  /// state (what the stall watchdog reports). Tenant worlds report
+  /// their own counters plus the shared engine's state.
   std::string stall_report() const;
 
   /// TT registration for graph-wide bookkeeping (cancellation purge).
@@ -148,10 +254,12 @@ class World {
 
   /// Posts an active message to `target_rank`; a worker of that rank
   /// will invoke `deliver`. Accounts one message sent on the calling
-  /// thread's rank and one received on the target.
+  /// thread's rank and one received on the target. Tenant worlds are
+  /// single-rank: the message is delivered inline.
   void post_message(int target_rank, std::function<void()> deliver);
 
-  /// Total tasks executed across all ranks.
+  /// Total tasks executed across all ranks (tenant worlds: this World's
+  /// tasks only, not the shared engine's total).
   std::uint64_t total_tasks_executed() const;
 
   /// Messages delivered so far (diagnostics).
@@ -160,6 +268,12 @@ class World {
   }
 
  private:
+  friend class Runtime;
+  friend class Submission;
+
+  /// Tenant mode: a lightweight World on `runtime`'s shared engine.
+  World(Runtime& runtime, WorldOptions options);
+
   struct Message : LifoNode {
     std::function<void()> deliver;
   };
@@ -180,25 +294,61 @@ class World {
   /// Discards pending records in every registered TT, accounting them
   /// as cancelled completions. Looped by wait() while cancelled: records
   /// can keep materializing from still-running producers until the wave
-  /// converges.
+  /// (or the tenant's pending count) converges.
   void purge_cancelled();
+
+  /// The two wait bodies: the classic four-counter wave and the tenant
+  /// pending-counter protocol. Both return the epoch's final Status and
+  /// leave the replay/recording mode reset.
+  Status wait_classic(EpochMode mode);
+  Status wait_tenant(EpochMode mode);
+
+  /// Records the completed epoch's status for late Submission queries.
+  void record_completion(const Status& st);
+
+  // Submission backends.
+  bool submission_done(std::uint64_t seq) const;
+  Status submission_wait(std::uint64_t seq);
+  Status submission_status(std::uint64_t seq) const;
+  std::exception_ptr submission_error(std::uint64_t seq) const;
 
   /// Aggregate progress sample + handler wiring for the stall watchdog.
   std::uint64_t progress_counter() const;
-  void on_stall();
+  void on_stall(bool engine_quiet = true);
 
   /// Submits the pending externally-fired replay chain (if any).
   void flush_replay_ready();
 
   Config config_;
   int nranks_;
-  std::unique_ptr<TerminationDetector> detector_;
-  FaultState fault_;  // before contexts_: engines borrow it
-  std::vector<std::unique_ptr<MessageQueue>> queues_;
-  std::vector<std::unique_ptr<Context>> contexts_;
+  std::unique_ptr<TerminationDetector> detector_;  // classic only
+  FaultState own_fault_;  // before contexts: engines borrow it (classic)
+  FaultState* fault_ = &own_fault_;  // tenant: &tenant_->fault
+  Runtime* runtime_ = nullptr;       // tenant: the shared runtime
+  std::unique_ptr<TenantState> tenant_;
+  WorldOptions options_;
+  std::uint64_t world_id_ = 0;
+  bool admitted_ = false;  // holds one AdmissionGate slot
+
+  std::vector<std::unique_ptr<MessageQueue>> queues_;  // classic only
+  /// Classic single-rank worlds run on this private single-tenant
+  /// runtime (the compatibility shim); its Context appears in
+  /// `contexts_` like any other.
+  std::unique_ptr<Runtime> private_runtime_;
+  std::vector<std::unique_ptr<Context>> owned_contexts_;
+  /// The uniform view everything else indexes (one per rank; tenant
+  /// worlds have exactly one, borrowing the shared engine).
+  std::vector<Context*> contexts_;
   std::atomic<std::uint64_t> messages_delivered_{0};
-  bool epoch_open_ = false;
+  std::atomic<bool> epoch_open_{false};
   bool needs_reset_ = false;
+  std::atomic<bool> seeds_sealed_{false};
+
+  std::atomic<std::uint64_t> epoch_seq_{0};
+  mutable std::mutex status_mutex_;
+  std::uint64_t completed_seq_ = 0;   // guarded by status_mutex_
+  Status last_status_;                // guarded by status_mutex_
+  std::exception_ptr last_error_;     // guarded by status_mutex_
 
   std::atomic<EpochMode> epoch_mode_{EpochMode::kDynamic};
   std::unique_ptr<GraphRecorder> recorder_;
@@ -213,5 +363,23 @@ class World {
   // teardown): the monitor samples contexts and the detector.
   std::unique_ptr<StallWatchdog> watchdog_;
 };
+
+inline bool Submission::done() const {
+  return world_ != nullptr && world_->submission_done(seq_);
+}
+inline Status Submission::wait() {
+  return world_ != nullptr ? world_->submission_wait(seq_) : Status{};
+}
+inline Status Submission::status() const {
+  return world_ != nullptr ? world_->submission_status(seq_) : Status{};
+}
+inline void Submission::rethrow() {
+  const Status st = wait();
+  if (st.ok()) return;
+  if (std::exception_ptr ep = world_->submission_error(seq_); ep) {
+    std::rethrow_exception(ep);
+  }
+  throw WorldAborted(st.reason);
+}
 
 }  // namespace ttg

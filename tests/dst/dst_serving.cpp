@@ -1,0 +1,155 @@
+// DST property test: the serving admission gate (runtime/tenant.hpp)
+// never over-admits and queued admission stays FIFO, under every
+// explored interleaving.
+//
+// Scenario A models the overload edge of the multi-tenant serving mode
+// (docs/serving.md): submitters race try_admit() on a limit-1 gate
+// under AdmissionPolicy::kShed. The property is the admission bound
+// itself — at no point may more submitters hold slots than the limit —
+// plus exact shed accounting (every attempt either held a slot or was
+// counted shed, and the gate drains back to zero). The
+// serving_admit_no_fence mutant splits the reservation's
+// compare-exchange into an unfenced load/store pair, so two racing
+// submitters can both read the same in-flight count and both "reserve"
+// the single slot; this suite must catch it (scripts/mutation_gate.sh).
+//
+// Scenario B drives the kQueue policy: the ticket FIFO must admit
+// waiters in arrival order (a freed slot goes to the longest waiter,
+// never to a late barger), and every waiter must eventually be
+// admitted.
+#include <atomic>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dst_common.hpp"
+#include "runtime/tenant.hpp"
+#include "sim/sim.hpp"
+
+namespace {
+
+/// Scenario A: racing try_admit() on a limit-1 gate must never let two
+/// submitters hold slots at once.
+struct AdmitRace {
+  static constexpr int kRounds = 3;
+  static constexpr int kSubmitters = 3;
+
+  ttg::AdmissionGate gate{1, ttg::AdmissionPolicy::kShed};
+  std::atomic<int> in_crit{0};
+  std::atomic<int> max_in_crit{0};
+  std::atomic<int> admitted{0};
+  std::atomic<int> shed{0};
+
+  std::vector<std::function<void()>> bodies() {
+    std::vector<std::function<void()>> out;
+    for (int i = 0; i < kSubmitters; ++i) {
+      out.push_back([this] {
+        for (int r = 0; r < kRounds; ++r) {
+          ttg::sim::preemption_point("submitter.attempt");
+          if (!gate.try_admit()) {
+            shed.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          const int now = in_crit.fetch_add(1, std::memory_order_acq_rel) + 1;
+          int seen = max_in_crit.load(std::memory_order_relaxed);
+          while (seen < now && !max_in_crit.compare_exchange_weak(
+                                   seen, now, std::memory_order_relaxed)) {
+          }
+          // Hold the slot across a yield so a racing reservation that
+          // slipped past the bound becomes observable as concurrency.
+          ttg::sim::preemption_point("submitter.hold");
+          admitted.fetch_add(1, std::memory_order_relaxed);
+          in_crit.fetch_sub(1, std::memory_order_acq_rel);
+          gate.release();
+        }
+      });
+    }
+    return out;
+  }
+
+  std::string check() {
+    std::ostringstream os;
+    if (max_in_crit.load() > gate.limit()) {
+      os << "admission bound violated: " << max_in_crit.load()
+         << " concurrent holders on a limit-" << gate.limit() << " gate";
+      return os.str();
+    }
+    if (admitted.load() + shed.load() != kRounds * kSubmitters) {
+      os << "lost attempt: admitted=" << admitted.load()
+         << " shed=" << shed.load() << " of " << kRounds * kSubmitters;
+      return os.str();
+    }
+    if (gate.shed() != static_cast<std::uint64_t>(shed.load())) {
+      os << "shed accounting: gate counted " << gate.shed()
+         << " but submitters observed " << shed.load();
+      return os.str();
+    }
+    if (gate.inflight() != 0) {
+      os << "gate did not drain: inflight=" << gate.inflight();
+      return os.str();
+    }
+    return "";
+  }
+};
+
+/// Scenario B: kQueue admission must be FIFO in ticket order and admit
+/// every waiter. The enter log is written with no yield between it and
+/// the ticket fetch inside admit(), so enter order == ticket order.
+struct QueueFifo {
+  static constexpr int kSubmitters = 3;
+
+  ttg::AdmissionGate gate{1, ttg::AdmissionPolicy::kQueue};
+  std::atomic<int> enter_n{0};
+  std::atomic<int> admit_n{0};
+  int enter_log[kSubmitters] = {-1, -1, -1};
+  int admit_log[kSubmitters] = {-1, -1, -1};
+
+  std::vector<std::function<void()>> bodies() {
+    std::vector<std::function<void()>> out;
+    for (int i = 0; i < kSubmitters; ++i) {
+      out.push_back([this, i] {
+        ttg::sim::preemption_point("submitter.arrive");
+        enter_log[enter_n.fetch_add(1, std::memory_order_relaxed)] = i;
+        gate.admit([] { ttg::sim::preemption_point("submitter.pause"); });
+        // Limit 1: the next admission needs our release, so this log
+        // cannot be overtaken by a later admittee.
+        admit_log[admit_n.fetch_add(1, std::memory_order_relaxed)] = i;
+        ttg::sim::preemption_point("submitter.hold");
+        gate.release();
+      });
+    }
+    return out;
+  }
+
+  std::string check() {
+    std::ostringstream os;
+    if (admit_n.load() != kSubmitters) {
+      os << "starvation: only " << admit_n.load() << " of " << kSubmitters
+         << " waiters were admitted";
+      return os.str();
+    }
+    for (int i = 0; i < kSubmitters; ++i) {
+      if (enter_log[i] != admit_log[i]) {
+        os << "FIFO violated at position " << i << ": entered "
+           << enter_log[i] << " but admitted " << admit_log[i];
+        return os.str();
+      }
+    }
+    if (gate.inflight() != 0) {
+      os << "gate did not drain: inflight=" << gate.inflight();
+      return os.str();
+    }
+    return "";
+  }
+};
+
+TEST(DstServing, AdmissionNeverExceedsLimit) {
+  dst::explore<AdmitRace>("serving_admit_bound", AdmitRace::kSubmitters);
+}
+
+TEST(DstServing, QueueAdmissionIsFifo) {
+  dst::explore<QueueFifo>("serving_queue_fifo", QueueFifo::kSubmitters);
+}
+
+}  // namespace

@@ -347,6 +347,60 @@ TEST(Faults, ExternalSubmittersThenLateFence) {
             world.detector().total_completed());
 }
 
+TEST(Faults, InjectedFaultsStayWithinTheirTenant) {
+  // Serving mode (docs/serving.md): a fault plan installed on one
+  // tenant World injects only into that tenant's tasks — the sibling
+  // sharing the same engine completes untouched, and both tenants'
+  // pending counters converge to zero.
+  ttg::TestRng rng(20260808);
+  ttg::RuntimeOptions opts;
+  opts.config = test_config(2);
+  ttg::Runtime rt(opts);
+  auto faulty = rt.make_world();
+  auto clean = rt.make_world();
+
+  ttg::Edge<int, ttg::Void> ef("ef"), ec("ec");
+  std::atomic<int> clean_ran{0};
+  auto victim = ttg::make_tt<int>(
+      [](const int&, const ttg::Void&, auto&) {}, ttg::edges(ef),
+      ttg::edges(), "victim", *faulty);
+  auto bystander = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) { clean_ran.fetch_add(1); },
+      ttg::edges(ec), ttg::edges(), "bystander", *clean);
+
+  ttg::FaultPlan plan;
+  plan.seed = rng.next();
+  plan.throw_prob = 0.05;
+  faulty->set_fault_plan(&plan);
+
+  ttg::Submission sf = faulty->execute();
+  ttg::Submission sc = clean->execute();
+  for (int k = 0; k < 256; ++k) victim->sendk_input<0>(k);
+  for (int k = 0; k < 256; ++k) bystander->sendk_input<0>(k);
+  faulty->seal_seeds();
+  clean->seal_seeds();
+
+  const ttg::Status stf = sf.wait();
+  const ttg::Status stc = sc.wait();
+  if (plan.injected_throws.load() == 0) {
+    EXPECT_TRUE(stf.ok()) << stf.reason;
+  } else {
+    EXPECT_TRUE(stf.failed()) << stf.reason;
+    EXPECT_THROW(sf.rethrow(), ttg::FaultInjected);
+  }
+  EXPECT_TRUE(stc.ok()) << stc.reason;
+  EXPECT_EQ(clean_ran.load(), 256);
+  EXPECT_EQ(faulty->tenant()->pending(), 0);
+  EXPECT_EQ(clean->tenant()->pending(), 0);
+  EXPECT_EQ(clean->tenant()->failed(), 0u);
+
+  // Plan removed: the faulted tenant's next epoch is healthy.
+  faulty->set_fault_plan(nullptr);
+  ttg::Submission again = faulty->execute();
+  victim->sendk_input<0>(9999);
+  EXPECT_TRUE(again.wait().ok());
+}
+
 TEST(Faults, CleanRunReportsOk) {
   ttg::World world(test_config());
   ttg::Edge<int, ttg::Void> e("e");

@@ -1,0 +1,463 @@
+// Multi-tenant serving mode (docs/serving.md): one shared Runtime
+// engine pool, many lightweight tenant Worlds.
+//
+// The invariants under test: every tenant epoch terminates on its own
+// pending counter (no engine-wide fence), faults/aborts/deadlines are
+// scoped to one World while siblings run to completion untouched,
+// admission control bounds in-flight epochs (shedding or queueing
+// exactly per policy), replay epochs interleave with dynamic ones on
+// the same workers, and the Submission handle answers done()/wait()/
+// status()/rethrow() — including from a stale handle after the World
+// moved on, and from a collector thread after the seeder sealed.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ttg/ttg.hpp"
+
+namespace {
+
+ttg::Config test_config(int threads = 2) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+ttg::RuntimeOptions runtime_options(int threads = 2) {
+  ttg::RuntimeOptions opts;
+  opts.config = test_config(threads);
+  return opts;
+}
+
+/// A self-contained serial chain graph on `world`: seeding key 0 runs
+/// `len` tasks. The TT lives as long as the returned holder.
+struct Chain {
+  ttg::Edge<int, ttg::Void> edge{"ctl"};
+  std::atomic<int> ran{0};
+  std::shared_ptr<void> tt;
+
+  Chain(ttg::World& world, int len) {
+    std::shared_ptr node = ttg::make_tt<int>(
+        [this, len](const int& k, const ttg::Void&, auto& outs) {
+          ran.fetch_add(1, std::memory_order_relaxed);
+          if (k + 1 < len) ttg::sendk<0>(k + 1, outs);
+        },
+        ttg::edges(edge), ttg::edges(edge), "chain", world);
+    seed_ = [node] { node->template sendk_input<0>(0); };
+    tt = node;
+  }
+  void seed() { seed_(); }
+
+ private:
+  std::function<void()> seed_;
+};
+
+TEST(MultiWorld, TenantWorldRunsDynamicEpochs) {
+  ttg::Runtime rt(runtime_options());
+  ttg::WorldOptions wo;
+  wo.name = "basic";
+  auto world = rt.make_world(wo);
+  ASSERT_NE(world->runtime(), nullptr);
+  ASSERT_NE(world->tenant(), nullptr);
+  EXPECT_GT(world->id(), 0u);
+  EXPECT_EQ(world->name(), "basic");
+
+  Chain chain(*world, 100);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    ttg::Submission s = world->execute();
+    chain.seed();
+    const ttg::Status st = s.wait();
+    EXPECT_TRUE(st.ok()) << st.reason;
+    EXPECT_TRUE(s.done());
+  }
+  EXPECT_EQ(chain.ran.load(), 300);
+  EXPECT_EQ(world->total_tasks_executed(), 300u);
+  EXPECT_EQ(world->tenant()->pending(), 0);
+  EXPECT_EQ(rt.live_worlds(), 1);
+}
+
+TEST(MultiWorld, FaultIsolatedToOneWorld) {
+  ttg::Runtime rt(runtime_options());
+  auto bad = rt.make_world();
+  auto good = rt.make_world();
+
+  ttg::Edge<int, ttg::Void> e("e");
+  auto thrower = ttg::make_tt<int>(
+      [](const int& k, const ttg::Void&, auto&) {
+        if (k == 7) throw std::runtime_error("tenant boom");
+      },
+      ttg::edges(e), ttg::edges(), "thrower", *bad);
+  Chain chain(*good, 500);
+
+  ttg::Submission sb = bad->execute();
+  ttg::Submission sg = good->execute();
+  for (int k = 0; k < 64; ++k) thrower->sendk_input<0>(k);
+  chain.seed();
+  bad->seal_seeds();
+  good->seal_seeds();
+
+  const ttg::Status stb = sb.wait();
+  const ttg::Status stg = sg.wait();
+  EXPECT_TRUE(stb.failed());
+  EXPECT_NE(stb.reason.find("tenant boom"), std::string::npos) << stb.reason;
+  EXPECT_THROW(sb.rethrow(), std::runtime_error);
+  // The sibling on the same engine is untouched by the failure.
+  EXPECT_TRUE(stg.ok()) << stg.reason;
+  EXPECT_EQ(chain.ran.load(), 500);
+  // Every discovery of the failed tenant retired (executed or dropped).
+  EXPECT_EQ(bad->tenant()->pending(), 0);
+  EXPECT_GE(bad->tenant()->failed(), 1u);
+
+  // The failed World is reusable: the next epoch starts healthy.
+  ttg::Submission again = bad->execute();
+  thrower->sendk_input<0>(1000);
+  EXPECT_TRUE(again.wait().ok());
+}
+
+TEST(MultiWorld, AbortIsolatedToSibling) {
+  ttg::Runtime rt(runtime_options());
+  auto aborted = rt.make_world();
+  auto sibling = rt.make_world();
+  Chain victim(*aborted, 100000);
+  Chain survivor(*sibling, 2000);
+
+  ttg::Submission sa = aborted->execute();
+  ttg::Submission ss = sibling->execute();
+  victim.seed();
+  survivor.seed();
+  aborted->seal_seeds();
+  sibling->seal_seeds();
+  aborted->abort("test abort");
+
+  const ttg::Status sta = sa.wait();
+  EXPECT_TRUE(sta.aborted());
+  EXPECT_EQ(sta.reason, "test abort");
+  EXPECT_THROW(sa.rethrow(), ttg::WorldAborted);
+  const ttg::Status sts = ss.wait();
+  EXPECT_TRUE(sts.ok()) << sts.reason;
+  EXPECT_EQ(survivor.ran.load(), 2000);
+  EXPECT_EQ(aborted->tenant()->pending(), 0);
+}
+
+TEST(MultiWorld, ConcurrentWorldsInterleave) {
+  constexpr int kWorlds = 32;
+  constexpr int kLen = 64;
+  ttg::Runtime rt(runtime_options());
+  std::vector<std::unique_ptr<ttg::World>> worlds;
+  std::vector<std::unique_ptr<Chain>> chains;
+  std::vector<ttg::Submission> handles;
+  for (int i = 0; i < kWorlds; ++i) {
+    worlds.push_back(rt.make_world());
+    chains.push_back(std::make_unique<Chain>(*worlds.back(), kLen));
+  }
+  // Open every epoch before seeding any: all kWorlds epochs are
+  // in flight on the shared workers at once.
+  for (auto& w : worlds) handles.push_back(w->execute());
+  EXPECT_EQ(rt.live_worlds(), kWorlds);
+  for (int i = 0; i < kWorlds; ++i) {
+    chains[static_cast<std::size_t>(i)]->seed();
+    worlds[static_cast<std::size_t>(i)]->seal_seeds();
+  }
+  for (int i = 0; i < kWorlds; ++i) {
+    const ttg::Status st = handles[static_cast<std::size_t>(i)].wait();
+    EXPECT_TRUE(st.ok()) << "world " << i << ": " << st.reason;
+    EXPECT_EQ(chains[static_cast<std::size_t>(i)]->ran.load(), kLen);
+  }
+  EXPECT_GE(rt.total_tasks_executed(),
+            static_cast<std::uint64_t>(kWorlds) * kLen);
+}
+
+TEST(MultiWorld, ShedPolicyRejectsOverLimit) {
+  ttg::RuntimeOptions opts = runtime_options();
+  opts.max_inflight_worlds = 1;
+  opts.admission = ttg::AdmissionPolicy::kShed;
+  ttg::Runtime rt(opts);
+  auto first = rt.make_world();
+  auto second = rt.make_world();
+  Chain c1(*first, 50);
+  Chain c2(*second, 50);
+
+  ttg::Submission s1 = first->execute();
+  EXPECT_EQ(rt.inflight_epochs(), 1);
+  // The gate is full: the second epoch is shed immediately and its
+  // seeds drop at ingress.
+  ttg::Submission s2 = second->execute();
+  c2.seed();
+  const ttg::Status st2 = s2.wait();
+  EXPECT_TRUE(st2.shed()) << st2.reason;
+  EXPECT_TRUE(s2.cancelled());
+  EXPECT_THROW(s2.rethrow(), ttg::WorldAborted);
+  EXPECT_EQ(c2.ran.load(), 0);
+  EXPECT_EQ(rt.epochs_shed(), 1u);
+
+  c1.seed();
+  EXPECT_TRUE(s1.wait().ok());
+  EXPECT_EQ(rt.inflight_epochs(), 0);
+
+  // With the slot freed the shed World admits cleanly.
+  ttg::Submission s3 = second->execute();
+  c2.seed();
+  EXPECT_TRUE(s3.wait().ok());
+  EXPECT_EQ(c2.ran.load(), 50);
+}
+
+TEST(MultiWorld, QueuePolicyBlocksThenAdmits) {
+  ttg::RuntimeOptions opts = runtime_options();
+  opts.max_inflight_worlds = 1;
+  opts.admission = ttg::AdmissionPolicy::kQueue;
+  ttg::Runtime rt(opts);
+  auto first = rt.make_world();
+  auto second = rt.make_world();
+  Chain c1(*first, 50);
+  Chain c2(*second, 50);
+
+  ttg::Submission s1 = first->execute();
+  c1.seed();
+  first->seal_seeds();
+
+  std::atomic<bool> admitted{false};
+  std::thread submitter([&] {
+    // Blocks in FIFO order until the first epoch's slot frees.
+    ttg::Submission s2 = second->execute();
+    admitted.store(true, std::memory_order_release);
+    c2.seed();
+    EXPECT_TRUE(s2.wait().ok());
+  });
+  // Give the submitter time to reach the gate, then release the slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(s1.wait().ok());
+  submitter.join();
+  EXPECT_TRUE(admitted.load());
+  EXPECT_EQ(c2.ran.load(), 50);
+  EXPECT_EQ(rt.epochs_shed(), 0u);
+}
+
+TEST(MultiWorld, DeadlineAbortsOverdueEpoch) {
+  ttg::Runtime rt(runtime_options());
+  ttg::WorldOptions wo;
+  wo.deadline_ms = 50;
+  auto world = rt.make_world(wo);
+  ttg::World* wptr = world.get();
+
+  ttg::Edge<int, ttg::Void> e("e");
+  auto tt = ttg::make_tt<int>(
+      [wptr](const int&, const ttg::Void&, auto&) {
+        // Overstay the deadline; the abort edge releases the spin.
+        while (!wptr->cancelled()) std::this_thread::yield();
+      },
+      ttg::edges(e), ttg::edges(), "laggard", *world);
+
+  ttg::Submission s = world->execute();
+  tt->sendk_input<0>(0);
+  const ttg::Status st = s.wait();
+  EXPECT_TRUE(st.aborted());
+  EXPECT_NE(st.reason.find("deadline"), std::string::npos) << st.reason;
+
+  // A fast epoch under the same deadline stays healthy even after the
+  // deadline would have passed (the registration is cancelled at wait).
+  ttg::Submission fast = world->execute();
+  const ttg::Status st2 = fast.wait();
+  EXPECT_TRUE(st2.ok()) << st2.reason;
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  EXPECT_TRUE(fast.status().ok());
+}
+
+TEST(MultiWorld, PriorityClassFeedsTaskPriority) {
+  ttg::RuntimeOptions opts = runtime_options();
+  opts.config.scheduler = ttg::SchedulerType::kLLP;
+  ttg::Runtime rt(opts);
+  ttg::WorldOptions high;
+  high.priority_class = 2;
+  ttg::WorldOptions low;
+  low.priority_class = -1;
+  auto hw = rt.make_world(high);
+  auto lw = rt.make_world(low);
+  EXPECT_EQ(hw->priority_boost(), 2 << ttg::WorldOptions::kPriorityClassShift);
+  EXPECT_EQ(lw->priority_boost(),
+            -(1 << ttg::WorldOptions::kPriorityClassShift));
+
+  Chain ch(*hw, 200);
+  Chain cl(*lw, 200);
+  ttg::Submission sh = hw->execute();
+  ttg::Submission sl = lw->execute();
+  ch.seed();
+  cl.seed();
+  hw->seal_seeds();
+  lw->seal_seeds();
+  EXPECT_TRUE(sh.wait().ok());
+  EXPECT_TRUE(sl.wait().ok());
+  EXPECT_EQ(ch.ran.load(), 200);
+  EXPECT_EQ(cl.ran.load(), 200);
+}
+
+TEST(MultiWorld, SubmissionOutlivesItsEpoch) {
+  ttg::Runtime rt(runtime_options());
+  auto world = rt.make_world();
+  Chain chain(*world, 10);
+
+  ttg::Submission stale;
+  EXPECT_FALSE(stale.valid());
+  EXPECT_FALSE(stale.done());
+
+  stale = world->execute();
+  chain.seed();
+  EXPECT_TRUE(stale.wait().ok());
+
+  // Start (and fail) the next epoch: the stale handle keeps reporting
+  // the most recently completed status without blocking.
+  ttg::Submission next = world->execute();
+  world->abort("second epoch abort");
+  EXPECT_TRUE(next.wait().aborted());
+  EXPECT_TRUE(stale.done());
+  EXPECT_TRUE(stale.wait().aborted());  // most-recent completion
+}
+
+TEST(MultiWorld, CollectorThreadWaitsAfterSeal) {
+  ttg::Runtime rt(runtime_options());
+  auto world = rt.make_world();
+  Chain chain(*world, 1000);
+
+  ttg::Submission s = world->execute();
+  std::thread collector([&] {
+    const ttg::Status st = s.wait();
+    EXPECT_TRUE(st.ok()) << st.reason;
+  });
+  chain.seed();
+  // The seeding thread seals; only then may the collector's wait()
+  // complete the epoch.
+  world->seal_seeds();
+  collector.join();
+  EXPECT_EQ(chain.ran.load(), 1000);
+}
+
+TEST(MultiWorld, ReplayEpochsInterleaveWithDynamic) {
+  ttg::Runtime rt(runtime_options());
+  auto replayed = rt.make_world();
+  auto dynamic = rt.make_world();
+  Chain rc(*replayed, 128);
+  Chain dc(*dynamic, 128);
+
+  // Record once on the tenant world.
+  replayed->begin_recording();
+  rc.seed();
+  replayed->fence();
+  auto tmpl = replayed->end_recording();
+  ASSERT_NE(tmpl, nullptr);
+  ttg::ReplayInstance instance(tmpl);
+  ASSERT_EQ(rc.ran.load(), 128);
+
+  // Replay epochs and dynamic sibling epochs share the workers. Seeding
+  // is per-thread state, so seal each world before seeding the next.
+  for (int round = 0; round < 3; ++round) {
+    ttg::Submission sr = replayed->execute_replay(instance);
+    rc.seed();
+    replayed->seal_seeds();
+    ttg::Submission sd = dynamic->execute();
+    dc.seed();
+    dynamic->seal_seeds();
+    EXPECT_TRUE(sr.wait().ok());
+    EXPECT_TRUE(sd.wait().ok());
+  }
+  EXPECT_EQ(rc.ran.load(), 128 * 4);
+  EXPECT_EQ(dc.ran.load(), 128 * 3);
+  EXPECT_EQ(replayed->tenant()->pending(), 0);
+}
+
+TEST(MultiWorld, TwoFiftySixWorldsInFlight) {
+  constexpr int kWorlds = 256;
+  constexpr int kLen = 4;
+  ttg::RuntimeOptions opts = runtime_options();
+  opts.max_inflight_worlds = kWorlds;  // exactly at the bound
+  opts.admission = ttg::AdmissionPolicy::kShed;
+  ttg::Runtime rt(opts);
+
+  std::vector<std::unique_ptr<ttg::World>> worlds;
+  std::vector<std::unique_ptr<Chain>> chains;
+  std::vector<ttg::Submission> handles;
+  worlds.reserve(kWorlds);
+  for (int i = 0; i < kWorlds; ++i) {
+    worlds.push_back(rt.make_world());
+    chains.push_back(std::make_unique<Chain>(*worlds.back(), kLen));
+  }
+  for (int i = 0; i < kWorlds; ++i) {
+    handles.push_back(worlds[static_cast<std::size_t>(i)]->execute());
+    chains[static_cast<std::size_t>(i)]->seed();
+    worlds[static_cast<std::size_t>(i)]->seal_seeds();
+  }
+  // All 256 epochs were admitted (none shed at the 256 bound) and every
+  // one completes.
+  EXPECT_EQ(rt.epochs_shed(), 0u);
+  EXPECT_EQ(rt.live_worlds(), kWorlds);
+  for (int i = 0; i < kWorlds; ++i) {
+    EXPECT_TRUE(handles[static_cast<std::size_t>(i)].wait().ok());
+    EXPECT_EQ(chains[static_cast<std::size_t>(i)]->ran.load(), kLen);
+  }
+  EXPECT_GE(rt.total_tasks_executed(),
+            static_cast<std::uint64_t>(kWorlds) * kLen);
+  EXPECT_EQ(rt.inflight_epochs(), 0);
+}
+
+TEST(MultiWorld, StalledTenantIsDistinguishedFromQuietEngine) {
+  ttg::RuntimeOptions opts = runtime_options();
+  opts.config.watchdog_quiet_ms = 50;
+  ttg::Runtime rt(opts);
+  ttg::WorldOptions wo;
+  wo.name = "stuck";
+  auto stuck = rt.make_world(wo);
+  auto busy = rt.make_world();
+
+  std::atomic<bool> release{false};
+  std::mutex report_mutex;
+  std::string report;
+  stuck->set_stall_handler([&](const std::string& r) {
+    {
+      std::lock_guard<std::mutex> lock(report_mutex);
+      if (report.empty()) report = r;
+    }
+    release.store(true, std::memory_order_release);
+  });
+
+  ttg::Edge<int, ttg::Void> e("e");
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) {
+        while (!release.load(std::memory_order_acquire)) {
+          std::this_thread::yield();
+        }
+      },
+      ttg::edges(e), ttg::edges(), "blocker", *stuck);
+
+  ttg::Submission s = stuck->execute();
+  tt->sendk_input<0>(0);
+  stuck->seal_seeds();
+
+  // Keep the sibling (and thus the engine) busy until the watchdog
+  // attributes the stall to the stuck World alone.
+  Chain chain(*busy, 64);
+  const auto give_up =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!release.load(std::memory_order_acquire) &&
+         std::chrono::steady_clock::now() < give_up) {
+    ttg::Submission sb = busy->execute();
+    chain.seed();
+    EXPECT_TRUE(sb.wait().ok());
+  }
+  ASSERT_TRUE(release.load()) << "watchdog never fired";
+  EXPECT_TRUE(s.wait().ok());
+
+  std::lock_guard<std::mutex> lock(report_mutex);
+  EXPECT_NE(report.find("'stuck'"), std::string::npos) << report;
+  EXPECT_NE(report.find("tenant-local stall"), std::string::npos)
+      << "the engine made progress, so the verdict must blame this "
+         "World only:\n"
+      << report;
+}
+
+}  // namespace
