@@ -12,8 +12,18 @@
 // ownership transfer hands a uniquely-held moved input to its sole
 // recorded consumer outright (no retain/release pair, no pool churn).
 //
-//   ./bench_eq1_atomic_model [--tasks=N] [--replay] [--json-out=path]
+// The census must stay exact with the NUMA pool return path and the
+// delegated pending table enabled (--pending=delegated --numa=1): all
+// new fast-path guards are plain loads, the try_lock of an uncontended
+// bucket costs the same single RMW as the spinning lock, and this bench
+// is single-threaded, so the contended-only paths (publication CAS,
+// drain exchange, inbox pop) never execute.
+//
+//   ./bench_eq1_atomic_model [--tasks=N] [--replay]
+//                            [--pending=delegated|bucketlock]
+//                            [--numa=0|1] [--json-out=path]
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <tuple>
 #include <utility>
@@ -133,7 +143,12 @@ int main(int argc, char** argv) {
   const bench::Args& args = common.args;
   const int tasks = static_cast<int>(args.get_int("tasks", 50000));
   const bool replay = args.has_flag("replay");
+  const std::string pending = args.get_string("pending", "");
+  if (!pending.empty()) setenv("TTG_PENDING_TABLE", pending.c_str(), 1);
+  const std::string numa = args.get_string("numa", "");
+  if (!numa.empty()) setenv("TTG_NUMA_POOLS", numa.c_str(), 1);
   common.json.config("tasks", static_cast<std::int64_t>(tasks));
+  if (!pending.empty()) common.json.config("pending", pending);
 
   std::printf("# Equation (1): measured atomic RMW per task (move/reuse "
               "chain of %d tasks)\n",

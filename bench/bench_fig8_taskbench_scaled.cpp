@@ -1,14 +1,24 @@
-// Figure 8: Task-Bench at full thread count (64 cores in the paper) —
-// average core time per task (8a) and efficiency relative to the best
-// single-core rate x threads (8b).
+// Figure 8: Task-Bench at scale — average core time per task (8a) and
+// efficiency relative to the best single-core rate x threads (8b).
 //
 // Paper shape: TTG and the optimized PaRSEC PTG on par with the best
 // OpenMP worksharing runtime; OpenMP tasks markedly worse; METG(50%) of
 // TTG ~60k flops vs ~1M for OpenMP worksharing.
 //
+// Without --threads the bench sweeps the machine's own core count plus
+// the paper-scale points {64, 96, 128}, skipping any count above the
+// hardware concurrency (a laptop prints the skip and measures what it
+// can; a 128-core box produces every row). Each JSON row carries its
+// thread count so scripts/check_bench_regression.py gates every
+// (impl, threads, flops) point independently.
+//
 //   ./bench_fig8_taskbench_scaled [--threads=N] [--steps=N] [--paper]
-//                                 [--json-out=path]
+//                                 [--pending=delegated|bucketlock]
+//                                 [--numa=0|1] [--json-out=path]
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "taskbench_sweep.hpp"
@@ -17,27 +27,58 @@ int main(int argc, char** argv) {
   bench::BenchCommon common(argc, argv, "fig8_taskbench_scaled");
   const bench::Args& args = common.args;
   const bool paper = args.has_flag("paper");
-  const int threads = static_cast<int>(
-      args.get_int("threads", bench::default_max_threads()));
+  // Mode knobs: exported before any World exists so every Config built
+  // by the TTG implementations picks them up.
+  const std::string pending = args.get_string("pending", "");
+  if (!pending.empty()) setenv("TTG_PENDING_TABLE", pending.c_str(), 1);
+  const std::string numa = args.get_string("numa", "");
+  if (!numa.empty()) setenv("TTG_NUMA_POOLS", numa.c_str(), 1);
+
+  const int hw = bench::default_max_threads();
+  std::vector<int> thread_counts;
+  if (const std::int64_t t = args.get_int("threads", 0); t > 0) {
+    thread_counts.push_back(static_cast<int>(t));
+  } else {
+    thread_counts = {hw, 64, 96, 128};
+    std::sort(thread_counts.begin(), thread_counts.end());
+    thread_counts.erase(
+        std::unique(thread_counts.begin(), thread_counts.end()),
+        thread_counts.end());
+    for (int t : thread_counts) {
+      if (t > hw) {
+        std::printf("# skipping %d threads (hardware concurrency %d)\n",
+                    t, hw);
+      }
+    }
+    thread_counts.erase(
+        std::remove_if(thread_counts.begin(), thread_counts.end(),
+                       [hw](int t) { return t > hw; }),
+        thread_counts.end());
+  }
   const int steps =
       static_cast<int>(args.get_int("steps", paper ? 1000 : 100));
-  // "One task per core per timestep".
-  const int width = static_cast<int>(args.get_int("width", threads));
   const auto flops = bench::default_flops_sweep(paper);
 
-  common.json.config("threads", static_cast<std::int64_t>(threads));
-  common.json.config("width", static_cast<std::int64_t>(width));
+  common.json.config("threads", static_cast<std::int64_t>(
+                                    thread_counts.back()));
   common.json.config("steps", static_cast<std::int64_t>(steps));
+  if (!pending.empty()) common.json.config("pending", pending);
+  if (!numa.empty()) common.json.config("numa", numa);
 
-  std::printf("# Figure 8: Task-Bench 1D stencil, %d threads, width=%d "
-              "steps=%d\n",
-              threads, width, steps);
-  const double baseline = bench::best_single_core_rate(flops.front(),
-                                                       width, steps);
-  std::printf("# efficiency baseline: %.3e flops/s x %d threads\n",
-              baseline, threads);
-  const auto series =
-      bench::run_taskbench_sweep(flops, width, steps, threads);
-  bench::print_sweep(series, baseline, threads, &common.json);
+  for (int threads : thread_counts) {
+    // "One task per core per timestep".
+    const int width = static_cast<int>(args.get_int("width", threads));
+    std::printf("# Figure 8: Task-Bench 1D stencil, %d threads, width=%d "
+                "steps=%d\n",
+                threads, width, steps);
+    const double baseline = bench::best_single_core_rate(flops.front(),
+                                                         width, steps);
+    std::printf("# efficiency baseline: %.3e flops/s x %d threads\n",
+                baseline, threads);
+    const auto series =
+        bench::run_taskbench_sweep(flops, width, steps, threads);
+    bench::print_sweep(series, baseline, threads, &common.json,
+                       /*row_threads=*/true);
+  }
   return 0;
 }

@@ -116,9 +116,15 @@ inline double best_single_core_rate(std::uint64_t flops, int width,
   return best;
 }
 
+/// `row_threads`: also emit the thread count on every JSON row. Benches
+/// that sweep thread counts (Fig. 8 at 64/96/128) need it as part of the
+/// row identity so scripts/check_bench_regression.py gates each count
+/// separately; single-count figures leave it off to keep their stored
+/// baselines comparable.
 inline void print_sweep(const std::vector<SweepSeries>& series,
                         double baseline_rate, int threads,
-                        JsonReport* json = nullptr) {
+                        JsonReport* json = nullptr,
+                        bool row_threads = false) {
   std::printf("impl,flops_per_task,core_time_per_task_s,efficiency_pct,"
               "checksum_ok\n");
   for (const auto& s : series) {
@@ -133,6 +139,9 @@ inline void print_sweep(const std::vector<SweepSeries>& series,
       if (json != nullptr) {
         json->row();
         json->field("impl", s.name);
+        if (row_threads) {
+          json->field("threads", static_cast<std::int64_t>(threads));
+        }
         json->field("flops", static_cast<std::int64_t>(p.flops));
         json->field("core_time_per_task_s", p.core_time_per_task);
         json->field("efficiency_pct", eff);

@@ -1,0 +1,171 @@
+#include "common/topology.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <utility>
+
+#include "common/thread_id.hpp"
+
+namespace ttg {
+
+namespace {
+
+std::string read_first_line(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return {};
+  std::string line;
+  std::getline(in, line);
+  return line;
+}
+
+/// Hard ceiling on cpu ids accepted from a (possibly malformed) cpulist
+/// so "0-4294967295" cannot blow memory up.
+constexpr int kMaxCpus = 4096;
+
+}  // namespace
+
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  std::size_t i = 0;
+  const auto digit = [&](std::size_t j) {
+    return j < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[j])) != 0;
+  };
+  const auto parse_int = [&] {
+    long v = 0;
+    while (digit(i)) {
+      v = v * 10 + (text[i] - '0');
+      if (v > kMaxCpus) v = kMaxCpus;
+      ++i;
+    }
+    return static_cast<int>(v);
+  };
+  while (i < text.size()) {
+    if (!digit(i)) {
+      ++i;
+      continue;
+    }
+    const int lo = parse_int();
+    int hi = lo;
+    if (i < text.size() && text[i] == '-' && digit(i + 1)) {
+      ++i;
+      hi = parse_int();
+    }
+    for (int c = lo; c <= hi && c < kMaxCpus; ++c) cpus.push_back(c);
+  }
+  return cpus;
+}
+
+Topology discover_topology(const std::string& root) {
+  namespace fs = std::filesystem;
+  Topology topo;
+
+  // Nodes: every node<N> directory with a non-empty cpulist. Collected
+  // with their numeric ids first, then sorted, so dense domain ids do
+  // not depend on directory-iteration order (domain-id stability).
+  std::vector<std::pair<int, std::vector<int>>> nodes;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root + "/node", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("node", 0) != 0 || name.size() <= 4) continue;
+    const std::string id_str = name.substr(4);
+    if (!std::all_of(id_str.begin(), id_str.end(), [](unsigned char c) {
+          return std::isdigit(c) != 0;
+        })) {
+      continue;
+    }
+    const std::vector<int> cpus =
+        parse_cpulist(read_first_line((entry.path() / "cpulist").string()));
+    if (cpus.empty()) continue;  // memory-only node: no compute placement
+    nodes.emplace_back(std::atoi(id_str.c_str()), cpus);
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  int max_cpu = -1;
+  for (const auto& [id, cpus] : nodes) {
+    for (int c : cpus) max_cpu = std::max(max_cpu, c);
+  }
+  for (int c : parse_cpulist(read_first_line(root + "/cpu/online"))) {
+    max_cpu = std::max(max_cpu, c);
+  }
+
+  if (max_cpu < 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    max_cpu = hw > 0 ? static_cast<int>(hw) - 1 : 0;
+  }
+  topo.num_cpus = max_cpu + 1;
+  topo.cpu_to_domain.assign(static_cast<std::size_t>(topo.num_cpus), 0);
+
+  if (nodes.size() < 2) {
+    // Flat fallback: no sysfs, or a single populated node — one domain.
+    topo.num_domains = 1;
+    topo.from_sysfs = !nodes.empty();
+    topo.domain_cpu_count.assign(1, topo.num_cpus);
+    return topo;
+  }
+
+  topo.from_sysfs = true;
+  topo.num_domains = static_cast<int>(nodes.size());
+  topo.domain_cpu_count.assign(nodes.size(), 0);
+  for (std::size_t dense = 0; dense < nodes.size(); ++dense) {
+    for (int c : nodes[dense].second) {
+      if (c >= 0 && c < topo.num_cpus) {
+        topo.cpu_to_domain[static_cast<std::size_t>(c)] =
+            static_cast<int>(dense);
+      }
+    }
+    topo.domain_cpu_count[dense] = static_cast<int>(nodes[dense].second.size());
+  }
+  return topo;
+}
+
+const Topology& topology() {
+  static const Topology topo = discover_topology("/sys/devices/system");
+  return topo;
+}
+
+int memory_domains() {
+  const int n = topology().num_domains;
+  return std::clamp(n, 1, kMaxMemoryDomains);
+}
+
+int default_steal_domain_size(int num_workers) {
+  const int domains = memory_domains();
+  if (domains <= 1 || num_workers <= 1) return 0;
+  return (num_workers + domains - 1) / domains;
+}
+
+int worker_domain(int worker, int domain_size) {
+  const int domains = memory_domains();
+  if (worker < 0) return 0;
+  if (domain_size <= 1) return worker % domains;
+  return (worker / domain_size) % domains;
+}
+
+namespace this_thread {
+
+namespace {
+thread_local int t_domain = -1;
+}  // namespace
+
+int domain() {
+  int d = t_domain;
+  if (d < 0) {
+    d = id() % memory_domains();
+    t_domain = d;
+  }
+  return d;
+}
+
+void set_domain(int d) {
+  t_domain = d < 0 ? -1 : d % kMaxMemoryDomains;
+}
+
+}  // namespace this_thread
+
+}  // namespace ttg

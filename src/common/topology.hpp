@@ -1,0 +1,84 @@
+// Machine-topology discovery (NUMA nodes and their CPUs).
+//
+// The hierarchical steal order (sched/StealOrder), the ingress shards
+// and the NUMA-local memory pools (structures/mempool.hpp) all need the
+// same map: how many memory domains the machine has and which domain a
+// worker lives in. This module reads it once from the Linux sysfs tree
+// (/sys/devices/system/{node,cpu}) and degrades to a flat single-domain
+// topology anywhere that tree is absent (non-Linux, containers with
+// masked sysfs, UMA boxes).
+//
+// Domain ids are *dense* (0..num_domains-1) and stable: sysfs node
+// directories are ordered by their numeric node id before dense ids are
+// assigned, so node10 never sorts between node1 and node2.
+//
+// Threads carry a domain id (this_thread::domain()): workers are pinned
+// to their steal domain's id by the engine at startup, other threads
+// default to a stable round-robin of their dense thread id. The id is a
+// *placement hint* for pool routing, not an OS affinity mask — we shard
+// memory traffic by domain without requiring the right to pin threads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ttg {
+
+/// Upper bound on memory domains the runtime distinguishes; larger
+/// machines fold ring-wise. Sized so per-domain arrays (pool inboxes,
+/// ingress shards) can be allocated statically and tests can simulate
+/// many-domain topologies on flat boxes.
+inline constexpr int kMaxMemoryDomains = 64;
+
+struct Topology {
+  int num_cpus = 1;     ///< highest cpu id seen + 1
+  int num_domains = 1;  ///< NUMA nodes with at least one CPU (>= 1)
+  bool from_sysfs = false;  ///< false = flat fallback
+  /// Dense domain id per cpu id (size num_cpus); cpus not listed in any
+  /// node (offline holes) map to domain 0.
+  std::vector<int> cpu_to_domain;
+  /// CPUs per dense domain id (size num_domains).
+  std::vector<int> domain_cpu_count;
+};
+
+/// Expands a sysfs cpulist ("0-3,8,10-11") into cpu ids, in order.
+std::vector<int> parse_cpulist(const std::string& text);
+
+/// Parses a sysfs-style tree rooted at `root` (tests point this at
+/// canned fixture trees; production uses /sys/devices/system). Returns
+/// the flat fallback when the node directory is missing or lists fewer
+/// than two populated nodes.
+Topology discover_topology(const std::string& root);
+
+/// The machine topology, discovered once per process from
+/// /sys/devices/system.
+const Topology& topology();
+
+/// Number of memory domains, clamped to [1, kMaxMemoryDomains].
+int memory_domains();
+
+/// Default steal-domain size for `num_workers` workers: workers per
+/// memory domain (ceil), or 0 (flat) on single-domain machines —
+/// feeding Config::steal_domain_size when it is left at auto (0).
+int default_steal_domain_size(int num_workers);
+
+/// Dense memory domain a worker index maps to under `domain_size`
+/// workers per domain (the same map StealOrder and IngressShards use):
+/// floor(worker / domain_size), folded ring-wise over the domains.
+/// domain_size <= 1 (flat) folds the worker index directly.
+int worker_domain(int worker, int domain_size);
+
+namespace this_thread {
+
+/// The calling thread's memory domain: the value set by set_domain(),
+/// or a stable default (dense thread id folded over the domains).
+int domain();
+
+/// Pins the calling thread's domain id (engine worker startup; tests
+/// simulating multi-domain placement). Folded into
+/// [0, kMaxMemoryDomains); negative resets to the default.
+void set_domain(int d);
+
+}  // namespace this_thread
+
+}  // namespace ttg

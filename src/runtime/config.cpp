@@ -1,10 +1,26 @@
 #include "runtime/config.hpp"
 
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
+#include "structures/mempool.hpp"
 #include "sync/bravo.hpp"
 
 namespace ttg {
+
+PendingTableMode default_pending_table_mode() {
+  const char* env = std::getenv("TTG_PENDING_TABLE");
+  if (env != nullptr && std::strcmp(env, "delegated") == 0) {
+    return PendingTableMode::kDelegated;
+  }
+  return PendingTableMode::kBucketLock;
+}
+
+bool default_numa_pools() {
+  const char* env = std::getenv("TTG_NUMA_POOLS");
+  return env == nullptr || std::strcmp(env, "0") != 0;
+}
 
 Config Config::original() {
   Config c;
@@ -27,6 +43,7 @@ Config Config::optimized() {
 void Config::apply_globals() const {
   set_ordering_mode(ordering);
   set_bravo_enabled(biased_rwlock);
+  MemoryPool::set_numa_enabled(numa_pools);
 }
 
 std::string Config::describe() const {
@@ -40,6 +57,26 @@ std::string Config::describe() const {
   if (!bundle_successors) os << " bundling=off";
   if (inline_max_depth > 0) os << " inline=" << inline_max_depth;
   if (watchdog_quiet_ms > 0) os << " watchdog=" << watchdog_quiet_ms << "ms";
+  if (pending_table == PendingTableMode::kDelegated) os << " pending=delegated";
+  if (!numa_pools) os << " numa_pools=off";
+  // Discovered topology and the shard→domain map the workers, pools and
+  // ingress shards share.
+  const Topology& topo = topology();
+  os << " topo=" << topo.num_domains << "x"
+     << (topo.num_domains > 0 ? topo.num_cpus / topo.num_domains
+                              : topo.num_cpus)
+     << (topo.from_sysfs ? "" : "(flat)");
+  const int dsize = resolved_steal_domain_size();
+  os << " domain_size=" << dsize;
+  if (dsize > 1) {
+    const int nw = threads();
+    const int shards = (nw + dsize - 1) / dsize;
+    os << " shard_domains=";
+    for (int s = 0; s < shards; ++s) {
+      if (s > 0) os << ',';
+      os << worker_domain(s * dsize, dsize);
+    }
+  }
   return os.str();
 }
 

@@ -7,21 +7,42 @@
 #include <thread>
 
 #include "atomics/ordering.hpp"
+#include "common/topology.hpp"
 #include "sched/scheduler.hpp"
+#include "structures/hash_table.hpp"
 #include "termdet/termdet.hpp"
 
 namespace ttg {
+
+/// Default PendingTableMode: kBucketLock unless the TTG_PENDING_TABLE
+/// environment variable says "delegated" (lets CI/benches flip every
+/// Config in a binary without plumbing flags through each harness).
+PendingTableMode default_pending_table_mode();
+
+/// Default for Config::numa_pools: true unless TTG_NUMA_POOLS=0.
+bool default_numa_pools();
 
 struct Config {
   int num_threads = 0;  ///< 0 = std::thread::hardware_concurrency()
   SchedulerType scheduler = SchedulerType::kLLP;
   /// Workers per steal domain (cache/NUMA group): thieves prefer their
   /// domain siblings before walking the rest of the node (Sec. III-B).
-  /// <= 1 means a flat steal order.
+  /// 0 = derive from the discovered topology (workers per memory
+  /// domain; flat on single-domain machines); 1 forces a flat order.
   int steal_domain_size = 0;
   TermDetMode termdet = TermDetMode::kThreadLocal;
   bool biased_rwlock = true;            ///< BRAVO wrapper (Sec. IV-D)
   OrderingMode ordering = OrderingMode::kOptimized;  ///< Sec. IV-A
+
+  /// Pending-table synchronization on the insert/match fast path:
+  /// per-bucket spinlock (paper baseline) or flat-combining delegation
+  /// (docs/scheduling.md "Delegated pending-table insertion").
+  PendingTableMode pending_table = default_pending_table_mode();
+
+  /// Topology-aware memory pools: cross-domain frees return home via
+  /// batched per-thread outboxes instead of CASing the remote owner's
+  /// freelist (docs/scheduling.md "Topology-aware memory").
+  bool numa_pools = default_numa_pools();
 
   /// Successor bundling (Sec. IV-C): tasks made eligible while a task
   /// body runs are collected per worker and handed to the scheduler as
@@ -59,6 +80,14 @@ struct Config {
     if (num_threads > 0) return num_threads;
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+
+  /// Steal-domain size with the topology default applied: the explicit
+  /// value if set, otherwise workers-per-memory-domain from sysfs (0 =
+  /// flat on single-domain machines — the pre-topology behavior).
+  int resolved_steal_domain_size() const {
+    if (steal_domain_size > 0) return steal_domain_size;
+    return default_steal_domain_size(threads());
   }
 
   /// Applies the process-global pieces (memory-ordering mode, BRAVO

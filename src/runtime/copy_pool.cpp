@@ -80,12 +80,18 @@ CopyPoolStats copy_pool_stats() {
     const MemoryPool::Stats ps = pool.stats();
     s.hits += ps.hits;
     s.misses += ps.misses;
+    s.remote_returns += ps.remote_returns;
+    s.remote_free_batches += ps.remote_flush_batches;
   }
   for (int t = 0; t < this_thread::id_count(); ++t) {
     s.heap_fallbacks += g_heap[t].fallbacks;
   }
   s.misses += s.heap_fallbacks;
   return s;
+}
+
+void copy_pool_flush_remote() noexcept {
+  for (MemoryPool& pool : pools()) pool.flush_remote_frees();
 }
 
 namespace detail {

@@ -98,9 +98,17 @@ struct CopyPoolStats {
   std::uint64_t hits = 0;            ///< free-list recycles
   std::uint64_t misses = 0;          ///< bump carves + heap fallbacks
   std::uint64_t heap_fallbacks = 0;  ///< allocations too big/aligned to pool
+  std::uint64_t remote_returns = 0;  ///< cross-domain frees outboxed
+  std::uint64_t remote_free_batches = 0;  ///< outbox flushes pushed home
 };
 
 CopyPoolStats copy_pool_stats();
+
+/// Flushes the calling thread's cross-domain free outboxes in every
+/// size-class pool, regardless of fill level. Workers call this before
+/// parking so remote domains see their storage back at idle/epoch
+/// boundaries rather than only at the count threshold.
+void copy_pool_flush_remote() noexcept;
 
 /// Arena mode for replay epochs: pre-fills the *calling thread's*
 /// free list of the size class serving `bytes` so the next `count`

@@ -5,7 +5,9 @@
 
 #include "common/busy_wait.hpp"
 #include "common/rng.hpp"
+#include "common/topology.hpp"
 #include "runtime/context.hpp"
+#include "runtime/copy_pool.hpp"
 #include "runtime/trace.hpp"
 
 namespace ttg {
@@ -26,8 +28,9 @@ ExecutionEngine::ExecutionEngine(Context& owner, const Config& config,
       sched_trace_name_(trace::intern(to_string(config.scheduler))),
       detector_(&detector),
       fault_(&fault) {
+  steal_domain_size_ = config.resolved_steal_domain_size();
   scheduler_ = make_scheduler(config.scheduler, num_threads_,
-                              config.steal_domain_size);
+                              steal_domain_size_);
   {
     auto& registry = trace::MetricsRegistry::instance();
     const std::string prefix = "engine.r" + std::to_string(rank_) + ".";
@@ -166,6 +169,9 @@ std::uint64_t ExecutionEngine::total_tasks_executed() const {
 void ExecutionEngine::worker_main(int index) {
   Worker& self = workers_[index].value;
   t_current_worker = &self;
+  // Pin the worker's memory domain to its steal domain so the pools,
+  // ingress shards and steal order all share one placement map.
+  this_thread::set_domain(worker_domain(index, steal_domain_size_));
 
   detector_->thread_attach(rank_);
   // A worker starts with nothing to do.
@@ -242,6 +248,9 @@ void ExecutionEngine::worker_main(int index) {
       continue;  // a message landed after the earlier probe
     }
     if (stop_.load(std::memory_order_acquire)) break;
+    // About to sleep: return any batched cross-domain frees so remote
+    // domains are not starved of their storage while we idle.
+    copy_pool_flush_remote();
     trace::record(trace::EventKind::kIdleBegin);
     parking_.park(epoch);
     trace::record(trace::EventKind::kIdleEnd);

@@ -234,6 +234,9 @@ class ExecutionEngine {
   const int rank_;
   const int inline_max_depth_;
   const bool bundle_successors_;
+  /// Resolved workers-per-domain (Config::resolved_steal_domain_size):
+  /// the shared placement map for worker domains, pools and shards.
+  int steal_domain_size_ = 0;
   /// Interned scheduler-tier name ("LFQ"/"LL"/"LLP"/...), attached to
   /// every sched push/pop trace instant.
   std::uint32_t sched_trace_name_ = 0;

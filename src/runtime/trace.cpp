@@ -10,7 +10,9 @@
 #include "atomics/op_counter.hpp"
 #include "common/cycle_clock.hpp"
 #include "common/thread_id.hpp"
+#include "common/topology.hpp"
 #include "runtime/copy_pool.hpp"
+#include "structures/hash_table.hpp"
 
 namespace ttg::trace {
 
@@ -24,6 +26,7 @@ std::string_view to_string(EventKind k) {
     case EventKind::kMessageReceived: return "msg_recv";
     case EventKind::kPoolHit: return "pool_hit";
     case EventKind::kPoolMiss: return "pool_miss";
+    case EventKind::kPoolRemoteReturn: return "pool_remote_return";
     case EventKind::kParkBegin: return "park_begin";
     case EventKind::kParkEnd: return "park_end";
     case EventKind::kSchedPush: return "sched_push";
@@ -61,6 +64,7 @@ Category category_of(EventKind k) {
       return kCatMessage;
     case EventKind::kPoolHit:
     case EventKind::kPoolMiss:
+    case EventKind::kPoolRemoteReturn:
       return kCatPool;
     case EventKind::kSchedPush:
     case EventKind::kSchedPushChain:
@@ -287,6 +291,9 @@ std::vector<ThreadSummary> summarize() {
       case EventKind::kPoolMiss:
         ++s.pool_misses;
         break;
+      case EventKind::kPoolRemoteReturn:
+        s.pool_remote_returns += e.arg;
+        break;
       case EventKind::kStealAttempt:
         ++s.steal_attempts;
         break;
@@ -319,14 +326,15 @@ std::vector<ThreadSummary> summarize() {
 
 void write_summary(std::ostream& os) {
   os << "thread,tasks,busy_cycles,idle_cycles,msgs_sent,msgs_recv,"
-        "pool_hits,pool_misses,steal_attempts,steal_successes,"
-        "steal_batches,steal_batch_tasks,ingress_pops,"
+        "pool_hits,pool_misses,pool_remote_returns,steal_attempts,"
+        "steal_successes,steal_batches,steal_batch_tasks,ingress_pops,"
         "backoff_transitions,dropped_events\n";
   for (const ThreadSummary& s : summarize()) {
     os << s.thread << ',' << s.tasks << ',' << s.busy_cycles << ','
        << s.idle_cycles << ',' << s.messages_sent << ','
        << s.messages_received << ',' << s.pool_hits << ','
-       << s.pool_misses << ',' << s.steal_attempts << ','
+       << s.pool_misses << ',' << s.pool_remote_returns << ','
+       << s.steal_attempts << ','
        << s.steal_successes << ',' << s.steal_batches << ','
        << s.steal_batch_tasks << ',' << s.ingress_pops << ','
        << s.backoff_transitions << ',' << s.dropped_events << '\n';
@@ -431,6 +439,7 @@ void export_chrome_json(std::ostream& os) {
   // Derived counter tracks.
   std::int64_t ready_depth = 0;
   std::uint64_t pool_hits = 0, pool_misses = 0;
+  std::uint64_t pool_remote_returns = 0;
 
   for (std::size_t t = 0; t < nthreads; ++t) {
     char buf[64];
@@ -531,6 +540,21 @@ void export_chrome_json(std::ostream& os) {
         w.event("copy_pool_hit_rate", 'C', us(e.tsc), tid, extra);
         break;
       }
+      case EventKind::kPoolRemoteReturn: {
+        // Instant for the batch plus a cumulative counter track so the
+        // cross-domain return rate can be graphed over time.
+        pool_remote_returns += e.arg;
+        std::snprintf(extra, sizeof(extra),
+                      "\"cat\":\"pool\",\"s\":\"t\",\"args\":{\"batch\":%"
+                      PRIu64 "}",
+                      e.arg);
+        w.event("pool_remote_return", 'i', us(e.tsc), tid, extra);
+        std::snprintf(extra, sizeof(extra),
+                      "\"args\":{\"value\":%" PRIu64 "}",
+                      pool_remote_returns);
+        w.event("pool_remote_returns", 'C', us(e.tsc), tid, extra);
+        break;
+      }
       default: {
         // Generic instants: steals, termdet rounds, messages, inlining.
         const std::string n = name_of(e.name);
@@ -564,6 +588,21 @@ MetricsRegistry::MetricsRegistry() {
                       [] { return copy_pool_stats().misses; }});
   entries_.push_back({next_id_++, "copy_pool.heap_fallbacks",
                       [] { return copy_pool_stats().heap_fallbacks; }});
+  entries_.push_back({next_id_++, "copy_pool.remote_returns",
+                      [] { return copy_pool_stats().remote_returns; }});
+  entries_.push_back({next_id_++, "copy_pool.remote_free_batches",
+                      [] { return copy_pool_stats().remote_free_batches; }});
+  entries_.push_back({next_id_++, "pending.delegations",
+                      [] { return pending_table_stats().delegations; }});
+  entries_.push_back({next_id_++, "pending.combined",
+                      [] { return pending_table_stats().combined; }});
+  entries_.push_back({next_id_++, "topology.memory_domains", [] {
+                        return static_cast<std::uint64_t>(memory_domains());
+                      }});
+  entries_.push_back({next_id_++, "topology.cpus", [] {
+                        return static_cast<std::uint64_t>(
+                            topology().num_cpus);
+                      }});
 }
 
 MetricsRegistry& MetricsRegistry::instance() {

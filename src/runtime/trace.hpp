@@ -44,6 +44,7 @@ enum class EventKind : std::uint8_t {
   kMessageReceived,  ///< instant: active message delivered (arg = source)
   kPoolHit,   ///< data-copy pool allocation served from a free list
   kPoolMiss,  ///< data-copy pool allocation that hit the allocator path
+  kPoolRemoteReturn,  ///< cross-domain free batch flushed home (arg = size)
   kParkBegin,      ///< span: worker blocks in the ParkingLot (arg = epoch)
   kParkEnd,        ///< span: worker woken (arg = epoch it slept on)
   kSchedPush,      ///< instant: one task pushed (name = tier, arg = worker)
@@ -185,6 +186,7 @@ struct ThreadSummary {
   std::uint64_t messages_received = 0;
   std::uint64_t pool_hits = 0;    ///< data-copy pool free-list recycles
   std::uint64_t pool_misses = 0;  ///< data-copy allocations off-pool
+  std::uint64_t pool_remote_returns = 0;  ///< frees flushed home cross-domain
   std::uint64_t steal_attempts = 0;
   std::uint64_t steal_successes = 0;
   std::uint64_t steal_batches = 0;     ///< steal-half multi-task batches

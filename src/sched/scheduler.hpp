@@ -29,6 +29,7 @@
 
 #include "common/cache.hpp"
 #include "common/thread_id.hpp"
+#include "common/topology.hpp"
 #include "runtime/trace.hpp"
 #include "structures/lifo.hpp"
 
@@ -180,9 +181,11 @@ class StealCounters {
 /// cacheline), sweeping foreign shards only after a failed steal sweep.
 class IngressShards {
  public:
-  /// Upper bound on shards; beyond this, domains share shards ring-wise
-  /// (more shards would cost idle-sweep latency, not contention).
-  static constexpr int kMaxShards = 8;
+  /// Upper bound on shards, tied to the topology layer's domain cap so a
+  /// machine with more than 8 memory domains gets one shard per domain
+  /// instead of silently ring-sharing (the old kMaxShards=8 behavior);
+  /// past the cap, domains share shards ring-wise.
+  static constexpr int kMaxShards = kMaxMemoryDomains;
 
   IngressShards(int num_workers, int domain_size) {
     workers_per_shard_ = domain_size > 1 ? domain_size : 1;

@@ -15,6 +15,27 @@
 // of the access; resizing and retiring old tables take the *writer* lock.
 // The reader lock is a BRAVO-wrapped reader-writer lock, so in the fast
 // path the only atomic RMW per access is the bucket lock itself.
+//
+// Delegated mode (PendingTableMode::kDelegated, "Advanced Synchronization
+// Techniques for Task-based Runtime Systems"-style flat combining): a
+// thread that finds the bucket lock busy does not spin. It CAS-pushes its
+// operation onto the bucket's *publication list* and leaves; whichever
+// thread holds the lock — the *combiner* — drains and applies queued
+// operations through the table's delegate callback. The handoff protocol
+// closes the lost-publication window with a pair of seq_cst fences:
+//
+//   publisher: push op → fence → try_lock        (retry-once)
+//   combiner:  drain → unlock → fence → recheck pub_head → try_lock…
+//
+// In the total order over those fences, either the combiner's recheck
+// observes the push (and it re-locks and drains), or the publisher's
+// try_lock observes the unlocked word (and the publisher becomes the
+// combiner of its own op). Either way some lock holder applies the op
+// before the bucket goes quiescent. Corollaries the rest of the table
+// relies on: a queued op always coexists with a reader-token-holding
+// lock owner obligated to drain it, so publication lists are empty
+// whenever the writer lock is held (grow / drain_exclusive / for_each
+// assert this), and old tables never carry publications.
 #pragma once
 
 #include <atomic>
@@ -24,6 +45,9 @@
 
 #include "atomics/op_counter.hpp"
 #include "atomics/ordering.hpp"
+#include "common/cache.hpp"
+#include "common/thread_id.hpp"
+#include "sim/hooks.hpp"
 #include "sync/bravo.hpp"
 #include "sync/bucket_lock.hpp"
 #include "sync/rwlock.hpp"
@@ -36,7 +60,47 @@ struct HashItemBase {
   std::uint64_t hash = 0;
 };
 
+/// How ScalableHashTable serializes bucket access (Config::pending_table).
+enum class PendingTableMode {
+  /// Spin on the per-bucket lock (paper Sec. III-C2 baseline).
+  kBucketLock,
+  /// Busy bucket: publish the operation to the bucket's publication list
+  /// and let the lock holder apply it (flat combining).
+  kDelegated,
+};
+
+namespace detail {
+/// Per-thread pending-table counters (no atomics on the hot path).
+struct alignas(kCacheLineSize) PendingCells {
+  std::uint64_t delegations = 0;  ///< ops handed to another thread
+  std::uint64_t combined = 0;     ///< ops applied on behalf of others
+};
+inline PendingCells g_pending_cells[kMaxThreads];
+}  // namespace detail
+
+/// Process-wide delegation totals (trace::MetricsRegistry reads these as
+/// "pending.delegations" / "pending.combined").
+struct PendingTableStats {
+  std::uint64_t delegations = 0;
+  std::uint64_t combined = 0;
+};
+inline PendingTableStats pending_table_stats() {
+  PendingTableStats s;
+  for (int t = 0; t < this_thread::id_count(); ++t) {
+    s.delegations += detail::g_pending_cells[t].delegations;
+    s.combined += detail::g_pending_cells[t].combined;
+  }
+  return s;
+}
+
 class ScalableHashTable {
+ public:
+  /// Intrusive base for operations queued on a bucket's publication
+  /// list. The delegate callback downcasts to its concrete op type.
+  struct PubNode {
+    PubNode* pub_next = nullptr;
+  };
+
  private:
   struct Bucket {
     BucketLock lock;
@@ -45,6 +109,9 @@ class ScalableHashTable {
     // read racily by the table_is_drained() retirement hint — hence
     // atomic with relaxed ordering.
     std::atomic<std::int32_t> length{0};
+    /// Delegated-mode publication list (Treiber push; drained by the
+    /// lock holder). Always empty under the table writer lock.
+    std::atomic<PubNode*> pub_head{nullptr};
 
     void bump_length(std::int32_t d) noexcept {
       length.store(length.load(std::memory_order_relaxed) + d,
@@ -63,15 +130,38 @@ class ScalableHashTable {
   };
 
  public:
+  class Accessor;
+
+  /// Applies one queued operation on behalf of its publisher. `owner` is
+  /// the pointer registered via set_delegate (the owning TT); `acc` is
+  /// the combiner's accessor, holding the op's bucket. The callee owns
+  /// `op` (it was allocated by the publisher) and must reclaim it.
+  using ApplyFn = void (*)(void* owner, Accessor& acc, PubNode* op);
+
   /// `initial_log2_buckets`: main table starts with 2^n buckets.
   /// `fill_threshold`: a bucket reaching this length triggers a resize.
   explicit ScalableHashTable(int initial_log2_buckets = 4,
                              int fill_threshold = 16,
-                             int max_threads = kMaxThreads)
-      : rw_(max_threads), fill_threshold_(fill_threshold) {
+                             int max_threads = kMaxThreads,
+                             PendingTableMode mode =
+                                 PendingTableMode::kBucketLock)
+      : rw_(max_threads), fill_threshold_(fill_threshold), mode_(mode) {
     main_.store(allocate_table(std::size_t{1} << initial_log2_buckets,
                                nullptr),
                 std::memory_order_relaxed);
+  }
+
+  /// Registers the delegated-mode apply callback. Must be called before
+  /// any concurrent access; without it kDelegated degrades to plain
+  /// bucket locking (delegated() stays false).
+  void set_delegate(void* owner, ApplyFn apply) noexcept {
+    owner_ = owner;
+    apply_ = apply;
+  }
+
+  PendingTableMode mode() const noexcept { return mode_; }
+  bool delegated() const noexcept {
+    return mode_ == PendingTableMode::kDelegated && apply_ != nullptr;
   }
 
   ScalableHashTable(const ScalableHashTable&) = delete;
@@ -93,6 +183,7 @@ class ScalableHashTable {
     Accessor(Accessor&& other) noexcept
         : ht_(other.ht_), hash_(other.hash_), token_(other.token_),
           table_(other.table_), bucket_(other.bucket_),
+          owns_bucket_(other.owns_bucket_), ready_head_(other.ready_head_),
           resize_needed_(other.resize_needed_), gc_needed_(other.gc_needed_) {
       other.ht_ = nullptr;
     }
@@ -101,26 +192,40 @@ class ScalableHashTable {
 
     ~Accessor() { release(); }
 
-    /// Finds the item matching this hash and predicate, migrating it to
-    /// the main table if it was found in an old one. Returns nullptr if
-    /// absent. `pred(const HashItemBase*)` disambiguates full-key
-    /// collisions.
+    /// True while this accessor holds its bucket lock. lock_key()
+    /// accessors always do; lock_key_delegated() accessors may not —
+    /// then the only legal operation is publish().
+    bool owns_bucket() const noexcept { return owns_bucket_; }
+
+    /// Finds the item matching this accessor's hash, see find_hash().
     template <typename Pred>
     HashItemBase* find(Pred&& pred) {
+      return find_hash(hash_, static_cast<Pred&&>(pred));
+    }
+
+    /// Finds the item matching `hash` and predicate, migrating it to the
+    /// main table if it was found in an old one. Returns nullptr if
+    /// absent. `pred(const HashItemBase*)` disambiguates full-key
+    /// collisions. `hash` must map to this accessor's bucket (delegated
+    /// ops for other keys that share the bucket use this).
+    template <typename Pred>
+    HashItemBase* find_hash(std::uint64_t hash, Pred&& pred) {
+      assert(owns_bucket_);
+      assert((hash & table_->mask) == (hash_ & table_->mask));
       // Main-table bucket: we hold its lock.
       for (HashItemBase* it = bucket_->head; it != nullptr; it = it->next) {
-        if (it->hash == hash_ && pred(const_cast<const HashItemBase*>(it))) {
+        if (it->hash == hash && pred(const_cast<const HashItemBase*>(it))) {
           return it;
         }
       }
       // Old tables: lock each table's own bucket while searching it.
       for (Table* t = table_->older; t != nullptr; t = t->older) {
-        Bucket& ob = t->buckets[hash_ & t->mask];
+        Bucket& ob = t->buckets[hash & t->mask];
         BucketGuard guard(ob.lock);
         HashItemBase* prev = nullptr;
         for (HashItemBase* it = ob.head; it != nullptr;
              prev = it, it = it->next) {
-          if (it->hash == hash_ &&
+          if (it->hash == hash &&
               pred(const_cast<const HashItemBase*>(it))) {
             // Unlink from the old table ...
             if (prev == nullptr) {
@@ -144,10 +249,11 @@ class ScalableHashTable {
       return nullptr;
     }
 
-    /// Inserts `item` (hash must already be set to this accessor's hash).
+    /// Inserts `item` (hash must already be set and map to this bucket).
     /// The caller is responsible for uniqueness (find first).
     void insert(HashItemBase* item) {
-      assert(item->hash == hash_);
+      assert(owns_bucket_);
+      assert((item->hash & table_->mask) == (hash_ & table_->mask));
       item->next = bucket_->head;
       bucket_->head = item;
       bucket_->bump_length(+1);
@@ -157,13 +263,22 @@ class ScalableHashTable {
       }
     }
 
-    /// Finds, unlinks, and returns the matching item, or nullptr.
+    /// Finds, unlinks, and returns the item matching this accessor's
+    /// hash, or nullptr; see remove_hash().
     template <typename Pred>
     HashItemBase* remove(Pred&& pred) {
+      return remove_hash(hash_, static_cast<Pred&&>(pred));
+    }
+
+    /// Finds, unlinks, and returns the matching item, or nullptr.
+    template <typename Pred>
+    HashItemBase* remove_hash(std::uint64_t hash, Pred&& pred) {
+      assert(owns_bucket_);
+      assert((hash & table_->mask) == (hash_ & table_->mask));
       HashItemBase* prev = nullptr;
       for (HashItemBase* it = bucket_->head; it != nullptr;
            prev = it, it = it->next) {
-        if (it->hash == hash_ && pred(const_cast<const HashItemBase*>(it))) {
+        if (it->hash == hash && pred(const_cast<const HashItemBase*>(it))) {
           if (prev == nullptr) {
             bucket_->head = it->next;
           } else {
@@ -177,12 +292,12 @@ class ScalableHashTable {
       // Not in the main table: find() would migrate, so search old tables
       // directly and unlink in place.
       for (Table* t = table_->older; t != nullptr; t = t->older) {
-        Bucket& ob = t->buckets[hash_ & t->mask];
+        Bucket& ob = t->buckets[hash & t->mask];
         BucketGuard guard(ob.lock);
         prev = nullptr;
         for (HashItemBase* it = ob.head; it != nullptr;
              prev = it, it = it->next) {
-          if (it->hash == hash_ &&
+          if (it->hash == hash &&
               pred(const_cast<const HashItemBase*>(it))) {
             if (prev == nullptr) {
               ob.head = it->next;
@@ -202,11 +317,65 @@ class ScalableHashTable {
       return nullptr;
     }
 
-    /// Releases the bucket and reader locks; runs any deferred resize or
-    /// old-table retirement. Idempotent (also run by the destructor).
+    /// Delegated mode, bucket lock not acquired: queues `op` on the
+    /// bucket's publication list for the lock holder to apply. May
+    /// *acquire* the lock as a side effect (the holder released it
+    /// mid-publish) — the caller must check owns_bucket() afterwards;
+    /// when it is true, release() will drain and apply the queued op
+    /// (exactly once, through the same publication list).
+    void publish(PubNode* op) {
+      assert(!owns_bucket_ && ht_->delegated());
+      PubNode* head = bucket_->pub_head.load(std::memory_order_relaxed);
+      for (;;) {
+        op->pub_next = head;
+        atomic_ops::count(AtomicOpCategory::kBucketLock);
+        TTG_SIM_POINT("pending.publish");
+        if (bucket_->pub_head.compare_exchange_weak(
+                head, op, ord_release(), std::memory_order_relaxed)) {
+          break;
+        }
+      }
+      // Paired with the combiner's unlock→fence→recheck: in the seq_cst
+      // fence order, either the combiner's recheck sees our push, or our
+      // try_lock below sees its unlock — someone always drains `op`.
+      std::atomic_thread_fence(std::memory_order_seq_cst);
+      if (bucket_->lock.try_lock()) {
+        owns_bucket_ = true;
+      } else {
+        ++detail::g_pending_cells[this_thread::id()].delegations;
+      }
+    }
+
+    /// Parks a record the delegate found ready during a combiner drain.
+    /// Submission happens after release() — inline execution may re-enter
+    /// this table — via take_ready(). Uses HashItemBase::next (the item
+    /// is already unlinked from its bucket).
+    void defer_ready(HashItemBase* item) noexcept {
+      item->next = ready_head_;
+      ready_head_ = item;
+    }
+
+    /// Detaches and returns the deferred-ready list (LIFO). Call after
+    /// release().
+    HashItemBase* take_ready() noexcept {
+      HashItemBase* head = ready_head_;
+      ready_head_ = nullptr;
+      return head;
+    }
+
+    /// Releases the bucket and reader locks; in delegated mode first
+    /// drains the bucket's publication list (combiner role). Runs any
+    /// deferred resize or old-table retirement. Idempotent (also run by
+    /// the destructor).
     void release() {
       if (ht_ == nullptr) return;
-      bucket_->lock.unlock();
+      if (owns_bucket_) {
+        if (ht_->delegated()) {
+          drain_and_unlock();
+        } else {
+          bucket_->lock.unlock();
+        }
+      }
       ht_->rw_.read_unlock(token_);
       ScalableHashTable* ht = ht_;
       Table* observed = table_;
@@ -225,6 +394,65 @@ class ScalableHashTable {
       table_ = ht_->main_.load(ord_acquire());
       bucket_ = &table_->buckets[hash_ & table_->mask];
       bucket_->lock.lock();
+      owns_bucket_ = true;
+    }
+
+    struct TryLockTag {};
+    Accessor(ScalableHashTable* ht, std::uint64_t hash, TryLockTag)
+        : ht_(ht), hash_(hash) {
+      token_ = ht_->rw_.read_lock();
+      table_ = ht_->main_.load(ord_acquire());
+      bucket_ = &table_->buckets[hash_ & table_->mask];
+      owns_bucket_ = bucket_->lock.try_lock();
+    }
+
+    /// Combiner epilogue: apply queued ops, unlock, recheck. The window
+    /// between the last drain and the unlock is closed by the fence pair
+    /// described at publish(); the PENDING_INSERT_LOST_PUBLISH mutant
+    /// removes the recheck to prove the DST scenario would catch a
+    /// protocol regression.
+    void drain_and_unlock() {
+      for (;;) {
+        // Plain-load guard: the empty publication list (single-threaded
+        // census, uncontended buckets) costs no atomic RMW.
+        while (bucket_->pub_head.load(std::memory_order_relaxed) !=
+               nullptr) {
+          atomic_ops::count(AtomicOpCategory::kBucketLock);
+          TTG_SIM_POINT("pending.drain");
+          PubNode* chain = bucket_->pub_head.exchange(nullptr,
+                                                      ord_acq_rel());
+          // Reverse the Treiber chain back to publication order.
+          PubNode* rev = nullptr;
+          while (chain != nullptr) {
+            PubNode* next = chain->pub_next;
+            chain->pub_next = rev;
+            rev = chain;
+            chain = next;
+          }
+          while (rev != nullptr) {
+            PubNode* next = rev->pub_next;
+            rev->pub_next = nullptr;
+            ht_->apply_(ht_->owner_, *this, rev);
+            ++detail::g_pending_cells[this_thread::id()].combined;
+            rev = next;
+          }
+        }
+        bucket_->lock.unlock();
+        owns_bucket_ = false;
+#if defined(TTG_MUTANT_PENDING_INSERT_LOST_PUBLISH)
+        break;  // mutant: skip the post-unlock recheck (lost-publication)
+#else
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        TTG_SIM_POINT("pending.recheck");
+        if (bucket_->pub_head.load(std::memory_order_relaxed) == nullptr) {
+          break;
+        }
+        if (!bucket_->lock.try_lock()) {
+          break;  // new lock holder drains on its own release
+        }
+        owns_bucket_ = true;
+#endif
+      }
     }
 
     ScalableHashTable* ht_;
@@ -232,6 +460,8 @@ class ScalableHashTable {
     BravoRWLock<RWSpinLock>::ReaderToken token_;
     Table* table_ = nullptr;
     Bucket* bucket_ = nullptr;
+    bool owns_bucket_ = false;
+    HashItemBase* ready_head_ = nullptr;
     bool resize_needed_ = false;
     bool gc_needed_ = false;
   };
@@ -239,6 +469,14 @@ class ScalableHashTable {
   /// Locks the bucket for `hash` (taking the reader lock first) and
   /// returns an accessor for find/insert/remove under that lock.
   Accessor lock_key(std::uint64_t hash) { return Accessor(this, hash); }
+
+  /// Delegated-mode entry: *tries* the bucket lock once instead of
+  /// spinning. On success the accessor behaves like lock_key()'s; on
+  /// failure (owns_bucket() == false) the caller packages its operation
+  /// as a PubNode and publish()es it for the lock holder to apply.
+  Accessor lock_key_delegated(std::uint64_t hash) {
+    return Accessor(this, hash, Accessor::TryLockTag{});
+  }
 
   /// Total number of stored items; takes the writer lock (test hook, not
   /// meant for hot paths).
@@ -281,6 +519,10 @@ class ScalableHashTable {
     for (Table* t = main_.load(std::memory_order_relaxed); t != nullptr;
          t = t->older) {
       for (std::size_t b = 0; b < t->nbuckets; ++b) {
+        // Writer lock held: no reader owns any bucket, so no queued
+        // publication can exist (see the delegation invariant above).
+        assert(t->buckets[b].pub_head.load(std::memory_order_relaxed) ==
+               nullptr);
         HashItemBase* it = t->buckets[b].head;
         while (it != nullptr) {
           // Read the successor first: the callback may destroy `it`.
@@ -307,6 +549,7 @@ class ScalableHashTable {
          t = t->older) {
       for (std::size_t b = 0; b < t->nbuckets; ++b) {
         Bucket& bucket = t->buckets[b];
+        assert(bucket.pub_head.load(std::memory_order_relaxed) == nullptr);
         HashItemBase* it = bucket.head;
         bucket.head = nullptr;
         bucket.length.store(0, std::memory_order_relaxed);
@@ -367,6 +610,9 @@ class ScalableHashTable {
   BravoRWLock<RWSpinLock> rw_;
   std::atomic<Table*> main_;
   const int fill_threshold_;
+  const PendingTableMode mode_ = PendingTableMode::kBucketLock;
+  void* owner_ = nullptr;
+  ApplyFn apply_ = nullptr;
 };
 
 }  // namespace ttg

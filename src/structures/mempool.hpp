@@ -20,6 +20,18 @@
 // atomics, while cross-thread frees still land in the AtomicLifo inbox.
 // Task pools stay in Mode::kAtomic so the Eq. (1) "two atomic operations
 // per task" pool accounting remains measurable.
+//
+// NUMA return path (docs/scheduling.md "Topology-aware memory"): when
+// the freeing thread's memory domain differs from the slot's carving
+// domain, the free does NOT CAS the remote owner's freelist cacheline.
+// It lands in a plain per-thread *outbox* for that domain (zero atomics)
+// and the whole batch is flushed home with a single push_chain onto the
+// owning domain's shared inbox once the outbox reaches
+// kRemoteFlushThreshold (or when the runtime flushes at an idle/epoch
+// boundary). Allocating threads drain their own domain's inbox only
+// after their local lists run dry, guarded by a plain empty() load — so
+// on single-domain machines (and in the single-threaded Eq. (1) census)
+// the path adds no atomic RMW at all.
 #pragma once
 
 #include <algorithm>
@@ -33,6 +45,8 @@
 
 #include "common/cache.hpp"
 #include "common/thread_id.hpp"
+#include "common/topology.hpp"
+#include "runtime/trace.hpp"
 #include "structures/lifo.hpp"
 
 namespace ttg {
@@ -71,6 +85,21 @@ class MemoryPool {
     for (void* chunk : chunks_) std::free(chunk);
   }
 
+  /// Outbox size at which a batch of cross-domain frees is flushed home
+  /// in one push_chain (the count half of the count/epoch threshold; the
+  /// epoch half is flush_remote_frees() at idle/epoch boundaries).
+  static constexpr std::uint32_t kRemoteFlushThreshold = 32;
+
+  /// Process-wide switch for the NUMA return path (Config::numa_pools).
+  /// Off, every cross-thread free pushes straight onto the owner's
+  /// freelist — the pre-topology behavior.
+  static void set_numa_enabled(bool on) noexcept {
+    numa_enabled_.store(on, std::memory_order_relaxed);
+  }
+  static bool numa_enabled() noexcept {
+    return numa_enabled_.load(std::memory_order_relaxed);
+  }
+
   /// Allocates one object (uninitialized storage).
   void* allocate() {
     bool hit;
@@ -105,6 +134,14 @@ class MemoryPool {
       hit = true;
       return node;
     }
+    // Local lists dry: drain this thread's *domain* inbox — cross-domain
+    // frees batched home by remote threads. The guard is a plain load,
+    // so the common empty-inbox case adds no atomic op to the census.
+    if (LifoNode* node = inbox_pop(ts)) {
+      ++ts.hits;
+      hit = true;
+      return node;
+    }
     ++ts.misses;
     hit = false;
     // Bump-allocate from the thread-private chunk.
@@ -116,19 +153,30 @@ class MemoryPool {
     --ts.bump_remaining;
     auto* header = reinterpret_cast<Header*>(slot);
     header->owner = static_cast<std::uint32_t>(this_thread::id());
+    header->domain = static_cast<std::uint32_t>(this_thread::domain());
     return slot + header_size_;
   }
 
-  /// Returns an object to the pool of the thread that allocated it.
+  /// Returns an object to the pool of the thread that allocated it (or,
+  /// cross-domain, to the carving domain's inbox via the batching
+  /// outbox).
   void deallocate(void* obj) noexcept {
     auto* header = reinterpret_cast<Header*>(static_cast<std::byte*>(obj) -
                                              header_size_);
     auto* node = new (obj) LifoNode{};
-    if (private_cache_ &&
-        header->owner == static_cast<std::uint32_t>(this_thread::id())) {
+    const auto self = static_cast<std::uint32_t>(this_thread::id());
+    if (private_cache_ && header->owner == self) {
       ThreadState& ts = threads_[header->owner].value;
       node->next.store(ts.private_head, std::memory_order_relaxed);
       ts.private_head = node;
+      return;
+    }
+    if (header->owner != self && numa_enabled() &&
+        header->domain !=
+            static_cast<std::uint32_t>(this_thread::domain())) {
+      // Cross-domain free: plain push into the local outbox, no CAS on
+      // the remote owner's cacheline; flushed home in one batch.
+      remote_free(header->domain, node);
       return;
     }
     ThreadState& owner = threads_[header->owner].value;
@@ -136,20 +184,37 @@ class MemoryPool {
     owner.freelist.push(node);
   }
 
+  /// Flushes the calling thread's remote-free outboxes (every domain),
+  /// regardless of fill level — the epoch half of the count/epoch flush
+  /// threshold. Cheap no-op for threads that never freed cross-domain.
+  void flush_remote_frees() noexcept {
+    ThreadState& ts = threads_[this_thread::id()].value;
+    if (ts.outboxes == nullptr) return;
+    for (int d = 0; d < kMaxMemoryDomains; ++d) {
+      flush_outbox(ts, ts.outboxes[d], d);
+    }
+  }
+
   std::size_t object_size() const noexcept { return object_size_; }
 
   /// Free-list hit/miss totals summed over all threads (Sec. IV-E
   /// allocator accounting: a miss is a fresh bump-chunk carve, i.e. the
-  /// path that eventually pays the system allocator's atomics).
+  /// path that eventually pays the system allocator's atomics), plus the
+  /// NUMA return path's traffic (ISSUE counters pool_remote_returns /
+  /// remote_free_batches).
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t remote_returns = 0;  ///< cross-domain frees outboxed
+    std::uint64_t remote_flush_batches = 0;  ///< outbox flushes pushed home
   };
   Stats stats() const noexcept {
     Stats s;
     for (int t = 0; t < this_thread::id_count(); ++t) {
       s.hits += threads_[t]->hits;
       s.misses += threads_[t]->misses;
+      s.remote_returns += threads_[t]->remote_returns;
+      s.remote_flush_batches += threads_[t]->remote_flushes;
     }
     return s;
   }
@@ -157,6 +222,16 @@ class MemoryPool {
  private:
   struct Header {
     std::uint32_t owner;
+    std::uint32_t domain;  ///< memory domain of the carving thread
+  };
+
+  /// Per-domain batch of not-yet-flushed cross-domain frees: a plain
+  /// singly linked chain (head newest, tail oldest) only its owning
+  /// thread touches.
+  struct Outbox {
+    LifoNode* head = nullptr;
+    LifoNode* tail = nullptr;
+    std::uint32_t count = 0;
   };
 
   struct alignas(kCacheLineSize) ThreadState {
@@ -167,14 +242,77 @@ class MemoryPool {
     LifoNode* private_head = nullptr;
     std::byte* bump = nullptr;
     std::size_t bump_remaining = 0;
+    /// Remote-free outboxes, one per domain; allocated on the first
+    /// cross-domain free so threads that never free remotely pay one
+    /// null pointer.
+    std::unique_ptr<Outbox[]> outboxes;
     // Non-atomic: only the owning thread writes; stats() readers accept
     // approximate sums while threads are running.
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t remote_returns = 0;
+    std::uint64_t remote_flushes = 0;
+  };
+
+  /// Shared inbox of one memory domain: remote outboxes flush whole
+  /// chains here (one CAS per batch); domain-local allocators drain it
+  /// when their own lists run dry.
+  struct alignas(kCacheLineSize) DomainInbox {
+    AtomicLifo lifo{AtomicOpCategory::kMemPool};
   };
 
   static std::size_t round_up(std::size_t v, std::size_t a) noexcept {
     return (v + a - 1) / a * a;
+  }
+
+  /// Drains the calling thread's domain inbox if it has anything. The
+  /// empty check is a plain relaxed load, so the miss costs no RMW.
+  LifoNode* inbox_pop(ThreadState& ts) {
+    AtomicLifo& inbox =
+        domain_inbox_[this_thread::domain() % kMaxMemoryDomains].lifo;
+    if (inbox.empty()) return nullptr;
+    if (private_cache_) {
+      // Take the whole chain in one exchange and keep the rest private.
+      if (LifoNode* node = inbox.detach()) {
+        ts.private_head = node->next.load(std::memory_order_relaxed);
+        node->next.store(nullptr, std::memory_order_relaxed);
+        return node;
+      }
+      return nullptr;
+    }
+    return inbox.pop();
+  }
+
+  /// Appends a cross-domain free to the local outbox for `domain`
+  /// (plain stores only) and flushes the batch home at the threshold.
+  void remote_free(std::uint32_t domain, LifoNode* node) noexcept {
+    ThreadState& ts = threads_[this_thread::id()].value;
+    if (ts.outboxes == nullptr) {
+      ts.outboxes = std::make_unique<Outbox[]>(kMaxMemoryDomains);
+    }
+    Outbox& ob = ts.outboxes[domain % kMaxMemoryDomains];
+    node->next.store(ob.head, std::memory_order_relaxed);
+    ob.head = node;
+    if (ob.tail == nullptr) ob.tail = node;
+    ++ob.count;
+    ++ts.remote_returns;
+    if (ob.count >= kRemoteFlushThreshold) {
+      flush_outbox(ts, ob, static_cast<int>(domain % kMaxMemoryDomains));
+    }
+  }
+
+  /// Pushes a whole outbox chain onto its domain's inbox: one CAS per
+  /// batch instead of one per free.
+  void flush_outbox(ThreadState& ts, Outbox& ob, int domain) noexcept {
+    if (ob.head == nullptr) return;
+    const std::uint32_t batch = ob.count;
+    domain_inbox_[domain].lifo.push_chain(ob.head, ob.tail);
+    ob.head = nullptr;
+    ob.tail = nullptr;
+    ob.count = 0;
+    ++ts.remote_flushes;
+    trace::record(trace::EventKind::kPoolRemoteReturn,
+                  static_cast<std::uint64_t>(batch));
   }
 
   void refill(ThreadState& ts) {
@@ -195,8 +333,14 @@ class MemoryPool {
   const std::size_t objects_per_chunk_;
   const bool private_cache_;
   CachePadded<ThreadState> threads_[kMaxThreads];
+  /// Sized at the compile-time domain cap (not the discovered count) so
+  /// tests can simulate arbitrary placements via this_thread::set_domain
+  /// without reconstructing pools; ~64 cachelines per pool.
+  std::unique_ptr<DomainInbox[]> domain_inbox_ =
+      std::make_unique<DomainInbox[]>(kMaxMemoryDomains);
   std::mutex chunks_mutex_;
   std::vector<void*> chunks_;
+  inline static std::atomic<bool> numa_enabled_{true};
 };
 
 }  // namespace ttg

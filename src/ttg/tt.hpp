@@ -252,7 +252,16 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
         world_(&world),
         fn_(std::move(fn)),
         pool_(sizeof(TaskRec)),
-        table_(/*initial_log2_buckets=*/8, /*fill_threshold=*/16) {
+        table_(/*initial_log2_buckets=*/8, /*fill_threshold=*/16,
+               kMaxThreads, world.config().pending_table) {
+    if constexpr (kUsesHashTable) {
+      if (table_.mode() == PendingTableMode::kDelegated) {
+        // The pub-op pool is per-TT and only exists in delegated mode
+        // (a MemoryPool's per-thread array is too big to carry idle).
+        pub_pool_ = std::make_unique<MemoryPool>(sizeof(PubOp));
+        table_.set_delegate(this, &TT::apply_pub_op);
+      }
+    }
     wire_inputs(ins, std::index_sequence_for<InEdges...>{});
     wire_outputs(outs, std::index_sequence_for<OutEdges...>{});
     world_->register_node(this);
@@ -478,6 +487,14 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
       return;
     } else {
       const std::uint64_t h = KeyHash<Key>{}(key);
+      // Delegated pending table: never spin on a busy bucket — publish
+      // the delivery for the lock holder to apply. Recording epochs stay
+      // on the lock path: record_delivery reads the *publisher's*
+      // thread-local RecordFrame, which a combiner would not have.
+      if (mode == EpochMode::kDynamic && table_.delegated()) {
+        delegated_arrived<I>(ctx, h, key, copy);
+        return;
+      }
       auto acc = table_.lock_key(h);
       const auto key_eq = [&key](const HashItemBase* item) {
         return static_cast<const TaskRec*>(item)->key == key;
@@ -505,6 +522,104 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
         acc.release();
         ctx.submit(rec, SubmitHint::kMayInline);
       }
+    }
+  }
+
+  /// One queued delegated delivery. Type-erased over the input index:
+  /// `copy` is the DataCopy<value_t<I>>* and `apply` the I-specific
+  /// thunk that casts it back. Allocated from pub_pool_ by the
+  /// publisher, reclaimed by whichever thread applies it.
+  struct PubOp : ScalableHashTable::PubNode {
+    PubOp(std::uint64_t h, const Key& k, void* c,
+          void (*a)(TT*, ScalableHashTable::Accessor&, PubOp*))
+        : hash(h), key(k), copy(c), apply(a) {}
+    std::uint64_t hash;
+    Key key;
+    void* copy;
+    void (*apply)(TT*, ScalableHashTable::Accessor&, PubOp*);
+  };
+
+  /// ScalableHashTable::ApplyFn dispatcher (combiner drain).
+  static void apply_pub_op(void* owner, ScalableHashTable::Accessor& acc,
+                           ScalableHashTable::PubNode* node) {
+    auto* tt = static_cast<TT*>(owner);
+    auto* op = static_cast<PubOp*>(node);
+    op->apply(tt, acc, op);
+  }
+
+  template <std::size_t I>
+  static void apply_pub_thunk(TT* tt, ScalableHashTable::Accessor& acc,
+                              PubOp* op) {
+    Context& ctx = tt->world_->context(tt->world_->current_rank());
+    // The publish accounted the queued delivery as discovered work;
+    // balance it now that the delivery lands in a record (which was
+    // itself accounted by create_record if fresh).
+    ctx.on_discovered(-1);
+    tt->template apply_delivery<I>(
+        ctx, acc, op->hash, op->key,
+        static_cast<DataCopy<value_t<I>>*>(op->copy));
+    op->~PubOp();
+    tt->pub_pool_->deallocate(op);
+  }
+
+  /// Dynamic-mode delivery under the delegated pending table: try the
+  /// bucket once; apply in place on success, publish on contention.
+  /// Ready records surface on the accessor's deferred list and are
+  /// submitted only after the bucket is released — kMayInline may
+  /// re-enter this table.
+  template <std::size_t I>
+  void delegated_arrived(Context& ctx, std::uint64_t h, const Key& key,
+                         DataCopy<value_t<I>>* copy) {
+    auto acc = table_.lock_key_delegated(h);
+    if (acc.owns_bucket()) {
+      apply_delivery<I>(ctx, acc, h, key, copy);
+    } else {
+      void* mem = pub_pool_->allocate();
+      auto* op = new (mem) PubOp(h, key, copy, &TT::apply_pub_thunk<I>);
+      // A queued delivery is pending work: without this, the graph
+      // could converge between our publish and the combiner's apply
+      // (the record the op would create/complete does not exist yet).
+      ctx.on_discovered(1);
+      acc.publish(op);
+      // publish() may have acquired the bucket (the holder unlocked
+      // mid-protocol); then release() below drains and applies our op.
+    }
+    acc.release();
+    for (HashItemBase* item = acc.take_ready(); item != nullptr;) {
+      HashItemBase* next = item->next;
+      item->next = nullptr;
+      ctx.submit(static_cast<TaskRec*>(item), SubmitHint::kMayInline);
+      item = next;
+    }
+  }
+
+  /// The bucket-locked portion of a dynamic delivery, shared by the
+  /// direct (lock acquired) and combiner (queued op) paths. The caller
+  /// holds `acc`'s bucket; completion defers submission via defer_ready.
+  template <std::size_t I>
+  void apply_delivery(Context& ctx, ScalableHashTable::Accessor& acc,
+                      std::uint64_t h, const Key& key,
+                      DataCopy<value_t<I>>* copy) {
+    const auto key_eq = [&key](const HashItemBase* item) {
+      return static_cast<const TaskRec*>(item)->key == key;
+    };
+    TaskRec* rec;
+    if (HashItemBase* item = acc.find_hash(h, key_eq); item != nullptr) {
+      rec = static_cast<TaskRec*>(item);
+    } else {
+      rec = create_record(ctx, key, EpochMode::kDynamic);
+      rec->hash = h;
+      rec->expected = compute_expected(key);
+      acc.insert(rec);
+    }
+    apply_value_priority<I>(*rec, key, copy);
+    store_input<I>(*rec, copy);
+    atomic_ops::count(AtomicOpCategory::kInputCount);
+    const std::int32_t sat =
+        rec->satisfied.fetch_add(1, ord_relaxed()) + 1;
+    if (sat == rec->expected) {
+      acc.remove_hash(h, key_eq);
+      acc.defer_ready(rec);
     }
   }
 
@@ -1011,6 +1126,9 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
       priority_value_fn_;
   MemoryPool pool_;
   ScalableHashTable table_;
+  /// Pool for queued delegated deliveries (PubOp); allocated only when
+  /// the pending table runs in kDelegated mode.
+  std::unique_ptr<MemoryPool> pub_pool_;
   /// Keys captured by the active recording epoch, in slot-registration
   /// order (TemplateSlot::key_index indexes this vector); moved into the
   /// template by take_recorded_keys at finalize.

@@ -1,0 +1,105 @@
+// DST property test for the delegated pending-table insertion path
+// (src/structures/hash_table.hpp, PendingTableMode::kDelegated).
+//
+// Property: every operation — applied inline by a lock owner or pushed
+// onto a bucket's publication list — is applied EXACTLY once before the
+// bucket goes quiescent. The dangerous window is the combiner handoff: a
+// publisher CAS-pushes between the combiner's last pub_head check and
+// its unlock, and the publisher's try_lock runs while the lock is still
+// held. The paired seq_cst fences (push→fence→try_lock vs
+// drain→unlock→fence→recheck) guarantee one side wins; the
+// PENDING_INSERT_LOST_PUBLISH mutant removes the combiner's post-unlock
+// recheck, so that interleaving strands the queued op (applied < ops) —
+// this scenario must catch it.
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dst_common.hpp"
+#include "sim/sim.hpp"
+#include "structures/hash_table.hpp"
+
+namespace {
+
+struct PendingCombining {
+  // One small table; every vthread hammers the SAME bucket so the
+  // publication path actually runs.
+  ttg::ScalableHashTable table{2, 64, ttg::kMaxThreads,
+                               ttg::PendingTableMode::kDelegated};
+  const std::uint64_t hash = ttg::mix64(42);
+
+  // All mutated under the bucket lock (inline owner or combiner), so
+  // plain fields are race-free; read only in check() after the run.
+  std::uint64_t applied = 0;
+  std::uint64_t applied_via_delegate = 0;
+
+  std::atomic<int> ops_started{0};
+
+  struct Op : ttg::ScalableHashTable::PubNode {
+    PendingCombining* self = nullptr;
+  };
+
+  static void apply_op(void* owner, ttg::ScalableHashTable::Accessor& acc,
+                       ttg::ScalableHashTable::PubNode* node) {
+    (void)acc;
+    auto* self = static_cast<PendingCombining*>(owner);
+    ++self->applied;
+    ++self->applied_via_delegate;
+    delete static_cast<Op*>(node);
+  }
+
+  PendingCombining() { table.set_delegate(this, &apply_op); }
+
+  static constexpr int kVthreads = 3;
+  static constexpr int kOpsPerThread = 3;
+
+  std::vector<std::function<void()>> bodies() {
+    auto worker = [this] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        ops_started.fetch_add(1, std::memory_order_relaxed);
+        auto acc = table.lock_key_delegated(hash);
+        if (acc.owns_bucket()) {
+          ++applied;  // inline: we hold the bucket lock
+        } else {
+          auto* op = new Op;
+          op->self = this;
+          acc.publish(op);
+          // publish() may acquire the lock as a side effect; either way
+          // release() (the accessor destructor) drains the publication
+          // list if we ended up the combiner.
+        }
+      }
+    };
+    return std::vector<std::function<void()>>(kVthreads, worker);
+  }
+
+  std::string check() {
+    const auto expected =
+        static_cast<std::uint64_t>(kVthreads) * kOpsPerThread;
+    if (ops_started.load(std::memory_order_relaxed) !=
+        static_cast<int>(expected)) {
+      return "scenario bug: not all ops started";
+    }
+    if (applied < expected) {
+      return "lost publication: " + std::to_string(expected - applied) +
+             " op(s) queued but never applied (applied=" +
+             std::to_string(applied) + "/" + std::to_string(expected) +
+             ", via delegate=" + std::to_string(applied_via_delegate) + ")";
+    }
+    if (applied > expected) {
+      return "double apply: " + std::to_string(applied) + " applications for " +
+             std::to_string(expected) + " ops";
+    }
+    return "";
+  }
+};
+
+TEST(DstPending, DelegatedOpsApplyExactlyOnce) {
+  dst::explore<PendingCombining>("pending_combiner",
+                                 PendingCombining::kVthreads);
+}
+
+}  // namespace

@@ -42,14 +42,128 @@ TEST(MemoryPool, ObjectSizeRoundedToFitFreeListNode) {
 
 TEST(MemoryPool, RemoteFreeReturnsToOwner) {
   ttg::MemoryPool pool(64);
+  const int my_domain = ttg::this_thread::domain();
   void* p = pool.allocate();
-  std::thread other([&] { pool.deallocate(p); });
+  std::thread other([&] {
+    // Same memory domain: the free must take the direct owner-freelist
+    // path regardless of the NUMA return machinery.
+    ttg::this_thread::set_domain(my_domain);
+    pool.deallocate(p);
+  });
   other.join();
   // The object went back to *this* thread's pool (we allocated it), so
   // we get it again immediately.
   void* q = pool.allocate();
   EXPECT_EQ(p, q);
   pool.deallocate(q);
+}
+
+/// RAII domain pin for the NUMA-path tests: restores the calling
+/// thread's default placement on scope exit.
+struct DomainPin {
+  explicit DomainPin(int d) { ttg::this_thread::set_domain(d); }
+  ~DomainPin() { ttg::this_thread::set_domain(-1); }
+};
+
+TEST(MemoryPool, CrossDomainFreeLandsInOutboxUntilThreshold) {
+  ttg::MemoryPool pool(64);
+  DomainPin pin(0);
+  const auto before = pool.stats();
+  // Carve well below kRemoteFlushThreshold objects in domain 0.
+  constexpr int kObjs = 8;
+  static_assert(kObjs < ttg::MemoryPool::kRemoteFlushThreshold);
+  std::vector<void*> objs;
+  for (int i = 0; i < kObjs; ++i) objs.push_back(pool.allocate());
+  std::thread remote([&] {
+    ttg::this_thread::set_domain(1);
+    for (void* p : objs) pool.deallocate(p);
+    // Below the threshold: everything still sits in the outbox.
+    const auto mid = pool.stats();
+    EXPECT_EQ(mid.remote_returns - before.remote_returns, kObjs);
+    EXPECT_EQ(mid.remote_flush_batches, before.remote_flush_batches);
+    pool.flush_remote_frees();  // epoch-boundary flush
+  });
+  remote.join();
+  const auto after = pool.stats();
+  EXPECT_EQ(after.remote_flush_batches - before.remote_flush_batches, 1u);
+  // Domain 0 drains its inbox once local lists run dry.
+  std::set<void*> recycled;
+  for (int i = 0; i < kObjs; ++i) recycled.insert(pool.allocate());
+  for (void* p : objs) EXPECT_TRUE(recycled.count(p) == 1);
+  for (void* p : recycled) pool.deallocate(p);
+}
+
+TEST(MemoryPool, OutboxFlushesAtThreshold) {
+  ttg::MemoryPool pool(64);
+  DomainPin pin(0);
+  const auto before = pool.stats();
+  const int kObjs = static_cast<int>(ttg::MemoryPool::kRemoteFlushThreshold);
+  std::vector<void*> objs;
+  for (int i = 0; i < kObjs; ++i) objs.push_back(pool.allocate());
+  std::thread remote([&] {
+    ttg::this_thread::set_domain(1);
+    for (void* p : objs) pool.deallocate(p);
+  });
+  remote.join();
+  // Exactly at the threshold: one batch pushed home without any
+  // explicit flush call.
+  const auto after = pool.stats();
+  EXPECT_EQ(after.remote_returns - before.remote_returns,
+            static_cast<std::uint64_t>(kObjs));
+  EXPECT_EQ(after.remote_flush_batches - before.remote_flush_batches, 1u);
+  std::set<void*> recycled;
+  for (int i = 0; i < kObjs; ++i) recycled.insert(pool.allocate());
+  for (void* p : objs) EXPECT_TRUE(recycled.count(p) == 1);
+  for (void* p : recycled) pool.deallocate(p);
+}
+
+TEST(MemoryPool, NumaDisabledFreesGoStraightToOwner) {
+  ttg::MemoryPool pool(64);
+  DomainPin pin(0);
+  ttg::MemoryPool::set_numa_enabled(false);
+  const auto before = pool.stats();
+  void* p = pool.allocate();
+  std::thread remote([&] {
+    ttg::this_thread::set_domain(1);
+    pool.deallocate(p);
+  });
+  remote.join();
+  ttg::MemoryPool::set_numa_enabled(true);
+  const auto after = pool.stats();
+  EXPECT_EQ(after.remote_returns, before.remote_returns);
+  // Direct owner-freelist push: we get the object right back.
+  void* q = pool.allocate();
+  EXPECT_EQ(p, q);
+  pool.deallocate(q);
+}
+
+TEST(MemoryPool, PrivateCacheModeDrainsDomainInboxAsChain) {
+  ttg::MemoryPool pool(64, /*objects_per_chunk=*/64,
+                       ttg::MemoryPool::Mode::kPrivateCache);
+  DomainPin pin(0);
+  constexpr int kObjs = 4;
+  std::vector<void*> objs;
+  for (int i = 0; i < kObjs; ++i) objs.push_back(pool.allocate());
+  std::thread remote([&] {
+    ttg::this_thread::set_domain(1);
+    for (void* p : objs) pool.deallocate(p);
+    pool.flush_remote_frees();
+  });
+  remote.join();
+  // kPrivateCache detaches the whole inbox chain into the private list:
+  // all objects come back without further atomics.
+  std::set<void*> recycled;
+  for (int i = 0; i < kObjs; ++i) recycled.insert(pool.allocate());
+  for (void* p : objs) EXPECT_TRUE(recycled.count(p) == 1);
+  for (void* p : recycled) pool.deallocate(p);
+}
+
+TEST(MemoryPool, FlushRemoteFreesIsANoOpWithoutOutboxes) {
+  ttg::MemoryPool pool(64);
+  const auto before = pool.stats();
+  pool.flush_remote_frees();  // this thread never freed cross-domain
+  const auto after = pool.stats();
+  EXPECT_EQ(after.remote_flush_batches, before.remote_flush_batches);
 }
 
 TEST(MemoryPool, ManyObjectsAcrossChunks) {

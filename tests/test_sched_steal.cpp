@@ -137,13 +137,32 @@ TEST(StealAccounting, LfqOverflowHitIsIngress) {
 TEST(IngressShards, ShardCountFollowsDomains) {
   // Flat steal order: one shard per worker, clamped at kMaxShards.
   EXPECT_EQ(ttg::IngressShards(2, 0).num_shards(), 2);
-  EXPECT_EQ(ttg::IngressShards(32, 1).num_shards(),
+  EXPECT_EQ(ttg::IngressShards(32, 1).num_shards(), 32);
+  EXPECT_EQ(ttg::IngressShards(2 * ttg::IngressShards::kMaxShards, 1)
+                .num_shards(),
             ttg::IngressShards::kMaxShards);
   // Domains of 4 over 8 workers: one shard per domain.
   ttg::IngressShards sharded(8, 4);
   EXPECT_EQ(sharded.num_shards(), 2);
   for (int w = 0; w < 4; ++w) EXPECT_EQ(sharded.shard_of_worker(w), 0);
   for (int w = 4; w < 8; ++w) EXPECT_EQ(sharded.shard_of_worker(w), 1);
+}
+
+TEST(IngressShards, MoreThanEightDomainsGetDistinctShards) {
+  // Regression for the old kMaxShards=8 cap: a 16-domain box (128
+  // workers, domains of 8) used to ring-fold domains 8..15 onto shards
+  // 0..7, sharing ingress cachelines across sockets. The cap now tracks
+  // kMaxMemoryDomains, so every domain gets its own shard.
+  static_assert(ttg::IngressShards::kMaxShards == ttg::kMaxMemoryDomains);
+  static_assert(ttg::IngressShards::kMaxShards >= 16);
+  ttg::IngressShards shards(128, 8);
+  EXPECT_EQ(shards.num_shards(), 16);
+  for (int w = 0; w < 128; ++w) {
+    EXPECT_EQ(shards.shard_of_worker(w), w / 8) << "worker " << w;
+  }
+  // Distinctness across the old fold boundary: domain 8's workers no
+  // longer share a shard with domain 0's.
+  EXPECT_NE(shards.shard_of_worker(64), shards.shard_of_worker(0));
 }
 
 TEST(IngressShards, PopOtherSweepsForeignShards) {

@@ -1,0 +1,217 @@
+// Topology discovery (src/common/topology.*): sysfs parsing on canned
+// fixture trees, the flat fallback, and domain-id stability.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/topology.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ------------------------------------------------------------ parse_cpulist
+
+TEST(ParseCpulist, SingleCpu) {
+  EXPECT_EQ(ttg::parse_cpulist("0"), (std::vector<int>{0}));
+  EXPECT_EQ(ttg::parse_cpulist("7"), (std::vector<int>{7}));
+}
+
+TEST(ParseCpulist, Range) {
+  EXPECT_EQ(ttg::parse_cpulist("0-3"), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ParseCpulist, MixedRangesAndSingles) {
+  EXPECT_EQ(ttg::parse_cpulist("0-2,8,10-11"),
+            (std::vector<int>{0, 1, 2, 8, 10, 11}));
+}
+
+TEST(ParseCpulist, TrailingNewlineAndSpaces) {
+  EXPECT_EQ(ttg::parse_cpulist("0-1, 4\n"), (std::vector<int>{0, 1, 4}));
+}
+
+TEST(ParseCpulist, EmptyAndGarbage) {
+  EXPECT_TRUE(ttg::parse_cpulist("").empty());
+  EXPECT_TRUE(ttg::parse_cpulist("\n").empty());
+  EXPECT_TRUE(ttg::parse_cpulist("abc").empty());
+}
+
+TEST(ParseCpulist, MalformedHugeRangeIsClamped) {
+  // "0-4294967295" must not blow memory; the parser caps cpu ids.
+  const auto cpus = ttg::parse_cpulist("0-4294967295");
+  EXPECT_FALSE(cpus.empty());
+  EXPECT_LE(cpus.size(), 4096u);
+}
+
+// ------------------------------------------------------- fixture sysfs trees
+
+/// Builds a throwaway sysfs-style tree under the system temp directory.
+class FixtureTree {
+ public:
+  FixtureTree() {
+    // Per-process uniqueness matters: ctest runs each TEST in its own
+    // process with the static counter back at zero, and -j parallelism
+    // would otherwise collide concurrent tests on the same directory.
+    root_ = fs::temp_directory_path() /
+            ("ttg_topo_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(root_);
+  }
+  ~FixtureTree() {
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  void add_node(int id, const std::string& cpulist) {
+    const fs::path dir = root_ / "node" / ("node" + std::to_string(id));
+    fs::create_directories(dir);
+    std::ofstream(dir / "cpulist") << cpulist << "\n";
+  }
+
+  void set_online(const std::string& cpulist) {
+    fs::create_directories(root_ / "cpu");
+    std::ofstream(root_ / "cpu" / "online") << cpulist << "\n";
+  }
+
+  std::string path() const { return root_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path root_;
+};
+
+TEST(Topology, TwoNodeTree) {
+  FixtureTree tree;
+  tree.add_node(0, "0-3");
+  tree.add_node(1, "4-7");
+  tree.set_online("0-7");
+  const ttg::Topology topo = ttg::discover_topology(tree.path());
+  EXPECT_TRUE(topo.from_sysfs);
+  EXPECT_EQ(topo.num_domains, 2);
+  EXPECT_EQ(topo.num_cpus, 8);
+  ASSERT_EQ(topo.cpu_to_domain.size(), 8u);
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(topo.cpu_to_domain[c], 0);
+  for (int c = 4; c < 8; ++c) EXPECT_EQ(topo.cpu_to_domain[c], 1);
+  EXPECT_EQ(topo.domain_cpu_count, (std::vector<int>{4, 4}));
+}
+
+TEST(Topology, MissingTreeFallsBackFlat) {
+  const ttg::Topology topo =
+      ttg::discover_topology("/nonexistent/ttg/sysfs/root");
+  EXPECT_FALSE(topo.from_sysfs);
+  EXPECT_EQ(topo.num_domains, 1);
+  EXPECT_GE(topo.num_cpus, 1);
+}
+
+TEST(Topology, SinglePopulatedNodeIsFlat) {
+  FixtureTree tree;
+  tree.add_node(0, "0-15");
+  const ttg::Topology topo = ttg::discover_topology(tree.path());
+  EXPECT_EQ(topo.num_domains, 1);
+  EXPECT_EQ(topo.num_cpus, 16);
+}
+
+TEST(Topology, MemoryOnlyNodesAreSkipped) {
+  // CXL-style memory-only node: present but no CPUs. It must not get a
+  // compute domain id.
+  FixtureTree tree;
+  tree.add_node(0, "0-1");
+  tree.add_node(1, "2-3");
+  tree.add_node(2, "");  // memory-only
+  const ttg::Topology topo = ttg::discover_topology(tree.path());
+  EXPECT_EQ(topo.num_domains, 2);
+}
+
+TEST(Topology, DomainIdsAreStableUnderNumericNodeOrder) {
+  // node10 must not sort between node1 and node2: dense domain ids
+  // follow the numeric node id, not directory-iteration order.
+  FixtureTree tree;
+  tree.add_node(10, "20-21");
+  tree.add_node(2, "4-5");
+  tree.add_node(1, "2-3");
+  tree.add_node(0, "0-1");
+  const ttg::Topology topo = ttg::discover_topology(tree.path());
+  ASSERT_EQ(topo.num_domains, 4);
+  EXPECT_EQ(topo.cpu_to_domain[0], 0);
+  EXPECT_EQ(topo.cpu_to_domain[2], 1);
+  EXPECT_EQ(topo.cpu_to_domain[4], 2);
+  EXPECT_EQ(topo.cpu_to_domain[20], 3);  // node10 gets the LAST dense id
+}
+
+TEST(Topology, ManyDomains) {
+  // >8 domains: the shard/domain maps must not ring-fold below the
+  // discovered count (the old IngressShards kMaxShards=8 regression).
+  FixtureTree tree;
+  for (int n = 0; n < 16; ++n) {
+    tree.add_node(n, std::to_string(2 * n) + "-" + std::to_string(2 * n + 1));
+  }
+  const ttg::Topology topo = ttg::discover_topology(tree.path());
+  EXPECT_EQ(topo.num_domains, 16);
+  EXPECT_EQ(topo.num_cpus, 32);
+  for (int c = 0; c < 32; ++c) EXPECT_EQ(topo.cpu_to_domain[c], c / 2);
+}
+
+// ----------------------------------------------------- worker/domain helpers
+
+TEST(Topology, WorkerDomainFlat) {
+  // domain_size <= 1: workers fold directly over the domains.
+  EXPECT_EQ(ttg::worker_domain(0, 0), 0);
+  EXPECT_EQ(ttg::worker_domain(5, 1) % ttg::memory_domains(),
+            ttg::worker_domain(5, 1));
+}
+
+TEST(Topology, WorkerDomainGrouped) {
+  const int domains = ttg::memory_domains();
+  // Workers 0..domain_size-1 share domain 0's id, the next group gets
+  // the next domain (mod the discovered count).
+  EXPECT_EQ(ttg::worker_domain(0, 4), 0);
+  EXPECT_EQ(ttg::worker_domain(3, 4), 0);
+  EXPECT_EQ(ttg::worker_domain(4, 4), 1 % domains);
+  EXPECT_EQ(ttg::worker_domain(7, 4), 1 % domains);
+}
+
+TEST(Topology, ThisThreadDomainDefaultsAndPins) {
+  // Default is derived from the dense thread id and is stable.
+  const int d0 = ttg::this_thread::domain();
+  EXPECT_EQ(ttg::this_thread::domain(), d0);
+  EXPECT_GE(d0, 0);
+  EXPECT_LT(d0, ttg::kMaxMemoryDomains);
+
+  ttg::this_thread::set_domain(3);
+  EXPECT_EQ(ttg::this_thread::domain(), 3);
+  ttg::this_thread::set_domain(ttg::kMaxMemoryDomains + 2);  // folds
+  EXPECT_EQ(ttg::this_thread::domain(), 2);
+  ttg::this_thread::set_domain(-1);  // reset to default
+  EXPECT_EQ(ttg::this_thread::domain(), d0);
+}
+
+TEST(Topology, DefaultStealDomainSizeMatchesDomains) {
+  const int domains = ttg::memory_domains();
+  const int size = ttg::default_steal_domain_size(16);
+  if (domains <= 1) {
+    EXPECT_EQ(size, 0);  // flat: pre-topology behavior preserved
+  } else {
+    EXPECT_EQ(size, (16 + domains - 1) / domains);
+  }
+}
+
+TEST(Topology, ProcessTopologySingletonIsConsistent) {
+  const ttg::Topology& topo = ttg::topology();
+  EXPECT_GE(topo.num_cpus, 1);
+  EXPECT_GE(topo.num_domains, 1);
+  EXPECT_EQ(topo.cpu_to_domain.size(),
+            static_cast<std::size_t>(topo.num_cpus));
+  EXPECT_EQ(topo.domain_cpu_count.size(),
+            static_cast<std::size_t>(topo.num_domains));
+  EXPECT_EQ(ttg::memory_domains(),
+            std::min(topo.num_domains, ttg::kMaxMemoryDomains));
+}
+
+}  // namespace
