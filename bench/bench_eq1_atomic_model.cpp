@@ -19,7 +19,13 @@
 // is single-threaded, so the contended-only paths (publication CAS,
 // drain exchange, inbox pop) never execute.
 //
-//   ./bench_eq1_atomic_model [--tasks=N] [--replay]
+// With --coroutine two suspendable-body series are added: a move chain
+// whose tasks co_await ttg::yield S times (each yield re-enters the
+// scheduler: +2 kScheduler, zero kSuspend), and a parallel fan whose
+// tasks park once on the timer wheel (one rendezvous: +2 kSuspend for
+// the park/claim pair, +2 kScheduler for the resumed continuation).
+//
+//   ./bench_eq1_atomic_model [--tasks=N] [--replay] [--coroutine]
 //                            [--pending=delegated|bucketlock]
 //                            [--numa=0|1] [--json-out=path]
 #include <cstdio>
@@ -106,9 +112,92 @@ ttg::AtomicOpSnapshot run_chain_replay(int tasks) {
   });
 }
 
+/// Move chain whose suspendable bodies co_await ttg::yield `yields`
+/// times before forwarding their inputs. No rendezvous: every yield is
+/// +2 kScheduler (the continuation's push + pop) and zero kSuspend.
+template <std::size_t NFlows>
+ttg::AtomicOpSnapshot run_chain_coro_yield(int tasks, int yields) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 1;
+  ttg::World world(cfg);
+  auto edge_tuple = [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+    return std::make_tuple(
+        ttg::Edge<int, std::uint64_t>("cflow" + std::to_string(Is))...);
+  }(std::make_index_sequence<NFlows>{});
+
+  auto body = [tasks, yields](const int& k,
+                              auto&... rest) -> ttg::resumable {
+    for (int y = 0; y < yields; ++y) co_await ttg::yield{};
+    auto& outs = std::get<sizeof...(rest) - 1>(std::tie(rest...));
+    if (k < tasks) {
+      [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+        auto vals = std::tie(rest...);
+        (ttg::send<Is>(k + 1, std::move(std::get<Is>(vals)), outs), ...);
+      }(std::make_index_sequence<NFlows>{});
+    }
+    co_return;
+  };
+  auto tt = std::apply(
+      [&](auto&... edges) {
+        return ttg::make_tt<int>(body, ttg::edges(edges...),
+                                 ttg::edges(edges...), "cchain", world);
+      },
+      edge_tuple);
+  auto seed = [&] {
+    [&]<std::size_t... Is>(std::index_sequence<Is...>) {
+      (tt->template send_input<Is>(0, std::uint64_t{Is}), ...);
+    }(std::make_index_sequence<NFlows>{});
+  };
+
+  world.execute();
+  seed();
+  world.fence();  // warm-up epoch
+  world.execute();
+  ttg::atomic_ops::set_enabled(true);
+  ttg::atomic_ops::reset();
+  seed();
+  world.fence();
+  ttg::atomic_ops::set_enabled(false);
+  return ttg::atomic_ops::snapshot();
+}
+
+/// Parallel fan of single-input suspendable tasks that each park once
+/// on the timer wheel. One rendezvous per task: +2 kSuspend (park
+/// publication + expiry claim) and +2 kScheduler for the continuation.
+ttg::AtomicOpSnapshot run_fan_coro_timer(int tasks) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 1;
+  ttg::World world(cfg);
+  ttg::Edge<int, std::uint64_t> e("fan");
+  auto tt = ttg::make_tt<int>(
+      [](const int&, std::uint64_t&, auto&) -> ttg::resumable {
+        co_await ttg::suspend_for(std::chrono::milliseconds(2));
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "sleepfan", world);
+
+  world.execute();
+  for (int k = 0; k < tasks; ++k) {
+    tt->send_input<0>(k, static_cast<std::uint64_t>(k));
+  }
+  world.fence();  // warm-up epoch
+  world.execute();
+  ttg::atomic_ops::set_enabled(true);
+  ttg::atomic_ops::reset();
+  for (int k = 0; k < tasks; ++k) {
+    tt->send_input<0>(k, static_cast<std::uint64_t>(k));
+  }
+  world.fence();
+  ttg::atomic_ops::set_enabled(false);
+  return ttg::atomic_ops::snapshot();
+}
+
+// `model_extra` is the per-task surcharge of a suspendable series on
+// top of the base Eq. (1) cost (2 kScheduler per yield; 2 kSuspend +
+// 2 kScheduler per timer/gate rendezvous); 0 for plain series.
 void report(int n_inputs, const char* series,
             const ttg::AtomicOpSnapshot& snap, int tasks,
-            bench::JsonReport& json) {
+            bench::JsonReport& json, double model_extra = 0.0) {
   using C = ttg::AtomicOpCategory;
   const bool replay = std::strcmp(series, "replay") == 0;
   const double t = tasks + 1;
@@ -117,13 +206,16 @@ void report(int n_inputs, const char* series,
   const double n_rc = static_cast<double>(snap[C::kRefCount]) / t;
   const double n_od = static_cast<double>(snap[C::kMemPool]) / t;
   const double n_s = static_cast<double>(snap[C::kScheduler]) / t;
-  const double measured = n_id + n_hb + n_rc + n_od + n_s;
-  const double model =
+  const double n_susp = static_cast<double>(snap[C::kSuspend]) / t;
+  const double measured = n_id + n_hb + n_rc + n_od + n_s + n_susp;
+  const double base =
       replay ? 1.0 * n_inputs
              : (n_inputs >= 2 ? 4.0 * n_inputs + 4.0
                               : 2.0 + 2.0 + 2.0);  // single input
-  std::printf("%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%.0f\n", series,
-              n_inputs, n_id, n_hb, n_rc, n_od, n_s, measured, model);
+  const double model = base + model_extra;
+  std::printf("%s,%d,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.2f,%.0f\n", series,
+              n_inputs, n_id, n_hb, n_rc, n_od, n_s, n_susp, measured,
+              model);
   json.row();
   json.field("series", series);
   json.field("n_inputs", static_cast<std::int64_t>(n_inputs));
@@ -132,6 +224,7 @@ void report(int n_inputs, const char* series,
   json.field("refcount_per_task", n_rc);
   json.field("mempool_per_task", n_od);
   json.field("scheduler_per_task", n_s);
+  json.field("suspend_per_task", n_susp);
   json.field("measured_total", measured);
   json.field("model_total", model);
 }
@@ -143,6 +236,7 @@ int main(int argc, char** argv) {
   const bench::Args& args = common.args;
   const int tasks = static_cast<int>(args.get_int("tasks", 50000));
   const bool replay = args.has_flag("replay");
+  const bool coroutine = args.has_flag("coroutine");
   const std::string pending = args.get_string("pending", "");
   if (!pending.empty()) setenv("TTG_PENDING_TABLE", pending.c_str(), 1);
   const std::string numa = args.get_string("numa", "");
@@ -157,9 +251,11 @@ int main(int argc, char** argv) {
               "+ 2 refcount; plus 2 mempool + 2 scheduler\n");
   std::printf("# replay model: per input 1 join-decrement; no refcounts "
               "(ownership transfer), no buckets, no pool, no scheduler\n");
+  std::printf("# coroutine model: +2 scheduler per yield; +2 suspend "
+              "+2 scheduler per timer/gate rendezvous\n");
   std::printf(
       "series,n_inputs,input_count,bucket_lock,refcount,mempool,"
-      "scheduler,measured_total,model_total\n");
+      "scheduler,suspend,measured_total,model_total\n");
   report(1, "dynamic", run_chain<1>(tasks), tasks, common.json);
   report(2, "dynamic", run_chain<2>(tasks), tasks, common.json);
   report(3, "dynamic", run_chain<3>(tasks), tasks, common.json);
@@ -173,6 +269,20 @@ int main(int argc, char** argv) {
     report(4, "replay", run_chain_replay<4>(tasks), tasks, common.json);
     report(5, "replay", run_chain_replay<5>(tasks), tasks, common.json);
     report(6, "replay", run_chain_replay<6>(tasks), tasks, common.json);
+  }
+  if (coroutine) {
+    constexpr int kYields = 4;
+    report(1, "coro-yield", run_chain_coro_yield<1>(tasks, kYields),
+           tasks, common.json, 2.0 * kYields);
+    report(2, "coro-yield", run_chain_coro_yield<2>(tasks, kYields),
+           tasks, common.json, 2.0 * kYields);
+    report(4, "coro-yield", run_chain_coro_yield<4>(tasks, kYields),
+           tasks, common.json, 2.0 * kYields);
+    // All timer sleepers park together, so cap the fan; report() scales
+    // per task, and tasks-1 compensates for its chain's +1 seed task.
+    const int fan = tasks < 4096 ? tasks : 4096;
+    report(1, "coro-timer", run_fan_coro_timer(fan), fan - 1,
+           common.json, 2.0 + 2.0);
   }
   return 0;
 }

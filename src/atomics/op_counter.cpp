@@ -13,6 +13,7 @@ std::string_view to_string(AtomicOpCategory c) {
     case AtomicOpCategory::kTermDet: return "termdet";
     case AtomicOpCategory::kCopyPoolHit: return "copy-pool-hit";
     case AtomicOpCategory::kCopyPoolMiss: return "copy-pool-miss";
+    case AtomicOpCategory::kSuspend: return "suspend";
     case AtomicOpCategory::kOther: return "other";
     case AtomicOpCategory::kCount_: break;
   }

@@ -39,6 +39,12 @@ enum class AtomicOpCategory : int {
   /// operation in the underlying system allocator" Eq. (1) charges to
   /// copy creation.
   kCopyPoolMiss,
+  /// Coroutine suspend/resume rendezvous RMWs (docs/coroutines.md): the
+  /// park publication and the resume claim. A suspend/resume pair adds
+  /// exactly 2 here plus 2 kScheduler for the continuation round-trip;
+  /// tasks that never suspend never touch this category, keeping the
+  /// Eq. (1) hot-path census unchanged.
+  kSuspend,
   kOther,
   kCount_,
 };

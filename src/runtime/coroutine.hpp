@@ -1,0 +1,485 @@
+// Suspendable task bodies: C++20 coroutines over the small-task runtime.
+//
+// Upstream TTG gates ttg/coroutine.h behind TTG_HAVE_COROUTINE and lets
+// TT::op return a coroutine handle (TTG_PROCESS_TT_OP_RETURN). This is
+// the reproduction's equivalent: a task body may return ttg::resumable
+// and co_await the awaitables below; the suspended body releases its
+// worker and is resumed later as a *ready continuation* through the
+// existing Context::submit() — the task object doubles as the
+// continuation, so resumption rides the audited submit→pop→execute path
+// with no second scheduler entry point.
+//
+// Protocol (docs/coroutines.md):
+//
+//  * A suspension is prepared on the suspending worker *before* the
+//    continuation is published to any event source: the executing layer
+//    (TT::run) snapshots its thread-local frames into the task record,
+//    points TaskBase::execute at the resume trampoline, and accounts the
+//    continuation as newly discovered work (+1). The worker epilogue
+//    then retires the finished *segment* as a completion, so the owning
+//    World's census never dips: a suspended task is discovered-but-not-
+//    complete for termination detection, and TaskBase::tenant keeps
+//    routing the accounting to the right World.
+//  * Exactly one claimer resumes a parked continuation: the event
+//    source (timer expiry, InputGate::fulfill) or the cancellation
+//    purge. Claims are exclusive (one atomic handoff per waiter), so a
+//    frame is resumed — or destroyed — exactly once.
+//  * Cancellation never resumes a body onto a dead World: a claimed
+//    continuation goes back through submit(), whose ingress drops tasks
+//    of a cancelled World via the TaskBase::cancel hook, which destroys
+//    the parked frame at its suspension point.
+//
+// Census (Eq. 1): a suspend/resume pair through a rendezvous (InputGate,
+// timer wheel) adds exactly 2 kSuspend RMWs (park publication + resume
+// claim) and 2 kScheduler RMWs (continuation push + pop) on top of the
+// task's 4·N_i+4; ttg::yield skips the rendezvous and adds only the 2
+// scheduler operations. Asserted exactly in tests/test_atomic_model.cpp.
+//
+// This header is deliberately engine-free (TaskBase + atomics + sim
+// hooks only) so the DST harness compiles it instrumented into its
+// model scenarios (tests/dst/dst_coroutine.cpp) — the same code the
+// production library runs. The TTG_MUTANT_COROUTINE_LOST_RESUME and
+// TTG_MUTANT_COROUTINE_DOUBLE_RESUME builds plant the two classic
+// suspend/resume bugs here; the DST suite must catch both
+// (scripts/mutation_gate.sh).
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "atomics/op_counter.hpp"
+#include "atomics/ordering.hpp"
+#include "runtime/task.hpp"
+#include "sim/hooks.hpp"
+
+namespace ttg {
+
+class resumable;
+
+namespace coro {
+
+/// Timer backend for ttg::suspend_until — implemented by the engine's
+/// TimerWheel (runtime/timer_wheel.hpp). Null in environments without a
+/// timer (DST models), where timed suspension degrades to a yield.
+class TimerService {
+ public:
+  virtual ~TimerService() = default;
+  /// Parks the published continuation until `deadline`, then submits it
+  /// back to its engine as a ready continuation (or lets the engine
+  /// drop it as a cancelled completion if its World died meanwhile).
+  virtual void park_until(TaskBase* task,
+                          std::chrono::steady_clock::time_point deadline) = 0;
+};
+
+/// Per-frame runtime environment, captured into the coroutine promise
+/// from the thread-local InstallGuard the executing layer sets up
+/// around the body call. POD by design: the promise copies it once.
+struct Host {
+  /// The task record doubling as the schedulable continuation.
+  TaskBase* task = nullptr;
+  /// Timer backend for suspend_until (may be null).
+  TimerService* timers = nullptr;
+  /// Executing-layer hook, run on the suspending worker exactly once
+  /// per suspension *before* the continuation is published anywhere:
+  /// must snapshot thread-local execution state into the record, point
+  /// task->execute at the resume trampoline (handing it `coro_addr`,
+  /// the frame's std::coroutine_handle<>::address()), account the
+  /// continuation as discovered, and set t_suspend_pending.
+  void (*prepare_suspend)(Host&, void* coro_addr) = nullptr;
+  /// Executing-layer hook: submits `task` to its engine as a ready
+  /// continuation (Context::submit, SubmitHint::kDeferred).
+  void (*submit)(Host&) = nullptr;
+  /// Executing-layer state (the owning TT; opaque here).
+  void* backend = nullptr;
+};
+
+namespace detail {
+
+/// Set by Host::prepare_suspend on the suspending thread; the executor
+/// (TT::run / the resume trampoline) saves, clears and reads it around
+/// every segment to learn whether the segment parked — it must not
+/// touch the frame or the record after a park, since a concurrent
+/// claimer may already be resuming (or destroying) them.
+inline thread_local bool t_suspend_pending = false;
+
+/// The Host template the next resumable frame created on this thread
+/// copies into its promise (see InstallGuard).
+inline thread_local const Host* t_install = nullptr;
+
+}  // namespace detail
+
+/// Installs the Host template for resumable frames created on this
+/// thread while the guard lives (the executing layer wraps the body
+/// call; nests — inlined tasks save/restore).
+class InstallGuard {
+ public:
+  explicit InstallGuard(const Host* host) noexcept
+      : saved_(detail::t_install) {
+    detail::t_install = host;
+  }
+  ~InstallGuard() { detail::t_install = saved_; }
+  InstallGuard(const InstallGuard&) = delete;
+  InstallGuard& operator=(const InstallGuard&) = delete;
+
+ private:
+  const Host* saved_;
+};
+
+/// The resume-enqueue: hands a claimed continuation back to its engine.
+/// After this call the claimer owns nothing — the frame may already be
+/// running (or destroyed) on another worker.
+inline void submit_resume(Host& host) {
+  TTG_SIM_POINT("coro.resume_enqueue");
+  host.submit(host);
+}
+
+/// Marks the resume segment that completed the coroutine (the frame is
+/// still alive; the caller destroys it next). Interleaving point for
+/// the DST resume-vs-termination-wave scenario; no-op in production.
+inline void mark_final_resume() { TTG_SIM_POINT("coro.final_resume"); }
+
+/// A parked continuation: links the frames waiting on one InputGate.
+/// Lives inside the coroutine frame (the awaiter object), so it is
+/// valid exactly while the frame is parked — claimers must read all
+/// fields before submitting and never touch the node afterwards.
+struct Waiter {
+  Waiter* next = nullptr;
+  Host* host = nullptr;
+};
+
+/// One registered source of parked continuations (an InputGate). The
+/// World's cancellation purge asks every source to flush its parked
+/// frames back into submission, where the engine retires them as
+/// cancelled completions.
+class CancelSource {
+ public:
+  virtual ~CancelSource() = default;
+  /// Claims every currently parked continuation and submits it (to be
+  /// dropped — only called while the owning World is cancelled).
+  /// Returns the number claimed. Safe to call repeatedly and
+  /// concurrently with fulfill(): each waiter is claimed exactly once.
+  virtual std::size_t cancel_parked() = 0;
+};
+
+/// Per-World registry of CancelSources, swept by World::purge_cancelled
+/// alongside the pending-table purge. Registration is a slow path
+/// (gate construction), so a mutex-guarded vector suffices.
+class CancelRegistry {
+ public:
+  void add(CancelSource* s) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sources_.push_back(s);
+  }
+  void remove(CancelSource* s) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = sources_.begin(); it != sources_.end(); ++it) {
+      if (*it == s) {
+        sources_.erase(it);
+        return;
+      }
+    }
+  }
+  std::size_t cancel_parked_all() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t n = 0;
+    for (CancelSource* s : sources_) n += s->cancel_parked();
+    return n;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<CancelSource*> sources_;
+};
+
+}  // namespace coro
+
+/// Return type for suspendable task bodies (the TTG_PROCESS_TT_OP_RETURN
+/// shape): `ttg::resumable op(const Key&, ...)` bodies may co_await
+/// ttg::yield, ttg::suspend_until/suspend_for and ttg::InputGate. The
+/// body starts eagerly on the worker that popped the task; ownership of
+/// the frame transfers to the event source at the first suspension.
+/// Bodies must be started by the runtime (a TT) — calling one directly
+/// throws from the frame constructor.
+class resumable {
+ public:
+  struct promise_type {
+    coro::Host host{};
+    std::exception_ptr error{};
+
+    promise_type() {
+      if (coro::detail::t_install == nullptr) {
+        throw std::logic_error(
+            "ttg::resumable bodies must be invoked by the runtime "
+            "(a TT task), not called directly");
+      }
+      host = *coro::detail::t_install;
+    }
+    resumable get_return_object() noexcept {
+      return resumable(handle_type::from_promise(*this));
+    }
+    /// Eager start: the first segment runs inline on the popped task's
+    /// worker, so a body that never suspends costs exactly the plain
+    /// (void-returning) path plus one frame allocation.
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    /// The frame survives completion so the final resumer can collect
+    /// the captured error before destroying it explicitly.
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { error = std::current_exception(); }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  resumable() = default;
+  explicit resumable(handle_type h) noexcept : handle_(h) {}
+  // Non-owning by design: after a suspension the frame belongs to the
+  // event source and this object must not be touched; when the first
+  // segment completes without suspending, the executor collects the
+  // error and destroys the frame through this handle.
+  handle_type handle() const noexcept { return handle_; }
+
+ private:
+  handle_type handle_{};
+};
+
+/// co_await ttg::yield{}: parks the rest of the body and immediately
+/// re-enqueues it as a ready continuation — a fair reschedule through
+/// the scheduler (other ready tasks run first). Census: +2 kScheduler.
+struct yield {
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(resumable::handle_type h) const {
+    auto& p = h.promise();
+    TTG_SIM_POINT("coro.suspend");
+    p.host.prepare_suspend(p.host, h.address());
+    coro::submit_resume(p.host);
+    // The frame is published: nothing below may touch `p` or `h`.
+  }
+  void await_resume() const noexcept {}
+};
+
+/// co_await ttg::suspend_until(tp): parks the body on the engine's
+/// timer wheel until `tp` (steady clock), releasing the worker. A past
+/// deadline — or a host without a timer backend — degrades to a yield.
+/// Census: +2 kSuspend (park + claim) +2 kScheduler.
+class suspend_until {
+ public:
+  explicit suspend_until(
+      std::chrono::steady_clock::time_point deadline) noexcept
+      : deadline_(deadline) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(resumable::handle_type h) const {
+    auto& p = h.promise();
+    TTG_SIM_POINT("coro.suspend");
+    p.host.prepare_suspend(p.host, h.address());
+    if (p.host.timers == nullptr ||
+        deadline_ <= std::chrono::steady_clock::now()) {
+      coro::submit_resume(p.host);
+      return;
+    }
+    // Publication: the timer thread owns the continuation from here.
+    p.host.timers->park_until(p.host.task, deadline_);
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  std::chrono::steady_clock::time_point deadline_;
+};
+
+/// co_await ttg::suspend_for(duration): relative-time suspend_until.
+template <typename Rep, typename Period>
+suspend_until suspend_for(
+    const std::chrono::duration<Rep, Period>& d) noexcept {
+  return suspend_until(std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<
+                           std::chrono::steady_clock::duration>(d));
+}
+
+/// A one-shot gate a task body parks on until a value arrives — the
+/// awaitable form of a not-yet-arrived input edge. Any number of bodies
+/// may `co_await gate`; a single `fulfill(value)` (from another task
+/// body, another World, or an external thread) wakes them all, each
+/// resuming with a const reference to the stored value. Waiters
+/// arriving after fulfillment continue without suspending.
+///
+/// Lifetime: the gate must outlive every awaiting task's World epoch
+/// and be destroyed before its World (it registers with the World's
+/// cancellation purge, like a TT). One-shot: fulfill() at most once.
+///
+/// The park/fulfill rendezvous is the DST-explored lock-free core: a
+/// Treiber push publishes each waiter, fulfill's exchange claims the
+/// whole list exactly once, and the cancellation purge competes for the
+/// same waiters with a CAS — the lost-resume and double-resume mutants
+/// live here.
+template <typename V>
+class InputGate final : public coro::CancelSource {
+ public:
+  /// Unregistered gate: cancellation purge cannot reach its waiters, so
+  /// only use when the awaiting World is never aborted mid-park (or
+  /// fulfill() is guaranteed). Prefer the World-registered constructor.
+  InputGate() = default;
+
+  /// Registers with `world`'s cancellation purge (any type exposing
+  /// coro_sources(), i.e. ttg::World) so an abort/deadline retires
+  /// parked waiters as cancelled completions.
+  template <typename W>
+  explicit InputGate(W& world) : registry_(&world.coro_sources()) {
+    registry_->add(this);
+  }
+
+  ~InputGate() override {
+    if (registry_ != nullptr) registry_->remove(this);
+    assert(waiters_.load(std::memory_order_acquire) == nullptr ||
+           fulfilled());
+  }
+
+  InputGate(const InputGate&) = delete;
+  InputGate& operator=(const InputGate&) = delete;
+
+  /// Delivers the value and wakes every parked waiter. At most once.
+  template <typename U>
+  void fulfill(U&& value) {
+    value_.emplace(std::forward<U>(value));
+    // Claim the entire waiter list and seal the gate in one exchange:
+    // the release publishes the value to every resumed waiter, the
+    // acquire sees each waiter's node contents.
+    TTG_SIM_POINT("coro.gate_claim");
+    atomic_ops::count(AtomicOpCategory::kSuspend);
+#if defined(TTG_MUTANT_COROUTINE_DOUBLE_RESUME)
+    // MUTANT: the claim is split into an unfenced load/store pair, so a
+    // fulfill racing the cancellation purge (or a late parker) can hand
+    // the same waiter list to two claimers — the frame is resumed
+    // twice. The DST suspend-vs-cancel scenario must observe the double
+    // resume (a completion accounted twice / a destroyed frame
+    // re-entered).
+    coro::Waiter* head = waiters_.load(std::memory_order_acquire);
+    TTG_SIM_POINT("coro.gate_claim.split");
+    waiters_.store(sealed(), std::memory_order_release);
+#else
+    coro::Waiter* head = waiters_.exchange(sealed(), ord_acq_rel());
+#endif
+    if (head == sealed()) {
+      assert(false && "InputGate::fulfill called twice");
+      return;
+    }
+    resume_list(head);
+  }
+
+  /// True once fulfill() ran (acquire: a true result also publishes the
+  /// value).
+  bool fulfilled() const noexcept {
+    return waiters_.load(std::memory_order_acquire) == sealed();
+  }
+
+  /// The delivered value; only valid once fulfilled.
+  const V& value() const noexcept {
+    assert(value_.has_value());
+    return *value_;
+  }
+
+  /// Cancellation purge hook (coro::CancelSource): claims the current
+  /// waiter list and submits each frame for ingress-drop. Only called
+  /// while the owning World is cancelled.
+  std::size_t cancel_parked() override {
+    coro::Waiter* head = waiters_.load(std::memory_order_acquire);
+    for (;;) {
+      if (head == nullptr || head == sealed()) return 0;
+      TTG_SIM_POINT("coro.gate_cancel");
+      if (waiters_.compare_exchange_weak(head, nullptr, ord_acq_rel(),
+                                         ord_acquire())) {
+        break;
+      }
+    }
+    std::size_t n = 0;
+    for (coro::Waiter* w = head; w != nullptr; ++n) {
+      coro::Waiter* next = w->next;
+      // The engine's submit ingress sees the cancelled World and drops
+      // the continuation through its cancel hook, which destroys the
+      // frame at its suspension point — the body never resumes.
+      coro::submit_resume(*w->host);
+      w = next;
+    }
+    return n;
+  }
+
+  auto operator co_await() noexcept { return Awaiter{this}; }
+
+ private:
+  struct Awaiter {
+    InputGate* gate;
+    coro::Waiter node{};
+
+    bool await_ready() const noexcept { return gate->fulfilled(); }
+    void await_suspend(resumable::handle_type h) {
+      auto& p = h.promise();
+      TTG_SIM_POINT("coro.suspend");
+      p.host.prepare_suspend(p.host, h.address());
+      node.host = &p.host;
+      if (!gate->park(&node)) {
+        // Lost the race with fulfill(): the value is already there.
+        // The suspension is fully prepared, so take the scheduler
+        // round-trip (a self-resume) instead of unwinding it.
+        coro::submit_resume(p.host);
+      }
+      // Published either way: nothing below may touch the frame.
+    }
+    const V& await_resume() const noexcept { return gate->value(); }
+  };
+
+  /// Sentinel list head meaning "fulfilled": distinct from any real
+  /// waiter and stable for the gate's lifetime.
+  coro::Waiter* sealed() const noexcept {
+    return const_cast<coro::Waiter*>(&sealed_tag_);
+  }
+
+  /// Treiber-push of a prepared waiter. Returns false when the gate was
+  /// fulfilled first (the caller must self-resume).
+  bool park(coro::Waiter* w) {
+    coro::Waiter* head = waiters_.load(std::memory_order_acquire);
+    for (;;) {
+      if (head == sealed()) return false;
+      w->next = head;
+      TTG_SIM_POINT("coro.gate_park");
+      atomic_ops::count(AtomicOpCategory::kSuspend);
+      if (waiters_.compare_exchange_weak(head, w, ord_acq_rel(),
+                                         ord_acquire())) {
+        return true;
+      }
+    }
+  }
+
+  void resume_list(coro::Waiter* head) {
+    for (coro::Waiter* w = head; w != nullptr;) {
+      // Read everything out of the node *before* submitting: the frame
+      // (and with it the node) may be resumed and destroyed the moment
+      // the continuation reaches the scheduler.
+      coro::Waiter* next = w->next;
+      coro::Host* host = w->host;
+#if defined(TTG_MUTANT_COROUTINE_LOST_RESUME)
+      // MUTANT: the claimed continuation is never submitted — a classic
+      // lost resume. The waiter's World can never drain (its pending
+      // count stays >= 1 forever); the DST scenarios must flag the
+      // stuck census.
+      (void)host;
+#else
+      coro::submit_resume(*host);
+#endif
+      w = next;
+    }
+  }
+
+  std::atomic<coro::Waiter*> waiters_{nullptr};
+  coro::Waiter sealed_tag_{};
+  std::optional<V> value_{};
+  coro::CancelRegistry* registry_ = nullptr;
+};
+
+}  // namespace ttg

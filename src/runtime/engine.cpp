@@ -8,6 +8,7 @@
 #include "common/topology.hpp"
 #include "runtime/context.hpp"
 #include "runtime/copy_pool.hpp"
+#include "runtime/timer_wheel.hpp"
 #include "runtime/trace.hpp"
 
 namespace ttg {
@@ -31,6 +32,8 @@ ExecutionEngine::ExecutionEngine(Context& owner, const Config& config,
   steal_domain_size_ = config.resolved_steal_domain_size();
   scheduler_ = make_scheduler(config.scheduler, num_threads_,
                               steal_domain_size_);
+  timers_ = std::make_unique<TimerWheel>(
+      [this](TaskBase* t) { submit(t, SubmitHint::kDeferred); }, fault_);
   {
     auto& registry = trace::MetricsRegistry::instance();
     const std::string prefix = "engine.r" + std::to_string(rank_) + ".";

@@ -46,6 +46,7 @@
 namespace ttg {
 
 class Context;
+class TimerWheel;
 
 enum class SubmitHint : std::uint8_t {
   kDeferred = 0,  ///< always through the scheduler
@@ -167,6 +168,13 @@ class ExecutionEngine {
   TerminationDetector& detector() { return *detector_; }
   FaultState& fault() { return *fault_; }
 
+  /// The engine's parking lot for time-suspended coroutine continuations
+  /// (runtime/timer_wheel.hpp). One wheel per engine — its monitor thread
+  /// starts lazily on the first suspend_until, so engines that never
+  /// park a timer pay nothing. Due continuations come back through
+  /// submit(task, kDeferred).
+  TimerWheel& timers() { return *timers_; }
+
   /// Total tasks executed by all workers since construction.
   std::uint64_t total_tasks_executed() const;
 
@@ -247,6 +255,7 @@ class ExecutionEngine {
   TerminationDetector* detector_;
   FaultState* fault_;
   std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<TimerWheel> timers_;
 
   std::vector<std::thread> threads_;
   std::unique_ptr<CachePadded<Worker>[]> workers_;

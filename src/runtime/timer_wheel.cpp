@@ -1,0 +1,113 @@
+#include "runtime/timer_wheel.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "runtime/fault.hpp"
+#include "runtime/tenant.hpp"
+
+namespace ttg {
+
+TimerWheel::TimerWheel(std::function<void(TaskBase*)> submit,
+                       const FaultState* engine_fault)
+    : submit_(std::move(submit)), engine_fault_(engine_fault) {}
+
+TimerWheel::~TimerWheel() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+    // An engine never dies with work outstanding (its Worlds waited),
+    // so parked entries here would be leaked frames.
+    assert(heap_.empty() && "TimerWheel destroyed with parked frames");
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+const FaultState* TimerWheel::fault_for(const TaskBase* task) const {
+  return task->tenant != nullptr ? &task->tenant->fault : engine_fault_;
+}
+
+void TimerWheel::park_until(TaskBase* task, Clock::time_point deadline) {
+  // The mutex acquire is the publication RMW of the park (census:
+  // 1 kSuspend); from the moment the entry is in the heap the monitor
+  // thread may claim it, so the caller must not touch `task` after
+  // this returns.
+  atomic_ops::count(AtomicOpCategory::kSuspend);
+  bool wake;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!thread_.joinable()) {
+      thread_ = std::thread([this] { thread_main(); });
+    }
+    wake = heap_.empty() || deadline < heap_.front().deadline;
+    heap_.push_back(Entry{deadline, task});
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+  // Re-arm the monitor only when the new entry moved the next deadline.
+  if (wake) cv_.notify_one();
+}
+
+std::size_t TimerWheel::cancel_for(const FaultState* fault) {
+  std::vector<TaskBase*> claimed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto out = heap_.begin();
+    for (auto& e : heap_) {
+      if (fault_for(e.task) == fault) {
+        claimed.push_back(e.task);
+      } else {
+        *out++ = e;
+      }
+    }
+    if (claimed.empty()) return 0;
+    heap_.erase(out, heap_.end());
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+  for (TaskBase* t : claimed) {
+    // The claim RMW (census: 1 kSuspend), then straight back through
+    // submit: the engine's ingress sees the cancelled World and drops
+    // the continuation via its cancel hook — the frame is destroyed at
+    // its suspension point, never resumed onto the dead World.
+    atomic_ops::count(AtomicOpCategory::kSuspend);
+    submit_(t);
+  }
+  return claimed.size();
+}
+
+std::size_t TimerWheel::parked() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return heap_.size();
+}
+
+void TimerWheel::thread_main() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (heap_.empty()) {
+      cv_.wait(lock);
+      continue;
+    }
+    const Clock::time_point next = heap_.front().deadline;
+    if (Clock::now() < next) {
+      cv_.wait_until(lock, next);
+      continue;
+    }
+    // Claim every due entry, then submit outside the lock (submit may
+    // run the engine's drop path, which must not re-enter the wheel).
+    std::vector<TaskBase*> due;
+    const Clock::time_point now = Clock::now();
+    while (!heap_.empty() && heap_.front().deadline <= now) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      due.push_back(heap_.back().task);
+      heap_.pop_back();
+    }
+    lock.unlock();
+    for (TaskBase* t : due) {
+      atomic_ops::count(AtomicOpCategory::kSuspend);
+      submit_(t);
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace ttg

@@ -1,0 +1,87 @@
+// TimerWheel: the engine's parking lot for time-suspended continuations.
+//
+// ttg::suspend_until parks a prepared continuation (see
+// runtime/coroutine.hpp) here; a lazily started monitor thread sleeps on
+// a condition variable until the earliest deadline and hands each due
+// continuation back to the engine through the one submission entry
+// point (Context::submit → ExecutionEngine::submit, SubmitHint::
+// kDeferred). The suspended task's worker is fully released: while
+// frames sleep here the pool runs other Worlds' work, and an engine with
+// nothing else to do parks all its workers.
+//
+// Cancellation: World::purge_cancelled sweeps the wheel with
+// cancel_for(fault) — entries governed by the cancelled World are
+// removed under the wheel mutex and submitted immediately, where the
+// engine's ingress drops them as cancelled completions (the cancel hook
+// destroys the parked frame without resuming it). The mutex makes
+// expiry and cancellation mutually exclusive, so every parked
+// continuation is claimed exactly once.
+//
+// Structure mirrors the Runtime deadline monitor (ttg/runtime.hpp): a
+// mutex + condition variable + min-heap and one lazily created thread —
+// a wheel with a thread per engine, not per World, so hundreds of tenant
+// Worlds share it. Census: parking counts 1 kSuspend RMW (the mutex
+// acquire that publishes the entry), the claim counts 1 more; the
+// scheduler round-trip of the resume adds the usual 2 kScheduler.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/coroutine.hpp"
+#include "runtime/task.hpp"
+
+namespace ttg {
+
+class FaultState;
+class TenantState;
+
+class TimerWheel final : public coro::TimerService {
+ public:
+  using Clock = std::chrono::steady_clock;
+  /// `submit` re-enqueues a due (or cancelled) continuation on the
+  /// owning engine; `engine_fault` is the fault state governing tasks
+  /// without a tenant tag (cancel_for matching).
+  TimerWheel(std::function<void(TaskBase*)> submit,
+             const FaultState* engine_fault);
+  ~TimerWheel() override;
+  TimerWheel(const TimerWheel&) = delete;
+  TimerWheel& operator=(const TimerWheel&) = delete;
+
+  /// coro::TimerService: parks a prepared continuation until `deadline`.
+  void park_until(TaskBase* task, Clock::time_point deadline) override;
+
+  /// Claims every parked continuation governed by `fault` and submits
+  /// it immediately (the caller guarantees `fault` is cancelled, so the
+  /// engine ingress drops each as a cancelled completion). Returns the
+  /// number claimed. Called repeatedly by the purge loop; idempotent.
+  std::size_t cancel_for(const FaultState* fault);
+
+  /// Entries currently parked (diagnostics / stall reports).
+  std::size_t parked() const;
+
+ private:
+  struct Entry {
+    Clock::time_point deadline;
+    TaskBase* task;
+    bool operator>(const Entry& rhs) const { return deadline > rhs.deadline; }
+  };
+
+  const FaultState* fault_for(const TaskBase* task) const;
+  void thread_main();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Entry> heap_;  // min-heap by deadline (std::*_heap + greater)
+  std::function<void(TaskBase*)> submit_;
+  const FaultState* engine_fault_;
+  std::thread thread_;  // started lazily on the first park
+  bool stop_ = false;
+};
+
+}  // namespace ttg

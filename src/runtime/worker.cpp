@@ -87,6 +87,13 @@ void Worker::run_one(TaskBase* task) {
   // discovery is never outrun by its parent's retirement: through the
   // engine-wide termination wave for classic tasks, through the tenant's
   // pending counter for tenant-tagged ones.
+  //
+  // Coroutine segments rely on this running unconditionally per
+  // execute() call: a body that parked (docs/coroutines.md) already
+  // accounted its continuation as +1 discovered *before* publication,
+  // so retiring the finished segment here keeps the owning World's
+  // pending count >= 1 across the park — a suspended task is
+  // discovered-but-not-complete for termination detection.
   if (tenant != nullptr) {
     tenant->on_executed();
   } else {

@@ -47,7 +47,11 @@ class TerminationDetector {
   void thread_attach(int rank);
 
   /// N new tasks (or internal actions) became known. Must be invoked
-  /// *before* the tasks are made schedulable.
+  /// *before* the tasks are made schedulable. A suspended coroutine
+  /// segment (runtime/coroutine.hpp) counts its continuation here before
+  /// parking, so a suspended task is discovered-but-not-complete: the
+  /// termination wave cannot converge while any body is parked on a
+  /// timer or an InputGate.
   void on_discovered(std::int64_t n = 1);
 
   /// Rank-aware discovery for threads that may not be attached (e.g. an

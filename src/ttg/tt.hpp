@@ -40,8 +40,10 @@
 #include "atomics/ordering.hpp"
 #include "common/small_vector.hpp"
 #include "runtime/context.hpp"
+#include "runtime/coroutine.hpp"
 #include "runtime/data_copy.hpp"
 #include "runtime/task.hpp"
+#include "runtime/timer_wheel.hpp"
 #include "runtime/trace.hpp"
 #include "structures/hash_table.hpp"
 #include "structures/mempool.hpp"
@@ -238,6 +240,13 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
       detail::input_trait<std::tuple_element_t<I, std::tuple<InEdges...>>>;
   template <std::size_t I>
   using value_t = typename trait<I>::value_type;
+  /// The exact type input I arrives as in the task body (what run_impl
+  /// passes): V& for plain inputs, const Void& for control tokens,
+  /// Aggregator<V> for aggregated ones.
+  template <std::size_t I>
+  using arg_t = std::conditional_t<
+      trait<I>::aggregated, Aggregator<value_t<I>>,
+      std::conditional_t<trait<I>::is_void, const Void&, value_t<I>&>>;
 
   static constexpr bool kAnyAggregated =
       (detail::input_trait<InEdges>::aggregated || ...);
@@ -245,6 +254,28 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
       (detail::input_trait<InEdges>::reduced || ...);
   static constexpr bool kUsesHashTable =
       kNumIns > 1 || kAnyAggregated || kAnyReduced;
+
+  /// Suspendable bodies: a body returning ttg::resumable (instead of
+  /// void) may co_await ttg::yield / ttg::suspend_until / ttg::InputGate
+  /// and is executed as a chain of segments (runtime/coroutine.hpp).
+  /// Dispatched at compile time off the callable's return type, like
+  /// upstream TTG's TTG_PROCESS_TT_OP_RETURN. See docs/coroutines.md.
+  static constexpr bool kCoroutine =
+      []<std::size_t... Is>(std::index_sequence<Is...>) {
+        if constexpr (std::is_invocable_v<Fn&, const Key&, arg_t<Is>...,
+                                          Outs&>) {
+          return std::is_same_v<
+              std::invoke_result_t<Fn&, const Key&, arg_t<Is>..., Outs&>,
+              resumable>;
+        } else if constexpr (std::is_invocable_v<Fn&, const Key&,
+                                                 arg_t<Is>...>) {
+          return std::is_same_v<
+              std::invoke_result_t<Fn&, const Key&, arg_t<Is>...>,
+              resumable>;
+        } else {
+          return false;
+        }
+      }(std::make_index_sequence<kNumIns>{});
 
   TT(Fn fn, const std::tuple<InEdges...>& ins,
      const std::tuple<OutEdges...>& outs, std::string name, World& world)
@@ -254,6 +285,19 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
         pool_(sizeof(TaskRec)),
         table_(/*initial_log2_buckets=*/8, /*fill_threshold=*/16,
                kMaxThreads, world.config().pending_table) {
+    if constexpr (kCoroutine) {
+      // Suspended frames resume through their home rank's engine; the
+      // simulated multi-rank message path has no notion of a parked
+      // continuation, so suspendable bodies are single-rank for now.
+      // Hard check, not assert: benchmarks build with NDEBUG.
+      if (world.num_ranks() != 1) {
+        std::fprintf(stderr,
+                     "ttg: TT \"%s\": suspendable (ttg::resumable) bodies "
+                     "require a single-rank world\n",
+                     name_.c_str());
+        std::abort();
+      }
+    }
     if constexpr (kUsesHashTable) {
       if (table_.mode() == PendingTableMode::kDelegated) {
         // The pub-op pool is per-TT and only exists in delegated mode
@@ -335,11 +379,31 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
   ScalableHashTable& hash_table() { return table_; }
 
  private:
+  /// Extra per-record state for suspendable bodies, folded into TaskRec
+  /// only when the body can actually suspend so plain TTs' records stay
+  /// small. Both fields are written by coro_prepare_suspend on the
+  /// suspending worker *before* the continuation is published and read
+  /// by whichever worker resumes (or whichever claimer destroys) it —
+  /// the scheduler/event-source handoff orders the accesses.
+  struct CoroFields {
+    /// Suspended frame address (std::coroutine_handle<>::address()),
+    /// non-null exactly while the task is parked between segments; the
+    /// resume trampoline revives it, the cancel hook destroys it.
+    void* coro_addr = nullptr;
+    /// Snapshot of the thread-local input-copy registry carried across
+    /// segments (rvalue sends keep transferring ownership after resume).
+    detail::TaskCopyContext::Saved coro_copies{};
+  };
+  struct NoCoroFields {};
+
   /// A pending-task record and the eventual task object are one pooled
   /// allocation, like PaRSEC's task structs: while inputs accumulate it
   /// lives in the hash table (HashItemBase), once eligible it goes to
   /// the scheduler (TaskBase/LifoNode).
-  struct TaskRec : TaskBase, HashItemBase {
+  struct TaskRec
+      : TaskBase,
+        HashItemBase,
+        std::conditional_t<kCoroutine, CoroFields, NoCoroFields> {
     TT* tt;
     Key key;
     std::atomic<std::int32_t> satisfied{0};
@@ -475,6 +539,20 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
       // dropped before any record is created or discovery accounted.
       if (copy != nullptr) copy->release();
       return;
+    }
+    if constexpr (kCoroutine) {
+      if (mode == EpochMode::kRecording) {
+        // A recorded epoch replays a *fixed* task set with cursor-driven
+        // sends; a body that can suspend (and resume after arbitrary
+        // interleavings, or be cancelled mid-park) has no such fixed
+        // shape. Reject at delivery time — before any record, lock or
+        // discovery — so recording fails cleanly and loudly.
+        if (copy != nullptr) copy->release();
+        throw ReplayDiverged(
+            "recording: TT \"" + name_ +
+            "\" has a suspendable (ttg::resumable) body; record-and-"
+            "replay epochs support only plain task bodies");
+      }
     }
     Context& ctx = world_->context(world_->current_rank());
     if constexpr (!kUsesHashTable) {
@@ -731,6 +809,16 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
   /// Releases a (possibly partially satisfied) record's input copies,
   /// destroys it, and returns its storage to the pool.
   void discard(TaskRec* rec) {
+    if constexpr (kCoroutine) {
+      // A record claimed by cancellation while parked still owns its
+      // suspended frame: destroy it at the suspension point (running
+      // the frame's destructors, exactly once — every claim path is
+      // exclusive) without ever resuming the body onto a dead World.
+      if (rec->coro_addr != nullptr) {
+        resumable::handle_type::from_address(rec->coro_addr).destroy();
+        rec->coro_addr = nullptr;
+      }
+    }
     [this, rec]<std::size_t... Is>(std::index_sequence<Is...>) {
       (discard_input<Is>(*rec), ...);
     }(std::make_index_sequence<kNumIns>{});
@@ -753,7 +841,11 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
   }
 
   void run(TaskRec* rec) {
-    run_impl(rec, std::make_index_sequence<kNumIns>{});
+    if constexpr (kCoroutine) {
+      run_coro_first(rec, std::make_index_sequence<kNumIns>{});
+    } else {
+      run_impl(rec, std::make_index_sequence<kNumIns>{});
+    }
   }
 
   template <std::size_t... Is>
@@ -837,6 +929,163 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     } else if constexpr (!trait<I>::is_void) {
       std::get<I>(rec.slots)->release();
     }
+  }
+
+  // --- Suspendable (coroutine) task bodies — see docs/coroutines.md. --
+  //
+  // A ttg::resumable body executes as a chain of *segments*: the first
+  // runs eagerly on the worker that popped the task (run_coro_first),
+  // each co_await that actually parks ends the segment, and every
+  // resume runs the next segment through the normal scheduler path
+  // (resume_task — the task record doubles as the continuation; its
+  // execute pointer is swapped to the trampoline *before* publication).
+  //
+  // Census discipline (Eq. 1): the worker epilogue retires every
+  // segment as one completion, and coro_prepare_suspend accounts every
+  // suspension as one new discovery first — so a parked task holds the
+  // owning World's pending count at >= 1 (discovered-but-not-complete
+  // for termination detection) and the books balance to
+  //   discoveries = 1 (create_record) + S,  completions = S + 1
+  // for a body with S suspensions, whatever interleaving resumes them.
+
+  /// coro::Host::prepare_suspend — runs on the suspending worker inside
+  /// await_suspend, strictly before the continuation is published to
+  /// any event source (scheduler, timer wheel, InputGate). After this
+  /// returns, any other worker may legally pop, resume, finish and free
+  /// the record, so the executing segment must not touch it again.
+  static void coro_prepare_suspend(coro::Host& host, void* coro_addr) {
+    auto* tt = static_cast<TT*>(host.backend);
+    auto* rec = static_cast<TaskRec*>(host.task);
+    // Snapshot the input-copy registry: sends after resume (possibly on
+    // a different worker) keep the rvalue ownership-transfer semantics.
+    detail::t_task_copies.save_to(rec->coro_copies);
+    rec->coro_addr = coro_addr;
+    rec->execute = &TT::resume_task;
+    // The continuation is newly discovered work: the worker epilogue
+    // retires the finishing segment as a completion, and without this
+    // +1 the World's census would hit zero while the frame sleeps.
+    tt->world_->context(0).on_discovered(1);
+    coro::detail::t_suspend_pending = true;
+  }
+
+  /// coro::Host::submit — hands a claimed continuation to the engine as
+  /// a ready task. The engine's ingress drops it as a cancelled
+  /// completion (via cancel_task -> discard, destroying the parked
+  /// frame) if the owning World died while it was parked.
+  static void coro_submit(coro::Host& host) {
+    auto* tt = static_cast<TT*>(host.backend);
+    tt->world_->context(0).submit(host.task, SubmitHint::kDeferred);
+  }
+
+  /// TaskBase::execute for parked continuations (installed by
+  /// coro_prepare_suspend); runs the next segment.
+  static void resume_task(TaskBase* base, Worker& worker) {
+    (void)worker;
+    auto* rec = static_cast<TaskRec*>(base);
+    rec->tt->run_coro_resume(rec, std::make_index_sequence<kNumIns>{});
+  }
+
+  /// First segment. Mirrors run_impl's frame discipline (save/clear/
+  /// restore of the copy registry and active-TT frame; inlined tasks
+  /// nest) plus the suspension protocol: t_suspend_pending tells us —
+  /// after the body call returns — whether the frame parked. It is the
+  /// ONLY thing we may consult: handle.done() would dereference a frame
+  /// that another worker may already be running or destroying.
+  template <std::size_t... Is>
+  void run_coro_first(TaskRec* rec, std::index_sequence<Is...>) {
+    detail::TaskCopyContext::Saved saved;
+    detail::t_task_copies.save_to(saved);
+    detail::t_task_copies.clear();
+    detail::ActiveTT saved_frame = detail::t_active_tt;
+    detail::t_active_tt = {this, out_slots_.data(),
+                           static_cast<int>(kNumOuts)};
+    (register_input<Is>(*rec), ...);
+    coro::Host host{};
+    host.task = rec;
+    host.timers = &world_->context(0).engine().timers();
+    host.prepare_suspend = &TT::coro_prepare_suspend;
+    host.submit = &TT::coro_submit;
+    host.backend = this;
+    const bool saved_pending = coro::detail::t_suspend_pending;
+    coro::detail::t_suspend_pending = false;
+    resumable body{};
+    try {
+      coro::InstallGuard guard(&host);
+      if constexpr (std::is_invocable_v<Fn&, const Key&,
+                                        decltype(make_arg<Is>(*rec))...,
+                                        Outs&>) {
+        body = fn_(static_cast<const Key&>(rec->key), make_arg<Is>(*rec)...,
+                   outs_);
+      } else {
+        body = fn_(static_cast<const Key&>(rec->key), make_arg<Is>(*rec)...);
+      }
+    } catch (...) {
+      // Frame construction failed (allocation, promise ctor) — the body
+      // never started. Same cleanup as a throwing plain body; the
+      // exception propagates to the worker's failure capture. Body
+      // exceptions never reach here: the promise captures them.
+      coro::detail::t_suspend_pending = saved_pending;
+      detail::t_active_tt = saved_frame;
+      detail::t_task_copies.restore(saved);
+      (release_input<Is>(*rec), ...);
+      rec->~TaskRec();
+      pool_.deallocate(rec);
+      throw;
+    }
+    const bool suspended = coro::detail::t_suspend_pending;
+    coro::detail::t_suspend_pending = saved_pending;
+    detail::t_active_tt = saved_frame;
+    detail::t_task_copies.restore(saved);
+    if (suspended) {
+      // Published: the record and frame belong to the event source (or
+      // already to another worker). The epilogue in Worker::run_one
+      // retires this segment; the +1 from coro_prepare_suspend keeps
+      // the World pending.
+      return;
+    }
+    finish_coro(rec, body.handle(), std::index_sequence<Is...>{});
+  }
+
+  /// Resume segment: reinstalls the frames captured at suspension and
+  /// drives the coroutine until it parks again or completes.
+  template <std::size_t... Is>
+  void run_coro_resume(TaskRec* rec, std::index_sequence<Is...>) {
+    auto h = resumable::handle_type::from_address(rec->coro_addr);
+    // Between segments the non-null coro_addr marks "parked" for the
+    // cancellation paths; while a segment runs we own the record
+    // exclusively, and a further suspension re-arms it in prepare.
+    rec->coro_addr = nullptr;
+    detail::TaskCopyContext::Saved saved;
+    detail::t_task_copies.save_to(saved);
+    detail::t_task_copies.restore(rec->coro_copies);
+    detail::ActiveTT saved_frame = detail::t_active_tt;
+    detail::t_active_tt = {this, out_slots_.data(),
+                           static_cast<int>(kNumOuts)};
+    const bool saved_pending = coro::detail::t_suspend_pending;
+    coro::detail::t_suspend_pending = false;
+    h.resume();  // body exceptions land in the promise, never here
+    const bool suspended = coro::detail::t_suspend_pending;
+    coro::detail::t_suspend_pending = saved_pending;
+    detail::t_active_tt = saved_frame;
+    detail::t_task_copies.restore(saved);
+    if (suspended) return;
+    finish_coro(rec, h, std::index_sequence<Is...>{});
+  }
+
+  /// The frame reached final_suspend on this worker: collect the
+  /// captured error, destroy the frame, tear down the record exactly
+  /// like a completed plain task, and rethrow into the worker's failure
+  /// capture if the body threw.
+  template <std::size_t... Is>
+  void finish_coro(TaskRec* rec, resumable::handle_type h,
+                   std::index_sequence<Is...>) {
+    coro::mark_final_resume();
+    std::exception_ptr error = h.promise().error;
+    h.destroy();
+    (release_input<Is>(*rec), ...);
+    rec->~TaskRec();
+    pool_.deallocate(rec);
+    if (error) std::rethrow_exception(error);
   }
 
   // --- Record-and-replay path (see ttg/graph_template.hpp). -----------

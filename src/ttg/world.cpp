@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+#include "runtime/timer_wheel.hpp"
 #include "runtime/trace.hpp"
 #include "ttg/runtime.hpp"
 #include "ttg/tt.hpp"
@@ -453,6 +454,18 @@ void World::purge_cancelled() {
     std::lock_guard<std::mutex> lock(nodes_mutex_);
     for (TTBase* node : nodes_) purged += node->purge_pending_tasks();
   }
+  // Claim suspended coroutine continuations parked on this World's
+  // InputGates and on the engine timer wheel(s), submitting them back to
+  // the engine whose ingress drops each as a cancelled completion (the
+  // cancel hook destroys the frame without resuming it). Both paths are
+  // self-accounting through drop_cancelled, so they do NOT add to
+  // `purged`. Looped by wait(): a still-running body can suspend after
+  // this sweep, and its +1 discovery keeps the census from converging
+  // until a later sweep claims it.
+  std::size_t claimed = coro_sources_.cancel_parked_all();
+  for (Context* c : contexts_) {
+    claimed += c->engine().timers().cancel_for(fault_);
+  }
   if (purged > 0) {
     // The discarded records were accounted as discovered; retire them as
     // cancelled completions so the wave (or the tenant's pending count)
@@ -461,8 +474,13 @@ void World::purge_cancelled() {
       tenant_->on_cancelled(static_cast<std::int64_t>(purged));
     } else {
       detector_->on_cancelled(0, static_cast<std::int64_t>(purged));
-      detector_->on_idle();
     }
+  }
+  if (tenant_ == nullptr && (purged > 0 || claimed > 0)) {
+    // Coroutine claims were already retired through the engine's ingress
+    // drop on *this* thread; flush the thread-local counters so the wave
+    // sees those completions (without this the fence never converges).
+    detector_->on_idle();
   }
 }
 

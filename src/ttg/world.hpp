@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "runtime/context.hpp"
+#include "runtime/coroutine.hpp"
 #include "runtime/fault.hpp"
 #include "runtime/tenant.hpp"
 #include "runtime/watchdog.hpp"
@@ -252,6 +253,12 @@ class World {
   void register_node(TTBase* node);
   void unregister_node(TTBase* node);
 
+  /// Registry of coroutine rendezvous objects (ttg::InputGate) whose
+  /// parked continuations the cancellation purge must claim when this
+  /// World aborts (docs/coroutines.md). Gates register themselves on
+  /// construction; the engine's timer wheel is swept separately.
+  coro::CancelRegistry& coro_sources() { return coro_sources_; }
+
   /// Posts an active message to `target_rank`; a worker of that rank
   /// will invoke `deliver`. Accounts one message sent on the calling
   /// thread's rank and one received on the target. Tenant worlds are
@@ -356,6 +363,7 @@ class World {
 
   mutable std::mutex nodes_mutex_;
   std::vector<TTBase*> nodes_;  // guarded by nodes_mutex_
+  coro::CancelRegistry coro_sources_;
 
   std::mutex stall_mutex_;
   std::function<void(const std::string&)> stall_handler_;  // guarded

@@ -1,0 +1,396 @@
+// DST property test: the coroutine suspend/resume rendezvous
+// (runtime/coroutine.hpp) is exact under every interleaving.
+//
+// The scenarios run *real* C++20 coroutine frames over a model engine:
+// a model Host whose prepare/submit hooks count discoveries and push
+// the task into a tiny lock-free ready queue, and a worker vthread that
+// pops and resumes — the same division of labor as TT::run_coro_first /
+// resume_task, minus the scheduler. The code under test (the awaiters,
+// the InputGate Treiber park / exchange claim / CAS cancel) is the
+// production header compiled with sim instrumentation, so the runner
+// explores the interleavings at every TTG_SIM_POINT inside it.
+//
+// Properties: every parked continuation is claimed and disposed exactly
+// once (resumed to completion XOR destroyed by cancellation), whatever
+// order park, fulfill and cancel land in; two tasks awaiting one edge
+// both observe the fulfilled value; and the termination wave cannot
+// converge while a frame is parked (suspended = discovered-but-not-
+// complete). The coroutine_lost_resume mutant drops the submit after a
+// fulfill claim (a waiter sleeps forever — bounded drains flag the
+// missing completion, the wave scenario never terminates); the
+// coroutine_double_resume mutant splits fulfill's claim into an
+// unfenced load/store pair so a racing cancel purge claims the same
+// waiter list (the per-task submit guard counts the second submission
+// without re-entering the destroyed frame). scripts/mutation_gate.sh
+// requires this suite to catch both.
+#include <atomic>
+#include <coroutine>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dst_common.hpp"
+#include "runtime/coroutine.hpp"
+#include "runtime/task.hpp"
+#include "sim/sim.hpp"
+#include "termdet/termdet.hpp"
+
+namespace {
+
+/// A model task record: TaskBase (so the production Host carries it)
+/// plus the parked frame address and a submission counter. The counter
+/// is the double-resume detector: the *first* submit wins the queue
+/// slot, any further submit is recorded and dropped — the model never
+/// re-enters a frame, so even the double_resume mutant runs UB-free.
+struct ModelTask : ttg::TaskBase {
+  std::atomic<void*> addr{nullptr};     ///< set by prepare_suspend
+  std::atomic<int> submits{0};
+  std::atomic<bool> body_done{false};   ///< body ran to co_return
+  std::atomic<bool> dropped{false};     ///< frame destroyed by cancel
+};
+
+/// Single-consumer lock-free ready queue (capacity for every submit a
+/// scenario can legally produce, plus mutant slack).
+struct ReadyQueue {
+  static constexpr int kCap = 16;
+  std::atomic<ModelTask*> slots[kCap]{};
+  std::atomic<int> tail{0};
+  int head = 0;  ///< single consumer (the worker vthread)
+
+  void push(ModelTask* t) {
+    const int i = tail.fetch_add(1, std::memory_order_acq_rel);
+    if (i < kCap) slots[i].store(t, std::memory_order_release);
+  }
+  ModelTask* pop() {
+    if (head >= kCap) return nullptr;
+    ModelTask* t = slots[head].exchange(nullptr, std::memory_order_acq_rel);
+    if (t != nullptr) ++head;
+    return t;
+  }
+};
+
+/// Shared model-engine state + the Host hooks, mixed into each scenario.
+struct ModelEngine {
+  ReadyQueue queue;
+  std::atomic<int> discovered{0};   ///< initial tasks + suspensions
+  std::atomic<int> completed{0};    ///< finished segments
+  std::atomic<bool> double_resume{false};
+
+  static void prepare(ttg::coro::Host& host, void* coro_addr) {
+    auto* eng = static_cast<ModelEngine*>(host.backend);
+    auto* t = static_cast<ModelTask*>(host.task);
+    t->addr.store(coro_addr, std::memory_order_release);
+    eng->discovered.fetch_add(1, std::memory_order_relaxed);
+    ttg::coro::detail::t_suspend_pending = true;
+  }
+
+  static void submit(ttg::coro::Host& host) {
+    auto* eng = static_cast<ModelEngine*>(host.backend);
+    auto* t = static_cast<ModelTask*>(host.task);
+    if (t->submits.fetch_add(1, std::memory_order_acq_rel) > 0) {
+      // Second claim of the same parked continuation: in production
+      // this resumes a destroyed frame. Record and drop.
+      eng->double_resume.store(true, std::memory_order_release);
+      return;
+    }
+    eng->queue.push(t);
+  }
+
+  ttg::coro::Host host_for(ModelTask* t) {
+    ttg::coro::Host h;
+    h.task = t;
+    h.timers = nullptr;
+    h.prepare_suspend = &ModelEngine::prepare;
+    h.submit = &ModelEngine::submit;
+    h.backend = this;
+    return h;
+  }
+
+  /// Runs the first segment of `body(args...)` for `t` on the calling
+  /// vthread. Returns true if the frame parked (the vthread must not
+  /// touch it again); on false the body completed synchronously and the
+  /// frame is destroyed here. Mirrors TT::run_coro_first.
+  template <typename Fn, typename... Args>
+  bool run_first(ModelTask* t, Fn&& body, Args&&... args) {
+    discovered.fetch_add(1, std::memory_order_relaxed);
+    ttg::coro::Host host = host_for(t);
+    const bool saved = ttg::coro::detail::t_suspend_pending;
+    ttg::coro::detail::t_suspend_pending = false;
+    ttg::resumable r;
+    {
+      ttg::coro::InstallGuard guard(&host);
+      r = body(std::forward<Args>(args)...);
+    }
+    const bool parked = ttg::coro::detail::t_suspend_pending;
+    ttg::coro::detail::t_suspend_pending = saved;
+    completed.fetch_add(1, std::memory_order_relaxed);  // the segment
+    if (!parked) r.handle().destroy();
+    return parked;
+  }
+
+  /// One worker drain step (mirrors TT::resume_task + finish_coro).
+  /// `cancelled` models the engine-ingress drop of a dead World's
+  /// continuation: the frame is destroyed at its suspension point.
+  /// Returns true if a task was processed.
+  bool drain_one(bool cancelled) {
+    ModelTask* t = queue.pop();
+    if (t == nullptr) return false;
+    auto h = ttg::resumable::handle_type::from_address(
+        t->addr.load(std::memory_order_acquire));
+    if (cancelled) {
+      h.destroy();
+      t->dropped.store(true, std::memory_order_release);
+      completed.fetch_add(1, std::memory_order_relaxed);  // cancelled
+      return true;
+    }
+    const bool saved = ttg::coro::detail::t_suspend_pending;
+    ttg::coro::detail::t_suspend_pending = false;
+    h.resume();
+    const bool parked = ttg::coro::detail::t_suspend_pending;
+    ttg::coro::detail::t_suspend_pending = saved;
+    completed.fetch_add(1, std::memory_order_relaxed);  // the segment
+    if (!parked) {
+      ttg::coro::mark_final_resume();
+      h.destroy();
+    }
+    return true;
+  }
+};
+
+/// The awaited body: a free coroutine so its state lives in the frame
+/// (parameters are copied in; a capturing lambda's captures would die
+/// with the vthread's stack when the first segment parks).
+ttg::resumable await_gate(ttg::InputGate<int>* gate, ModelTask* t,
+                          std::atomic<int>* got) {
+  const int v = co_await *gate;
+  got->store(v, std::memory_order_release);
+  t->body_done.store(true, std::memory_order_release);
+  co_return;
+}
+
+// ---------------------------------------------------------------------
+// Scenario: two tasks await one edge; fulfill races both parks.
+// ---------------------------------------------------------------------
+struct TwoWaitersOneGate : ModelEngine {
+  ttg::InputGate<int> gate;  // unregistered: no cancellation here
+  ModelTask tasks[2];
+  std::atomic<int> got[2] = {{-1}, {-1}};
+
+  std::vector<std::function<void()>> bodies() {
+    auto waiter = [this](int i) {
+      run_first(&tasks[i], await_gate, &gate, &tasks[i], &got[i]);
+    };
+    auto fulfiller = [this] { gate.fulfill(42); };
+    auto worker = [this] {
+      for (int spin = 0; spin < 300; ++spin) {
+        if (tasks[0].body_done.load(std::memory_order_acquire) &&
+            tasks[1].body_done.load(std::memory_order_acquire)) {
+          return;
+        }
+        drain_one(/*cancelled=*/false);
+        ttg::sim::preemption_point("coro.worker.poll");
+      }
+    };
+    return {[waiter] { waiter(0); }, [waiter] { waiter(1); }, fulfiller,
+            worker};
+  }
+
+  std::string check() {
+    for (int i = 0; i < 2; ++i) {
+      if (!tasks[i].body_done.load()) {
+        return "waiter " + std::to_string(i) +
+               " never resumed after fulfill (lost resume): submits=" +
+               std::to_string(tasks[i].submits.load());
+      }
+      if (got[i].load() != 42) {
+        return "waiter " + std::to_string(i) + " resumed with value " +
+               std::to_string(got[i].load()) + " instead of 42";
+      }
+      if (tasks[i].submits.load() > 1) {
+        return "waiter " + std::to_string(i) + " submitted " +
+               std::to_string(tasks[i].submits.load()) +
+               " times (double resume)";
+      }
+    }
+    if (double_resume.load()) return "a continuation was claimed twice";
+    if (discovered.load() != completed.load()) {
+      return "census: discovered=" + std::to_string(discovered.load()) +
+             " completed=" + std::to_string(completed.load());
+    }
+    return "";
+  }
+};
+
+TEST(DstCoroutine, TwoTasksAwaitingOneEdgeBothResume) {
+  dst::explore<TwoWaitersOneGate>("coro_two_waiters", 4);
+}
+
+// ---------------------------------------------------------------------
+// Scenario: fulfill races the cancellation purge for one parked frame.
+// ---------------------------------------------------------------------
+struct SuspendVsCancel : ModelEngine {
+  ttg::InputGate<int> gate;
+  ModelTask task;
+  std::atomic<int> got{-1};
+  std::atomic<bool> world_cancelled{false};
+  std::atomic<bool> parked{false};
+
+  std::vector<std::function<void()>> bodies() {
+    auto waiter = [this] {
+      run_first(&task, await_gate, &gate, &task, &got);
+      parked.store(true, std::memory_order_release);  // segment done
+    };
+    auto fulfiller = [this] { gate.fulfill(7); };
+    auto canceller = [this] {
+      // The abort lands first (World::abort publishes the fault before
+      // purge_cancelled sweeps the gate registry), then the purge
+      // claims whatever is still parked.
+      world_cancelled.store(true, std::memory_order_release);
+      ttg::sim::preemption_point("coro.cancel.purge");
+      gate.cancel_parked();
+    };
+    auto worker = [this] {
+      for (int spin = 0; spin < 300; ++spin) {
+        if (disposed()) return;
+        drain_one(world_cancelled.load(std::memory_order_acquire));
+        ttg::sim::preemption_point("coro.worker.poll");
+      }
+    };
+    return {waiter, fulfiller, canceller, worker};
+  }
+
+  bool disposed() const {
+    return task.body_done.load(std::memory_order_acquire) ||
+           task.dropped.load(std::memory_order_acquire);
+  }
+
+  std::string check() {
+    if (double_resume.load() || task.submits.load() > 1) {
+      return "the parked frame was claimed twice (submits=" +
+             std::to_string(task.submits.load()) +
+             "): fulfill and cancel both resumed it";
+    }
+    if (!disposed()) {
+      return "the parked frame was never disposed (lost resume): "
+             "neither resumed with the value nor destroyed by cancel";
+    }
+    if (task.body_done.load() && task.dropped.load()) {
+      return "frame both resumed to completion and destroyed";
+    }
+    if (task.body_done.load() && got.load() != 7) {
+      return "resumed with value " + std::to_string(got.load());
+    }
+    if (discovered.load() != completed.load()) {
+      return "census: discovered=" + std::to_string(discovered.load()) +
+             " completed=" + std::to_string(completed.load()) +
+             " (a cancelled frame was not retired)";
+    }
+    return "";
+  }
+};
+
+TEST(DstCoroutine, SuspendVersusCancelDisposesExactlyOnce) {
+  dst::explore<SuspendVsCancel>("coro_suspend_vs_cancel", 4);
+}
+
+// ---------------------------------------------------------------------
+// Scenario: the termination wave races a parked continuation — it must
+// not converge until the resume segment retires (suspended tasks are
+// discovered-but-not-complete).
+// ---------------------------------------------------------------------
+struct ResumeVsWave {
+  explicit ResumeVsWave(ttg::TermDetMode mode)
+      : td_(std::make_unique<ttg::TerminationDetector>(1, mode)) {}
+
+  std::unique_ptr<ttg::TerminationDetector> td_;
+  ModelEngine eng;
+  ttg::InputGate<int> gate;
+  ModelTask task;
+  std::atomic<int> got{-1};
+
+  void wave_loop(const char* label) {
+    td_->on_idle();
+    for (int i = 0; i < 300 && !td_->terminated(); ++i) {
+      td_->advance_wave();
+      ttg::sim::preemption_point(label);
+    }
+  }
+
+  std::vector<std::function<void()>> bodies() {
+    auto driver = [this] {
+      td_->thread_attach(0);
+      td_->on_discovered(1);  // the task itself
+      ttg::coro::Host host = eng.host_for(&task);
+      const bool saved = ttg::coro::detail::t_suspend_pending;
+      ttg::coro::detail::t_suspend_pending = false;
+      ttg::resumable r;
+      {
+        ttg::coro::InstallGuard guard(&host);
+        r = await_gate(&gate, &task, &got);
+      }
+      const bool parked = ttg::coro::detail::t_suspend_pending;
+      ttg::coro::detail::t_suspend_pending = saved;
+      if (parked) {
+        // prepare() counted the model discovery; mirror it on the real
+        // detector *before* the segment completion below, exactly as
+        // coro_prepare_suspend orders it in production.
+        td_->on_discovered(1);
+      } else {
+        r.handle().destroy();
+      }
+      td_->on_completed();  // the first segment
+      wave_loop("coro.driver.wave");
+    };
+    auto fulfiller = [this] {
+      td_->thread_attach(0);
+      gate.fulfill(9);
+      wave_loop("coro.fulfiller.wave");
+    };
+    auto worker = [this] {
+      td_->thread_attach(0);
+      for (int spin = 0; spin < 300; ++spin) {
+        if (task.body_done.load(std::memory_order_acquire)) break;
+        if (eng.drain_one(/*cancelled=*/false)) {
+          td_->on_completed();  // the resume segment
+        }
+        ttg::sim::preemption_point("coro.worker.poll");
+      }
+      wave_loop("coro.worker.wave");
+    };
+    return {driver, fulfiller, worker};
+  }
+
+  std::string check() {
+    if (!task.body_done.load()) {
+      // The body finishes on the sync path or on the worker's resume;
+      // a parked frame nobody resumed is a lost resume.
+      return "parked continuation never resumed (lost resume)";
+    }
+    if (got.load() != 9) {
+      return "resumed with value " + std::to_string(got.load());
+    }
+    if (!td_->terminated()) {
+      return "termination wave never converged: a suspension was "
+             "discovered but its resume segment never completed";
+    }
+    if (td_->total_discovered() != td_->total_completed()) {
+      return "census at termination: discovered=" +
+             std::to_string(td_->total_discovered()) + " completed=" +
+             std::to_string(td_->total_completed());
+    }
+    return "";
+  }
+};
+
+TEST(DstCoroutine, ResumeVersusTerminationWaveThreadLocal) {
+  dst::explore<ResumeVsWave>("coro_wave_threadlocal", 3,
+                             ttg::TermDetMode::kThreadLocal);
+}
+
+TEST(DstCoroutine, ResumeVersusTerminationWaveProcessAtomic) {
+  dst::explore<ResumeVsWave>("coro_wave_processatomic", 3,
+                             ttg::TermDetMode::kProcessAtomic);
+}
+
+}  // namespace

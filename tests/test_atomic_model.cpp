@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
 #include <tuple>
 #include <vector>
 
@@ -164,6 +167,113 @@ TEST(AtomicModel, SingleInputSkipsHashTable) {
               2.0, 0.05);
   EXPECT_NEAR(static_cast<double>(snap[AtomicOpCategory::kMemPool]) / tasks,
               2.0, 0.1);
+}
+
+// --- Coroutine suspend/resume census (docs/coroutines.md) -----------
+//
+// The model extension for suspendable bodies: a suspend/resume pair
+// through a *rendezvous* (InputGate, timer wheel) adds exactly
+// 2 kSuspend RMWs (park publication + resume claim) and 2 kScheduler
+// RMWs (the continuation's push + pop) on top of the task's 4*N_i + 4;
+// ttg::yield has no rendezvous and adds only the 2 scheduler ops.
+
+TEST(AtomicModel, YieldAddsTwoSchedulerOpsAndNoSuspendOps) {
+  ttg::World world(model_config());
+  ttg::Edge<int, ttg::Void> e("e");
+  constexpr int kTasks = 256;
+  constexpr int kYields = 4;
+  auto tt = ttg::make_tt<int>(
+      [](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        for (int i = 0; i < kYields; ++i) co_await ttg::yield{};
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "yielder", world);
+  world.execute();
+  for (int k = 0; k < kTasks; ++k) tt->sendk_input<0>(k);
+  world.fence();  // warm-up epoch
+
+  world.execute();
+  ttg::atomic_ops::set_enabled(true);
+  ttg::atomic_ops::reset();
+  for (int k = 0; k < kTasks; ++k) tt->sendk_input<0>(k);
+  world.fence();
+  ttg::atomic_ops::set_enabled(false);
+  const auto snap = ttg::atomic_ops::snapshot();
+
+  // No rendezvous anywhere in a yield: exactly zero kSuspend RMWs.
+  EXPECT_EQ(snap[AtomicOpCategory::kSuspend], 0u);
+  // Each task costs 2 scheduler ops itself plus 2 per yield.
+  const double n_s =
+      static_cast<double>(snap[AtomicOpCategory::kScheduler]) / kTasks;
+  EXPECT_NEAR(n_s, 2.0 * (1 + kYields), 0.15 * 2.0 * (1 + kYields));
+}
+
+TEST(AtomicModel, GateSuspendResumePairIsTwoSuspendOpsExactly) {
+  // One gate per waiter so the broadcast claim (1 kSuspend per fulfill,
+  // not per waiter) maps one-to-one: park + claim = exactly 2 kSuspend
+  // per suspension, asserted exactly — not a tolerance band.
+  ttg::World world(model_config());
+  constexpr int kTasks = 64;
+  std::vector<std::unique_ptr<ttg::InputGate<int>>> gates;
+  for (int k = 0; k < kTasks; ++k) {
+    gates.push_back(std::make_unique<ttg::InputGate<int>>(world));
+  }
+  std::atomic<int> parked{0};
+  ttg::Edge<int, ttg::Void> e("e");
+  auto tt = ttg::make_tt<int>(
+      [&](const int& k, const ttg::Void&, auto&) -> ttg::resumable {
+        parked.fetch_add(1, std::memory_order_relaxed);
+        (void)co_await *gates[static_cast<std::size_t>(k)];
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "gated", world);
+
+  world.execute();
+  ttg::atomic_ops::set_enabled(true);
+  ttg::atomic_ops::reset();
+  for (int k = 0; k < kTasks; ++k) tt->sendk_input<0>(k);
+  // Every first segment has retired == every waiter is parked (the
+  // one-shot gates are never fulfilled early here, so no sync path).
+  while (world.total_tasks_executed() < kTasks) std::this_thread::yield();
+  const auto parked_snap = ttg::atomic_ops::snapshot();
+  // Park publication: exactly one kSuspend RMW per suspension.
+  EXPECT_EQ(parked_snap[AtomicOpCategory::kSuspend],
+            static_cast<std::uint64_t>(kTasks));
+  for (int k = 0; k < kTasks; ++k) gates[k]->fulfill(k);
+  world.fence();
+  ttg::atomic_ops::set_enabled(false);
+  const auto snap = ttg::atomic_ops::snapshot();
+  // Resume claim: exactly one more per suspension — 2 per pair total.
+  EXPECT_EQ(snap[AtomicOpCategory::kSuspend],
+            static_cast<std::uint64_t>(2 * kTasks));
+  EXPECT_EQ(parked.load(), kTasks);
+}
+
+TEST(AtomicModel, TimerSuspendResumePairIsTwoSuspendOpsExactly) {
+  ttg::World world(model_config());
+  constexpr int kTasks = 64;
+  ttg::Edge<int, ttg::Void> e("e");
+  auto tt = ttg::make_tt<int>(
+      [](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        co_await ttg::suspend_for(std::chrono::milliseconds(2));
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "slept", world);
+  world.execute();
+  ttg::atomic_ops::set_enabled(true);
+  ttg::atomic_ops::reset();
+  for (int k = 0; k < kTasks; ++k) tt->sendk_input<0>(k);
+  world.fence();
+  ttg::atomic_ops::set_enabled(false);
+  const auto snap = ttg::atomic_ops::snapshot();
+  // Wheel park + expiry claim: exactly 2 kSuspend per suspension.
+  EXPECT_EQ(snap[AtomicOpCategory::kSuspend],
+            static_cast<std::uint64_t>(2 * kTasks));
+  // And the resume rides the ordinary scheduler path: 2 ops for the
+  // task + 2 for the continuation round-trip.
+  const double n_s =
+      static_cast<double>(snap[AtomicOpCategory::kScheduler]) / kTasks;
+  EXPECT_NEAR(n_s, 4.0, 0.6);
 }
 
 TEST(AtomicModel, CopyVariantAllocatesPerHop) {

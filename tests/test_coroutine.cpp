@@ -1,0 +1,421 @@
+// Suspendable coroutine task bodies (docs/coroutines.md): ttg::resumable
+// bodies co_await ttg::yield / ttg::suspend_until / ttg::InputGate and
+// execute as segment chains through the normal scheduler path.
+//
+// The invariants under test: a body that never suspends behaves exactly
+// like a plain one; suspended tasks release their worker and resume as
+// ready continuations; the census stays exact (every suspension is one
+// extra discovery matched by one extra segment completion, so
+// discovered == completed after every fence); a parked task holds its
+// World's pending count above zero (discovered-but-not-complete for
+// termination detection); body exceptions in any segment fail the epoch
+// like a plain throw; recording epochs reject coroutine TTs cleanly;
+// and — the acceptance bar — 64 sleepers on the timer wheel occupy no
+// worker, so a concurrent compute tenant finishes while they sleep.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/coroutine.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+using namespace std::chrono_literals;
+
+ttg::Config test_config(int threads = 2) {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = threads;
+  return cfg;
+}
+
+TEST(Coroutine, BodyWithoutSuspensionMatchesPlainPath) {
+  ttg::World world(test_config());
+  ttg::Edge<int, int> e("e");
+  std::atomic<long> sum{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, int& v, auto&) -> ttg::resumable {
+        sum.fetch_add(v, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "sync", world);
+  world.execute();
+  long expect = 0;
+  for (int k = 0; k < 100; ++k) {
+    tt->send_input<0>(k, k);
+    expect += k;
+  }
+  ASSERT_TRUE(world.wait().ok());
+  EXPECT_EQ(sum.load(), expect);
+  // No suspension: census identical to a plain TT (and balanced).
+  EXPECT_EQ(world.detector().total_discovered(),
+            world.detector().total_completed());
+}
+
+TEST(Coroutine, YieldSplitsBodyIntoSegments) {
+  ttg::World world(test_config(4));
+  ttg::Edge<int, ttg::Void> e("e");
+  constexpr int kTasks = 32;
+  constexpr int kYields = 3;
+  std::atomic<int> done{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        for (int i = 0; i < kYields; ++i) co_await ttg::yield{};
+        done.fetch_add(1, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "yielder", world);
+  const std::int64_t d0 = world.detector().total_discovered();
+  world.execute();
+  for (int k = 0; k < kTasks; ++k) tt->sendk_input<0>(k);
+  ASSERT_TRUE(world.wait().ok());
+  EXPECT_EQ(done.load(), kTasks);
+  // Books: each task is 1 discovery + kYields suspensions, each retired
+  // as a segment completion — exactly balanced, nothing phantom.
+  EXPECT_EQ(world.detector().total_discovered() - d0,
+            static_cast<std::int64_t>(kTasks) * (1 + kYields));
+  EXPECT_EQ(world.detector().total_discovered(),
+            world.detector().total_completed());
+}
+
+TEST(Coroutine, SuspendForSleepsAndResumes) {
+  ttg::World world(test_config());
+  ttg::Edge<int, ttg::Void> e("e");
+  std::atomic<int> done{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        co_await ttg::suspend_for(20ms);
+        done.fetch_add(1, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "sleeper", world);
+  world.execute();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int k = 0; k < 8; ++k) tt->sendk_input<0>(k);
+  ASSERT_TRUE(world.wait().ok());
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_GE(std::chrono::steady_clock::now() - t0, 20ms);
+  EXPECT_EQ(world.detector().total_discovered(),
+            world.detector().total_completed());
+}
+
+TEST(Coroutine, PastDeadlineDegradesToYield) {
+  ttg::World world(test_config());
+  ttg::Edge<int, ttg::Void> e("e");
+  std::atomic<int> done{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        co_await ttg::suspend_until(std::chrono::steady_clock::now() - 1s);
+        done.fetch_add(1, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "past", world);
+  world.execute();
+  tt->sendk_input<0>(0);
+  ASSERT_TRUE(world.wait().ok());
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(Coroutine, InputGateParksUntilFulfilled) {
+  ttg::World world(test_config());
+  ttg::InputGate<int> gate(world);
+  ttg::Edge<int, ttg::Void> e("e");
+  std::atomic<int> before{0};
+  std::atomic<int> got{-1};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        before.fetch_add(1, std::memory_order_relaxed);
+        const int v = co_await gate;
+        got.store(v, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "await", world);
+  world.execute();
+  tt->sendk_input<0>(0);
+  // The first segment runs and parks; the task is discovered but not
+  // complete, so the census holds the epoch open while it waits.
+  while (before.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(got.load(), -1);
+  EXPECT_GT(world.detector().total_discovered(),
+            world.detector().total_completed());
+  gate.fulfill(42);
+  ASSERT_TRUE(world.wait().ok());
+  EXPECT_EQ(got.load(), 42);
+  EXPECT_EQ(world.detector().total_discovered(),
+            world.detector().total_completed());
+}
+
+TEST(Coroutine, OneFulfillWakesEveryWaiter) {
+  ttg::World world(test_config(4));
+  ttg::InputGate<std::string> gate(world);
+  ttg::Edge<int, ttg::Void> e("e");
+  constexpr int kWaiters = 16;
+  std::atomic<int> parked{0};
+  std::atomic<int> woke{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        parked.fetch_add(1, std::memory_order_relaxed);
+        const std::string& v = co_await gate;
+        if (v == "broadcast") woke.fetch_add(1, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "waiters", world);
+  world.execute();
+  for (int k = 0; k < kWaiters; ++k) tt->sendk_input<0>(k);
+  while (parked.load(std::memory_order_relaxed) < kWaiters) {
+    std::this_thread::yield();
+  }
+  gate.fulfill(std::string("broadcast"));
+  ASSERT_TRUE(world.wait().ok());
+  EXPECT_EQ(woke.load(), kWaiters);
+}
+
+TEST(Coroutine, LateWaiterContinuesWithoutSuspending) {
+  ttg::World world(test_config());
+  ttg::InputGate<int> gate(world);
+  gate.fulfill(7);
+  ttg::Edge<int, ttg::Void> e("e");
+  std::atomic<int> got{-1};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        got.store(co_await gate, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "late", world);
+  const std::int64_t d0 = world.detector().total_discovered();
+  world.execute();
+  tt->sendk_input<0>(0);
+  ASSERT_TRUE(world.wait().ok());
+  EXPECT_EQ(got.load(), 7);
+  // await_ready short-circuited: one task, zero suspensions.
+  EXPECT_EQ(world.detector().total_discovered() - d0, 1);
+}
+
+TEST(Coroutine, SendsAfterResumeReachSuccessors) {
+  // A coroutine producer sends to a plain consumer *after* two different
+  // kinds of suspension — the copy-registry snapshot must keep rvalue
+  // ownership transfer working across segments (and workers).
+  ttg::World world(test_config(4));
+  ttg::InputGate<int> gate(world);
+  ttg::Edge<int, ttg::Void> go("go");
+  ttg::Edge<int, long> out("out");
+  std::atomic<long> sum{0};
+  std::atomic<int> parked{0};
+  auto consumer = ttg::make_tt<int>(
+      [&](const int&, long& v, auto&) {
+        sum.fetch_add(v, std::memory_order_relaxed);
+      },
+      ttg::edges(out), ttg::edges(), "consumer", world);
+  auto producer = ttg::make_tt<int>(
+      [&](const int& k, const ttg::Void&, auto& outs) -> ttg::resumable {
+        co_await ttg::yield{};
+        parked.fetch_add(1, std::memory_order_relaxed);
+        const int g = co_await gate;
+        ttg::send<0>(k, static_cast<long>(k + g), outs);
+        co_return;
+      },
+      ttg::edges(go), ttg::edges(out), "producer", world);
+  constexpr int kTasks = 12;
+  world.execute();
+  for (int k = 0; k < kTasks; ++k) producer->sendk_input<0>(k);
+  while (parked.load(std::memory_order_relaxed) < kTasks) {
+    std::this_thread::yield();
+  }
+  gate.fulfill(1000);
+  ASSERT_TRUE(world.wait().ok());
+  long expect = 0;
+  for (int k = 0; k < kTasks; ++k) expect += k + 1000;
+  EXPECT_EQ(sum.load(), expect);
+  (void)consumer;
+}
+
+TEST(Coroutine, ExceptionInFirstSegmentFailsEpoch) {
+  ttg::World world(test_config());
+  ttg::Edge<int, ttg::Void> e("e");
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        throw std::runtime_error("segment-0 boom");
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "thrower", world);
+  world.execute();
+  tt->sendk_input<0>(0);
+  const ttg::Status st = world.wait();
+  ASSERT_TRUE(st.failed());
+  EXPECT_NE(st.reason.find("segment-0 boom"), std::string::npos) << st.reason;
+  EXPECT_THROW(world.rethrow(), std::runtime_error);
+  EXPECT_EQ(world.detector().total_discovered(),
+            world.detector().total_completed());
+}
+
+TEST(Coroutine, ExceptionAfterResumeFailsEpoch) {
+  // The throw happens in a *later* segment, on whatever worker ran the
+  // resume: the promise captures it, the final resumer rethrows into
+  // the standard failure path.
+  ttg::World world(test_config(4));
+  ttg::Edge<int, ttg::Void> e("e");
+  auto tt = ttg::make_tt<int>(
+      [&](const int& k, const ttg::Void&, auto&) -> ttg::resumable {
+        co_await ttg::yield{};
+        co_await ttg::suspend_for(1ms);
+        if (k == 3) throw std::runtime_error("late boom");
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "late-thrower", world);
+  world.execute();
+  for (int k = 0; k < 8; ++k) tt->sendk_input<0>(k);
+  const ttg::Status st = world.wait();
+  ASSERT_TRUE(st.failed());
+  EXPECT_NE(st.reason.find("late boom"), std::string::npos) << st.reason;
+  EXPECT_EQ(world.detector().total_discovered(),
+            world.detector().total_completed());
+  // The world recovers for the next epoch.
+  world.execute();
+  tt->sendk_input<0>(100);
+  EXPECT_TRUE(world.wait().ok());
+}
+
+TEST(Coroutine, DirectCallOutsideRuntimeThrows) {
+  // The promise constructor refuses bodies started outside a TT: there
+  // is no Host to park against.
+  auto body = [](int) -> ttg::resumable { co_return; };
+  EXPECT_THROW((void)body(1), std::logic_error);
+}
+
+TEST(Coroutine, RecordingRejectsSuspendableBody) {
+  ttg::World world(test_config());
+  ttg::Edge<int, ttg::Void> e("e");
+  std::atomic<int> ran{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        ran.fetch_add(1, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "unrecordable", world);
+  // Dynamic epochs work.
+  world.execute();
+  tt->sendk_input<0>(0);
+  ASSERT_TRUE(world.wait().ok());
+  EXPECT_EQ(ran.load(), 1);
+  // A recording epoch rejects the delivery before any discovery: the
+  // seeder gets the error synchronously and the epoch stays empty.
+  world.begin_recording();
+  EXPECT_THROW(tt->sendk_input<0>(1), ttg::ReplayDiverged);
+  ASSERT_TRUE(world.wait().ok());
+  (void)world.end_recording();
+  EXPECT_EQ(ran.load(), 1);
+  // Back in dynamic mode everything still runs.
+  world.execute();
+  tt->sendk_input<0>(2);
+  ASSERT_TRUE(world.wait().ok());
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(Coroutine, SuspendedTasksReleaseTheirWorkers) {
+  // Acceptance (ISSUE 9): 64 sleepers parked on the timer wheel occupy
+  // no worker. Both tenants share one 2-thread engine pool; if even one
+  // sleeper held its worker through the sleep, the compute tenant's
+  // serial chain could not finish before the sleepers wake.
+  ttg::RuntimeOptions opts;
+  opts.config = test_config(2);
+  ttg::Runtime rt(opts);
+  auto sleepers = rt.make_world();
+  auto compute = rt.make_world();
+
+  constexpr int kSleepers = 64;
+  constexpr auto kNap = 300ms;
+  ttg::Edge<int, ttg::Void> se("sleep");
+  std::atomic<int> napped{0};
+  auto sleep_tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        co_await ttg::suspend_for(kNap);
+        napped.fetch_add(1, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(se), ttg::edges(), "nap", *sleepers);
+
+  ttg::Edge<int, ttg::Void> ce("chain");
+  constexpr int kChain = 4000;
+  std::atomic<int> chained{0};
+  auto chain_tt = ttg::make_tt<int>(
+      [&](const int& k, const ttg::Void&, auto& outs) {
+        chained.fetch_add(1, std::memory_order_relaxed);
+        if (k + 1 < kChain) ttg::sendk<0>(k + 1, outs);
+      },
+      ttg::edges(ce), ttg::edges(ce), "chain", *compute);
+
+  ttg::Submission nap_epoch = sleepers->execute();
+  for (int k = 0; k < kSleepers; ++k) sleep_tt->sendk_input<0>(k);
+  // Give the sleepers time to actually park (64 > 2 workers: they can
+  // only all be "in flight" at once by releasing their workers).
+  while (sleepers->total_tasks_executed() < kSleepers) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(napped.load(), 0) << "sleepers woke before the nap elapsed";
+
+  const auto t0 = std::chrono::steady_clock::now();
+  ttg::Submission chain_epoch = compute->execute();
+  chain_tt->sendk_input<0>(0);
+  ASSERT_TRUE(chain_epoch.wait().ok());
+  const auto compute_time = std::chrono::steady_clock::now() - t0;
+  EXPECT_EQ(chained.load(), kChain);
+  // The compute tenant finished on workers the sleepers released. (The
+  // chain is serial, so this also cannot pass by one lucky free thread
+  // racing 63 blocked ones — there are only 2.)
+  EXPECT_LT(compute_time, kNap)
+      << "compute tenant should finish while all 64 sleepers are parked";
+
+  ASSERT_TRUE(nap_epoch.wait().ok());
+  EXPECT_EQ(napped.load(), kSleepers);
+}
+
+TEST(Coroutine, ManyGatesManySleepersStress) {
+  // Mixed rendezvous under a small pool: every task parks on its own
+  // gate AND the timer wheel; a fulfiller thread trickles the gates.
+  ttg::World world(test_config(4));
+  constexpr int kTasks = 64;
+  std::vector<std::unique_ptr<ttg::InputGate<int>>> gates;
+  gates.reserve(kTasks);
+  for (int k = 0; k < kTasks; ++k) {
+    gates.push_back(std::make_unique<ttg::InputGate<int>>(world));
+  }
+  ttg::Edge<int, ttg::Void> e("e");
+  std::atomic<long> sum{0};
+  std::atomic<int> parked{0};
+  auto tt = ttg::make_tt<int>(
+      [&](const int& k, const ttg::Void&, auto&) -> ttg::resumable {
+        co_await ttg::suspend_for(std::chrono::milliseconds(k % 5));
+        parked.fetch_add(1, std::memory_order_relaxed);
+        const int v = co_await *gates[static_cast<std::size_t>(k)];
+        sum.fetch_add(v, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "mixed", world);
+  world.execute();
+  for (int k = 0; k < kTasks; ++k) tt->sendk_input<0>(k);
+  std::thread fulfiller([&] {
+    for (int k = 0; k < kTasks; ++k) {
+      // A gate may be fulfilled before its waiter parks (late-waiter
+      // path) or after (park path) — both must deliver the value.
+      gates[static_cast<std::size_t>(k)]->fulfill(k + 1);
+      if (k % 8 == 0) std::this_thread::sleep_for(1ms);
+    }
+  });
+  ASSERT_TRUE(world.wait().ok());
+  fulfiller.join();
+  long expect = 0;
+  for (int k = 0; k < kTasks; ++k) expect += k + 1;
+  EXPECT_EQ(sum.load(), expect);
+  EXPECT_EQ(world.detector().total_discovered(),
+            world.detector().total_completed());
+}
+
+}  // namespace

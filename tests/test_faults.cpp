@@ -401,6 +401,131 @@ TEST(Faults, InjectedFaultsStayWithinTheirTenant) {
   EXPECT_TRUE(again.wait().ok());
 }
 
+/// Lives inside a coroutine frame: counts constructions against
+/// destructions, so a frame destroyed twice (double cancel) or never
+/// (leaked park) shows up as a counter imbalance after the epoch.
+struct FrameGuard {
+  static inline std::atomic<int> live{0};
+  static inline std::atomic<int> destroyed{0};
+  static void reset() {
+    live.store(0);
+    destroyed.store(0);
+  }
+  FrameGuard() { live.fetch_add(1, std::memory_order_relaxed); }
+  FrameGuard(const FrameGuard&) = delete;
+  FrameGuard& operator=(const FrameGuard&) = delete;
+  ~FrameGuard() {
+    live.fetch_sub(1, std::memory_order_relaxed);
+    destroyed.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+TEST(Faults, AbortRetiresSuspendedCoroutineFrames) {
+  // N bodies parked on an InputGate that is never fulfilled plus N on a
+  // far-future timer deadline: abort() must retire every one as a
+  // cancelled completion — each suspended frame destroyed at its
+  // suspension point, exactly once, without resuming the body — and the
+  // fence must return long before the timers would have fired.
+  FrameGuard::reset();
+  ttg::World world(test_config(4));
+  ttg::InputGate<int> gate(world);
+  constexpr int kGateWaiters = 16;
+  constexpr int kSleepers = 16;
+  std::atomic<int> resumed{0};
+  ttg::Edge<int, ttg::Void> ge("gate-in"), se("sleep-in");
+  auto gate_tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        FrameGuard guard;
+        (void)co_await gate;
+        resumed.fetch_add(1, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(ge), ttg::edges(), "gate-waiter", world);
+  auto sleep_tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        FrameGuard guard;
+        co_await ttg::suspend_for(std::chrono::seconds(30));
+        resumed.fetch_add(1, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(se), ttg::edges(), "sleeper", world);
+
+  world.execute();
+  for (int k = 0; k < kGateWaiters; ++k) gate_tt->sendk_input<0>(k);
+  for (int k = 0; k < kSleepers; ++k) sleep_tt->sendk_input<0>(k);
+  // All first segments retired == all 32 bodies are parked.
+  while (world.total_tasks_executed() < kGateWaiters + kSleepers) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(FrameGuard::live.load(), kGateWaiters + kSleepers);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  world.abort("test abort with parked frames");
+  const ttg::Status st = world.wait();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(st.aborted());
+  EXPECT_LT(elapsed, std::chrono::seconds(10))
+      << "cancellation must claim timer parks, not wait them out";
+  // Every frame destroyed exactly once, none resumed.
+  EXPECT_EQ(FrameGuard::live.load(), 0);
+  EXPECT_EQ(FrameGuard::destroyed.load(), kGateWaiters + kSleepers);
+  EXPECT_EQ(resumed.load(), 0);
+  EXPECT_EQ(world.detector().total_discovered(),
+            world.detector().total_completed());
+
+  // The world is reusable and the wheel/gate state is clean.
+  std::atomic<int> ok{0};
+  ttg::Edge<int, ttg::Void> he("healthy");
+  auto healthy = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        co_await ttg::yield{};
+        ok.fetch_add(1, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(he), ttg::edges(), "healthy", world);
+  world.execute();
+  for (int k = 0; k < 8; ++k) healthy->sendk_input<0>(k);
+  EXPECT_TRUE(world.wait().ok());
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(Faults, BodyFailureCancelsSiblingParkedFrames) {
+  // One body throws after the others have parked: the failure cancels
+  // the epoch and the purge must retire the parked siblings (the fence
+  // would otherwise hang on their discovered-but-not-complete census).
+  FrameGuard::reset();
+  ttg::World world(test_config(4));
+  ttg::InputGate<int> gate(world);
+  constexpr int kWaiters = 8;
+  std::atomic<int> parked{0};
+  ttg::Edge<int, ttg::Void> e("e");
+  auto tt = ttg::make_tt<int>(
+      [&](const int& k, const ttg::Void&, auto&) -> ttg::resumable {
+        if (k < 0) {
+          // Thrown only after every waiter's first segment retired.
+          throw std::runtime_error("sibling boom");
+        }
+        FrameGuard guard;
+        parked.fetch_add(1, std::memory_order_relaxed);
+        (void)co_await gate;
+        co_return;
+      },
+      ttg::edges(e), ttg::edges(), "mixed", world);
+  world.execute();
+  for (int k = 0; k < kWaiters; ++k) tt->sendk_input<0>(k);
+  while (world.total_tasks_executed() < kWaiters) {
+    std::this_thread::yield();
+  }
+  tt->sendk_input<0>(-1);
+  const ttg::Status st = world.wait();
+  EXPECT_TRUE(st.failed());
+  EXPECT_NE(st.reason.find("sibling boom"), std::string::npos) << st.reason;
+  EXPECT_EQ(FrameGuard::live.load(), 0);
+  EXPECT_EQ(FrameGuard::destroyed.load(), kWaiters);
+  EXPECT_EQ(world.detector().total_discovered(),
+            world.detector().total_completed());
+}
+
 TEST(Faults, CleanRunReportsOk) {
   ttg::World world(test_config());
   ttg::Edge<int, ttg::Void> e("e");

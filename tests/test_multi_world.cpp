@@ -460,4 +460,117 @@ TEST(MultiWorld, StalledTenantIsDistinguishedFromQuietEngine) {
       << report;
 }
 
+TEST(MultiWorld, SiblingAbortLeavesSuspendedTenantUntouched) {
+  // Tenant A parks coroutine bodies on its InputGate; tenant B aborts.
+  // Cancellation sweeps are per-World (B's fault pointer matches only
+  // B's tasks on the shared timer wheel, and only B's gate registry is
+  // purged), so A's parked frames must survive and resume normally.
+  ttg::Runtime rt(runtime_options());
+  auto suspended = rt.make_world();
+  auto doomed = rt.make_world();
+
+  ttg::InputGate<int> gate(*suspended);
+  constexpr int kWaiters = 8;
+  std::atomic<int> woke{0};
+  ttg::Edge<int, ttg::Void> ae("a");
+  auto waiter_tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        // Park on the timer wheel first so both rendezvous kinds are
+        // exposed to the sibling's purge, then on the gate.
+        co_await ttg::suspend_for(std::chrono::milliseconds(5));
+        const int v = co_await gate;
+        woke.fetch_add(v, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(ae), ttg::edges(), "survivor", *suspended);
+
+  ttg::Edge<int, ttg::Void> be("b");
+  auto doomed_tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) {
+        doomed->abort("sibling goes down");
+      },
+      ttg::edges(be), ttg::edges(), "doomed", *doomed);
+
+  ttg::Submission sa = suspended->execute();
+  for (int k = 0; k < kWaiters; ++k) waiter_tt->sendk_input<0>(k);
+  // Every waiter's timer park has resumed and re-parked on the gate
+  // once two segments per task have retired.
+  while (suspended->total_tasks_executed() <
+         static_cast<std::uint64_t>(2 * kWaiters)) {
+    std::this_thread::yield();
+  }
+
+  ttg::Submission sb = doomed->execute();
+  doomed_tt->sendk_input<0>(0);
+  const ttg::Status stb = sb.wait();
+  EXPECT_TRUE(stb.aborted());
+
+  // A's frames are still parked and functional after B's teardown.
+  EXPECT_EQ(woke.load(), 0);
+  gate.fulfill(1);
+  const ttg::Status sta = sa.wait();
+  EXPECT_TRUE(sta.ok()) << sta.reason;
+  EXPECT_EQ(woke.load(), kWaiters);
+  EXPECT_EQ(suspended->tenant()->pending(), 0);
+}
+
+TEST(MultiWorld, DeadlineRetiresParkedCoroutineFrames) {
+  // A tenant epoch whose bodies park on a never-fulfilled gate and on
+  // far-future timers must still honor its deadline: the monitor aborts
+  // the World and the purge claims every parked frame (destroying it at
+  // the suspension point) so the epoch drains instead of hanging.
+  ttg::Runtime rt(runtime_options());
+  ttg::WorldOptions wo;
+  wo.deadline_ms = 50;
+  auto world = rt.make_world(wo);
+
+  ttg::InputGate<int> gate(*world);
+  constexpr int kWaiters = 4;
+  constexpr int kSleepers = 4;
+  std::atomic<int> resumed{0};
+  ttg::Edge<int, ttg::Void> ge("g"), se("s");
+  auto gate_tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        (void)co_await gate;
+        resumed.fetch_add(1, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(ge), ttg::edges(), "gated", *world);
+  auto sleep_tt = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        co_await ttg::suspend_for(std::chrono::seconds(30));
+        resumed.fetch_add(1, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(se), ttg::edges(), "overslept", *world);
+
+  ttg::Submission s = world->execute();
+  for (int k = 0; k < kWaiters; ++k) gate_tt->sendk_input<0>(k);
+  for (int k = 0; k < kSleepers; ++k) sleep_tt->sendk_input<0>(k);
+  const auto t0 = std::chrono::steady_clock::now();
+  const ttg::Status st = s.wait();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(st.aborted());
+  EXPECT_NE(st.reason.find("deadline"), std::string::npos) << st.reason;
+  EXPECT_LT(elapsed, std::chrono::seconds(10))
+      << "the deadline must cancel parked frames, not wait for timers";
+  EXPECT_EQ(resumed.load(), 0);
+  EXPECT_EQ(world->tenant()->pending(), 0);
+
+  // The next epoch on the same World is healthy.
+  std::atomic<int> ok{0};
+  ttg::Edge<int, ttg::Void> he("h");
+  auto healthy = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto&) -> ttg::resumable {
+        co_await ttg::yield{};
+        ok.fetch_add(1, std::memory_order_relaxed);
+        co_return;
+      },
+      ttg::edges(he), ttg::edges(), "healthy", *world);
+  ttg::Submission fast = world->execute();
+  for (int k = 0; k < 4; ++k) healthy->sendk_input<0>(k);
+  EXPECT_TRUE(fast.wait().ok());
+  EXPECT_EQ(ok.load(), 4);
+}
+
 }  // namespace
