@@ -13,12 +13,12 @@ set -u
 BUILD_DIR="${1:-build-mutation}"
 SCHEDULES="${2:-64}"
 SRC_DIR="$(cd "$(dirname "$0")/.." && pwd)"
-DST_TARGETS="dst_lifo dst_bravo dst_parking dst_termdet dst_cancel dst_replay dst_join dst_serving dst_pending dst_coroutine"
+DST_TARGETS="dst_lifo dst_bravo dst_parking dst_termdet dst_cancel dst_replay dst_join dst_serving dst_pending dst_coroutine dst_comm"
 MUTANTS="lifo_pop_no_tag lifo_chain_no_tag bravo_fence_reorder \
 bravo_skip_drain park_ignore_epoch termdet_ignore_active \
 termdet_cancel_drop replay_join_no_fence serving_admit_no_fence \
 pending_insert_lost_publish coroutine_lost_resume \
-coroutine_double_resume"
+coroutine_double_resume comm_termdet_early_quiet"
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 failures=0

@@ -1,0 +1,70 @@
+// Communicator: the transport abstraction behind the distributed TTG
+// backend (docs/distributed.md).
+//
+// A Communicator moves opaque byte frames between ranks and knows
+// nothing about Worlds, TTs or the termination wave — the World layers
+// its own protocol (delivery / termination token / abort) inside the
+// frames it posts. Two implementations:
+//
+//  * LoopbackCommunicator (this header): all ranks live in one process;
+//    post() hands the frame to the target rank's handler synchronously.
+//    This is the transport behind the classic multi-rank World and the
+//    model transport the DST comm scenarios interleave.
+//  * TcpCommunicator (comm/tcp.hpp): one process per rank, frames move
+//    over length-prefixed TCP with a dedicated progress thread.
+//
+// Threading contract: post() is safe from any thread. The frame handler
+// runs on an unspecified thread (a posting thread for loopback, the
+// progress thread for TCP) and must not block; it typically enqueues
+// into the World's per-rank active-message queue. The loss handler
+// fires at most once per lost peer, from the progress thread.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ttg::comm {
+
+/// Received-frame callback: payload bytes of one user frame, already
+/// stripped of transport framing. `source` is the sending rank.
+using FrameHandler =
+    std::function<void(int source, const std::byte* data, std::size_t n)>;
+
+/// Peer-loss callback: `peer` died or its connection broke. Fired once
+/// per peer, after which no further frames from it are delivered.
+using LossHandler = std::function<void(int peer, const std::string& why)>;
+
+class Communicator {
+ public:
+  virtual ~Communicator() = default;
+
+  virtual int rank() const = 0;
+  virtual int size() const = 0;
+
+  /// Installs the handler invoked for every frame addressed to this
+  /// rank. Must be set before the first post() anywhere and not changed
+  /// while traffic is possible.
+  virtual void set_frame_handler(FrameHandler handler) = 0;
+
+  /// Installs the peer-loss handler (optional; default ignores losses).
+  virtual void set_loss_handler(LossHandler handler) = 0;
+
+  /// Sends one frame to `target` (target != rank()). Never blocks on
+  /// the receiver making progress; may block briefly on the local
+  /// socket buffer. Throws on a dead/unknown peer.
+  virtual void post(int target, const std::byte* data, std::size_t n) = 0;
+
+  /// In-process transports can move a closure instead of bytes — the
+  /// legacy deep-copy delivery path for types without a Serde
+  /// specialization. Out-of-process transports cannot; the default
+  /// reports the capability honestly so TT::forward_remote can fail
+  /// loudly rather than slice a closure into bytes.
+  virtual bool supports_local_closures() const { return false; }
+
+  /// Releases sockets/threads. Idempotent; called by the destructor.
+  virtual void shutdown() {}
+};
+
+}  // namespace ttg::comm

@@ -1,0 +1,77 @@
+// In-process loopback transport: N rank endpoints in one process.
+//
+// The fabric is the Communicator implementation behind the classic
+// multi-rank World (simulated ranks in one address space): a post() on
+// rank i's endpoint invokes rank j's frame handler synchronously on the
+// posting thread — the handler enqueues into the target rank's
+// active-message queue exactly as a TCP frame would from the progress
+// thread, so the World-level protocol code is shared between the two
+// transports. It also serves as the model transport under the DST
+// harness (tests/dst/dst_comm.cpp), where delivery interleavings are
+// explored through the TTG_SIM_POINT yields.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "sim/hooks.hpp"
+
+namespace ttg::comm {
+
+class LoopbackFabric {
+ public:
+  explicit LoopbackFabric(int size) {
+    assert(size >= 1);
+    endpoints_.reserve(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) {
+      endpoints_.push_back(
+          std::unique_ptr<Endpoint>(new Endpoint(this, r, size)));
+    }
+  }
+
+  Communicator& endpoint(int rank) {
+    return *endpoints_[static_cast<std::size_t>(rank)];
+  }
+
+ private:
+  class Endpoint final : public Communicator {
+   public:
+    Endpoint(LoopbackFabric* fabric, int rank, int size)
+        : fabric_(fabric), rank_(rank), size_(size) {}
+
+    int rank() const override { return rank_; }
+    int size() const override { return size_; }
+
+    void set_frame_handler(FrameHandler handler) override {
+      handler_ = std::move(handler);
+    }
+    void set_loss_handler(LossHandler handler) override {
+      loss_ = std::move(handler);
+    }
+
+    void post(int target, const std::byte* data, std::size_t n) override {
+      assert(target >= 0 && target < size_ && target != rank_);
+      TTG_SIM_POINT("comm.loopback.post");
+      Endpoint& dst = *fabric_->endpoints_[static_cast<std::size_t>(target)];
+      assert(dst.handler_ && "loopback: frame handler not installed");
+      dst.handler_(rank_, data, n);
+    }
+
+    bool supports_local_closures() const override { return true; }
+
+   private:
+    LoopbackFabric* fabric_;
+    const int rank_;
+    const int size_;
+    FrameHandler handler_;
+    LossHandler loss_;
+  };
+
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace ttg::comm

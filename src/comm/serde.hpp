@@ -1,0 +1,224 @@
+// Wire serialization for the out-of-process distributed backend
+// (docs/distributed.md).
+//
+// A `Serde<T>` specialization packs a value into a byte buffer and
+// unpacks it on the receiving rank. Three tiers:
+//
+//  * trivially-copyable fast path: one memcpy each way (the partial
+//    specialization below matches automatically);
+//  * library types: std::string and std::vector<T> (element-recursive,
+//    with a contiguous memcpy fast path for trivially-copyable T);
+//  * user hook: fully specialize Serde<T> with
+//        static void pack(const T&, WireWriter&);
+//        static T unpack(WireReader&);
+//    for any custom type. `is_serializable_v<T>` probes for exactly that
+//    shape, so a user specialization makes the type eligible for the
+//    wire path in TT::forward_remote with no further registration.
+//
+// Reading is bounds-checked everywhere: a truncated or corrupt frame
+// throws WireError (never UB), which the transport layer turns into a
+// connection fault. Frames are capped at kMaxFrameBytes so a corrupt
+// length prefix cannot trigger a multi-gigabyte allocation.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ttg::comm {
+
+/// Hard cap on a single wire frame (length prefix included). Large
+/// enough for any test/bench payload here; small enough that a corrupt
+/// length prefix is rejected before any allocation.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024u * 1024u;
+
+/// Thrown on any malformed wire data: short reads, trailing bytes,
+/// length prefixes past the frame end or over kMaxFrameBytes.
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only byte sink used by Serde<T>::pack.
+class WireWriter {
+ public:
+  explicit WireWriter(std::vector<std::byte>& out) : out_(out) {}
+
+  void bytes(const void* data, std::size_t n) {
+    if (n == 0) return;
+    const auto* p = static_cast<const std::byte*>(data);
+    out_.insert(out_.end(), p, p + n);
+    if (out_.size() > kMaxFrameBytes) {
+      throw WireError("wire frame exceeds kMaxFrameBytes");
+    }
+  }
+
+  template <typename T>
+  void pod(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    bytes(&v, sizeof(T));
+  }
+
+  /// Length prefix for strings/vectors: u32, validated on read.
+  void size(std::size_t n) {
+    if (n > kMaxFrameBytes) {
+      throw WireError("wire element count exceeds kMaxFrameBytes");
+    }
+    pod(static_cast<std::uint32_t>(n));
+  }
+
+  std::size_t written() const { return out_.size(); }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+/// Bounds-checked cursor over a received frame, used by
+/// Serde<T>::unpack. Every read validates against the frame end first.
+class WireReader {
+ public:
+  WireReader(const std::byte* data, std::size_t n)
+      : cur_(data), end_(data + n) {}
+
+  void bytes(void* out, std::size_t n) {
+    if (n > remaining()) throw WireError("wire frame truncated");
+    if (n != 0) std::memcpy(out, cur_, n);
+    cur_ += n;
+  }
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T v;
+    bytes(&v, sizeof(T));
+    return v;
+  }
+
+  /// Reads a size() prefix and validates it against the bytes actually
+  /// left in the frame (at `elem_bytes` per element), so a corrupt
+  /// count is rejected before any allocation.
+  std::size_t size(std::size_t elem_bytes = 1) {
+    const std::uint32_t n = pod<std::uint32_t>();
+    if (elem_bytes != 0 && n > remaining() / elem_bytes) {
+      throw WireError("wire length prefix past frame end");
+    }
+    return n;
+  }
+
+  std::size_t remaining() const {
+    return static_cast<std::size_t>(end_ - cur_);
+  }
+
+  /// Unpack must consume the frame exactly; trailing bytes mean the
+  /// sender and receiver disagree on the type's layout.
+  void expect_consumed() const {
+    if (cur_ != end_) throw WireError("wire frame has trailing bytes");
+  }
+
+ private:
+  const std::byte* cur_;
+  const std::byte* end_;
+};
+
+/// Primary template: intentionally empty. A type is wire-serializable
+/// iff a (partial or full) specialization provides pack/unpack.
+template <typename T, typename Enable = void>
+struct Serde {};
+
+/// Fast path: trivially-copyable types are one memcpy each way.
+template <typename T>
+struct Serde<T, std::enable_if_t<std::is_trivially_copyable_v<T>>> {
+  static void pack(const T& v, WireWriter& w) { w.pod(v); }
+  static T unpack(WireReader& r) { return r.template pod<T>(); }
+};
+
+template <>
+struct Serde<std::string> {
+  static void pack(const std::string& s, WireWriter& w) {
+    w.size(s.size());
+    w.bytes(s.data(), s.size());
+  }
+  static std::string unpack(WireReader& r) {
+    const std::size_t n = r.size();
+    std::string s(n, '\0');
+    r.bytes(s.data(), n);
+    return s;
+  }
+};
+
+template <typename T>
+concept WireSerializable = requires(const T& v, WireWriter& w, WireReader& r) {
+  { Serde<T>::pack(v, w) } -> std::same_as<void>;
+  { Serde<T>::unpack(r) } -> std::same_as<T>;
+};
+
+template <typename T>
+inline constexpr bool is_serializable_v = WireSerializable<T>;
+
+template <typename T>
+struct Serde<std::vector<T>, std::enable_if_t<is_serializable_v<T>>> {
+  static void pack(const std::vector<T>& v, WireWriter& w) {
+    w.size(v.size());
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      w.bytes(v.data(), v.size() * sizeof(T));
+    } else {
+      for (const T& e : v) Serde<T>::pack(e, w);
+    }
+  }
+  static std::vector<T> unpack(WireReader& r) {
+    if constexpr (std::is_trivially_copyable_v<T>) {
+      const std::size_t n = r.size(sizeof(T));
+      std::vector<T> v(n);
+      r.bytes(v.data(), n * sizeof(T));
+      return v;
+    } else {
+      const std::size_t n = r.size();
+      std::vector<T> v;
+      v.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) v.push_back(Serde<T>::unpack(r));
+      return v;
+    }
+  }
+};
+
+/// std::pair is NOT trivially copyable on common standard libraries
+/// (its assignment operators are user-provided), so pair keys — the
+/// idiomatic (t, x) TTG key — need this element-recursive path. The
+/// !trivially_copyable guard keeps it from ever overlapping the memcpy
+/// specialization.
+template <typename A, typename B>
+struct Serde<std::pair<A, B>,
+             std::enable_if_t<is_serializable_v<A> && is_serializable_v<B> &&
+                              !std::is_trivially_copyable_v<std::pair<A, B>>>> {
+  static void pack(const std::pair<A, B>& p, WireWriter& w) {
+    Serde<A>::pack(p.first, w);
+    Serde<B>::pack(p.second, w);
+  }
+  static std::pair<A, B> unpack(WireReader& r) {
+    A a = Serde<A>::unpack(r);
+    B b = Serde<B>::unpack(r);
+    return {std::move(a), std::move(b)};
+  }
+};
+
+/// Convenience helpers for single-value round trips (tests, protocol
+/// headers).
+template <typename T>
+void pack_value(const T& v, std::vector<std::byte>& out) {
+  WireWriter w(out);
+  Serde<T>::pack(v, w);
+}
+
+template <typename T>
+T unpack_value(const std::byte* data, std::size_t n) {
+  WireReader r(data, n);
+  T v = Serde<T>::unpack(r);
+  r.expect_consumed();
+  return v;
+}
+
+}  // namespace ttg::comm

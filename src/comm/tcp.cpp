@@ -1,0 +1,502 @@
+#include "comm/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "comm/serde.hpp"
+
+namespace ttg::comm {
+
+namespace {
+
+constexpr std::uint32_t kHelloMagic = 0x54544743u;  // "TTGC"
+constexpr std::uint8_t kWireVersion = 1;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("ttg::comm: " + what);
+}
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+/// Writes exactly `n` bytes, looping over partial writes and EINTR.
+/// Returns false on a connection error.
+bool write_all(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Reads exactly `n` bytes (bootstrap only — the progress thread uses
+/// non-blocking drains instead).
+bool read_all(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  while (n > 0) {
+    const ssize_t r = ::recv(fd, p, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+struct HostPort {
+  std::string host;
+  std::uint16_t port;
+};
+
+HostPort split_host_port(const std::string& s) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos) fail("malformed host:port '" + s + "'");
+  const int port = std::atoi(s.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) fail("bad port in '" + s + "'");
+  return HostPort{s.substr(0, colon), static_cast<std::uint16_t>(port)};
+}
+
+sockaddr_in resolve(const HostPort& hp) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(hp.port);
+  if (::inet_pton(AF_INET, hp.host.c_str(), &addr.sin_addr) == 1) {
+    return addr;
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  if (::getaddrinfo(hp.host.c_str(), nullptr, &hints, &res) != 0 ||
+      res == nullptr) {
+    fail("cannot resolve host '" + hp.host + "'");
+  }
+  addr.sin_addr = reinterpret_cast<sockaddr_in*>(res->ai_addr)->sin_addr;
+  ::freeaddrinfo(res);
+  return addr;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+TcpCommunicator::Options TcpCommunicator::from_env() {
+  Options o;
+  const char* rank = std::getenv("TTG_COMM_RANK");
+  const char* size = std::getenv("TTG_COMM_SIZE");
+  const char* hosts = std::getenv("TTG_COMM_HOSTS");
+  if (rank == nullptr || size == nullptr || hosts == nullptr) {
+    fail("TTG_COMM_RANK, TTG_COMM_SIZE and TTG_COMM_HOSTS are required");
+  }
+  o.rank = std::atoi(rank);
+  o.size = std::atoi(size);
+  std::string list(hosts);
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) o.hosts.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  o.listen_fd = env_int("TTG_COMM_LISTEN_FD", -1);
+  o.connect_timeout_ms = env_int("TTG_COMM_CONNECT_TIMEOUT_MS", 10000);
+  o.peer_timeout_ms = env_int("TTG_COMM_TIMEOUT_MS", 5000);
+  if (o.rank < 0 || o.size < 1 || o.rank >= o.size) {
+    fail("bad TTG_COMM_RANK/TTG_COMM_SIZE");
+  }
+  if (static_cast<int>(o.hosts.size()) != o.size) {
+    fail("TTG_COMM_HOSTS must list exactly TTG_COMM_SIZE entries");
+  }
+  return o;
+}
+
+TcpCommunicator::TcpCommunicator(const Options& options)
+    : rank_(options.rank),
+      size_(options.size),
+      heartbeat_ms_(options.heartbeat_ms),
+      peer_timeout_ms_(options.peer_timeout_ms) {
+  peers_.resize(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    if (r != rank_) peers_[static_cast<std::size_t>(r)] = std::make_unique<Peer>();
+  }
+  if (::pipe(wake_pipe_) != 0) fail("pipe() failed");
+  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  bootstrap(options);
+  progress_ = std::thread([this] { progress_main(); });
+}
+
+TcpCommunicator::~TcpCommunicator() { shutdown(); }
+
+void TcpCommunicator::bootstrap(const Options& options) {
+  // 1. Listener: inherit the launcher's socket or bind our HOSTS entry.
+  if (size_ > 1) {
+    if (options.listen_fd >= 0) {
+      listen_fd_ = options.listen_fd;
+    } else {
+      const HostPort hp =
+          split_host_port(options.hosts[static_cast<std::size_t>(rank_)]);
+      listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (listen_fd_ < 0) fail("socket() failed");
+      int one = 1;
+      ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+      sockaddr_in addr = resolve(hp);
+      if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                 sizeof(addr)) != 0) {
+        fail("bind(" + options.hosts[static_cast<std::size_t>(rank_)] +
+             ") failed: " + std::strerror(errno));
+      }
+      if (::listen(listen_fd_, size_) != 0) fail("listen() failed");
+    }
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options.connect_timeout_ms);
+
+  // 2. Connect to every lower rank, retrying until its listener is up.
+  for (int r = 0; r < rank_; ++r) {
+    const sockaddr_in addr =
+        resolve(split_host_port(options.hosts[static_cast<std::size_t>(r)]));
+    int fd = -1;
+    for (;;) {
+      fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) fail("socket() failed");
+      if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        break;
+      }
+      ::close(fd);
+      fd = -1;
+      if (std::chrono::steady_clock::now() >= deadline) {
+        fail("connect to rank " + std::to_string(r) + " timed out");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    set_nodelay(fd);
+    // Identify ourselves.
+    struct {
+      std::uint32_t magic;
+      std::uint8_t version;
+      std::uint32_t rank;
+    } __attribute__((packed)) hello{kHelloMagic, kWireVersion,
+                                    static_cast<std::uint32_t>(rank_)};
+    std::vector<std::byte> payload(sizeof(hello));
+    std::memcpy(payload.data(), &hello, sizeof(hello));
+    Peer& p = *peers_[static_cast<std::size_t>(r)];
+    p.fd = fd;
+    p.last_seen = std::chrono::steady_clock::now();
+    send_frame(r, kHello, payload.data(), payload.size());
+  }
+
+  // 3. Accept from every higher rank, identified by its hello frame.
+  int expected = size_ - 1 - rank_;
+  while (expected > 0) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) fail("accept: peers missing at timeout");
+    const int left = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    const int pr = ::poll(&pfd, 1, left > 100 ? 100 : left);
+    if (pr < 0 && errno != EINTR) fail("poll(listen) failed");
+    if (pr <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    set_nodelay(fd);
+    // The hello is the first frame: [len][kind=kHello][magic,ver,rank].
+    std::uint32_t len = 0;
+    if (!read_all(fd, &len, sizeof(len)) || len != 1 + 9) {
+      ::close(fd);
+      fail("bad hello frame length");
+    }
+    std::uint8_t kind = 0;
+    struct {
+      std::uint32_t magic;
+      std::uint8_t version;
+      std::uint32_t rank;
+    } __attribute__((packed)) hello{};
+    if (!read_all(fd, &kind, 1) || kind != kHello ||
+        !read_all(fd, &hello, sizeof(hello)) || hello.magic != kHelloMagic ||
+        hello.version != kWireVersion) {
+      ::close(fd);
+      fail("bad hello frame");
+    }
+    const int peer = static_cast<int>(hello.rank);
+    if (peer <= rank_ || peer >= size_ ||
+        peers_[static_cast<std::size_t>(peer)]->fd != -1) {
+      ::close(fd);
+      fail("hello from unexpected rank " + std::to_string(peer));
+    }
+    Peer& p = *peers_[static_cast<std::size_t>(peer)];
+    p.fd = fd;
+    p.last_seen = std::chrono::steady_clock::now();
+    --expected;
+  }
+}
+
+void TcpCommunicator::send_frame(int target, Kind kind,
+                                 const std::byte* payload, std::size_t n) {
+  Peer& p = *peers_[static_cast<std::size_t>(target)];
+  if (1 + n > kMaxFrameBytes) fail("frame exceeds kMaxFrameBytes");
+  const std::uint32_t len = static_cast<std::uint32_t>(1 + n);
+  std::lock_guard<std::mutex> lock(p.send_mutex);
+  if (p.fd < 0) fail("send to lost rank " + std::to_string(target));
+  // One buffered write: tiny frames (tokens, pings) should not pay
+  // three syscalls or three packets.
+  std::vector<std::byte> frame(sizeof(len) + 1 + n);
+  std::memcpy(frame.data(), &len, sizeof(len));
+  frame[sizeof(len)] = static_cast<std::byte>(kind);
+  if (n > 0) std::memcpy(frame.data() + sizeof(len) + 1, payload, n);
+  if (!write_all(p.fd, frame.data(), frame.size())) {
+    fail("send to rank " + std::to_string(target) +
+         " failed: " + std::strerror(errno));
+  }
+}
+
+void TcpCommunicator::post(int target, const std::byte* data,
+                           std::size_t n) {
+  if (target == rank_ || target < 0 || target >= size_) {
+    fail("post: bad target rank " + std::to_string(target));
+  }
+  send_frame(target, kUser, data, n);
+}
+
+bool TcpCommunicator::drain_peer(int peer_rank) {
+  Peer& p = *peers_[static_cast<std::size_t>(peer_rank)];
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t r = ::recv(p.fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (r < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF
+    const auto* bytes = reinterpret_cast<const std::byte*>(buf);
+    p.recv_buf.insert(p.recv_buf.end(), bytes, bytes + r);
+    p.last_seen = std::chrono::steady_clock::now();
+    if (static_cast<std::size_t>(r) < sizeof(buf)) break;
+  }
+  // Parse complete frames out of the receive buffer.
+  std::size_t off = 0;
+  while (p.recv_buf.size() - off >= sizeof(std::uint32_t)) {
+    std::uint32_t len = 0;
+    std::memcpy(&len, p.recv_buf.data() + off, sizeof(len));
+    if (len == 0 || len > kMaxFrameBytes) {
+      declare_lost(peer_rank, "corrupt frame length");
+      return false;
+    }
+    if (p.recv_buf.size() - off - sizeof(len) < len) break;  // partial
+    const std::byte* frame = p.recv_buf.data() + off + sizeof(len);
+    const auto kind = static_cast<std::uint8_t>(frame[0]);
+    dispatch_frame(peer_rank, kind, frame + 1, len - 1);
+    off += sizeof(len) + len;
+  }
+  if (off > 0) {
+    p.recv_buf.erase(p.recv_buf.begin(),
+                     p.recv_buf.begin() + static_cast<std::ptrdiff_t>(off));
+  }
+  return !p.goodbye;
+}
+
+void TcpCommunicator::dispatch_frame(int peer_rank, std::uint8_t kind,
+                                     const std::byte* payload,
+                                     std::size_t n) {
+  switch (kind) {
+    case kUser: {
+      // Dispatch under handler_mutex_ so frames buffered before the
+      // handler existed replay strictly ahead of live ones.
+      std::lock_guard<std::mutex> lock(handler_mutex_);
+      if (handler_) {
+        handler_(peer_rank, payload, n);
+      } else {
+        early_frames_.push_back(
+            EarlyFrame{peer_rank, std::vector<std::byte>(payload, payload + n)});
+      }
+      break;
+    }
+    case kPing:
+      break;  // last_seen already refreshed by the drain
+    case kGoodbye:
+      peers_[static_cast<std::size_t>(peer_rank)]->goodbye = true;
+      break;
+    default:
+      declare_lost(peer_rank, "unknown frame kind");
+      break;
+  }
+}
+
+void TcpCommunicator::declare_lost(int peer_rank, const std::string& why) {
+  Peer& p = *peers_[static_cast<std::size_t>(peer_rank)];
+  if (p.lost || p.goodbye) return;
+  p.lost = true;
+  peers_lost_.fetch_add(1, std::memory_order_relaxed);
+  {
+    // Close under the send mutex so concurrent post() fails cleanly
+    // instead of writing to a reused fd.
+    std::lock_guard<std::mutex> lock(p.send_mutex);
+    if (p.fd >= 0) {
+      ::close(p.fd);
+      p.fd = -1;
+    }
+  }
+  std::lock_guard<std::mutex> lock(handler_mutex_);
+  if (loss_handler_) {
+    loss_handler_(peer_rank, why);
+  } else {
+    early_losses_.emplace_back(peer_rank, why);
+  }
+}
+
+void TcpCommunicator::set_frame_handler(FrameHandler handler) {
+  std::lock_guard<std::mutex> lock(handler_mutex_);
+  handler_ = std::move(handler);
+  for (EarlyFrame& f : early_frames_) {
+    handler_(f.source, f.bytes.data(), f.bytes.size());
+  }
+  early_frames_.clear();
+  early_frames_.shrink_to_fit();
+}
+
+void TcpCommunicator::set_loss_handler(LossHandler handler) {
+  std::lock_guard<std::mutex> lock(handler_mutex_);
+  loss_handler_ = std::move(handler);
+  for (const auto& [peer, why] : early_losses_) loss_handler_(peer, why);
+  early_losses_.clear();
+}
+
+void TcpCommunicator::progress_main() {
+  auto last_ping = std::chrono::steady_clock::now();
+  std::vector<pollfd> pfds;
+  std::vector<int> pfd_rank;
+  while (!stop_.load(std::memory_order_acquire)) {
+    pfds.clear();
+    pfd_rank.clear();
+    pfds.push_back(pollfd{wake_pipe_[0], POLLIN, 0});
+    pfd_rank.push_back(-1);
+    for (int r = 0; r < size_; ++r) {
+      if (r == rank_) continue;
+      Peer& p = *peers_[static_cast<std::size_t>(r)];
+      if (p.fd >= 0 && !p.lost) {
+        pfds.push_back(pollfd{p.fd, POLLIN, 0});
+        pfd_rank.push_back(r);
+      }
+    }
+    const int pr = ::poll(pfds.data(), pfds.size(), 100);
+    if (pr < 0 && errno != EINTR) break;
+    if (stop_.load(std::memory_order_acquire)) break;
+    for (std::size_t i = 1; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int r = pfd_rank[i];
+      if (!drain_peer(r)) {
+        Peer& p = *peers_[static_cast<std::size_t>(r)];
+        if (p.goodbye) {
+          std::lock_guard<std::mutex> lock(p.send_mutex);
+          if (p.fd >= 0) {
+            ::close(p.fd);
+            p.fd = -1;
+          }
+        } else {
+          declare_lost(r, "connection closed");
+        }
+      }
+    }
+    if (pfds[0].revents & POLLIN) {
+      char c;
+      while (::read(wake_pipe_[0], &c, 1) > 0) {
+      }
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now - last_ping >= std::chrono::milliseconds(heartbeat_ms_)) {
+      last_ping = now;
+      for (int r = 0; r < size_; ++r) {
+        if (r == rank_) continue;
+        Peer& p = *peers_[static_cast<std::size_t>(r)];
+        if (p.fd < 0 || p.lost || p.goodbye) continue;
+        // Best-effort ping; a failed write surfaces as a poll error.
+        std::lock_guard<std::mutex> lock(p.send_mutex);
+        if (p.fd >= 0) {
+          const std::uint32_t len = 1;
+          std::byte frame[5];
+          std::memcpy(frame, &len, sizeof(len));
+          frame[4] = static_cast<std::byte>(kPing);
+          (void)write_all(p.fd, frame, sizeof(frame));
+        }
+        // Liveness: a peer silent past the timeout is lost even if the
+        // kernel never reports an error (half-open connection).
+        if (peer_timeout_ms_ > 0 &&
+            now - p.last_seen >
+                std::chrono::milliseconds(peer_timeout_ms_)) {
+          declare_lost(r, "peer silent past timeout");
+        }
+      }
+    }
+  }
+}
+
+void TcpCommunicator::shutdown() {
+  if (shut_down_.exchange(true)) return;
+  // Best-effort goodbyes so peers treat our EOF as clean.
+  for (int r = 0; r < size_; ++r) {
+    if (r == rank_) continue;
+    Peer& p = *peers_[static_cast<std::size_t>(r)];
+    std::lock_guard<std::mutex> lock(p.send_mutex);
+    if (p.fd >= 0 && !p.lost) {
+      const std::uint32_t len = 1;
+      std::byte frame[5];
+      std::memcpy(frame, &len, sizeof(len));
+      frame[4] = static_cast<std::byte>(kGoodbye);
+      (void)write_all(p.fd, frame, sizeof(frame));
+    }
+  }
+  stop_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char c = 'x';
+    (void)!::write(wake_pipe_[1], &c, 1);
+  }
+  if (progress_.joinable()) progress_.join();
+  for (auto& p : peers_) {
+    if (p != nullptr && p->fd >= 0) {
+      ::close(p->fd);
+      p->fd = -1;
+    }
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) {
+      ::close(wake_pipe_[i]);
+      wake_pipe_[i] = -1;
+    }
+  }
+}
+
+}  // namespace ttg::comm

@@ -1,0 +1,156 @@
+// Out-of-process transport: length-prefixed TCP active messages
+// (docs/distributed.md). No MPI dependency.
+//
+// Wire format (all little-endian, as produced by the sending CPU —
+// homogeneous clusters only, like the paper's):
+//
+//   [u32 length][u8 kind][payload ...]
+//
+// where `length` counts the kind byte plus the payload and is capped at
+// serde.hpp's kMaxFrameBytes (a corrupt prefix is rejected before any
+// allocation). Kinds:
+//
+//   kHello    — first frame on every connection: magic, version, rank.
+//   kUser     — opaque payload handed to the FrameHandler (the World's
+//               protocol: deliveries, termination tokens, aborts).
+//   kPing     — heartbeat; refreshes the peer's liveness clock.
+//   kGoodbye  — clean shutdown notice: the following EOF is not a loss.
+//
+// Bootstrap (rendezvous): every rank reads
+//
+//   TTG_COMM_RANK   — this process's rank            (required)
+//   TTG_COMM_SIZE   — number of ranks                (required)
+//   TTG_COMM_HOSTS  — comma-separated host:port, one per rank (required)
+//   TTG_COMM_LISTEN_FD — optional: an inherited, already-listening
+//        socket (launcher-assigned; tests/mp/mp_runner.py binds port 0
+//        itself and passes the fd, so no port can be raced or leaked)
+//   TTG_COMM_CONNECT_TIMEOUT_MS — connect retry window (default 10000)
+//   TTG_COMM_TIMEOUT_MS — peer liveness timeout (default 5000)
+//
+// then builds a full mesh: rank i *connects* to every j < i (retrying
+// until the peer's listener is up) and *accepts* from every j > i,
+// identifying inbound connections by their hello frame. The ordering
+// makes the mesh deadlock-free without a central coordinator.
+//
+// A dedicated progress thread per rank polls all peer sockets: it
+// parses frames out of per-peer receive buffers (partial reads are
+// normal), dispatches kUser payloads to the FrameHandler, answers the
+// heartbeat clock, and turns an unexpected EOF/error — e.g. a peer
+// killed with SIGKILL mid-epoch — into exactly one LossHandler call so
+// the World can abort instead of hanging. Sends are blocking writes
+// under a per-peer mutex on the calling thread (seeding threads and
+// workers post directly; no send queue).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace ttg::comm {
+
+class TcpCommunicator final : public Communicator {
+ public:
+  /// Bootstrap parameters; from_env() fills them from TTG_COMM_*.
+  struct Options {
+    int rank = -1;
+    int size = 0;
+    std::vector<std::string> hosts;  // host:port per rank
+    int listen_fd = -1;              // inherited listener, or -1 to bind
+    int connect_timeout_ms = 10000;
+    int peer_timeout_ms = 5000;      // 0 disables the liveness clock
+    int heartbeat_ms = 1000;
+  };
+
+  /// Reads the TTG_COMM_* environment; throws std::runtime_error on a
+  /// missing/malformed variable.
+  static Options from_env();
+
+  /// Binds/inherits the listener and builds the full mesh; blocks until
+  /// every peer is connected (or throws after the connect timeout).
+  /// The progress thread is running when the constructor returns.
+  explicit TcpCommunicator(const Options& options);
+  ~TcpCommunicator() override;
+
+  int rank() const override { return rank_; }
+  int size() const override { return size_; }
+
+  /// The progress thread is live before the World installs its
+  /// handlers (it starts in the constructor, and a fast peer can seed
+  /// work immediately after its own bootstrap returns). Frames and loss
+  /// events that arrive in that window are buffered and replayed, in
+  /// order, when the handler is installed — dropping them would leave
+  /// the sender's sent-counter unbalanced forever and hang termination.
+  void set_frame_handler(FrameHandler handler) override;
+  void set_loss_handler(LossHandler handler) override;
+
+  void post(int target, const std::byte* data, std::size_t n) override;
+
+  /// Sends goodbyes, joins the progress thread and closes every socket.
+  /// Idempotent.
+  void shutdown() override;
+
+  /// Ranks whose connection was lost (diagnostics/tests).
+  int peers_lost() const { return peers_lost_.load(std::memory_order_relaxed); }
+
+ private:
+  enum Kind : std::uint8_t {
+    kUser = 0,
+    kHello = 1,
+    kPing = 2,
+    kGoodbye = 3,
+  };
+
+  struct Peer {
+    int fd = -1;
+    std::mutex send_mutex;
+    std::vector<std::byte> recv_buf;
+    std::chrono::steady_clock::time_point last_seen{};
+    bool goodbye = false;  // clean shutdown announced
+    bool lost = false;     // loss handler already fired
+  };
+
+  void bootstrap(const Options& options);
+  void progress_main();
+  /// Drains readable bytes from `peer`'s socket and dispatches complete
+  /// frames. Returns false when the connection ended (EOF or error).
+  bool drain_peer(int peer_rank);
+  void dispatch_frame(int peer_rank, std::uint8_t kind,
+                      const std::byte* payload, std::size_t n);
+  void declare_lost(int peer_rank, const std::string& why);
+  void send_frame(int target, Kind kind, const std::byte* payload,
+                  std::size_t n);
+
+  int rank_ = -1;
+  int size_ = 0;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  // progress-thread wakeup for shutdown
+  int heartbeat_ms_ = 1000;
+  int peer_timeout_ms_ = 5000;
+  std::vector<std::unique_ptr<Peer>> peers_;  // indexed by rank; [rank_] null
+  /// Guards handler installation and the pre-handler buffers; every
+  /// kUser dispatch takes it so buffered frames replay strictly before
+  /// live ones (per-source FIFO).
+  std::mutex handler_mutex_;
+  FrameHandler handler_;
+  LossHandler loss_handler_;
+  struct EarlyFrame {
+    int source;
+    std::vector<std::byte> bytes;
+  };
+  std::vector<EarlyFrame> early_frames_;
+  std::vector<std::pair<int, std::string>> early_losses_;
+  std::thread progress_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> shut_down_{false};
+  std::atomic<int> peers_lost_{0};
+};
+
+}  // namespace ttg::comm

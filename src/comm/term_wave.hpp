@@ -1,0 +1,212 @@
+// Distributed four-counter termination wave over a real transport
+// (paper Sec. III-A; docs/distributed.md).
+//
+// The in-process simulated-rank mode advances the wave through a shared
+// reduction buffer (termdet/termdet.cpp): any idle thread contributes
+// quiet ranks on their behalf. Across processes no such shared buffer
+// exists, so the wave becomes a *token ring*: rank 0 (the root)
+// launches a round by sending a token carrying its (sent, received)
+// snapshot to rank 1; each rank holds the token until it is locally
+// quiet, adds its own counters, and forwards it; when the token returns
+// to the root, the round's totals are evaluated. Termination is
+// announced when the totals are equal AND unchanged from the previous
+// round — the same two-round stability test the in-process wave uses.
+//
+// Why two rounds: a single S==R round can be an *inconsistent snapshot*.
+// A rank that contributed early can be re-activated by a late delivery
+// and send messages that a later-contributing rank already counted as
+// received — the sums balance while a message is still in flight. The
+// soundness argument is the classic one: a quiet rank only becomes
+// active again by receiving a message, and that receive changes R, so
+// two consecutive rounds with identical equal totals imply an empty
+// network. The `comm_termdet_early_quiet` mutant (scripts/
+// mutation_gate.sh) announces after a single equal round and is caught
+// by the dst_comm scenario exploring exactly that race.
+//
+// TermWave is transport-agnostic and header-only: the owner injects
+// quietness/counter reads and token/announce sends through Hooks, so
+// the same class runs over TcpCommunicator in a distributed World and
+// over a model communicator inside the DST harness (tests/dst/
+// dst_comm.cpp).
+//
+// Threading: on_token/on_announce are called from the transport's
+// progress thread, poll() from the epoch's wait loop. All state is
+// guarded by one mutex; the forward/announce hooks (which may take
+// transport locks) are invoked outside it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "sim/hooks.hpp"
+
+namespace ttg::comm {
+
+/// The circulating reduction token. round is per-epoch; sent/received
+/// accumulate the per-rank counters of every rank the token visited.
+struct TermToken {
+  std::uint32_t round = 0;
+  std::int64_t sent = 0;
+  std::int64_t received = 0;
+};
+
+class TermWave {
+ public:
+  struct Hooks {
+    /// True when this rank has no pending tasks and no active threads
+    /// (all thread-local counters flushed). Must not block.
+    std::function<bool()> locally_quiet;
+    /// This rank's message counters. Only sampled while locally_quiet()
+    /// holds, so flushed totals are stable.
+    std::function<std::int64_t()> sent;
+    std::function<std::int64_t()> received;
+    /// Sends the token to rank (rank+1) % size. May block briefly on
+    /// the transport; called outside the wave mutex.
+    std::function<void(const TermToken&)> forward;
+    /// Root only: broadcasts the termination announcement to every
+    /// other rank. Called outside the wave mutex, before on_terminated.
+    std::function<void()> announce;
+    /// All ranks: termination is now global (root: evaluated locally;
+    /// others: announce frame arrived). Typically flips the local
+    /// detector's terminated flag.
+    std::function<void()> on_terminated;
+  };
+
+  TermWave(int rank, int size, Hooks hooks)
+      : rank_(rank), size_(size), hooks_(std::move(hooks)) {}
+
+  bool terminated() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return terminated_;
+  }
+
+  /// Transport delivery of a token addressed to this rank.
+  void on_token(const TermToken& t) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (terminated_) return;
+      held_ = t;
+      have_token_ = true;
+    }
+    TTG_SIM_POINT("comm.wave.token_arrived");
+    advance();
+  }
+
+  /// Transport delivery of the root's announcement (non-root ranks).
+  void on_announce() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (terminated_) return;
+      terminated_ = true;
+    }
+    if (hooks_.on_terminated) hooks_.on_terminated();
+  }
+
+  /// Drives the wave from the wait loop: launches rounds (root) and
+  /// forwards a held token once the rank falls quiet. Returns true once
+  /// terminated.
+  bool poll() {
+    advance();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return terminated_;
+  }
+
+ private:
+  enum class Action { kNone, kForward, kAnnounce, kEvaluated };
+
+  void advance() {
+    // Loops because one call can make several transitions: the root
+    // evaluates a returned (unstable) token and immediately launches
+    // the next round; a single-rank ring forwards to itself.
+    for (;;) {
+      TermToken out;
+      Action action = Action::kNone;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (terminated_) return;
+        if (rank_ == 0) {
+          if (have_token_) {
+            TTG_SIM_POINT("comm.wave.evaluate");
+            have_token_ = false;
+            round_open_ = false;
+            const bool equal = held_.sent == held_.received;
+#if defined(TTG_MUTANT_COMM_TERMDET_EARLY_QUIET)
+            // MUTANT: announce on a single equal round, skipping the
+            // two-round stability test. An inconsistent snapshot (a
+            // rank re-activated after contributing, its sends counted
+            // as received by a later contributor) balances the sums
+            // while a message is still in flight — termination is
+            // announced with undelivered work.
+            const bool stable = equal;
+#else
+            const bool stable = equal && held_.sent == last_sent_ &&
+                                held_.received == last_recv_;
+#endif
+            if (stable) {
+              terminated_ = true;
+              action = Action::kAnnounce;
+            } else {
+              last_sent_ = held_.sent;
+              last_recv_ = held_.received;
+              action = Action::kEvaluated;
+            }
+          } else if (!round_open_ && hooks_.locally_quiet()) {
+            TTG_SIM_POINT("comm.wave.launch");
+            round_open_ = true;
+            out.round = ++round_;
+            out.sent = hooks_.sent();
+            out.received = hooks_.received();
+            action = Action::kForward;
+          }
+        } else if (have_token_ && hooks_.locally_quiet()) {
+          TTG_SIM_POINT("comm.wave.contribute");
+          have_token_ = false;
+          out = held_;
+          out.sent += hooks_.sent();
+          out.received += hooks_.received();
+          action = Action::kForward;
+        }
+      }
+      switch (action) {
+        case Action::kNone:
+          return;
+        case Action::kEvaluated:
+          continue;  // maybe launch the next round right away
+        case Action::kForward:
+          TTG_SIM_POINT("comm.wave.forward");
+          if (rank_ == 0 && size_ == 1) {
+            // Degenerate ring: the token returns instantly.
+            {
+              std::lock_guard<std::mutex> lock(mutex_);
+              if (terminated_) return;
+              held_ = out;
+              have_token_ = true;
+            }
+            continue;
+          }
+          hooks_.forward(out);
+          return;
+        case Action::kAnnounce:
+          if (hooks_.announce) hooks_.announce();
+          if (hooks_.on_terminated) hooks_.on_terminated();
+          return;
+      }
+    }
+  }
+
+  const int rank_;
+  const int size_;
+  Hooks hooks_;
+
+  mutable std::mutex mutex_;
+  bool terminated_ = false;
+  bool have_token_ = false;
+  bool round_open_ = false;      // root: a token of ours is circulating
+  std::uint32_t round_ = 0;      // root: last launched round
+  TermToken held_{};             // valid while have_token_
+  std::int64_t last_sent_ = -1;  // root: previous round's totals
+  std::int64_t last_recv_ = -1;
+};
+
+}  // namespace ttg::comm

@@ -174,6 +174,10 @@ void TerminationDetector::on_resume() {
 
 void TerminationDetector::advance_wave() {
   if (terminated()) return;
+  // Distributed worlds: the wave runs over the transport as a token
+  // ring (comm/term_wave.hpp); the local reduction would announce on
+  // this process's lone rank alone.
+  if (external_wave_) return;
   // The wave is a cold path ("the communication of local termination
   // typically occurs infrequently", Sec. III-A), so a try-lock keeps it
   // simple and race-free: at most one thread advances the wave at a time

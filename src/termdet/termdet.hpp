@@ -93,8 +93,34 @@ class TerminationDetector {
   /// concurrent thread-side calls.
   void reset();
 
+  /// External-wave mode (distributed worlds, comm/term_wave.hpp): the
+  /// in-process reduction in advance_wave() is disabled — this process
+  /// only ever sees its own rank's counters, so a local all-quiet test
+  /// would announce termination the moment the local rank drains, with
+  /// remote work and in-flight messages unaccounted. Termination is
+  /// instead announced explicitly via announce() when the distributed
+  /// token-ring wave converges. Set before any thread-side call.
+  void set_external_wave(bool external) { external_wave_ = external; }
+  bool external_wave() const { return external_wave_; }
+
+  /// External-wave announcement: the distributed wave converged (root
+  /// evaluated two stable rounds, or the announce frame arrived).
+  void announce() { terminated_.store(true, std::memory_order_release); }
+
   TermDetMode mode() const { return mode_; }
   int num_ranks() const { return nranks_; }
+
+  /// Local-rank observations for the distributed wave: quietness
+  /// (pending == 0 and no active thread — every thread-local counter
+  /// flushed) and the flushed message counters. Only meaningful for the
+  /// rank this process hosts.
+  bool rank_locally_quiet(int rank) const { return rank_quiet(ranks_[rank]); }
+  std::int64_t rank_sent(int rank) const {
+    return ranks_[rank].sent.load(std::memory_order_acquire);
+  }
+  std::int64_t rank_received(int rank) const {
+    return ranks_[rank].received.load(std::memory_order_acquire);
+  }
 
   /// Diagnostics / test hooks.
   std::int64_t rank_pending(int rank) const;
@@ -147,6 +173,7 @@ class TerminationDetector {
 
   const int nranks_;
   const TermDetMode mode_;
+  bool external_wave_ = false;  // set once before threads start
 
   RankState ranks_[/*generous upper bound*/ 64];
   ThreadState threads_[kMaxThreads];

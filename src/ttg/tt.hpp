@@ -38,6 +38,7 @@
 
 #include "atomics/op_counter.hpp"
 #include "atomics/ordering.hpp"
+#include "comm/serde.hpp"
 #include "common/small_vector.hpp"
 #include "runtime/context.hpp"
 #include "runtime/coroutine.hpp"
@@ -84,6 +85,26 @@ class TTBase : public ReplayNode {
   /// so their execution spans show up under the TT's name.
   std::uint32_t trace_name() const { return trace_name_; }
 
+  /// Dense wire id assigned by World::register_node in registration
+  /// order (SPMD construction makes ids agree across processes).
+  std::uint32_t comm_node_id() const { return comm_node_id_; }
+  void set_comm_node_id(std::uint32_t id) { comm_node_id_ = id; }
+
+  /// Wire ingress: decodes a kDelivery payload (Serde key [+ value])
+  /// addressed to `input` and feeds it to the local arrival path. Runs
+  /// on a worker of the target rank; throws comm::WireError on a
+  /// corrupt/truncated payload (captured as a task failure by the
+  /// message drain). The base implementation aborts: only typed TTs
+  /// can decode.
+  virtual void deliver_wire(std::uint16_t input, comm::WireReader& reader) {
+    (void)input;
+    (void)reader;
+    std::fprintf(stderr,
+                 "ttg: node \"%s\" cannot decode wire deliveries\n",
+                 name_.c_str());
+    std::abort();
+  }
+
   // ReplayNode surface: TT overrides every hook below; the aborting
   // defaults only fire if a node that never participated in a recording
   // shows up in a template, which is a wiring bug.
@@ -116,6 +137,7 @@ class TTBase : public ReplayNode {
       : name_(std::move(name)), trace_name_(trace::intern(name_)) {}
   std::string name_;
   std::uint32_t trace_name_;
+  std::uint32_t comm_node_id_ = 0;
   std::vector<PortInfo> in_ports_;
   std::vector<PortInfo> out_ports_;
 };
@@ -501,13 +523,45 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
     local_arrived<I>(key, copy);
   }
 
-  /// Simulated cross-rank transfer: serialize (deep-copy) the value into
-  /// an active message; a worker of the target rank re-materializes the
-  /// copy and runs the normal local path.
+  /// True when input I's key and value can cross a process boundary:
+  /// both have a comm::Serde (trivially-copyable types, strings, vectors
+  /// of serializable elements, or a user specialization).
+  template <std::size_t I>
+  static constexpr bool kWireable =
+      comm::is_serializable_v<Key> &&
+      (trait<I>::is_void || comm::is_serializable_v<value_t<I>>);
+
+  /// Cross-rank transfer. Serializable inputs take the *wire* path —
+  /// key and value are Serde-packed into a kDelivery frame posted over
+  /// the World's transport (the loopback fabric in-process, TCP across
+  /// processes) and decoded by deliver_wire on a worker of the target
+  /// rank. Non-serializable inputs fall back to the closure path (a
+  /// deep copy captured in the active message), which only exists
+  /// inside one process: on a distributed world it aborts with a
+  /// diagnostic naming the TT.
   template <std::size_t I>
   void forward_remote(int target, const Key& key,
                       DataCopy<value_t<I>>* copy) {
-    if constexpr (trait<I>::is_void) {
+    if constexpr (kWireable<I>) {
+      std::vector<std::byte> frame;
+      comm::WireWriter w(frame);
+      world_->wire_delivery_header(w, comm_node_id(),
+                                   static_cast<std::uint16_t>(I));
+      comm::Serde<Key>::pack(key, w);
+      if constexpr (trait<I>::is_void) {
+        (void)copy;
+      } else {
+        comm::Serde<value_t<I>>::pack(copy->value(), w);
+        copy->release();  // the ref handed to us
+      }
+      world_->post_wire(target, std::move(frame));
+    } else if (world_->distributed()) {
+      std::fprintf(stderr,
+                   "ttg: TT \"%s\": cross-process send on input %zu needs "
+                   "a comm::Serde specialization for its key/value type\n",
+                   name_.c_str(), I);
+      std::abort();
+    } else if constexpr (trait<I>::is_void) {
       (void)copy;
       world_->post_message(target, [this, key] {
         this->template local_arrived<I>(key, nullptr);
@@ -520,6 +574,45 @@ class TT<Key, Fn, std::tuple<InEdges...>, std::tuple<OutEdges...>> final
             this->template local_arrived<I>(
                 key, make_copy<value_t<I>>(std::move(value)));
           });
+    }
+  }
+
+  /// Wire ingress (TTBase override): decode input `input`'s key/value
+  /// from a kDelivery payload and run the normal local arrival path.
+  void deliver_wire(std::uint16_t input, comm::WireReader& reader) override {
+    const bool dispatched = [&]<std::size_t... Is>(
+                                std::index_sequence<Is...>) {
+      return ((input == Is ? (this->template deliver_wire_one<Is>(reader),
+                              true)
+                           : false) ||
+              ...);
+    }(std::make_index_sequence<kNumIns>{});
+    if (!dispatched) {
+      throw comm::WireError("wire delivery to out-of-range input " +
+                            std::to_string(input) + " of TT \"" + name_ +
+                            "\"");
+    }
+  }
+
+  template <std::size_t I>
+  void deliver_wire_one(comm::WireReader& reader) {
+    if constexpr (kWireable<I>) {
+      Key key = comm::Serde<Key>::unpack(reader);
+      if constexpr (trait<I>::is_void) {
+        reader.expect_consumed();
+        local_arrived<I>(key, nullptr);
+      } else {
+        value_t<I> value = comm::Serde<value_t<I>>::unpack(reader);
+        reader.expect_consumed();
+        local_arrived<I>(key, make_copy<value_t<I>>(std::move(value)));
+      }
+    } else {
+      // A frame can only address this input if a peer packed one, which
+      // the sender-side gate above makes impossible — anything landing
+      // here is corrupt or from a mismatched (non-SPMD) graph.
+      throw comm::WireError("wire delivery to non-serializable input of "
+                            "TT \"" +
+                            name_ + "\"");
     }
   }
 

@@ -3,10 +3,15 @@
 #include <cassert>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <sstream>
 #include <thread>
 #include <utility>
 
+#include "comm/communicator.hpp"
+#include "comm/loopback.hpp"
+#include "comm/serde.hpp"
+#include "comm/term_wave.hpp"
 #include "runtime/timer_wheel.hpp"
 #include "runtime/trace.hpp"
 #include "ttg/runtime.hpp"
@@ -48,6 +53,54 @@ World::World(const Config& config, int nranks)
     contexts_[static_cast<std::size_t>(r)]->set_progress_source(
         queues_[static_cast<std::size_t>(r)].get());
   }
+  if (nranks > 1) {
+    // Serialized cross-rank sends travel through the loopback fabric:
+    // rank i's endpoint posts a frame and rank j's handler lands it in
+    // rank j's message queue — the same protocol code the TCP transport
+    // drives from its progress thread.
+    fabric_ = std::make_unique<comm::LoopbackFabric>(nranks);
+    for (int r = 0; r < nranks; ++r) {
+      fabric_->endpoint(r).set_frame_handler(
+          [this, r](int source, const std::byte* data, std::size_t n) {
+            on_wire_frame(r, source, data, n);
+          });
+    }
+  }
+  if (config_.watchdog_quiet_ms > 0) {
+    watchdog_ = std::make_unique<StallWatchdog>(
+        config_.watchdog_quiet_ms,
+        [this] {
+          return StallWatchdog::Sample{
+              progress_counter(), detector_->total_pending() > 0};
+        },
+        [this] { on_stall(); });
+  }
+}
+
+World::World(const Config& config, std::shared_ptr<comm::Communicator> comm)
+    : config_(config), nranks_(comm->size()) {
+  comm_ = std::move(comm);
+  comm_rank_ = comm_->rank();
+  assert(nranks_ >= 1 && nranks_ <= 64);
+  assert(comm_rank_ >= 0 && comm_rank_ < nranks_);
+  config_.apply_globals();
+  detector_ = std::make_unique<TerminationDetector>(nranks_, config_.termdet);
+  // This process hosts exactly one rank; the in-process reduction would
+  // announce on it alone, so the wave runs over the transport instead.
+  detector_->set_external_wave(true);
+  detector_->thread_attach(comm_rank_);
+  queues_.push_back(std::make_unique<MessageQueue>(this));
+  owned_contexts_.push_back(std::make_unique<Context>(
+      config_, detector_.get(), comm_rank_, &own_fault_));
+  contexts_.push_back(owned_contexts_.back().get());
+  contexts_[0]->set_progress_source(queues_[0].get());
+  comm_->set_frame_handler(
+      [this](int source, const std::byte* data, std::size_t n) {
+        on_wire_frame(/*local_index=*/0, source, data, n);
+      });
+  comm_->set_loss_handler([this](int peer, const std::string& why) {
+    on_peer_lost(peer, why);
+  });
   if (config_.watchdog_quiet_ms > 0) {
     watchdog_ = std::make_unique<StallWatchdog>(
         config_.watchdog_quiet_ms,
@@ -79,6 +132,10 @@ World::World(Runtime& runtime, WorldOptions options)
 World::~World() {
   // The watchdog samples contexts and the detector: stop it first.
   watchdog_.reset();
+  // Stop transport ingress before the graph/queue state it delivers
+  // into goes away; also announces a clean goodbye so peers do not
+  // mistake our EOF for a loss.
+  if (comm_ != nullptr) comm_->shutdown();
   if (tenant_ != nullptr) {
     assert(tenant_->quiescent() &&
            "tenant World destroyed with tasks in flight");
@@ -98,7 +155,7 @@ World::~World() {
 
 int World::current_rank() const {
   if (Worker* w = Context::current_worker(); w != nullptr) return w->rank();
-  return 0;
+  return comm_rank_;
 }
 
 Submission World::execute() {
@@ -134,6 +191,15 @@ Submission World::execute() {
     return Submission(this, seq);
   }
 
+  if (comm_ != nullptr && comm_failed_.load(std::memory_order_acquire)) {
+    // A distributed epoch that lost a peer (or aborted) leaves the mesh
+    // inconsistent — the survivors cannot agree on epoch state. Fail
+    // loudly instead of hanging a fresh epoch.
+    std::fprintf(stderr,
+                 "ttg: execute() on a distributed world after a failed "
+                 "epoch; the process mesh is no longer usable\n");
+    std::abort();
+  }
   // Resume the producer *before* resetting the detector: once rank 0 has
   // an active thread again, the freshly-reset wave cannot re-announce
   // termination in the window before the first task is submitted.
@@ -145,6 +211,7 @@ Submission World::execute() {
     own_fault_.reset();
     needs_reset_ = false;
   }
+  if (comm_ != nullptr) open_wire_epoch();
   seeds_sealed_.store(false, std::memory_order_relaxed);
   const std::uint64_t seq =
       epoch_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -179,8 +246,9 @@ Status World::wait() {
          "wait() without execute()");
   const EpochMode mode = epoch_mode();
   seal_seeds();
-  const Status st =
-      tenant_ != nullptr ? wait_tenant(mode) : wait_classic(mode);
+  const Status st = tenant_ != nullptr  ? wait_tenant(mode)
+                    : comm_ != nullptr ? wait_distributed(mode)
+                                       : wait_classic(mode);
   record_completion(st);
   epoch_open_.store(false, std::memory_order_release);
   needs_reset_ = true;
@@ -235,6 +303,41 @@ Status World::wait_classic(EpochMode mode) {
     epoch_mode_.store(EpochMode::kDynamic, std::memory_order_relaxed);
   }
   return st;
+}
+
+Status World::wait_distributed(EpochMode mode) {
+  assert(mode == EpochMode::kDynamic &&
+         "distributed worlds run dynamic epochs only");
+  (void)mode;
+  if (watchdog_ != nullptr) watchdog_->arm();
+  // The calling thread stops producing; from here it drives the local
+  // side of the token-ring wave until the root's announcement arrives
+  // (or the epoch is cancelled).
+  detector_->on_idle();
+  int spins = 0;
+  while (!detector_->terminated()) {
+    if (own_fault_.cancelled()) break;
+    wave_->poll();
+    if (++spins < 256) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  if (own_fault_.cancelled() && !detector_->terminated()) {
+    // Failed epoch: the global wave cannot converge (a peer may be dead
+    // or mid-abort), so fall back to a *local* drain — stop accepting
+    // ingress, purge until this rank's pending count reaches zero, and
+    // report the failure. The World refuses further epochs.
+    comm_failed_.store(true, std::memory_order_release);
+    for (;;) {
+      purge_cancelled();
+      if (detector_->rank_pending(comm_rank_) == 0) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  }
+  if (watchdog_ != nullptr) watchdog_->disarm();
+  return own_fault_.status();
 }
 
 Status World::wait_tenant(EpochMode mode) {
@@ -333,6 +436,7 @@ void World::begin_recording() {
   assert(nranks_ == 1 &&
          "recording requires a single-rank world (keymaps resolve "
          "locally)");
+  assert(comm_ == nullptr && "recording requires an in-process world");
   (void)execute();
   recorder_ = std::make_unique<GraphRecorder>();
   epoch_mode_.store(EpochMode::kRecording, std::memory_order_relaxed);
@@ -354,6 +458,7 @@ std::shared_ptr<GraphTemplate> World::end_recording() {
 
 Submission World::execute_replay(ReplayInstance& instance) {
   assert(nranks_ == 1 && "replay requires a single-rank world");
+  assert(comm_ == nullptr && "replay requires an in-process world");
   assert(epoch_mode() == EpochMode::kDynamic &&
          "execute_replay() during an open recording/replay epoch");
   const Submission handle = execute();
@@ -412,6 +517,14 @@ void World::flush_replay_ready() {
 }
 
 void World::abort(std::string reason) {
+  // Distributed worlds propagate the abort to every peer (best effort)
+  // before cancelling locally, so survivors' wait() returns instead of
+  // spinning on a wave that can no longer converge.
+  if (comm_ != nullptr) broadcast_abort(reason);
+  abort_local(std::move(reason));
+}
+
+void World::abort_local(std::string reason) {
   if (fault_->request_abort(std::move(reason))) {
     trace::record(trace::EventKind::kWorldAborted,
                   static_cast<std::uint64_t>(Outcome::kAborted));
@@ -435,17 +548,31 @@ void World::set_stall_handler(
 
 void World::register_node(TTBase* node) {
   std::lock_guard<std::mutex> lock(nodes_mutex_);
+  // Registration order assigns the dense wire id; SPMD construction
+  // (every rank builds the same TTs in the same order) makes the ids
+  // agree across processes. Slots are never reused within a World.
+  node->set_comm_node_id(static_cast<std::uint32_t>(nodes_by_id_.size()));
+  nodes_by_id_.push_back(node);
   nodes_.push_back(node);
 }
 
 void World::unregister_node(TTBase* node) {
   std::lock_guard<std::mutex> lock(nodes_mutex_);
+  const std::uint32_t id = node->comm_node_id();
+  if (id < nodes_by_id_.size() && nodes_by_id_[id] == node) {
+    nodes_by_id_[id] = nullptr;
+  }
   for (auto it = nodes_.begin(); it != nodes_.end(); ++it) {
     if (*it == node) {
       nodes_.erase(it);
       return;
     }
   }
+}
+
+TTBase* World::node_by_comm_id(std::uint32_t id) const {
+  std::lock_guard<std::mutex> lock(nodes_mutex_);
+  return id < nodes_by_id_.size() ? nodes_by_id_[id] : nullptr;
 }
 
 void World::purge_cancelled() {
@@ -516,10 +643,11 @@ std::string World::stall_report() const {
      << " completed=" << detector_->total_completed()
      << " cancelled=" << detector_->total_cancelled()
      << " terminated=" << (detector_->terminated() ? "yes" : "no") << "\n";
-  for (int r = 0; r < nranks_; ++r) {
-    ExecutionEngine& e = contexts_[static_cast<std::size_t>(r)]->engine();
-    const StealStats stats =
-        contexts_[static_cast<std::size_t>(r)]->scheduler().steal_stats();
+  for (std::size_t i = 0; i < contexts_.size(); ++i) {
+    // Distributed worlds host one context: the local process rank's.
+    const int r = comm_ != nullptr ? comm_rank_ : static_cast<int>(i);
+    ExecutionEngine& e = contexts_[i]->engine();
+    const StealStats stats = contexts_[i]->scheduler().steal_stats();
     os << "rank " << r << ": pending=" << detector_->rank_pending(r)
        << " executed=" << e.total_tasks_executed()
        << " failed=" << e.failed_tasks()
@@ -572,13 +700,20 @@ void World::post_message(int target_rank, std::function<void()> deliver) {
     messages_delivered_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  // Closures cannot cross a process boundary: distributed cross-rank
+  // traffic goes through post_wire (forward_remote aborts with a
+  // diagnostic for non-serializable types before reaching here).
+  assert((comm_ == nullptr || target_rank == comm_rank_) &&
+         "closure message addressed to a remote process");
+  const std::size_t idx =
+      comm_ != nullptr ? 0 : static_cast<std::size_t>(target_rank);
   detector_->on_message_sent();
   trace::record(trace::EventKind::kMessageSent,
                 static_cast<std::uint32_t>(target_rank));
   auto* msg = new Message;
   msg->deliver = std::move(deliver);
-  queues_[static_cast<std::size_t>(target_rank)]->push(msg);
-  contexts_[static_cast<std::size_t>(target_rank)]->notify_work();
+  queues_[idx]->push(msg);
+  contexts_[idx]->notify_work();
 }
 
 std::uint64_t World::total_tasks_executed() const {
@@ -586,6 +721,228 @@ std::uint64_t World::total_tasks_executed() const {
   std::uint64_t n = 0;
   for (const Context* c : contexts_) n += c->total_tasks_executed();
   return n;
+}
+
+namespace {
+// Frame layout: u8 kind + u64 epoch, then the kind-specific payload.
+constexpr std::size_t kWireHeaderBytes = 1 + 8;
+}  // namespace
+
+void World::wire_delivery_header(comm::WireWriter& w, std::uint32_t node_id,
+                                 std::uint16_t input) {
+  w.pod(static_cast<std::uint8_t>(WireKind::kDelivery));
+  w.pod(comm_epoch_.load(std::memory_order_relaxed));
+  w.pod(node_id);
+  w.pod(input);
+}
+
+void World::post_wire(int target_rank, std::vector<std::byte> frame) {
+  assert(target_rank >= 0 && target_rank < nranks_);
+  assert(frame.size() >= kWireHeaderBytes);
+  detector_->on_message_sent();
+  trace::record(trace::EventKind::kMessageSent,
+                static_cast<std::uint32_t>(target_rank));
+  if (comm_ != nullptr) {
+    try {
+      comm_->post(target_rank, frame.data(), frame.size());
+    } catch (const std::exception& e) {
+      // The peer is gone (or the transport shut down): the epoch cannot
+      // complete — surface it as an abort rather than an exception on a
+      // worker. The message stays sent-but-never-received, which is fine
+      // because the cancelled epoch exits through the local drain.
+      abort(std::string("wire send to rank ") + std::to_string(target_rank) +
+            " failed: " + e.what());
+    }
+    return;
+  }
+  fabric_->endpoint(current_rank()).post(target_rank, frame.data(),
+                                         frame.size());
+}
+
+void World::on_wire_frame(int local_index, int source, const std::byte* data,
+                          std::size_t n) {
+  if (comm_failed_.load(std::memory_order_acquire)) return;
+  if (n < kWireHeaderBytes) {
+    abort_local("corrupt wire frame from rank " + std::to_string(source));
+    return;
+  }
+  std::vector<std::byte> frame(data, data + n);
+  const auto kind = std::to_integer<std::uint8_t>(frame[0]);
+  if (comm_ == nullptr) {
+    // Loopback: delivery is synchronous within one process, so the
+    // sender's epoch is by construction the current one.
+    dispatch_wire(local_index, source, kind, std::move(frame));
+    return;
+  }
+  std::uint64_t epoch = 0;
+  std::memcpy(&epoch, frame.data() + 1, sizeof(epoch));
+  std::unique_lock<std::mutex> lock(comm_mutex_);
+  const std::uint64_t cur = comm_epoch_.load(std::memory_order_relaxed);
+  if (epoch > cur) {
+    // The sender already entered a later epoch (it saw the previous
+    // wave converge before we did). Hold the frame until execute()
+    // advances us.
+    deferred_frames_.push_back(
+        DeferredFrame{local_index, source, epoch, std::move(frame)});
+    return;
+  }
+  if (epoch < cur) return;  // stale: late token/announce of a dead epoch
+  if (static_cast<WireKind>(kind) == WireKind::kDelivery) {
+    lock.unlock();  // queue push needs no epoch stability
+  }
+  // Control frames stay under comm_mutex_: wave_ cannot be swapped by a
+  // concurrent execute() while we hand them to it.
+  dispatch_wire(local_index, source, kind, std::move(frame));
+}
+
+void World::dispatch_wire(int local_index, int source, std::uint8_t kind,
+                          std::vector<std::byte> frame) {
+  switch (static_cast<WireKind>(kind)) {
+    case WireKind::kDelivery: {
+      // Decode on a worker of the target rank, not on the transport's
+      // progress thread: the payload is parsed inside the message
+      // delivery, so a corrupt frame fails the epoch through the
+      // drain()'s failure capture instead of crashing the transport.
+      auto* msg = new Message;
+      msg->deliver = [this, bytes = std::move(frame)] {
+        comm::WireReader r(bytes.data() + kWireHeaderBytes,
+                           bytes.size() - kWireHeaderBytes);
+        const auto node_id = r.pod<std::uint32_t>();
+        const auto input = r.pod<std::uint16_t>();
+        TTBase* node = node_by_comm_id(node_id);
+        if (node == nullptr) {
+          throw comm::WireError("wire delivery to unknown node id " +
+                                std::to_string(node_id));
+        }
+        node->deliver_wire(input, r);
+      };
+      queues_[static_cast<std::size_t>(local_index)]->push(msg);
+      contexts_[static_cast<std::size_t>(local_index)]->notify_work();
+      return;
+    }
+    case WireKind::kTermToken: {
+      comm::TermToken t;
+      try {
+        comm::WireReader r(frame.data() + kWireHeaderBytes,
+                           frame.size() - kWireHeaderBytes);
+        t.round = r.pod<std::uint32_t>();
+        t.sent = r.pod<std::int64_t>();
+        t.received = r.pod<std::int64_t>();
+        r.expect_consumed();
+      } catch (const comm::WireError&) {
+        abort_local("corrupt termination token from rank " +
+                    std::to_string(source));
+        return;
+      }
+      if (wave_ != nullptr) wave_->on_token(t);
+      return;
+    }
+    case WireKind::kAnnounce:
+      if (wave_ != nullptr) wave_->on_announce();
+      return;
+    case WireKind::kAbort: {
+      std::string reason = "abort from rank " + std::to_string(source);
+      try {
+        comm::WireReader r(frame.data() + kWireHeaderBytes,
+                           frame.size() - kWireHeaderBytes);
+        reason += ": " + comm::Serde<std::string>::unpack(r);
+        r.expect_consumed();
+      } catch (const comm::WireError&) {
+        // Propagate the abort even if the reason string is mangled.
+      }
+      abort_local(std::move(reason));
+      return;
+    }
+  }
+  abort_local("unknown wire frame kind from rank " + std::to_string(source));
+}
+
+void World::on_peer_lost(int peer, const std::string& why) {
+  // A dead peer makes the mesh (and any open epoch) unrecoverable:
+  // refuse further ingress and cancel so every survivor's wait()
+  // returns a failed Status instead of hanging on the wave.
+  comm_failed_.store(true, std::memory_order_release);
+  abort_local("rank " + std::to_string(peer) + " lost: " + why);
+}
+
+void World::broadcast_abort(const std::string& reason) {
+  std::vector<std::byte> frame;
+  comm::WireWriter w(frame);
+  w.pod(static_cast<std::uint8_t>(WireKind::kAbort));
+  w.pod(comm_epoch_.load(std::memory_order_relaxed));
+  comm::Serde<std::string>::pack(reason, w);
+  for (int r = 0; r < nranks_; ++r) {
+    if (r == comm_rank_) continue;
+    try {
+      comm_->post(r, frame.data(), frame.size());
+    } catch (const std::exception&) {
+      // Lost peer: its loss already (or will) abort us; nothing to do.
+    }
+  }
+}
+
+void World::open_wire_epoch() {
+  std::vector<DeferredFrame> ready;
+  {
+    std::lock_guard<std::mutex> lock(comm_mutex_);
+    const std::uint64_t epoch =
+        comm_epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+    comm::TermWave::Hooks hooks;
+    const int self = comm_rank_;
+    hooks.locally_quiet = [this, self] {
+      return detector_->rank_locally_quiet(self);
+    };
+    hooks.sent = [this, self] { return detector_->rank_sent(self); };
+    hooks.received = [this, self] { return detector_->rank_received(self); };
+    hooks.forward = [this](const comm::TermToken& t) {
+      std::vector<std::byte> frame;
+      comm::WireWriter w(frame);
+      w.pod(static_cast<std::uint8_t>(WireKind::kTermToken));
+      w.pod(comm_epoch_.load(std::memory_order_relaxed));
+      w.pod(t.round);
+      w.pod(t.sent);
+      w.pod(t.received);
+      const int next = (comm_rank_ + 1) % nranks_;
+      try {
+        comm_->post(next, frame.data(), frame.size());
+      } catch (const std::exception&) {
+        // Peer lost: the loss handler aborts the epoch; the wave simply
+        // stops circulating.
+      }
+    };
+    hooks.announce = [this] {
+      std::vector<std::byte> frame;
+      comm::WireWriter w(frame);
+      w.pod(static_cast<std::uint8_t>(WireKind::kAnnounce));
+      w.pod(comm_epoch_.load(std::memory_order_relaxed));
+      for (int r = 0; r < nranks_; ++r) {
+        if (r == comm_rank_) continue;
+        try {
+          comm_->post(r, frame.data(), frame.size());
+        } catch (const std::exception&) {
+        }
+      }
+    };
+    hooks.on_terminated = [this] { detector_->announce(); };
+    wave_ = std::make_unique<comm::TermWave>(comm_rank_, nranks_,
+                                             std::move(hooks));
+    // Frames a faster peer sent for this epoch before we entered it.
+    auto it = deferred_frames_.begin();
+    while (it != deferred_frames_.end()) {
+      if (it->epoch == epoch) {
+        ready.push_back(std::move(*it));
+        it = deferred_frames_.erase(it);
+      } else if (it->epoch < epoch) {
+        it = deferred_frames_.erase(it);  // stale
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (DeferredFrame& f : ready) {
+    const auto kind = std::to_integer<std::uint8_t>(f.bytes[0]);
+    dispatch_wire(f.local_index, f.source, kind, std::move(f.bytes));
+  }
 }
 
 void World::MessageQueue::drain(Worker& worker) {
@@ -597,11 +954,12 @@ void World::MessageQueue::drain(Worker& worker) {
     try {
       msg->deliver();
     } catch (...) {
-      // A throwing delivery (e.g. a payload whose copy constructor
-      // throws during re-materialization) is a task failure: capture
-      // and cancel instead of terminating the worker.
-      world_->contexts_[static_cast<std::size_t>(worker.rank())]
-          ->engine()
+      // A throwing delivery (a payload whose copy constructor throws
+      // during re-materialization, or a corrupt/truncated wire frame
+      // rejected by WireReader) is a task failure: capture and cancel
+      // instead of terminating the worker.
+      world_->context(worker.rank())
+          .engine()
           .report_task_failure(std::current_exception(), /*span_name=*/0,
                                worker.index());
     }

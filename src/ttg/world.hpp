@@ -20,11 +20,16 @@
 //    this World only — hundreds of tenant Worlds interleave on the same
 //    workers.
 //
-// Substitution note (see DESIGN.md): real TTG sends serialized data over
-// MPI between processes; here a cross-rank send deep-copies the value
-// into a message delivered by a worker of the target rank. The control
-// flow, copy semantics and termination protocol match; the wire is a
-// queue instead of a NIC.
+// Transports (docs/distributed.md): cross-rank sends travel as opaque
+// frames over a comm::Communicator. The classic multi-rank World uses
+// the in-process loopback fabric (a post() invokes the target rank's
+// handler synchronously and the frame lands in its active-message
+// queue); the *distributed* constructor takes a real transport (TCP,
+// src/comm/tcp.hpp) instead — one process per rank, termination via the
+// token-ring wave (comm/term_wave.hpp), peer loss surfacing as an
+// aborted epoch. Values whose types have a comm::Serde specialization
+// are serialized; in-process worlds additionally accept any copyable
+// type through the legacy closure path.
 #pragma once
 
 #include <atomic>
@@ -34,6 +39,8 @@
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include <cstddef>
 
 #include "runtime/context.hpp"
 #include "runtime/coroutine.hpp"
@@ -46,9 +53,26 @@
 
 namespace ttg {
 
+namespace comm {
+class Communicator;
+class LoopbackFabric;
+class TermWave;
+class WireWriter;
+}  // namespace comm
+
 class Runtime;
 class TTBase;
 class World;
+
+/// World-level protocol inside transport frames (first payload byte,
+/// followed by the u64 epoch; see docs/distributed.md). Only kDelivery
+/// frames count in the termination wave's sent/received totals.
+enum class WireKind : std::uint8_t {
+  kDelivery = 0,   ///< u32 node id, u16 input, Serde key [+ value]
+  kTermToken = 1,  ///< u32 round, i64 sent, i64 received
+  kAnnounce = 2,   ///< root -> all: termination is global
+  kAbort = 3,      ///< any -> all: Serde<string> reason
+};
 
 /// Handle to one execution epoch, returned by World::execute() and
 /// World::execute_replay(). Unifies the old wait()/fence()/status()
@@ -106,12 +130,29 @@ class World {
   /// rank). Single-rank worlds are a compatibility shim over a private
   /// single-tenant Runtime (see the file comment).
   explicit World(const Config& config, int nranks = 1);
+
+  /// Distributed mode: one process per rank, connected by `comm` (e.g.
+  /// comm::TcpCommunicator). num_ranks() is comm->size() but only the
+  /// local rank's Context exists in this process; every TT must be
+  /// constructed identically on every rank (SPMD) so the dense node ids
+  /// assigned by registration order agree across processes. Cross-rank
+  /// values need a comm::Serde specialization. Termination runs on the
+  /// token-ring wave; losing a peer mid-epoch aborts the epoch, after
+  /// which the World is unusable (docs/distributed.md).
+  World(const Config& config, std::shared_ptr<comm::Communicator> comm);
+
   World(const World&) = delete;
   World& operator=(const World&) = delete;
   ~World();
 
   int num_ranks() const { return nranks_; }
-  Context& context(int rank = 0) { return *contexts_[rank]; }
+  /// The Context hosting `rank`. Worlds with one local context (single
+  /// rank, tenant, distributed) return it for any rank argument, so
+  /// `context(world.current_rank())` is valid everywhere.
+  Context& context(int rank = 0) {
+    return contexts_.size() == 1 ? *contexts_[0]
+                                 : *contexts_[static_cast<std::size_t>(rank)];
+  }
   TerminationDetector& detector() {
     return detector_ != nullptr ? *detector_ : contexts_[0]->detector();
   }
@@ -135,9 +176,15 @@ class World {
     return epoch_open_.load(std::memory_order_acquire);
   }
 
-  /// Rank of the calling thread: its worker's rank, or 0 for external
-  /// threads (the application thread acts as rank 0's producer).
+  /// Rank of the calling thread: its worker's rank, or — for external
+  /// threads — the local process rank (distributed worlds) or 0 (the
+  /// application thread acts as rank 0's producer).
   int current_rank() const;
+
+  /// True when this World spans processes over a real transport.
+  bool distributed() const { return comm_ != nullptr; }
+  /// The transport (distributed worlds; null otherwise).
+  comm::Communicator* communicator() const { return comm_.get(); }
 
   /// Starts (or resumes after fence) an execution epoch. Clears the
   /// previous epoch's fault state (read status() before this). On a
@@ -265,6 +312,23 @@ class World {
   /// single-rank: the message is delivered inline.
   void post_message(int target_rank, std::function<void()> deliver);
 
+  // --- Wire plane (TT's serialized cross-rank path; docs/
+  // distributed.md). -------------------------------------------------
+
+  /// Writes the kDelivery frame header (kind, epoch, node id, input)
+  /// into `w`; the sender appends the Serde-packed key and value.
+  void wire_delivery_header(comm::WireWriter& w, std::uint32_t node_id,
+                            std::uint16_t input);
+
+  /// Posts a complete wire frame to `target_rank` over the transport
+  /// (distributed) or the loopback fabric (in-process multi-rank).
+  /// Accounts one message sent on the calling thread's rank.
+  void post_wire(int target_rank, std::vector<std::byte> frame);
+
+  /// Dense-id lookup for wire deliveries; null if the id is unknown or
+  /// its TT was destroyed.
+  TTBase* node_by_comm_id(std::uint32_t id) const;
+
   /// Total tasks executed across all ranks (tenant worlds: this World's
   /// tasks only, not the shared engine's total).
   std::uint64_t total_tasks_executed() const;
@@ -304,11 +368,33 @@ class World {
   /// (or the tenant's pending count) converges.
   void purge_cancelled();
 
-  /// The two wait bodies: the classic four-counter wave and the tenant
-  /// pending-counter protocol. Both return the epoch's final Status and
-  /// leave the replay/recording mode reset.
+  /// The wait bodies: the classic four-counter wave, the tenant
+  /// pending-counter protocol, and the distributed token-ring wave. All
+  /// return the epoch's final Status and leave the replay/recording mode
+  /// reset.
   Status wait_classic(EpochMode mode);
   Status wait_tenant(EpochMode mode);
+  Status wait_distributed(EpochMode mode);
+
+  // --- Wire plane internals. -----------------------------------------
+
+  /// Transport ingress: `local_index` is the receiving context's index
+  /// (loopback: target rank; distributed: 0). Copies the frame, checks
+  /// the epoch (distributed frames from a peer already in the next
+  /// epoch are deferred, stale ones dropped) and dispatches.
+  void on_wire_frame(int local_index, int source, const std::byte* data,
+                     std::size_t n);
+  void dispatch_wire(int local_index, int source, std::uint8_t kind,
+                     std::vector<std::byte> frame);
+  /// Peer-loss callback (transport progress thread): aborts the epoch.
+  void on_peer_lost(int peer, const std::string& why);
+  /// Sends a kAbort frame to every peer (best effort).
+  void broadcast_abort(const std::string& reason);
+  /// The local abort path (no re-broadcast): what abort() always did.
+  void abort_local(std::string reason);
+  /// Opens wave/epoch state for a distributed epoch and redispatches
+  /// frames deferred from the previous one.
+  void open_wire_epoch();
 
   /// Records the completed epoch's status for late Submission queries.
   void record_completion(const Status& st);
@@ -363,7 +449,29 @@ class World {
 
   mutable std::mutex nodes_mutex_;
   std::vector<TTBase*> nodes_;  // guarded by nodes_mutex_
+  /// Dense registration-order ids for wire deliveries (slot nulled on
+  /// unregister, never reused within a World). Guarded by nodes_mutex_.
+  std::vector<TTBase*> nodes_by_id_;
   coro::CancelRegistry coro_sources_;
+
+  // --- Wire plane state. ---------------------------------------------
+  std::shared_ptr<comm::Communicator> comm_;      // distributed only
+  std::unique_ptr<comm::LoopbackFabric> fabric_;  // classic multi-rank
+  int comm_rank_ = 0;  // local process rank (distributed; else 0)
+  std::unique_ptr<comm::TermWave> wave_;  // distributed; per-epoch
+  std::atomic<std::uint64_t> comm_epoch_{0};
+  /// Set when a distributed epoch failed (peer loss / abort / local
+  /// drain): all further ingress is dropped and the World refuses new
+  /// epochs.
+  std::atomic<bool> comm_failed_{false};
+  struct DeferredFrame {
+    int local_index;
+    int source;
+    std::uint64_t epoch;
+    std::vector<std::byte> bytes;
+  };
+  mutable std::mutex comm_mutex_;  // epoch gate + deferred_ + wave_ use
+  std::vector<DeferredFrame> deferred_frames_;  // guarded by comm_mutex_
 
   std::mutex stall_mutex_;
   std::function<void(const std::string&)> stall_handler_;  // guarded

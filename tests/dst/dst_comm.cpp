@@ -1,0 +1,217 @@
+// DST property test: the distributed token-ring termination wave
+// (comm/term_wave.hpp) never announces while an application message is
+// still in flight — and always converges once the network drains.
+//
+// The scenario models two processes exchanging messages through an
+// explorable network: every delivery is its own schedulable step, so
+// the sweep can reorder deliveries against wave contributions. The
+// dangerous interleaving is the classic inconsistent snapshot:
+//
+//   1. the root launches a round while still (0 sent, 0 received);
+//   2. rank 1 seeds a message `a` to rank 0 and falls quiet;
+//   3. `a` re-activates rank 0, whose task sends `b` and `c` to rank 1
+//      — all *after* the root's contribution was snapshotted;
+//   4. `b` is delivered before rank 1 contributes, so rank 1 adds
+//      (sent=1, received=1) and the round totals balance at 1 == 1
+//      while `c` is still in flight.
+//
+// The two-round stability test rejects this (the next round's totals
+// differ); the comm_termdet_early_quiet mutant announces on the single
+// equal round and is caught here with `c` undelivered.
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "comm/term_wave.hpp"
+#include "dst_common.hpp"
+#include "sim/sim.hpp"
+
+namespace {
+
+using ttg::comm::TermToken;
+using ttg::comm::TermWave;
+
+struct WaveInFlightMessage {
+  static constexpr int kRanks = 2;
+
+  // Model per-rank counters (what the termination detector would hold).
+  std::atomic<std::int64_t> sent[kRanks]{};
+  std::atomic<std::int64_t> recv[kRanks]{};
+  // True while a delivered message's task is still executing (the model
+  // equivalent of pending != 0 || active_threads != 0).
+  std::atomic<bool> busy[kRanks]{};
+
+  // Single-slot token mailboxes (the ring has at most one token in
+  // flight per direction) and the root's announcement flag.
+  std::atomic<bool> token_ready[kRanks]{};
+  TermToken token_box[kRanks]{};
+  std::atomic<bool> announce_flag{false};
+  std::atomic<bool> terminated[kRanks]{};
+
+  // The application workload: a (1->0), then 0's task emits b and c
+  // (0->1). Deliveries are performed by the network vthread, one per
+  // step, so the schedule explorer controls their timing.
+  std::atomic<bool> delivered_a{false}, delivered_b{false},
+      delivered_c{false};
+
+  // Snapshot taken the moment the root announces.
+  std::atomic<bool> announced{false};
+  std::atomic<bool> c_in_flight_at_announce{false};
+
+  std::unique_ptr<TermWave> wave[kRanks];
+
+  WaveInFlightMessage() {
+    busy[1].store(true);  // rank 1 is "running" its seed task at start
+    for (int r = 0; r < kRanks; ++r) {
+      TermWave::Hooks h;
+      h.locally_quiet = [this, r] { return !busy[r].load(); };
+      h.sent = [this, r] { return sent[r].load(); };
+      h.received = [this, r] { return recv[r].load(); };
+      h.forward = [this, r](const TermToken& t) {
+        const int next = (r + 1) % kRanks;
+        token_box[next] = t;
+        token_ready[next].store(true, std::memory_order_release);
+      };
+      if (r == 0) {
+        h.announce = [this] {
+          announced.store(true);
+          c_in_flight_at_announce.store(!delivered_c.load());
+          announce_flag.store(true, std::memory_order_release);
+        };
+      }
+      h.on_terminated = [this, r] { terminated[r].store(true); };
+      wave[r] = std::make_unique<TermWave>(r, kRanks, h);
+    }
+  }
+
+  bool all_terminated() const {
+    return terminated[0].load() && terminated[1].load();
+  }
+
+  std::vector<std::function<void()>> bodies() {
+    // One driver per rank: the wait-loop side of the wave (token intake
+    // + poll), bounded so a stuck wave surfaces as a liveness failure
+    // instead of a sim deadlock.
+    auto make_driver = [this](int r) {
+      return [this, r] {
+        for (int i = 0; i < 4000 && !terminated[r].load(); ++i) {
+          if (token_ready[r].exchange(false, std::memory_order_acquire)) {
+            wave[r]->on_token(token_box[r]);
+          }
+          if (r != 0 && announce_flag.load(std::memory_order_acquire)) {
+            wave[r]->on_announce();
+          }
+          wave[r]->poll();
+          ttg::sim::preemption_point("model.driver");
+        }
+      };
+    };
+    // The network: seeds the workload, then delivers one message per
+    // step. Task execution happens at the destination between the
+    // receive accounting and the quiet flag clearing, exactly like a
+    // worker draining the active-message queue.
+    auto network = [this] {
+      // Rank 1's seed task: send a, fall quiet.
+      sent[1].fetch_add(1);
+      ttg::sim::preemption_point("model.seed");
+      busy[1].store(false);
+      // Deliver a to rank 0; its task emits b and c.
+      busy[0].store(true);
+      recv[0].fetch_add(1);
+      delivered_a.store(true);
+      ttg::sim::preemption_point("model.task_a");
+      sent[0].fetch_add(2);
+      ttg::sim::preemption_point("model.task_a.sent");
+      busy[0].store(false);
+      // Deliver b, then (after explorable delay) c.
+      busy[1].store(true);
+      recv[1].fetch_add(1);
+      delivered_b.store(true);
+      ttg::sim::preemption_point("model.task_b");
+      busy[1].store(false);
+      ttg::sim::preemption_point("model.network.delay");
+      busy[1].store(true);
+      recv[1].fetch_add(1);
+      delivered_c.store(true);
+      ttg::sim::preemption_point("model.task_c");
+      busy[1].store(false);
+    };
+    return {make_driver(0), make_driver(1), network};
+  }
+
+  std::string check() {
+    if (announced.load() && c_in_flight_at_announce.load()) {
+      return "wave announced termination with message c still in flight "
+             "(inconsistent single-round snapshot accepted)";
+    }
+    if (!all_terminated()) {
+      return "wave never converged after the network drained (liveness)";
+    }
+    if (!(delivered_a.load() && delivered_b.load() && delivered_c.load())) {
+      return "terminated with undelivered messages";
+    }
+    return "";
+  }
+};
+
+TEST(DstComm, WaveNeverAnnouncesWithMessageInFlight) {
+  dst::explore<WaveInFlightMessage>("comm_wave_inflight", 3);
+}
+
+// Degenerate single-rank ring: the token loops back to the root
+// instantly; the wave must still need a quiet rank and two stable
+// rounds, and must converge.
+struct WaveSingleRank {
+  std::atomic<std::int64_t> sent{0}, recv{0};
+  std::atomic<bool> busy{true};
+  std::atomic<bool> terminated{false};
+  std::atomic<bool> announced_while_busy{false};
+  std::unique_ptr<TermWave> wave;
+
+  WaveSingleRank() {
+    TermWave::Hooks h;
+    h.locally_quiet = [this] { return !busy.load(); };
+    h.sent = [this] { return sent.load(); };
+    h.received = [this] { return recv.load(); };
+    h.forward = [](const TermToken&) {};
+    h.on_terminated = [this] {
+      if (busy.load()) announced_while_busy.store(true);
+      terminated.store(true);
+    };
+    wave = std::make_unique<TermWave>(0, 1, h);
+  }
+
+  std::vector<std::function<void()>> bodies() {
+    auto driver = [this] {
+      for (int i = 0; i < 1000 && !terminated.load(); ++i) {
+        wave->poll();
+        ttg::sim::preemption_point("model.driver");
+      }
+    };
+    auto task = [this] {
+      ttg::sim::preemption_point("model.task");
+      sent.fetch_add(1);
+      ttg::sim::preemption_point("model.task.sent");
+      recv.fetch_add(1);
+      ttg::sim::preemption_point("model.task.recv");
+      busy.store(false);
+    };
+    return {driver, task};
+  }
+
+  std::string check() {
+    if (announced_while_busy.load()) {
+      return "single-rank wave announced while the rank was busy";
+    }
+    if (!terminated.load()) return "single-rank wave never converged";
+    return "";
+  }
+};
+
+TEST(DstComm, SingleRankRingConverges) {
+  dst::explore<WaveSingleRank>("comm_wave_single", 2);
+}
+
+}  // namespace

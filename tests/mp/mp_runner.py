@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Multi-process launcher for the TCP distributed-backend tests.
+
+Starts N ranks of an mp scenario binary on localhost and checks their
+exit codes. The runner — not the ranks — binds every rendezvous socket
+(127.0.0.1, port 0), so there is no port race and no stale-port leak:
+each rank inherits its already-listening socket as TTG_COMM_LISTEN_FD
+and learns everyone's realized address from TTG_COMM_HOSTS.
+
+Per-rank stdout+stderr goes to <logdir>/rank<i>.log; on failure every
+log is replayed to stdout so `ctest --output-on-failure` shows it.
+
+Exit-code protocol (must match mp_scenario.cpp):
+  0   rank passed
+  3   rank ran but a result was wrong
+  42  rank observed an EXPECTED cancellation (fault/abort scenarios)
+
+Fault injection: --kill-rank R --kill-after S sends SIGKILL to rank R
+after S seconds; the victim's exit is then expected to be the signal
+death, and every survivor must exit 42 within --timeout.
+"""
+
+import argparse
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+
+
+def parse_args():
+    p = argparse.ArgumentParser(description=__doc__)
+    p.add_argument("--binary", required=True, help="mp scenario binary")
+    p.add_argument("--scenario", required=True)
+    p.add_argument("--ranks", type=int, default=2)
+    p.add_argument("--timeout", type=float, default=120.0,
+                   help="seconds before the whole run is killed")
+    p.add_argument("--logdir", default=None,
+                   help="per-rank log directory (default: cwd)")
+    p.add_argument("--expect", choices=["ok", "cancel"], default="ok",
+                   help="ok: all ranks exit 0; cancel: all (surviving) "
+                        "ranks exit 42")
+    p.add_argument("--kill-rank", type=int, default=None,
+                   help="rank to SIGKILL mid-run (implies --expect cancel "
+                        "semantics for survivors)")
+    p.add_argument("--kill-after", type=float, default=1.0,
+                   help="seconds to wait before the SIGKILL")
+    p.add_argument("--peer-timeout-ms", type=int, default=None,
+                   help="override TTG_COMM_TIMEOUT_MS for every rank")
+    return p.parse_args()
+
+
+def bind_listeners(n):
+    socks = []
+    for _ in range(n):
+        s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        s.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        s.bind(("127.0.0.1", 0))
+        s.listen(n)
+        s.set_inheritable(True)
+        socks.append(s)
+    hosts = ",".join("127.0.0.1:%d" % s.getsockname()[1] for s in socks)
+    return socks, hosts
+
+
+def main():
+    args = parse_args()
+    logdir = args.logdir or os.getcwd()
+    os.makedirs(logdir, exist_ok=True)
+
+    socks, hosts = bind_listeners(args.ranks)
+    procs = []
+    logs = []
+    for rank in range(args.ranks):
+        env = dict(os.environ)
+        env["TTG_COMM_RANK"] = str(rank)
+        env["TTG_COMM_SIZE"] = str(args.ranks)
+        env["TTG_COMM_HOSTS"] = hosts
+        env["TTG_COMM_LISTEN_FD"] = str(socks[rank].fileno())
+        if args.peer_timeout_ms is not None:
+            env["TTG_COMM_TIMEOUT_MS"] = str(args.peer_timeout_ms)
+        log_path = os.path.join(logdir, "rank%d.log" % rank)
+        logs.append(log_path)
+        log = open(log_path, "wb")
+        procs.append(subprocess.Popen(
+            [args.binary, args.scenario],
+            env=env, stdout=log, stderr=subprocess.STDOUT,
+            pass_fds=[socks[rank].fileno()], close_fds=True))
+        log.close()
+    # The children own the listeners now.
+    for s in socks:
+        s.close()
+
+    deadline = time.monotonic() + args.timeout
+    if args.kill_rank is not None:
+        time.sleep(args.kill_after)
+        victim = procs[args.kill_rank]
+        if victim.poll() is None:
+            print("runner: SIGKILL rank %d" % args.kill_rank, flush=True)
+            victim.send_signal(signal.SIGKILL)
+        else:
+            print("runner: rank %d already exited (%s) before the kill"
+                  % (args.kill_rank, victim.returncode), flush=True)
+
+    codes = [None] * args.ranks
+    timed_out = False
+    for rank, proc in enumerate(procs):
+        remaining = deadline - time.monotonic()
+        try:
+            codes[rank] = proc.wait(timeout=max(0.1, remaining))
+        except subprocess.TimeoutExpired:
+            timed_out = True
+            proc.send_signal(signal.SIGKILL)
+            codes[rank] = proc.wait()
+
+    failures = []
+    if timed_out:
+        failures.append("run exceeded %.0fs timeout (hang?)" % args.timeout)
+    for rank, code in enumerate(codes):
+        if args.kill_rank is not None and rank == args.kill_rank:
+            if code != -signal.SIGKILL:
+                failures.append(
+                    "rank %d (victim) exited %s, expected SIGKILL death"
+                    % (rank, code))
+            continue
+        want = 0 if args.expect == "ok" else 42
+        if code != want:
+            failures.append("rank %d exited %s, expected %d"
+                            % (rank, code, want))
+
+    if failures:
+        print("FAIL: scenario=%s ranks=%d" % (args.scenario, args.ranks))
+        for f in failures:
+            print("  " + f)
+        for rank, path in enumerate(logs):
+            print("---- rank %d log (%s) ----" % (rank, path))
+            try:
+                with open(path, "rb") as f:
+                    sys.stdout.write(
+                        f.read().decode("utf-8", errors="replace"))
+            except OSError as e:
+                print("  <unreadable: %s>" % e)
+        return 1
+    print("PASS: scenario=%s ranks=%d codes=%s"
+          % (args.scenario, args.ranks, codes))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,415 @@
+// Multi-process test scenarios for the out-of-process TCP backend
+// (docs/distributed.md). One binary, one scenario per invocation; every
+// rank runs the same SPMD program. Launched by mp_runner.py, which
+// binds the rendezvous sockets, exports TTG_COMM_*, and checks exit
+// codes per rank.
+//
+// Exit protocol:
+//   0   scenario ran and every local check passed
+//   3   ran to completion but a result was wrong
+//   42  wait() returned a non-ok Status that the scenario EXPECTED
+//       (fault/abort scenarios) — anything else is a plain failure
+//   2   usage / bootstrap error
+#include <algorithm>
+#include <atomic>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "comm/tcp.hpp"
+#include "taskbench/taskbench.hpp"
+#include "ttg/ttg.hpp"
+
+namespace {
+
+constexpr int kOk = 0;
+constexpr int kUsage = 2;
+constexpr int kWrong = 3;
+constexpr int kExpectedCancel = 42;
+
+int g_rank = 0;
+int g_size = 1;
+
+void logf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::fprintf(stderr, "[rank %d] ", g_rank);
+  std::vfprintf(stderr, fmt, ap);
+  std::fprintf(stderr, "\n");
+  va_end(ap);
+}
+
+ttg::Config mp_config() {
+  ttg::Config cfg = ttg::Config::optimized();
+  cfg.num_threads = 2;  // keep 4-rank runs light on a shared box
+  return cfg;
+}
+
+// --- chain: a value hops key-by-key across every rank -----------------
+
+int run_chain(ttg::World& world) {
+  constexpr int kLen = 400;
+  ttg::Edge<int, std::int64_t> e("chain");
+  std::atomic<int> local_tasks{0};
+  std::atomic<std::int64_t> last{-1};
+  auto tt = ttg::make_tt<int>(
+      [&](const int& k, std::int64_t& v, auto& outs) {
+        local_tasks.fetch_add(1);
+        if (k < kLen) {
+          ttg::send<0>(k + 1, v + 1, outs);
+        } else {
+          last.store(v);
+        }
+      },
+      ttg::edges(e), ttg::edges(e), "step", world);
+  tt->set_keymap([](const int& k) { return k % g_size; });
+
+  auto epoch = world.execute();
+  if (g_rank == 0) tt->send_input<0>(0, std::int64_t{0});
+  const ttg::Status st = epoch.wait();
+  if (!st.ok()) {
+    logf("chain: epoch failed: %s", st.reason.c_str());
+    return kWrong;
+  }
+
+  int expected_local = 0;
+  for (int k = 0; k <= kLen; ++k) {
+    if (k % g_size == g_rank) ++expected_local;
+  }
+  if (local_tasks.load() != expected_local) {
+    logf("chain: ran %d tasks, expected %d", local_tasks.load(),
+         expected_local);
+    return kWrong;
+  }
+  const bool owns_last = kLen % g_size == g_rank;
+  if (owns_last && last.load() != kLen) {
+    logf("chain: final value %lld, expected %d",
+         static_cast<long long>(last.load()), kLen);
+    return kWrong;
+  }
+  logf("chain: ok (%d local tasks)", local_tasks.load());
+  return kOk;
+}
+
+// --- broadcast: a rank-0 root fans one value out to every rank --------
+
+int run_broadcast(ttg::World& world) {
+  ttg::Edge<int, ttg::Void> seed("seed");
+  ttg::Edge<int, std::int64_t> fan("fan");
+  std::atomic<int> leaf_fired{0};
+  std::atomic<std::int64_t> leaf_value{-1};
+
+  auto leaf = ttg::make_tt<int>(
+      [&](const int&, std::int64_t& v, auto&) {
+        leaf_fired.fetch_add(1);
+        leaf_value.store(v);
+      },
+      ttg::edges(fan), ttg::edges(), "leaf", world);
+  leaf->set_keymap([](const int& r) { return r; });
+
+  auto root = ttg::make_tt<int>(
+      [&](const int&, const ttg::Void&, auto& outs) {
+        for (int r = 0; r < g_size; ++r) {
+          ttg::send<0>(r, std::int64_t{7777} + r, outs);
+        }
+      },
+      ttg::edges(seed), ttg::edges(fan), "root", world);
+  root->set_keymap([](const int&) { return 0; });
+
+  auto epoch = world.execute();
+  if (g_rank == 0) root->sendk_input<0>(0);
+  const ttg::Status st = epoch.wait();
+  if (!st.ok()) {
+    logf("broadcast: epoch failed: %s", st.reason.c_str());
+    return kWrong;
+  }
+  if (leaf_fired.load() != 1 || leaf_value.load() != 7777 + g_rank) {
+    logf("broadcast: leaf fired %d times with value %lld",
+         leaf_fired.load(), static_cast<long long>(leaf_value.load()));
+    return kWrong;
+  }
+  logf("broadcast: ok");
+  return kOk;
+}
+
+// --- reduce: every rank contributes; a ring accumulates to rank 0 -----
+
+int run_reduce(ttg::World& world) {
+  // Key r in [0, size) executes on rank r, adds (r+1)^2, forwards to
+  // r+1; key == size lands back on rank 0 and records the total.
+  ttg::Edge<int, std::int64_t> ring("ring");
+  std::atomic<std::int64_t> total{-1};
+  auto tt = ttg::make_tt<int>(
+      [&](const int& r, std::int64_t& acc, auto& outs) {
+        if (r < g_size) {
+          const std::int64_t mine =
+              static_cast<std::int64_t>(r + 1) * (r + 1);
+          ttg::send<0>(r + 1, acc + mine, outs);
+        } else {
+          total.store(acc);
+        }
+      },
+      ttg::edges(ring), ttg::edges(ring), "accum", world);
+  tt->set_keymap([](const int& r) { return r % g_size; });
+
+  auto epoch = world.execute();
+  if (g_rank == 0) tt->send_input<0>(0, std::int64_t{0});
+  const ttg::Status st = epoch.wait();
+  if (!st.ok()) {
+    logf("reduce: epoch failed: %s", st.reason.c_str());
+    return kWrong;
+  }
+  std::int64_t expected = 0;
+  for (int r = 0; r < g_size; ++r) expected += std::int64_t(r + 1) * (r + 1);
+  if (g_rank == 0 && total.load() != expected) {
+    logf("reduce: total %lld, expected %lld",
+         static_cast<long long>(total.load()),
+         static_cast<long long>(expected));
+    return kWrong;
+  }
+  logf("reduce: ok");
+  return kOk;
+}
+
+// --- stencil: Task Bench periodic 1-D halo exchange with checksums ----
+
+int run_stencil(ttg::World& world) {
+  using Key = std::pair<int, int>;  // (t, x)
+  taskbench::BenchConfig cfg;
+  cfg.pattern = taskbench::Pattern::kStencil1DPeriodic;
+  cfg.kernel = taskbench::Kernel::kEmpty;
+  cfg.width = std::max(4, 2 * g_size);  // distinct left/right neighbors
+  cfg.steps = 24;
+  const int W = cfg.width;
+  const int T = cfg.steps;  // rows run t = 0..T inclusive; last row is T
+
+  ttg::Edge<int, ttg::Void> seed("seed");
+  // One edge per stencil input slot: 0 = left origin, 1 = center,
+  // 2 = right origin (periodic).
+  ttg::Edge<Key, std::uint64_t> el("left"), ec("center"), er("right");
+  ttg::Edge<int, std::uint64_t> out("out");
+
+  std::mutex last_mutex;
+  std::vector<std::uint64_t> last_row(static_cast<std::size_t>(W), 0);
+  std::atomic<int> last_count{0};
+
+  auto keymap_tx = [](const Key& k) { return k.second % g_size; };
+  auto keymap_x = [](const int& x) { return x % g_size; };
+
+  // Routes the value of point (t, x) to everything that consumes it:
+  // the three input slots of its t+1 neighbors, or the collector when
+  // t == T. Used identically by the source row and the stencil body.
+  auto emit = [W, T](int t, int x, std::uint64_t v, auto& outs) {
+    if (t == T) {
+      ttg::send<3>(x, v, outs);
+      return;
+    }
+    for (int sx : {(x - 1 + W) % W, x, (x + 1) % W}) {
+      const Key next{t + 1, sx};
+      if (x == (sx - 1 + W) % W && x != sx) {
+        ttg::send<0>(next, std::uint64_t{v}, outs);  // x is sx's left
+      } else if (x == sx) {
+        ttg::send<1>(next, std::uint64_t{v}, outs);
+      } else {
+        ttg::send<2>(next, std::uint64_t{v}, outs);  // x is sx's right
+      }
+    }
+  };
+
+  auto stencil = ttg::make_tt<Key>(
+      [&, W, T](const Key& k, std::uint64_t& lv, std::uint64_t& cv,
+                std::uint64_t& rv, auto& outs) {
+        const auto [t, x] = k;
+        // combine() wants dep values ordered by origin x ascending,
+        // matching dependencies(); sort (origin, value) pairs.
+        std::pair<int, std::uint64_t> by_origin[3] = {
+            {(x - 1 + W) % W, lv}, {x, cv}, {(x + 1) % W, rv}};
+        std::sort(std::begin(by_origin), std::end(by_origin));
+        std::uint64_t vals[3] = {by_origin[0].second, by_origin[1].second,
+                                 by_origin[2].second};
+        taskbench::run_kernel(cfg, t, x);
+        const std::uint64_t v = taskbench::combine(t, x, vals, 3);
+        emit(t, x, v, outs);
+      },
+      ttg::edges(el, ec, er), ttg::edges(el, ec, er, out), "stencil",
+      world);
+  stencil->set_keymap(keymap_tx);
+
+  auto source = ttg::make_tt<int>(
+      [&](const int& x, const ttg::Void&, auto& outs) {
+        emit(0, x, taskbench::seed_value(x), outs);
+      },
+      ttg::edges(seed), ttg::edges(el, ec, er, out), "source", world);
+  source->set_keymap(keymap_x);
+
+  auto collect = ttg::make_tt<int>(
+      [&](const int& x, std::uint64_t& v, auto&) {
+        std::lock_guard<std::mutex> lk(last_mutex);
+        last_row[static_cast<std::size_t>(x)] = v;
+        last_count.fetch_add(1);
+      },
+      ttg::edges(out), ttg::edges(), "collect", world);
+  collect->set_keymap([](const int&) { return 0; });
+
+  auto epoch = world.execute();
+  if (g_rank == 0) {
+    for (int x = 0; x < W; ++x) source->sendk_input<0>(x);
+  }
+  const ttg::Status st = epoch.wait();
+  if (!st.ok()) {
+    logf("stencil: epoch failed: %s", st.reason.c_str());
+    return kWrong;
+  }
+  if (g_rank == 0) {
+    if (last_count.load() != W) {
+      logf("stencil: collected %d of %d last-row points",
+           last_count.load(), W);
+      return kWrong;
+    }
+    const std::uint64_t got = taskbench::fold_checksum(last_row);
+    const std::uint64_t want = taskbench::reference_checksum(cfg);
+    if (got != want) {
+      logf("stencil: checksum %llx != reference %llx",
+           static_cast<unsigned long long>(got),
+           static_cast<unsigned long long>(want));
+      return kWrong;
+    }
+    logf("stencil: checksum ok (%dx%d periodic)", W, T);
+  }
+  return kOk;
+}
+
+// --- termination: back-to-back epochs over the same graph -------------
+
+int run_termination(ttg::World& world) {
+  ttg::Edge<int, std::int64_t> e("chain");
+  std::atomic<int> local_tasks{0};
+  constexpr int kLen = 120;
+  auto tt = ttg::make_tt<int>(
+      [&](const int& k, std::int64_t& v, auto& outs) {
+        local_tasks.fetch_add(1);
+        if (k < kLen) ttg::send<0>(k + 1, v + 1, outs);
+      },
+      ttg::edges(e), ttg::edges(e), "step", world);
+  tt->set_keymap([](const int& k) { return k % g_size; });
+
+  int expected_local = 0;
+  for (int k = 0; k <= kLen; ++k) {
+    if (k % g_size == g_rank) ++expected_local;
+  }
+
+  for (int epoch_no = 0; epoch_no < 3; ++epoch_no) {
+    local_tasks.store(0);
+    auto epoch = world.execute();
+    if (g_rank == 0) tt->send_input<0>(0, std::int64_t{0});
+    const ttg::Status st = epoch.wait();
+    if (!st.ok()) {
+      logf("termination: epoch %d failed: %s", epoch_no,
+           st.reason.c_str());
+      return kWrong;
+    }
+    if (local_tasks.load() != expected_local) {
+      logf("termination: epoch %d ran %d tasks, expected %d", epoch_no,
+           local_tasks.load(), expected_local);
+      return kWrong;
+    }
+  }
+  logf("termination: 3 epochs ok");
+  return kOk;
+}
+
+// --- fault: the runner SIGKILLs one rank mid-epoch --------------------
+
+int run_fault(ttg::World& world) {
+  // A chain long enough to outlive the runner's kill delay by orders of
+  // magnitude; survivors must see a non-ok wait() within the peer
+  // timeout once the victim dies.
+  constexpr int kLen = 200'000'000;
+  ttg::Edge<int, std::int64_t> e("chain");
+  auto tt = ttg::make_tt<int>(
+      [&](const int& k, std::int64_t& v, auto& outs) {
+        if (k < kLen) ttg::send<0>(k + 1, v + 1, outs);
+      },
+      ttg::edges(e), ttg::edges(e), "step", world);
+  tt->set_keymap([](const int& k) { return k % g_size; });
+
+  auto epoch = world.execute();
+  if (g_rank == 0) tt->send_input<0>(0, std::int64_t{0});
+  const ttg::Status st = epoch.wait();
+  if (st.ok()) {
+    logf("fault: epoch finished cleanly — the kill never landed?");
+    return kWrong;
+  }
+  logf("fault: survivor saw expected cancellation: %s",
+       st.reason.c_str());
+  return kExpectedCancel;
+}
+
+// --- abort: a non-zero rank aborts; every rank must observe it --------
+
+int run_abort(ttg::World& world) {
+  const int aborter = g_size - 1;
+  ttg::Edge<int, ttg::Void> seed("seed");
+  auto tt = ttg::make_tt<int>(
+      [&world](const int&, const ttg::Void&, auto&) {
+        world.abort("mp abort test");
+      },
+      ttg::edges(seed), ttg::edges(), "aborter", world);
+  tt->set_keymap([aborter](const int&) { return aborter; });
+
+  auto epoch = world.execute();
+  if (g_rank == 0) tt->sendk_input<0>(0);
+  const ttg::Status st = epoch.wait();
+  if (!st.aborted()) {
+    logf("abort: expected aborted status, got outcome %d (%s)",
+         static_cast<int>(st.outcome), st.reason.c_str());
+    return kWrong;
+  }
+  if (st.reason.find("mp abort test") == std::string::npos) {
+    logf("abort: reason did not propagate: %s", st.reason.c_str());
+    return kWrong;
+  }
+  logf("abort: observed \"%s\"", st.reason.c_str());
+  return kExpectedCancel;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr,
+                 "usage: %s chain|broadcast|reduce|stencil|termination|"
+                 "fault|abort\n",
+                 argv[0]);
+    return kUsage;
+  }
+  const std::string scenario = argv[1];
+
+  std::shared_ptr<ttg::comm::TcpCommunicator> comm;
+  try {
+    comm = std::make_shared<ttg::comm::TcpCommunicator>(
+        ttg::comm::TcpCommunicator::from_env());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bootstrap failed: %s\n", e.what());
+    return kUsage;
+  }
+  g_rank = comm->rank();
+  g_size = comm->size();
+  logf("connected (%d ranks), scenario %s", g_size, scenario.c_str());
+
+  ttg::World world(mp_config(), comm);
+  if (scenario == "chain") return run_chain(world);
+  if (scenario == "broadcast") return run_broadcast(world);
+  if (scenario == "reduce") return run_reduce(world);
+  if (scenario == "stencil") return run_stencil(world);
+  if (scenario == "termination") return run_termination(world);
+  if (scenario == "fault") return run_fault(world);
+  if (scenario == "abort") return run_abort(world);
+  std::fprintf(stderr, "unknown scenario: %s\n", scenario.c_str());
+  return kUsage;
+}
